@@ -1,0 +1,148 @@
+// E2 — Segment allocation cost (paper §5).
+//
+// Claim: "assuming that sufficient free storage is available, it takes 80 microseconds at 8
+// megahertz to allocate a segment from an SRO via the creation instruction. It is important
+// that this function be relatively fast since storage allocation plays an important role in
+// an object oriented system."
+//
+// Rows reported:
+//   - AllocateBySize : us per create-object instruction vs segment size (64 B should read
+//     exactly 80 us; larger segments add zeroing cost)
+//   - GlobalVsLocalSro : allocation cost is the same from either heap (lifetime is free at
+//     allocation time; the difference appears at reclamation — see E6)
+//   - AllocateDestroyPair : steady-state allocate/destroy round trip
+
+#include "bench/bench_util.h"
+
+namespace imax432 {
+namespace {
+
+using bench::DefaultConfig;
+using bench::MakeCarrier;
+using bench::ToUs;
+
+// Measures average virtual us per create-object of `bytes` from the given heap setup.
+double MeasureAllocCost(uint32_t bytes, bool local_sro, int count, bool destroy_each) {
+  System system(DefaultConfig());
+
+  std::vector<AccessDescriptor> slots = {system.memory().global_heap()};
+  AccessDescriptor carrier = MakeCarrier(system, slots);
+
+  Assembler a("allocator");
+  auto loop = a.NewLabel();
+  a.MoveAd(1, kArgAdReg).LoadAd(2, 1, 0);  // a2 = global heap
+  if (local_sro) {
+    // Allocate from a local heap instead; sized to hold the whole run if not destroying.
+    uint32_t heap_bytes = destroy_each ? bytes * 4 + 4096
+                                       : (bytes + 64) * static_cast<uint32_t>(count) + 4096;
+    a.CreateSro(3, 2, heap_bytes).MoveAd(2, 3);
+  }
+  a.LoadImm(0, 0).LoadImm(1, static_cast<uint64_t>(count)).Bind(loop);
+  a.CreateObject(4, 2, bytes);
+  if (destroy_each) {
+    a.DestroyObject(4);
+  } else {
+    a.ClearAd(4);  // drop the reference; the object stays allocated
+  }
+  a.AddImm(0, 0, 1).BranchIfLess(0, 1, loop).Halt();
+
+  ProcessOptions options;
+  options.initial_arg = carrier;
+  auto process = system.Spawn(a.Build(), options);
+  IMAX_CHECK(process.ok());
+  system.Run();
+  IMAX_CHECK(system.kernel().process_view(process.value()).state() ==
+             ProcessState::kTerminated);
+  Cycles consumed = system.kernel().process_view(process.value()).consumed();
+
+  // Subtract the loop scaffolding measured with a Compute(0) placeholder.
+  System calibration(DefaultConfig());
+  Assembler empty("empty");
+  auto empty_loop = empty.NewLabel();
+  empty.MoveAd(1, kArgAdReg)
+      .LoadAd(2, 1, 0)
+      .LoadImm(0, 0)
+      .LoadImm(1, static_cast<uint64_t>(count))
+      .Bind(empty_loop)
+      .ClearAd(4)
+      .AddImm(0, 0, 1)
+      .BranchIfLess(0, 1, empty_loop)
+      .Halt();
+  AccessDescriptor calibration_carrier =
+      MakeCarrier(calibration, {calibration.memory().global_heap()});
+  ProcessOptions calibration_options;
+  calibration_options.initial_arg = calibration_carrier;
+  auto calibration_process = calibration.Spawn(empty.Build(), calibration_options);
+  IMAX_CHECK(calibration_process.ok());
+  calibration.Run();
+  Cycles loop_only =
+      calibration.kernel().process_view(calibration_process.value()).consumed();
+
+  return ToUs((consumed - loop_only) / static_cast<Cycles>(count));
+}
+
+void BM_AllocateBySize(benchmark::State& state) {
+  uint32_t bytes = static_cast<uint32_t>(state.range(0));
+  double us = 0;
+  for (auto _ : state) {
+    // Pure allocation (no destroy): the create-object instruction plus its interconnect
+    // share. 64 objects of the largest size still fit in physical memory.
+    us = MeasureAllocCost(bytes, /*local_sro=*/false, /*count=*/64, /*destroy_each=*/false);
+  }
+  state.counters["segment_bytes"] = bytes;
+  state.counters["us_per_alloc"] = us;
+  state.counters["paper_us_small_segment"] = 80.0;
+}
+BENCHMARK(BM_AllocateBySize)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(16384)
+    ->Arg(65536)
+    ->Iterations(1);
+
+void BM_AllocateGlobalHeap(benchmark::State& state) {
+  double us = 0;
+  for (auto _ : state) {
+    us = MeasureAllocCost(64, /*local_sro=*/false, 256, /*destroy_each=*/false);
+  }
+  state.counters["us_per_alloc"] = us;
+}
+BENCHMARK(BM_AllocateGlobalHeap)->Iterations(1);
+
+void BM_AllocateLocalHeap(benchmark::State& state) {
+  double us = 0;
+  for (auto _ : state) {
+    us = MeasureAllocCost(64, /*local_sro=*/true, 256, /*destroy_each=*/false);
+  }
+  // Same instruction, same cost: lifetime policy is free at allocation time.
+  state.counters["us_per_alloc"] = us;
+}
+BENCHMARK(BM_AllocateLocalHeap)->Iterations(1);
+
+void BM_AllocateDestroyPair(benchmark::State& state) {
+  double us = 0;
+  for (auto _ : state) {
+    us = MeasureAllocCost(64, /*local_sro=*/false, 256, /*destroy_each=*/true);
+  }
+  // Steady-state explicit management: the create plus the explicit destroy instruction.
+  state.counters["us_per_pair"] = us;
+}
+BENCHMARK(BM_AllocateDestroyPair)->Iterations(1);
+
+// The raw cost-model check: the instruction's charged cycles for the paper's case.
+void BM_ModelCalibration(benchmark::State& state) {
+  for (auto _ : state) {
+  }
+  state.counters["create_64B_cycles"] = static_cast<double>(cycles::CreateObjectCost(64, 0));
+  state.counters["create_64B_us"] = ToUs(cycles::CreateObjectCost(64, 0));
+  state.counters["paper_us"] = 80.0;
+}
+BENCHMARK(BM_ModelCalibration)->Iterations(1);
+
+}  // namespace
+}  // namespace imax432
+
+BENCHMARK_MAIN();

@@ -1,0 +1,187 @@
+// E10 — Implicit hardware dispatching (paper §2, §5).
+//
+// Claims: "ready processes are dispatched on processors automatically by the hardware via
+// algorithms that involve processor, process, and dispatching port objects" and "All
+// hardware operations involving a process object occur implicitly, as the result of such
+// events as time-slice end and successful message communications."
+//
+// Rows reported:
+//   - DispatchLatency      : ready-to-running time on an idle processor
+//   - ReadyQueueDepth      : dispatch behaviour as the ready queue grows (priority port)
+//   - TimeSliceOverhead    : throughput tax of shorter slices (more implicit switches)
+//   - WakeupOnMessage      : blocked-to-running on a message arrival
+
+#include "bench/bench_util.h"
+
+namespace imax432 {
+namespace {
+
+using bench::DefaultConfig;
+using bench::MakeCarrier;
+using bench::ToUs;
+
+void BM_DispatchLatency(benchmark::State& state) {
+  double us = 0;
+  for (auto _ : state) {
+    System system(DefaultConfig(1));
+    system.Run();  // processor idles at the dispatching port
+    Assembler a("unit");
+    a.Halt();
+    Cycles before = system.now();
+    auto process = system.Spawn(a.Build());
+    IMAX_CHECK(process.ok());
+    system.Run();
+    // Ready -> bound -> first (and only) instruction -> terminated.
+    us = ToUs(system.now() - before);
+  }
+  state.counters["ready_to_done_us"] = us;
+  state.counters["model_dispatch_cycles"] = static_cast<double>(cycles::kDispatch);
+}
+BENCHMARK(BM_DispatchLatency)->Iterations(1);
+
+void BM_ReadyQueueDepth(benchmark::State& state) {
+  int ready = static_cast<int>(state.range(0));
+  double us_per_dispatch = 0;
+  for (auto _ : state) {
+    System system(DefaultConfig(1));
+    Assembler a("unit");
+    a.Compute(100).Halt();
+    Cycles before = system.now();
+    for (int i = 0; i < ready; ++i) {
+      IMAX_CHECK(system.Spawn(a.Build()).ok());
+    }
+    system.Run();
+    us_per_dispatch = ToUs(system.now() - before) / ready;
+  }
+  // Flat in queue depth: the dispatching port is a hardware queue, not a scheduler scan.
+  state.counters["ready_processes"] = ready;
+  state.counters["us_per_dispatch"] = us_per_dispatch;
+}
+BENCHMARK(BM_ReadyQueueDepth)->Arg(1)->Arg(8)->Arg(32)->Arg(128)->Iterations(1);
+
+void BM_TimeSliceOverhead(benchmark::State& state) {
+  Cycles slice = static_cast<Cycles>(state.range(0));
+  double throughput_tax = 0;
+  uint64_t slice_ends = 0;
+  for (auto _ : state) {
+    SystemConfig config = DefaultConfig(1);
+    config.machine.time_slice = slice;
+    System system(config);
+    auto make_spinner = [] {
+      Assembler a("spin");
+      auto loop = a.NewLabel();
+      a.LoadImm(0, 0).LoadImm(1, 500).Bind(loop).Compute(400).AddImm(0, 0, 1).BranchIfLess(
+          0, 1, loop);
+      a.Halt();
+      return a.Build();
+    };
+    for (int i = 0; i < 4; ++i) {
+      IMAX_CHECK(system.Spawn(make_spinner()).ok());
+    }
+    system.Run();
+    Cycles with_slicing = system.now();
+    slice_ends = system.kernel().stats().time_slice_ends;
+
+    // Reference: one huge slice (no implicit switches).
+    SystemConfig reference_config = DefaultConfig(1);
+    reference_config.machine.time_slice = ~Cycles{0} >> 1;
+    System reference(reference_config);
+    for (int i = 0; i < 4; ++i) {
+      IMAX_CHECK(reference.Spawn(make_spinner()).ok());
+    }
+    reference.Run();
+    throughput_tax = static_cast<double>(with_slicing) /
+                         static_cast<double>(reference.now()) -
+                     1.0;
+  }
+  state.counters["slice_us"] = ToUs(slice);
+  state.counters["time_slice_ends"] = static_cast<double>(slice_ends);
+  state.counters["throughput_tax"] = throughput_tax;
+}
+BENCHMARK(BM_TimeSliceOverhead)->Arg(2000)->Arg(8000)->Arg(32000)->Arg(80000)->Iterations(1);
+
+void BM_WakeupOnMessage(benchmark::State& state) {
+  double us = 0;
+  for (auto _ : state) {
+    System system(DefaultConfig(1));
+    auto port = system.kernel().ports().CreatePort(system.memory().global_heap(), 4,
+                                                   QueueDiscipline::kFifo);
+    IMAX_CHECK(port.ok());
+    AccessDescriptor carrier = MakeCarrier(system, {port.value()});
+    Assembler waiter("waiter");
+    waiter.MoveAd(1, kArgAdReg).LoadAd(2, 1, 0).Receive(3, 2).Halt();
+    ProcessOptions options;
+    options.initial_arg = carrier;
+    auto process = system.Spawn(waiter.Build(), options);
+    IMAX_CHECK(process.ok());
+    system.Run();  // waiter blocks
+    IMAX_CHECK(system.kernel().process_view(process.value()).state() ==
+               ProcessState::kBlocked);
+    Cycles before = system.now();
+    IMAX_CHECK(system.kernel().PostMessage(port.value(), system.memory().global_heap()).ok());
+    system.Run();
+    us = ToUs(system.now() - before);
+  }
+  // "successful message communications" put the process back in the mix implicitly.
+  state.counters["message_to_done_us"] = us;
+}
+BENCHMARK(BM_WakeupOnMessage)->Iterations(1);
+
+// Ablation: the dispatching port's service discipline. Under FIFO an urgent arrival waits
+// behind the whole backlog; under the hardware's priority discipline it runs next. This is
+// the design-choice behind the default priority dispatching port.
+void BM_DispatchDisciplineAblation(benchmark::State& state) {
+  auto discipline = static_cast<QueueDiscipline>(state.range(0));
+  double urgent_wait_us = 0;
+  for (auto _ : state) {
+    SystemConfig config = DefaultConfig(1);
+    config.start_gc_daemon = false;
+    System system(config);
+    auto& kernel = system.kernel();
+
+    // A dedicated dispatch port with the chosen discipline, and one processor on it.
+    auto dispatch_port = kernel.ports().CreatePort(system.memory().global_heap(), 256,
+                                                   discipline);
+    IMAX_CHECK(dispatch_port.ok());
+    IMAX_CHECK(kernel.AddProcessors(1, dispatch_port.value()).ok());
+
+    // Backlog: 16 low-priority spinners.
+    auto make_worker = [](Cycles work) {
+      Assembler a("w");
+      a.Compute(work).Halt();
+      return a.Build();
+    };
+    for (int i = 0; i < 16; ++i) {
+      ProcessOptions options;
+      options.priority = 10;
+      options.dispatch_port = dispatch_port.value();
+      IMAX_CHECK(system.Spawn(make_worker(20000), options).ok());
+    }
+    // The urgent arrival.
+    auto carrier = bench::MakeCarrier(system, {});
+    Assembler urgent("urgent");
+    urgent.MoveAd(1, kArgAdReg).OsCall(os_service::kGetTime).StoreData(1, 7, 0, 8).Halt();
+    ProcessOptions options;
+    options.priority = 240;
+    options.dispatch_port = dispatch_port.value();
+    options.initial_arg = carrier;
+    Cycles submitted = system.now();
+    auto process = system.Spawn(urgent.Build(), options);
+    IMAX_CHECK(process.ok());
+    system.Run();
+    uint64_t started =
+        system.machine().addressing().ReadData(carrier, 0, 8).value();
+    urgent_wait_us = ToUs(started - submitted);
+  }
+  state.counters["discipline"] = state.range(0);
+  state.counters["urgent_start_latency_us"] = urgent_wait_us;
+}
+BENCHMARK(BM_DispatchDisciplineAblation)
+    ->Arg(static_cast<int>(QueueDiscipline::kFifo))
+    ->Arg(static_cast<int>(QueueDiscipline::kPriority))
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace imax432
+
+BENCHMARK_MAIN();

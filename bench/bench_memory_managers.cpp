@@ -1,0 +1,134 @@
+// E8 — Swapping vs non-swapping memory managers behind one specification (paper §6.2).
+//
+// Claims: "A single Ada specification defines the common interface. ... Both a swapping and
+// a non-swapping implementation meet this specification but are optimized internally to the
+// level of function they provide. ... The system is configured by selecting one of the
+// alternate implementations; most applications will not be affected by this selection."
+//
+// The experiment runs a working-set workload at three pressures:
+//   - fits in memory : both managers identical (the transparency claim)
+//   - near capacity  : swapping pays a small residency tax
+//   - over capacity  : non-swapping fails with kStorageExhausted; swapping completes,
+//                      paying the backing-store transfer time
+// Reported: completion, virtual makespan, swap traffic.
+
+#include "bench/bench_util.h"
+
+namespace imax432 {
+namespace {
+
+using bench::MakeCarrier;
+using bench::ToUs;
+
+struct WorkloadResult {
+  bool completed = false;
+  Fault fault = Fault::kNone;
+  Cycles makespan = 0;
+  uint64_t swap_ins = 0;
+  uint64_t swap_outs = 0;
+};
+
+// Allocates `objects` of 16 KB each and sweeps over them `passes` times touching each.
+WorkloadResult RunWorkingSet(MemoryManagerKind kind, int objects, int passes) {
+  SystemConfig config;
+  config.processors = 1;
+  config.machine.memory_bytes = 256 * 1024;  // tight physical memory
+  config.machine.object_table_capacity = 4096;
+  config.memory_manager = kind;
+  config.start_gc_daemon = false;
+  System system(config);
+
+  // Holder with one slot per object plus the heap.
+  auto holder = system.memory().CreateObject(
+      system.memory().global_heap(), SystemType::kGeneric, 8,
+      static_cast<uint32_t>(objects) + 1, rights::kRead | rights::kWrite);
+  IMAX_CHECK(holder.ok());
+  IMAX_CHECK(system.machine()
+                 .addressing()
+                 .WriteAd(holder.value(), static_cast<uint32_t>(objects),
+                          system.memory().global_heap())
+                 .ok());
+
+  Assembler a("working-set");
+  a.MoveAd(1, kArgAdReg).LoadAd(2, 1, static_cast<uint32_t>(objects));
+  // Allocation phase.
+  auto alloc_loop = a.NewLabel();
+  a.LoadImm(0, 0).LoadImm(1, static_cast<uint64_t>(objects)).Bind(alloc_loop);
+  a.CreateObject(3, 2, 16 * 1024);
+  a.StoreAdIndexed(1, 3, 0);  // holder[r0] = object
+  a.AddImm(0, 0, 1).BranchIfLess(0, 1, alloc_loop);
+  // Sweep phase: touch every object, `passes` times.
+  auto pass_loop = a.NewLabel();
+  auto touch_loop = a.NewLabel();
+  a.LoadImm(2, 0).LoadImm(3, static_cast<uint64_t>(passes)).Bind(pass_loop);
+  a.LoadImm(0, 0).Bind(touch_loop);
+  a.LoadAdIndexed(3, 1, 0);
+  a.LoadData(4, 3, 0, 8);
+  a.AddImm(4, 4, 1);
+  a.StoreData(3, 4, 0, 8);
+  a.AddImm(0, 0, 1).BranchIfLess(0, 1, touch_loop);
+  a.AddImm(2, 2, 1);
+  a.BranchIfLess(2, 3, pass_loop);
+  a.Halt();
+
+  ProcessOptions options;
+  options.initial_arg = holder.value();
+  auto process = system.Spawn(a.Build(), options);
+  IMAX_CHECK(process.ok());
+  system.Run();
+
+  WorkloadResult result;
+  ProcessView view = system.kernel().process_view(process.value());
+  result.completed = view.state() == ProcessState::kTerminated &&
+                     view.fault_code() == Fault::kNone;
+  result.fault = view.fault_code();
+  result.makespan = system.now();
+  result.swap_ins = system.memory().stats().swap_ins;
+  result.swap_outs = system.memory().stats().swap_outs;
+  return result;
+}
+
+void ManagerBench(benchmark::State& state, MemoryManagerKind kind) {
+  int objects = static_cast<int>(state.range(0));
+  WorkloadResult result;
+  for (auto _ : state) {
+    result = RunWorkingSet(kind, objects, /*passes=*/3);
+  }
+  state.counters["working_set_kb"] = objects * 16;
+  state.counters["physical_kb"] = 256;
+  state.counters["completed"] = result.completed ? 1 : 0;
+  state.counters["fault"] = static_cast<double>(result.fault);
+  state.counters["makespan_ms"] = ToUs(result.makespan) / 1000.0;
+  state.counters["swap_ins"] = static_cast<double>(result.swap_ins);
+  state.counters["swap_outs"] = static_cast<double>(result.swap_outs);
+}
+
+void BM_NonSwapping(benchmark::State& state) {
+  ManagerBench(state, MemoryManagerKind::kNonSwapping);
+}
+void BM_Swapping(benchmark::State& state) {
+  ManagerBench(state, MemoryManagerKind::kSwapping);
+}
+
+// Working sets: 8 objects = 128 KB (fits), 13 = 208 KB (near the ~230 KB usable), 24 =
+// 384 KB (over capacity: only the swapping manager completes).
+BENCHMARK(BM_NonSwapping)->Arg(8)->Arg(13)->Arg(24)->Iterations(1);
+BENCHMARK(BM_Swapping)->Arg(8)->Arg(13)->Arg(24)->Iterations(1);
+
+// Thrash curve: the swapping manager's cost as the working set grows past memory.
+void BM_SwappingThrashCurve(benchmark::State& state) {
+  int objects = static_cast<int>(state.range(0));
+  WorkloadResult result;
+  for (auto _ : state) {
+    result = RunWorkingSet(MemoryManagerKind::kSwapping, objects, /*passes=*/3);
+  }
+  state.counters["working_set_kb"] = objects * 16;
+  state.counters["makespan_ms"] = ToUs(result.makespan) / 1000.0;
+  state.counters["swap_ins_per_pass"] = static_cast<double>(result.swap_ins) / 3.0;
+}
+BENCHMARK(BM_SwappingThrashCurve)->Arg(8)->Arg(12)->Arg(16)->Arg(20)->Arg(28)->Iterations(1);
+
+}  // namespace
+}  // namespace imax432
+
+BENCHMARK_MAIN();

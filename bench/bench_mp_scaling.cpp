@@ -1,0 +1,134 @@
+// E3 — Multiprocessor scaling (paper §3).
+//
+// Claim: "With the bussing schemes designed for the 432, a factor of 10 in total processing
+// power of a single 432 system is realizable."
+//
+// The experiment sweeps 1..16 GDPs over three workload mixes on a single-channel
+// interconnect, then shows the effect of adding bus channels:
+//   - ComputeHeavy : long microcoded operations, little memory traffic -> near-linear
+//   - Mixed       : a realistic object-program mix -> saturates around the paper's factor
+//   - BusHeavy    : memory-traffic dominated -> saturates early (the interconnect wall)
+//   - Channels    : the mixed workload at 16 GDPs vs interconnect channel count
+// Reported per row: speedup over 1 GDP, bus utilization, processor utilization.
+
+#include "bench/bench_util.h"
+
+namespace imax432 {
+namespace {
+
+using bench::DefaultConfig;
+using bench::MakeCarrier;
+
+enum class Mix { kComputeHeavy, kMixed, kBusHeavy };
+
+// One worker: `iterations` rounds of (compute burst + data-part traffic).
+ProgramRef MakeWorker(Mix mix, int iterations) {
+  Assembler a("worker");
+  auto loop = a.NewLabel();
+  a.MoveAd(1, kArgAdReg)      // a1 = carrier
+      .LoadAd(2, 1, 0)        // a2 = heap
+      .CreateObject(3, 2, 512)
+      .LoadImm(0, 0)
+      .LoadImm(1, static_cast<uint64_t>(iterations))
+      .Bind(loop);
+  switch (mix) {
+    case Mix::kComputeHeavy:
+      a.Compute(800);
+      a.LoadData(2, 3, 0, 8);
+      break;
+    case Mix::kMixed:
+      a.Compute(200);
+      for (int i = 0; i < 4; ++i) {
+        a.LoadData(2, 3, static_cast<uint32_t>(i * 8), 8);
+        a.StoreData(3, 2, static_cast<uint32_t>(i * 8 + 64), 8);
+      }
+      break;
+    case Mix::kBusHeavy:
+      for (int i = 0; i < 10; ++i) {
+        a.LoadData(2, 3, static_cast<uint32_t>(i * 8), 8);
+        a.StoreData(3, 2, static_cast<uint32_t>(i * 8 + 128), 8);
+      }
+      break;
+  }
+  a.AddImm(0, 0, 1).BranchIfLess(0, 1, loop).Halt();
+  return a.Build();
+}
+
+struct ScalingResult {
+  Cycles makespan = 0;
+  double bus_utilization = 0;
+  double processor_utilization = 0;
+};
+
+ScalingResult RunWorkload(int processors, int bus_channels, Mix mix, int workers,
+                          int iterations) {
+  SystemConfig config = DefaultConfig(processors);
+  config.machine.bus_channels = bus_channels;
+  System system(config);
+
+  AccessDescriptor carrier = MakeCarrier(system, {system.memory().global_heap()});
+  ProcessOptions options;
+  options.initial_arg = carrier;
+  for (int i = 0; i < workers; ++i) {
+    auto process = system.Spawn(MakeWorker(mix, iterations), options);
+    IMAX_CHECK(process.ok());
+  }
+  system.Run();
+
+  ScalingResult result;
+  result.makespan = system.now();
+  result.bus_utilization = system.machine().bus().Utilization(system.now());
+  Cycles busy = system.kernel().TotalBusyCycles();
+  result.processor_utilization =
+      static_cast<double>(busy) /
+      (static_cast<double>(system.now()) * static_cast<double>(processors));
+  return result;
+}
+
+void ScalingBench(benchmark::State& state, Mix mix) {
+  int processors = static_cast<int>(state.range(0));
+  constexpr int kWorkers = 32;
+  constexpr int kIterations = 120;
+
+  ScalingResult result;
+  for (auto _ : state) {
+    result = RunWorkload(processors, /*bus_channels=*/1, mix, kWorkers, kIterations);
+  }
+  ScalingResult baseline = RunWorkload(1, 1, mix, kWorkers, kIterations);
+
+  state.counters["processors"] = processors;
+  state.counters["speedup"] =
+      static_cast<double>(baseline.makespan) / static_cast<double>(result.makespan);
+  state.counters["bus_util"] = result.bus_utilization;
+  state.counters["cpu_util"] = result.processor_utilization;
+}
+
+void BM_ComputeHeavy(benchmark::State& state) { ScalingBench(state, Mix::kComputeHeavy); }
+void BM_Mixed(benchmark::State& state) { ScalingBench(state, Mix::kMixed); }
+void BM_BusHeavy(benchmark::State& state) { ScalingBench(state, Mix::kBusHeavy); }
+
+BENCHMARK(BM_ComputeHeavy)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(12)->Arg(16)->Iterations(1);
+BENCHMARK(BM_Mixed)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(12)->Arg(16)->Iterations(1);
+BENCHMARK(BM_BusHeavy)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(12)->Arg(16)->Iterations(1);
+
+// The bussing-scheme variable: same mixed workload on 16 GDPs, more interconnect channels.
+void BM_MixedBusChannels(benchmark::State& state) {
+  int channels = static_cast<int>(state.range(0));
+  constexpr int kWorkers = 32;
+  constexpr int kIterations = 120;
+  ScalingResult result;
+  for (auto _ : state) {
+    result = RunWorkload(16, channels, Mix::kMixed, kWorkers, kIterations);
+  }
+  ScalingResult baseline = RunWorkload(1, 1, Mix::kMixed, kWorkers, kIterations);
+  state.counters["bus_channels"] = channels;
+  state.counters["speedup_at_16p"] =
+      static_cast<double>(baseline.makespan) / static_cast<double>(result.makespan);
+  state.counters["bus_util"] = result.bus_utilization;
+}
+BENCHMARK(BM_MixedBusChannels)->Arg(1)->Arg(2)->Arg(4)->Iterations(1);
+
+}  // namespace
+}  // namespace imax432
+
+BENCHMARK_MAIN();

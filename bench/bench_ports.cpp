@@ -1,0 +1,202 @@
+// E5 — Port mechanism performance (paper §4, figures 1-2).
+//
+// Send and Receive "will correspond to single instructions"; blocking semantics come from
+// the hardware port algorithms. This experiment characterizes the mechanism:
+//   - one-way message latency through a port between two processes,
+//   - throughput vs queue capacity (deeper queues decouple producer and consumer),
+//   - service disciplines: FIFO vs priority vs deadline ordering under contention,
+//   - fan-in: many producers, one consumer.
+
+#include "bench/bench_util.h"
+
+namespace imax432 {
+namespace {
+
+using bench::DefaultConfig;
+using bench::MakeCarrier;
+using bench::ToUs;
+
+// Producer/consumer pair exchanging `messages` through a port of the given capacity on
+// `processors` GDPs; returns total virtual cycles.
+Cycles RunProducerConsumer(uint16_t capacity, int messages, int processors,
+                           int producers = 1) {
+  System system(DefaultConfig(processors));
+  auto port = system.kernel().ports().CreatePort(system.memory().global_heap(), capacity,
+                                                 QueueDiscipline::kFifo);
+  IMAX_CHECK(port.ok());
+  AccessDescriptor carrier =
+      MakeCarrier(system, {port.value(), system.memory().global_heap()});
+
+  int per_producer = messages / producers;
+  for (int p = 0; p < producers; ++p) {
+    Assembler producer("producer");
+    auto loop = producer.NewLabel();
+    producer.MoveAd(1, kArgAdReg)
+        .LoadAd(2, 1, 0)
+        .LoadAd(3, 1, 1)
+        .CreateObject(4, 3, 32)  // one message object, reused every round
+        .LoadImm(0, 0)
+        .LoadImm(1, static_cast<uint64_t>(per_producer))
+        .Bind(loop)
+        .Send(2, 4)
+        .AddImm(0, 0, 1)
+        .BranchIfLess(0, 1, loop)
+        .Halt();
+    ProcessOptions options;
+    options.initial_arg = carrier;
+    IMAX_CHECK(system.Spawn(producer.Build(), options).ok());
+  }
+
+  Assembler consumer("consumer");
+  auto loop = consumer.NewLabel();
+  consumer.MoveAd(1, kArgAdReg)
+      .LoadAd(2, 1, 0)
+      .LoadImm(0, 0)
+      .LoadImm(1, static_cast<uint64_t>(per_producer * producers))
+      .Bind(loop)
+      .Receive(4, 2)
+      .AddImm(0, 0, 1)
+      .BranchIfLess(0, 1, loop)
+      .Halt();
+  ProcessOptions options;
+  options.initial_arg = carrier;
+  IMAX_CHECK(system.Spawn(consumer.Build(), options).ok());
+
+  system.Run();
+  return system.now();
+}
+
+void BM_MessageThroughputByCapacity(benchmark::State& state) {
+  uint16_t capacity = static_cast<uint16_t>(state.range(0));
+  constexpr int kMessages = 2000;
+  Cycles makespan = 0;
+  for (auto _ : state) {
+    makespan = RunProducerConsumer(capacity, kMessages, /*processors=*/2);
+  }
+  state.counters["queue_capacity"] = capacity;
+  state.counters["us_per_message"] = ToUs(makespan) / kMessages;
+  state.counters["messages_per_virtual_sec"] =
+      kMessages / (ToUs(makespan) / 1e6);
+}
+BENCHMARK(BM_MessageThroughputByCapacity)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Iterations(1);
+
+void BM_FanIn(benchmark::State& state) {
+  int producers = static_cast<int>(state.range(0));
+  constexpr int kMessages = 2400;
+  Cycles makespan = 0;
+  for (auto _ : state) {
+    makespan = RunProducerConsumer(/*capacity=*/8, kMessages, /*processors=*/4, producers);
+  }
+  state.counters["producers"] = producers;
+  state.counters["us_per_message"] = ToUs(makespan) / kMessages;
+}
+BENCHMARK(BM_FanIn)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Iterations(1);
+
+// One-way handoff latency: receiver blocks first, sender wakes it — the direct-handoff fast
+// path of the hardware algorithms.
+void BM_HandoffLatency(benchmark::State& state) {
+  double us = 0;
+  for (auto _ : state) {
+    System system(DefaultConfig(2));
+    auto port = system.kernel().ports().CreatePort(system.memory().global_heap(), 4,
+                                                   QueueDiscipline::kFifo);
+    IMAX_CHECK(port.ok());
+    AccessDescriptor carrier =
+        MakeCarrier(system, {port.value(), system.memory().global_heap()});
+
+    Assembler receiver("receiver");
+    receiver.MoveAd(1, kArgAdReg).LoadAd(2, 1, 0).Receive(3, 2).Halt();
+    Assembler sender("sender");
+    sender.MoveAd(1, kArgAdReg)
+        .LoadAd(2, 1, 0)
+        .LoadAd(3, 1, 1)
+        .CreateObject(4, 3, 16)
+        .Send(2, 4)
+        .Halt();
+    ProcessOptions options;
+    options.initial_arg = carrier;
+    auto rx = system.Spawn(receiver.Build(), options);
+    IMAX_CHECK(rx.ok());
+    system.Run();  // receiver blocks
+    Cycles blocked_at = system.now();
+    auto tx = system.Spawn(sender.Build(), options);
+    IMAX_CHECK(tx.ok());
+    system.Run();
+    us = ToUs(system.now() - blocked_at);
+    IMAX_CHECK(system.kernel().process_view(rx.value()).state() ==
+               ProcessState::kTerminated);
+  }
+  state.counters["wakeup_to_done_us"] = us;
+  state.counters["direct_handoffs"] = 1;
+}
+BENCHMARK(BM_HandoffLatency)->Iterations(1);
+
+// Service disciplines: three senders of different priority/deadline fill a port while no
+// receiver runs; the dequeue order is the discipline's. Reported as the rank of the
+// "urgent" sender's message (0 = served first).
+void BM_QueueDiscipline(benchmark::State& state) {
+  QueueDiscipline discipline = static_cast<QueueDiscipline>(state.range(0));
+  int urgent_rank = -1;
+  for (auto _ : state) {
+    System system(DefaultConfig(1));
+    auto port = system.kernel().ports().CreatePort(system.memory().global_heap(), 8,
+                                                   discipline);
+    IMAX_CHECK(port.ok());
+    AccessDescriptor carrier =
+        MakeCarrier(system, {port.value(), system.memory().global_heap()});
+
+    // Three senders: ordinary, ordinary, urgent (high priority / near deadline). Spawned
+    // in this order so FIFO would serve urgent last.
+    struct Sender {
+      uint8_t priority;
+      uint32_t deadline;
+      uint64_t tag;
+    };
+    Sender senders[] = {{100, 9000, 1}, {100, 8000, 2}, {220, 100, 3}};
+    for (const Sender& s : senders) {
+      Assembler a("sender");
+      a.MoveAd(1, kArgAdReg)
+          .LoadAd(2, 1, 0)
+          .LoadAd(3, 1, 1)
+          .CreateObject(4, 3, 16)
+          .LoadImm(0, s.tag)
+          .StoreData(4, 0, 0, 8)
+          .Send(2, 4)
+          .Halt();
+      ProcessOptions options;
+      options.initial_arg = carrier;
+      options.priority = s.priority;
+      options.deadline = s.deadline;
+      IMAX_CHECK(system.Spawn(a.Build(), options).ok());
+      system.Run();  // run each sender to completion before the next (fixed arrival order)
+    }
+
+    // Dequeue and find the urgent message's rank.
+    for (int rank = 0; rank < 3; ++rank) {
+      auto message = system.kernel().ports().Dequeue(port.value());
+      IMAX_CHECK(message.ok());
+      auto tag = system.machine().addressing().ReadData(message.value(), 0, 8);
+      if (tag.ok() && tag.value() == 3) {
+        urgent_rank = rank;
+      }
+    }
+  }
+  state.counters["discipline"] = state.range(0);
+  state.counters["urgent_served_rank"] = urgent_rank;  // FIFO: 2; priority/deadline: 0
+}
+BENCHMARK(BM_QueueDiscipline)
+    ->Arg(static_cast<int>(QueueDiscipline::kFifo))
+    ->Arg(static_cast<int>(QueueDiscipline::kPriority))
+    ->Arg(static_cast<int>(QueueDiscipline::kDeadline))
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace imax432
+
+BENCHMARK_MAIN();

@@ -1,0 +1,156 @@
+// E7 — Nested start/stop over process trees (paper §6.1).
+//
+// Claims: start/stop "apply to entire trees" without the controller knowing the tree's
+// structure; transitions in and out of the dispatching mix are sent to the process's
+// scheduler, which "can then make resource decisions by regarding it as an individual
+// process without concern for the logical structure of a computation of which it is a
+// part."
+//
+// Rows reported:
+//   - StopStartByTreeSize : us per tree-wide stop+start vs number of processes
+//   - SchedulerMediationCost : transition cost with and without a scheduler port
+//   - NotificationsScaleWithTransitions : scheduler sees one message per transition,
+//     independent of how many redundant stop/start requests were applied
+
+#include "bench/bench_util.h"
+#include "src/os/process_manager.h"
+#include "src/os/schedulers.h"
+
+namespace imax432 {
+namespace {
+
+using bench::DefaultConfig;
+using bench::ToUs;
+
+ProgramRef Spinner() {
+  Assembler a("spinner");
+  auto loop = a.NewLabel();
+  a.LoadImm(0, 0).LoadImm(1, 1u << 30).Bind(loop).Compute(100).AddImm(0, 0, 1).BranchIfLess(
+      0, 1, loop);
+  a.Halt();
+  return a.Build();
+}
+
+// Builds a balanced tree of `size` processes under one root; returns the root.
+AccessDescriptor BuildTree(System& system, BasicProcessManager& manager, int size,
+                           const AccessDescriptor& scheduler_port = {}) {
+  ProcessOptions root_options;
+  root_options.scheduler_port = scheduler_port;
+  auto root = manager.Create(Spinner(), root_options);
+  IMAX_CHECK(root.ok());
+  std::vector<AccessDescriptor> frontier = {root.value()};
+  int created = 1;
+  size_t parent_cursor = 0;
+  while (created < size) {
+    ProcessOptions options;
+    options.parent = frontier[parent_cursor];
+    options.scheduler_port = scheduler_port;
+    auto child = manager.Create(Spinner(), options);
+    IMAX_CHECK(child.ok());
+    frontier.push_back(child.value());
+    ++created;
+    // Two children per parent.
+    if (created % 2 == 0) {
+      ++parent_cursor;
+    }
+  }
+  return root.value();
+}
+
+void BM_StopStartByTreeSize(benchmark::State& state) {
+  int size = static_cast<int>(state.range(0));
+  double stop_us = 0;
+  double start_us = 0;
+  uint64_t transitions = 0;
+  for (auto _ : state) {
+    System system(DefaultConfig(2));
+    BasicProcessManager manager(&system.kernel());
+    AccessDescriptor root = BuildTree(system, manager, size);
+    IMAX_CHECK(manager.Start(root).ok());
+    system.RunUntil(system.now() + 20000);
+
+    Cycles t0 = system.now();
+    IMAX_CHECK(manager.Stop(root).ok());
+    system.Run();  // drain until everything parks
+    Cycles t1 = system.now();
+    IMAX_CHECK(manager.Start(root).ok());
+    system.RunUntil(system.now() + 20000);
+    Cycles t2 = system.now();
+    stop_us = ToUs(t1 - t0);
+    start_us = ToUs(t2 - t1);
+    transitions = manager.stats().transitions;
+  }
+  state.counters["tree_size"] = size;
+  state.counters["stop_tree_us"] = stop_us;
+  state.counters["restart_window_us"] = start_us;
+  state.counters["transitions"] = static_cast<double>(transitions);
+}
+BENCHMARK(BM_StopStartByTreeSize)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Iterations(1);
+
+void BM_SchedulerMediation(benchmark::State& state) {
+  bool mediated = state.range(0) != 0;
+  constexpr int kTransitionRounds = 20;
+  double us_per_round = 0;
+  uint64_t scheduler_messages = 0;
+  for (auto _ : state) {
+    System system(DefaultConfig(2));
+    BasicProcessManager manager(&system.kernel());
+    AccessDescriptor scheduler_port;
+    SchedulerStats sched_stats;
+    if (mediated) {
+      auto scheduler = SpawnPassThroughScheduler(&system.kernel(), &manager, &sched_stats);
+      IMAX_CHECK(scheduler.ok());
+      scheduler_port = scheduler.value().port;
+    }
+    AccessDescriptor root = BuildTree(system, manager, 4, scheduler_port);
+    IMAX_CHECK(manager.Start(root).ok());
+    system.RunUntil(system.now() + 20000);
+
+    Cycles t0 = system.now();
+    for (int round = 0; round < kTransitionRounds; ++round) {
+      IMAX_CHECK(manager.Stop(root).ok());
+      system.RunUntil(system.now() + 30000);
+      IMAX_CHECK(manager.Start(root).ok());
+      system.RunUntil(system.now() + 30000);
+    }
+    us_per_round = ToUs(system.now() - t0) / kTransitionRounds;
+    scheduler_messages = manager.stats().scheduler_notifications;
+  }
+  state.counters["scheduler_mediated"] = mediated ? 1 : 0;
+  state.counters["us_per_stop_start_round"] = us_per_round;
+  state.counters["scheduler_notifications"] = static_cast<double>(scheduler_messages);
+}
+BENCHMARK(BM_SchedulerMediation)->Arg(0)->Arg(1)->Iterations(1);
+
+void BM_RedundantRequestsAreCheap(benchmark::State& state) {
+  // Nested counts: extra stops on an already-stopped tree must not generate scheduler
+  // traffic ("Control requests can be passed through a process scheduler ... without being
+  // tracked").
+  uint64_t transitions = 0;
+  uint64_t requests = 0;
+  for (auto _ : state) {
+    System system(DefaultConfig(1));
+    BasicProcessManager manager(&system.kernel());
+    AccessDescriptor root = BuildTree(system, manager, 8);
+    IMAX_CHECK(manager.Start(root).ok());
+    system.RunUntil(system.now() + 20000);
+    for (int i = 0; i < 10; ++i) {
+      IMAX_CHECK(manager.Stop(root).ok());  // only the first one transitions
+      ++requests;
+    }
+    system.Run();
+    for (int i = 0; i < 10; ++i) {
+      IMAX_CHECK(manager.Start(root).ok());  // only the last one transitions
+      ++requests;
+    }
+    transitions = manager.stats().transitions;
+  }
+  state.counters["tree_requests"] = static_cast<double>(requests);
+  state.counters["individual_transitions"] = static_cast<double>(transitions);
+}
+BENCHMARK(BM_RedundantRequestsAreCheap)->Iterations(1);
+
+}  // namespace
+}  // namespace imax432
+
+BENCHMARK_MAIN();

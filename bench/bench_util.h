@@ -1,0 +1,49 @@
+// Shared helpers for the experiment benchmarks.
+//
+// Every benchmark runs a fresh simulated system and reports *virtual-time* metrics (the
+// machine's own cycle clock at 8 MHz) through benchmark counters; host wall-time columns are
+// meaningless for these experiments and should be ignored. Each benchmark uses exactly one
+// iteration: the simulation is deterministic, so repetition adds nothing.
+
+#ifndef IMAX432_BENCH_BENCH_UTIL_H_
+#define IMAX432_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/os/system.h"
+
+namespace imax432::bench {
+
+inline SystemConfig DefaultConfig(int processors = 1) {
+  SystemConfig config;
+  config.processors = processors;
+  config.machine.memory_bytes = 8 * 1024 * 1024;
+  config.machine.object_table_capacity = 65536;
+  config.start_gc_daemon = false;  // benches that need the daemon start it explicitly
+  return config;
+}
+
+// Creates a carrier object whose access slots hand ADs into a program (the standard way the
+// benches pass ports/SROs to workload processes).
+inline AccessDescriptor MakeCarrier(System& system, const std::vector<AccessDescriptor>& ads,
+                                    uint32_t data_bytes = 64) {
+  auto carrier = system.memory().CreateObject(
+      system.memory().global_heap(), SystemType::kGeneric, data_bytes,
+      static_cast<uint32_t>(ads.size()), rights::kRead | rights::kWrite);
+  IMAX_CHECK(carrier.ok());
+  for (size_t i = 0; i < ads.size(); ++i) {
+    IMAX_CHECK(system.machine()
+                   .addressing()
+                   .WriteAd(carrier.value(), static_cast<uint32_t>(i), ads[i])
+                   .ok());
+  }
+  return carrier.value();
+}
+
+inline double ToUs(Cycles c) { return cycles::ToMicroseconds(c); }
+
+}  // namespace imax432::bench
+
+#endif  // IMAX432_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,65 @@
+// AccessDescriptor: the 432 capability.
+//
+// An AD names an entry in the global object descriptor table and carries rights. The emulator
+// additionally stores the generation counter of the table entry at the time the AD was minted
+// so that use of an AD after its object's table slot was freed and reused raises
+// kInvalidAccess, modelling the hardware's reclamation discipline (the real machine relied on
+// GC to guarantee no dangling ADs; the generation check turns any emulator bug that violates
+// that guarantee into a hard fault instead of silent corruption).
+
+#ifndef IMAX432_SRC_ARCH_ACCESS_DESCRIPTOR_H_
+#define IMAX432_SRC_ARCH_ACCESS_DESCRIPTOR_H_
+
+#include <cstdint>
+
+#include "src/arch/rights.h"
+#include "src/arch/types.h"
+
+namespace imax432 {
+
+class AccessDescriptor {
+ public:
+  // The null AD: "any_access" default; dereferencing it faults with kNullAccess.
+  constexpr AccessDescriptor() = default;
+
+  constexpr AccessDescriptor(ObjectIndex index, uint32_t generation, RightsMask ad_rights)
+      : index_(index), generation_(generation), rights_(ad_rights) {}
+
+  constexpr bool is_null() const { return index_ == kInvalidObjectIndex; }
+  constexpr ObjectIndex index() const { return index_; }
+  constexpr uint32_t generation() const { return generation_; }
+  constexpr RightsMask rights() const { return rights_; }
+
+  constexpr bool HasRights(RightsMask required) const {
+    return rights::Has(rights_, required);
+  }
+
+  // Returns a copy of this AD with rights restricted to `keep`. Restriction is the only
+  // unprivileged rights transformation the architecture permits.
+  constexpr AccessDescriptor Restricted(RightsMask keep) const {
+    return AccessDescriptor(index_, generation_, rights::Restrict(rights_, keep));
+  }
+
+  friend constexpr bool operator==(const AccessDescriptor& a, const AccessDescriptor& b) {
+    return a.index_ == b.index_ && a.generation_ == b.generation_ && a.rights_ == b.rights_;
+  }
+
+  // True if both ADs designate the same object, regardless of rights.
+  constexpr bool SameObject(const AccessDescriptor& other) const {
+    return index_ == other.index_ && generation_ == other.generation_ && !is_null();
+  }
+
+ private:
+  ObjectIndex index_ = kInvalidObjectIndex;
+  uint32_t generation_ = 0;
+  RightsMask rights_ = rights::kNone;
+};
+
+// The predefined untyped capability type of the iMAX standard environment: "The type
+// any_access is predefined in the standard environment for the 432 and corresponds to an
+// otherwise untyped access descriptor."
+using AnyAccess = AccessDescriptor;
+
+}  // namespace imax432
+
+#endif  // IMAX432_SRC_ARCH_ACCESS_DESCRIPTOR_H_

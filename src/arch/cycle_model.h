@@ -1,0 +1,95 @@
+// Cycle cost model of the emulated 432.
+//
+// The paper gives two absolute costs for an 8 MHz processor with no-wait-state memory, which
+// calibrate this table exactly:
+//   - "a domain switch on the 432 takes about 65 microseconds"            -> 520 cycles
+//   - "it takes 80 microseconds ... to allocate a segment from an SRO"    -> 640 cycles
+// Every other cost is an estimate scaled relative to those two, chosen to be plausible for
+// the 432's microcoded high-level instructions; EXPERIMENTS.md discusses the calibration.
+//
+// Costs are split into *compute* cycles (local to a processor, perfectly parallel across
+// GDPs) and *bus* cycles (serialized on the shared packet bus / memory interconnect). The
+// split is what produces the multiprocessor saturation behaviour measured in E3.
+
+#ifndef IMAX432_SRC_ARCH_CYCLE_MODEL_H_
+#define IMAX432_SRC_ARCH_CYCLE_MODEL_H_
+
+#include "src/arch/types.h"
+
+namespace imax432 {
+
+namespace cycles {
+
+// Clock: 8 MHz => 8 cycles per microsecond.
+inline constexpr Cycles kPerMicrosecond = 8;
+
+// -- Calibrated by the paper --
+// Inter-domain subprogram call: allocate + initialize a context object from the context SRO,
+// switch the addressing environment. 520 cycles = 65 us.
+inline constexpr Cycles kDomainCall = 520;
+// Segment allocation from an SRO via the create-object instruction. 640 cycles = 80 us.
+inline constexpr Cycles kCreateObjectBase = 640;
+
+// -- Estimates relative to the calibration --
+// Return from a domain call (no allocation: context is released to its SRO free list).
+inline constexpr Cycles kDomainReturn = 280;
+// Intra-domain call (enter a subprogram of the current domain; context still allocated but
+// no domain transition / rights evaluation). The paper notes domain switch cost "compares
+// reasonably with the cost of procedure activation on other contemporary processors".
+inline constexpr Cycles kLocalCall = 220;
+inline constexpr Cycles kLocalReturn = 140;
+// Zeroing / descriptor init beyond the first 128 bytes of a created segment.
+inline constexpr Cycles kCreateObjectPer64Bytes = 4;
+// Explicit destroy (return storage to the SRO free list).
+inline constexpr Cycles kDestroyObject = 180;
+// Port machinery: send / receive as single high-level instructions.
+inline constexpr Cycles kSend = 184;
+inline constexpr Cycles kReceive = 184;
+// Extra work when a send/receive must block: queue the process on the port and re-enter
+// dispatching.
+inline constexpr Cycles kBlockOnPort = 240;
+// Bind a ready process to a processor at a dispatching port.
+inline constexpr Cycles kDispatch = 400;
+// Ordinary data operations.
+inline constexpr Cycles kSimpleOp = 6;           // register-register ALU step
+inline constexpr Cycles kDataAccessBase = 10;    // segment-relative load/store, compute part
+inline constexpr Cycles kAdMove = 24;            // AD copy incl. level check and gray-bit set
+inline constexpr Cycles kBranch = 8;
+// GC daemon work quanta.
+inline constexpr Cycles kGcScanSlot = 12;        // examine one AD slot during marking
+inline constexpr Cycles kGcSweepObject = 20;     // per-object sweep decision
+inline constexpr Cycles kGcFreeObject = 160;     // reclaim storage of one garbage object
+
+// -- Bus (shared interconnect) costs --
+// Cycles the memory interconnect is busy per 32-bit word moved. With no-wait-state memory a
+// word transaction occupies the packet bus for ~4 cycles.
+inline constexpr Cycles kBusPerWord = 4;
+// Bus share of the fixed costs above (descriptor fetches, queue links): approximations.
+inline constexpr Cycles kBusDomainCall = 96;
+inline constexpr Cycles kBusCreateObject = 128;
+inline constexpr Cycles kBusSend = 48;
+inline constexpr Cycles kBusReceive = 48;
+inline constexpr Cycles kBusDispatch = 112;
+inline constexpr Cycles kBusAdMove = 8;
+inline constexpr Cycles kBusDataAccess = 4;
+
+// Default hardware time slice (10 ms at 8 MHz).
+inline constexpr Cycles kDefaultTimeSlice = 80000;
+
+inline constexpr double ToMicroseconds(Cycles c) {
+  return static_cast<double>(c) / static_cast<double>(kPerMicrosecond);
+}
+
+// Cost of the create-object instruction for a segment with `data_bytes` of data part and
+// `access_slots` AD slots.
+inline constexpr Cycles CreateObjectCost(uint32_t data_bytes, uint32_t access_slots) {
+  Cycles total_bytes = data_bytes + access_slots * kAdArchBytes;
+  Cycles extra = total_bytes > 128 ? ((total_bytes - 128) / 64) * kCreateObjectPer64Bytes : 0;
+  return kCreateObjectBase + extra;
+}
+
+}  // namespace cycles
+
+}  // namespace imax432
+
+#endif  // IMAX432_SRC_ARCH_CYCLE_MODEL_H_

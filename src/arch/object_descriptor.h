@@ -1,0 +1,85 @@
+// ObjectDescriptor: one entry of the global object descriptor table.
+//
+// "The one object descriptor for a given segment provides the physical base address and
+// length of the segment, indicates whether the segment contains data or accesses, indicates
+// what type of object it represents, and includes information needed for virtual memory
+// management and parallel garbage collection."
+//
+// In this emulator an object always has both parts; either may be empty. The data part lives
+// in PhysicalMemory at [data_base, data_base + data_length). The access part is held as typed
+// AD slots directly in the descriptor: the hardware's enforced partition between data and
+// access segments means data instructions can never forge or inspect raw AD bits, which the
+// emulator guarantees structurally by never serializing ADs into byte memory.
+
+#ifndef IMAX432_SRC_ARCH_OBJECT_DESCRIPTOR_H_
+#define IMAX432_SRC_ARCH_OBJECT_DESCRIPTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/arch/access_descriptor.h"
+#include "src/arch/types.h"
+
+namespace imax432 {
+
+// Tri-color marking state for the Dijkstra et al. on-the-fly collector. The "gray bit" the
+// 432 hardware sets whenever access descriptors are moved corresponds to the kWhite -> kGray
+// transition performed by the addressing unit on every AD store.
+enum class GcColor : uint8_t {
+  kWhite = 0,  // not yet reached this cycle; candidate garbage at sweep
+  kGray,       // reached but children not yet scanned
+  kBlack,      // reached and fully scanned
+};
+
+struct ObjectDescriptor {
+  bool allocated = false;
+
+  SystemType type = SystemType::kGeneric;
+
+  // Lifetime level: 0 = global. The storing rule (no AD to this object may be stored into an
+  // object of a lower level) is enforced by AddressingUnit::WriteAd.
+  Level level = kGlobalLevel;
+
+  // Data part: physical placement. data_length == 0 for access-only objects.
+  PhysAddr data_base = 0;
+  uint32_t data_length = 0;
+
+  // Access part: typed AD slots (see file comment). access.size() <= kMaxAccessPartSlots.
+  std::vector<AccessDescriptor> access;
+
+  // User type: the TDO that minted this object, or kInvalidObjectIndex for plain objects of
+  // a hardware type. "via the user type definition facilities of the 432 such a guarantee
+  // [type identity] is available to any user defined object type".
+  ObjectIndex type_def = kInvalidObjectIndex;
+
+  // SRO this object was allocated from, so that destroying a local SRO can bulk-reclaim all
+  // objects it created, and so freed storage returns to the right free list.
+  ObjectIndex origin_sro = kInvalidObjectIndex;
+
+  // Garbage collection state.
+  GcColor color = GcColor::kWhite;
+
+  // Set once the destruction filter has seen this object; a finalized object that becomes
+  // garbage again is reclaimed silently (the type manager had its chance to disassemble it).
+  bool finalized = false;
+
+  // Virtual memory state (swapping memory manager only). While swapped_out, the data part
+  // contents live in the backing store at backing_slot and any data access faults with
+  // kSegmentSwapped.
+  bool swapped_out = false;
+  uint32_t backing_slot = 0;
+
+  // Incremented every time this table entry is freed; ADs minted against older generations
+  // fault with kInvalidAccess on use.
+  uint32_t generation = 0;
+
+  // Total architectural bytes charged to the origin SRO for this object (data part plus
+  // kAdArchBytes per access slot), remembered so reclamation returns exactly what was taken.
+  uint32_t storage_claim = 0;
+
+  uint32_t access_count() const { return static_cast<uint32_t>(access.size()); }
+};
+
+}  // namespace imax432
+
+#endif  // IMAX432_SRC_ARCH_OBJECT_DESCRIPTOR_H_

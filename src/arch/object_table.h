@@ -1,0 +1,72 @@
+// ObjectTable: the single global object descriptor table.
+//
+// Every AD in the system names an entry here. The table hands out descriptor slots from a
+// free list, stamps generations on reuse, and is the authority for resolving an AD to its
+// descriptor (with null / liveness / generation checks).
+
+#ifndef IMAX432_SRC_ARCH_OBJECT_TABLE_H_
+#define IMAX432_SRC_ARCH_OBJECT_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/arch/access_descriptor.h"
+#include "src/arch/object_descriptor.h"
+#include "src/arch/types.h"
+#include "src/base/result.h"
+
+namespace imax432 {
+
+class ObjectTable {
+ public:
+  // `capacity` is the maximum number of simultaneously live objects.
+  explicit ObjectTable(uint32_t capacity);
+
+  ObjectTable(const ObjectTable&) = delete;
+  ObjectTable& operator=(const ObjectTable&) = delete;
+
+  // Claims a free descriptor slot and initializes it. Returns kObjectTableFull when no slot
+  // is free. The caller (an SRO) has already placed the data part.
+  Result<ObjectIndex> Allocate(SystemType type, Level level, PhysAddr data_base,
+                               uint32_t data_length, uint32_t access_slots,
+                               ObjectIndex origin_sro, uint32_t storage_claim);
+
+  // Releases a descriptor slot. The slot's generation advances so outstanding ADs die.
+  Status Free(ObjectIndex index);
+
+  // Resolves an AD to its live descriptor. Faults: kNullAccess, kInvalidAccess (bad index,
+  // unallocated slot, or generation mismatch).
+  Result<ObjectDescriptor*> Resolve(const AccessDescriptor& ad);
+  Result<const ObjectDescriptor*> Resolve(const AccessDescriptor& ad) const;
+
+  // Mints an AD for a live descriptor with the given rights. This is a privileged operation:
+  // only object-creating services (SROs, type managers) and the GC's destruction-filter path
+  // ("The garbage collector will manufacture an access descriptor for such objects") call it.
+  Result<AccessDescriptor> MintAd(ObjectIndex index, RightsMask ad_rights) const;
+
+  // Unchecked descriptor access by index for iteration (GC, diagnostics). Index must be
+  // < capacity(); the slot may be unallocated.
+  ObjectDescriptor& At(ObjectIndex index);
+  const ObjectDescriptor& At(ObjectIndex index) const;
+
+  uint32_t capacity() const { return static_cast<uint32_t>(slots_.size()); }
+  uint32_t live_count() const { return live_count_; }
+  uint32_t free_count() const { return capacity() - live_count_; }
+
+  // Lifetime-rule helper: true when an AD for `referenced` may be stored into `container`
+  // ("The hardware ensures that an access for an object may never be stored into an object
+  // with a lower (more global) level number.")
+  static bool StorePermitted(const ObjectDescriptor& container,
+                             const ObjectDescriptor& referenced) {
+    return container.level >= referenced.level;
+  }
+
+ private:
+  std::vector<ObjectDescriptor> slots_;
+  std::vector<ObjectIndex> free_list_;
+  uint32_t live_count_ = 0;
+};
+
+}  // namespace imax432
+
+#endif  // IMAX432_SRC_ARCH_OBJECT_TABLE_H_

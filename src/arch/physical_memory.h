@@ -1,0 +1,81 @@
+// PhysicalMemory: the flat, shared system memory all GDPs see.
+//
+// "iMAX is fundamentally a multiprocessor operating system, providing a tightly coupled
+// environment in which all processors see a single homogeneous memory." Addressing here is
+// purely physical; segment-relative addressing, bounds and rights live in AddressingUnit.
+
+#ifndef IMAX432_SRC_ARCH_PHYSICAL_MEMORY_H_
+#define IMAX432_SRC_ARCH_PHYSICAL_MEMORY_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "src/arch/types.h"
+#include "src/base/result.h"
+
+namespace imax432 {
+
+class PhysicalMemory {
+ public:
+  explicit PhysicalMemory(uint32_t size_bytes) : bytes_(size_bytes, 0) {}
+
+  PhysicalMemory(const PhysicalMemory&) = delete;
+  PhysicalMemory& operator=(const PhysicalMemory&) = delete;
+
+  uint32_t size() const { return static_cast<uint32_t>(bytes_.size()); }
+
+  // Little-endian scalar access (the 432, like the 8086 family, was little-endian).
+  Result<uint64_t> Read(PhysAddr addr, uint32_t width_bytes) const {
+    if (!InRange(addr, width_bytes)) {
+      return Fault::kBoundsViolation;
+    }
+    uint64_t value = 0;
+    std::memcpy(&value, &bytes_[addr], width_bytes);
+    return value;
+  }
+
+  Status Write(PhysAddr addr, uint32_t width_bytes, uint64_t value) {
+    if (!InRange(addr, width_bytes)) {
+      return Fault::kBoundsViolation;
+    }
+    std::memcpy(&bytes_[addr], &value, width_bytes);
+    return Status::Ok();
+  }
+
+  Status ReadBlock(PhysAddr addr, void* out, uint32_t length) const {
+    if (!InRange(addr, length)) {
+      return Fault::kBoundsViolation;
+    }
+    std::memcpy(out, &bytes_[addr], length);
+    return Status::Ok();
+  }
+
+  Status WriteBlock(PhysAddr addr, const void* in, uint32_t length) {
+    if (!InRange(addr, length)) {
+      return Fault::kBoundsViolation;
+    }
+    std::memcpy(&bytes_[addr], in, length);
+    return Status::Ok();
+  }
+
+  Status Zero(PhysAddr addr, uint32_t length) {
+    if (!InRange(addr, length)) {
+      return Fault::kBoundsViolation;
+    }
+    std::memset(&bytes_[addr], 0, length);
+    return Status::Ok();
+  }
+
+ private:
+  bool InRange(PhysAddr addr, uint32_t length) const {
+    // Overflow-safe: addr + length may wrap in 32 bits.
+    return static_cast<uint64_t>(addr) + length <= bytes_.size();
+  }
+
+  std::vector<uint8_t> bytes_;
+};
+
+}  // namespace imax432
+
+#endif  // IMAX432_SRC_ARCH_PHYSICAL_MEMORY_H_

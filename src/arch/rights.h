@@ -1,0 +1,52 @@
+// Access rights carried in every access descriptor.
+//
+// "Each access descriptor (there may be many) for a given object contains rights flags that
+// control the access available via that access descriptor." The 432 distinguished generic
+// read/write rights on the segment parts from three per-type rights interpreted by the type's
+// manager (hardware for system types, type managers for user types). Rights can only ever be
+// *removed* when copying an AD; amplification is a privileged type-manager operation.
+
+#ifndef IMAX432_SRC_ARCH_RIGHTS_H_
+#define IMAX432_SRC_ARCH_RIGHTS_H_
+
+#include <cstdint>
+
+namespace imax432 {
+
+using RightsMask = uint8_t;
+
+namespace rights {
+
+inline constexpr RightsMask kNone = 0;
+inline constexpr RightsMask kRead = 1u << 0;   // read the data part
+inline constexpr RightsMask kWrite = 1u << 1;  // write the data part / access part slots
+inline constexpr RightsMask kDelete = 1u << 2; // explicitly destroy the object
+inline constexpr RightsMask kType1 = 1u << 3;  // type-specific right 1
+inline constexpr RightsMask kType2 = 1u << 4;  // type-specific right 2
+inline constexpr RightsMask kType3 = 1u << 5;  // type-specific right 3
+
+inline constexpr RightsMask kAll = kRead | kWrite | kDelete | kType1 | kType2 | kType3;
+
+// Conventional interpretations of the type rights for the hardware types, mirroring the 432
+// convention that the meaning of T1..T3 is fixed per type.
+inline constexpr RightsMask kPortSend = kType1;       // may Send to the port
+inline constexpr RightsMask kPortReceive = kType2;    // may Receive from the port
+inline constexpr RightsMask kSroAllocate = kType1;    // may allocate objects from the SRO
+inline constexpr RightsMask kSroDestroy = kType2;     // may destroy the SRO (bulk reclaim)
+inline constexpr RightsMask kProcessControl = kType1; // may start/stop the process
+inline constexpr RightsMask kDomainCall = kType1;     // may call into the domain
+inline constexpr RightsMask kTdoCreate = kType1;      // may create objects of the type
+inline constexpr RightsMask kTdoAmplify = kType2;     // may amplify rights on the type
+
+inline constexpr bool Has(RightsMask mask, RightsMask required) {
+  return (mask & required) == required;
+}
+
+// Copying an AD may only restrict rights, never add them.
+inline constexpr RightsMask Restrict(RightsMask mask, RightsMask keep) { return mask & keep; }
+
+}  // namespace rights
+
+}  // namespace imax432
+
+#endif  // IMAX432_SRC_ARCH_RIGHTS_H_

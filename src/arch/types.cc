@@ -1,0 +1,29 @@
+#include "src/arch/types.h"
+
+namespace imax432 {
+
+const char* SystemTypeName(SystemType type) {
+  switch (type) {
+    case SystemType::kGeneric:
+      return "generic";
+    case SystemType::kProcessor:
+      return "processor";
+    case SystemType::kProcess:
+      return "process";
+    case SystemType::kStorageResource:
+      return "storage_resource";
+    case SystemType::kPort:
+      return "port";
+    case SystemType::kDomain:
+      return "domain";
+    case SystemType::kContext:
+      return "context";
+    case SystemType::kInstructionSegment:
+      return "instruction_segment";
+    case SystemType::kTypeDefinition:
+      return "type_definition";
+  }
+  return "?";
+}
+
+}  // namespace imax432

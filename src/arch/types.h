@@ -1,0 +1,65 @@
+// Architectural value types and limits of the emulated iAPX 432.
+//
+// Terminology follows the 432 Architecture Reference Manual as summarized in the paper:
+//   - An *object* is a segment with two parts: a data part (raw bytes, <= 64 KB) and an
+//     access part (a list of access descriptors, <= 64 KB at 4 bytes per AD).
+//   - An *object descriptor* is the one table entry describing a given segment.
+//   - An *access descriptor* (AD) is a capability naming an object descriptor plus rights.
+//   - Every object carries a *level number*: 0 = global (lives forever, reclaimed only by
+//     GC), higher numbers = progressively shorter lifetimes tied to activation depth.
+
+#ifndef IMAX432_SRC_ARCH_TYPES_H_
+#define IMAX432_SRC_ARCH_TYPES_H_
+
+#include <cstdint>
+
+namespace imax432 {
+
+// Ada-derived scalar names used throughout the iMAX interface.
+using Ordinal = uint32_t;        // Ada "ordinal"
+using ShortOrdinal = uint16_t;   // Ada "short_ordinal"
+
+// Index into the global object descriptor table.
+using ObjectIndex = uint32_t;
+inline constexpr ObjectIndex kInvalidObjectIndex = 0xffffffffu;
+
+// Lifetime level number. 0 is global; each nested activation / local SRO adds one.
+using Level = uint16_t;
+inline constexpr Level kGlobalLevel = 0;
+
+// Physical byte address in the flat system memory.
+using PhysAddr = uint32_t;
+
+// Virtual time, measured in processor clock cycles (8 MHz => 8 cycles per microsecond).
+using Cycles = uint64_t;
+
+// Architectural limits from the paper: a segment is 1 byte .. 128 KB, each of the two parts
+// at most 64 KB. An access descriptor occupies 4 architectural bytes, so the access part
+// holds at most 16 K ADs.
+inline constexpr uint32_t kMaxDataPartBytes = 64 * 1024;
+inline constexpr uint32_t kAdArchBytes = 4;
+inline constexpr uint32_t kMaxAccessPartSlots = (64 * 1024) / kAdArchBytes;
+
+// Hardware-recognized system types. "The simplest type of object is generic for which no
+// additional semantics exist. Other types of objects are recognized by the processor and are
+// used to control its operation."
+enum class SystemType : uint8_t {
+  kGeneric = 0,        // no hardware semantics; user data or user-typed objects
+  kProcessor,          // one per GDP; names its dispatching port and current process
+  kProcess,            // schedulable activity
+  kStorageResource,    // SRO: describes free memory, allocates segments at a fixed level
+  kPort,               // interprocess communication queue
+  kDomain,             // package instance: groups subprogram entries + package state
+  kContext,            // activation record of an invoked subprogram
+  kInstructionSegment, // code: a program executed by contexts
+  kTypeDefinition,     // TDO: defines a user type, optionally with a destruction filter
+};
+
+const char* SystemTypeName(SystemType type);
+
+// Number of SystemType values (for tables indexed by type).
+inline constexpr int kNumSystemTypes = 9;
+
+}  // namespace imax432
+
+#endif  // IMAX432_SRC_ARCH_TYPES_H_

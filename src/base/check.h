@@ -1,0 +1,34 @@
+// Invariant checking. IMAX_CHECK aborts on violated invariants (always on, like ZX_ASSERT);
+// IMAX_DCHECK compiles out in NDEBUG builds (like ZX_DEBUG_ASSERT).
+
+#ifndef IMAX432_SRC_BASE_CHECK_H_
+#define IMAX432_SRC_BASE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace imax432::internal {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "IMAX_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace imax432::internal
+
+#define IMAX_CHECK(expr)                                             \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::imax432::internal::CheckFailed(#expr, __FILE__, __LINE__);   \
+    }                                                                \
+  } while (0)
+
+#ifdef NDEBUG
+#define IMAX_DCHECK(expr) \
+  do {                    \
+  } while (0)
+#else
+#define IMAX_DCHECK(expr) IMAX_CHECK(expr)
+#endif
+
+#endif  // IMAX432_SRC_BASE_CHECK_H_

@@ -1,0 +1,44 @@
+#include "src/base/log.h"
+
+#include <cstdio>
+
+namespace imax432 {
+namespace {
+
+LogSeverity g_min_severity = LogSeverity::kWarning;
+
+const char* SeverityTag(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kTrace:
+      return "TRACE";
+    case LogSeverity::kDebug:
+      return "DEBUG";
+    case LogSeverity::kInfo:
+      return "INFO";
+    case LogSeverity::kWarning:
+      return "WARN";
+    case LogSeverity::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogSeverity(LogSeverity severity) { g_min_severity = severity; }
+
+LogSeverity GetLogSeverity() { return g_min_severity; }
+
+void Logf(LogSeverity severity, const char* format, ...) {
+  if (severity < g_min_severity) {
+    return;
+  }
+  std::fprintf(stderr, "[imax432 %s] ", SeverityTag(severity));
+  va_list args;
+  va_start(args, format);
+  std::vfprintf(stderr, format, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace imax432

@@ -1,0 +1,39 @@
+// Minimal leveled logging for the emulator and OS layers.
+//
+// iMAX components log through this sink so tests can silence or capture output. Severity
+// follows the usual kernel convention; kTrace is used by the interpreter to dump instruction
+// streams when diagnosing workload programs.
+
+#ifndef IMAX432_SRC_BASE_LOG_H_
+#define IMAX432_SRC_BASE_LOG_H_
+
+#include <cstdarg>
+#include <cstdint>
+
+namespace imax432 {
+
+enum class LogSeverity : uint8_t {
+  kTrace = 0,
+  kDebug,
+  kInfo,
+  kWarning,
+  kError,
+};
+
+// Global minimum severity; messages below it are discarded. Defaults to kWarning so unit
+// tests stay quiet; examples raise it to kInfo.
+void SetLogSeverity(LogSeverity severity);
+LogSeverity GetLogSeverity();
+
+// printf-style log statement.
+void Logf(LogSeverity severity, const char* format, ...) __attribute__((format(printf, 2, 3)));
+
+#define IMAX_LOG_TRACE(...) ::imax432::Logf(::imax432::LogSeverity::kTrace, __VA_ARGS__)
+#define IMAX_LOG_DEBUG(...) ::imax432::Logf(::imax432::LogSeverity::kDebug, __VA_ARGS__)
+#define IMAX_LOG_INFO(...) ::imax432::Logf(::imax432::LogSeverity::kInfo, __VA_ARGS__)
+#define IMAX_LOG_WARNING(...) ::imax432::Logf(::imax432::LogSeverity::kWarning, __VA_ARGS__)
+#define IMAX_LOG_ERROR(...) ::imax432::Logf(::imax432::LogSeverity::kError, __VA_ARGS__)
+
+}  // namespace imax432
+
+#endif  // IMAX432_SRC_BASE_LOG_H_

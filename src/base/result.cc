@@ -1,0 +1,65 @@
+#include "src/base/result.h"
+
+namespace imax432 {
+
+const char* FaultName(Fault fault) {
+  switch (fault) {
+    case Fault::kNone:
+      return "kNone";
+    case Fault::kNullAccess:
+      return "kNullAccess";
+    case Fault::kInvalidAccess:
+      return "kInvalidAccess";
+    case Fault::kRightsViolation:
+      return "kRightsViolation";
+    case Fault::kBoundsViolation:
+      return "kBoundsViolation";
+    case Fault::kTypeMismatch:
+      return "kTypeMismatch";
+    case Fault::kLevelViolation:
+      return "kLevelViolation";
+    case Fault::kNotAllocated:
+      return "kNotAllocated";
+    case Fault::kObjectTableFull:
+      return "kObjectTableFull";
+    case Fault::kStorageExhausted:
+      return "kStorageExhausted";
+    case Fault::kSegmentTooLarge:
+      return "kSegmentTooLarge";
+    case Fault::kSegmentSwapped:
+      return "kSegmentSwapped";
+    case Fault::kInvalidInstruction:
+      return "kInvalidInstruction";
+    case Fault::kRegisterOutOfRange:
+      return "kRegisterOutOfRange";
+    case Fault::kContextUnderflow:
+      return "kContextUnderflow";
+    case Fault::kTimeout:
+      return "kTimeout";
+    case Fault::kProcessorHalted:
+      return "kProcessorHalted";
+    case Fault::kFaultNotPermitted:
+      return "kFaultNotPermitted";
+    case Fault::kInvalidArgument:
+      return "kInvalidArgument";
+    case Fault::kAlreadyExists:
+      return "kAlreadyExists";
+    case Fault::kNotFound:
+      return "kNotFound";
+    case Fault::kWrongState:
+      return "kWrongState";
+    case Fault::kQueueFull:
+      return "kQueueFull";
+    case Fault::kQueueEmpty:
+      return "kQueueEmpty";
+    case Fault::kDeviceError:
+      return "kDeviceError";
+    case Fault::kFilingFormatError:
+      return "kFilingFormatError";
+    case Fault::kPermissionDenied:
+      return "kPermissionDenied";
+  }
+  return "kUnknown";
+}
+
+}  // namespace imax432

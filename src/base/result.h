@@ -1,0 +1,132 @@
+// Result<T> / Status: kernel-style error propagation without exceptions.
+//
+// Hardware faults on the 432 are delivered as data (ultimately as messages to fault ports),
+// never as non-local control transfers, so every fallible operation in the emulator and in the
+// iMAX layers returns a Result<T> carrying either a value or a Fault code. This mirrors the
+// fault model of the machine and keeps all kernel paths exception-free.
+
+#ifndef IMAX432_SRC_BASE_RESULT_H_
+#define IMAX432_SRC_BASE_RESULT_H_
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+#include "src/base/check.h"
+
+namespace imax432 {
+
+// Hardware- and OS-level fault codes. The first group corresponds to faults the 432 processor
+// raises during operand evaluation; the second group to conditions detected by iMAX software.
+enum class Fault : uint8_t {
+  kNone = 0,
+
+  // -- Hardware (processor-detected) faults --
+  kNullAccess,            // an operation dereferenced a null access descriptor
+  kInvalidAccess,         // AD names a freed / reused object-table entry (generation mismatch)
+  kRightsViolation,       // AD lacks the read/write/type right required by the operation
+  kBoundsViolation,       // offset outside the segment's data or access part
+  kTypeMismatch,          // object's system type does not match the instruction's requirement
+  kLevelViolation,        // attempted to store an AD into an object with a lower level number
+  kNotAllocated,          // object descriptor slot not allocated
+  kObjectTableFull,       // no free object descriptors
+  kStorageExhausted,      // SRO cannot satisfy an allocation request
+  kSegmentTooLarge,       // requested size exceeds the 64K per-part architectural limit
+  kSegmentSwapped,        // segment not present in physical memory (swapping systems only)
+  kInvalidInstruction,    // interpreter met an ill-formed instruction
+  kRegisterOutOfRange,    // context register index out of range
+  kContextUnderflow,      // RETURN with no caller context
+  kTimeout,               // a timed wait expired
+  kProcessorHalted,       // operation on a halted processor
+
+  // -- Software (iMAX-detected) faults --
+  kFaultNotPermitted,     // a process below iMAX level 3 faulted (design rule violation)
+  kInvalidArgument,       // malformed request to an iMAX package
+  kAlreadyExists,         // name or resource already registered
+  kNotFound,              // no such object / registration
+  kWrongState,            // operation invalid in the object's current state
+  kQueueFull,             // a non-blocking send found the port full
+  kQueueEmpty,            // a non-blocking receive found the port empty
+  kDeviceError,           // simulated device-level failure
+  kFilingFormatError,     // object filing store corrupt or version mismatch
+  kPermissionDenied,      // caller's domain lacks access to the requested package facility
+};
+
+// Human-readable fault name (for logs and test diagnostics).
+const char* FaultName(Fault fault);
+
+// Result<T> holds either a value of type T or a Fault. Modeled after absl::StatusOr, but
+// minimal and exception-free.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Implicit construction from a value or from a fault keeps call sites terse, the same way
+  // StatusOr does.
+  Result(T value) : value_(std::move(value)), fault_(Fault::kNone) {}  // NOLINT(runtime/explicit)
+  Result(Fault fault) : fault_(fault) {                                // NOLINT(runtime/explicit)
+    IMAX_CHECK(fault != Fault::kNone);
+  }
+
+  bool ok() const { return fault_ == Fault::kNone; }
+  Fault fault() const { return fault_; }
+
+  T& value() & {
+    IMAX_CHECK(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    IMAX_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    IMAX_CHECK(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Fault fault_;
+};
+
+// Status is Result<void>: success or a fault.
+class [[nodiscard]] Status {
+ public:
+  Status() : fault_(Fault::kNone) {}
+  Status(Fault fault) : fault_(fault) {}  // NOLINT(runtime/explicit)
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return fault_ == Fault::kNone; }
+  Fault fault() const { return fault_; }
+
+ private:
+  Fault fault_;
+};
+
+// Propagation macros, in the style of RETURN_IF_ERROR / ASSIGN_OR_RETURN.
+#define IMAX_RETURN_IF_FAULT(expr)          \
+  do {                                      \
+    auto imax_status_ = (expr);             \
+    if (!imax_status_.ok()) {               \
+      return imax_status_.fault();          \
+    }                                       \
+  } while (0)
+
+#define IMAX_ASSIGN_OR_RETURN(lhs, expr)    \
+  auto IMAX_CONCAT_(result_, __LINE__) = (expr);                \
+  if (!IMAX_CONCAT_(result_, __LINE__).ok()) {                  \
+    return IMAX_CONCAT_(result_, __LINE__).fault();             \
+  }                                                             \
+  lhs = std::move(IMAX_CONCAT_(result_, __LINE__)).value()
+
+#define IMAX_CONCAT_INNER_(a, b) a##b
+#define IMAX_CONCAT_(a, b) IMAX_CONCAT_INNER_(a, b)
+
+}  // namespace imax432
+
+#endif  // IMAX432_SRC_BASE_RESULT_H_

@@ -1,0 +1,53 @@
+// Deterministic pseudo-random number generator for workload generation.
+//
+// Benchmarks and property tests must be reproducible run-to-run, so all randomized workloads
+// draw from this explicitly-seeded xorshift64* generator rather than std::random_device.
+
+#ifndef IMAX432_SRC_BASE_XORSHIFT_H_
+#define IMAX432_SRC_BASE_XORSHIFT_H_
+
+#include <cstdint>
+
+#include "src/base/check.h"
+
+namespace imax432 {
+
+class Xorshift {
+ public:
+  explicit Xorshift(uint64_t seed) : state_(seed == 0 ? 0x9e3779b97f4a7c15u : seed) {}
+
+  uint64_t Next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545f4914f6cdd1du;
+  }
+
+  // Uniform in [0, bound).
+  uint64_t NextBelow(uint64_t bound) {
+    IMAX_CHECK(bound > 0);
+    return Next() % bound;
+  }
+
+  // Uniform in [lo, hi].
+  uint64_t NextInRange(uint64_t lo, uint64_t hi) {
+    IMAX_CHECK(lo <= hi);
+    return lo + NextBelow(hi - lo + 1);
+  }
+
+  // Bernoulli draw with probability numerator/denominator.
+  bool NextChance(uint64_t numerator, uint64_t denominator) {
+    IMAX_CHECK(denominator > 0);
+    return NextBelow(denominator) < numerator;
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace imax432
+
+#endif  // IMAX432_SRC_BASE_XORSHIFT_H_

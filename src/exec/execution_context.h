@@ -1,0 +1,49 @@
+// ExecutionContext: what a native step or kernel service sees of the executing process.
+//
+// Native steps (GC daemon, device servers, schedulers) and OsCall services receive one of
+// these. It wraps the current process and context objects with typed accessors and exposes
+// the kernel so system packages can reach the machine, memory manager and port subsystem.
+
+#ifndef IMAX432_SRC_EXEC_EXECUTION_CONTEXT_H_
+#define IMAX432_SRC_EXEC_EXECUTION_CONTEXT_H_
+
+#include "src/arch/access_descriptor.h"
+#include "src/proc/layouts.h"
+
+namespace imax432 {
+
+class Kernel;
+
+class ExecutionContext {
+ public:
+  ExecutionContext(Kernel* kernel, uint16_t processor_id, const AccessDescriptor& process,
+                   const AccessDescriptor& context)
+      : kernel_(kernel), processor_id_(processor_id), process_(process), context_(context) {}
+
+  Kernel& kernel() { return *kernel_; }
+  uint16_t processor_id() const { return processor_id_; }
+  const AccessDescriptor& process_ad() const { return process_; }
+  const AccessDescriptor& context_ad() const { return context_; }
+
+  // Typed views (constructed on demand; all state lives in the objects).
+  ProcessView process() const;
+  ContextView context() const;
+
+  // Register shortcuts.
+  uint64_t reg(uint8_t index) const { return context().reg(index); }
+  void set_reg(uint8_t index, uint64_t value) { context().set_reg(index, value); }
+  AccessDescriptor ad_reg(uint8_t index) const { return context().ad_reg(index); }
+  void set_ad_reg(uint8_t index, const AccessDescriptor& value) {
+    context().set_ad_reg(index, value);
+  }
+
+ private:
+  Kernel* kernel_;
+  uint16_t processor_id_;
+  AccessDescriptor process_;
+  AccessDescriptor context_;
+};
+
+}  // namespace imax432
+
+#endif  // IMAX432_SRC_EXEC_EXECUTION_CONTEXT_H_

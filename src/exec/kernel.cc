@@ -1,0 +1,1102 @@
+#include "src/exec/kernel.h"
+
+#include "src/base/check.h"
+#include "src/base/log.h"
+
+namespace imax432 {
+
+namespace {
+
+constexpr uint16_t kDefaultDispatchCapacity = 1024;
+
+bool ValidReg(uint8_t r) { return r < kNumDataRegs; }
+bool ValidAdReg(uint8_t r) { return r < kNumAdRegs; }
+
+}  // namespace
+
+ProcessView ExecutionContext::process() const {
+  return ProcessView(&kernel_->machine().addressing(), process_);
+}
+
+ContextView ExecutionContext::context() const {
+  return ContextView(&kernel_->machine().addressing(), context_);
+}
+
+Kernel::Kernel(Machine* machine, MemoryManager* memory)
+    : machine_(machine),
+      memory_(memory),
+      ports_(machine, memory),
+      programs_(machine, memory) {
+  auto port = ports_.CreatePort(memory_->global_heap(), kDefaultDispatchCapacity,
+                                QueueDiscipline::kPriority);
+  IMAX_CHECK(port.ok());
+  default_dispatch_port_ = port.value();
+
+  RegisterService(os_service::kYield, [](ExecutionContext&) -> Result<NativeResult> {
+    NativeResult r;
+    r.action = NativeResult::Action::kYield;
+    return r;
+  });
+  RegisterService(os_service::kGetTime, [this](ExecutionContext& env) -> Result<NativeResult> {
+    env.set_reg(kArgReg, machine_->now());
+    return NativeResult{};
+  });
+  RegisterService(os_service::kSetPriority, [](ExecutionContext& env) -> Result<NativeResult> {
+    env.process().set_priority(static_cast<uint8_t>(env.reg(kArgReg)));
+    return NativeResult{};
+  });
+  RegisterService(os_service::kSetDeadline, [](ExecutionContext& env) -> Result<NativeResult> {
+    env.process().set_deadline(static_cast<uint32_t>(env.reg(kArgReg)));
+    return NativeResult{};
+  });
+  RegisterService(os_service::kTimedReceive,
+                  [this](ExecutionContext& env) -> Result<NativeResult> {
+    AccessDescriptor wait_port = env.ad_reg(kArgAdReg);
+    Cycles timeout = env.reg(kArgReg);
+    AccessDescriptor process = env.process_ad();
+
+    NativeResult r;
+    r.action = NativeResult::Action::kBlockReceive;
+    r.port = wait_port;
+    r.dest_adreg = kArgAdReg;
+
+    // Arm the watchdog. It bites only if the process is still inside the blocking episode
+    // the receive below opens: DoReceive bumps the block epoch when (and only when) it
+    // actually blocks, so an immediately-satisfied receive, or any later re-block, leaves
+    // the timer a no-op.
+    uint32_t epoch = process_view(process).block_epoch() + 1;
+    machine_->events().ScheduleAfter(timeout, [this, process, wait_port, epoch] {
+      if (!machine_->table().Resolve(process).ok()) {
+        return;
+      }
+      ProcessView proc = process_view(process);
+      if (proc.state() != ProcessState::kBlocked || proc.block_epoch() != epoch) {
+        return;
+      }
+      if (!ports_.RemoveBlockedReceiver(wait_port, process).ok()) {
+        return;  // a message won the race
+      }
+      RaiseFault(proc, Fault::kTimeout);
+    });
+    return r;
+  });
+}
+
+Status Kernel::AddProcessors(int count, const AccessDescriptor& dispatch_port) {
+  AccessDescriptor port = dispatch_port.is_null() ? default_dispatch_port_ : dispatch_port;
+  for (int i = 0; i < count; ++i) {
+    IMAX_ASSIGN_OR_RETURN(
+        AccessDescriptor object,
+        memory_->CreateObject(memory_->global_heap(), SystemType::kProcessor,
+                              ProcessorLayout::kDataBytes, ProcessorLayout::kAccessSlots,
+                              rights::kRead | rights::kWrite));
+    uint16_t id = static_cast<uint16_t>(processors_.size());
+    ObjectView view(&machine_->addressing(), object);
+    view.SetField(ProcessorLayout::kOffId, 2, id);
+    view.SetField(ProcessorLayout::kOffState, 1,
+                  static_cast<uint64_t>(ProcessorState::kIdle));
+    view.SetSlot(ProcessorLayout::kSlotDispatchPort, port);
+
+    processors_.push_back(ProcessorRec{id, object, port, AccessDescriptor(), machine_->now(),
+                                       false, false});
+    // The processor comes online and immediately looks for work.
+    machine_->events().ScheduleAfter(0, [this, id] { ProcessorFetch(id); });
+  }
+  return Status::Ok();
+}
+
+void Kernel::RegisterService(uint32_t id, ServiceFn fn) { services_[id] = std::move(fn); }
+
+Result<AccessDescriptor> Kernel::CreateProcess(ProgramRef program,
+                                               const ProcessOptions& options) {
+  IMAX_ASSIGN_OR_RETURN(AccessDescriptor segment, programs_.Register(std::move(program)));
+
+  AccessDescriptor sro =
+      options.allocation_sro.is_null() ? memory_->global_heap() : options.allocation_sro;
+  IMAX_ASSIGN_OR_RETURN(const ObjectDescriptor* sro_descriptor, machine_->table().Resolve(sro));
+  Level base_level = sro_descriptor->level;
+
+  // The process object.
+  IMAX_ASSIGN_OR_RETURN(
+      AccessDescriptor process,
+      memory_->CreateObject(sro, SystemType::kProcess, ProcessLayout::kDataBytes,
+                            ProcessLayout::kAccessSlots,
+                            rights::kRead | rights::kWrite | rights::kProcessControl));
+  // The context (stack) SRO: contexts live one level below the process.
+  IMAX_ASSIGN_OR_RETURN(AccessDescriptor stack,
+                        memory_->CreateLocalSro(sro, options.stack_bytes,
+                                                static_cast<Level>(base_level + 1)));
+
+  ProcessView proc(&machine_->addressing(), process);
+  proc.set_state(ProcessState::kEmbryo);
+  proc.SetField(ProcessLayout::kOffImaxLevel, 1, options.imax_level);
+  proc.set_priority(options.priority);
+  proc.set_deadline(options.deadline);
+  proc.SetField(ProcessLayout::kOffBaseLevel, 2, base_level);
+  proc.set_stop_count(1);  // created outside the dispatching mix
+  proc.SetSlot(ProcessLayout::kSlotDispatchPort,
+               options.dispatch_port.is_null() ? default_dispatch_port_
+                                               : options.dispatch_port);
+  proc.SetSlot(ProcessLayout::kSlotFaultPort, options.fault_port);
+  proc.SetSlot(ProcessLayout::kSlotSchedulerPort, options.scheduler_port);
+  proc.SetSlot(ProcessLayout::kSlotStackSro, stack);
+  proc.SetSlot(ProcessLayout::kSlotParent, options.parent);
+
+  // Link into the parent's child list (tree structure for nested start/stop).
+  if (!options.parent.is_null()) {
+    ProcessView parent(&machine_->addressing(), options.parent);
+    AccessDescriptor first = parent.Slot(ProcessLayout::kSlotFirstChild);
+    proc.SetSlot(ProcessLayout::kSlotNextSibling, first);
+    parent.SetSlot(ProcessLayout::kSlotFirstChild, process);
+  }
+
+  // The initial context.
+  IMAX_ASSIGN_OR_RETURN(
+      AccessDescriptor context,
+      CreateContext(proc, segment, AccessDescriptor(), AccessDescriptor(),
+                    static_cast<Level>(base_level + 1)));
+  ContextView ctx(&machine_->addressing(), context);
+  ctx.set_reg(kArgReg, options.initial_value);
+  ctx.set_ad_reg(kArgAdReg, options.initial_arg);
+  proc.SetSlot(ProcessLayout::kSlotContext, context);
+  proc.set_call_depth(1);
+
+  ++stats_.processes_created;
+  return process;
+}
+
+Result<AccessDescriptor> Kernel::CreateContext(ProcessView& proc,
+                                               const AccessDescriptor& segment,
+                                               const AccessDescriptor& domain,
+                                               const AccessDescriptor& caller, Level level) {
+  IMAX_ASSIGN_OR_RETURN(
+      AccessDescriptor context,
+      memory_->CreateObject(proc.stack_sro(), SystemType::kContext, ContextLayout::kDataBytes,
+                            ContextLayout::kAccessSlots,
+                            rights::kRead | rights::kWrite | rights::kDelete));
+  // Contexts carry the level of their activation depth ("Each context object within a
+  // process has a level one greater than that of its caller"), overriding the stack SRO's
+  // fixed allocation level — this is the hardware's stack-allocation mechanism.
+  machine_->table().At(context.index()).level = level;
+
+  ContextView ctx(&machine_->addressing(), context);
+  ctx.set_pc(0);
+  ctx.SetSlot(ContextLayout::kSlotInstructionSegment, segment);
+  ctx.SetSlot(ContextLayout::kSlotDomain, domain);
+  ctx.SetSlot(ContextLayout::kSlotCaller, caller);
+  ctx.SetSlot(ContextLayout::kSlotProcess, proc.ad());
+  if (!domain.is_null()) {
+    // The call instruction's amplification: code executing *inside* a domain can read its
+    // own domain's access part (that is how a package reaches its private state), even
+    // though the caller held only call rights — "providing the proper addressing
+    // environment for any invoked subprogram."
+    AccessDescriptor inside(domain.index(), domain.generation(),
+                            static_cast<RightsMask>(domain.rights() | rights::kRead));
+    ctx.set_ad_reg(kDomainAdReg, inside);
+  }
+  return context;
+}
+
+Result<AccessDescriptor> Kernel::CreateDomain(const std::vector<AccessDescriptor>& entries,
+                                              uint32_t state_slots) {
+  IMAX_ASSIGN_OR_RETURN(
+      AccessDescriptor domain,
+      memory_->CreateObject(memory_->global_heap(), SystemType::kDomain,
+                            DomainLayout::kDataBytes,
+                            static_cast<uint32_t>(entries.size()) + state_slots,
+                            rights::kRead | rights::kWrite | rights::kDomainCall));
+  ObjectView view(&machine_->addressing(), domain);
+  view.SetField(DomainLayout::kOffEntryCount, 2, entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    IMAX_ASSIGN_OR_RETURN(const ObjectDescriptor* descriptor,
+                          machine_->table().Resolve(entries[i]));
+    if (descriptor->type != SystemType::kInstructionSegment) {
+      return Fault::kTypeMismatch;
+    }
+    view.SetSlot(static_cast<uint32_t>(i), entries[i]);
+  }
+  // Holders of the returned AD may call the domain but not read or write its contents:
+  // the protected-package property.
+  return domain.Restricted(rights::kDomainCall);
+}
+
+Status Kernel::SetDomainState(const AccessDescriptor& domain, uint32_t state_index,
+                              const AccessDescriptor& value) {
+  IMAX_ASSIGN_OR_RETURN(ObjectDescriptor * descriptor, machine_->table().Resolve(domain));
+  if (descriptor->type != SystemType::kDomain) {
+    return Fault::kTypeMismatch;
+  }
+  auto count = machine_->memory().Read(descriptor->data_base + DomainLayout::kOffEntryCount, 2);
+  if (!count.ok()) {
+    return count.fault();
+  }
+  uint32_t slot = static_cast<uint32_t>(count.value()) + state_index;
+  if (slot >= descriptor->access_count()) {
+    return Fault::kBoundsViolation;
+  }
+  return machine_->addressing().WriteAdPrivileged(domain, slot, value);
+}
+
+Status Kernel::StartProcess(const AccessDescriptor& process) {
+  ProcessView proc = process_view(process);
+  if (proc.state() == ProcessState::kTerminated) {
+    return Fault::kWrongState;
+  }
+  int16_t count = proc.stop_count();
+  if (count > 0) {
+    proc.set_stop_count(static_cast<int16_t>(count - 1));
+  }
+  if (proc.stop_count() > 0) {
+    return Status::Ok();  // still stopped
+  }
+  if (proc.state() == ProcessState::kEmbryo || proc.state() == ProcessState::kStopped) {
+    return MakeReady(process);
+  }
+  return Status::Ok();
+}
+
+Status Kernel::ResumeProcess(const AccessDescriptor& process) {
+  ProcessView proc = process_view(process);
+  ProcessState state = proc.state();
+  if (state == ProcessState::kTerminated || state == ProcessState::kRunning ||
+      state == ProcessState::kReady) {
+    return Fault::kWrongState;
+  }
+  return MakeReady(process);
+}
+
+Status Kernel::MarkStopped(const AccessDescriptor& process) {
+  ProcessView proc = process_view(process);
+  proc.set_stop_count(static_cast<int16_t>(proc.stop_count() + 1));
+  return Status::Ok();
+}
+
+Status Kernel::MakeReady(const AccessDescriptor& process) {
+  ProcessView proc = process_view(process);
+  if (proc.stop_count() > 0) {
+    // Held out of the dispatching mix.
+    proc.set_state(ProcessState::kStopped);
+    NotifyEvent(process, ProcessEvent::kStopped);
+    return Status::Ok();
+  }
+  proc.set_state(ProcessState::kReady);
+  proc.set_slice_used(0);
+  AccessDescriptor port = proc.dispatch_port();
+
+  auto idle = ports_.PopWaitingProcessor(port);
+  if (idle.ok()) {
+    BindProcess(processors_[idle.value()], process);
+    return Status::Ok();
+  }
+  // The hardware dispatching algorithm queues processes of any lifetime level, so this is a
+  // privileged (microcode) store; stale ADs are filtered at dequeue.
+  return ports_.Enqueue(port, process, proc.priority(), proc.deadline(),
+                        /*privileged=*/true);
+}
+
+Status Kernel::PostMessage(const AccessDescriptor& port, const AccessDescriptor& message) {
+  auto receiver = ports_.PopBlockedReceiver(port);
+  if (receiver.ok()) {
+    ProcessView recv = process_view(receiver.value().process);
+    ContextView recv_ctx(&machine_->addressing(), recv.context());
+    Status stored = machine_->addressing().WriteAd(
+        recv_ctx.ad(), ContextLayout::kSlotAdRegs + receiver.value().dest_adreg, message);
+    if (!stored.ok()) {
+      RaiseFault(recv, stored.fault());
+      return stored;
+    }
+    recv.Increment(ProcessLayout::kOffMessagesReceived, 4);
+    return MakeReady(receiver.value().process);
+  }
+  return ports_.Enqueue(port, message, /*sender_priority=*/128, /*sender_deadline=*/0);
+}
+
+void Kernel::BindProcess(ProcessorRec& rec, const AccessDescriptor& process) {
+  ProcessView proc = process_view(process);
+  if (proc.stop_count() > 0) {
+    // A stop arrived while the process was queued: park it and look again.
+    proc.set_state(ProcessState::kStopped);
+    NotifyEvent(process, ProcessEvent::kStopped);
+    machine_->events().ScheduleAfter(cycles::kDispatch,
+                                     [this, id = rec.id] { ProcessorFetch(id); });
+    return;
+  }
+  ObjectView processor(&machine_->addressing(), rec.object);
+  // Close out an idle-wait period if the processor was parked at its dispatching port.
+  if (rec.waiting) {
+    processor.Increment(ProcessorLayout::kOffIdleCycles, 8, machine_->now() - rec.idle_since);
+    rec.waiting = false;
+  }
+  rec.current = process;
+  processor.SetSlot(ProcessorLayout::kSlotCurrentProcess, process);
+  processor.SetField(ProcessorLayout::kOffState, 1,
+                     static_cast<uint64_t>(ProcessorState::kRunning));
+  processor.Increment(ProcessorLayout::kOffDispatches, 8);
+  proc.set_state(ProcessState::kRunning);
+  ++stats_.dispatches;
+
+  // Dispatch latency: binding a process to a processor is itself a hardware algorithm.
+  Cycles done = machine_->bus().Acquire(machine_->now() + cycles::kDispatch,
+                                        cycles::kBusDispatch);
+  machine_->events().ScheduleAt(done, [this, id = rec.id] { ProcessorStep(id); });
+}
+
+void Kernel::ProcessorFetch(uint16_t processor_id) {
+  ProcessorRec& rec = processors_[processor_id];
+  if (rec.halted) {
+    return;
+  }
+  rec.current = AccessDescriptor();
+  ObjectView processor(&machine_->addressing(), rec.object);
+  processor.SetSlot(ProcessorLayout::kSlotCurrentProcess, AccessDescriptor());
+
+  // Skip stale entries: a queued local-lifetime process whose ancestral SRO died leaves a
+  // dangling AD that the generation check exposes here.
+  for (;;) {
+    auto next = ports_.Dequeue(rec.dispatch_port);
+    if (!next.ok()) {
+      break;
+    }
+    if (machine_->table().Resolve(next.value()).ok()) {
+      BindProcess(rec, next.value());
+      return;
+    }
+  }
+  // Nothing ready: the processor idles at its dispatching port.
+  processor.SetField(ProcessorLayout::kOffState, 1,
+                     static_cast<uint64_t>(ProcessorState::kIdle));
+  rec.idle_since = machine_->now();
+  rec.waiting = true;
+  ports_.PushWaitingProcessor(rec.dispatch_port, processor_id);
+}
+
+Cycles Kernel::ChargeCycles(ProcessorRec& rec, ProcessView& proc, Cycles compute, Cycles bus) {
+  Cycles start = machine_->now();
+  Cycles after_compute = start + compute;
+  Cycles done = machine_->bus().Acquire(after_compute, bus);
+  Cycles duration = done - start;
+  proc.Increment(ProcessLayout::kOffConsumed, 8, duration);
+  proc.set_slice_used(proc.slice_used() + duration);
+  ObjectView(&machine_->addressing(), rec.object)
+      .Increment(ProcessorLayout::kOffBusyCycles, 8, duration);
+  return done;
+}
+
+void Kernel::ProcessorStep(uint16_t processor_id) {
+  ProcessorRec& rec = processors_[processor_id];
+  if (rec.halted || rec.current.is_null()) {
+    return;
+  }
+  ProcessView proc = process_view(rec.current);
+
+  // Honor stops at instruction boundaries ("nested stopping and starting of processes").
+  if (proc.stop_count() > 0) {
+    proc.set_state(ProcessState::kStopped);
+    NotifyEvent(rec.current, ProcessEvent::kStopped);
+    machine_->events().ScheduleAfter(cycles::kSimpleOp,
+                                     [this, processor_id] { ProcessorFetch(processor_id); });
+    return;
+  }
+
+  ContextView ctx(&machine_->addressing(), proc.context());
+  auto program_result = programs_.Fetch(ctx.instruction_segment());
+  if (!program_result.ok()) {
+    RaiseFault(proc, program_result.fault());
+    machine_->events().ScheduleAfter(cycles::kDispatch,
+                                     [this, processor_id] { ProcessorFetch(processor_id); });
+    return;
+  }
+  const Program& program = *program_result.value();
+
+  uint32_t pc = ctx.pc();
+  StepEffect effect;
+  if (pc >= program.size()) {
+    // Falling off the end of a subprogram is an implicit return.
+    auto returned = DoReturn(proc, ctx);
+    IMAX_CHECK(returned.ok());
+    effect = returned.value();
+  } else {
+    const Instruction& instruction = program.at(pc);
+    ctx.set_pc(pc + 1);
+    auto result = Execute(rec, proc, ctx, program, instruction);
+    if (!result.ok()) {
+      Fault fault = result.fault();
+      if (fault == Fault::kSegmentSwapped) {
+        // Transparent residency fault: bring the segment in, charge the transfer to this
+        // process, and retry the same instruction. User code never observes this — the
+        // memory-manager configurability point of §6.2.
+        auto cost = memory_->EnsureResident(machine_->addressing().last_swapped_object());
+        if (cost.ok()) {
+          ctx.set_pc(pc);
+          ++stats_.swap_faults;
+          Cycles done = ChargeCycles(rec, proc, cost.value(), 0);
+          machine_->events().ScheduleAt(done,
+                                        [this, processor_id] { ProcessorStep(processor_id); });
+          return;
+        }
+        fault = cost.fault();
+      }
+      ctx.set_pc(pc);  // the process faulted *at* this instruction
+      RaiseFault(proc, fault);
+      machine_->events().ScheduleAfter(cycles::kDispatch,
+                                       [this, processor_id] { ProcessorFetch(processor_id); });
+      return;
+    }
+    effect = result.value();
+  }
+
+  Cycles done = ChargeCycles(rec, proc, effect.compute, effect.bus);
+  ++stats_.instructions_executed;
+
+  switch (effect.kind) {
+    case StepEffect::Kind::kContinue: {
+      if (proc.slice_used() >= machine_->config().time_slice) {
+        // Time-slice end: implicit hardware rescheduling. The requeue happens at the
+        // instruction's completion time so the process cannot overlap itself on another
+        // processor.
+        ++stats_.time_slice_ends;
+        proc.set_slice_used(0);
+        machine_->events().ScheduleAt(done, [this, process = rec.current] {
+          IMAX_CHECK(MakeReady(process).ok());
+        });
+        machine_->events().ScheduleAt(done,
+                                      [this, processor_id] { ProcessorFetch(processor_id); });
+      } else {
+        machine_->events().ScheduleAt(done,
+                                      [this, processor_id] { ProcessorStep(processor_id); });
+      }
+      break;
+    }
+    case StepEffect::Kind::kYield: {
+      proc.set_slice_used(0);
+      machine_->events().ScheduleAt(done, [this, process = rec.current] {
+        IMAX_CHECK(MakeReady(process).ok());
+      });
+      machine_->events().ScheduleAt(done,
+                                    [this, processor_id] { ProcessorFetch(processor_id); });
+      break;
+    }
+    case StepEffect::Kind::kBlocked: {
+      ++stats_.blocks;
+      machine_->events().ScheduleAt(done,
+                                    [this, processor_id] { ProcessorFetch(processor_id); });
+      break;
+    }
+    case StepEffect::Kind::kTerminated: {
+      TerminateProcess(proc, /*faulted=*/false);
+      NotifyEvent(rec.current, ProcessEvent::kTerminated);
+      machine_->events().ScheduleAt(done,
+                                    [this, processor_id] { ProcessorFetch(processor_id); });
+      break;
+    }
+  }
+}
+
+Result<Kernel::StepEffect> Kernel::Execute(ProcessorRec& rec, ProcessView& proc,
+                                           ContextView& ctx, const Program& program,
+                                           const Instruction& in) {
+  AddressingUnit& au = machine_->addressing();
+  StepEffect effect;
+
+  switch (in.op) {
+    case Opcode::kCompute:
+      effect.compute = in.imm;
+      return effect;
+
+    case Opcode::kLoadImm:
+      if (!ValidReg(in.a)) return Fault::kRegisterOutOfRange;
+      ctx.set_reg(in.a, in.imm64);
+      effect.compute = cycles::kSimpleOp;
+      return effect;
+
+    case Opcode::kMove:
+      if (!ValidReg(in.a) || !ValidReg(in.b)) return Fault::kRegisterOutOfRange;
+      ctx.set_reg(in.a, ctx.reg(in.b));
+      effect.compute = cycles::kSimpleOp;
+      return effect;
+
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul: {
+      if (!ValidReg(in.a) || !ValidReg(in.b) || !ValidReg(in.c)) {
+        return Fault::kRegisterOutOfRange;
+      }
+      uint64_t lhs = ctx.reg(in.b);
+      uint64_t rhs = ctx.reg(in.c);
+      uint64_t value = in.op == Opcode::kAdd   ? lhs + rhs
+                       : in.op == Opcode::kSub ? lhs - rhs
+                                               : lhs * rhs;
+      ctx.set_reg(in.a, value);
+      effect.compute = cycles::kSimpleOp;
+      return effect;
+    }
+
+    case Opcode::kAddImm:
+      if (!ValidReg(in.a) || !ValidReg(in.b)) return Fault::kRegisterOutOfRange;
+      ctx.set_reg(in.a, ctx.reg(in.b) + in.imm);
+      effect.compute = cycles::kSimpleOp;
+      return effect;
+
+    case Opcode::kLoadData:
+    case Opcode::kLoadDataIndexed: {
+      if (!ValidReg(in.a) || !ValidAdReg(in.b)) return Fault::kRegisterOutOfRange;
+      uint32_t width = in.op == Opcode::kLoadData ? in.c : 8;
+      uint32_t offset = in.imm;
+      if (in.op == Opcode::kLoadDataIndexed) {
+        if (!ValidReg(in.c)) return Fault::kRegisterOutOfRange;
+        offset += static_cast<uint32_t>(ctx.reg(in.c));
+      }
+      IMAX_ASSIGN_OR_RETURN(uint64_t value, au.ReadData(ctx.ad_reg(in.b), offset, width));
+      ctx.set_reg(in.a, value);
+      effect.compute = cycles::kDataAccessBase;
+      effect.bus = cycles::kBusDataAccess;
+      return effect;
+    }
+
+    case Opcode::kStoreData:
+    case Opcode::kStoreDataIndexed: {
+      if (!ValidAdReg(in.a) || !ValidReg(in.b)) return Fault::kRegisterOutOfRange;
+      uint32_t width = in.op == Opcode::kStoreData ? in.c : 8;
+      uint32_t offset = in.imm;
+      if (in.op == Opcode::kStoreDataIndexed) {
+        if (!ValidReg(in.c)) return Fault::kRegisterOutOfRange;
+        offset += static_cast<uint32_t>(ctx.reg(in.c));
+      }
+      IMAX_RETURN_IF_FAULT(au.WriteData(ctx.ad_reg(in.a), offset, width, ctx.reg(in.b)));
+      effect.compute = cycles::kDataAccessBase;
+      effect.bus = cycles::kBusDataAccess;
+      return effect;
+    }
+
+    case Opcode::kMoveAd:
+      if (!ValidAdReg(in.a) || !ValidAdReg(in.b)) return Fault::kRegisterOutOfRange;
+      ctx.set_ad_reg(in.a, ctx.ad_reg(in.b));
+      effect.compute = cycles::kAdMove;
+      effect.bus = cycles::kBusAdMove;
+      return effect;
+
+    case Opcode::kClearAd:
+      if (!ValidAdReg(in.a)) return Fault::kRegisterOutOfRange;
+      ctx.set_ad_reg(in.a, AccessDescriptor());
+      effect.compute = cycles::kSimpleOp;
+      return effect;
+
+    case Opcode::kLoadAd:
+    case Opcode::kLoadAdIndexed: {
+      if (!ValidAdReg(in.a) || !ValidAdReg(in.b)) return Fault::kRegisterOutOfRange;
+      uint32_t slot = in.imm;
+      if (in.op == Opcode::kLoadAdIndexed) {
+        if (!ValidReg(in.c)) return Fault::kRegisterOutOfRange;
+        slot += static_cast<uint32_t>(ctx.reg(in.c));
+      }
+      IMAX_ASSIGN_OR_RETURN(AccessDescriptor value, au.ReadAd(ctx.ad_reg(in.b), slot));
+      ctx.set_ad_reg(in.a, value);
+      effect.compute = cycles::kAdMove;
+      effect.bus = cycles::kBusAdMove;
+      return effect;
+    }
+
+    case Opcode::kStoreAd:
+    case Opcode::kStoreAdIndexed: {
+      if (!ValidAdReg(in.a) || !ValidAdReg(in.b)) return Fault::kRegisterOutOfRange;
+      uint32_t slot = in.imm;
+      if (in.op == Opcode::kStoreAdIndexed) {
+        if (!ValidReg(in.c)) return Fault::kRegisterOutOfRange;
+        slot += static_cast<uint32_t>(ctx.reg(in.c));
+      }
+      // The checked mutator store: rights, bounds, level rule, gray-bit.
+      IMAX_RETURN_IF_FAULT(au.WriteAd(ctx.ad_reg(in.a), slot, ctx.ad_reg(in.b)));
+      effect.compute = cycles::kAdMove;
+      effect.bus = cycles::kBusAdMove;
+      return effect;
+    }
+
+    case Opcode::kRestrictRights:
+      if (!ValidAdReg(in.a)) return Fault::kRegisterOutOfRange;
+      ctx.set_ad_reg(in.a, ctx.ad_reg(in.a).Restricted(static_cast<RightsMask>(in.imm)));
+      effect.compute = cycles::kSimpleOp;
+      return effect;
+
+    case Opcode::kAdIsNull:
+      if (!ValidReg(in.a) || !ValidAdReg(in.b)) return Fault::kRegisterOutOfRange;
+      ctx.set_reg(in.a, ctx.ad_reg(in.b).is_null() ? 1 : 0);
+      effect.compute = cycles::kSimpleOp;
+      return effect;
+
+    case Opcode::kCreateObject: {
+      if (!ValidAdReg(in.a) || !ValidAdReg(in.b)) return Fault::kRegisterOutOfRange;
+      IMAX_ASSIGN_OR_RETURN(
+          AccessDescriptor object,
+          memory_->CreateObject(ctx.ad_reg(in.b), SystemType::kGeneric, in.imm, in.c,
+                                rights::kRead | rights::kWrite | rights::kDelete));
+      ctx.set_ad_reg(in.a, object);
+      effect.compute = cycles::CreateObjectCost(in.imm, in.c);
+      effect.bus = cycles::kBusCreateObject;
+      return effect;
+    }
+
+    case Opcode::kDestroyObject:
+      if (!ValidAdReg(in.a)) return Fault::kRegisterOutOfRange;
+      IMAX_RETURN_IF_FAULT(memory_->DestroyObject(ctx.ad_reg(in.a)));
+      ctx.set_ad_reg(in.a, AccessDescriptor());
+      effect.compute = cycles::kDestroyObject;
+      effect.bus = cycles::kBusCreateObject / 2;
+      return effect;
+
+    case Opcode::kCreateSro: {
+      if (!ValidAdReg(in.a) || !ValidAdReg(in.b)) return Fault::kRegisterOutOfRange;
+      Level context_level = machine_->table().At(ctx.ad().index()).level;
+      IMAX_ASSIGN_OR_RETURN(
+          AccessDescriptor sro,
+          memory_->CreateLocalSro(ctx.ad_reg(in.b), in.imm,
+                                  static_cast<Level>(context_level + 1)));
+      // Record ownership so the local heap dies with this activation.
+      bool recorded = false;
+      for (uint32_t slot = 0; slot < ContextLayout::kNumOwnedSroSlots; ++slot) {
+        if (ctx.Slot(ContextLayout::kSlotOwnedSros + slot).is_null()) {
+          ctx.SetSlot(ContextLayout::kSlotOwnedSros + slot, sro);
+          recorded = true;
+          break;
+        }
+      }
+      if (!recorded) {
+        (void)memory_->DestroySro(sro);
+        return Fault::kStorageExhausted;  // too many local heaps in one activation
+      }
+      ctx.set_ad_reg(in.a, sro);
+      effect.compute = cycles::kCreateObjectBase;
+      effect.bus = cycles::kBusCreateObject;
+      return effect;
+    }
+
+    case Opcode::kDestroySro: {
+      if (!ValidAdReg(in.a)) return Fault::kRegisterOutOfRange;
+      AccessDescriptor sro = ctx.ad_reg(in.a);
+      IMAX_ASSIGN_OR_RETURN(uint32_t reclaimed, memory_->DestroySro(sro));
+      // Clear the ownership slot if this was one of ours.
+      for (uint32_t slot = 0; slot < ContextLayout::kNumOwnedSroSlots; ++slot) {
+        if (ctx.Slot(ContextLayout::kSlotOwnedSros + slot).SameObject(sro)) {
+          ctx.SetSlot(ContextLayout::kSlotOwnedSros + slot, AccessDescriptor());
+        }
+      }
+      ctx.set_ad_reg(in.a, AccessDescriptor());
+      effect.compute = cycles::kDestroyObject + reclaimed * cycles::kGcFreeObject / 4;
+      effect.bus = cycles::kBusCreateObject / 2;
+      return effect;
+    }
+
+    case Opcode::kSend:
+    case Opcode::kCondSend: {
+      if (!ValidAdReg(in.a) || !ValidAdReg(in.b)) return Fault::kRegisterOutOfRange;
+      bool can_block = in.op == Opcode::kSend;
+      if (!can_block && !ValidReg(in.c)) return Fault::kRegisterOutOfRange;
+      auto sent = DoSend(proc, ctx.ad_reg(in.a), ctx.ad_reg(in.b), can_block);
+      if (!sent.ok()) {
+        if (!can_block && sent.fault() == Fault::kQueueFull) {
+          ctx.set_reg(in.c, 0);
+          effect.compute = cycles::kSend;
+          effect.bus = cycles::kBusSend;
+          return effect;
+        }
+        return sent.fault();
+      }
+      if (!can_block) {
+        ctx.set_reg(in.c, 1);
+      }
+      return sent.value();
+    }
+
+    case Opcode::kReceive:
+    case Opcode::kCondReceive: {
+      if (!ValidAdReg(in.a) || !ValidAdReg(in.b)) return Fault::kRegisterOutOfRange;
+      bool can_block = in.op == Opcode::kReceive;
+      if (!can_block && !ValidReg(in.c)) return Fault::kRegisterOutOfRange;
+      auto received = DoReceive(proc, ctx, in.a, ctx.ad_reg(in.b), can_block);
+      if (!received.ok()) {
+        if (!can_block && received.fault() == Fault::kQueueEmpty) {
+          ctx.set_reg(in.c, 0);
+          effect.compute = cycles::kReceive;
+          effect.bus = cycles::kBusReceive;
+          return effect;
+        }
+        return received.fault();
+      }
+      if (!can_block) {
+        ctx.set_reg(in.c, 1);
+      }
+      return received.value();
+    }
+
+    case Opcode::kCall:
+      if (!ValidAdReg(in.a)) return Fault::kRegisterOutOfRange;
+      return DoCall(proc, ctx, ctx.ad_reg(in.a), in.imm);
+
+    case Opcode::kCallLocal:
+      return DoCall(proc, ctx, ctx.domain(), in.imm);
+
+    case Opcode::kReturn:
+      return DoReturn(proc, ctx);
+
+    case Opcode::kBranch:
+      ctx.set_pc(in.imm);
+      effect.compute = cycles::kBranch;
+      return effect;
+
+    case Opcode::kBranchIfZero:
+    case Opcode::kBranchIfNotZero: {
+      if (!ValidReg(in.a)) return Fault::kRegisterOutOfRange;
+      bool zero = ctx.reg(in.a) == 0;
+      if (zero == (in.op == Opcode::kBranchIfZero)) {
+        ctx.set_pc(in.imm);
+      }
+      effect.compute = cycles::kBranch;
+      return effect;
+    }
+
+    case Opcode::kBranchIfLess:
+      if (!ValidReg(in.a) || !ValidReg(in.b)) return Fault::kRegisterOutOfRange;
+      if (ctx.reg(in.a) < ctx.reg(in.b)) {
+        ctx.set_pc(in.imm);
+      }
+      effect.compute = cycles::kBranch;
+      return effect;
+
+    case Opcode::kHalt:
+      effect.kind = StepEffect::Kind::kTerminated;
+      effect.compute = cycles::kSimpleOp;
+      return effect;
+
+    case Opcode::kNative:
+    case Opcode::kOsCall: {
+      NativeFn const* fn = nullptr;
+      Cycles base_cost = cycles::kSimpleOp;
+      if (in.op == Opcode::kNative) {
+        fn = program.native(in.imm);
+        if (fn == nullptr) {
+          return Fault::kInvalidInstruction;
+        }
+      } else {
+        auto it = services_.find(in.imm);
+        if (it == services_.end()) {
+          return Fault::kNotFound;
+        }
+        fn = &it->second;
+        // An OS call costs what any subprogram call costs — the uniformity point of §4.
+        base_cost = cycles::kLocalCall;
+      }
+      ExecutionContext env(this, rec.id, proc.ad(), ctx.ad());
+      IMAX_ASSIGN_OR_RETURN(NativeResult native, (*fn)(env));
+      effect.compute = base_cost + native.compute;
+      effect.bus = native.bus;
+      switch (native.action) {
+        case NativeResult::Action::kContinue:
+          return effect;
+        case NativeResult::Action::kJump:
+          ctx.set_pc(native.jump_target);
+          return effect;
+        case NativeResult::Action::kYield:
+          effect.kind = StepEffect::Kind::kYield;
+          return effect;
+        case NativeResult::Action::kHalt:
+          effect.kind = StepEffect::Kind::kTerminated;
+          return effect;
+        case NativeResult::Action::kBlockReceive: {
+          auto received = DoReceive(proc, ctx, native.dest_adreg, native.port,
+                                    /*can_block=*/true);
+          if (!received.ok()) {
+            return received.fault();
+          }
+          effect.kind = received.value().kind;
+          effect.compute += received.value().compute;
+          effect.bus += received.value().bus;
+          return effect;
+        }
+      }
+      return Fault::kInvalidInstruction;
+    }
+  }
+  return Fault::kInvalidInstruction;
+}
+
+Result<Kernel::StepEffect> Kernel::DoSend(ProcessView& proc, const AccessDescriptor& port_ad,
+                                          const AccessDescriptor& message, bool can_block) {
+  AddressingUnit& au = machine_->addressing();
+  auto typed = au.ResolveTyped(port_ad, SystemType::kPort, rights::kPortSend);
+  if (!typed.ok()) {
+    return typed.fault();
+  }
+  StepEffect effect;
+  effect.compute = cycles::kSend;
+  effect.bus = cycles::kBusSend;
+
+  // A receiver already waits: hand the message straight over (the fast path of the hardware
+  // port algorithms).
+  auto receiver = ports_.PopBlockedReceiver(port_ad);
+  if (receiver.ok()) {
+    ProcessView recv = process_view(receiver.value().process);
+    ContextView recv_ctx(&machine_->addressing(), recv.context());
+    Status stored = au.WriteAd(recv_ctx.ad(),
+                               ContextLayout::kSlotAdRegs + receiver.value().dest_adreg,
+                               message);
+    if (!stored.ok()) {
+      // The *receive* fails its level check; the receiver faults, the sender is unaffected
+      // (its message was consumed by the faulting receive).
+      RaiseFault(recv, stored.fault());
+      proc.Increment(ProcessLayout::kOffMessagesSent, 4);
+      return effect;
+    }
+    recv.Increment(ProcessLayout::kOffMessagesReceived, 4);
+    proc.Increment(ProcessLayout::kOffMessagesSent, 4);
+    IMAX_RETURN_IF_FAULT(MakeReady(receiver.value().process));
+    return effect;
+  }
+
+  Status queued = ports_.Enqueue(port_ad, message, proc.priority(), proc.deadline());
+  if (queued.ok()) {
+    proc.Increment(ProcessLayout::kOffMessagesSent, 4);
+    return effect;
+  }
+  if (queued.fault() != Fault::kQueueFull) {
+    return queued.fault();  // protection fault (e.g. level violation) — sender faults
+  }
+  if (!can_block) {
+    return Fault::kQueueFull;
+  }
+  // Port full: the sender blocks. "If the message queue of the port is full then the calling
+  // process will block until a message slot becomes available."
+  IMAX_RETURN_IF_FAULT(ports_.PushBlockedSender(port_ad, BlockedSender{proc.ad(), message}));
+  proc.set_state(ProcessState::kBlocked);
+  proc.bump_block_epoch();
+  effect.kind = StepEffect::Kind::kBlocked;
+  effect.compute += cycles::kBlockOnPort;
+  return effect;
+}
+
+Result<Kernel::StepEffect> Kernel::DoReceive(ProcessView& proc, ContextView& ctx,
+                                             uint8_t dest_adreg,
+                                             const AccessDescriptor& port_ad, bool can_block) {
+  AddressingUnit& au = machine_->addressing();
+  auto typed = au.ResolveTyped(port_ad, SystemType::kPort, rights::kPortReceive);
+  if (!typed.ok()) {
+    return typed.fault();
+  }
+  StepEffect effect;
+  effect.compute = cycles::kReceive;
+  effect.bus = cycles::kBusReceive;
+
+  auto message = ports_.Dequeue(port_ad);
+  if (message.ok()) {
+    ctx.set_ad_reg(dest_adreg, message.value());
+    proc.Increment(ProcessLayout::kOffMessagesReceived, 4);
+    // A slot freed up: admit one blocked sender.
+    auto sender = ports_.PopBlockedSender(port_ad);
+    if (sender.ok()) {
+      ProcessView sending = process_view(sender.value().process);
+      Status queued = ports_.Enqueue(port_ad, sender.value().message, sending.priority(),
+                                     sending.deadline());
+      if (queued.ok()) {
+        sending.Increment(ProcessLayout::kOffMessagesSent, 4);
+        IMAX_RETURN_IF_FAULT(MakeReady(sender.value().process));
+      } else {
+        // The deferred send hit a protection fault: it is the sender's fault to take.
+        RaiseFault(sending, queued.fault());
+      }
+    }
+    return effect;
+  }
+  if (message.fault() != Fault::kQueueEmpty) {
+    return message.fault();
+  }
+  if (!can_block) {
+    return Fault::kQueueEmpty;
+  }
+  // "If no message is available the process will block until a message becomes available."
+  IMAX_RETURN_IF_FAULT(
+      ports_.PushBlockedReceiver(port_ad, BlockedReceiver{proc.ad(), dest_adreg}));
+  proc.set_state(ProcessState::kBlocked);
+  proc.bump_block_epoch();
+  effect.kind = StepEffect::Kind::kBlocked;
+  effect.compute += cycles::kBlockOnPort;
+  return effect;
+}
+
+Result<Kernel::StepEffect> Kernel::DoCall(ProcessView& proc, ContextView& ctx,
+                                          const AccessDescriptor& domain_ad, uint32_t entry) {
+  AddressingUnit& au = machine_->addressing();
+  IMAX_ASSIGN_OR_RETURN(ObjectDescriptor * domain,
+                        au.ResolveTyped(domain_ad, SystemType::kDomain, rights::kDomainCall));
+  auto entry_count = machine_->memory().Read(domain->data_base + DomainLayout::kOffEntryCount, 2);
+  IMAX_CHECK(entry_count.ok());
+  if (entry >= entry_count.value()) {
+    return Fault::kBoundsViolation;
+  }
+  // The call instruction dereferences the domain's entry list with microcode privilege: the
+  // caller holds only call rights, yet ends up executing the package's code — that *is* the
+  // protected-entry mechanism.
+  AccessDescriptor segment = domain->access[entry];
+  if (segment.is_null()) {
+    return Fault::kNullAccess;
+  }
+  bool local = domain_ad.SameObject(ctx.domain());
+  Level level = static_cast<Level>(machine_->table().At(ctx.ad().index()).level + 1);
+  IMAX_ASSIGN_OR_RETURN(AccessDescriptor callee,
+                        CreateContext(proc, segment, domain_ad, ctx.ad(), level));
+  ContextView callee_ctx(&au, callee);
+  // Calling convention: r7 / a7 carry the argument; a6 names the current domain.
+  callee_ctx.set_reg(kArgReg, ctx.reg(kArgReg));
+  callee_ctx.set_ad_reg(kArgAdReg, ctx.ad_reg(kArgAdReg));
+  proc.SetSlot(ProcessLayout::kSlotContext, callee);
+  proc.set_call_depth(static_cast<uint16_t>(proc.call_depth() + 1));
+
+  StepEffect effect;
+  if (local) {
+    ++stats_.local_calls;
+    effect.compute = cycles::kLocalCall;
+    effect.bus = cycles::kBusDomainCall / 2;
+  } else {
+    ++stats_.domain_calls;
+    effect.compute = cycles::kDomainCall;
+    effect.bus = cycles::kBusDomainCall;
+  }
+  return effect;
+}
+
+Result<Kernel::StepEffect> Kernel::DoReturn(ProcessView& proc, ContextView& ctx) {
+  AddressingUnit& au = machine_->addressing();
+  StepEffect effect;
+
+  // Local heaps created by this activation die with it.
+  for (uint32_t slot = 0; slot < ContextLayout::kNumOwnedSroSlots; ++slot) {
+    AccessDescriptor owned = ctx.Slot(ContextLayout::kSlotOwnedSros + slot);
+    if (!owned.is_null()) {
+      auto reclaimed = memory_->DestroySro(owned);
+      if (reclaimed.ok()) {
+        effect.compute += reclaimed.value() * cycles::kGcFreeObject / 4;
+      }
+      ctx.SetSlot(ContextLayout::kSlotOwnedSros + slot, AccessDescriptor());
+    }
+  }
+
+  AccessDescriptor caller = ctx.caller();
+  if (caller.is_null()) {
+    // Top-level return: the process completes.
+    effect.kind = StepEffect::Kind::kTerminated;
+    effect.compute += cycles::kLocalReturn;
+    return effect;
+  }
+  ContextView caller_ctx(&au, caller);
+  // Return value convention: r7 always copies back; a7 copies back through the *checked*
+  // store — returning an AD for an object deeper than the caller's activation is exactly the
+  // lifetime escape Ada forbids, and it faults here.
+  caller_ctx.set_reg(kArgReg, ctx.reg(kArgReg));
+  AccessDescriptor returned = ctx.ad_reg(kArgAdReg);
+  if (!returned.is_null()) {
+    IMAX_RETURN_IF_FAULT(
+        au.WriteAd(caller, ContextLayout::kSlotAdRegs + kArgAdReg, returned));
+  }
+
+  bool local = ctx.domain().SameObject(caller_ctx.domain()) ||
+               (ctx.domain().is_null() && caller_ctx.domain().is_null());
+  AccessDescriptor dying = ctx.ad();
+  proc.SetSlot(ProcessLayout::kSlotContext, caller);
+  proc.set_call_depth(static_cast<uint16_t>(proc.call_depth() - 1));
+  // The context returns to the stack SRO's free list (stack discipline).
+  IMAX_RETURN_IF_FAULT(memory_->DestroyObject(dying));
+
+  effect.compute += local ? cycles::kLocalReturn : cycles::kDomainReturn;
+  effect.bus = cycles::kBusDomainCall / 2;
+  return effect;
+}
+
+void Kernel::RaiseFault(ProcessView& proc, Fault fault) {
+  proc.set_fault_code(fault);
+  proc.Increment(ProcessLayout::kOffFaultCount, 4);
+  uint8_t level = proc.imax_level();
+
+  // §7.3: "Processes below level 3 of the system ... are in general not permitted to fault.
+  // Processes at level 2 are actually permitted a limited set of timeout faults while those
+  // at level 1 are not permitted even these."
+  bool permitted =
+      level >= kImaxLevelServices || (level == kImaxLevelMemory && fault == Fault::kTimeout);
+  if (!permitted) {
+    ++stats_.panics;
+    IMAX_LOG_ERROR("iMAX design-rule violation: level-%u process faulted with %s", level,
+                   FaultName(fault));
+    TerminateProcess(proc, /*faulted=*/true);
+    NotifyEvent(proc.ad(), ProcessEvent::kPanicked);
+    return;
+  }
+
+  ++stats_.faults_delivered;
+  proc.set_state(ProcessState::kFaulted);
+  AccessDescriptor fault_port = proc.fault_port();
+  if (!fault_port.is_null()) {
+    // "sending them back to software when various fault or scheduling conditions arise":
+    // the faulted process object itself is the message.
+    Status sent = PostMessage(fault_port, proc.ad());
+    if (sent.ok()) {
+      NotifyEvent(proc.ad(), ProcessEvent::kFaulted);
+      return;
+    }
+  }
+  TerminateProcess(proc, /*faulted=*/true);
+  NotifyEvent(proc.ad(), ProcessEvent::kFaulted);
+}
+
+void Kernel::TerminateProcess(ProcessView& proc, bool faulted) {
+  (void)faulted;
+  proc.set_state(ProcessState::kTerminated);
+
+  // Dispose of the activation stack: destroy local heaps owned by live contexts, then the
+  // stack SRO (which reclaims every context in one sweep — the local-heap efficiency story).
+  AccessDescriptor context = proc.context();
+  AddressingUnit& au = machine_->addressing();
+  while (!context.is_null()) {
+    if (!machine_->table().Resolve(context).ok()) {
+      break;
+    }
+    ContextView ctx(&au, context);
+    for (uint32_t slot = 0; slot < ContextLayout::kNumOwnedSroSlots; ++slot) {
+      AccessDescriptor owned = ctx.Slot(ContextLayout::kSlotOwnedSros + slot);
+      if (!owned.is_null()) {
+        (void)memory_->DestroySro(owned);
+      }
+    }
+    context = ctx.caller();
+  }
+  AccessDescriptor stack = proc.stack_sro();
+  proc.SetSlot(ProcessLayout::kSlotContext, AccessDescriptor());
+  proc.SetSlot(ProcessLayout::kSlotStackSro, AccessDescriptor());
+  if (!stack.is_null()) {
+    (void)memory_->DestroySro(stack);
+  }
+  ++stats_.processes_terminated;
+}
+
+void Kernel::NotifyEvent(const AccessDescriptor& process, ProcessEvent event) {
+  if (process_event_handler_) {
+    process_event_handler_(process, event);
+  }
+}
+
+Cycles Kernel::TotalBusyCycles() const {
+  Cycles total = 0;
+  for (const ProcessorRec& rec : processors_) {
+    ObjectView view(&const_cast<Machine*>(machine_)->addressing(), rec.object);
+    total += view.Field(ProcessorLayout::kOffBusyCycles, 8);
+  }
+  return total;
+}
+
+void Kernel::AppendRoots(std::vector<AccessDescriptor>* roots) const {
+  roots->push_back(default_dispatch_port_);
+  for (const ProcessorRec& rec : processors_) {
+    roots->push_back(rec.object);
+  }
+  ports_.AppendShadowRoots(roots);
+  for (const RootProviderFn& provider : root_providers_) {
+    provider(roots);
+  }
+}
+
+}  // namespace imax432

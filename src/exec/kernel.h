@@ -1,0 +1,243 @@
+// Kernel: the execution engine tying the emulated hardware together.
+//
+// This layer is the emulator's equivalent of the 432 processor microcode plus the thin parts
+// of iMAX that "complete the model of computation supported in the hardware": it interprets
+// instruction streams, runs the implicit hardware algorithms (dispatching at dispatching
+// ports, time-slice end, send/receive blocking, inter-domain call/return), creates and
+// disposes of the complex objects (processes, contexts, domains), and delivers faults to
+// fault ports under the iMAX internal-level rules (§7.3).
+//
+// All activity happens in virtual time on the Machine's event queue; each processor executes
+// one instruction per event, with compute cycles local and bus cycles serialized on the
+// shared interconnect.
+
+#ifndef IMAX432_SRC_EXEC_KERNEL_H_
+#define IMAX432_SRC_EXEC_KERNEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "src/exec/execution_context.h"
+#include "src/ipc/port_subsystem.h"
+#include "src/isa/assembler.h"
+#include "src/isa/program.h"
+#include "src/isa/program_store.h"
+#include "src/memory/memory_manager.h"
+#include "src/proc/layouts.h"
+#include "src/sim/machine.h"
+
+namespace imax432 {
+
+// Events reported to the registered process-event handler (the basic process manager).
+enum class ProcessEvent : uint8_t {
+  kTerminated,  // ran to completion (halt or top-level return)
+  kFaulted,     // fault delivered (process now at its fault port, or terminated)
+  kPanicked,    // faulted below iMAX level 3 — a system design-rule violation
+  kStopped,     // left the dispatching mix because its stop count became positive
+};
+
+struct ProcessOptions {
+  uint8_t priority = 128;
+  uint8_t imax_level = kImaxLevelUser;
+  uint32_t deadline = 0;
+  uint32_t stack_bytes = 16 * 1024;       // context (stack) SRO size
+  AccessDescriptor allocation_sro;        // SRO the process object is created from;
+                                          // null = global heap (level-0 lifetime)
+  AccessDescriptor dispatch_port;         // null = kernel default dispatching port
+  AccessDescriptor fault_port;            // null = faults terminate the process
+  AccessDescriptor scheduler_port;        // null = no scheduler notifications
+  AccessDescriptor parent;                // parent process (process tree)
+  AccessDescriptor initial_arg;           // placed in AD register a7 of the first context
+  uint64_t initial_value = 0;             // placed in data register r7
+};
+
+struct KernelStats {
+  uint64_t instructions_executed = 0;
+  uint64_t dispatches = 0;
+  uint64_t time_slice_ends = 0;
+  uint64_t blocks = 0;             // processes that blocked at a port
+  uint64_t faults_delivered = 0;
+  uint64_t panics = 0;             // iMAX-level rule violations
+  uint64_t processes_created = 0;
+  uint64_t processes_terminated = 0;
+  uint64_t domain_calls = 0;
+  uint64_t local_calls = 0;
+  uint64_t swap_faults = 0;        // kSegmentSwapped transparently serviced
+};
+
+class Kernel {
+ public:
+  using ServiceFn = std::function<Result<NativeResult>(ExecutionContext&)>;
+  using ProcessEventFn = std::function<void(const AccessDescriptor& process, ProcessEvent)>;
+  using RootProviderFn = std::function<void(std::vector<AccessDescriptor>*)>;
+
+  Kernel(Machine* machine, MemoryManager* memory);
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  // --- Configuration (boot time) ---
+
+  // Adds `count` general data processors dispatching from `dispatch_port` (null = default
+  // port). "iMAX is fundamentally a multiprocessor operating system": the rest of the system
+  // never knows how many processors exist.
+  Status AddProcessors(int count, const AccessDescriptor& dispatch_port = {});
+
+  // Registers an OsCall service. Ids below 1024 are reserved for iMAX packages.
+  void RegisterService(uint32_t id, ServiceFn fn);
+
+  // Handler invoked on process lifecycle events (used by the basic process manager).
+  void SetProcessEventHandler(ProcessEventFn fn) { process_event_handler_ = std::move(fn); }
+
+  // Registers an additional GC root provider (OS packages holding ADs outside any object).
+  void AddRootProvider(RootProviderFn fn) { root_providers_.push_back(std::move(fn)); }
+
+  // --- Objects ---
+
+  // Creates a process executing `program`. The process is created stopped (kEmbryo);
+  // StartProcess places it in the dispatching mix.
+  Result<AccessDescriptor> CreateProcess(ProgramRef program, const ProcessOptions& options);
+
+  // Creates a domain object whose entries are the given instruction segments; `state_slots`
+  // extra access slots follow the entries for package state. Returns an AD carrying call
+  // rights only — holders can invoke the domain but not inspect its contents, which is the
+  // "small protection domain" property.
+  Result<AccessDescriptor> CreateDomain(const std::vector<AccessDescriptor>& entries,
+                                        uint32_t state_slots = 0);
+
+  // Writes a package-state AD into a domain (boot-time privilege of the package creator).
+  Status SetDomainState(const AccessDescriptor& domain, uint32_t state_index,
+                        const AccessDescriptor& value);
+
+  // --- Process control (used by the process manager packages) ---
+
+  Status StartProcess(const AccessDescriptor& process);
+  // Re-enters a faulted or stopped process into the dispatching mix.
+  Status ResumeProcess(const AccessDescriptor& process);
+  // Marks a process to be held out of the dispatching mix. A ready process is removed when
+  // next dispatched; a running process at its next instruction boundary; a blocked process
+  // when it unblocks.
+  Status MarkStopped(const AccessDescriptor& process);
+
+  // Sends `message` to `port` from outside the simulation (boot code, tests). Never blocks:
+  // faults with kQueueFull instead.
+  Status PostMessage(const AccessDescriptor& port, const AccessDescriptor& message);
+
+  // --- Running ---
+
+  // Runs until no event remains (all processes terminated, blocked forever, or stopped).
+  void Run() { machine_->events().RunUntilIdle(); }
+  // Runs events up to the given virtual time.
+  void RunUntil(Cycles deadline) { machine_->events().RunUntil(deadline); }
+  uint64_t RunBounded(uint64_t max_events) { return machine_->events().RunBounded(max_events); }
+  Cycles now() const { return machine_->now(); }
+
+  // --- Introspection ---
+
+  Machine& machine() { return *machine_; }
+  MemoryManager& memory() { return *memory_; }
+  PortSubsystem& ports() { return ports_; }
+  ProgramStore& programs() { return programs_; }
+  AccessDescriptor default_dispatch_port() const { return default_dispatch_port_; }
+  const KernelStats& stats() const { return stats_; }
+  int processor_count() const { return static_cast<int>(processors_.size()); }
+  AccessDescriptor processor_object(int index) const { return processors_[index].object; }
+
+  // Sum of busy cycles over all processors (for utilization metrics).
+  Cycles TotalBusyCycles() const;
+
+  // Collects the full GC root set: processor objects, the default dispatching port, shadow
+  // roots from the port subsystem, and registered providers.
+  void AppendRoots(std::vector<AccessDescriptor>* roots) const;
+
+  // Process helpers shared with OS packages.
+  ProcessView process_view(const AccessDescriptor& process) {
+    return ProcessView(&machine_->addressing(), process);
+  }
+  // Makes a ready process runnable: direct handoff to an idle processor, else queue at its
+  // dispatching port.
+  Status MakeReady(const AccessDescriptor& process);
+
+ private:
+  struct ProcessorRec {
+    uint16_t id = 0;
+    AccessDescriptor object;
+    AccessDescriptor dispatch_port;
+    AccessDescriptor current;     // current process (mirror of the object slot)
+    Cycles idle_since = 0;
+    bool waiting = false;         // queued at the dispatching port as an idle receiver
+    bool halted = false;
+  };
+
+  // Outcome of one interpreted instruction.
+  struct StepEffect {
+    enum class Kind : uint8_t { kContinue, kBlocked, kTerminated, kYield };
+    Kind kind = Kind::kContinue;
+    Cycles compute = 0;
+    Cycles bus = 0;
+  };
+
+  // One instruction for the process on processor `rec`.
+  void ProcessorStep(uint16_t processor_id);
+  // Tries to bind the next ready process; goes idle if none.
+  void ProcessorFetch(uint16_t processor_id);
+  // Binds `process` to the processor and schedules its first step after dispatch latency.
+  void BindProcess(ProcessorRec& rec, const AccessDescriptor& process);
+
+  Result<StepEffect> Execute(ProcessorRec& rec, ProcessView& proc, ContextView& ctx,
+                             const Program& program, const Instruction& instruction);
+
+  // Send/receive bodies shared by the blocking, conditional and native forms.
+  Result<StepEffect> DoSend(ProcessView& proc, const AccessDescriptor& port_ad,
+                            const AccessDescriptor& message, bool can_block);
+  Result<StepEffect> DoReceive(ProcessView& proc, ContextView& ctx, uint8_t dest_adreg,
+                               const AccessDescriptor& port_ad, bool can_block);
+
+  // Call/return machinery.
+  Result<StepEffect> DoCall(ProcessView& proc, ContextView& ctx,
+                            const AccessDescriptor& domain_ad, uint32_t entry);
+  Result<StepEffect> DoReturn(ProcessView& proc, ContextView& ctx);
+  Result<AccessDescriptor> CreateContext(ProcessView& proc, const AccessDescriptor& segment,
+                                         const AccessDescriptor& domain,
+                                         const AccessDescriptor& caller, Level level);
+
+  // Fault delivery per the iMAX internal-level rules.
+  void RaiseFault(ProcessView& proc, Fault fault);
+  // Finalization of a finished process (reclaims the context stack).
+  void TerminateProcess(ProcessView& proc, bool faulted);
+
+  void NotifyEvent(const AccessDescriptor& process, ProcessEvent event);
+
+  // Charges `compute` + `bus` starting at now(); returns completion time.
+  Cycles ChargeCycles(ProcessorRec& rec, ProcessView& proc, Cycles compute, Cycles bus);
+
+  Machine* machine_;
+  MemoryManager* memory_;
+  PortSubsystem ports_;
+  ProgramStore programs_;
+  std::vector<ProcessorRec> processors_;
+  std::map<uint32_t, ServiceFn> services_;
+  ProcessEventFn process_event_handler_;
+  std::vector<RootProviderFn> root_providers_;
+  AccessDescriptor default_dispatch_port_;
+  KernelStats stats_;
+};
+
+// Well-known OsCall service ids.
+namespace os_service {
+inline constexpr uint32_t kYield = 1;        // reenter the dispatching mix
+inline constexpr uint32_t kGetTime = 2;      // r7 = current virtual time (cycles)
+inline constexpr uint32_t kSetPriority = 3;  // set own priority = r7
+inline constexpr uint32_t kSetDeadline = 4;  // set own deadline = r7
+inline constexpr uint32_t kTimedReceive = 5; // receive from port a7 with timeout r7 cycles;
+                                             // message lands in a7; expiry faults kTimeout
+                                             // (the "limited set of timeout faults" level-2
+                                             // iMAX processes are permitted, §7.3)
+inline constexpr uint32_t kFirstPackageService = 16;  // iMAX packages register from here up
+}  // namespace os_service
+
+}  // namespace imax432
+
+#endif  // IMAX432_SRC_EXEC_KERNEL_H_

@@ -1,0 +1,206 @@
+#include "src/filing/object_store.h"
+
+namespace imax432 {
+
+Result<ObjectStore::Image> ObjectStore::Capture(const AccessDescriptor& object) const {
+  IMAX_ASSIGN_OR_RETURN(const ObjectDescriptor* descriptor,
+                        kernel_->machine().table().Resolve(object));
+  if (!object.HasRights(rights::kRead)) {
+    return Fault::kRightsViolation;
+  }
+  Image image;
+  auto type_id = types_->TypeIdOf(object);
+  image.type_id = type_id.ok() ? type_id.value() : 0;
+  image.data.resize(descriptor->data_length);
+  if (descriptor->data_length > 0) {
+    IMAX_RETURN_IF_FAULT(kernel_->machine().addressing().ReadDataBlock(
+        object, 0, image.data.data(), descriptor->data_length));
+  }
+  return image;
+}
+
+Status ObjectStore::File(const std::string& name, const AccessDescriptor& object) {
+  IMAX_ASSIGN_OR_RETURN(const ObjectDescriptor* descriptor,
+                        kernel_->machine().table().Resolve(object));
+  // Only fully passive objects file under the plain form: live capabilities cannot enter a
+  // passive store (use FileComposite for linked structures).
+  for (const AccessDescriptor& slot : descriptor->access) {
+    if (!slot.is_null()) {
+      return Fault::kInvalidArgument;
+    }
+  }
+  IMAX_ASSIGN_OR_RETURN(Image image, Capture(object));
+  images_[name] = std::move(image);
+  ++stats_.filed;
+  return Status::Ok();
+}
+
+Status ObjectStore::FileComposite(const std::string& name, const AccessDescriptor& root) {
+  // Breadth-first closure over the access graph. Each discovered object becomes a node;
+  // every AD becomes an (slot -> node) edge — structure, not capability.
+  Composite composite;
+  std::map<ObjectIndex, uint32_t> node_of;
+  std::vector<AccessDescriptor> worklist = {root};
+  IMAX_RETURN_IF_FAULT(kernel_->machine().table().Resolve(root).ok()
+                           ? Status::Ok()
+                           : Status(Fault::kNullAccess));
+  node_of[root.index()] = 0;
+  composite.nodes.emplace_back();
+
+  for (size_t cursor = 0; cursor < worklist.size(); ++cursor) {
+    AccessDescriptor current = worklist[cursor];
+    IMAX_ASSIGN_OR_RETURN(const ObjectDescriptor* descriptor,
+                          kernel_->machine().table().Resolve(current));
+    // Build into a local: composite.nodes grows inside the loop, so references into it
+    // would dangle.
+    Node node;
+    IMAX_ASSIGN_OR_RETURN(node.image, Capture(current));
+    node.access_slots = descriptor->access_count();
+    for (uint32_t slot = 0; slot < descriptor->access_count(); ++slot) {
+      const AccessDescriptor& edge = descriptor->access[slot];
+      if (edge.is_null()) {
+        continue;
+      }
+      if (!kernel_->machine().table().Resolve(edge).ok()) {
+        return Fault::kInvalidAccess;  // dangling edges do not file
+      }
+      auto it = node_of.find(edge.index());
+      uint32_t target;
+      if (it == node_of.end()) {
+        target = static_cast<uint32_t>(composite.nodes.size());
+        node_of[edge.index()] = target;
+        composite.nodes.emplace_back();
+        worklist.push_back(edge);
+      } else {
+        target = it->second;
+      }
+      node.edges.emplace_back(slot, target);
+    }
+    composite.nodes[node_of[current.index()]] = std::move(node);
+  }
+  composites_[name] = std::move(composite);
+  ++stats_.filed;
+  return Status::Ok();
+}
+
+Result<AccessDescriptor> ObjectStore::RetrieveComposite(const std::string& name,
+                                                        const AccessDescriptor& sro,
+                                                        const TdoResolver& resolver) {
+  auto it = composites_.find(name);
+  if (it == composites_.end()) {
+    return Fault::kNotFound;
+  }
+  const Composite& composite = it->second;
+
+  // Pass 1: materialize every node (type identity restored through the resolver's TDOs).
+  std::vector<AccessDescriptor> fresh;
+  fresh.reserve(composite.nodes.size());
+  for (const Node& node : composite.nodes) {
+    AccessDescriptor object;
+    uint32_t data_bytes = static_cast<uint32_t>(node.image.data.size());
+    if (node.image.type_id != 0) {
+      AccessDescriptor tdo = resolver ? resolver(node.image.type_id) : AccessDescriptor();
+      if (tdo.is_null()) {
+        ++stats_.type_checks_failed;
+        return Fault::kTypeMismatch;
+      }
+      IMAX_ASSIGN_OR_RETURN(
+          object, types_->CreateTypedObject(tdo, sro, data_bytes, node.access_slots,
+                                            rights::kRead | rights::kWrite | rights::kDelete));
+    } else {
+      IMAX_ASSIGN_OR_RETURN(
+          object, kernel_->memory().CreateObject(sro, SystemType::kGeneric, data_bytes,
+                                                 node.access_slots,
+                                                 rights::kRead | rights::kWrite |
+                                                     rights::kDelete));
+    }
+    if (data_bytes > 0) {
+      IMAX_RETURN_IF_FAULT(kernel_->machine().addressing().WriteDataBlock(
+          object, 0, node.image.data.data(), data_bytes));
+    }
+    fresh.push_back(object);
+  }
+  // Pass 2: rebuild the edges with checked stores (all nodes share the SRO's level, so the
+  // level rule is trivially satisfied within the graph).
+  for (size_t i = 0; i < composite.nodes.size(); ++i) {
+    for (const auto& [slot, target] : composite.nodes[i].edges) {
+      IMAX_RETURN_IF_FAULT(
+          kernel_->machine().addressing().WriteAd(fresh[i], slot, fresh[target]));
+    }
+  }
+  ++stats_.retrieved;
+  return fresh[0];
+}
+
+Result<uint32_t> ObjectStore::CompositeSize(const std::string& name) const {
+  auto it = composites_.find(name);
+  if (it == composites_.end()) {
+    return Fault::kNotFound;
+  }
+  return static_cast<uint32_t>(it->second.nodes.size());
+}
+
+Result<AccessDescriptor> ObjectStore::Retrieve(const std::string& name,
+                                               const AccessDescriptor& sro,
+                                               const AccessDescriptor& tdo) {
+  auto it = images_.find(name);
+  if (it == images_.end()) {
+    return Fault::kNotFound;
+  }
+  const Image& image = it->second;
+
+  AccessDescriptor object;
+  if (image.type_id != 0) {
+    // The image is typed: it may only come back to life through its own type definition.
+    if (tdo.is_null()) {
+      ++stats_.type_checks_failed;
+      return Fault::kTypeMismatch;
+    }
+    auto tdo_descriptor = kernel_->machine().table().Resolve(tdo);
+    if (!tdo_descriptor.ok()) {
+      return tdo_descriptor.fault();
+    }
+    auto tdo_type_id = kernel_->machine().memory().Read(
+        tdo_descriptor.value()->data_base + TdoLayout::kOffTypeId, 4);
+    if (!tdo_type_id.ok() || tdo_type_id.value() != image.type_id) {
+      ++stats_.type_checks_failed;
+      return Fault::kTypeMismatch;
+    }
+    IMAX_ASSIGN_OR_RETURN(
+        object, types_->CreateTypedObject(tdo, sro,
+                                          static_cast<uint32_t>(image.data.size()), 0,
+                                          rights::kRead | rights::kWrite | rights::kDelete));
+  } else {
+    if (!tdo.is_null()) {
+      ++stats_.type_checks_failed;
+      return Fault::kTypeMismatch;  // asking for a typed view of an untyped image
+    }
+    IMAX_ASSIGN_OR_RETURN(
+        object, kernel_->memory().CreateObject(
+                    sro, SystemType::kGeneric, static_cast<uint32_t>(image.data.size()), 0,
+                    rights::kRead | rights::kWrite | rights::kDelete));
+  }
+  if (!image.data.empty()) {
+    IMAX_RETURN_IF_FAULT(kernel_->machine().addressing().WriteDataBlock(
+        object, 0, image.data.data(), static_cast<uint32_t>(image.data.size())));
+  }
+  ++stats_.retrieved;
+  return object;
+}
+
+Status ObjectStore::Remove(const std::string& name) {
+  if (images_.erase(name) == 0) {
+    return Fault::kNotFound;
+  }
+  return Status::Ok();
+}
+
+Result<uint32_t> ObjectStore::FiledTypeId(const std::string& name) const {
+  auto it = images_.find(name);
+  if (it == images_.end()) {
+    return Fault::kNotFound;
+  }
+  return it->second.type_id;
+}
+
+}  // namespace imax432

@@ -1,0 +1,111 @@
+// ObjectStore: a minimal object filing system preserving hardware type identity.
+//
+// Full object filing is the subject of the companion paper; what *this* paper claims of it
+// is one property, which this module reproduces: "No matter what path a system object
+// follows within the 432, its hardware-recognized type identity is guaranteed to be
+// preserved and checked, either by the hardware or by object filing." (§7.2)
+//
+// The store checkpoints an object's data part together with its user-type identity (the
+// TDO's type id). Retrieval re-creates the object *through the type definition facility*,
+// so the resurrected object carries the same hardware-checked identity it had when filed —
+// unlike an ordinary byte store, which by the paper's argument ("if a storage system exists
+// before the compilation of a package, then it cannot know of and therefore cannot preserve
+// the type") would have laundered it into untyped bytes.
+//
+// Access parts are not filed: a passive store must not hold live capabilities (they would
+// dangle across the store's lifetime). Filing an object with non-null access slots is
+// rejected, mirroring the real system's requirement that filed composites be transitively
+// passivated.
+
+#ifndef IMAX432_SRC_FILING_OBJECT_STORE_H_
+#define IMAX432_SRC_FILING_OBJECT_STORE_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/exec/kernel.h"
+#include "src/os/type_manager.h"
+
+namespace imax432 {
+
+struct FilingStats {
+  uint64_t filed = 0;
+  uint64_t retrieved = 0;
+  uint64_t type_checks_failed = 0;
+};
+
+class ObjectStore {
+ public:
+  // Maps a filed type id to the type definition object that may resurrect it (composite
+  // retrieval). Returning a null AD rejects the type.
+  using TdoResolver = std::function<AccessDescriptor(uint32_t type_id)>;
+
+  ObjectStore(Kernel* kernel, TypeManagerFacility* types) : kernel_(kernel), types_(types) {}
+
+  // Files the object under `name`. Requires read rights. The object's user type id (or 0
+  // for plain objects) is recorded with the image.
+  Status File(const std::string& name, const AccessDescriptor& object);
+
+  // Retrieves `name` into a fresh object allocated from `sro`. When the filed image carried
+  // a user type, `tdo` must be the matching type definition (create rights required); the
+  // new object is created through it, restoring hardware-checked identity. Retrieving a
+  // typed image without the right TDO faults with kTypeMismatch — the filing-system type
+  // check the paper refers to.
+  Result<AccessDescriptor> Retrieve(const std::string& name, const AccessDescriptor& sro,
+                                    const AccessDescriptor& tdo = {});
+
+  // --- Composite filing (transitive passivation) ---
+  // Files the whole object graph reachable from `root` through access parts. Every reached
+  // object is serialized with its data part, its user type id, and its outgoing edges as
+  // *internal* indices — capabilities become graph structure, which is how a passive store
+  // can hold linked objects without holding live ADs. Requires read rights along the way.
+  Status FileComposite(const std::string& name, const AccessDescriptor& root);
+
+  // Re-creates a filed graph in `sro`: one fresh object per image node, edges rebuilt with
+  // checked stores. Typed nodes are resurrected through the TDO supplied by `resolver`
+  // (type identity restored and enforced); pass nullptr if the graph is untyped.
+  Result<AccessDescriptor> RetrieveComposite(const std::string& name,
+                                             const AccessDescriptor& sro,
+                                             const TdoResolver& resolver = nullptr);
+
+  // Number of nodes in a filed composite (kNotFound if the name is a plain image).
+  Result<uint32_t> CompositeSize(const std::string& name) const;
+
+  // Store maintenance.
+  bool Contains(const std::string& name) const { return images_.count(name) != 0; }
+  Status Remove(const std::string& name);
+  Result<uint32_t> FiledTypeId(const std::string& name) const;
+  size_t size() const { return images_.size(); }
+  const FilingStats& stats() const { return stats_; }
+
+ private:
+  struct Image {
+    uint32_t type_id = 0;  // 0 = plain (no user type)
+    std::vector<uint8_t> data;
+  };
+
+  // One node of a filed composite: the image plus outgoing edges (slot -> node index).
+  struct Node {
+    Image image;
+    uint32_t access_slots = 0;
+    std::vector<std::pair<uint32_t, uint32_t>> edges;
+  };
+  struct Composite {
+    std::vector<Node> nodes;  // node 0 is the root
+  };
+
+  Result<Image> Capture(const AccessDescriptor& object) const;
+
+  Kernel* kernel_;
+  TypeManagerFacility* types_;
+  std::map<std::string, Image> images_;
+  std::map<std::string, Composite> composites_;
+  FilingStats stats_;
+};
+
+}  // namespace imax432
+
+#endif  // IMAX432_SRC_FILING_OBJECT_STORE_H_

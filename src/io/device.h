@@ -1,0 +1,93 @@
+// DeviceModel and DeviceServer: device implementations and their package instances.
+//
+// Each device instance pairs a DeviceModel (the device-specific implementation) with a
+// DeviceServer (the port-served daemon process). Creating a device touches no system code
+// and no central list: "Any user can create a new device implementation which will behave
+// identically to existing ones without in any way altering system code, say to update a
+// master I/O device list or to add a new element to a case construct in the system I/O
+// controller."
+
+#ifndef IMAX432_SRC_IO_DEVICE_H_
+#define IMAX432_SRC_IO_DEVICE_H_
+
+#include <memory>
+
+#include "src/exec/kernel.h"
+#include "src/io/protocol.h"
+
+namespace imax432 {
+
+// The device-implementation interface. Read/Write/StatusWord are the device-independent
+// subset; Control carries every class- and device-dependent operation. A model that does
+// not implement an operation answers io_status::kBadOperation — the protocol's equivalent
+// of calling outside a package's specification.
+class DeviceModel {
+ public:
+  virtual ~DeviceModel() = default;
+
+  virtual const char* kind() const = 0;
+  virtual IoOutcome Read(uint32_t offset, uint8_t* out, uint32_t length) = 0;
+  virtual IoOutcome Write(uint32_t offset, const uint8_t* in, uint32_t length) = 0;
+  virtual IoOutcome Control(uint8_t op, uint32_t argument) = 0;
+  virtual uint64_t StatusWord() const = 0;
+};
+
+struct DeviceStats {
+  uint64_t requests = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  uint64_t errors = 0;
+};
+
+// A running device instance.
+class DeviceServer {
+ public:
+  // Creates the request port and server process and starts serving. The server runs at the
+  // iMAX services level.
+  static Result<std::unique_ptr<DeviceServer>> Spawn(Kernel* kernel,
+                                                     std::unique_ptr<DeviceModel> model,
+                                                     uint8_t priority = 200);
+
+  // The device's identity: holding this AD (with send rights) is access to the device.
+  const AccessDescriptor& request_port() const { return request_port_; }
+  const AccessDescriptor& server_process() const { return server_process_; }
+  DeviceModel& model() { return *model_; }
+  const DeviceStats& stats() const { return stats_; }
+
+ private:
+  DeviceServer() = default;
+
+  // Handles one request object: performs the operation, fills the reply fields, returns the
+  // operation's virtual cost. Exposed to the daemon's native step.
+  Result<Cycles> Serve(Kernel* kernel, const AccessDescriptor& request);
+
+  std::unique_ptr<DeviceModel> model_;
+  AccessDescriptor request_port_;
+  AccessDescriptor server_process_;
+  DeviceStats stats_;
+};
+
+// Host-side client helper: builds, sends and awaits requests outside virtual time (boot
+// code and tests). Programs on the machine talk to devices with plain Send/Receive.
+class IoClient {
+ public:
+  explicit IoClient(Kernel* kernel);
+
+  // Performs a synchronous operation against a device port. For kRead the buffer contents
+  // come back in `buffer`; for kWrite they are taken from it.
+  Result<IoOutcome> Transfer(const AccessDescriptor& device_port, uint8_t op, uint32_t offset,
+                             const AccessDescriptor& buffer, uint32_t length);
+  Result<IoOutcome> Control(const AccessDescriptor& device_port, uint8_t op,
+                            uint32_t argument);
+
+ private:
+  Result<IoOutcome> Execute(const AccessDescriptor& device_port,
+                            const AccessDescriptor& request);
+
+  Kernel* kernel_;
+  AccessDescriptor reply_port_;
+};
+
+}  // namespace imax432
+
+#endif  // IMAX432_SRC_IO_DEVICE_H_

@@ -1,0 +1,190 @@
+#include "src/io/devices.h"
+
+#include <cstring>
+
+namespace imax432 {
+
+// --- ConsoleDevice ---
+
+IoOutcome ConsoleDevice::Read(uint32_t offset, uint8_t* out, uint32_t length) {
+  (void)offset;  // character devices ignore offsets
+  IoOutcome outcome;
+  uint32_t available = static_cast<uint32_t>(input_.size() - input_cursor_);
+  outcome.actual = std::min(length, available);
+  std::memcpy(out, input_.data() + input_cursor_, outcome.actual);
+  input_cursor_ += outcome.actual;
+  if (outcome.actual < length) {
+    outcome.status = io_status::kEndOfMedium;
+  }
+  outcome.cost = static_cast<Cycles>(outcome.actual) * kCyclesPerChar;
+  return outcome;
+}
+
+IoOutcome ConsoleDevice::Write(uint32_t offset, const uint8_t* in, uint32_t length) {
+  (void)offset;
+  IoOutcome outcome;
+  output_.append(reinterpret_cast<const char*>(in), length);
+  outcome.actual = length;
+  outcome.cost = static_cast<Cycles>(length) * kCyclesPerChar;
+  return outcome;
+}
+
+IoOutcome ConsoleDevice::Control(uint8_t op, uint32_t argument) {
+  (void)argument;
+  IoOutcome outcome;
+  if (op == io_op::kBell) {
+    ++bells_;
+    outcome.cost = kCyclesPerChar;
+  } else {
+    outcome.status = io_status::kBadOperation;
+  }
+  return outcome;
+}
+
+uint64_t ConsoleDevice::StatusWord() const {
+  return (input_.size() - input_cursor_) << 8 | (output_.empty() ? 0 : 1);
+}
+
+// --- TapeDevice ---
+
+IoOutcome TapeDevice::Read(uint32_t offset, uint8_t* out, uint32_t length) {
+  (void)offset;  // tapes are sequential: reads happen at the current position
+  IoOutcome outcome;
+  if (!mounted_) {
+    outcome.status = io_status::kNotMounted;
+    return outcome;
+  }
+  std::vector<uint8_t>& volume = (*library_)[volume_];
+  if (position_ >= volume.size()) {
+    outcome.status = io_status::kEndOfMedium;
+    return outcome;
+  }
+  outcome.actual = std::min<uint32_t>(length, static_cast<uint32_t>(volume.size()) - position_);
+  std::memcpy(out, volume.data() + position_, outcome.actual);
+  position_ += outcome.actual;
+  outcome.cost = static_cast<Cycles>(outcome.actual) * kCyclesPerByte;
+  return outcome;
+}
+
+IoOutcome TapeDevice::Write(uint32_t offset, const uint8_t* in, uint32_t length) {
+  (void)offset;
+  IoOutcome outcome;
+  if (!mounted_) {
+    outcome.status = io_status::kNotMounted;
+    return outcome;
+  }
+  if (position_ + length > capacity_) {
+    outcome.status = io_status::kEndOfMedium;
+    return outcome;
+  }
+  std::vector<uint8_t>& volume = (*library_)[volume_];
+  if (volume.size() < position_ + length) {
+    volume.resize(position_ + length);
+  }
+  std::memcpy(volume.data() + position_, in, length);
+  position_ += length;
+  outcome.actual = length;
+  outcome.cost = static_cast<Cycles>(length) * kCyclesPerByte;
+  return outcome;
+}
+
+IoOutcome TapeDevice::Control(uint8_t op, uint32_t argument) {
+  IoOutcome outcome;
+  switch (op) {
+    case io_op::kRewind:
+      if (!mounted_) {
+        outcome.status = io_status::kNotMounted;
+        return outcome;
+      }
+      position_ = 0;
+      outcome.cost = kRewindCycles;
+      return outcome;
+    case io_op::kMount:
+      mounted_ = true;
+      volume_ = argument;
+      position_ = 0;
+      outcome.cost = kMountCycles;
+      return outcome;
+    case io_op::kUnmount:
+      if (!mounted_) {
+        outcome.status = io_status::kNotMounted;
+        return outcome;
+      }
+      mounted_ = false;
+      outcome.cost = kMountCycles;
+      return outcome;
+    case io_op::kSeek:  // class-dependent: block devices can position
+      if (!mounted_) {
+        outcome.status = io_status::kNotMounted;
+        return outcome;
+      }
+      position_ = std::min(argument, capacity_);
+      outcome.cost = kRewindCycles / 4 + static_cast<Cycles>(position_) * kCyclesPerByte / 8;
+      return outcome;
+    default:
+      outcome.status = io_status::kBadOperation;
+      return outcome;
+  }
+}
+
+uint64_t TapeDevice::StatusWord() const {
+  return (static_cast<uint64_t>(volume_) << 32) | (static_cast<uint64_t>(position_) << 1) |
+         (mounted_ ? 1u : 0u);
+}
+
+// --- DiskDevice ---
+
+Cycles DiskDevice::SeekCost(uint32_t target) {
+  uint32_t distance = target > head_ ? target - head_ : head_ - target;
+  return kSeekBaseCycles + static_cast<Cycles>(distance / 1024) * kSeekPerKilobyteCycles;
+}
+
+IoOutcome DiskDevice::Read(uint32_t offset, uint8_t* out, uint32_t length) {
+  IoOutcome outcome;
+  if (offset >= media_.size()) {
+    outcome.status = io_status::kEndOfMedium;
+    return outcome;
+  }
+  outcome.cost = SeekCost(offset);
+  head_ = offset;
+  outcome.actual = std::min<uint32_t>(length, static_cast<uint32_t>(media_.size()) - offset);
+  std::memcpy(out, media_.data() + offset, outcome.actual);
+  head_ += outcome.actual;
+  outcome.cost += static_cast<Cycles>(outcome.actual) * kCyclesPerByte;
+  if (outcome.actual < length) {
+    outcome.status = io_status::kEndOfMedium;
+  }
+  return outcome;
+}
+
+IoOutcome DiskDevice::Write(uint32_t offset, const uint8_t* in, uint32_t length) {
+  IoOutcome outcome;
+  if (offset + length > media_.size()) {
+    outcome.status = io_status::kEndOfMedium;
+    return outcome;
+  }
+  outcome.cost = SeekCost(offset);
+  head_ = offset;
+  std::memcpy(media_.data() + offset, in, length);
+  head_ += length;
+  outcome.actual = length;
+  outcome.cost += static_cast<Cycles>(length) * kCyclesPerByte;
+  return outcome;
+}
+
+IoOutcome DiskDevice::Control(uint8_t op, uint32_t argument) {
+  IoOutcome outcome;
+  if (op == io_op::kSeek) {
+    outcome.cost = SeekCost(argument);
+    head_ = std::min(argument, static_cast<uint32_t>(media_.size()));
+    return outcome;
+  }
+  outcome.status = io_status::kBadOperation;
+  return outcome;
+}
+
+uint64_t DiskDevice::StatusWord() const {
+  return (static_cast<uint64_t>(media_.size()) << 32) | head_;
+}
+
+}  // namespace imax432

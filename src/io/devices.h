@@ -1,0 +1,104 @@
+// Concrete device models: console, tape drive, disk.
+//
+// Each is a distinct implementation behind the one device-independent specification; the
+// tape and disk additionally share the block-device class-dependent operation (seek), and
+// each has device-dependent operations of its own — the three-layer interface structure of
+// §6.3. Latency models are simple but material: device time is charged to the server
+// process in virtual cycles, so I/O-bound workloads behave like I/O-bound workloads.
+
+#ifndef IMAX432_SRC_IO_DEVICES_H_
+#define IMAX432_SRC_IO_DEVICES_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/io/device.h"
+
+namespace imax432 {
+
+// A write-mostly character device. Output is captured host-side for inspection; input is
+// replayed from a preloaded string. Device-dependent operation: kBell.
+class ConsoleDevice : public DeviceModel {
+ public:
+  // ~9600 baud: roughly one character per millisecond of virtual time.
+  static constexpr Cycles kCyclesPerChar = 8000;
+
+  const char* kind() const override { return "console"; }
+  IoOutcome Read(uint32_t offset, uint8_t* out, uint32_t length) override;
+  IoOutcome Write(uint32_t offset, const uint8_t* in, uint32_t length) override;
+  IoOutcome Control(uint8_t op, uint32_t argument) override;
+  uint64_t StatusWord() const override;
+
+  void PreloadInput(const std::string& text) { input_ = text; }
+  const std::string& output() const { return output_; }
+  uint32_t bells() const { return bells_; }
+
+ private:
+  std::string input_;
+  size_t input_cursor_ = 0;
+  std::string output_;
+  uint32_t bells_ = 0;
+};
+
+// A tape drive: the paper's running example of a physical resource that must not be lost
+// (§8.2). Supports mount/unmount/rewind plus sequential block read/write; reading or
+// writing an unmounted drive fails with kNotMounted. Volumes persist in a host-side volume
+// library keyed by volume id, shared by every drive created against the same library.
+class TapeDevice : public DeviceModel {
+ public:
+  using VolumeLibrary = std::map<uint32_t, std::vector<uint8_t>>;
+
+  static constexpr Cycles kMountCycles = 400000;   // 50 ms: operator/robot latency
+  static constexpr Cycles kRewindCycles = 240000;  // 30 ms
+  static constexpr Cycles kCyclesPerByte = 4;      // streaming transfer
+
+  explicit TapeDevice(VolumeLibrary* library, uint32_t capacity_bytes = 256 * 1024)
+      : library_(library), capacity_(capacity_bytes) {}
+
+  const char* kind() const override { return "tape"; }
+  IoOutcome Read(uint32_t offset, uint8_t* out, uint32_t length) override;
+  IoOutcome Write(uint32_t offset, const uint8_t* in, uint32_t length) override;
+  IoOutcome Control(uint8_t op, uint32_t argument) override;
+  uint64_t StatusWord() const override;
+
+  bool mounted() const { return mounted_; }
+  uint32_t volume() const { return volume_; }
+  uint32_t position() const { return position_; }
+
+ private:
+  VolumeLibrary* library_;
+  uint32_t capacity_;
+  bool mounted_ = false;
+  uint32_t volume_ = 0;
+  uint32_t position_ = 0;
+};
+
+// A seekable block device with a distance-dependent seek cost. Class-dependent operation:
+// kSeek (shared with tape); no device-dependent extras.
+class DiskDevice : public DeviceModel {
+ public:
+  static constexpr Cycles kSeekBaseCycles = 40000;        // 5 ms average access
+  static constexpr Cycles kSeekPerKilobyteCycles = 16;    // arm travel
+  static constexpr Cycles kCyclesPerByte = 2;
+
+  explicit DiskDevice(uint32_t capacity_bytes = 1024 * 1024) : media_(capacity_bytes, 0) {}
+
+  const char* kind() const override { return "disk"; }
+  IoOutcome Read(uint32_t offset, uint8_t* out, uint32_t length) override;
+  IoOutcome Write(uint32_t offset, const uint8_t* in, uint32_t length) override;
+  IoOutcome Control(uint8_t op, uint32_t argument) override;
+  uint64_t StatusWord() const override;
+
+  uint32_t head_position() const { return head_; }
+
+ private:
+  Cycles SeekCost(uint32_t target);
+
+  std::vector<uint8_t> media_;
+  uint32_t head_ = 0;
+};
+
+}  // namespace imax432
+
+#endif  // IMAX432_SRC_IO_DEVICES_H_

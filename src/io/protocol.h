@@ -1,0 +1,79 @@
+// The device-independent I/O protocol (§6.3).
+//
+// "A single specification is defined for device independent input and another for device
+// independent output. Each instance of an I/O device may have a distinct implementation.
+// The user interacts with each device identically but the code is specific to the device.
+// ... it avoids any centralized I/O control or interface."
+//
+// A device instance is a package instance: one request port plus one server process. There
+// is no device registry anywhere in the system — holding an AD for a device's request port
+// *is* access to the device, and any party can create a new device implementation without
+// touching system code.
+//
+// Requests are ordinary objects sent through ordinary ports. The device-independent
+// operation set is the required subset; devices may accept additional device-dependent
+// operations through the same port ("we actually go one step further ... by requiring only
+// that a device implementation provide the common device independent interface as a
+// subset"). Related devices may share class-dependent operation ranges (block devices).
+
+#ifndef IMAX432_SRC_IO_PROTOCOL_H_
+#define IMAX432_SRC_IO_PROTOCOL_H_
+
+#include <cstdint>
+
+#include "src/arch/types.h"
+
+namespace imax432 {
+
+namespace io_op {
+// Device-independent operations: every device implements these.
+inline constexpr uint8_t kRead = 0;    // buffer <- device[offset, offset+length)
+inline constexpr uint8_t kWrite = 1;   // device[offset, ...) <- buffer
+inline constexpr uint8_t kStatus = 2;  // reply value = device status word
+// Class-dependent operations: block devices (disk, tape).
+inline constexpr uint8_t kSeek = 16;      // position to `offset`
+// Device-dependent operations: tape drives.
+inline constexpr uint8_t kRewind = 32;
+inline constexpr uint8_t kMount = 33;     // argument = volume id
+inline constexpr uint8_t kUnmount = 34;
+// Device-dependent operations: consoles.
+inline constexpr uint8_t kBell = 48;
+}  // namespace io_op
+
+namespace io_status {
+inline constexpr uint8_t kOk = 0;
+inline constexpr uint8_t kEndOfMedium = 1;     // read/write past the device extent
+inline constexpr uint8_t kNotMounted = 2;      // tape operation with no volume
+inline constexpr uint8_t kBadOperation = 3;    // op code the device does not implement
+inline constexpr uint8_t kDeviceFault = 4;     // simulated hard error
+}  // namespace io_status
+
+// Layout of an I/O request object. The client allocates it, fills the fields, stores the
+// buffer and reply port ADs, and sends it to the device's request port; the server performs
+// the operation, fills the reply fields, and sends the same object to the reply port.
+struct IoRequestLayout {
+  static constexpr uint32_t kOffOp = 0;        // u8  (io_op)
+  static constexpr uint32_t kOffStatus = 1;    // u8  (io_status; reply)
+  static constexpr uint32_t kOffOffset = 4;    // u32 (device offset / seek target / volume)
+  static constexpr uint32_t kOffLength = 8;    // u32 (transfer length)
+  static constexpr uint32_t kOffActual = 12;   // u32 (bytes actually moved; reply)
+  static constexpr uint32_t kOffValue = 16;    // u64 (status word / op result; reply)
+  static constexpr uint32_t kDataBytes = 24;
+
+  static constexpr uint32_t kSlotBuffer = 0;     // data buffer object (read/write)
+  static constexpr uint32_t kSlotReplyPort = 1;  // where the completed request returns
+  static constexpr uint32_t kAccessSlots = 2;
+};
+
+// Outcome of one device operation, including its virtual-time cost (charged to the server
+// process, so device latency is visible in the simulation).
+struct IoOutcome {
+  uint8_t status = io_status::kOk;
+  uint32_t actual = 0;
+  uint64_t value = 0;
+  Cycles cost = 0;
+};
+
+}  // namespace imax432
+
+#endif  // IMAX432_SRC_IO_PROTOCOL_H_

@@ -1,0 +1,185 @@
+// Assembler: a fluent builder for Program objects.
+//
+// Workload programs for the examples, tests and benchmarks are written against this builder.
+// Branch targets use forward-patchable labels. The builder returns *this so code reads like
+// an assembly listing:
+//
+//   Assembler a("producer");
+//   auto loop = a.NewLabel();
+//   a.LoadImm(0, 0)
+//    .Bind(loop)
+//    .Send(/*port=*/0, /*msg=*/1)
+//    .AddImm(0, 0, 1)
+//    .BranchIfLess(0, 2, loop)
+//    .Halt();
+//   ProgramRef program = a.Build();
+
+#ifndef IMAX432_SRC_ISA_ASSEMBLER_H_
+#define IMAX432_SRC_ISA_ASSEMBLER_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/base/check.h"
+#include "src/isa/program.h"
+
+namespace imax432 {
+
+class Assembler {
+ public:
+  using Label = uint32_t;
+
+  explicit Assembler(std::string name) : program_(std::make_shared<Program>(std::move(name))) {}
+
+  // --- Labels ---
+  Label NewLabel() {
+    labels_.push_back(kUnbound);
+    return static_cast<Label>(labels_.size() - 1);
+  }
+
+  Assembler& Bind(Label label) {
+    IMAX_CHECK(labels_[label] == kUnbound);
+    labels_[label] = program_->size();
+    return *this;
+  }
+
+  // --- Data operations ---
+  Assembler& Compute(uint32_t cycle_count) { return Emit({Opcode::kCompute, 0, 0, 0, cycle_count, 0}); }
+  Assembler& LoadImm(uint8_t r, uint64_t value) {
+    return Emit({Opcode::kLoadImm, r, 0, 0, 0, value});
+  }
+  Assembler& Move(uint8_t dst, uint8_t src) { return Emit({Opcode::kMove, dst, src, 0, 0, 0}); }
+  Assembler& Add(uint8_t dst, uint8_t lhs, uint8_t rhs) {
+    return Emit({Opcode::kAdd, dst, lhs, rhs, 0, 0});
+  }
+  Assembler& AddImm(uint8_t dst, uint8_t src, uint32_t value) {
+    return Emit({Opcode::kAddImm, dst, src, 0, value, 0});
+  }
+  Assembler& Sub(uint8_t dst, uint8_t lhs, uint8_t rhs) {
+    return Emit({Opcode::kSub, dst, lhs, rhs, 0, 0});
+  }
+  Assembler& Mul(uint8_t dst, uint8_t lhs, uint8_t rhs) {
+    return Emit({Opcode::kMul, dst, lhs, rhs, 0, 0});
+  }
+  Assembler& LoadData(uint8_t r, uint8_t ad, uint32_t offset, uint8_t width = 8) {
+    return Emit({Opcode::kLoadData, r, ad, width, offset, 0});
+  }
+  Assembler& StoreData(uint8_t ad, uint8_t r, uint32_t offset, uint8_t width = 8) {
+    return Emit({Opcode::kStoreData, ad, r, width, offset, 0});
+  }
+  Assembler& LoadDataIndexed(uint8_t r, uint8_t ad, uint8_t index_reg, uint32_t base = 0) {
+    return Emit({Opcode::kLoadDataIndexed, r, ad, index_reg, base, 0});
+  }
+  Assembler& StoreDataIndexed(uint8_t ad, uint8_t r, uint8_t index_reg, uint32_t base = 0) {
+    return Emit({Opcode::kStoreDataIndexed, ad, r, index_reg, base, 0});
+  }
+
+  // --- Access descriptor operations ---
+  Assembler& MoveAd(uint8_t dst, uint8_t src) { return Emit({Opcode::kMoveAd, dst, src, 0, 0, 0}); }
+  Assembler& ClearAd(uint8_t ad) { return Emit({Opcode::kClearAd, ad, 0, 0, 0, 0}); }
+  Assembler& LoadAd(uint8_t dst, uint8_t container, uint32_t slot) {
+    return Emit({Opcode::kLoadAd, dst, container, 0, slot, 0});
+  }
+  Assembler& StoreAd(uint8_t container, uint8_t src, uint32_t slot) {
+    return Emit({Opcode::kStoreAd, container, src, 0, slot, 0});
+  }
+  Assembler& LoadAdIndexed(uint8_t dst, uint8_t container, uint8_t index_reg,
+                           uint32_t base = 0) {
+    return Emit({Opcode::kLoadAdIndexed, dst, container, index_reg, base, 0});
+  }
+  Assembler& StoreAdIndexed(uint8_t container, uint8_t src, uint8_t index_reg,
+                            uint32_t base = 0) {
+    return Emit({Opcode::kStoreAdIndexed, container, src, index_reg, base, 0});
+  }
+  Assembler& RestrictRights(uint8_t ad, RightsMask keep) {
+    return Emit({Opcode::kRestrictRights, ad, 0, 0, keep, 0});
+  }
+  Assembler& AdIsNull(uint8_t r, uint8_t ad) { return Emit({Opcode::kAdIsNull, r, ad, 0, 0, 0}); }
+
+  // --- High-level object instructions ---
+  Assembler& CreateObject(uint8_t dst_ad, uint8_t sro_ad, uint32_t data_bytes,
+                          uint8_t access_slots = 0) {
+    return Emit({Opcode::kCreateObject, dst_ad, sro_ad, access_slots, data_bytes, 0});
+  }
+  Assembler& DestroyObject(uint8_t ad) { return Emit({Opcode::kDestroyObject, ad, 0, 0, 0, 0}); }
+  Assembler& CreateSro(uint8_t dst_ad, uint8_t parent_ad, uint32_t bytes) {
+    return Emit({Opcode::kCreateSro, dst_ad, parent_ad, 0, bytes, 0});
+  }
+  Assembler& DestroySro(uint8_t ad) { return Emit({Opcode::kDestroySro, ad, 0, 0, 0, 0}); }
+
+  // --- Interprocess communication ---
+  Assembler& Send(uint8_t port_ad, uint8_t msg_ad) {
+    return Emit({Opcode::kSend, port_ad, msg_ad, 0, 0, 0});
+  }
+  Assembler& Receive(uint8_t dst_ad, uint8_t port_ad) {
+    return Emit({Opcode::kReceive, dst_ad, port_ad, 0, 0, 0});
+  }
+  Assembler& CondSend(uint8_t port_ad, uint8_t msg_ad, uint8_t result_reg) {
+    return Emit({Opcode::kCondSend, port_ad, msg_ad, result_reg, 0, 0});
+  }
+  Assembler& CondReceive(uint8_t dst_ad, uint8_t port_ad, uint8_t result_reg) {
+    return Emit({Opcode::kCondReceive, dst_ad, port_ad, result_reg, 0, 0});
+  }
+
+  // --- Control transfer ---
+  Assembler& Call(uint8_t domain_ad, uint32_t entry) {
+    return Emit({Opcode::kCall, domain_ad, 0, 0, entry, 0});
+  }
+  Assembler& CallLocal(uint32_t entry) { return Emit({Opcode::kCallLocal, 0, 0, 0, entry, 0}); }
+  Assembler& Return() { return Emit({Opcode::kReturn, 0, 0, 0, 0, 0}); }
+  Assembler& Branch(Label label) { return EmitBranch({Opcode::kBranch, 0, 0, 0, 0, 0}, label); }
+  Assembler& BranchIfZero(uint8_t r, Label label) {
+    return EmitBranch({Opcode::kBranchIfZero, r, 0, 0, 0, 0}, label);
+  }
+  Assembler& BranchIfNotZero(uint8_t r, Label label) {
+    return EmitBranch({Opcode::kBranchIfNotZero, r, 0, 0, 0, 0}, label);
+  }
+  Assembler& BranchIfLess(uint8_t lhs, uint8_t rhs, Label label) {
+    return EmitBranch({Opcode::kBranchIfLess, lhs, rhs, 0, 0, 0}, label);
+  }
+  Assembler& Halt() { return Emit({Opcode::kHalt, 0, 0, 0, 0, 0}); }
+
+  // --- Escapes ---
+  Assembler& Native(NativeFn fn) {
+    uint32_t index = program_->AddNative(std::move(fn));
+    return Emit({Opcode::kNative, 0, 0, 0, index, 0});
+  }
+  Assembler& OsCall(uint32_t service) { return Emit({Opcode::kOsCall, 0, 0, 0, service, 0}); }
+
+  // Finalizes the program: patches all label references. Every referenced label must be
+  // bound by now.
+  ProgramRef Build() {
+    for (const auto& [instruction_index, label] : fixups_) {
+      IMAX_CHECK(labels_[label] != kUnbound);
+      program_->Patch(instruction_index, labels_[label]);
+    }
+    fixups_.clear();
+    return program_;
+  }
+
+  uint32_t here() const { return program_->size(); }
+
+ private:
+  static constexpr uint32_t kUnbound = 0xffffffffu;
+
+  Assembler& Emit(const Instruction& instruction) {
+    program_->Append(instruction);
+    return *this;
+  }
+
+  Assembler& EmitBranch(Instruction instruction, Label label) {
+    uint32_t index = program_->Append(instruction);
+    fixups_.emplace_back(index, label);
+    return *this;
+  }
+
+  std::shared_ptr<Program> program_;
+  std::vector<uint32_t> labels_;
+  std::vector<std::pair<uint32_t, Label>> fixups_;
+};
+
+}  // namespace imax432
+
+#endif  // IMAX432_SRC_ISA_ASSEMBLER_H_

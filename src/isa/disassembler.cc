@@ -1,0 +1,176 @@
+#include "src/isa/disassembler.h"
+
+#include <cstdio>
+
+namespace imax432 {
+
+const char* OpcodeName(Opcode op) {
+  switch (op) {
+    case Opcode::kCompute: return "compute";
+    case Opcode::kLoadImm: return "load_imm";
+    case Opcode::kMove: return "move";
+    case Opcode::kAdd: return "add";
+    case Opcode::kAddImm: return "add_imm";
+    case Opcode::kSub: return "sub";
+    case Opcode::kMul: return "mul";
+    case Opcode::kLoadData: return "load_data";
+    case Opcode::kStoreData: return "store_data";
+    case Opcode::kLoadDataIndexed: return "load_data_x";
+    case Opcode::kStoreDataIndexed: return "store_data_x";
+    case Opcode::kMoveAd: return "move_ad";
+    case Opcode::kClearAd: return "clear_ad";
+    case Opcode::kLoadAd: return "load_ad";
+    case Opcode::kStoreAd: return "store_ad";
+    case Opcode::kLoadAdIndexed: return "load_ad_x";
+    case Opcode::kStoreAdIndexed: return "store_ad_x";
+    case Opcode::kRestrictRights: return "restrict";
+    case Opcode::kAdIsNull: return "ad_is_null";
+    case Opcode::kCreateObject: return "create_object";
+    case Opcode::kDestroyObject: return "destroy_object";
+    case Opcode::kCreateSro: return "create_sro";
+    case Opcode::kDestroySro: return "destroy_sro";
+    case Opcode::kSend: return "send";
+    case Opcode::kReceive: return "receive";
+    case Opcode::kCondSend: return "cond_send";
+    case Opcode::kCondReceive: return "cond_receive";
+    case Opcode::kCall: return "call";
+    case Opcode::kCallLocal: return "call_local";
+    case Opcode::kReturn: return "return";
+    case Opcode::kBranch: return "branch";
+    case Opcode::kBranchIfZero: return "br_zero";
+    case Opcode::kBranchIfNotZero: return "br_nonzero";
+    case Opcode::kBranchIfLess: return "br_less";
+    case Opcode::kHalt: return "halt";
+    case Opcode::kNative: return "native";
+    case Opcode::kOsCall: return "os_call";
+  }
+  return "?";
+}
+
+std::string DisassembleInstruction(const Instruction& in) {
+  char buffer[96];
+  const char* name = OpcodeName(in.op);
+  switch (in.op) {
+    case Opcode::kCompute:
+      std::snprintf(buffer, sizeof(buffer), "%-14s %u cycles", name, in.imm);
+      break;
+    case Opcode::kLoadImm:
+      std::snprintf(buffer, sizeof(buffer), "%-14s r%u, %llu", name, in.a,
+                    static_cast<unsigned long long>(in.imm64));
+      break;
+    case Opcode::kMove:
+    case Opcode::kAdIsNull:
+      std::snprintf(buffer, sizeof(buffer), "%-14s r%u, %c%u", name, in.a,
+                    in.op == Opcode::kAdIsNull ? 'a' : 'r', in.b);
+      break;
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+      std::snprintf(buffer, sizeof(buffer), "%-14s r%u, r%u, r%u", name, in.a, in.b, in.c);
+      break;
+    case Opcode::kAddImm:
+      std::snprintf(buffer, sizeof(buffer), "%-14s r%u, r%u, %u", name, in.a, in.b, in.imm);
+      break;
+    case Opcode::kLoadData:
+      std::snprintf(buffer, sizeof(buffer), "%-14s r%u, [a%u + %u]:%u", name, in.a, in.b,
+                    in.imm, in.c);
+      break;
+    case Opcode::kStoreData:
+      std::snprintf(buffer, sizeof(buffer), "%-14s [a%u + %u]:%u, r%u", name, in.a, in.imm,
+                    in.c, in.b);
+      break;
+    case Opcode::kLoadDataIndexed:
+      std::snprintf(buffer, sizeof(buffer), "%-14s r%u, [a%u + r%u + %u]", name, in.a, in.b,
+                    in.c, in.imm);
+      break;
+    case Opcode::kStoreDataIndexed:
+      std::snprintf(buffer, sizeof(buffer), "%-14s [a%u + r%u + %u], r%u", name, in.a, in.c,
+                    in.imm, in.b);
+      break;
+    case Opcode::kMoveAd:
+      std::snprintf(buffer, sizeof(buffer), "%-14s a%u, a%u", name, in.a, in.b);
+      break;
+    case Opcode::kClearAd:
+    case Opcode::kDestroyObject:
+    case Opcode::kDestroySro:
+      std::snprintf(buffer, sizeof(buffer), "%-14s a%u", name, in.a);
+      break;
+    case Opcode::kLoadAd:
+      std::snprintf(buffer, sizeof(buffer), "%-14s a%u, a%u[%u]", name, in.a, in.b, in.imm);
+      break;
+    case Opcode::kStoreAd:
+      std::snprintf(buffer, sizeof(buffer), "%-14s a%u[%u], a%u", name, in.a, in.imm, in.b);
+      break;
+    case Opcode::kLoadAdIndexed:
+      std::snprintf(buffer, sizeof(buffer), "%-14s a%u, a%u[r%u + %u]", name, in.a, in.b,
+                    in.c, in.imm);
+      break;
+    case Opcode::kStoreAdIndexed:
+      std::snprintf(buffer, sizeof(buffer), "%-14s a%u[r%u + %u], a%u", name, in.a, in.c,
+                    in.imm, in.b);
+      break;
+    case Opcode::kRestrictRights:
+      std::snprintf(buffer, sizeof(buffer), "%-14s a%u, mask=0x%x", name, in.a, in.imm);
+      break;
+    case Opcode::kCreateObject:
+      std::snprintf(buffer, sizeof(buffer), "%-14s a%u, sro=a%u, %u bytes, %u slots", name,
+                    in.a, in.b, in.imm, in.c);
+      break;
+    case Opcode::kCreateSro:
+      std::snprintf(buffer, sizeof(buffer), "%-14s a%u, parent=a%u, %u bytes", name, in.a,
+                    in.b, in.imm);
+      break;
+    case Opcode::kSend:
+      std::snprintf(buffer, sizeof(buffer), "%-14s port=a%u, msg=a%u", name, in.a, in.b);
+      break;
+    case Opcode::kReceive:
+      std::snprintf(buffer, sizeof(buffer), "%-14s a%u, port=a%u", name, in.a, in.b);
+      break;
+    case Opcode::kCondSend:
+      std::snprintf(buffer, sizeof(buffer), "%-14s port=a%u, msg=a%u, ok->r%u", name, in.a,
+                    in.b, in.c);
+      break;
+    case Opcode::kCondReceive:
+      std::snprintf(buffer, sizeof(buffer), "%-14s a%u, port=a%u, ok->r%u", name, in.a,
+                    in.b, in.c);
+      break;
+    case Opcode::kCall:
+      std::snprintf(buffer, sizeof(buffer), "%-14s domain=a%u, entry=%u", name, in.a, in.imm);
+      break;
+    case Opcode::kCallLocal:
+    case Opcode::kBranch:
+    case Opcode::kOsCall:
+    case Opcode::kNative:
+      std::snprintf(buffer, sizeof(buffer), "%-14s %u", name, in.imm);
+      break;
+    case Opcode::kBranchIfZero:
+    case Opcode::kBranchIfNotZero:
+      std::snprintf(buffer, sizeof(buffer), "%-14s r%u, -> %u", name, in.a, in.imm);
+      break;
+    case Opcode::kBranchIfLess:
+      std::snprintf(buffer, sizeof(buffer), "%-14s r%u < r%u, -> %u", name, in.a, in.b,
+                    in.imm);
+      break;
+    case Opcode::kReturn:
+    case Opcode::kHalt:
+      std::snprintf(buffer, sizeof(buffer), "%s", name);
+      break;
+  }
+  return buffer;
+}
+
+std::string Disassemble(const Program& program) {
+  std::string out;
+  out += "; program \"" + program.name() + "\", " + std::to_string(program.size()) +
+         " instructions\n";
+  char prefix[16];
+  for (uint32_t pc = 0; pc < program.size(); ++pc) {
+    std::snprintf(prefix, sizeof(prefix), "%04u  ", pc);
+    out += prefix;
+    out += DisassembleInstruction(program.at(pc));
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace imax432

@@ -1,0 +1,28 @@
+// Disassembler: renders Program instruction streams as readable listings.
+//
+// Used by diagnostics, tests and anyone debugging a workload program. The mnemonics follow
+// the assembler's method names; operands print in the order the Assembler takes them.
+
+#ifndef IMAX432_SRC_ISA_DISASSEMBLER_H_
+#define IMAX432_SRC_ISA_DISASSEMBLER_H_
+
+#include <string>
+
+#include "src/isa/program.h"
+
+namespace imax432 {
+
+// One instruction, e.g. "add      r3, r1, r2" or "send     a2, a4".
+std::string DisassembleInstruction(const Instruction& instruction);
+
+// The whole program, one line per instruction with pc prefixes:
+//   0000  load_imm r0, 0
+//   0001  send     a2, a4
+std::string Disassemble(const Program& program);
+
+// The mnemonic for an opcode ("send", "create_object", ...).
+const char* OpcodeName(Opcode op);
+
+}  // namespace imax432
+
+#endif  // IMAX432_SRC_ISA_DISASSEMBLER_H_

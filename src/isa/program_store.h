@@ -1,0 +1,61 @@
+// ProgramStore: instruction segments.
+//
+// Code on the 432 lives in instruction-segment objects referenced from domains and contexts.
+// The emulator keeps the decoded instruction vector in a side table keyed by the instruction
+// segment's object index; the object itself (type kInstructionSegment) carries the
+// architectural identity — rights, level, GC reachability — while the store carries content.
+
+#ifndef IMAX432_SRC_ISA_PROGRAM_STORE_H_
+#define IMAX432_SRC_ISA_PROGRAM_STORE_H_
+
+#include <map>
+
+#include "src/isa/program.h"
+#include "src/memory/memory_manager.h"
+#include "src/sim/machine.h"
+
+namespace imax432 {
+
+class ProgramStore {
+ public:
+  ProgramStore(Machine* machine, MemoryManager* memory) : machine_(machine), memory_(memory) {}
+
+  // Creates an instruction-segment object for `program` and returns an AD for it. The data
+  // part holds the instruction count (read-only metadata for diagnostics).
+  Result<AccessDescriptor> Register(ProgramRef program) {
+    IMAX_ASSIGN_OR_RETURN(
+        AccessDescriptor ad,
+        memory_->CreateObject(memory_->global_heap(), SystemType::kInstructionSegment,
+                              /*data_bytes=*/8, /*access_slots=*/0, rights::kRead));
+    IMAX_RETURN_IF_FAULT(machine_->memory().Write(
+        machine_->table().At(ad.index()).data_base, 4, program->size()));
+    programs_[ad.index()] = std::move(program);
+    return ad;
+  }
+
+  // Looks up the program behind an instruction-segment AD.
+  Result<ProgramRef> Fetch(const AccessDescriptor& ad) const {
+    IMAX_ASSIGN_OR_RETURN(const ObjectDescriptor* descriptor,
+                          machine_->table().Resolve(ad));
+    if (descriptor->type != SystemType::kInstructionSegment) {
+      return Fault::kTypeMismatch;
+    }
+    auto it = programs_.find(ad.index());
+    if (it == programs_.end()) {
+      return Fault::kNotFound;
+    }
+    return it->second;
+  }
+
+  // Drops the program content of a reclaimed instruction segment (called by the GC).
+  void Forget(ObjectIndex index) { programs_.erase(index); }
+
+ private:
+  Machine* machine_;
+  MemoryManager* memory_;
+  std::map<ObjectIndex, ProgramRef> programs_;
+};
+
+}  // namespace imax432
+
+#endif  // IMAX432_SRC_ISA_PROGRAM_STORE_H_

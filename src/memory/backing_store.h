@@ -1,0 +1,77 @@
+// BackingStore: the simulated swap device behind the swapping memory manager.
+//
+// The paper's second iMAX release adds swapping; the swap device itself is not described, so
+// this models a simple slotted disk: fixed per-transfer latency plus per-byte transfer time,
+// charged in virtual cycles to whichever process triggered the transfer.
+
+#ifndef IMAX432_SRC_MEMORY_BACKING_STORE_H_
+#define IMAX432_SRC_MEMORY_BACKING_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/arch/types.h"
+#include "src/base/check.h"
+#include "src/base/result.h"
+
+namespace imax432 {
+
+class BackingStore {
+ public:
+  // Transfer cost model: ~3 ms access latency + 1 cycle per 2 bytes streamed (a slow early-
+  // 1980s Winchester through the IP subsystem).
+  static constexpr Cycles kAccessLatencyCycles = 24000;
+  static Cycles TransferCost(uint32_t bytes) { return kAccessLatencyCycles + bytes / 2; }
+
+  explicit BackingStore(uint32_t capacity_slots = 4096) : slots_(capacity_slots) {}
+
+  // Writes `data` to a free slot; returns the slot id.
+  Result<uint32_t> StoreOut(const std::vector<uint8_t>& data) {
+    for (uint32_t i = 0; i < slots_.size(); ++i) {
+      if (!slots_[i].used) {
+        slots_[i].used = true;
+        slots_[i].data = data;
+        ++writes_;
+        return i;
+      }
+    }
+    return Fault::kStorageExhausted;
+  }
+
+  // Reads a slot back and frees it.
+  Result<std::vector<uint8_t>> FetchIn(uint32_t slot) {
+    if (slot >= slots_.size() || !slots_[slot].used) {
+      return Fault::kNotFound;
+    }
+    slots_[slot].used = false;
+    ++reads_;
+    return std::move(slots_[slot].data);
+  }
+
+  // Discards a slot without reading (object died while swapped out).
+  Status Discard(uint32_t slot) {
+    if (slot >= slots_.size() || !slots_[slot].used) {
+      return Fault::kNotFound;
+    }
+    slots_[slot].used = false;
+    slots_[slot].data.clear();
+    return Status::Ok();
+  }
+
+  uint64_t reads() const { return reads_; }
+  uint64_t writes() const { return writes_; }
+
+ private:
+  struct Slot {
+    bool used = false;
+    std::vector<uint8_t> data;
+  };
+
+  std::vector<Slot> slots_;
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+};
+
+}  // namespace imax432
+
+#endif  // IMAX432_SRC_MEMORY_BACKING_STORE_H_

@@ -1,0 +1,87 @@
+// MemoryManager: the single memory-management specification of iMAX.
+//
+// "Virtually all processes make use of memory management facilities via a standard interface
+// that permits allocation of new objects. ... A single Ada specification defines the common
+// interface. This interface defines mechanisms corresponding to the stack allocation, global
+// heap allocation, and local heap allocation described earlier. Both a swapping and a
+// non-swapping implementation meet this specification but are optimized internally to the
+// level of function they provide."
+//
+// The two implementations are BasicMemoryManager (non-swapping, the first iMAX release) and
+// SwappingMemoryManager (the second release). Either can be plugged into a System; almost no
+// client code is affected by the selection, which is the configurability point of §6.2.
+
+#ifndef IMAX432_SRC_MEMORY_MEMORY_MANAGER_H_
+#define IMAX432_SRC_MEMORY_MEMORY_MANAGER_H_
+
+#include <cstdint>
+
+#include "src/arch/access_descriptor.h"
+#include "src/arch/types.h"
+#include "src/base/result.h"
+
+namespace imax432 {
+
+struct MemoryStats {
+  uint64_t objects_created = 0;
+  uint64_t objects_destroyed = 0;
+  uint64_t sros_created = 0;
+  uint64_t sros_destroyed = 0;
+  uint64_t bulk_reclaimed_objects = 0;  // objects reclaimed by DestroySro cascades
+  uint64_t swap_ins = 0;                // swapping implementation only
+  uint64_t swap_outs = 0;
+  uint32_t resident_bytes = 0;          // bytes of live data parts in physical memory
+};
+
+class MemoryManager {
+ public:
+  virtual ~MemoryManager() = default;
+
+  // --- The common interface (every client uses only this) ---
+
+  // The global heap SRO: allocates at level 0; objects live until garbage collected.
+  virtual AccessDescriptor global_heap() const = 0;
+
+  // Allocates a new object from `sro_ad` (requires kSroAllocate rights). The returned AD
+  // carries `ad_rights`. Cost: the create-object instruction (cycles::CreateObjectCost) is
+  // charged by the interpreter; callers outside the simulation charge nothing.
+  virtual Result<AccessDescriptor> CreateObject(const AccessDescriptor& sro_ad, SystemType type,
+                                                uint32_t data_bytes, uint32_t access_slots,
+                                                RightsMask ad_rights) = 0;
+
+  // Explicitly destroys an object (requires kDelete rights on the AD). Most objects are
+  // never explicitly destroyed — they are garbage collected — but type managers may destroy
+  // objects they know to be unreferenced.
+  virtual Status DestroyObject(const AccessDescriptor& ad) = 0;
+
+  // Creates a local heap: a child SRO managing `bytes` of space carved from `parent_sro`,
+  // allocating at `level` (> the parent's level). Returns an AD with allocate+destroy rights.
+  virtual Result<AccessDescriptor> CreateLocalSro(const AccessDescriptor& parent_sro,
+                                                  uint32_t bytes, Level level) = 0;
+
+  // Destroys an SRO and *everything allocated from it*, transitively (local heap reclamation:
+  // "those allocated from local SRO's will be collected more efficiently whenever their
+  // ancestral SRO is destroyed"). Requires kSroDestroy rights. Returns the number of objects
+  // reclaimed.
+  virtual Result<uint32_t> DestroySro(const AccessDescriptor& sro_ad) = 0;
+
+  // --- Residency (used by the interpreter on kSegmentSwapped faults) ---
+
+  // Ensures the object's data part is in physical memory. Returns the cycle cost of any
+  // transfer performed (0 when already resident). The non-swapping implementation returns
+  // kWrongState: a kSegmentSwapped fault cannot occur under it.
+  virtual Result<Cycles> EnsureResident(ObjectIndex index) = 0;
+
+  // --- Management interface ("Each may provide an additional management interface") ---
+
+  virtual MemoryStats stats() const = 0;
+
+  // Frees the storage of a garbage object on behalf of the garbage collector. Unlike
+  // DestroyObject this takes a bare index (the collector works from the table, not from ADs)
+  // and does not require rights: the collector is the system's most privileged storage agent.
+  virtual Status ReclaimGarbage(ObjectIndex index) = 0;
+};
+
+}  // namespace imax432
+
+#endif  // IMAX432_SRC_MEMORY_MEMORY_MANAGER_H_

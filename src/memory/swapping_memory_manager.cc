@@ -1,0 +1,93 @@
+#include "src/memory/swapping_memory_manager.h"
+
+#include "src/base/check.h"
+#include "src/base/log.h"
+
+namespace imax432 {
+
+Result<PhysAddr> SwappingMemoryManager::AllocateSpace(Sro* sro, uint32_t bytes) {
+  // Try plain allocation first; on exhaustion, evict resident data parts from the same SRO
+  // until the request fits or nothing evictable remains.
+  for (;;) {
+    auto base = BasicMemoryManager::AllocateSpace(sro, bytes);
+    if (base.ok() || base.fault() != Fault::kStorageExhausted) {
+      return base;
+    }
+    auto evicted = EvictOne(sro);
+    if (!evicted.ok()) {
+      return Fault::kStorageExhausted;  // genuinely out: not even eviction can help
+    }
+  }
+}
+
+Result<uint32_t> SwappingMemoryManager::EvictOne(Sro* sro) {
+  const std::vector<ObjectIndex>& objects = sro->objects();
+  if (objects.empty()) {
+    return Fault::kStorageExhausted;
+  }
+  ObjectTable& table = machine()->table();
+  // Round-robin scan (approximates the clock policy without per-object reference bits; the
+  // emulated workloads exercise capacity behaviour, not recency precision).
+  static thread_local uint32_t cursor = 0;
+  for (size_t step = 0; step < objects.size(); ++step) {
+    ObjectIndex index = objects[(cursor + step) % objects.size()];
+    ObjectDescriptor& descriptor = table.At(index);
+    if (!descriptor.allocated || descriptor.swapped_out || !IsSwappable(descriptor)) {
+      continue;
+    }
+    cursor = static_cast<uint32_t>((cursor + step + 1) % objects.size());
+
+    // Stream the data part out.
+    std::vector<uint8_t> data(descriptor.data_length);
+    IMAX_CHECK(machine()->memory().ReadBlock(descriptor.data_base, data.data(),
+                                             descriptor.data_length)
+                   .ok());
+    IMAX_ASSIGN_OR_RETURN(uint32_t slot, store_.StoreOut(data));
+    sro->FreeRange(descriptor.data_base, descriptor.storage_claim);
+    descriptor.swapped_out = true;
+    descriptor.backing_slot = slot;
+    mutable_stats().resident_bytes -= descriptor.data_length;
+    ++swap_outs_;
+    IMAX_LOG_DEBUG("swapped out object %u (%u bytes)", index, descriptor.data_length);
+    return descriptor.storage_claim;
+  }
+  return Fault::kStorageExhausted;
+}
+
+Result<Cycles> SwappingMemoryManager::EnsureResident(ObjectIndex index) {
+  ObjectDescriptor& descriptor = machine()->table().At(index);
+  if (!descriptor.allocated) {
+    return Fault::kNotAllocated;
+  }
+  if (!descriptor.swapped_out) {
+    return Cycles{0};
+  }
+  auto it = sros().find(descriptor.origin_sro);
+  if (it == sros().end()) {
+    return Fault::kNotFound;
+  }
+  Sro* origin = it->second.get();
+
+  // Re-place the data part; this may evict other objects (never this one: it is swapped).
+  IMAX_ASSIGN_OR_RETURN(PhysAddr base, AllocateSpace(origin, descriptor.storage_claim));
+  IMAX_ASSIGN_OR_RETURN(std::vector<uint8_t> data, store_.FetchIn(descriptor.backing_slot));
+  IMAX_CHECK(data.size() == descriptor.data_length);
+  IMAX_CHECK(
+      machine()->memory().WriteBlock(base, data.data(), descriptor.data_length).ok());
+  descriptor.data_base = base;
+  descriptor.swapped_out = false;
+  mutable_stats().resident_bytes += descriptor.data_length;
+  ++swap_ins_;
+  SyncSroCounters(*origin);
+  IMAX_LOG_DEBUG("swapped in object %u (%u bytes)", index, descriptor.data_length);
+  return BackingStore::TransferCost(descriptor.data_length);
+}
+
+MemoryStats SwappingMemoryManager::stats() const {
+  MemoryStats combined = BasicMemoryManager::stats();
+  combined.swap_ins = swap_ins_;
+  combined.swap_outs = swap_outs_;
+  return combined;
+}
+
+}  // namespace imax432

@@ -1,0 +1,59 @@
+// SwappingMemoryManager: the swapping implementation of the common memory specification.
+//
+// "Both a swapping and a non-swapping implementation meet this specification but are
+// optimized internally to the level of function they provide." This implementation adds a
+// backing store and evicts resident data parts (second-chance/clock over swappable objects)
+// when an allocation cannot be satisfied. Processes touching a swapped-out segment fault with
+// kSegmentSwapped; the interpreter calls EnsureResident, which charges the faulting process
+// the transfer cycles — user code is unaware of any of this, which is the §6.2 point.
+//
+// Only the data part swaps: the access part and the descriptor stay resident, exactly as 432
+// object descriptors remained in the object table while their segments were swapped.
+
+#ifndef IMAX432_SRC_MEMORY_SWAPPING_MEMORY_MANAGER_H_
+#define IMAX432_SRC_MEMORY_SWAPPING_MEMORY_MANAGER_H_
+
+#include <cstdint>
+
+#include "src/memory/backing_store.h"
+#include "src/memory/basic_memory_manager.h"
+
+namespace imax432 {
+
+class SwappingMemoryManager : public BasicMemoryManager {
+ public:
+  explicit SwappingMemoryManager(Machine* machine) : BasicMemoryManager(machine) {}
+
+  Result<Cycles> EnsureResident(ObjectIndex index) override;
+  MemoryStats stats() const override;
+
+  // Management interface: objects of these system types are never evicted (processors,
+  // processes, ports and SROs must stay resident for the hardware algorithms to run).
+  static bool IsSwappable(const ObjectDescriptor& descriptor) {
+    return (descriptor.type == SystemType::kGeneric ||
+            descriptor.type == SystemType::kInstructionSegment) &&
+           descriptor.data_length > 0;
+  }
+
+  const BackingStore& backing_store() const { return store_; }
+
+ protected:
+  Result<PhysAddr> AllocateSpace(Sro* sro, uint32_t bytes) override;
+  void ReleaseBackingCopy(const ObjectDescriptor& descriptor) override {
+    (void)store_.Discard(descriptor.backing_slot);
+  }
+
+ private:
+  // Evicts one swappable resident object allocated from `sro` (so its extent can be reused
+  // by that SRO). Returns the number of bytes freed, or kStorageExhausted if nothing is
+  // evictable.
+  Result<uint32_t> EvictOne(Sro* sro);
+
+  BackingStore store_;
+  uint64_t swap_ins_ = 0;
+  uint64_t swap_outs_ = 0;
+};
+
+}  // namespace imax432
+
+#endif  // IMAX432_SRC_MEMORY_SWAPPING_MEMORY_MANAGER_H_

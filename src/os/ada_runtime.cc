@@ -1,0 +1,99 @@
+#include "src/os/ada_runtime.h"
+
+namespace imax432 {
+
+Result<TaskScope> TaskScope::Open(Kernel* kernel, BasicProcessManager* manager,
+                                  uint32_t bytes, Level level,
+                                  const AccessDescriptor& parent_sro) {
+  AccessDescriptor parent =
+      parent_sro.is_null() ? kernel->memory().global_heap() : parent_sro;
+  IMAX_ASSIGN_OR_RETURN(AccessDescriptor sro,
+                        kernel->memory().CreateLocalSro(parent, bytes, level));
+  return TaskScope(kernel, manager, sro, level);
+}
+
+Result<TaskScope> TaskScope::Nested(uint32_t bytes) const {
+  IMAX_ASSIGN_OR_RETURN(
+      AccessDescriptor sro,
+      kernel_->memory().CreateLocalSro(sro_, bytes, static_cast<Level>(level_ + 1)));
+  return TaskScope(kernel_, manager_, sro, static_cast<Level>(level_ + 1));
+}
+
+Result<AccessDescriptor> TaskScope::DeclareTask(ProgramRef program, ProcessOptions options) {
+  if (closed_) {
+    return Fault::kWrongState;
+  }
+  options.allocation_sro = sro_;
+  IMAX_ASSIGN_OR_RETURN(AccessDescriptor task,
+                        manager_->Create(std::move(program), options));
+  tasks_.push_back(task);
+  return task;
+}
+
+Result<AccessDescriptor> TaskScope::DeclarePort(uint16_t message_count,
+                                                QueueDiscipline discipline) {
+  if (closed_) {
+    return Fault::kWrongState;
+  }
+  return kernel_->ports().CreatePort(sro_, message_count, discipline);
+}
+
+Result<AccessDescriptor> TaskScope::DeclareObject(uint32_t data_bytes, uint32_t access_slots,
+                                                  RightsMask ad_rights) {
+  if (closed_) {
+    return Fault::kWrongState;
+  }
+  return kernel_->memory().CreateObject(sro_, SystemType::kGeneric, data_bytes, access_slots,
+                                        ad_rights);
+}
+
+Status TaskScope::Activate() {
+  for (const AccessDescriptor& task : tasks_) {
+    IMAX_RETURN_IF_FAULT(manager_->Start(task));
+  }
+  return Status::Ok();
+}
+
+Result<bool> TaskScope::AllTasksCompleted() const {
+  for (const AccessDescriptor& task : tasks_) {
+    if (!kernel_->machine().table().Resolve(task).ok()) {
+      continue;  // already reclaimed: certainly finished
+    }
+    ProcessView view(&kernel_->machine().addressing(), task);
+    ProcessState state = view.state();
+    if (state != ProcessState::kTerminated && state != ProcessState::kFaulted) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool TaskScope::AwaitCompletion(Cycles deadline) {
+  while (kernel_->machine().now() < deadline) {
+    auto done = AllTasksCompleted();
+    if (done.ok() && done.value()) {
+      return true;
+    }
+    if (kernel_->machine().events().idle()) {
+      break;  // nothing will ever change again
+    }
+    kernel_->RunUntil(kernel_->machine().now() + 10000);
+  }
+  auto done = AllTasksCompleted();
+  return done.ok() && done.value();
+}
+
+Result<uint32_t> TaskScope::Close() {
+  if (closed_) {
+    return Fault::kWrongState;
+  }
+  IMAX_ASSIGN_OR_RETURN(bool completed, AllTasksCompleted());
+  if (!completed) {
+    // An Ada master may not leave a scope while dependent tasks run.
+    return Fault::kWrongState;
+  }
+  closed_ = true;
+  return kernel_->memory().DestroySro(sro_);
+}
+
+}  // namespace imax432

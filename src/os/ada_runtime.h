@@ -1,0 +1,82 @@
+// AdaRuntime: the Ada task and lifetime model as a package over the process-memory model.
+//
+// §5 of the paper maps Ada semantics onto 432 objects: "Processes themselves are each
+// created from an SRO and have their lifetimes constrained just as described for all
+// objects. This corresponds exactly to the Ada task model. ... A group of tasks communicate
+// with each other via ports defined in a scope common to all tasks in the group."
+//
+// A TaskScope is that common scope: it owns a local SRO at its nesting depth; tasks,
+// their communication ports and their data are allocated from it, so leaving the scope
+// (destroying it) reclaims the whole task group at bulk-destroy cost, and the hardware level
+// rule guarantees nothing created inside escaped. Nested scopes model nested declarative
+// regions; the master/dependent relationship of Ada (a scope does not complete until its
+// tasks have) is checked by AllTasksCompleted / AwaitCompletion.
+
+#ifndef IMAX432_SRC_OS_ADA_RUNTIME_H_
+#define IMAX432_SRC_OS_ADA_RUNTIME_H_
+
+#include <vector>
+
+#include "src/exec/kernel.h"
+#include "src/os/process_manager.h"
+
+namespace imax432 {
+
+class TaskScope {
+ public:
+  // Opens a scope at `level` (use Nested() for inner scopes) backed by `bytes` of storage
+  // carved from `parent_sro` (null = global heap).
+  static Result<TaskScope> Open(Kernel* kernel, BasicProcessManager* manager, uint32_t bytes,
+                                Level level = 1, const AccessDescriptor& parent_sro = {});
+
+  // Opens an inner scope (one level deeper, storage carved from this scope).
+  Result<TaskScope> Nested(uint32_t bytes) const;
+
+  // Declares a task of this scope: its process object, stack and data all live in the
+  // scope's SRO. Created stopped; Activate() starts every declared task at once (Ada's
+  // begin-of-scope activation point).
+  Result<AccessDescriptor> DeclareTask(ProgramRef program, ProcessOptions options = {});
+
+  // Declares a port in the scope ("ports defined in a scope common to all tasks").
+  Result<AccessDescriptor> DeclarePort(uint16_t message_count,
+                                       QueueDiscipline discipline = QueueDiscipline::kFifo);
+
+  // Allocates a scope-lifetime object (an Ada object of a locally declared type).
+  Result<AccessDescriptor> DeclareObject(uint32_t data_bytes, uint32_t access_slots,
+                                         RightsMask ad_rights);
+
+  // Activates every declared task.
+  Status Activate();
+
+  // True when every task of the scope has terminated (normally or by fault).
+  Result<bool> AllTasksCompleted() const;
+
+  // Runs the machine until the scope's tasks complete or `deadline` passes; returns whether
+  // they completed. (The Ada master's wait at end of scope.)
+  bool AwaitCompletion(Cycles deadline);
+
+  // Leaves the scope: the Ada end-of-scope. Every task must have completed (kWrongState
+  // otherwise — Ada masters cannot abandon dependents); then the scope's SRO is destroyed,
+  // bulk-reclaiming tasks, ports and objects. Returns the number of objects reclaimed.
+  Result<uint32_t> Close();
+
+  const AccessDescriptor& sro() const { return sro_; }
+  Level level() const { return level_; }
+  const std::vector<AccessDescriptor>& tasks() const { return tasks_; }
+
+ private:
+  TaskScope(Kernel* kernel, BasicProcessManager* manager, const AccessDescriptor& sro,
+            Level level)
+      : kernel_(kernel), manager_(manager), sro_(sro), level_(level) {}
+
+  Kernel* kernel_;
+  BasicProcessManager* manager_;
+  AccessDescriptor sro_;
+  Level level_;
+  std::vector<AccessDescriptor> tasks_;
+  bool closed_ = false;
+};
+
+}  // namespace imax432
+
+#endif  // IMAX432_SRC_OS_ADA_RUNTIME_H_

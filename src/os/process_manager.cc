@@ -1,0 +1,113 @@
+#include "src/os/process_manager.h"
+
+namespace imax432 {
+
+Result<AccessDescriptor> BasicProcessManager::Create(ProgramRef program,
+                                                     const ProcessOptions& options) {
+  IMAX_ASSIGN_OR_RETURN(AccessDescriptor process,
+                        kernel_->CreateProcess(std::move(program), options));
+  ++stats_.created;
+  return process;
+}
+
+Status BasicProcessManager::VisitTree(
+    const AccessDescriptor& process,
+    const std::function<void(const AccessDescriptor&)>& fn) const {
+  IMAX_ASSIGN_OR_RETURN(const ObjectDescriptor* descriptor,
+                        kernel_->machine().table().Resolve(process));
+  if (descriptor->type != SystemType::kProcess) {
+    return Fault::kTypeMismatch;
+  }
+  fn(process);
+  ProcessView view(&kernel_->machine().addressing(), process);
+  AccessDescriptor child = view.Slot(ProcessLayout::kSlotFirstChild);
+  while (!child.is_null()) {
+    if (!kernel_->machine().table().Resolve(child).ok()) {
+      break;  // child already reclaimed
+    }
+    IMAX_RETURN_IF_FAULT(VisitTree(child, fn));
+    child = ProcessView(&kernel_->machine().addressing(), child)
+                .Slot(ProcessLayout::kSlotNextSibling);
+  }
+  return Status::Ok();
+}
+
+Result<uint32_t> BasicProcessManager::TreeSize(const AccessDescriptor& process) const {
+  uint32_t count = 0;
+  IMAX_RETURN_IF_FAULT(VisitTree(process, [&count](const AccessDescriptor&) { ++count; }));
+  return count;
+}
+
+Status BasicProcessManager::StartOne(const AccessDescriptor& process) {
+  ProcessView proc = kernel_->process_view(process);
+  if (proc.state() == ProcessState::kTerminated) {
+    return Status::Ok();  // starts against finished processes are inert
+  }
+  int16_t count = proc.stop_count();
+  if (count <= 0) {
+    return Status::Ok();  // already runnable; extra starts do not accumulate
+  }
+  proc.set_stop_count(static_cast<int16_t>(count - 1));
+  if (proc.stop_count() != 0) {
+    return Status::Ok();
+  }
+  // The process enters the dispatching mix.
+  ++stats_.transitions;
+  AccessDescriptor scheduler_port = proc.scheduler_port();
+  ProcessState state = proc.state();
+  bool eligible = state == ProcessState::kEmbryo || state == ProcessState::kStopped;
+  if (!eligible) {
+    // It was blocked or faulted while stopped; it rejoins the mix when that condition
+    // clears (MakeReady consults the stop count at that point).
+    return Status::Ok();
+  }
+  if (!scheduler_port.is_null()) {
+    // "it will be sent to its process scheduler. The scheduler can then make resource
+    // decisions by regarding it as an individual process."
+    ++stats_.scheduler_notifications;
+    return kernel_->PostMessage(scheduler_port, process);
+  }
+  return kernel_->MakeReady(process);
+}
+
+Status BasicProcessManager::StopOne(const AccessDescriptor& process) {
+  ProcessView proc = kernel_->process_view(process);
+  if (proc.state() == ProcessState::kTerminated) {
+    return Status::Ok();
+  }
+  int16_t count = proc.stop_count();
+  proc.set_stop_count(static_cast<int16_t>(count + 1));
+  if (count == 0) {
+    // The process leaves the dispatching mix (the kernel parks it at the next boundary).
+    ++stats_.transitions;
+    AccessDescriptor scheduler_port = proc.scheduler_port();
+    if (!scheduler_port.is_null()) {
+      ++stats_.scheduler_notifications;
+      (void)kernel_->PostMessage(scheduler_port, process);
+    }
+  }
+  return Status::Ok();
+}
+
+Status BasicProcessManager::Start(const AccessDescriptor& process) {
+  ++stats_.tree_starts;
+  return VisitTree(process,
+                   [this](const AccessDescriptor& node) { (void)StartOne(node); });
+}
+
+Status BasicProcessManager::Stop(const AccessDescriptor& process) {
+  ++stats_.tree_stops;
+  return VisitTree(process, [this](const AccessDescriptor& node) { (void)StopOne(node); });
+}
+
+Result<bool> BasicProcessManager::IsRunnable(const AccessDescriptor& process) const {
+  IMAX_ASSIGN_OR_RETURN(const ObjectDescriptor* descriptor,
+                        kernel_->machine().table().Resolve(process));
+  if (descriptor->type != SystemType::kProcess) {
+    return Fault::kTypeMismatch;
+  }
+  ProcessView proc(&kernel_->machine().addressing(), process);
+  return proc.stop_count() <= 0;
+}
+
+}  // namespace imax432

@@ -1,0 +1,80 @@
+// Scheduler packages layered on the basic process manager (§6.1).
+//
+// "Using this basic process manager, many resource control policies are possible. For
+// example, the null policy simply passes through the dispatching parameters of the hardware
+// and permits its users to commit them in any way they wish. ... For this and other more
+// complex applications a user-process manager may build much more complex policies on the
+// basic process manager. ... The system is configured by selecting those packages that
+// provide the facilities needed in a particular application: just the basic process manager,
+// it plus some simple scheduler, or an arbitrarily complex resource controller."
+//
+// Each scheduler here is a *package instance*: a daemon process plus its scheduler port.
+// Processes configured with that port have their dispatching-mix transitions routed through
+// the daemon, which applies its policy and admits them. The null policy is the absence of a
+// scheduler port — configuration by package selection, exactly as the paper describes.
+
+#ifndef IMAX432_SRC_OS_SCHEDULERS_H_
+#define IMAX432_SRC_OS_SCHEDULERS_H_
+
+#include "src/exec/kernel.h"
+#include "src/os/process_manager.h"
+
+namespace imax432 {
+
+struct SchedulerStats {
+  uint64_t admitted = 0;     // processes passed into the dispatching mix
+  uint64_t adjusted = 0;     // processes whose dispatching parameters were rewritten
+};
+
+// A scheduler instance: the port to configure processes with, plus the daemon that serves
+// it. Destroying nothing is required: the daemon and port are ordinary objects, reclaimed
+// by the GC once unreferenced.
+struct SchedulerInstance {
+  AccessDescriptor port;     // set as ProcessOptions::scheduler_port
+  AccessDescriptor daemon;   // the scheduler's own process
+};
+
+// A pass-through scheduler that admits every process unchanged but observes traffic.
+// Functionally the null policy, packaged as a daemon — useful to measure the cost of
+// scheduler mediation itself (bench E7).
+Result<SchedulerInstance> SpawnPassThroughScheduler(Kernel* kernel,
+                                                    BasicProcessManager* manager,
+                                                    SchedulerStats* stats);
+
+// A priority-leveling ("fair share") scheduler: before admitting a process it rewrites the
+// process's hardware priority downward in proportion to cycles already consumed, so heavy
+// consumers yield the bus and processors to light ones. Demonstrates "much more complex
+// policies ... built on the basic process manager" without the manager being aware.
+Result<SchedulerInstance> SpawnFairShareScheduler(Kernel* kernel, BasicProcessManager* manager,
+                                                  SchedulerStats* stats,
+                                                  uint8_t base_priority = 128,
+                                                  uint64_t cycles_per_priority_step = 100000);
+
+// A gating batch scheduler: admits at most `max_concurrent` of its processes into the mix;
+// further ones wait at the scheduler until one of the admitted processes terminates (the
+// scheduler learns of terminations through the process-event handler, so callers must route
+// kernel process events to NotifyTermination).
+class BatchScheduler {
+ public:
+  BatchScheduler(Kernel* kernel, BasicProcessManager* manager, uint32_t max_concurrent);
+
+  Result<SchedulerInstance> Spawn();
+  // Must be called from the kernel's process-event handler on kTerminated events.
+  void NotifyTermination(const AccessDescriptor& process);
+
+  const SchedulerStats& stats() const { return stats_; }
+
+ private:
+  void TryAdmit();
+
+  Kernel* kernel_;
+  BasicProcessManager* manager_;
+  uint32_t max_concurrent_;
+  uint32_t running_ = 0;
+  std::vector<AccessDescriptor> waiting_;
+  SchedulerStats stats_;
+};
+
+}  // namespace imax432
+
+#endif  // IMAX432_SRC_OS_SCHEDULERS_H_

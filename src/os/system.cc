@@ -1,0 +1,73 @@
+#include "src/os/system.h"
+
+#include "src/base/check.h"
+#include "src/base/log.h"
+
+namespace imax432 {
+
+System::System(const SystemConfig& config)
+    : machine_config_(config.machine), machine_(machine_config_) {
+  // §6.2: one memory specification, two implementations; the system is configured by
+  // selecting one, and nothing downstream changes.
+  switch (config.memory_manager) {
+    case MemoryManagerKind::kNonSwapping:
+      memory_ = std::make_unique<BasicMemoryManager>(&machine_);
+      break;
+    case MemoryManagerKind::kSwapping:
+      memory_ = std::make_unique<SwappingMemoryManager>(&machine_);
+      break;
+  }
+
+  kernel_ = std::make_unique<Kernel>(&machine_, memory_.get());
+  gc_ = std::make_unique<GarbageCollector>(kernel_.get());
+  types_ = std::make_unique<TypeManagerFacility>(kernel_.get());
+  process_manager_ = std::make_unique<BasicProcessManager>(kernel_.get());
+  ports_api_ = std::make_unique<UntypedPorts>(kernel_.get());
+
+  // Subsystem shadow state dies with the objects it shadows.
+  gc_->AddReclaimObserver([this](ObjectIndex index, const ObjectDescriptor& descriptor) {
+    if (descriptor.type == SystemType::kPort) {
+      kernel_->ports().Forget(index);
+    } else if (descriptor.type == SystemType::kInstructionSegment) {
+      kernel_->programs().Forget(index);
+    }
+  });
+
+  IMAX_CHECK(kernel_->AddProcessors(config.processors).ok());
+
+  if (config.recover_lost_processes) {
+    auto port = kernel_->ports().CreatePort(memory_->global_heap(), 64,
+                                            QueueDiscipline::kFifo);
+    IMAX_CHECK(port.ok());
+    lost_process_port_ = port.value();
+    gc_->SetSystemTypeFilter(SystemType::kProcess, lost_process_port_);
+    kernel_->AddRootProvider([port = lost_process_port_](
+                                 std::vector<AccessDescriptor>* roots) {
+      roots->push_back(port);
+    });
+  }
+
+  if (config.start_gc_daemon) {
+    auto request_port = gc_->SpawnDaemon(config.gc_units_per_step);
+    IMAX_CHECK(request_port.ok());
+    gc_request_port_ = request_port.value();
+  }
+}
+
+Result<AccessDescriptor> System::Spawn(ProgramRef program, const ProcessOptions& options) {
+  IMAX_ASSIGN_OR_RETURN(AccessDescriptor process,
+                        process_manager_->Create(std::move(program), options));
+  IMAX_RETURN_IF_FAULT(process_manager_->Start(process));
+  return process;
+}
+
+Status System::RequestCollection() {
+  if (gc_request_port_.is_null()) {
+    return Fault::kWrongState;
+  }
+  // Any message works as a request; the collector replies only if it is a port. Reuse the
+  // global heap AD as a cheap, always-live token.
+  return kernel_->PostMessage(gc_request_port_, memory_->global_heap());
+}
+
+}  // namespace imax432

@@ -1,0 +1,93 @@
+// System: the assembled iMAX-432 system — the library's top-level entry point.
+//
+// Construction is system initialization: it boots the storage system (choosing one of the
+// two memory-manager implementations behind the common specification, §6.2), brings the
+// configured number of general data processors online, starts the garbage-collector daemon,
+// and wires the destruction-filter and subsystem-cleanup plumbing. Everything a user program
+// needs is reachable from here; the individual packages (ports, process manager, type
+// manager, schedulers, devices) can also be used à la carte, which is the configurability
+// philosophy of §6: "The system is configured by selecting those packages that provide the
+// facilities needed in a particular application."
+
+#ifndef IMAX432_SRC_OS_SYSTEM_H_
+#define IMAX432_SRC_OS_SYSTEM_H_
+
+#include <memory>
+
+#include "src/exec/kernel.h"
+#include "src/gc/collector.h"
+#include "src/memory/basic_memory_manager.h"
+#include "src/memory/swapping_memory_manager.h"
+#include "src/os/ports_api.h"
+#include "src/os/process_manager.h"
+#include "src/os/type_manager.h"
+
+namespace imax432 {
+
+enum class MemoryManagerKind : uint8_t {
+  kNonSwapping,  // first iMAX release
+  kSwapping,     // second release
+};
+
+struct SystemConfig {
+  MachineConfig machine;
+  int processors = 2;
+  MemoryManagerKind memory_manager = MemoryManagerKind::kNonSwapping;
+  bool start_gc_daemon = true;
+  uint32_t gc_units_per_step = 512;
+  // Arm the lost-process recovery filter ("The first release of iMAX uses this facility
+  // only to recover lost process objects"). Recovered process objects appear at
+  // lost_process_port().
+  bool recover_lost_processes = false;
+};
+
+class System {
+ public:
+  explicit System(const SystemConfig& config);
+
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  // --- Component access ---
+  Machine& machine() { return machine_; }
+  MemoryManager& memory() { return *memory_; }
+  Kernel& kernel() { return *kernel_; }
+  GarbageCollector& gc() { return *gc_; }
+  TypeManagerFacility& types() { return *types_; }
+  BasicProcessManager& process_manager() { return *process_manager_; }
+  UntypedPorts& ports() { return *ports_api_; }
+
+  // --- Conveniences ---
+
+  // Creates and starts a user process in one step (null scheduling policy).
+  Result<AccessDescriptor> Spawn(ProgramRef program, const ProcessOptions& options = {});
+
+  // Requests one garbage collection cycle from the daemon and returns immediately; the
+  // cycle runs in virtual time. (Use gc().CollectNow() for a synchronous host-side cycle.)
+  Status RequestCollection();
+
+  // Runs the machine until no event remains.
+  void Run() { kernel_->Run(); }
+  void RunUntil(Cycles deadline) { kernel_->RunUntil(deadline); }
+  Cycles now() const { return machine_.now(); }
+
+  // Where recovered lost processes arrive (null unless configured).
+  AccessDescriptor lost_process_port() const { return lost_process_port_; }
+  AccessDescriptor gc_request_port() const { return gc_request_port_; }
+
+ private:
+  MachineConfig machine_config_;
+  Machine machine_;
+  std::unique_ptr<MemoryManager> memory_;
+  std::unique_ptr<Kernel> kernel_;
+  std::unique_ptr<GarbageCollector> gc_;
+  std::unique_ptr<TypeManagerFacility> types_;
+  std::unique_ptr<BasicProcessManager> process_manager_;
+  std::unique_ptr<UntypedPorts> ports_api_;
+  AccessDescriptor gc_request_port_;
+  AccessDescriptor lost_process_port_;
+};
+
+}  // namespace imax432
+
+#endif  // IMAX432_SRC_OS_SYSTEM_H_

@@ -1,0 +1,105 @@
+#include "src/os/type_manager.h"
+
+namespace imax432 {
+
+Result<AccessDescriptor> TypeManagerFacility::CreateTypeDefinition(
+    uint32_t type_id, const AccessDescriptor& filter_port) {
+  IMAX_ASSIGN_OR_RETURN(
+      AccessDescriptor tdo,
+      kernel_->memory().CreateObject(kernel_->memory().global_heap(),
+                                     SystemType::kTypeDefinition, TdoLayout::kDataBytes,
+                                     TdoLayout::kAccessSlots,
+                                     rights::kRead | rights::kWrite | rights::kTdoCreate |
+                                         rights::kTdoAmplify));
+  ObjectView view(&kernel_->machine().addressing(), tdo);
+  view.SetField(TdoLayout::kOffTypeId, 4, type_id);
+  if (!filter_port.is_null()) {
+    IMAX_ASSIGN_OR_RETURN(
+        ObjectDescriptor * port_descriptor,
+        kernel_->machine().addressing().ResolveTyped(filter_port, SystemType::kPort,
+                                                     rights::kNone));
+    (void)port_descriptor;
+    view.SetField(TdoLayout::kOffHasFilter, 1, 1);
+    view.SetSlot(TdoLayout::kSlotFilterPort, filter_port);
+  }
+  return tdo;
+}
+
+Result<const ObjectDescriptor*> TypeManagerFacility::ResolveTdo(const AccessDescriptor& tdo,
+                                                                RightsMask required) const {
+  IMAX_ASSIGN_OR_RETURN(
+      ObjectDescriptor * descriptor,
+      kernel_->machine().addressing().ResolveTyped(tdo, SystemType::kTypeDefinition,
+                                                   required));
+  return static_cast<const ObjectDescriptor*>(descriptor);
+}
+
+Result<AccessDescriptor> TypeManagerFacility::CreateTypedObject(
+    const AccessDescriptor& tdo, const AccessDescriptor& sro_ad, uint32_t data_bytes,
+    uint32_t access_slots, RightsMask ad_rights) {
+  IMAX_ASSIGN_OR_RETURN(const ObjectDescriptor* tdo_descriptor,
+                        ResolveTdo(tdo, rights::kTdoCreate));
+  (void)tdo_descriptor;
+  IMAX_ASSIGN_OR_RETURN(AccessDescriptor object,
+                        kernel_->memory().CreateObject(sro_ad, SystemType::kGeneric,
+                                                       data_bytes, access_slots, ad_rights));
+  kernel_->machine().table().At(object.index()).type_def = tdo.index();
+
+  // Bump the TDO's created counter.
+  ObjectView view(&kernel_->machine().addressing(), tdo);
+  view.Increment(TdoLayout::kOffCreated, 8);
+  return object;
+}
+
+Status TypeManagerFacility::CheckType(const AccessDescriptor& ad,
+                                      const AccessDescriptor& tdo) const {
+  IMAX_ASSIGN_OR_RETURN(const ObjectDescriptor* descriptor,
+                        kernel_->machine().table().Resolve(ad));
+  IMAX_ASSIGN_OR_RETURN(const ObjectDescriptor* tdo_descriptor,
+                        ResolveTdo(tdo, rights::kNone));
+  (void)tdo_descriptor;
+  if (descriptor->type_def != tdo.index()) {
+    return Fault::kTypeMismatch;
+  }
+  return Status::Ok();
+}
+
+Result<AccessDescriptor> TypeManagerFacility::Amplify(const AccessDescriptor& ad,
+                                                      const AccessDescriptor& tdo,
+                                                      RightsMask add_rights) const {
+  IMAX_ASSIGN_OR_RETURN(const ObjectDescriptor* tdo_descriptor,
+                        ResolveTdo(tdo, rights::kTdoAmplify));
+  (void)tdo_descriptor;
+  IMAX_RETURN_IF_FAULT(CheckType(ad, tdo));
+  return AccessDescriptor(ad.index(), ad.generation(),
+                          static_cast<RightsMask>(ad.rights() | add_rights));
+}
+
+Result<uint32_t> TypeManagerFacility::TypeIdOf(const AccessDescriptor& ad) const {
+  IMAX_ASSIGN_OR_RETURN(const ObjectDescriptor* descriptor,
+                        kernel_->machine().table().Resolve(ad));
+  if (descriptor->type_def == kInvalidObjectIndex) {
+    return Fault::kNotFound;
+  }
+  const ObjectDescriptor& tdo = kernel_->machine().table().At(descriptor->type_def);
+  if (!tdo.allocated || tdo.type != SystemType::kTypeDefinition) {
+    return Fault::kNotFound;
+  }
+  IMAX_ASSIGN_OR_RETURN(uint64_t type_id,
+                        kernel_->machine().memory().Read(
+                            tdo.data_base + TdoLayout::kOffTypeId, 4));
+  return static_cast<uint32_t>(type_id);
+}
+
+Result<uint64_t> TypeManagerFacility::CreatedCount(const AccessDescriptor& tdo) const {
+  IMAX_ASSIGN_OR_RETURN(const ObjectDescriptor* descriptor, ResolveTdo(tdo, rights::kNone));
+  return kernel_->machine().memory().Read(descriptor->data_base + TdoLayout::kOffCreated, 8);
+}
+
+Result<uint64_t> TypeManagerFacility::FinalizedCount(const AccessDescriptor& tdo) const {
+  IMAX_ASSIGN_OR_RETURN(const ObjectDescriptor* descriptor, ResolveTdo(tdo, rights::kNone));
+  return kernel_->machine().memory().Read(descriptor->data_base + TdoLayout::kOffFinalized,
+                                          8);
+}
+
+}  // namespace imax432

@@ -1,0 +1,71 @@
+// TypeManagerFacility: the user type definition facility of the 432.
+//
+// "via the user type definition facilities of the 432 such a guarantee [hardware-checked
+// type identity] is available to any user defined object type as well as to those object
+// types recognized by the hardware." (§7.2)
+//
+// A type manager package creates one type definition object (TDO) per private type it
+// manages. Objects minted through a TDO carry the TDO's identity in their descriptor; the
+// identity survives any channel the object passes through (ports, filing, other packages),
+// so a manager can always re-verify what it is handed — the paper's point about storage
+// channels that lose compile-time typing. Rights amplification is the TDO-holder's
+// privilege: only the manager (holding kTdoAmplify) can turn the restricted ADs it hands
+// out back into full-rights ADs inside its own domain.
+//
+// A TDO may also arm a *destruction filter* (§8.2): a port to which the garbage collector
+// sends any object of the type found to be garbage, so the manager can disassemble real
+// resources (the tape-drive example) instead of losing them.
+
+#ifndef IMAX432_SRC_OS_TYPE_MANAGER_H_
+#define IMAX432_SRC_OS_TYPE_MANAGER_H_
+
+#include "src/exec/kernel.h"
+#include "src/proc/layouts.h"
+
+namespace imax432 {
+
+class TypeManagerFacility {
+ public:
+  explicit TypeManagerFacility(Kernel* kernel) : kernel_(kernel) {}
+
+  // Creates a type definition object. The returned AD carries create + amplify rights: it is
+  // the type manager's most private possession. `filter_port`, when non-null, arms the
+  // destruction filter for the type.
+  Result<AccessDescriptor> CreateTypeDefinition(uint32_t type_id,
+                                                const AccessDescriptor& filter_port = {});
+
+  // Creates an object of the user type defined by `tdo` (requires kTdoCreate rights on the
+  // TDO). The object's hardware-recognized identity is the TDO, forever.
+  Result<AccessDescriptor> CreateTypedObject(const AccessDescriptor& tdo,
+                                             const AccessDescriptor& sro_ad,
+                                             uint32_t data_bytes, uint32_t access_slots,
+                                             RightsMask ad_rights);
+
+  // Verifies that `ad` designates an object of the type defined by `tdo`. This is the
+  // runtime type check used by dynamically-typed ports and by type managers receiving
+  // objects from untrusted channels.
+  Status CheckType(const AccessDescriptor& ad, const AccessDescriptor& tdo) const;
+
+  // Rights amplification: returns a copy of `ad` with `add_rights` added. Requires
+  // kTdoAmplify rights on the TDO *and* that the object is of the TDO's type — the two
+  // conditions that make amplification safe to expose.
+  Result<AccessDescriptor> Amplify(const AccessDescriptor& ad, const AccessDescriptor& tdo,
+                                   RightsMask add_rights) const;
+
+  // Reads the type id of the object behind `ad`, or kNotFound for plain objects.
+  Result<uint32_t> TypeIdOf(const AccessDescriptor& ad) const;
+
+  // Statistics from the TDO's architectural counters.
+  Result<uint64_t> CreatedCount(const AccessDescriptor& tdo) const;
+  Result<uint64_t> FinalizedCount(const AccessDescriptor& tdo) const;
+
+ private:
+  Result<const ObjectDescriptor*> ResolveTdo(const AccessDescriptor& tdo,
+                                             RightsMask required) const;
+
+  Kernel* kernel_;
+};
+
+}  // namespace imax432
+
+#endif  // IMAX432_SRC_OS_TYPE_MANAGER_H_

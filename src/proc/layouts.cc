@@ -1,0 +1,25 @@
+#include "src/proc/layouts.h"
+
+namespace imax432 {
+
+const char* ProcessStateName(ProcessState state) {
+  switch (state) {
+    case ProcessState::kEmbryo:
+      return "embryo";
+    case ProcessState::kReady:
+      return "ready";
+    case ProcessState::kRunning:
+      return "running";
+    case ProcessState::kBlocked:
+      return "blocked";
+    case ProcessState::kStopped:
+      return "stopped";
+    case ProcessState::kFaulted:
+      return "faulted";
+    case ProcessState::kTerminated:
+      return "terminated";
+  }
+  return "?";
+}
+
+}  // namespace imax432

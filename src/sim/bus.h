@@ -1,0 +1,76 @@
+// Bus: the shared memory interconnect contention model.
+//
+// "With the bussing schemes designed for the 432, a factor of 10 in total processing power of
+// a single 432 system is realizable." Compute cycles are local to a GDP and scale perfectly;
+// bus cycles serialize on a small number of interconnect channels. A processor needing the
+// bus at time t is granted the earliest channel slot >= t, FIFO per arrival order, which makes
+// speedup saturate once aggregate bus demand reaches channel capacity — the behaviour E3
+// measures.
+
+#ifndef IMAX432_SRC_SIM_BUS_H_
+#define IMAX432_SRC_SIM_BUS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/arch/types.h"
+#include "src/base/check.h"
+
+namespace imax432 {
+
+class Bus {
+ public:
+  explicit Bus(int channels = 1) : next_free_(static_cast<size_t>(channels), 0) {
+    IMAX_CHECK(channels >= 1);
+  }
+
+  // Reserves `bus_cycles` of interconnect time starting no earlier than `earliest`.
+  // Returns the completion time of the transfer. Zero-cycle requests complete immediately.
+  Cycles Acquire(Cycles earliest, Cycles bus_cycles) {
+    if (bus_cycles == 0) {
+      return earliest;
+    }
+    // Pick the channel that can start soonest.
+    size_t best = 0;
+    for (size_t i = 1; i < next_free_.size(); ++i) {
+      if (next_free_[i] < next_free_[best]) {
+        best = i;
+      }
+    }
+    Cycles start = std::max(earliest, next_free_[best]);
+    Cycles done = start + bus_cycles;
+    next_free_[best] = done;
+    busy_cycles_ += bus_cycles;
+    wait_cycles_ += start - earliest;
+    ++transactions_;
+    return done;
+  }
+
+  int channels() const { return static_cast<int>(next_free_.size()); }
+
+  // Total interconnect cycles consumed (across channels).
+  Cycles busy_cycles() const { return busy_cycles_; }
+  // Total cycles requesters spent waiting for a channel grant.
+  Cycles wait_cycles() const { return wait_cycles_; }
+  uint64_t transactions() const { return transactions_; }
+
+  // Utilization of the interconnect over [0, now]: busy / (channels * now).
+  double Utilization(Cycles now) const {
+    if (now == 0) {
+      return 0.0;
+    }
+    return static_cast<double>(busy_cycles_) /
+           (static_cast<double>(now) * static_cast<double>(next_free_.size()));
+  }
+
+ private:
+  std::vector<Cycles> next_free_;
+  Cycles busy_cycles_ = 0;
+  Cycles wait_cycles_ = 0;
+  uint64_t transactions_ = 0;
+};
+
+}  // namespace imax432
+
+#endif  // IMAX432_SRC_SIM_BUS_H_

@@ -1,0 +1,62 @@
+// Machine: the aggregate hardware state of one emulated 432 system.
+//
+// One Machine = one shared physical memory, one global object descriptor table, one
+// addressing/protection unit, one interconnect, and one virtual clock. Processors, processes
+// and the iMAX software layers all operate on a Machine. Constructing a Machine models
+// power-on; the first software to run (the memory subsystem boot) hand-crafts the root
+// storage resource object, just as iMAX's initialization built the initial memory image.
+
+#ifndef IMAX432_SRC_SIM_MACHINE_H_
+#define IMAX432_SRC_SIM_MACHINE_H_
+
+#include <cstdint>
+
+#include "src/arch/addressing_unit.h"
+#include "src/arch/cycle_model.h"
+#include "src/arch/object_table.h"
+#include "src/arch/physical_memory.h"
+#include "src/sim/bus.h"
+#include "src/sim/event_queue.h"
+
+namespace imax432 {
+
+struct MachineConfig {
+  uint32_t memory_bytes = 4 * 1024 * 1024;   // total physical memory
+  uint32_t object_table_capacity = 65536;    // max simultaneously live objects
+  int bus_channels = 1;                      // memory interconnect channels
+  Cycles time_slice = cycles::kDefaultTimeSlice;
+};
+
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& config)
+      : config_(config),
+        memory_(config.memory_bytes),
+        table_(config.object_table_capacity),
+        addressing_(&table_, &memory_),
+        bus_(config.bus_channels) {}
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  const MachineConfig& config() const { return config_; }
+  PhysicalMemory& memory() { return memory_; }
+  ObjectTable& table() { return table_; }
+  AddressingUnit& addressing() { return addressing_; }
+  Bus& bus() { return bus_; }
+  EventQueue& events() { return events_; }
+
+  Cycles now() const { return events_.now(); }
+
+ private:
+  MachineConfig config_;
+  PhysicalMemory memory_;
+  ObjectTable table_;
+  AddressingUnit addressing_;
+  Bus bus_;
+  EventQueue events_;
+};
+
+}  // namespace imax432
+
+#endif  // IMAX432_SRC_SIM_MACHINE_H_

@@ -1,0 +1,67 @@
+#include "src/arch/access_descriptor.h"
+
+#include <gtest/gtest.h>
+
+namespace imax432 {
+namespace {
+
+TEST(AccessDescriptorTest, DefaultIsNull) {
+  AccessDescriptor ad;
+  EXPECT_TRUE(ad.is_null());
+  EXPECT_EQ(ad.rights(), rights::kNone);
+}
+
+TEST(AccessDescriptorTest, CarriesIndexGenerationRights) {
+  AccessDescriptor ad(5, 3, rights::kRead | rights::kWrite);
+  EXPECT_FALSE(ad.is_null());
+  EXPECT_EQ(ad.index(), 5u);
+  EXPECT_EQ(ad.generation(), 3u);
+  EXPECT_TRUE(ad.HasRights(rights::kRead));
+  EXPECT_TRUE(ad.HasRights(rights::kRead | rights::kWrite));
+  EXPECT_FALSE(ad.HasRights(rights::kDelete));
+}
+
+TEST(AccessDescriptorTest, RestrictedOnlyRemovesRights) {
+  AccessDescriptor ad(1, 0, rights::kRead | rights::kWrite | rights::kPortSend);
+  AccessDescriptor restricted = ad.Restricted(rights::kRead | rights::kDelete);
+  // kDelete was not present, so restriction cannot add it.
+  EXPECT_TRUE(restricted.HasRights(rights::kRead));
+  EXPECT_FALSE(restricted.HasRights(rights::kWrite));
+  EXPECT_FALSE(restricted.HasRights(rights::kDelete));
+  EXPECT_FALSE(restricted.HasRights(rights::kPortSend));
+  // The designated object is unchanged.
+  EXPECT_TRUE(restricted.SameObject(ad));
+}
+
+TEST(AccessDescriptorTest, SameObjectIgnoresRights) {
+  AccessDescriptor a(7, 2, rights::kRead);
+  AccessDescriptor b(7, 2, rights::kAll);
+  AccessDescriptor c(8, 2, rights::kRead);
+  AccessDescriptor stale(7, 1, rights::kRead);
+  EXPECT_TRUE(a.SameObject(b));
+  EXPECT_FALSE(a.SameObject(c));
+  EXPECT_FALSE(a.SameObject(stale));
+}
+
+TEST(AccessDescriptorTest, NullAdsNeverSameObject) {
+  AccessDescriptor a;
+  AccessDescriptor b;
+  EXPECT_FALSE(a.SameObject(b));
+}
+
+TEST(RightsTest, HasRequiresAllBits) {
+  RightsMask mask = rights::kRead | rights::kPortSend;
+  EXPECT_TRUE(rights::Has(mask, rights::kRead));
+  EXPECT_TRUE(rights::Has(mask, rights::kPortSend));
+  EXPECT_FALSE(rights::Has(mask, rights::kRead | rights::kWrite));
+  EXPECT_TRUE(rights::Has(mask, rights::kNone));
+}
+
+TEST(RightsTest, TypeRightAliases) {
+  // Port send/receive map onto distinct type rights.
+  EXPECT_NE(rights::kPortSend, rights::kPortReceive);
+  EXPECT_EQ(rights::kPortSend, rights::kSroAllocate);  // same bit, per-type interpretation
+}
+
+}  // namespace
+}  // namespace imax432

@@ -1,0 +1,76 @@
+#include "src/base/xorshift.h"
+
+#include <gtest/gtest.h>
+
+namespace imax432 {
+namespace {
+
+TEST(XorshiftTest, DeterministicForSameSeed) {
+  Xorshift a(12345);
+  Xorshift b(12345);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(XorshiftTest, DifferentSeedsDiverge) {
+  Xorshift a(1);
+  Xorshift b(2);
+  int differing = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() != b.Next()) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 90);
+}
+
+TEST(XorshiftTest, ZeroSeedIsUsable) {
+  Xorshift rng(0);
+  EXPECT_NE(rng.Next(), 0u);
+}
+
+TEST(XorshiftTest, NextBelowRespectsBound) {
+  Xorshift rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(XorshiftTest, NextInRangeInclusive) {
+  Xorshift rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t v = rng.NextInRange(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(XorshiftTest, NextDoubleInUnitInterval) {
+  Xorshift rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(XorshiftTest, ChanceIsRoughlyCalibrated) {
+  Xorshift rng(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.NextChance(1, 4)) {
+      ++hits;
+    }
+  }
+  EXPECT_NEAR(hits, 2500, 200);
+}
+
+}  // namespace
+}  // namespace imax432

@@ -1,0 +1,113 @@
+// Dispatching-port discipline tests: processors can be attached to ports with any of the
+// service disciplines, giving FIFO, priority or earliest-deadline hardware scheduling with
+// no software scheduler at all.
+
+#include <gtest/gtest.h>
+
+#include "src/exec/kernel.h"
+#include "src/memory/basic_memory_manager.h"
+#include "src/sim/machine.h"
+
+namespace imax432 {
+namespace {
+
+class DispatchDisciplineTest : public ::testing::Test {
+ protected:
+  DispatchDisciplineTest()
+      : machine_(MakeConfig()), memory_(&machine_), kernel_(&machine_, &memory_) {}
+
+  static MachineConfig MakeConfig() {
+    MachineConfig config;
+    config.memory_bytes = 1024 * 1024;
+    config.object_table_capacity = 4096;
+    return config;
+  }
+
+  // Spawns a marker process on `port` that records its start time at carrier[offset].
+  void SpawnMarker(const AccessDescriptor& port, const AccessDescriptor& carrier,
+                   uint32_t offset, uint8_t priority, uint32_t deadline) {
+    Assembler a("marker");
+    a.MoveAd(1, kArgAdReg)
+        .OsCall(os_service::kGetTime)
+        .StoreData(1, 7, offset, 8)
+        .Halt();
+    ProcessOptions options;
+    options.initial_arg = carrier;
+    options.priority = priority;
+    options.deadline = deadline;
+    options.dispatch_port = port;
+    auto process = kernel_.CreateProcess(a.Build(), options);
+    ASSERT_TRUE(process.ok());
+    ASSERT_TRUE(kernel_.StartProcess(process.value()).ok());
+  }
+
+  Machine machine_;
+  BasicMemoryManager memory_;
+  Kernel kernel_;
+};
+
+TEST_F(DispatchDisciplineTest, DeadlineDispatchRunsEarliestDeadlineFirst) {
+  auto port =
+      kernel_.ports().CreatePort(memory_.global_heap(), 64, QueueDiscipline::kDeadline);
+  ASSERT_TRUE(port.ok());
+  auto carrier = memory_.CreateObject(memory_.global_heap(), SystemType::kGeneric, 32, 0,
+                                      rights::kRead | rights::kWrite);
+  ASSERT_TRUE(carrier.ok());
+
+  // Queue three processes before any processor exists: arrival order late, mid, soon.
+  SpawnMarker(port.value(), carrier.value(), 0, 128, /*deadline=*/9000);   // late
+  SpawnMarker(port.value(), carrier.value(), 8, 128, /*deadline=*/4000);   // mid
+  SpawnMarker(port.value(), carrier.value(), 16, 128, /*deadline=*/100);   // soon
+  ASSERT_TRUE(kernel_.AddProcessors(1, port.value()).ok());
+  kernel_.Run();
+
+  uint64_t late = machine_.addressing().ReadData(carrier.value(), 0, 8).value();
+  uint64_t mid = machine_.addressing().ReadData(carrier.value(), 8, 8).value();
+  uint64_t soon = machine_.addressing().ReadData(carrier.value(), 16, 8).value();
+  EXPECT_LT(soon, mid);
+  EXPECT_LT(mid, late);
+}
+
+TEST_F(DispatchDisciplineTest, FifoDispatchRunsInArrivalOrder) {
+  auto port = kernel_.ports().CreatePort(memory_.global_heap(), 64, QueueDiscipline::kFifo);
+  ASSERT_TRUE(port.ok());
+  auto carrier = memory_.CreateObject(memory_.global_heap(), SystemType::kGeneric, 32, 0,
+                                      rights::kRead | rights::kWrite);
+  ASSERT_TRUE(carrier.ok());
+  // High priority arrives last: FIFO ignores it.
+  SpawnMarker(port.value(), carrier.value(), 0, /*priority=*/1, 0);
+  SpawnMarker(port.value(), carrier.value(), 8, /*priority=*/250, 0);
+  ASSERT_TRUE(kernel_.AddProcessors(1, port.value()).ok());
+  kernel_.Run();
+  uint64_t first = machine_.addressing().ReadData(carrier.value(), 0, 8).value();
+  uint64_t second = machine_.addressing().ReadData(carrier.value(), 8, 8).value();
+  EXPECT_LT(first, second);
+}
+
+TEST_F(DispatchDisciplineTest, PartitionedDispatchPorts) {
+  // Two dispatch ports, one processor each: work queued on port A never runs on B's
+  // processor — partitioned scheduling by configuration alone.
+  auto port_a = kernel_.ports().CreatePort(memory_.global_heap(), 16, QueueDiscipline::kFifo);
+  auto port_b = kernel_.ports().CreatePort(memory_.global_heap(), 16, QueueDiscipline::kFifo);
+  ASSERT_TRUE(port_a.ok() && port_b.ok());
+  ASSERT_TRUE(kernel_.AddProcessors(1, port_a.value()).ok());  // processor 0
+  ASSERT_TRUE(kernel_.AddProcessors(1, port_b.value()).ok());  // processor 1
+
+  auto carrier = memory_.CreateObject(memory_.global_heap(), SystemType::kGeneric, 16, 0,
+                                      rights::kRead | rights::kWrite);
+  ASSERT_TRUE(carrier.ok());
+  SpawnMarker(port_a.value(), carrier.value(), 0, 128, 0);
+  SpawnMarker(port_b.value(), carrier.value(), 8, 128, 0);
+  kernel_.Run();
+
+  // Both ran; each processor dispatched at least its own.
+  EXPECT_GT(machine_.addressing().ReadData(carrier.value(), 0, 8).value(), 0u);
+  EXPECT_GT(machine_.addressing().ReadData(carrier.value(), 8, 8).value(), 0u);
+  ObjectView p0(&machine_.addressing(), kernel_.processor_object(0));
+  ObjectView p1(&machine_.addressing(), kernel_.processor_object(1));
+  EXPECT_GE(p0.Field(ProcessorLayout::kOffDispatches, 8), 1u);
+  EXPECT_GE(p1.Field(ProcessorLayout::kOffDispatches, 8), 1u);
+}
+
+}  // namespace
+}  // namespace imax432

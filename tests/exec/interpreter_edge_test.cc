@@ -1,0 +1,228 @@
+// Interpreter edge cases: the operand checks, conditional operations, indexed addressing
+// forms and malformed-program handling that the main kernel tests do not reach.
+
+#include <gtest/gtest.h>
+
+#include "src/exec/kernel.h"
+#include "src/memory/basic_memory_manager.h"
+#include "src/sim/machine.h"
+
+namespace imax432 {
+namespace {
+
+class InterpreterEdgeTest : public ::testing::Test {
+ protected:
+  InterpreterEdgeTest()
+      : machine_(MakeConfig()), memory_(&machine_), kernel_(&machine_, &memory_) {
+    EXPECT_TRUE(kernel_.AddProcessors(1).ok());
+  }
+
+  static MachineConfig MakeConfig() {
+    MachineConfig config;
+    config.memory_bytes = 512 * 1024;
+    config.object_table_capacity = 2048;
+    return config;
+  }
+
+  // Runs a program to completion; returns its final fault code.
+  Fault RunToEnd(ProgramRef program, const AccessDescriptor& arg = {}) {
+    ProcessOptions options;
+    options.initial_arg = arg;
+    auto process = kernel_.CreateProcess(std::move(program), options);
+    EXPECT_TRUE(process.ok());
+    EXPECT_TRUE(kernel_.StartProcess(process.value()).ok());
+    kernel_.Run();
+    last_process_ = process.value();
+    return kernel_.process_view(process.value()).fault_code();
+  }
+
+  uint64_t ResultReg(uint32_t offset) {
+    // Reads back through the carrier written by the program.
+    auto value = machine_.addressing().ReadData(carrier_, offset, 8);
+    EXPECT_TRUE(value.ok());
+    return value.ok() ? value.value() : ~0ull;
+  }
+
+  AccessDescriptor MakeResultCarrier(uint32_t slots = 1) {
+    auto carrier = memory_.CreateObject(memory_.global_heap(), SystemType::kGeneric, 64,
+                                        slots, rights::kRead | rights::kWrite);
+    EXPECT_TRUE(carrier.ok());
+    carrier_ = carrier.value();
+    return carrier_;
+  }
+
+  Machine machine_;
+  BasicMemoryManager memory_;
+  Kernel kernel_;
+  AccessDescriptor carrier_;
+  AccessDescriptor last_process_;
+};
+
+TEST_F(InterpreterEdgeTest, RegisterBoundsChecked) {
+  // Hand-craft an instruction with an out-of-range register (the assembler cannot emit one).
+  auto program = std::make_shared<Program>("bad-reg");
+  program->Append({Opcode::kLoadImm, /*a=*/9, 0, 0, 0, 1});  // r9 does not exist
+  program->Append({Opcode::kHalt, 0, 0, 0, 0, 0});
+  EXPECT_EQ(RunToEnd(program), Fault::kRegisterOutOfRange);
+}
+
+TEST_F(InterpreterEdgeTest, InvalidNativeIndexFaults) {
+  auto program = std::make_shared<Program>("bad-native");
+  program->Append({Opcode::kNative, 0, 0, 0, /*imm=*/5, 0});  // no native registered
+  EXPECT_EQ(RunToEnd(program), Fault::kInvalidInstruction);
+}
+
+TEST_F(InterpreterEdgeTest, UnknownOsServiceFaults) {
+  Assembler a("bad-service");
+  a.OsCall(0xdead).Halt();
+  EXPECT_EQ(RunToEnd(a.Build()), Fault::kNotFound);
+}
+
+TEST_F(InterpreterEdgeTest, IndexedDataAccess) {
+  AccessDescriptor carrier = MakeResultCarrier();
+  Assembler a("indexed");
+  a.MoveAd(1, kArgAdReg)
+      .LoadImm(0, 16)          // index register
+      .LoadImm(2, 0xabcd)
+      .StoreDataIndexed(1, 2, 0, 8)  // carrier[8 + r0] = r2 -> offset 24
+      .LoadDataIndexed(3, 1, 0, 8)   // r3 = carrier[8 + r0]
+      .StoreData(1, 3, 0, 8)         // carrier[0] = r3
+      .Halt();
+  EXPECT_EQ(RunToEnd(a.Build(), carrier), Fault::kNone);
+  EXPECT_EQ(ResultReg(0), 0xabcdu);
+  EXPECT_EQ(ResultReg(24), 0xabcdu);
+}
+
+TEST_F(InterpreterEdgeTest, IndexedAdAccess) {
+  AccessDescriptor carrier = MakeResultCarrier(4);
+  auto payload = memory_.CreateObject(memory_.global_heap(), SystemType::kGeneric, 16, 0,
+                                      rights::kRead);
+  ASSERT_TRUE(payload.ok());
+  ASSERT_TRUE(machine_.addressing().WriteAd(carrier, 2, payload.value()).ok());
+
+  Assembler a("ad-indexed");
+  a.MoveAd(1, kArgAdReg)
+      .LoadImm(0, 2)
+      .LoadAdIndexed(3, 1, 0)        // a3 = carrier.access[r0]
+      .LoadImm(0, 3)
+      .StoreAdIndexed(1, 3, 0)       // carrier.access[r0] = a3
+      .Halt();
+  EXPECT_EQ(RunToEnd(a.Build(), carrier), Fault::kNone);
+  auto slot3 = machine_.addressing().ReadAd(carrier, 3);
+  ASSERT_TRUE(slot3.ok());
+  EXPECT_TRUE(slot3.value().SameObject(payload.value()));
+}
+
+TEST_F(InterpreterEdgeTest, AdIsNullAndRestrictInPrograms) {
+  AccessDescriptor carrier = MakeResultCarrier();
+  Assembler a("null-check");
+  a.MoveAd(1, kArgAdReg)
+      .ClearAd(2)
+      .AdIsNull(0, 2)           // r0 = 1
+      .AdIsNull(2, 1)           // r2 = 0 (carrier is not null)
+      .StoreData(1, 0, 0, 8)
+      .StoreData(1, 2, 8, 8)
+      .RestrictRights(1, rights::kRead)  // drop write on our own carrier AD
+      .LoadImm(3, 1)
+      .StoreData(1, 3, 16, 8)   // now faults
+      .Halt();
+  EXPECT_EQ(RunToEnd(a.Build(), carrier), Fault::kRightsViolation);
+  EXPECT_EQ(ResultReg(0), 1u);
+  EXPECT_EQ(ResultReg(8), 0u);
+}
+
+TEST_F(InterpreterEdgeTest, CondReceiveOnEmptyPortReportsZero) {
+  AccessDescriptor carrier = MakeResultCarrier(2);
+  auto port = kernel_.ports().CreatePort(memory_.global_heap(), 2, QueueDiscipline::kFifo);
+  ASSERT_TRUE(port.ok());
+  ASSERT_TRUE(machine_.addressing().WriteAd(carrier, 1, port.value()).ok());
+  Assembler a("cond-recv");
+  a.MoveAd(1, kArgAdReg)
+      .LoadAd(2, 1, 1)
+      .CondReceive(3, 2, 0)   // empty -> r0 = 0
+      .StoreData(1, 0, 0, 8)
+      .Halt();
+  EXPECT_EQ(RunToEnd(a.Build(), carrier), Fault::kNone);
+  EXPECT_EQ(ResultReg(0), 0u);
+}
+
+TEST_F(InterpreterEdgeTest, SubMulArithmetic) {
+  AccessDescriptor carrier = MakeResultCarrier();
+  Assembler a("arith");
+  a.MoveAd(1, kArgAdReg)
+      .LoadImm(2, 100)
+      .LoadImm(3, 42)
+      .Sub(4, 2, 3)            // 58
+      .Mul(5, 4, 3)            // 2436
+      .StoreData(1, 4, 0, 8)
+      .StoreData(1, 5, 8, 8)
+      .Halt();
+  EXPECT_EQ(RunToEnd(a.Build(), carrier), Fault::kNone);
+  EXPECT_EQ(ResultReg(0), 58u);
+  EXPECT_EQ(ResultReg(8), 2436u);
+}
+
+TEST_F(InterpreterEdgeTest, UnsignedWraparound) {
+  AccessDescriptor carrier = MakeResultCarrier();
+  Assembler a("wrap");
+  a.MoveAd(1, kArgAdReg)
+      .LoadImm(2, 0)
+      .LoadImm(3, 1)
+      .Sub(4, 2, 3)            // 0 - 1 wraps
+      .StoreData(1, 4, 0, 8)
+      .Halt();
+  EXPECT_EQ(RunToEnd(a.Build(), carrier), Fault::kNone);
+  EXPECT_EQ(ResultReg(0), ~0ull);
+}
+
+TEST_F(InterpreterEdgeTest, NarrowStoresTruncate) {
+  AccessDescriptor carrier = MakeResultCarrier();
+  Assembler a("narrow");
+  a.MoveAd(1, kArgAdReg)
+      .LoadImm(2, 0x1234567890abcdefull)
+      .StoreData(1, 2, 0, 2)   // 16-bit store
+      .LoadData(3, 1, 0, 8)
+      .StoreData(1, 3, 8, 8)
+      .Halt();
+  EXPECT_EQ(RunToEnd(a.Build(), carrier), Fault::kNone);
+  EXPECT_EQ(ResultReg(8), 0xcdefu);
+}
+
+TEST_F(InterpreterEdgeTest, CallIntoOutOfRangeEntryFaults) {
+  Assembler leaf("leaf");
+  leaf.Return();
+  auto segment = kernel_.programs().Register(leaf.Build());
+  ASSERT_TRUE(segment.ok());
+  auto domain = kernel_.CreateDomain({segment.value()});
+  ASSERT_TRUE(domain.ok());
+  Assembler a("bad-entry");
+  a.MoveAd(1, kArgAdReg).Call(1, 7).Halt();  // entry 7 of a 1-entry domain
+  EXPECT_EQ(RunToEnd(a.Build(), domain.value()), Fault::kBoundsViolation);
+}
+
+TEST_F(InterpreterEdgeTest, CallLocalWithoutDomainFaults) {
+  Assembler a("orphan-calllocal");
+  a.CallLocal(0).Halt();  // top-level context has no domain
+  EXPECT_EQ(RunToEnd(a.Build()), Fault::kNullAccess);
+}
+
+TEST_F(InterpreterEdgeTest, SendToNonPortFaults) {
+  auto plain =
+      memory_.CreateObject(memory_.global_heap(), SystemType::kGeneric, 8, 0, rights::kAll);
+  ASSERT_TRUE(plain.ok());
+  Assembler a("send-to-object");
+  a.MoveAd(1, kArgAdReg).MoveAd(2, 1).Send(1, 2).Halt();
+  EXPECT_EQ(RunToEnd(a.Build(), plain.value()), Fault::kTypeMismatch);
+}
+
+TEST_F(InterpreterEdgeTest, SendWithoutSendRightsFaults) {
+  auto port = kernel_.ports().CreatePort(memory_.global_heap(), 2, QueueDiscipline::kFifo);
+  ASSERT_TRUE(port.ok());
+  AccessDescriptor receive_only = port.value().Restricted(rights::kRead | rights::kPortReceive);
+  Assembler a("no-send-right");
+  a.MoveAd(1, kArgAdReg).MoveAd(2, 1).Send(1, 2).Halt();
+  EXPECT_EQ(RunToEnd(a.Build(), receive_only), Fault::kRightsViolation);
+}
+
+}  // namespace
+}  // namespace imax432

@@ -1,0 +1,229 @@
+#include "src/filing/object_store.h"
+
+#include <gtest/gtest.h>
+
+#include "src/memory/basic_memory_manager.h"
+#include "src/sim/machine.h"
+
+namespace imax432 {
+namespace {
+
+class ObjectStoreTest : public ::testing::Test {
+ protected:
+  ObjectStoreTest()
+      : machine_(MakeConfig()),
+        memory_(&machine_),
+        kernel_(&machine_, &memory_),
+        types_(&kernel_),
+        store_(&kernel_, &types_) {}
+
+  static MachineConfig MakeConfig() {
+    MachineConfig config;
+    config.memory_bytes = 256 * 1024;
+    config.object_table_capacity = 1024;
+    return config;
+  }
+
+  Machine machine_;
+  BasicMemoryManager memory_;
+  Kernel kernel_;
+  TypeManagerFacility types_;
+  ObjectStore store_;
+};
+
+TEST_F(ObjectStoreTest, PlainObjectRoundTrip) {
+  auto object = memory_.CreateObject(memory_.global_heap(), SystemType::kGeneric, 32, 0,
+                                     rights::kRead | rights::kWrite);
+  ASSERT_TRUE(object.ok());
+  ASSERT_TRUE(machine_.addressing().WriteData(object.value(), 8, 8, 0xfeedface).ok());
+
+  ASSERT_TRUE(store_.File("doc", object.value()).ok());
+  ASSERT_TRUE(store_.Contains("doc"));
+
+  auto restored = store_.Retrieve("doc", memory_.global_heap());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_FALSE(restored.value().SameObject(object.value()));  // a fresh object
+  EXPECT_EQ(machine_.addressing().ReadData(restored.value(), 8, 8).value(), 0xfeedfaceu);
+}
+
+TEST_F(ObjectStoreTest, TypedObjectKeepsIdentityThroughStore) {
+  // §7.2: type identity survives a storage channel that could not know the type statically.
+  auto tdo = types_.CreateTypeDefinition(0xBEEF);
+  ASSERT_TRUE(tdo.ok());
+  auto object =
+      types_.CreateTypedObject(tdo.value(), memory_.global_heap(), 16, 0,
+                               rights::kRead | rights::kWrite);
+  ASSERT_TRUE(object.ok());
+  ASSERT_TRUE(machine_.addressing().WriteData(object.value(), 0, 4, 1234).ok());
+
+  ASSERT_TRUE(store_.File("drive-config", object.value()).ok());
+  EXPECT_EQ(store_.FiledTypeId("drive-config").value(), 0xBEEFu);
+
+  auto restored = store_.Retrieve("drive-config", memory_.global_heap(), tdo.value());
+  ASSERT_TRUE(restored.ok());
+  // The resurrected object is hardware-recognizably of the same user type.
+  EXPECT_TRUE(types_.CheckType(restored.value(), tdo.value()).ok());
+  EXPECT_EQ(machine_.addressing().ReadData(restored.value(), 0, 4).value(), 1234u);
+}
+
+TEST_F(ObjectStoreTest, TypedImageRejectsWrongTdo) {
+  auto tdo_a = types_.CreateTypeDefinition(1);
+  auto tdo_b = types_.CreateTypeDefinition(2);
+  ASSERT_TRUE(tdo_a.ok() && tdo_b.ok());
+  auto object =
+      types_.CreateTypedObject(tdo_a.value(), memory_.global_heap(), 16, 0, rights::kRead);
+  ASSERT_TRUE(object.ok());
+  ASSERT_TRUE(store_.File("x", object.value()).ok());
+
+  EXPECT_EQ(store_.Retrieve("x", memory_.global_heap(), tdo_b.value()).fault(),
+            Fault::kTypeMismatch);
+  EXPECT_EQ(store_.Retrieve("x", memory_.global_heap()).fault(), Fault::kTypeMismatch);
+  EXPECT_EQ(store_.stats().type_checks_failed, 2u);
+}
+
+TEST_F(ObjectStoreTest, UntypedImageRejectsTypedRetrieve) {
+  auto plain = memory_.CreateObject(memory_.global_heap(), SystemType::kGeneric, 8, 0,
+                                    rights::kRead);
+  auto tdo = types_.CreateTypeDefinition(3);
+  ASSERT_TRUE(plain.ok() && tdo.ok());
+  ASSERT_TRUE(store_.File("p", plain.value()).ok());
+  EXPECT_EQ(store_.Retrieve("p", memory_.global_heap(), tdo.value()).fault(),
+            Fault::kTypeMismatch);
+}
+
+TEST_F(ObjectStoreTest, FilingRequiresReadRights) {
+  auto object = memory_.CreateObject(memory_.global_heap(), SystemType::kGeneric, 8, 0,
+                                     rights::kWrite);
+  ASSERT_TRUE(object.ok());
+  EXPECT_EQ(store_.File("no", object.value()).fault(), Fault::kRightsViolation);
+}
+
+TEST_F(ObjectStoreTest, LiveCapabilitiesDoNotFile) {
+  auto holder = memory_.CreateObject(memory_.global_heap(), SystemType::kGeneric, 8, 2,
+                                     rights::kRead | rights::kWrite);
+  auto payload = memory_.CreateObject(memory_.global_heap(), SystemType::kGeneric, 8, 0,
+                                      rights::kRead);
+  ASSERT_TRUE(holder.ok() && payload.ok());
+  ASSERT_TRUE(machine_.addressing().WriteAd(holder.value(), 0, payload.value()).ok());
+  EXPECT_EQ(store_.File("bad", holder.value()).fault(), Fault::kInvalidArgument);
+}
+
+TEST_F(ObjectStoreTest, RetrieveSurvivesOriginalDestruction) {
+  // The store is passive: the filed image outlives the original object.
+  auto object = memory_.CreateObject(memory_.global_heap(), SystemType::kGeneric, 16, 0,
+                                     rights::kRead | rights::kWrite | rights::kDelete);
+  ASSERT_TRUE(object.ok());
+  ASSERT_TRUE(machine_.addressing().WriteData(object.value(), 0, 8, 777).ok());
+  ASSERT_TRUE(store_.File("persistent", object.value()).ok());
+  ASSERT_TRUE(memory_.DestroyObject(object.value()).ok());
+
+  auto restored = store_.Retrieve("persistent", memory_.global_heap());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(machine_.addressing().ReadData(restored.value(), 0, 8).value(), 777u);
+}
+
+TEST_F(ObjectStoreTest, CompositeGraphRoundTrip) {
+  // A three-node structure with a cycle: root -> a -> b -> a, root.data = 1, a.data = 2,
+  // b.data = 3. Filed as structure, retrieved as a fresh isomorphic graph.
+  auto make_node = [&](uint64_t stamp) {
+    auto object = memory_.CreateObject(memory_.global_heap(), SystemType::kGeneric, 16, 2,
+                                       rights::kRead | rights::kWrite);
+    EXPECT_TRUE(object.ok());
+    EXPECT_TRUE(machine_.addressing().WriteData(object.value(), 0, 8, stamp).ok());
+    return object.value();
+  };
+  AccessDescriptor root = make_node(1);
+  AccessDescriptor a = make_node(2);
+  AccessDescriptor b = make_node(3);
+  ASSERT_TRUE(machine_.addressing().WriteAd(root, 0, a).ok());
+  ASSERT_TRUE(machine_.addressing().WriteAd(a, 0, b).ok());
+  ASSERT_TRUE(machine_.addressing().WriteAd(b, 1, a).ok());  // cycle
+
+  ASSERT_TRUE(store_.FileComposite("graph", root).ok());
+  EXPECT_EQ(store_.CompositeSize("graph").value(), 3u);
+
+  auto restored = store_.RetrieveComposite("graph", memory_.global_heap());
+  ASSERT_TRUE(restored.ok());
+  AccessDescriptor new_root = restored.value();
+  EXPECT_FALSE(new_root.SameObject(root));
+  EXPECT_EQ(machine_.addressing().ReadData(new_root, 0, 8).value(), 1u);
+  auto new_a = machine_.addressing().ReadAd(new_root, 0);
+  ASSERT_TRUE(new_a.ok());
+  EXPECT_EQ(machine_.addressing().ReadData(new_a.value(), 0, 8).value(), 2u);
+  auto new_b = machine_.addressing().ReadAd(new_a.value(), 0);
+  ASSERT_TRUE(new_b.ok());
+  EXPECT_EQ(machine_.addressing().ReadData(new_b.value(), 0, 8).value(), 3u);
+  // The cycle is rebuilt: b's slot 1 is the same fresh a.
+  auto back = machine_.addressing().ReadAd(new_b.value(), 1);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.value().SameObject(new_a.value()));
+}
+
+TEST_F(ObjectStoreTest, CompositeSurvivesOriginalDestruction) {
+  auto root = memory_.CreateObject(memory_.global_heap(), SystemType::kGeneric, 8, 1,
+                                   rights::kAll);
+  auto leaf = memory_.CreateObject(memory_.global_heap(), SystemType::kGeneric, 8, 0,
+                                   rights::kAll);
+  ASSERT_TRUE(root.ok() && leaf.ok());
+  ASSERT_TRUE(machine_.addressing().WriteData(leaf.value(), 0, 8, 55).ok());
+  ASSERT_TRUE(machine_.addressing().WriteAd(root.value(), 0, leaf.value()).ok());
+  ASSERT_TRUE(store_.FileComposite("tree", root.value()).ok());
+  // Clear the edge first (destroying a referenced object would otherwise dangle), then
+  // destroy both originals.
+  ASSERT_TRUE(machine_.addressing().WriteAd(root.value(), 0, AccessDescriptor()).ok());
+  ASSERT_TRUE(memory_.DestroyObject(leaf.value()).ok());
+  ASSERT_TRUE(memory_.DestroyObject(root.value()).ok());
+
+  auto restored = store_.RetrieveComposite("tree", memory_.global_heap());
+  ASSERT_TRUE(restored.ok());
+  auto new_leaf = machine_.addressing().ReadAd(restored.value(), 0);
+  ASSERT_TRUE(new_leaf.ok());
+  EXPECT_EQ(machine_.addressing().ReadData(new_leaf.value(), 0, 8).value(), 55u);
+}
+
+TEST_F(ObjectStoreTest, TypedCompositeNeedsResolver) {
+  auto tdo = types_.CreateTypeDefinition(0x77);
+  ASSERT_TRUE(tdo.ok());
+  auto root = types_.CreateTypedObject(tdo.value(), memory_.global_heap(), 16, 1,
+                                       rights::kRead | rights::kWrite);
+  ASSERT_TRUE(root.ok());
+  ASSERT_TRUE(store_.FileComposite("typed-graph", root.value()).ok());
+
+  // Without a resolver: type check fails.
+  EXPECT_EQ(store_.RetrieveComposite("typed-graph", memory_.global_heap()).fault(),
+            Fault::kTypeMismatch);
+  // With the right resolver: identity restored and hardware-checkable.
+  auto restored = store_.RetrieveComposite(
+      "typed-graph", memory_.global_heap(),
+      [&](uint32_t type_id) {
+        return type_id == 0x77 ? tdo.value() : AccessDescriptor();
+      });
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(types_.CheckType(restored.value(), tdo.value()).ok());
+}
+
+TEST_F(ObjectStoreTest, CompositeRejectsDanglingEdges) {
+  auto root = memory_.CreateObject(memory_.global_heap(), SystemType::kGeneric, 8, 1,
+                                   rights::kAll);
+  auto doomed = memory_.CreateObject(memory_.global_heap(), SystemType::kGeneric, 8, 0,
+                                     rights::kAll);
+  ASSERT_TRUE(root.ok() && doomed.ok());
+  ASSERT_TRUE(machine_.addressing().WriteAd(root.value(), 0, doomed.value()).ok());
+  // Free the referent behind the store's back (simulates a racing explicit destroy).
+  ASSERT_TRUE(machine_.table().Free(doomed.value().index()).ok());
+  EXPECT_EQ(store_.FileComposite("broken", root.value()).fault(), Fault::kInvalidAccess);
+}
+
+TEST_F(ObjectStoreTest, RemoveAndMissingNames) {
+  EXPECT_EQ(store_.Retrieve("ghost", memory_.global_heap()).fault(), Fault::kNotFound);
+  EXPECT_EQ(store_.Remove("ghost").fault(), Fault::kNotFound);
+  auto object = memory_.CreateObject(memory_.global_heap(), SystemType::kGeneric, 8, 0,
+                                     rights::kRead);
+  ASSERT_TRUE(object.ok());
+  ASSERT_TRUE(store_.File("temp", object.value()).ok());
+  ASSERT_TRUE(store_.Remove("temp").ok());
+  EXPECT_FALSE(store_.Contains("temp"));
+}
+
+}  // namespace
+}  // namespace imax432

@@ -1,0 +1,219 @@
+// Integration tests: several iMAX packages cooperating in one running system, plus the §4
+// extensibility property ("any system interface can be mimicked by a user package. This
+// makes it straightforward for a user to extend the system interface, trap certain system
+// calls, or otherwise alter iMAX services.").
+
+#include <gtest/gtest.h>
+
+#include "src/filing/object_store.h"
+#include "src/io/devices.h"
+#include "src/os/schedulers.h"
+#include "src/os/system.h"
+
+namespace imax432 {
+namespace {
+
+SystemConfig IntegrationConfig() {
+  SystemConfig config;
+  config.processors = 2;
+  config.machine.memory_bytes = 4 * 1024 * 1024;
+  config.machine.object_table_capacity = 16384;
+  return config;
+}
+
+// A user package that interposes on the Untyped_Ports interface: identical surface,
+// observable side effects (message counting). No special compiler or kernel support — the
+// paper's point that system interfaces are ordinary interfaces.
+class CountingPorts {
+ public:
+  explicit CountingPorts(Kernel* kernel) : inner_(kernel) {}
+
+  Result<Port> Create(uint16_t message_count,
+                      QueueDiscipline discipline = QueueDiscipline::kFifo) {
+    return inner_.Create(message_count, discipline);
+  }
+  Status Send(const Port& port, const AnyAccess& message) {
+    ++sends_;
+    return inner_.Send(port, message);
+  }
+  Result<AnyAccess> Receive(const Port& port) {
+    ++receives_;
+    return inner_.Receive(port);
+  }
+  uint64_t sends() const { return sends_; }
+  uint64_t receives() const { return receives_; }
+
+ private:
+  UntypedPorts inner_;
+  uint64_t sends_ = 0;
+  uint64_t receives_ = 0;
+};
+
+TEST(InterpositionTest, UserPackageMimicsSystemInterface) {
+  System system(IntegrationConfig());
+  CountingPorts counting(&system.kernel());
+  auto port = counting.Create(4);
+  ASSERT_TRUE(port.ok());
+  auto message = system.memory().CreateObject(system.memory().global_heap(),
+                                              SystemType::kGeneric, 8, 0, rights::kRead);
+  ASSERT_TRUE(message.ok());
+  // Client code written against the Untyped_Ports surface runs unchanged on the wrapper.
+  ASSERT_TRUE(counting.Send(port.value(), message.value()).ok());
+  auto back = counting.Receive(port.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.value().SameObject(message.value()));
+  EXPECT_EQ(counting.sends(), 1u);
+  EXPECT_EQ(counting.receives(), 1u);
+}
+
+TEST(IntegrationTest, PackagesComposeInOneRunningSystem) {
+  // One system: a device (console), a typed-object manager with a destruction filter, a
+  // scheduler-mediated worker tree, the GC daemon, and object filing — all at once.
+  SystemConfig config = IntegrationConfig();
+  config.recover_lost_processes = true;
+  System system(config);
+  auto& kernel = system.kernel();
+
+  // Device.
+  auto console_model = std::make_unique<ConsoleDevice>();
+  ConsoleDevice* console = console_model.get();
+  auto console_server = DeviceServer::Spawn(&kernel, std::move(console_model));
+  ASSERT_TRUE(console_server.ok());
+
+  // Typed resource with filter.
+  auto filter_port =
+      kernel.ports().CreatePort(system.memory().global_heap(), 8, QueueDiscipline::kFifo);
+  auto tdo = system.types().CreateTypeDefinition(0xcafe, filter_port.value());
+  ASSERT_TRUE(filter_port.ok() && tdo.ok());
+  kernel.AddRootProvider([tdo = tdo.value(), port = filter_port.value()](
+                             std::vector<AccessDescriptor>* roots) {
+    roots->push_back(tdo);
+    roots->push_back(port);
+  });
+  auto resource = system.types().CreateTypedObject(
+      tdo.value(), system.memory().global_heap(), 32, 0, rights::kRead);
+  ASSERT_TRUE(resource.ok());  // ...and immediately lost (host AD is no root)
+
+  // Scheduler-mediated workers.
+  SchedulerStats sched_stats;
+  auto scheduler =
+      SpawnPassThroughScheduler(&kernel, &system.process_manager(), &sched_stats);
+  ASSERT_TRUE(scheduler.ok());
+  std::vector<AccessDescriptor> workers;
+  for (int i = 0; i < 3; ++i) {
+    Assembler a("worker");
+    a.Compute(5000).Halt();
+    ProcessOptions options;
+    options.scheduler_port = scheduler.value().port;
+    auto worker = system.process_manager().Create(a.Build(), options);
+    ASSERT_TRUE(worker.ok());
+    workers.push_back(worker.value());
+    kernel.AddRootProvider([ad = worker.value()](std::vector<AccessDescriptor>* roots) {
+      roots->push_back(ad);
+    });
+    ASSERT_TRUE(system.process_manager().Start(worker.value()).ok());
+  }
+
+  // Filing.
+  ObjectStore store(&kernel, &system.types());
+  auto document = system.memory().CreateObject(system.memory().global_heap(),
+                                               SystemType::kGeneric, 64, 0,
+                                               rights::kRead | rights::kWrite);
+  ASSERT_TRUE(document.ok());
+  ASSERT_TRUE(system.machine().addressing().WriteData(document.value(), 0, 8, 4242).ok());
+  ASSERT_TRUE(store.File("report", document.value()).ok());
+
+  // Run everything, write to the console, collect garbage.
+  system.Run();
+  IoClient client(&kernel);
+  auto buffer = system.memory().CreateObject(system.memory().global_heap(),
+                                             SystemType::kGeneric, 32, 0,
+                                             rights::kRead | rights::kWrite);
+  ASSERT_TRUE(buffer.ok());
+  ASSERT_TRUE(
+      system.machine().addressing().WriteDataBlock(buffer.value(), 0, "done\n", 5).ok());
+  ASSERT_TRUE(client
+                  .Transfer(console_server.value()->request_port(), io_op::kWrite, 0,
+                            buffer.value(), 5)
+                  .ok());
+  ASSERT_TRUE(system.RequestCollection().ok());
+  system.Run();
+
+  // Everyone did their job.
+  for (const AccessDescriptor& worker : workers) {
+    EXPECT_EQ(kernel.process_view(worker).state(), ProcessState::kTerminated);
+  }
+  EXPECT_EQ(sched_stats.admitted, 3u);
+  EXPECT_EQ(console->output(), "done\n");
+  // The lost typed resource came back through its filter.
+  auto recovered = kernel.ports().Dequeue(filter_port.value());
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_TRUE(recovered.value().SameObject(resource.value()));
+  // The filed document survives independent of its original.
+  auto restored = store.Retrieve("report", system.memory().global_heap());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(system.machine().addressing().ReadData(restored.value(), 0, 8).value(), 4242u);
+  // And the system is still healthy: another program runs fine.
+  Assembler epilogue("epilogue");
+  epilogue.Compute(100).Halt();
+  auto last = system.Spawn(epilogue.Build());
+  ASSERT_TRUE(last.ok());
+  system.Run();
+  EXPECT_EQ(kernel.process_view(last.value()).state(), ProcessState::kTerminated);
+  EXPECT_EQ(kernel.stats().panics, 0u);
+}
+
+TEST(IntegrationTest, DomainsProtectPackageState) {
+  // A counter package: its state object is reachable only through the domain's access part.
+  // Clients holding only the (call-rights) domain AD can invoke entries but cannot read or
+  // forge the state — the "small protection domain" in action.
+  System system(IntegrationConfig());
+  auto& kernel = system.kernel();
+
+  // State object: one u64 counter.
+  auto counter = system.memory().CreateObject(system.memory().global_heap(),
+                                              SystemType::kGeneric, 8, 0,
+                                              rights::kRead | rights::kWrite);
+  ASSERT_TRUE(counter.ok());
+
+  // Entry 0: increment the counter and return its new value in r7. The entry code reaches
+  // the state through the domain (a6), slot index entry_count + 0.
+  Assembler increment("increment");
+  increment.LoadAd(1, kDomainAdReg, 1)  // a1 = state (slot 1 = after the 1 entry)
+      .LoadData(0, 1, 0, 8)
+      .AddImm(0, 0, 1)
+      .StoreData(1, 0, 0, 8)
+      .Move(7, 0)
+      .ClearAd(7)
+      .Return();
+  auto segment = kernel.programs().Register(increment.Build());
+  ASSERT_TRUE(segment.ok());
+  auto domain = kernel.CreateDomain({segment.value()}, /*state_slots=*/1);
+  ASSERT_TRUE(domain.ok());
+  ASSERT_TRUE(kernel.SetDomainState(domain.value(), 0, counter.value()).ok());
+
+  // But wait: entry code reads the domain via a6, which carries only call rights — reading
+  // its access part must be amplified by the call machinery. Verify the *client-side*
+  // protection too: a client cannot LoadAd from the domain AD.
+  auto carrier = system.memory().CreateObject(system.memory().global_heap(),
+                                              SystemType::kGeneric, 16, 1,
+                                              rights::kRead | rights::kWrite);
+  ASSERT_TRUE(carrier.ok());
+  ASSERT_TRUE(
+      system.machine().addressing().WriteAd(carrier.value(), 0, domain.value()).ok());
+
+  Assembler snoop("snoop");
+  snoop.MoveAd(1, kArgAdReg)
+      .LoadAd(2, 1, 0)   // a2 = domain (call rights only)
+      .LoadAd(3, 2, 1)   // attempt to read the state slot: must fault
+      .Halt();
+  ProcessOptions options;
+  options.initial_arg = carrier.value();
+  auto snooper = system.Spawn(snoop.Build(), options);
+  ASSERT_TRUE(snooper.ok());
+  system.Run();
+  EXPECT_EQ(kernel.process_view(snooper.value()).fault_code(), Fault::kRightsViolation);
+}
+
+}  // namespace
+}  // namespace imax432

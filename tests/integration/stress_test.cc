@@ -1,0 +1,238 @@
+// Stress and failure-injection tests: randomized fleets of processes — including deliberately
+// broken ones — must never corrupt the kernel. Every process ends in a terminal or parked
+// state, every fault is delivered or contained, and the machine stays serviceable.
+
+#include <gtest/gtest.h>
+
+#include "src/base/xorshift.h"
+#include "src/os/ada_runtime.h"
+#include "src/os/system.h"
+
+namespace imax432 {
+namespace {
+
+SystemConfig StressConfig(int processors) {
+  SystemConfig config;
+  config.processors = processors;
+  config.machine.memory_bytes = 4 * 1024 * 1024;
+  config.machine.object_table_capacity = 16384;
+  config.machine.time_slice = 8000;  // aggressive slicing: more interleavings
+  return config;
+}
+
+// Builds a random program. `hostile` programs include operations that fault (null
+// dereference, rights violations, bad slots, escaping stores).
+ProgramRef RandomProgram(Xorshift& rng, bool hostile) {
+  Assembler a(hostile ? "hostile" : "benign");
+  a.MoveAd(1, kArgAdReg);  // a1 = heap
+  int length = static_cast<int>(rng.NextInRange(4, 24));
+  for (int i = 0; i < length; ++i) {
+    switch (rng.NextBelow(hostile ? 8 : 5)) {
+      case 0:
+        a.Compute(static_cast<uint32_t>(rng.NextInRange(10, 800)));
+        break;
+      case 1:
+        a.LoadImm(static_cast<uint8_t>(rng.NextBelow(7)), rng.Next());
+        break;
+      case 2:
+        a.CreateObject(2, 1, static_cast<uint32_t>(rng.NextInRange(8, 512)));
+        break;
+      case 3:
+        a.CreateObject(2, 1, 64).LoadImm(0, 5).StoreData(2, 0, 0, 8).LoadData(3, 2, 0, 8);
+        break;
+      case 4:
+        a.CreateSro(3, 1, 4096).CreateObject(4, 3, 64).DestroySro(3);
+        break;
+      case 5:  // hostile: null dereference
+        a.ClearAd(5).LoadData(0, 5, 0, 8);
+        break;
+      case 6:  // hostile: rights violation
+        a.CreateObject(2, 1, 32).RestrictRights(2, rights::kRead).StoreData(2, 0, 0, 8);
+        break;
+      case 7:  // hostile: dangling use after local heap destruction
+        a.CreateSro(3, 1, 2048).CreateObject(4, 3, 32).DestroySro(3).LoadData(0, 4, 0, 8);
+        break;
+    }
+  }
+  a.Halt();
+  return a.Build();
+}
+
+TEST(StressTest, RandomFleetNeverCorruptsTheKernel) {
+  for (uint64_t seed : {7u, 77u, 777u}) {
+    Xorshift rng(seed);
+    System system(StressConfig(4));
+    std::vector<AccessDescriptor> processes;
+    auto fault_port = system.kernel().ports().CreatePort(system.memory().global_heap(), 128,
+                                                         QueueDiscipline::kFifo);
+    ASSERT_TRUE(fault_port.ok());
+    system.kernel().AddRootProvider(
+        [&processes, port = fault_port.value()](std::vector<AccessDescriptor>* roots) {
+          roots->push_back(port);
+          for (const AccessDescriptor& process : processes) {
+            roots->push_back(process);
+          }
+        });
+
+    for (int i = 0; i < 40; ++i) {
+      bool hostile = rng.NextChance(1, 3);
+      ProcessOptions options;
+      options.initial_arg = system.memory().global_heap();
+      options.priority = static_cast<uint8_t>(rng.NextInRange(1, 250));
+      options.fault_port = rng.NextChance(1, 2) ? fault_port.value() : AccessDescriptor();
+      auto process = system.Spawn(RandomProgram(rng, hostile), options);
+      ASSERT_TRUE(process.ok()) << "seed " << seed << " process " << i;
+      processes.push_back(process.value());
+    }
+    system.Run();
+
+    // Every process reached a terminal state (user-level faults never panic the system).
+    for (const AccessDescriptor& process : processes) {
+      ProcessState state = system.kernel().process_view(process).state();
+      EXPECT_TRUE(state == ProcessState::kTerminated || state == ProcessState::kFaulted)
+          << "seed " << seed << ": " << ProcessStateName(state);
+    }
+    EXPECT_EQ(system.kernel().stats().panics, 0u);
+
+    // Collection still works over whatever the fleet left behind, repeatedly.
+    ASSERT_TRUE(system.RequestCollection().ok());
+    system.Run();
+    ASSERT_TRUE(system.RequestCollection().ok());
+    system.Run();
+
+    // The machine is still serviceable.
+    Assembler epilogue("epilogue");
+    epilogue.Compute(100).Halt();
+    auto last = system.Spawn(epilogue.Build());
+    ASSERT_TRUE(last.ok());
+    system.Run();
+    EXPECT_EQ(system.kernel().process_view(last.value()).state(),
+              ProcessState::kTerminated);
+  }
+}
+
+TEST(StressTest, FaultStormIsFullyDelivered) {
+  // 30 processes all fault; every one is delivered to the fault port exactly once.
+  System system(StressConfig(2));
+  auto fault_port = system.kernel().ports().CreatePort(system.memory().global_heap(), 64,
+                                                       QueueDiscipline::kFifo);
+  ASSERT_TRUE(fault_port.ok());
+  system.kernel().AddRootProvider(
+      [port = fault_port.value()](std::vector<AccessDescriptor>* roots) {
+        roots->push_back(port);
+      });
+  constexpr int kCount = 30;
+  for (int i = 0; i < kCount; ++i) {
+    Assembler a("faulter");
+    a.ClearAd(1).LoadData(0, 1, 0, 8).Halt();
+    ProcessOptions options;
+    options.fault_port = fault_port.value();
+    ASSERT_TRUE(system.Spawn(a.Build(), options).ok());
+  }
+  system.Run();
+  int delivered = 0;
+  while (system.kernel().ports().Dequeue(fault_port.value()).ok()) {
+    ++delivered;
+  }
+  EXPECT_EQ(delivered, kCount);
+  EXPECT_EQ(system.kernel().stats().faults_delivered, static_cast<uint64_t>(kCount));
+}
+
+TEST(StressTest, DanglingDispatchEntriesAreSkipped) {
+  // A local-lifetime task is ready (queued at the global dispatching port) when its whole
+  // scope is destroyed. The stale dispatch entry must be skipped, not executed.
+  System system(StressConfig(1));
+  BasicProcessManager manager(&system.kernel());
+
+  // Occupy the single processor so the victim stays queued.
+  Assembler hog_program("hog");
+  auto loop = hog_program.NewLabel();
+  hog_program.LoadImm(0, 0).LoadImm(1, 1u << 20).Bind(loop).Compute(500).AddImm(0, 0, 1)
+      .BranchIfLess(0, 1, loop).Halt();
+  ProcessOptions hog_options;
+  hog_options.priority = 200;
+  auto hog = system.Spawn(hog_program.Build(), hog_options);
+  ASSERT_TRUE(hog.ok());
+  system.RunUntil(system.now() + 5000);  // hog is running
+
+  auto scope = TaskScope::Open(&system.kernel(), &manager, 64 * 1024);
+  ASSERT_TRUE(scope.ok());
+  Assembler task_program("victim");
+  task_program.Compute(100).Halt();
+  ProcessOptions task_options;
+  task_options.priority = 10;  // below the hog: stays queued
+  auto victim = scope.value().DeclareTask(task_program.Build(), task_options);
+  ASSERT_TRUE(victim.ok());
+  ASSERT_TRUE(scope.value().Activate().ok());
+  system.RunUntil(system.now() + 5000);  // victim now queued at the dispatch port
+
+  // Destroy the scope out from under the queued task (the task has not completed, so Close
+  // refuses; model an abortive teardown by destroying the SRO directly).
+  ASSERT_TRUE(system.memory().DestroySro(scope.value().sro()).ok());
+  EXPECT_FALSE(system.machine().table().Resolve(victim.value()).ok());
+
+  // Drain: the hog finishes; the stale entry is skipped without a crash; the system stays
+  // healthy and can run new work.
+  system.Run();
+  EXPECT_EQ(system.kernel().process_view(hog.value()).state(), ProcessState::kTerminated);
+  Assembler epilogue("epilogue");
+  epilogue.Compute(10).Halt();
+  auto last = system.Spawn(epilogue.Build());
+  ASSERT_TRUE(last.ok());
+  system.Run();
+  EXPECT_EQ(system.kernel().process_view(last.value()).state(), ProcessState::kTerminated);
+  EXPECT_EQ(system.kernel().stats().panics, 0u);
+}
+
+TEST(StressTest, ObjectTableExhaustionIsAFaultNotACrash) {
+  SystemConfig config = StressConfig(1);
+  config.machine.object_table_capacity = 64;  // tiny table
+  config.start_gc_daemon = false;
+  System system(config);
+  Assembler a("allocator");
+  auto loop = a.NewLabel();
+  a.MoveAd(1, kArgAdReg)
+      .LoadImm(0, 0)
+      .LoadImm(1, 200)
+      .Bind(loop)
+      .CreateObject(2, 1, 16)
+      .ClearAd(2)
+      .AddImm(0, 0, 1)
+      .BranchIfLess(0, 1, loop)
+      .Halt();
+  ProcessOptions options;
+  options.initial_arg = system.memory().global_heap();
+  auto process = system.Spawn(a.Build(), options);
+  ASSERT_TRUE(process.ok());
+  system.Run();
+  EXPECT_EQ(system.kernel().process_view(process.value()).state(),
+            ProcessState::kTerminated);
+  EXPECT_EQ(system.kernel().process_view(process.value()).fault_code(),
+            Fault::kObjectTableFull);
+}
+
+TEST(StressTest, ManyScopesOpenAndCloseCleanly) {
+  System system(StressConfig(2));
+  BasicProcessManager manager(&system.kernel());
+  uint32_t live_baseline = system.machine().table().live_count();
+  for (int round = 0; round < 20; ++round) {
+    auto scope = TaskScope::Open(&system.kernel(), &manager, 64 * 1024);
+    ASSERT_TRUE(scope.ok());
+    for (int t = 0; t < 3; ++t) {
+      Assembler a("t");
+      a.Compute(500).Halt();
+      ASSERT_TRUE(scope.value().DeclareTask(a.Build()).ok());
+    }
+    ASSERT_TRUE(scope.value().Activate().ok());
+    ASSERT_TRUE(scope.value().AwaitCompletion(system.now() + 10000000));
+    ASSERT_TRUE(scope.value().Close().ok());
+  }
+  // Scope storage came back via bulk destruction; the global-heap residue (each task's
+  // instruction segment) is garbage for the collector. After one cycle, no monotone leak.
+  ASSERT_TRUE(system.RequestCollection().ok());
+  system.Run();
+  EXPECT_EQ(system.machine().table().live_count(), live_baseline);
+}
+
+}  // namespace
+}  // namespace imax432

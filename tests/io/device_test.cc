@@ -1,0 +1,265 @@
+#include "src/io/device.h"
+
+#include <gtest/gtest.h>
+
+#include "src/io/devices.h"
+#include "src/memory/basic_memory_manager.h"
+#include "src/sim/machine.h"
+
+namespace imax432 {
+namespace {
+
+MachineConfig IoConfig() {
+  MachineConfig config;
+  config.memory_bytes = 1024 * 1024;
+  config.object_table_capacity = 4096;
+  return config;
+}
+
+class DeviceTest : public ::testing::Test {
+ protected:
+  DeviceTest() : machine_(IoConfig()), memory_(&machine_), kernel_(&machine_, &memory_) {
+    EXPECT_TRUE(kernel_.AddProcessors(1).ok());
+  }
+
+  AccessDescriptor MakeBuffer(uint32_t bytes) {
+    auto buffer = memory_.CreateObject(memory_.global_heap(), SystemType::kGeneric, bytes, 0,
+                                       rights::kRead | rights::kWrite);
+    EXPECT_TRUE(buffer.ok());
+    return buffer.value();
+  }
+
+  std::string ReadBufferText(const AccessDescriptor& buffer, uint32_t length) {
+    std::string text(length, '\0');
+    EXPECT_TRUE(machine_.addressing().ReadDataBlock(buffer, 0, text.data(), length).ok());
+    return text;
+  }
+
+  void WriteBufferText(const AccessDescriptor& buffer, const std::string& text) {
+    EXPECT_TRUE(machine_.addressing()
+                    .WriteDataBlock(buffer, 0, text.data(),
+                                    static_cast<uint32_t>(text.size()))
+                    .ok());
+  }
+
+  Machine machine_;
+  BasicMemoryManager memory_;
+  Kernel kernel_;
+};
+
+TEST_F(DeviceTest, ConsoleWriteAppearsOnDevice) {
+  auto console_model = std::make_unique<ConsoleDevice>();
+  ConsoleDevice* console = console_model.get();
+  auto server = DeviceServer::Spawn(&kernel_, std::move(console_model));
+  ASSERT_TRUE(server.ok());
+  kernel_.Run();  // server parks at its request port
+
+  IoClient client(&kernel_);
+  AccessDescriptor buffer = MakeBuffer(64);
+  WriteBufferText(buffer, "hello, 432\n");
+  auto outcome =
+      client.Transfer(server.value()->request_port(), io_op::kWrite, 0, buffer, 11);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value().status, io_status::kOk);
+  EXPECT_EQ(outcome.value().actual, 11u);
+  EXPECT_EQ(console->output(), "hello, 432\n");
+}
+
+TEST_F(DeviceTest, ConsoleReadReplaysInput) {
+  auto console_model = std::make_unique<ConsoleDevice>();
+  console_model->PreloadInput("y\n");
+  auto server = DeviceServer::Spawn(&kernel_, std::move(console_model));
+  ASSERT_TRUE(server.ok());
+  kernel_.Run();
+
+  IoClient client(&kernel_);
+  AccessDescriptor buffer = MakeBuffer(16);
+  auto outcome =
+      client.Transfer(server.value()->request_port(), io_op::kRead, 0, buffer, 2);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value().actual, 2u);
+  EXPECT_EQ(ReadBufferText(buffer, 2), "y\n");
+}
+
+TEST_F(DeviceTest, DeviceIndependentInterfaceIsUniform) {
+  // The same client code drives three different device implementations (§6.3: "The user
+  // interacts with each device identically but the code is specific to the device").
+  TapeDevice::VolumeLibrary library;
+  std::vector<std::unique_ptr<DeviceServer>> servers;
+  {
+    auto console = DeviceServer::Spawn(&kernel_, std::make_unique<ConsoleDevice>());
+    auto tape = DeviceServer::Spawn(&kernel_, std::make_unique<TapeDevice>(&library));
+    auto disk = DeviceServer::Spawn(&kernel_, std::make_unique<DiskDevice>());
+    ASSERT_TRUE(console.ok() && tape.ok() && disk.ok());
+    servers.push_back(std::move(console.value()));
+    servers.push_back(std::move(tape.value()));
+    servers.push_back(std::move(disk.value()));
+  }
+  kernel_.Run();
+  IoClient client(&kernel_);
+  // Mount the tape first (device-dependent op through the same port).
+  ASSERT_TRUE(client.Control(servers[1]->request_port(), io_op::kMount, 7).ok());
+
+  AccessDescriptor buffer = MakeBuffer(32);
+  WriteBufferText(buffer, "uniform");
+  for (auto& server : servers) {
+    auto outcome = client.Transfer(server->request_port(), io_op::kWrite, 0, buffer, 7);
+    ASSERT_TRUE(outcome.ok()) << server->model().kind();
+    EXPECT_EQ(outcome.value().status, io_status::kOk) << server->model().kind();
+    // Status is also uniform.
+    auto status = client.Control(server->request_port(), io_op::kStatus, 0);
+    ASSERT_TRUE(status.ok()) << server->model().kind();
+  }
+}
+
+TEST_F(DeviceTest, TapeRequiresMount) {
+  TapeDevice::VolumeLibrary library;
+  auto server = DeviceServer::Spawn(&kernel_, std::make_unique<TapeDevice>(&library));
+  ASSERT_TRUE(server.ok());
+  kernel_.Run();
+  IoClient client(&kernel_);
+  AccessDescriptor buffer = MakeBuffer(16);
+  auto outcome = client.Transfer(server.value()->request_port(), io_op::kRead, 0, buffer, 8);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value().status, io_status::kNotMounted);
+}
+
+TEST_F(DeviceTest, TapeDataPersistsAcrossMounts) {
+  TapeDevice::VolumeLibrary library;
+  auto server = DeviceServer::Spawn(&kernel_, std::make_unique<TapeDevice>(&library));
+  ASSERT_TRUE(server.ok());
+  kernel_.Run();
+  IoClient client(&kernel_);
+  AccessDescriptor port = server.value()->request_port();
+
+  ASSERT_TRUE(client.Control(port, io_op::kMount, 42).ok());
+  AccessDescriptor buffer = MakeBuffer(32);
+  WriteBufferText(buffer, "archived-data");
+  ASSERT_EQ(client.Transfer(port, io_op::kWrite, 0, buffer, 13).value().status,
+            io_status::kOk);
+  ASSERT_TRUE(client.Control(port, io_op::kUnmount, 0).ok());
+
+  // Re-mount the same volume: data is back (it lives in the volume, not the drive).
+  ASSERT_TRUE(client.Control(port, io_op::kMount, 42).ok());
+  AccessDescriptor read_buffer = MakeBuffer(32);
+  auto outcome = client.Transfer(port, io_op::kRead, 0, read_buffer, 13);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value().actual, 13u);
+  EXPECT_EQ(ReadBufferText(read_buffer, 13), "archived-data");
+}
+
+TEST_F(DeviceTest, TapeRewindAndSequentialAccess) {
+  TapeDevice::VolumeLibrary library;
+  auto tape_model = std::make_unique<TapeDevice>(&library);
+  TapeDevice* tape = tape_model.get();
+  auto server = DeviceServer::Spawn(&kernel_, std::move(tape_model));
+  ASSERT_TRUE(server.ok());
+  kernel_.Run();
+  IoClient client(&kernel_);
+  AccessDescriptor port = server.value()->request_port();
+
+  ASSERT_TRUE(client.Control(port, io_op::kMount, 1).ok());
+  AccessDescriptor buffer = MakeBuffer(16);
+  WriteBufferText(buffer, "abcdefgh");
+  ASSERT_EQ(client.Transfer(port, io_op::kWrite, 0, buffer, 8).value().status, io_status::kOk);
+  EXPECT_EQ(tape->position(), 8u);
+  ASSERT_TRUE(client.Control(port, io_op::kRewind, 0).ok());
+  EXPECT_EQ(tape->position(), 0u);
+
+  auto outcome = client.Transfer(port, io_op::kRead, 0, buffer, 4);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(ReadBufferText(buffer, 4), "abcd");
+  EXPECT_EQ(tape->position(), 4u);
+}
+
+TEST_F(DeviceTest, DiskSeekIsClassDependentShared) {
+  // kSeek works on both block devices (disk and tape) — a class-dependent interface —
+  // but not on the console.
+  TapeDevice::VolumeLibrary library;
+  auto disk = DeviceServer::Spawn(&kernel_, std::make_unique<DiskDevice>());
+  auto tape = DeviceServer::Spawn(&kernel_, std::make_unique<TapeDevice>(&library));
+  auto console = DeviceServer::Spawn(&kernel_, std::make_unique<ConsoleDevice>());
+  ASSERT_TRUE(disk.ok() && tape.ok() && console.ok());
+  kernel_.Run();
+  IoClient client(&kernel_);
+
+  EXPECT_EQ(client.Control(disk.value()->request_port(), io_op::kSeek, 4096).value().status,
+            io_status::kOk);
+  ASSERT_TRUE(client.Control(tape.value()->request_port(), io_op::kMount, 1).ok());
+  EXPECT_EQ(client.Control(tape.value()->request_port(), io_op::kSeek, 16).value().status,
+            io_status::kOk);
+  EXPECT_EQ(
+      client.Control(console.value()->request_port(), io_op::kSeek, 0).value().status,
+      io_status::kBadOperation);
+}
+
+TEST_F(DeviceTest, DiskRoundTripAndBounds) {
+  auto server = DeviceServer::Spawn(&kernel_, std::make_unique<DiskDevice>(64 * 1024));
+  ASSERT_TRUE(server.ok());
+  kernel_.Run();
+  IoClient client(&kernel_);
+  AccessDescriptor port = server.value()->request_port();
+
+  AccessDescriptor buffer = MakeBuffer(256);
+  WriteBufferText(buffer, "sector-data");
+  ASSERT_EQ(client.Transfer(port, io_op::kWrite, 8192, buffer, 11).value().status,
+            io_status::kOk);
+  AccessDescriptor read_buffer = MakeBuffer(256);
+  auto outcome = client.Transfer(port, io_op::kRead, 8192, read_buffer, 11);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(ReadBufferText(read_buffer, 11), "sector-data");
+
+  // Past the end of the medium.
+  EXPECT_EQ(client.Transfer(port, io_op::kWrite, 64 * 1024, buffer, 1).value().status,
+            io_status::kEndOfMedium);
+}
+
+TEST_F(DeviceTest, DeviceLatencyIsCharged) {
+  // A console write of N characters advances virtual time by about N * kCyclesPerChar.
+  auto server = DeviceServer::Spawn(&kernel_, std::make_unique<ConsoleDevice>());
+  ASSERT_TRUE(server.ok());
+  kernel_.Run();
+  IoClient client(&kernel_);
+  AccessDescriptor buffer = MakeBuffer(128);
+  WriteBufferText(buffer, std::string(100, 'x'));
+
+  Cycles before = machine_.now();
+  ASSERT_TRUE(client.Transfer(server.value()->request_port(), io_op::kWrite, 0, buffer, 100)
+                  .ok());
+  Cycles elapsed = machine_.now() - before;
+  EXPECT_GE(elapsed, 100 * ConsoleDevice::kCyclesPerChar);
+}
+
+TEST_F(DeviceTest, BadOperationReported) {
+  auto server = DeviceServer::Spawn(&kernel_, std::make_unique<DiskDevice>());
+  ASSERT_TRUE(server.ok());
+  kernel_.Run();
+  IoClient client(&kernel_);
+  auto outcome = client.Control(server.value()->request_port(), io_op::kBell, 0);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value().status, io_status::kBadOperation);
+  EXPECT_EQ(server.value()->stats().errors, 1u);
+}
+
+TEST_F(DeviceTest, TwoInstancesOfOneImplementationAreIndependent) {
+  // "multiple instances of a module [may] be dynamically created": two consoles do not
+  // share state.
+  auto model_a = std::make_unique<ConsoleDevice>();
+  auto model_b = std::make_unique<ConsoleDevice>();
+  ConsoleDevice* console_a = model_a.get();
+  ConsoleDevice* console_b = model_b.get();
+  auto server_a = DeviceServer::Spawn(&kernel_, std::move(model_a));
+  auto server_b = DeviceServer::Spawn(&kernel_, std::move(model_b));
+  ASSERT_TRUE(server_a.ok() && server_b.ok());
+  kernel_.Run();
+  IoClient client(&kernel_);
+  AccessDescriptor buffer = MakeBuffer(16);
+  WriteBufferText(buffer, "A");
+  ASSERT_TRUE(
+      client.Transfer(server_a.value()->request_port(), io_op::kWrite, 0, buffer, 1).ok());
+  EXPECT_EQ(console_a->output(), "A");
+  EXPECT_EQ(console_b->output(), "");
+}
+
+}  // namespace
+}  // namespace imax432

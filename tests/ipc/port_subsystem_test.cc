@@ -1,0 +1,230 @@
+#include "src/ipc/port_subsystem.h"
+
+#include <gtest/gtest.h>
+
+#include "src/memory/basic_memory_manager.h"
+#include "src/sim/machine.h"
+
+namespace imax432 {
+namespace {
+
+class PortSubsystemTest : public ::testing::Test {
+ protected:
+  PortSubsystemTest()
+      : machine_(MakeConfig()), memory_(&machine_), subsystem_(&machine_, &memory_) {}
+
+  static MachineConfig MakeConfig() {
+    MachineConfig config;
+    config.memory_bytes = 256 * 1024;
+    config.object_table_capacity = 1024;
+    return config;
+  }
+
+  AccessDescriptor MakePort(uint16_t capacity,
+                            QueueDiscipline discipline = QueueDiscipline::kFifo) {
+    auto port = subsystem_.CreatePort(memory_.global_heap(), capacity, discipline);
+    EXPECT_TRUE(port.ok());
+    return port.value();
+  }
+
+  AccessDescriptor MakeMessage() {
+    auto message = memory_.CreateObject(memory_.global_heap(), SystemType::kGeneric, 16, 0,
+                                        rights::kRead);
+    EXPECT_TRUE(message.ok());
+    return message.value();
+  }
+
+  Machine machine_;
+  BasicMemoryManager memory_;
+  PortSubsystem subsystem_;
+};
+
+TEST_F(PortSubsystemTest, CreateInitializesArchitecturalFields) {
+  AccessDescriptor port = MakePort(6, QueueDiscipline::kPriority);
+  ObjectView view(&machine_.addressing(), port);
+  EXPECT_EQ(view.Field(PortLayout::kOffCapacity, 2), 6u);
+  EXPECT_EQ(view.Field(PortLayout::kOffCount, 2), 0u);
+  EXPECT_EQ(view.Field(PortLayout::kOffDiscipline, 1),
+            static_cast<uint64_t>(QueueDiscipline::kPriority));
+  EXPECT_EQ(machine_.table().Resolve(port).value()->access_count(), 6u);
+}
+
+TEST_F(PortSubsystemTest, ZeroOrHugeCapacityRejected) {
+  EXPECT_EQ(subsystem_.CreatePort(memory_.global_heap(), 0, QueueDiscipline::kFifo).fault(),
+            Fault::kInvalidArgument);
+  EXPECT_EQ(subsystem_
+                .CreatePort(memory_.global_heap(), PortSubsystem::kMaxMessageCount + 1,
+                            QueueDiscipline::kFifo)
+                .fault(),
+            Fault::kInvalidArgument);
+}
+
+TEST_F(PortSubsystemTest, FifoOrdersByArrival) {
+  AccessDescriptor port = MakePort(4);
+  AccessDescriptor m1 = MakeMessage();
+  AccessDescriptor m2 = MakeMessage();
+  AccessDescriptor m3 = MakeMessage();
+  ASSERT_TRUE(subsystem_.Enqueue(port, m1, 1, 0).ok());
+  ASSERT_TRUE(subsystem_.Enqueue(port, m2, 200, 0).ok());  // priority ignored under FIFO
+  ASSERT_TRUE(subsystem_.Enqueue(port, m3, 100, 0).ok());
+  EXPECT_TRUE(subsystem_.Dequeue(port).value().SameObject(m1));
+  EXPECT_TRUE(subsystem_.Dequeue(port).value().SameObject(m2));
+  EXPECT_TRUE(subsystem_.Dequeue(port).value().SameObject(m3));
+}
+
+TEST_F(PortSubsystemTest, PriorityOrdersDescendingWithFifoTies) {
+  AccessDescriptor port = MakePort(4, QueueDiscipline::kPriority);
+  AccessDescriptor low = MakeMessage();
+  AccessDescriptor high = MakeMessage();
+  AccessDescriptor mid_first = MakeMessage();
+  AccessDescriptor mid_second = MakeMessage();
+  ASSERT_TRUE(subsystem_.Enqueue(port, low, 10, 0).ok());
+  ASSERT_TRUE(subsystem_.Enqueue(port, mid_first, 50, 0).ok());
+  ASSERT_TRUE(subsystem_.Enqueue(port, high, 200, 0).ok());
+  ASSERT_TRUE(subsystem_.Enqueue(port, mid_second, 50, 0).ok());
+  EXPECT_TRUE(subsystem_.Dequeue(port).value().SameObject(high));
+  EXPECT_TRUE(subsystem_.Dequeue(port).value().SameObject(mid_first));  // FIFO among equals
+  EXPECT_TRUE(subsystem_.Dequeue(port).value().SameObject(mid_second));
+  EXPECT_TRUE(subsystem_.Dequeue(port).value().SameObject(low));
+}
+
+TEST_F(PortSubsystemTest, DeadlineOrdersAscending) {
+  AccessDescriptor port = MakePort(3, QueueDiscipline::kDeadline);
+  AccessDescriptor late = MakeMessage();
+  AccessDescriptor soon = MakeMessage();
+  AccessDescriptor middle = MakeMessage();
+  ASSERT_TRUE(subsystem_.Enqueue(port, late, 0, 9000).ok());
+  ASSERT_TRUE(subsystem_.Enqueue(port, soon, 0, 10).ok());
+  ASSERT_TRUE(subsystem_.Enqueue(port, middle, 0, 500).ok());
+  EXPECT_TRUE(subsystem_.Dequeue(port).value().SameObject(soon));
+  EXPECT_TRUE(subsystem_.Dequeue(port).value().SameObject(middle));
+  EXPECT_TRUE(subsystem_.Dequeue(port).value().SameObject(late));
+}
+
+TEST_F(PortSubsystemTest, FullAndEmptyFaults) {
+  AccessDescriptor port = MakePort(1);
+  EXPECT_EQ(subsystem_.Dequeue(port).fault(), Fault::kQueueEmpty);
+  ASSERT_TRUE(subsystem_.Enqueue(port, MakeMessage(), 0, 0).ok());
+  EXPECT_EQ(subsystem_.Enqueue(port, MakeMessage(), 0, 0).fault(), Fault::kQueueFull);
+}
+
+TEST_F(PortSubsystemTest, MessagesLiveInTheAccessPart) {
+  // The queue is the port object's access part: enqueued messages are visible there (GC
+  // reachability) and slots clear on dequeue (no artificial retention).
+  AccessDescriptor port = MakePort(2);
+  AccessDescriptor message = MakeMessage();
+  ASSERT_TRUE(subsystem_.Enqueue(port, message, 0, 0).ok());
+  const ObjectDescriptor* descriptor = machine_.table().Resolve(port).value();
+  bool found = false;
+  for (const AccessDescriptor& slot : descriptor->access) {
+    found |= slot.SameObject(message);
+  }
+  EXPECT_TRUE(found);
+  ASSERT_TRUE(subsystem_.Dequeue(port).ok());
+  for (const AccessDescriptor& slot : descriptor->access) {
+    EXPECT_FALSE(slot.SameObject(message));
+  }
+}
+
+TEST_F(PortSubsystemTest, LevelRuleAppliesToMessages) {
+  // A local-lifetime message cannot enter a global port: the message would outlive its
+  // referent ("objects passed through these ports are of a type whose scope is no less
+  // global than the scope of the port").
+  auto local = memory_.CreateLocalSro(memory_.global_heap(), 8192, 2);
+  ASSERT_TRUE(local.ok());
+  auto local_message =
+      memory_.CreateObject(local.value(), SystemType::kGeneric, 16, 0, rights::kRead);
+  ASSERT_TRUE(local_message.ok());
+  AccessDescriptor global_port = MakePort(2);
+  EXPECT_EQ(subsystem_.Enqueue(global_port, local_message.value(), 0, 0).fault(),
+            Fault::kLevelViolation);
+
+  // A local port at the same depth accepts it.
+  auto local_port = subsystem_.CreatePort(local.value(), 2, QueueDiscipline::kFifo);
+  ASSERT_TRUE(local_port.ok());
+  EXPECT_TRUE(subsystem_.Enqueue(local_port.value(), local_message.value(), 0, 0).ok());
+}
+
+TEST_F(PortSubsystemTest, BlockedQueuesAreFifoAndReportedAsRoots) {
+  AccessDescriptor port = MakePort(1);
+  auto process_a = memory_.CreateObject(memory_.global_heap(), SystemType::kProcess,
+                                        ProcessLayout::kDataBytes, ProcessLayout::kAccessSlots,
+                                        rights::kAll);
+  auto process_b = memory_.CreateObject(memory_.global_heap(), SystemType::kProcess,
+                                        ProcessLayout::kDataBytes, ProcessLayout::kAccessSlots,
+                                        rights::kAll);
+  ASSERT_TRUE(process_a.ok() && process_b.ok());
+  AccessDescriptor message = MakeMessage();
+
+  ASSERT_TRUE(subsystem_.PushBlockedSender(port, {process_a.value(), message}).ok());
+  ASSERT_TRUE(subsystem_.PushBlockedReceiver(port, {process_b.value(), 3}).ok());
+
+  std::vector<AccessDescriptor> roots;
+  subsystem_.AppendShadowRoots(&roots);
+  bool saw_a = false;
+  bool saw_b = false;
+  bool saw_message = false;
+  for (const AccessDescriptor& root : roots) {
+    saw_a |= root.SameObject(process_a.value());
+    saw_b |= root.SameObject(process_b.value());
+    saw_message |= root.SameObject(message);
+  }
+  EXPECT_TRUE(saw_a);
+  EXPECT_TRUE(saw_b);
+  EXPECT_TRUE(saw_message);
+
+  auto sender = subsystem_.PopBlockedSender(port);
+  ASSERT_TRUE(sender.ok());
+  EXPECT_TRUE(sender.value().process.SameObject(process_a.value()));
+  auto receiver = subsystem_.PopBlockedReceiver(port);
+  ASSERT_TRUE(receiver.ok());
+  EXPECT_EQ(receiver.value().dest_adreg, 3);
+  EXPECT_EQ(subsystem_.PopBlockedSender(port).fault(), Fault::kQueueEmpty);
+}
+
+TEST_F(PortSubsystemTest, RemoveBlockedReceiverTargetsTheRightProcess) {
+  AccessDescriptor port = MakePort(1);
+  auto p1 = memory_.CreateObject(memory_.global_heap(), SystemType::kProcess,
+                                 ProcessLayout::kDataBytes, ProcessLayout::kAccessSlots,
+                                 rights::kAll);
+  auto p2 = memory_.CreateObject(memory_.global_heap(), SystemType::kProcess,
+                                 ProcessLayout::kDataBytes, ProcessLayout::kAccessSlots,
+                                 rights::kAll);
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  ASSERT_TRUE(subsystem_.PushBlockedReceiver(port, {p1.value(), 0}).ok());
+  ASSERT_TRUE(subsystem_.PushBlockedReceiver(port, {p2.value(), 1}).ok());
+  ASSERT_TRUE(subsystem_.RemoveBlockedReceiver(port, p1.value()).ok());
+  EXPECT_EQ(subsystem_.RemoveBlockedReceiver(port, p1.value()).fault(), Fault::kNotFound);
+  auto remaining = subsystem_.PopBlockedReceiver(port);
+  ASSERT_TRUE(remaining.ok());
+  EXPECT_TRUE(remaining.value().process.SameObject(p2.value()));
+}
+
+TEST_F(PortSubsystemTest, StatsCountersMirrorIntoThePortObject) {
+  AccessDescriptor port = MakePort(2);
+  ASSERT_TRUE(subsystem_.Enqueue(port, MakeMessage(), 0, 0).ok());
+  ASSERT_TRUE(subsystem_.Enqueue(port, MakeMessage(), 0, 0).ok());
+  ASSERT_TRUE(subsystem_.Dequeue(port).ok());
+  ObjectView view(&machine_.addressing(), port);
+  EXPECT_EQ(view.Field(PortLayout::kOffSendsTotal, 8), 2u);
+  EXPECT_EQ(view.Field(PortLayout::kOffReceivesTotal, 8), 1u);
+  EXPECT_EQ(view.Field(PortLayout::kOffCount, 2), 1u);
+}
+
+TEST_F(PortSubsystemTest, NonPortObjectRejected) {
+  AccessDescriptor message = MakeMessage();
+  EXPECT_EQ(subsystem_.Enqueue(message, MakeMessage(), 0, 0).fault(), Fault::kTypeMismatch);
+  EXPECT_EQ(subsystem_.Dequeue(message).fault(), Fault::kTypeMismatch);
+}
+
+TEST_F(PortSubsystemTest, WaitingProcessorQueue) {
+  AccessDescriptor port = MakePort(2);
+  EXPECT_EQ(subsystem_.PopWaitingProcessor(port).fault(), Fault::kQueueEmpty);
+  subsystem_.PushWaitingProcessor(port, 2);
+  subsystem_.PushWaitingProcessor(port, 0);
+  EXPECT_EQ(subsystem_.PopWaitingProcessor(port).value(), 2);
+  EXPECT_EQ(subsystem_.PopWaitingProcessor(port).value(), 0);
+}
+
+}  // namespace
+}  // namespace imax432

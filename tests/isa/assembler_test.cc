@@ -1,0 +1,136 @@
+#include "src/isa/assembler.h"
+
+#include <gtest/gtest.h>
+
+namespace imax432 {
+namespace {
+
+TEST(AssemblerTest, EmitsInstructionsInOrder) {
+  Assembler a("p");
+  a.LoadImm(0, 42).AddImm(1, 0, 8).Halt();
+  ProgramRef program = a.Build();
+  ASSERT_EQ(program->size(), 3u);
+  EXPECT_EQ(program->at(0).op, Opcode::kLoadImm);
+  EXPECT_EQ(program->at(0).a, 0);
+  EXPECT_EQ(program->at(0).imm64, 42u);
+  EXPECT_EQ(program->at(1).op, Opcode::kAddImm);
+  EXPECT_EQ(program->at(2).op, Opcode::kHalt);
+}
+
+TEST(AssemblerTest, ForwardLabelPatched) {
+  Assembler a("p");
+  auto skip = a.NewLabel();
+  a.LoadImm(0, 1).Branch(skip).LoadImm(0, 2).Bind(skip).Halt();
+  ProgramRef program = a.Build();
+  // The branch at index 1 must target the Halt at index 3.
+  EXPECT_EQ(program->at(1).op, Opcode::kBranch);
+  EXPECT_EQ(program->at(1).imm, 3u);
+}
+
+TEST(AssemblerTest, BackwardLabelPatched) {
+  Assembler a("p");
+  auto loop = a.NewLabel();
+  a.LoadImm(0, 0).Bind(loop).AddImm(0, 0, 1).BranchIfZero(1, loop).Halt();
+  ProgramRef program = a.Build();
+  EXPECT_EQ(program->at(2).op, Opcode::kBranchIfZero);
+  EXPECT_EQ(program->at(2).imm, 1u);
+}
+
+TEST(AssemblerTest, MultipleReferencesToOneLabel) {
+  Assembler a("p");
+  auto target = a.NewLabel();
+  a.Branch(target).Branch(target).Bind(target).Halt();
+  ProgramRef program = a.Build();
+  EXPECT_EQ(program->at(0).imm, 2u);
+  EXPECT_EQ(program->at(1).imm, 2u);
+}
+
+TEST(AssemblerTest, NativeStepsIndexed) {
+  Assembler a("p");
+  int first = 0;
+  int second = 0;
+  a.Native([&first](ExecutionContext&) -> Result<NativeResult> {
+    ++first;
+    return NativeResult{};
+  });
+  a.Native([&second](ExecutionContext&) -> Result<NativeResult> {
+    ++second;
+    return NativeResult{};
+  });
+  ProgramRef program = a.Build();
+  EXPECT_EQ(program->at(0).op, Opcode::kNative);
+  EXPECT_EQ(program->at(0).imm, 0u);
+  EXPECT_EQ(program->at(1).imm, 1u);
+  EXPECT_NE(program->native(0), nullptr);
+  EXPECT_NE(program->native(1), nullptr);
+  EXPECT_EQ(program->native(2), nullptr);
+}
+
+TEST(AssemblerTest, HereTracksPosition) {
+  Assembler a("p");
+  EXPECT_EQ(a.here(), 0u);
+  a.Compute(1);
+  EXPECT_EQ(a.here(), 1u);
+  a.Compute(1).Compute(1);
+  EXPECT_EQ(a.here(), 3u);
+}
+
+TEST(AssemblerTest, EveryEmitterEncodesItsOperands) {
+  Assembler a("coverage");
+  auto label = a.NewLabel();
+  a.Bind(label);
+  a.Compute(7)
+      .LoadImm(1, 0x123456789abcull)
+      .Move(2, 1)
+      .Add(3, 1, 2)
+      .Sub(4, 3, 1)
+      .Mul(5, 4, 2)
+      .LoadData(0, 1, 24, 4)
+      .StoreData(1, 0, 32, 2)
+      .LoadDataIndexed(2, 1, 3, 8)
+      .StoreDataIndexed(1, 2, 3, 16)
+      .MoveAd(1, 2)
+      .ClearAd(3)
+      .LoadAd(4, 1, 5)
+      .StoreAd(1, 4, 6)
+      .LoadAdIndexed(2, 1, 0, 2)
+      .StoreAdIndexed(1, 2, 0, 3)
+      .RestrictRights(1, rights::kRead)
+      .AdIsNull(6, 1)
+      .CreateObject(2, 1, 128, 4)
+      .DestroyObject(2)
+      .CreateSro(3, 1, 4096)
+      .DestroySro(3)
+      .Send(1, 2)
+      .Receive(2, 1)
+      .CondSend(1, 2, 0)
+      .CondReceive(2, 1, 0)
+      .Call(1, 2)
+      .CallLocal(1)
+      .Return()
+      .Branch(label)
+      .BranchIfZero(0, label)
+      .BranchIfNotZero(0, label)
+      .BranchIfLess(0, 1, label)
+      .OsCall(99)
+      .Halt();
+  ProgramRef program = a.Build();
+  EXPECT_EQ(program->size(), 35u);
+  // Spot checks.
+  EXPECT_EQ(program->at(0).imm, 7u);                         // Compute cycles
+  EXPECT_EQ(program->at(6).c, 4);                            // LoadData width
+  EXPECT_EQ(program->at(18).imm, 128u);                      // CreateObject bytes
+  EXPECT_EQ(program->at(18).c, 4);                           // CreateObject slots
+  EXPECT_EQ(program->at(33).imm, 99u);                       // OsCall service
+  EXPECT_EQ(program->at(16).imm, static_cast<uint32_t>(rights::kRead));
+}
+
+TEST(ProgramTest, PatchRewritesImmediate) {
+  Program program("p");
+  uint32_t index = program.Append({Opcode::kBranch, 0, 0, 0, 0, 0});
+  program.Patch(index, 17);
+  EXPECT_EQ(program.at(index).imm, 17u);
+}
+
+}  // namespace
+}  // namespace imax432

@@ -1,0 +1,54 @@
+#include "src/isa/disassembler.h"
+
+#include <gtest/gtest.h>
+
+#include "src/isa/assembler.h"
+
+namespace imax432 {
+namespace {
+
+TEST(DisassemblerTest, EveryOpcodeHasAName) {
+  // Walk every opcode through a representative instruction: no "?" mnemonics.
+  for (int op = 0; op <= static_cast<int>(Opcode::kOsCall); ++op) {
+    Instruction instruction;
+    instruction.op = static_cast<Opcode>(op);
+    EXPECT_STRNE(OpcodeName(instruction.op), "?") << "opcode " << op;
+    EXPECT_FALSE(DisassembleInstruction(instruction).empty()) << "opcode " << op;
+  }
+}
+
+TEST(DisassemblerTest, RendersOperands) {
+  Assembler a("p");
+  a.LoadImm(3, 42);
+  a.Send(2, 4);
+  a.CreateObject(1, 2, 128, 4);
+  a.BranchIfLess(0, 1, a.NewLabel());  // unbound label is fine: we won't Build()
+  ProgramRef program;
+  {
+    Assembler b("sample");
+    auto loop = b.NewLabel();
+    b.Bind(loop).LoadImm(3, 42).Send(2, 4).CreateObject(1, 2, 128, 4).BranchIfLess(0, 1, loop)
+        .Halt();
+    program = b.Build();
+  }
+  std::string listing = Disassemble(*program);
+  EXPECT_NE(listing.find("load_imm"), std::string::npos);
+  EXPECT_NE(listing.find("r3, 42"), std::string::npos);
+  EXPECT_NE(listing.find("port=a2, msg=a4"), std::string::npos);
+  EXPECT_NE(listing.find("128 bytes, 4 slots"), std::string::npos);
+  EXPECT_NE(listing.find("r0 < r1, -> 0"), std::string::npos);
+  EXPECT_NE(listing.find("halt"), std::string::npos);
+  EXPECT_NE(listing.find("\"sample\", 5 instructions"), std::string::npos);
+}
+
+TEST(DisassemblerTest, PcPrefixesSequential) {
+  Assembler a("seq");
+  a.Compute(1).Compute(2).Compute(3).Halt();
+  std::string listing = Disassemble(*a.Build());
+  EXPECT_NE(listing.find("0000  "), std::string::npos);
+  EXPECT_NE(listing.find("0001  "), std::string::npos);
+  EXPECT_NE(listing.find("0003  halt"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace imax432

@@ -1,0 +1,222 @@
+#include "src/memory/basic_memory_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/machine.h"
+
+namespace imax432 {
+namespace {
+
+class BasicMemoryManagerTest : public ::testing::Test {
+ protected:
+  BasicMemoryManagerTest() : machine_(MakeConfig()), manager_(&machine_) {}
+
+  static MachineConfig MakeConfig() {
+    MachineConfig config;
+    config.memory_bytes = 64 * 1024;
+    config.object_table_capacity = 1024;
+    return config;
+  }
+
+  Machine machine_;
+  BasicMemoryManager manager_;
+};
+
+TEST_F(BasicMemoryManagerTest, BootCreatesGlobalHeap) {
+  AccessDescriptor heap = manager_.global_heap();
+  ASSERT_FALSE(heap.is_null());
+  auto descriptor = machine_.table().Resolve(heap);
+  ASSERT_TRUE(descriptor.ok());
+  EXPECT_EQ(descriptor.value()->type, SystemType::kStorageResource);
+  EXPECT_EQ(descriptor.value()->level, kGlobalLevel);
+  EXPECT_TRUE(heap.HasRights(rights::kSroAllocate));
+}
+
+TEST_F(BasicMemoryManagerTest, CreateObjectZeroesAndTracks) {
+  auto ad = manager_.CreateObject(manager_.global_heap(), SystemType::kGeneric, 128, 4,
+                                  rights::kRead | rights::kWrite);
+  ASSERT_TRUE(ad.ok());
+  auto descriptor = machine_.table().Resolve(ad.value());
+  ASSERT_TRUE(descriptor.ok());
+  EXPECT_EQ(descriptor.value()->data_length, 128u);
+  EXPECT_EQ(descriptor.value()->access_count(), 4u);
+  EXPECT_EQ(descriptor.value()->level, kGlobalLevel);
+  // create-object delivers zeroed segments.
+  for (uint32_t off = 0; off < 128; off += 8) {
+    EXPECT_EQ(machine_.addressing().ReadData(ad.value(), off, 8).value(), 0u);
+  }
+  EXPECT_EQ(manager_.stats().objects_created, 1u);
+}
+
+TEST_F(BasicMemoryManagerTest, CreateRequiresAllocateRights) {
+  AccessDescriptor weak = manager_.global_heap().Restricted(rights::kRead);
+  EXPECT_EQ(manager_.CreateObject(weak, SystemType::kGeneric, 16, 0, rights::kRead).fault(),
+            Fault::kRightsViolation);
+}
+
+TEST_F(BasicMemoryManagerTest, CreateFromNonSroFaults) {
+  auto plain = manager_.CreateObject(manager_.global_heap(), SystemType::kGeneric, 16, 0,
+                                     rights::kAll);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(
+      manager_.CreateObject(plain.value(), SystemType::kGeneric, 16, 0, rights::kRead).fault(),
+      Fault::kTypeMismatch);
+}
+
+TEST_F(BasicMemoryManagerTest, OversizedCreateFaults) {
+  EXPECT_EQ(manager_
+                .CreateObject(manager_.global_heap(), SystemType::kGeneric,
+                              kMaxDataPartBytes + 1, 0, rights::kRead)
+                .fault(),
+            Fault::kSegmentTooLarge);
+}
+
+TEST_F(BasicMemoryManagerTest, DestroyReturnsStorage) {
+  MemoryStats before = manager_.stats();
+  auto ad =
+      manager_.CreateObject(manager_.global_heap(), SystemType::kGeneric, 256, 0, rights::kAll);
+  ASSERT_TRUE(ad.ok());
+  EXPECT_EQ(manager_.stats().resident_bytes, before.resident_bytes + 256);
+  ASSERT_TRUE(manager_.DestroyObject(ad.value()).ok());
+  EXPECT_EQ(manager_.stats().resident_bytes, before.resident_bytes);
+  // The AD is now stale.
+  EXPECT_EQ(machine_.table().Resolve(ad.value()).fault(), Fault::kInvalidAccess);
+}
+
+TEST_F(BasicMemoryManagerTest, DestroyRequiresDeleteRight) {
+  auto ad =
+      manager_.CreateObject(manager_.global_heap(), SystemType::kGeneric, 16, 0, rights::kRead);
+  ASSERT_TRUE(ad.ok());
+  EXPECT_EQ(manager_.DestroyObject(ad.value()).fault(), Fault::kRightsViolation);
+}
+
+TEST_F(BasicMemoryManagerTest, ExhaustionFaultsCleanly) {
+  // Ask for more than physical memory in one object: capped by the 64K architectural limit,
+  // so allocate repeatedly until space runs out.
+  std::vector<AccessDescriptor> held;
+  for (;;) {
+    auto ad = manager_.CreateObject(manager_.global_heap(), SystemType::kGeneric, 16 * 1024, 0,
+                                    rights::kAll);
+    if (!ad.ok()) {
+      EXPECT_EQ(ad.fault(), Fault::kStorageExhausted);
+      break;
+    }
+    held.push_back(ad.value());
+  }
+  ASSERT_FALSE(held.empty());
+  // Non-swapping manager never produces kSegmentSwapped.
+  EXPECT_EQ(manager_.EnsureResident(held[0].index()).value(), 0u);
+  // Freeing one object makes the space allocatable again.
+  ASSERT_TRUE(manager_.DestroyObject(held[0]).ok());
+  EXPECT_TRUE(manager_
+                  .CreateObject(manager_.global_heap(), SystemType::kGeneric, 16 * 1024, 0,
+                                rights::kAll)
+                  .ok());
+}
+
+TEST_F(BasicMemoryManagerTest, LocalSroAllocatesAtItsLevel) {
+  auto local = manager_.CreateLocalSro(manager_.global_heap(), 4096, /*level=*/3);
+  ASSERT_TRUE(local.ok());
+  auto ad = manager_.CreateObject(local.value(), SystemType::kGeneric, 64, 2, rights::kAll);
+  ASSERT_TRUE(ad.ok());
+  EXPECT_EQ(machine_.table().Resolve(ad.value()).value()->level, 3u);
+}
+
+TEST_F(BasicMemoryManagerTest, LocalSroShallowerThanParentRejected) {
+  auto local = manager_.CreateLocalSro(manager_.global_heap(), 4096, /*level=*/2);
+  ASSERT_TRUE(local.ok());
+  EXPECT_EQ(manager_.CreateLocalSro(local.value(), 1024, /*level=*/1).fault(),
+            Fault::kInvalidArgument);
+}
+
+TEST_F(BasicMemoryManagerTest, DestroySroBulkReclaims) {
+  auto local = manager_.CreateLocalSro(manager_.global_heap(), 8192, /*level=*/1);
+  ASSERT_TRUE(local.ok());
+  std::vector<AccessDescriptor> objects;
+  for (int i = 0; i < 10; ++i) {
+    auto ad = manager_.CreateObject(local.value(), SystemType::kGeneric, 64, 0, rights::kAll);
+    ASSERT_TRUE(ad.ok());
+    objects.push_back(ad.value());
+  }
+  uint32_t live_before = machine_.table().live_count();
+  auto reclaimed = manager_.DestroySro(local.value());
+  ASSERT_TRUE(reclaimed.ok());
+  EXPECT_EQ(reclaimed.value(), 10u);
+  // 10 objects + the SRO itself are gone.
+  EXPECT_EQ(machine_.table().live_count(), live_before - 11);
+  for (const AccessDescriptor& ad : objects) {
+    EXPECT_EQ(machine_.table().Resolve(ad).fault(), Fault::kInvalidAccess);
+  }
+  EXPECT_EQ(manager_.stats().bulk_reclaimed_objects, 10u);
+}
+
+TEST_F(BasicMemoryManagerTest, DestroySroReclaimsNestedSros) {
+  auto outer = manager_.CreateLocalSro(manager_.global_heap(), 16384, /*level=*/1);
+  ASSERT_TRUE(outer.ok());
+  auto inner = manager_.CreateLocalSro(outer.value(), 4096, /*level=*/2);
+  ASSERT_TRUE(inner.ok());
+  auto deep_object =
+      manager_.CreateObject(inner.value(), SystemType::kGeneric, 64, 0, rights::kAll);
+  ASSERT_TRUE(deep_object.ok());
+
+  auto reclaimed = manager_.DestroySro(outer.value());
+  ASSERT_TRUE(reclaimed.ok());
+  // inner SRO + its object both reclaimed.
+  EXPECT_EQ(machine_.table().Resolve(deep_object.value()).fault(), Fault::kInvalidAccess);
+  EXPECT_EQ(machine_.table().Resolve(inner.value()).fault(), Fault::kInvalidAccess);
+  // All storage returned: a fresh SRO of the same size fits again.
+  EXPECT_TRUE(manager_.CreateLocalSro(manager_.global_heap(), 16384, 1).ok());
+}
+
+TEST_F(BasicMemoryManagerTest, GlobalHeapCannotBeDestroyed) {
+  EXPECT_EQ(manager_.DestroySro(manager_.global_heap()).fault(), Fault::kInvalidArgument);
+}
+
+TEST_F(BasicMemoryManagerTest, DestroySroRequiresDestroyRight) {
+  auto local = manager_.CreateLocalSro(manager_.global_heap(), 1024, 1);
+  ASSERT_TRUE(local.ok());
+  AccessDescriptor weak = local.value().Restricted(rights::kRead | rights::kSroAllocate);
+  EXPECT_EQ(manager_.DestroySro(weak).fault(), Fault::kRightsViolation);
+}
+
+TEST_F(BasicMemoryManagerTest, ExplicitlyDestroyedObjectSkippedInBulkReclaim) {
+  auto local = manager_.CreateLocalSro(manager_.global_heap(), 4096, 1);
+  ASSERT_TRUE(local.ok());
+  auto a = manager_.CreateObject(local.value(), SystemType::kGeneric, 64, 0, rights::kAll);
+  auto b = manager_.CreateObject(local.value(), SystemType::kGeneric, 64, 0, rights::kAll);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(manager_.DestroyObject(a.value()).ok());
+  auto reclaimed = manager_.DestroySro(local.value());
+  ASSERT_TRUE(reclaimed.ok());
+  EXPECT_EQ(reclaimed.value(), 1u);  // only b remained
+}
+
+TEST_F(BasicMemoryManagerTest, SroCountersMirroredIntoDataPart) {
+  auto local = manager_.CreateLocalSro(manager_.global_heap(), 4096, 1);
+  ASSERT_TRUE(local.ok());
+  ASSERT_TRUE(
+      manager_.CreateObject(local.value(), SystemType::kGeneric, 100, 0, rights::kAll).ok());
+  // Programs on the machine can read the SRO's architectural counters.
+  auto total =
+      machine_.addressing().ReadData(local.value(), SroLayout::kOffTotalBytes, 4);
+  auto allocated =
+      machine_.addressing().ReadData(local.value(), SroLayout::kOffAllocatedBytes, 4);
+  auto level = machine_.addressing().ReadData(local.value(), SroLayout::kOffLevel, 2);
+  ASSERT_TRUE(total.ok() && allocated.ok() && level.ok());
+  EXPECT_EQ(total.value(), 4096u);
+  EXPECT_EQ(allocated.value(), 100u);
+  EXPECT_EQ(level.value(), 1u);
+}
+
+TEST_F(BasicMemoryManagerTest, ReclaimGarbageFreesByIndex) {
+  auto ad =
+      manager_.CreateObject(manager_.global_heap(), SystemType::kGeneric, 64, 0, rights::kRead);
+  ASSERT_TRUE(ad.ok());
+  // The collector needs no rights.
+  ASSERT_TRUE(manager_.ReclaimGarbage(ad.value().index()).ok());
+  EXPECT_EQ(machine_.table().Resolve(ad.value()).fault(), Fault::kInvalidAccess);
+  EXPECT_EQ(manager_.ReclaimGarbage(ad.value().index()).fault(), Fault::kNotAllocated);
+}
+
+}  // namespace
+}  // namespace imax432

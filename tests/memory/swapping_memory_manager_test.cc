@@ -1,0 +1,168 @@
+#include "src/memory/swapping_memory_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/machine.h"
+
+namespace imax432 {
+namespace {
+
+class SwappingMemoryManagerTest : public ::testing::Test {
+ protected:
+  SwappingMemoryManagerTest() : machine_(MakeConfig()), manager_(&machine_) {}
+
+  static MachineConfig MakeConfig() {
+    MachineConfig config;
+    config.memory_bytes = 32 * 1024;  // small so eviction triggers quickly
+    config.object_table_capacity = 512;
+    return config;
+  }
+
+  AccessDescriptor MustCreate(uint32_t bytes) {
+    auto ad = manager_.CreateObject(manager_.global_heap(), SystemType::kGeneric, bytes, 0,
+                                    rights::kRead | rights::kWrite | rights::kDelete);
+    EXPECT_TRUE(ad.ok()) << FaultName(ad.fault());
+    return ad.ok() ? ad.value() : AccessDescriptor();
+  }
+
+  Machine machine_;
+  SwappingMemoryManager manager_;
+};
+
+TEST_F(SwappingMemoryManagerTest, MeetsCommonSpecificationWithoutPressure) {
+  // Below memory pressure, behaviour is indistinguishable from the non-swapping manager —
+  // "most applications will not be affected by this selection."
+  AccessDescriptor ad = MustCreate(1024);
+  ASSERT_TRUE(machine_.addressing().WriteData(ad, 0, 8, 0x1234).ok());
+  EXPECT_EQ(machine_.addressing().ReadData(ad, 0, 8).value(), 0x1234u);
+  EXPECT_EQ(manager_.stats().swap_outs, 0u);
+  ASSERT_TRUE(manager_.DestroyObject(ad).ok());
+}
+
+TEST_F(SwappingMemoryManagerTest, AllocationBeyondPhysicalMemoryEvicts) {
+  // ~32 KB of physical memory; allocate 16 x 8 KB = 128 KB. Must succeed by evicting.
+  std::vector<AccessDescriptor> held;
+  for (int i = 0; i < 16; ++i) {
+    AccessDescriptor ad = MustCreate(8 * 1024);
+    ASSERT_FALSE(ad.is_null());
+    // Stamp each object with its ordinal.
+    ASSERT_TRUE(machine_.addressing().WriteData(ad, 0, 4, static_cast<uint64_t>(i)).ok());
+    held.push_back(ad);
+  }
+  EXPECT_GT(manager_.stats().swap_outs, 0u);
+}
+
+TEST_F(SwappingMemoryManagerTest, SwappedDataSurvivesRoundTrip) {
+  std::vector<AccessDescriptor> held;
+  for (int i = 0; i < 16; ++i) {
+    AccessDescriptor ad = MustCreate(8 * 1024);
+    ASSERT_FALSE(ad.is_null());
+    ASSERT_TRUE(machine_.addressing().WriteData(ad, 100, 4, static_cast<uint64_t>(i * 7)).ok());
+    held.push_back(ad);
+  }
+  // Touch every object; swapped ones fault, EnsureResident brings them back, contents intact.
+  for (int i = 0; i < 16; ++i) {
+    auto read = machine_.addressing().ReadData(held[static_cast<size_t>(i)], 100, 4);
+    if (!read.ok()) {
+      ASSERT_EQ(read.fault(), Fault::kSegmentSwapped);
+      auto cost = manager_.EnsureResident(held[static_cast<size_t>(i)].index());
+      ASSERT_TRUE(cost.ok());
+      EXPECT_GT(cost.value(), 0u);  // a real transfer was charged
+      read = machine_.addressing().ReadData(held[static_cast<size_t>(i)], 100, 4);
+    }
+    ASSERT_TRUE(read.ok());
+    EXPECT_EQ(read.value(), static_cast<uint64_t>(i * 7));
+  }
+  EXPECT_GT(manager_.stats().swap_ins, 0u);
+}
+
+TEST_F(SwappingMemoryManagerTest, EnsureResidentIsIdempotent) {
+  AccessDescriptor ad = MustCreate(64);
+  auto first = manager_.EnsureResident(ad.index());
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value(), 0u);  // already resident: no cost
+}
+
+TEST_F(SwappingMemoryManagerTest, SystemObjectsAreNotEvicted) {
+  // Create a port-typed object, then apply pressure; the port must remain resident.
+  auto port = manager_.CreateObject(manager_.global_heap(), SystemType::kPort, 64, 4,
+                                    rights::kRead | rights::kWrite);
+  ASSERT_TRUE(port.ok());
+  for (int i = 0; i < 16; ++i) {
+    (void)MustCreate(8 * 1024);
+  }
+  EXPECT_FALSE(machine_.table().At(port.value().index()).swapped_out);
+  EXPECT_TRUE(machine_.addressing().ReadData(port.value(), 0, 4).ok());
+}
+
+TEST_F(SwappingMemoryManagerTest, DestroyingSwappedObjectReleasesBackingSlot) {
+  std::vector<AccessDescriptor> held;
+  for (int i = 0; i < 16; ++i) {
+    held.push_back(MustCreate(8 * 1024));
+  }
+  // Find a swapped-out one and destroy it.
+  bool destroyed_swapped = false;
+  for (const AccessDescriptor& ad : held) {
+    if (machine_.table().At(ad.index()).swapped_out) {
+      uint32_t slot = machine_.table().At(ad.index()).backing_slot;
+      ASSERT_TRUE(manager_.DestroyObject(ad).ok());
+      // The slot is free again: fetching it reports not-found.
+      EXPECT_EQ(const_cast<BackingStore&>(manager_.backing_store()).FetchIn(slot).fault(),
+                Fault::kNotFound);
+      destroyed_swapped = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(destroyed_swapped);
+}
+
+TEST_F(SwappingMemoryManagerTest, TrueExhaustionStillFaults) {
+  // Unswappable objects (ports) fill memory; with nothing evictable, allocation must fail.
+  std::vector<AccessDescriptor> ports;
+  for (;;) {
+    auto port = manager_.CreateObject(manager_.global_heap(), SystemType::kPort, 4 * 1024, 0,
+                                      rights::kRead);
+    if (!port.ok()) {
+      EXPECT_EQ(port.fault(), Fault::kStorageExhausted);
+      break;
+    }
+    ports.push_back(port.value());
+  }
+  ASSERT_FALSE(ports.empty());
+}
+
+TEST(BackingStoreTest, StoreFetchRoundTrip) {
+  BackingStore store(4);
+  std::vector<uint8_t> data = {1, 2, 3, 4, 5};
+  auto slot = store.StoreOut(data);
+  ASSERT_TRUE(slot.ok());
+  auto back = store.FetchIn(slot.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), data);
+  // Fetch frees the slot.
+  EXPECT_EQ(store.FetchIn(slot.value()).fault(), Fault::kNotFound);
+}
+
+TEST(BackingStoreTest, CapacityExhaustion) {
+  BackingStore store(2);
+  ASSERT_TRUE(store.StoreOut({1}).ok());
+  ASSERT_TRUE(store.StoreOut({2}).ok());
+  EXPECT_EQ(store.StoreOut({3}).fault(), Fault::kStorageExhausted);
+}
+
+TEST(BackingStoreTest, DiscardFreesWithoutReading) {
+  BackingStore store(2);
+  auto slot = store.StoreOut({9, 9});
+  ASSERT_TRUE(slot.ok());
+  ASSERT_TRUE(store.Discard(slot.value()).ok());
+  EXPECT_TRUE(store.StoreOut({1}).ok());
+  EXPECT_TRUE(store.StoreOut({2}).ok());
+}
+
+TEST(BackingStoreTest, TransferCostScalesWithSize) {
+  EXPECT_GT(BackingStore::TransferCost(64 * 1024), BackingStore::TransferCost(1024));
+  EXPECT_GE(BackingStore::TransferCost(0), BackingStore::kAccessLatencyCycles);
+}
+
+}  // namespace
+}  // namespace imax432

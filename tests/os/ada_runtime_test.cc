@@ -1,0 +1,190 @@
+#include "src/os/ada_runtime.h"
+
+#include <gtest/gtest.h>
+
+#include "src/memory/basic_memory_manager.h"
+#include "src/sim/machine.h"
+
+namespace imax432 {
+namespace {
+
+class AdaRuntimeTest : public ::testing::Test {
+ protected:
+  AdaRuntimeTest()
+      : machine_(MakeConfig()),
+        memory_(&machine_),
+        kernel_(&machine_, &memory_),
+        manager_(&kernel_) {
+    EXPECT_TRUE(kernel_.AddProcessors(2).ok());
+  }
+
+  static MachineConfig MakeConfig() {
+    MachineConfig config;
+    config.memory_bytes = 2 * 1024 * 1024;
+    config.object_table_capacity = 8192;
+    return config;
+  }
+
+  static ProgramRef SmallTask(Cycles work = 5000) {
+    Assembler a("task");
+    a.Compute(work).Halt();
+    return a.Build();
+  }
+
+  Machine machine_;
+  BasicMemoryManager memory_;
+  Kernel kernel_;
+  BasicProcessManager manager_;
+};
+
+TEST_F(AdaRuntimeTest, ScopeLifecycle) {
+  auto scope = TaskScope::Open(&kernel_, &manager_, 256 * 1024);
+  ASSERT_TRUE(scope.ok());
+  auto t1 = scope.value().DeclareTask(SmallTask());
+  auto t2 = scope.value().DeclareTask(SmallTask());
+  ASSERT_TRUE(t1.ok() && t2.ok());
+  // Declared but not activated: nothing runs yet.
+  kernel_.Run();
+  EXPECT_EQ(kernel_.process_view(t1.value()).state(), ProcessState::kEmbryo);
+
+  ASSERT_TRUE(scope.value().Activate().ok());
+  EXPECT_TRUE(scope.value().AwaitCompletion(machine_.now() + 10000000));
+  EXPECT_TRUE(scope.value().AllTasksCompleted().value());
+
+  uint32_t live_before = machine_.table().live_count();
+  auto reclaimed = scope.value().Close();
+  ASSERT_TRUE(reclaimed.ok());
+  EXPECT_GT(reclaimed.value(), 0u);
+  EXPECT_LT(machine_.table().live_count(), live_before);
+  // The task objects are gone with the scope.
+  EXPECT_FALSE(machine_.table().Resolve(t1.value()).ok());
+}
+
+TEST_F(AdaRuntimeTest, MasterCannotLeaveScopeWithRunningTasks) {
+  auto scope = TaskScope::Open(&kernel_, &manager_, 256 * 1024);
+  ASSERT_TRUE(scope.ok());
+  // A task that blocks forever on a scope port.
+  auto port = scope.value().DeclarePort(2);
+  ASSERT_TRUE(port.ok());
+  Assembler a("waiter");
+  a.MoveAd(1, kArgAdReg).Receive(2, 1).Halt();
+  ProcessOptions options;
+  options.initial_arg = port.value();
+  ASSERT_TRUE(scope.value().DeclareTask(a.Build(), options).ok());
+  ASSERT_TRUE(scope.value().Activate().ok());
+  kernel_.Run();  // task blocks
+
+  EXPECT_EQ(scope.value().Close().fault(), Fault::kWrongState);
+  // Satisfy the wait; then the scope can close.
+  ASSERT_TRUE(kernel_.PostMessage(port.value(), memory_.global_heap()).ok());
+  kernel_.Run();
+  EXPECT_TRUE(scope.value().Close().ok());
+}
+
+TEST_F(AdaRuntimeTest, TasksCommunicateThroughScopePorts) {
+  auto scope = TaskScope::Open(&kernel_, &manager_, 256 * 1024);
+  ASSERT_TRUE(scope.ok());
+  auto port = scope.value().DeclarePort(4);
+  // A scope object carries the result out to slot... results must stay in-scope: read
+  // through the data part before closing.
+  auto result_cell = scope.value().DeclareObject(8, 0, rights::kRead | rights::kWrite);
+  auto carrier = scope.value().DeclareObject(8, 3, rights::kRead | rights::kWrite);
+  ASSERT_TRUE(port.ok() && result_cell.ok() && carrier.ok());
+  ASSERT_TRUE(machine_.addressing().WriteAd(carrier.value(), 0, port.value()).ok());
+  ASSERT_TRUE(machine_.addressing().WriteAd(carrier.value(), 1, scope.value().sro()).ok());
+  ASSERT_TRUE(machine_.addressing().WriteAd(carrier.value(), 2, result_cell.value()).ok());
+
+  Assembler sender("sender");
+  sender.MoveAd(1, kArgAdReg)
+      .LoadAd(2, 1, 0)
+      .LoadAd(3, 1, 1)      // the scope SRO: in-scope allocation by a task
+      .CreateObject(4, 3, 16)
+      .LoadImm(0, 99)
+      .StoreData(4, 0, 0, 8)
+      .Send(2, 4)
+      .Halt();
+  Assembler receiver("receiver");
+  receiver.MoveAd(1, kArgAdReg)
+      .LoadAd(2, 1, 0)
+      .LoadAd(5, 1, 2)
+      .Receive(4, 2)
+      .LoadData(0, 4, 0, 8)
+      .StoreData(5, 0, 0, 8)
+      .Halt();
+  ProcessOptions options;
+  options.initial_arg = carrier.value();
+  ASSERT_TRUE(scope.value().DeclareTask(receiver.Build(), options).ok());
+  ASSERT_TRUE(scope.value().DeclareTask(sender.Build(), options).ok());
+  ASSERT_TRUE(scope.value().Activate().ok());
+  ASSERT_TRUE(scope.value().AwaitCompletion(machine_.now() + 10000000));
+  EXPECT_EQ(machine_.addressing().ReadData(result_cell.value(), 0, 8).value(), 99u);
+  EXPECT_TRUE(scope.value().Close().ok());
+}
+
+TEST_F(AdaRuntimeTest, ScopeObjectsCannotEscapeToGlobal) {
+  // The Ada accessibility rule via the level rule: a scope object's AD cannot be stored in
+  // a global container.
+  auto scope = TaskScope::Open(&kernel_, &manager_, 64 * 1024);
+  ASSERT_TRUE(scope.ok());
+  auto local_object = scope.value().DeclareObject(16, 0, rights::kRead);
+  ASSERT_TRUE(local_object.ok());
+  auto global_container = memory_.CreateObject(memory_.global_heap(), SystemType::kGeneric,
+                                               8, 1, rights::kRead | rights::kWrite);
+  ASSERT_TRUE(global_container.ok());
+  EXPECT_EQ(
+      machine_.addressing().WriteAd(global_container.value(), 0, local_object.value()).fault(),
+      Fault::kLevelViolation);
+}
+
+TEST_F(AdaRuntimeTest, NestedScopesNestLifetimes) {
+  auto outer = TaskScope::Open(&kernel_, &manager_, 512 * 1024);
+  ASSERT_TRUE(outer.ok());
+  auto inner = outer.value().Nested(128 * 1024);
+  ASSERT_TRUE(inner.ok());
+  EXPECT_EQ(inner.value().level(), outer.value().level() + 1);
+
+  // Outer objects may be referenced from inner containers, not vice versa.
+  auto outer_object = outer.value().DeclareObject(16, 0, rights::kRead);
+  auto inner_container = inner.value().DeclareObject(8, 1, rights::kRead | rights::kWrite);
+  auto inner_object = inner.value().DeclareObject(16, 0, rights::kRead);
+  auto outer_container = outer.value().DeclareObject(8, 1, rights::kRead | rights::kWrite);
+  ASSERT_TRUE(outer_object.ok() && inner_container.ok() && inner_object.ok() &&
+              outer_container.ok());
+  EXPECT_TRUE(
+      machine_.addressing().WriteAd(inner_container.value(), 0, outer_object.value()).ok());
+  EXPECT_EQ(
+      machine_.addressing().WriteAd(outer_container.value(), 0, inner_object.value()).fault(),
+      Fault::kLevelViolation);
+
+  // Closing the inner scope reclaims its objects; the outer scope is intact.
+  ASSERT_TRUE(inner.value().Close().ok());
+  EXPECT_FALSE(machine_.table().Resolve(inner_object.value()).ok());
+  EXPECT_TRUE(machine_.table().Resolve(outer_object.value()).ok());
+  ASSERT_TRUE(outer.value().Close().ok());
+}
+
+TEST_F(AdaRuntimeTest, ClosedScopeRejectsDeclarations) {
+  auto scope = TaskScope::Open(&kernel_, &manager_, 64 * 1024);
+  ASSERT_TRUE(scope.ok());
+  ASSERT_TRUE(scope.value().Close().ok());
+  EXPECT_EQ(scope.value().DeclareTask(SmallTask()).fault(), Fault::kWrongState);
+  EXPECT_EQ(scope.value().DeclarePort(2).fault(), Fault::kWrongState);
+  EXPECT_EQ(scope.value().Close().fault(), Fault::kWrongState);
+}
+
+TEST_F(AdaRuntimeTest, ScopeCloseIsBulkReclamation) {
+  // Closing a populated scope uses the SRO bulk path, not the collector.
+  auto scope = TaskScope::Open(&kernel_, &manager_, 512 * 1024);
+  ASSERT_TRUE(scope.ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(scope.value().DeclareObject(64, 1, rights::kAll).ok());
+  }
+  MemoryStats before = memory_.stats();
+  auto reclaimed = scope.value().Close();
+  ASSERT_TRUE(reclaimed.ok());
+  EXPECT_GE(reclaimed.value(), 50u);
+  EXPECT_GE(memory_.stats().bulk_reclaimed_objects - before.bulk_reclaimed_objects, 50u);
+}
+
+}  // namespace
+}  // namespace imax432

@@ -1,0 +1,130 @@
+#include "src/os/introspection.h"
+
+#include <gtest/gtest.h>
+
+#include "src/os/system.h"
+
+namespace imax432 {
+namespace {
+
+SystemConfig MonitorConfig() {
+  SystemConfig config;
+  config.processors = 2;
+  config.machine.memory_bytes = 1024 * 1024;
+  config.machine.object_table_capacity = 4096;
+  config.start_gc_daemon = false;
+  return config;
+}
+
+TEST(IntrospectionTest, CensusCountsByType) {
+  System system(MonitorConfig());
+  Introspection monitor(&system.kernel());
+  ObjectCensus before = monitor.TakeCensus();
+
+  ASSERT_TRUE(system.memory()
+                  .CreateObject(system.memory().global_heap(), SystemType::kGeneric, 100, 2,
+                                rights::kAll)
+                  .ok());
+  ASSERT_TRUE(system.kernel()
+                  .ports()
+                  .CreatePort(system.memory().global_heap(), 4, QueueDiscipline::kFifo)
+                  .ok());
+
+  ObjectCensus after = monitor.TakeCensus();
+  EXPECT_EQ(after.live_objects, before.live_objects + 2);
+  EXPECT_EQ(after.count_by_type[static_cast<int>(SystemType::kGeneric)],
+            before.count_by_type[static_cast<int>(SystemType::kGeneric)] + 1);
+  EXPECT_EQ(after.count_by_type[static_cast<int>(SystemType::kPort)],
+            before.count_by_type[static_cast<int>(SystemType::kPort)] + 1);
+  EXPECT_EQ(after.total_data_bytes,
+            before.total_data_bytes + 100 + PortLayout::kDataBytes);
+}
+
+TEST(IntrospectionTest, BootInventoryIsVisible) {
+  System system(MonitorConfig());
+  Introspection monitor(&system.kernel());
+  ObjectCensus census = monitor.TakeCensus();
+  // The boot image: the global heap SRO, the default dispatching port, two processors.
+  EXPECT_GE(census.count_by_type[static_cast<int>(SystemType::kStorageResource)], 1u);
+  EXPECT_GE(census.count_by_type[static_cast<int>(SystemType::kPort)], 1u);
+  EXPECT_EQ(census.count_by_type[static_cast<int>(SystemType::kProcessor)], 2u);
+}
+
+TEST(IntrospectionTest, ProcessorUtilizationAccounted) {
+  System system(MonitorConfig());
+  Introspection monitor(&system.kernel());
+  Assembler a("work");
+  a.Compute(80000).Halt();  // 10 ms of work
+  ASSERT_TRUE(system.Spawn(a.Build()).ok());
+  system.Run();
+
+  SystemReport report = monitor.Report();
+  ASSERT_EQ(report.processors.size(), 2u);
+  // One processor did the work; total busy is at least the computation.
+  uint64_t total_busy = 0;
+  uint64_t total_dispatches = 0;
+  for (const ProcessorReport& processor : report.processors) {
+    total_busy += processor.busy_cycles;
+    total_dispatches += processor.dispatches;
+  }
+  EXPECT_GE(total_busy, 80000u);
+  EXPECT_GE(total_dispatches, 1u);
+  EXPECT_GT(report.now, 0u);
+}
+
+TEST(IntrospectionTest, UserTypedObjectsCounted) {
+  System system(MonitorConfig());
+  Introspection monitor(&system.kernel());
+  auto tdo = system.types().CreateTypeDefinition(1);
+  ASSERT_TRUE(tdo.ok());
+  ASSERT_TRUE(system.types()
+                  .CreateTypedObject(tdo.value(), system.memory().global_heap(), 16, 0,
+                                     rights::kRead)
+                  .ok());
+  ObjectCensus census = monitor.TakeCensus();
+  EXPECT_EQ(census.user_typed, 1u);
+  EXPECT_EQ(census.count_by_type[static_cast<int>(SystemType::kTypeDefinition)], 1u);
+}
+
+TEST(IntrospectionTest, FormatProducesReadableReport) {
+  System system(MonitorConfig());
+  Introspection monitor(&system.kernel());
+  std::string text = Introspection::Format(monitor.Report());
+  EXPECT_NE(text.find("objects:"), std::string::npos);
+  EXPECT_NE(text.find("gdp 0:"), std::string::npos);
+  EXPECT_NE(text.find("bus:"), std::string::npos);
+  EXPECT_NE(text.find("memory:"), std::string::npos);
+}
+
+TEST(CycleModelTest, CalibrationMatchesThePaper) {
+  // The two published absolute numbers, exactly.
+  EXPECT_EQ(cycles::ToMicroseconds(cycles::kDomainCall), 65.0);
+  EXPECT_EQ(cycles::ToMicroseconds(cycles::CreateObjectCost(64, 0)), 80.0);
+  // 8 MHz clock.
+  EXPECT_EQ(cycles::kPerMicrosecond, 8u);
+}
+
+TEST(CycleModelTest, CreateCostMonotoneInSize) {
+  Cycles last = 0;
+  for (uint32_t bytes : {16u, 64u, 256u, 4096u, 65536u}) {
+    Cycles cost = cycles::CreateObjectCost(bytes, 0);
+    EXPECT_GE(cost, last);
+    last = cost;
+  }
+  // Access slots count toward the zeroing/init cost too.
+  EXPECT_GT(cycles::CreateObjectCost(0, 1024), cycles::CreateObjectCost(0, 0));
+}
+
+TEST(CycleModelTest, RelativeCostOrderingIsSane) {
+  // Orderings the 432 literature supports: domain call > local call > send/receive single
+  // instructions > AD move > simple op; dispatch between send and domain call.
+  EXPECT_GT(cycles::kDomainCall, cycles::kLocalCall);
+  EXPECT_GT(cycles::kLocalCall, cycles::kSend);
+  EXPECT_GT(cycles::kSend, cycles::kAdMove);
+  EXPECT_GT(cycles::kAdMove, cycles::kSimpleOp);
+  EXPECT_GT(cycles::kDispatch, cycles::kSend);
+  EXPECT_GT(cycles::kCreateObjectBase, cycles::kDomainCall);
+}
+
+}  // namespace
+}  // namespace imax432

@@ -1,0 +1,249 @@
+#include "src/os/system.h"
+
+#include <gtest/gtest.h>
+
+namespace imax432 {
+namespace {
+
+SystemConfig TestConfig() {
+  SystemConfig config;
+  config.machine.memory_bytes = 2 * 1024 * 1024;
+  config.machine.object_table_capacity = 8192;
+  config.processors = 2;
+  return config;
+}
+
+TEST(SystemTest, BootsAndRunsAProgram) {
+  System system(TestConfig());
+  Assembler a("hello");
+  a.Compute(100).Halt();
+  auto process = system.Spawn(a.Build());
+  ASSERT_TRUE(process.ok());
+  system.Run();
+  EXPECT_EQ(system.kernel().process_view(process.value()).state(),
+            ProcessState::kTerminated);
+}
+
+TEST(SystemTest, GcDaemonCollectsOnRequest) {
+  System system(TestConfig());
+  system.Run();  // let the daemon park at its request port
+
+  std::vector<AccessDescriptor> garbage;
+  for (int i = 0; i < 10; ++i) {
+    auto object = system.memory().CreateObject(system.memory().global_heap(),
+                                               SystemType::kGeneric, 64, 0, rights::kAll);
+    ASSERT_TRUE(object.ok());
+    garbage.push_back(object.value());
+  }
+  ASSERT_TRUE(system.RequestCollection().ok());
+  system.Run();
+  for (const AccessDescriptor& object : garbage) {
+    EXPECT_FALSE(system.machine().table().Resolve(object).ok());
+  }
+  EXPECT_GE(system.gc().stats().cycles_completed, 1u);
+}
+
+TEST(SystemTest, GcDaemonItselfSurvivesCollection) {
+  System system(TestConfig());
+  system.Run();
+  ASSERT_TRUE(system.RequestCollection().ok());
+  system.Run();
+  // A second collection still works: the daemon, its port and program all survived.
+  ASSERT_TRUE(system.RequestCollection().ok());
+  system.Run();
+  EXPECT_GE(system.gc().stats().cycles_completed, 2u);
+}
+
+TEST(SystemTest, ReclaimedPortShadowStateIsDropped) {
+  System system(TestConfig());
+  system.Run();
+  auto port = system.ports().Create(4);
+  ASSERT_TRUE(port.ok());
+  ObjectIndex index = port.value().ad.index();
+  ASSERT_TRUE(system.RequestCollection().ok());
+  system.Run();
+  // The port was garbage (we hold the AD host-side only, which is not a root).
+  EXPECT_FALSE(system.machine().table().Resolve(port.value().ad).ok());
+  // Its shadow state is gone: a forged query faults with kNotFound/kInvalidAccess.
+  EXPECT_FALSE(system.kernel().ports().QueuedCount(port.value().ad).ok());
+  (void)index;
+}
+
+TEST(SystemTest, LostProcessRecovery) {
+  SystemConfig config = TestConfig();
+  config.recover_lost_processes = true;
+  System system(config);
+  system.Run();
+
+  // Create a process and lose it (never start, never store its AD anywhere reachable).
+  Assembler a("lost");
+  a.Halt();
+  auto process = system.kernel().CreateProcess(a.Build(), {});
+  ASSERT_TRUE(process.ok());
+
+  ASSERT_TRUE(system.RequestCollection().ok());
+  system.Run();
+  // The process was recovered to the lost-process port instead of being freed.
+  auto recovered = system.kernel().ports().Dequeue(system.lost_process_port());
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_TRUE(recovered.value().SameObject(process.value()));
+}
+
+TEST(SystemTest, SwappingConfigurationIsTransparent) {
+  // §6.2: "most applications will not be affected by this selection." The same workload
+  // runs under both managers.
+  for (MemoryManagerKind kind :
+       {MemoryManagerKind::kNonSwapping, MemoryManagerKind::kSwapping}) {
+    SystemConfig config = TestConfig();
+    config.memory_manager = kind;
+    System system(config);
+    Assembler a("workload");
+    a.MoveAd(1, kArgAdReg);
+    for (int i = 0; i < 5; ++i) {
+      a.CreateObject(2, 1, 1024).LoadImm(0, 7).StoreData(2, 0, 0, 8).LoadData(3, 2, 0, 8);
+    }
+    a.Halt();
+    ProcessOptions options;
+    options.initial_arg = system.memory().global_heap();
+    auto process = system.Spawn(a.Build(), options);
+    ASSERT_TRUE(process.ok());
+    system.Run();
+    EXPECT_EQ(system.kernel().process_view(process.value()).state(),
+              ProcessState::kTerminated)
+        << "manager kind " << static_cast<int>(kind);
+  }
+}
+
+TEST(SystemTest, MultiprocessorConfigurationTransparent) {
+  // "the existence of multiple general data processors [is] transparent to virtually all of
+  // the system software": the same program yields the same result on 1 and 8 processors.
+  for (int processors : {1, 8}) {
+    SystemConfig config = TestConfig();
+    config.processors = processors;
+    System system(config);
+    auto carrier = system.memory().CreateObject(system.memory().global_heap(),
+                                                SystemType::kGeneric, 8, 0,
+                                                rights::kRead | rights::kWrite);
+    ASSERT_TRUE(carrier.ok());
+    Assembler a("sum");
+    auto loop = a.NewLabel();
+    a.MoveAd(1, kArgAdReg)
+        .LoadImm(0, 0)
+        .LoadImm(1, 100)
+        .LoadImm(2, 0)
+        .Bind(loop)
+        .Add(2, 2, 0)
+        .AddImm(0, 0, 1)
+        .BranchIfLess(0, 1, loop)
+        .StoreData(1, 2, 0, 8)
+        .Halt();
+    ProcessOptions options;
+    options.initial_arg = carrier.value();
+    ASSERT_TRUE(system.Spawn(a.Build(), options).ok());
+    system.Run();
+    EXPECT_EQ(system.machine().addressing().ReadData(carrier.value(), 0, 8).value(), 4950u)
+        << processors << " processors";
+  }
+}
+
+TEST(SystemTest, TypedPortsZeroOverheadCodeIdentity) {
+  // §4: "the code generated for any instance of this package [Typed_Ports] to be identical
+  // to that generated for the untyped port package."
+  struct TapeRequest {};  // a user message type
+
+  Assembler untyped("untyped");
+  UntypedPorts::EmitSend(untyped, 1, 2);
+  UntypedPorts::EmitReceive(untyped, 3, 1);
+  ProgramRef u = untyped.Build();
+
+  Assembler typed("typed");
+  TypedPorts<TapeRequest>::EmitSend(typed, 1, 2);
+  TypedPorts<TapeRequest>::EmitReceive(typed, 3, 1);
+  ProgramRef t = typed.Build();
+
+  ASSERT_EQ(u->size(), t->size());
+  for (uint32_t i = 0; i < u->size(); ++i) {
+    EXPECT_EQ(static_cast<int>(u->at(i).op), static_cast<int>(t->at(i).op));
+    EXPECT_EQ(u->at(i).a, t->at(i).a);
+    EXPECT_EQ(u->at(i).b, t->at(i).b);
+    EXPECT_EQ(u->at(i).c, t->at(i).c);
+    EXPECT_EQ(u->at(i).imm, t->at(i).imm);
+  }
+}
+
+TEST(SystemTest, TypedPortsHostSideCompileTimeChecking) {
+  System system(TestConfig());
+  struct Red {};
+  struct Blue {};
+  TypedPorts<Red> red_ports(&system.kernel());
+  TypedPorts<Blue> blue_ports(&system.kernel());
+  auto red_port = red_ports.Create(4);
+  ASSERT_TRUE(red_port.ok());
+  auto message = system.memory().CreateObject(system.memory().global_heap(),
+                                              SystemType::kGeneric, 8, 0, rights::kRead);
+  ASSERT_TRUE(message.ok());
+  TypedPorts<Red>::Message red_message{message.value()};
+  ASSERT_TRUE(red_ports.Send(red_port.value(), red_message).ok());
+  auto received = red_ports.Receive(red_port.value());
+  ASSERT_TRUE(received.ok());
+  EXPECT_TRUE(received.value().ad.SameObject(message.value()));
+  // blue_ports.Send(red_port.value(), red_message) would not compile: the generic-instance
+  // types are distinct, exactly like Ada's.
+  (void)blue_ports;
+}
+
+// Results captured by the checked-ports helper (gtest ASSERTs need void contexts).
+ProcessState last_state_ = ProcessState::kEmbryo;
+Fault last_fault_ = Fault::kNone;
+
+TEST(SystemTest, CheckedPortsRejectWrongTypeAtRuntime) {
+  System system(TestConfig());
+  system.Run();
+  struct TapeMsg {};
+  auto tdo = system.types().CreateTypeDefinition(0x5150);
+  ASSERT_TRUE(tdo.ok());
+  CheckedPorts<TapeMsg> checked(&system.kernel(), &system.types(), tdo.value());
+  auto port = checked.Create(4);
+  ASSERT_TRUE(port.ok());
+
+  // A correctly-typed message passes the runtime check.
+  auto good = system.types().CreateTypedObject(tdo.value(), system.memory().global_heap(),
+                                               16, 0, rights::kRead);
+  ASSERT_TRUE(good.ok());
+  // A plain object does not.
+  auto bad = system.memory().CreateObject(system.memory().global_heap(),
+                                          SystemType::kGeneric, 16, 0, rights::kRead);
+  ASSERT_TRUE(bad.ok());
+
+  auto carrier = system.memory().CreateObject(system.memory().global_heap(),
+                                              SystemType::kGeneric, 8, 2,
+                                              rights::kRead | rights::kWrite);
+  ASSERT_TRUE(carrier.ok());
+  ASSERT_TRUE(system.machine().addressing().WriteAd(carrier.value(), 0, port.value().ad).ok());
+
+  auto run_receiver = [&](const AccessDescriptor& message) {
+    ASSERT_TRUE(system.kernel().PostMessage(port.value().ad, message).ok());
+    Assembler a("checked-receiver");
+    a.MoveAd(1, kArgAdReg).LoadAd(2, 1, 0);
+    checked.EmitReceive(a, 3, 2);
+    a.Halt();
+    ProcessOptions options;
+    options.initial_arg = carrier.value();
+    auto process = system.Spawn(a.Build(), options);
+    ASSERT_TRUE(process.ok());
+    system.Run();
+    last_state_ = system.kernel().process_view(process.value()).state();
+    last_fault_ = system.kernel().process_view(process.value()).fault_code();
+  };
+
+  run_receiver(good.value());
+  EXPECT_EQ(last_state_, ProcessState::kTerminated);
+  EXPECT_EQ(last_fault_, Fault::kNone);
+
+  run_receiver(bad.value());
+  EXPECT_EQ(last_state_, ProcessState::kTerminated);
+  EXPECT_EQ(last_fault_, Fault::kTypeMismatch);
+}
+
+}  // namespace
+}  // namespace imax432

@@ -1,0 +1,134 @@
+#include "src/os/type_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "src/memory/basic_memory_manager.h"
+#include "src/sim/machine.h"
+
+namespace imax432 {
+namespace {
+
+class TypeManagerTest : public ::testing::Test {
+ protected:
+  TypeManagerTest()
+      : machine_(MakeConfig()),
+        memory_(&machine_),
+        kernel_(&machine_, &memory_),
+        types_(&kernel_) {}
+
+  static MachineConfig MakeConfig() {
+    MachineConfig config;
+    config.memory_bytes = 256 * 1024;
+    config.object_table_capacity = 1024;
+    return config;
+  }
+
+  Machine machine_;
+  BasicMemoryManager memory_;
+  Kernel kernel_;
+  TypeManagerFacility types_;
+};
+
+TEST_F(TypeManagerTest, TypedObjectCarriesIdentity) {
+  auto tdo = types_.CreateTypeDefinition(/*type_id=*/77);
+  ASSERT_TRUE(tdo.ok());
+  auto object =
+      types_.CreateTypedObject(tdo.value(), memory_.global_heap(), 32, 0, rights::kRead);
+  ASSERT_TRUE(object.ok());
+  EXPECT_TRUE(types_.CheckType(object.value(), tdo.value()).ok());
+  EXPECT_EQ(types_.TypeIdOf(object.value()).value(), 77u);
+  EXPECT_EQ(types_.CreatedCount(tdo.value()).value(), 1u);
+}
+
+TEST_F(TypeManagerTest, PlainObjectHasNoUserType) {
+  auto plain =
+      memory_.CreateObject(memory_.global_heap(), SystemType::kGeneric, 16, 0, rights::kRead);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(types_.TypeIdOf(plain.value()).fault(), Fault::kNotFound);
+}
+
+TEST_F(TypeManagerTest, TypeCheckRejectsOtherTypes) {
+  auto tape = types_.CreateTypeDefinition(1);
+  auto disk = types_.CreateTypeDefinition(2);
+  ASSERT_TRUE(tape.ok() && disk.ok());
+  auto object =
+      types_.CreateTypedObject(tape.value(), memory_.global_heap(), 16, 0, rights::kRead);
+  ASSERT_TRUE(object.ok());
+  EXPECT_TRUE(types_.CheckType(object.value(), tape.value()).ok());
+  EXPECT_EQ(types_.CheckType(object.value(), disk.value()).fault(), Fault::kTypeMismatch);
+}
+
+TEST_F(TypeManagerTest, TypeIdentitySurvivesChannels) {
+  // §7.2: the hardware-recognized type identity is preserved "no matter what path a system
+  // object follows within the 432". Pass the AD through a port and re-verify.
+  auto tdo = types_.CreateTypeDefinition(9);
+  ASSERT_TRUE(tdo.ok());
+  auto object =
+      types_.CreateTypedObject(tdo.value(), memory_.global_heap(), 16, 0, rights::kRead);
+  ASSERT_TRUE(object.ok());
+  auto port = kernel_.ports().CreatePort(memory_.global_heap(), 4, QueueDiscipline::kFifo);
+  ASSERT_TRUE(port.ok());
+  ASSERT_TRUE(kernel_.PostMessage(port.value(), object.value()).ok());
+  auto back = kernel_.ports().Dequeue(port.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(types_.CheckType(back.value(), tdo.value()).ok());
+}
+
+TEST_F(TypeManagerTest, CreateRequiresCreateRights) {
+  auto tdo = types_.CreateTypeDefinition(5);
+  ASSERT_TRUE(tdo.ok());
+  AccessDescriptor weak = tdo.value().Restricted(rights::kRead);
+  EXPECT_EQ(
+      types_.CreateTypedObject(weak, memory_.global_heap(), 16, 0, rights::kRead).fault(),
+      Fault::kRightsViolation);
+}
+
+TEST_F(TypeManagerTest, AmplifyRestoresRights) {
+  auto tdo = types_.CreateTypeDefinition(6);
+  ASSERT_TRUE(tdo.ok());
+  auto object = types_.CreateTypedObject(tdo.value(), memory_.global_heap(), 16, 0,
+                                         rights::kRead | rights::kWrite);
+  ASSERT_TRUE(object.ok());
+  // The manager hands out a read-only AD...
+  AccessDescriptor handed_out = object.value().Restricted(rights::kRead);
+  ASSERT_FALSE(handed_out.HasRights(rights::kWrite));
+  // ...and can amplify it back inside its own domain.
+  auto amplified = types_.Amplify(handed_out, tdo.value(), rights::kWrite);
+  ASSERT_TRUE(amplified.ok());
+  EXPECT_TRUE(amplified.value().HasRights(rights::kWrite));
+  EXPECT_TRUE(amplified.value().SameObject(object.value()));
+}
+
+TEST_F(TypeManagerTest, AmplifyRequiresAmplifyRights) {
+  auto tdo = types_.CreateTypeDefinition(7);
+  ASSERT_TRUE(tdo.ok());
+  auto object =
+      types_.CreateTypedObject(tdo.value(), memory_.global_heap(), 16, 0, rights::kRead);
+  ASSERT_TRUE(object.ok());
+  AccessDescriptor weak_tdo = tdo.value().Restricted(rights::kTdoCreate);
+  EXPECT_EQ(types_.Amplify(object.value(), weak_tdo, rights::kWrite).fault(),
+            Fault::kRightsViolation);
+}
+
+TEST_F(TypeManagerTest, AmplifyRejectsForeignObjects) {
+  auto tdo_a = types_.CreateTypeDefinition(10);
+  auto tdo_b = types_.CreateTypeDefinition(11);
+  ASSERT_TRUE(tdo_a.ok() && tdo_b.ok());
+  auto object =
+      types_.CreateTypedObject(tdo_a.value(), memory_.global_heap(), 16, 0, rights::kRead);
+  ASSERT_TRUE(object.ok());
+  // Manager B cannot amplify manager A's objects even with full rights on its own TDO.
+  EXPECT_EQ(types_.Amplify(object.value(), tdo_b.value(), rights::kAll).fault(),
+            Fault::kTypeMismatch);
+}
+
+TEST_F(TypeManagerTest, FilterPortMustBeAPort) {
+  auto not_a_port =
+      memory_.CreateObject(memory_.global_heap(), SystemType::kGeneric, 16, 0, rights::kRead);
+  ASSERT_TRUE(not_a_port.ok());
+  EXPECT_EQ(types_.CreateTypeDefinition(12, not_a_port.value()).fault(),
+            Fault::kTypeMismatch);
+}
+
+}  // namespace
+}  // namespace imax432

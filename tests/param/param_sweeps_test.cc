@@ -1,0 +1,328 @@
+// Parameterized property sweeps (TEST_P / INSTANTIATE_TEST_SUITE_P) across configuration
+// dimensions the system claims to be invariant (or monotone) in:
+//   - the two memory-manager implementations behind one specification,
+//   - processor counts (transparency of multiprocessing),
+//   - queue disciplines and port capacities (conservation + ordering laws),
+//   - level pairs (the storing rule's exact truth table),
+//   - segment geometries (allocation correctness at the architectural extremes).
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/base/xorshift.h"
+#include "src/os/system.h"
+
+namespace imax432 {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Sweep 1: workload invariance across manager kind x processor count.
+// ---------------------------------------------------------------------------
+
+class ConfigSweepTest
+    : public ::testing::TestWithParam<std::tuple<MemoryManagerKind, int>> {};
+
+TEST_P(ConfigSweepTest, WorkloadResultIndependentOfConfiguration) {
+  auto [manager_kind, processors] = GetParam();
+  SystemConfig config;
+  config.machine.memory_bytes = 2 * 1024 * 1024;
+  config.machine.object_table_capacity = 8192;
+  config.memory_manager = manager_kind;
+  config.processors = processors;
+  System system(config);
+
+  auto carrier = system.memory().CreateObject(system.memory().global_heap(),
+                                              SystemType::kGeneric, 16, 1,
+                                              rights::kRead | rights::kWrite);
+  ASSERT_TRUE(carrier.ok());
+  ASSERT_TRUE(system.machine()
+                  .addressing()
+                  .WriteAd(carrier.value(), 0, system.memory().global_heap())
+                  .ok());
+
+  // Allocate objects, chain-sum their stamps, store the result.
+  Assembler a("invariant");
+  auto loop = a.NewLabel();
+  a.MoveAd(1, kArgAdReg)
+      .LoadAd(2, 1, 0)
+      .LoadImm(0, 0)
+      .LoadImm(1, 20)
+      .LoadImm(2, 0)
+      .Bind(loop)
+      .CreateObject(3, 2, 256)
+      .StoreData(3, 0, 0, 8)
+      .LoadData(3, 3, 0, 8)
+      .Add(2, 2, 3)
+      .AddImm(0, 0, 1)
+      .BranchIfLess(0, 1, loop)
+      .StoreData(1, 2, 0, 8)
+      .Halt();
+  ProcessOptions options;
+  options.initial_arg = carrier.value();
+  auto process = system.Spawn(a.Build(), options);
+  ASSERT_TRUE(process.ok());
+  system.Run();
+  ASSERT_EQ(system.kernel().process_view(process.value()).state(),
+            ProcessState::kTerminated);
+  // Sum of 0..19 = 190 regardless of configuration.
+  EXPECT_EQ(system.machine().addressing().ReadData(carrier.value(), 0, 8).value(), 190u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ManagerAndProcessors, ConfigSweepTest,
+    ::testing::Combine(::testing::Values(MemoryManagerKind::kNonSwapping,
+                                         MemoryManagerKind::kSwapping),
+                       ::testing::Values(1, 2, 4, 8)));
+
+// ---------------------------------------------------------------------------
+// Sweep 2: port conservation law across discipline x capacity.
+// Messages are neither lost nor duplicated, for any discipline and any capacity.
+// ---------------------------------------------------------------------------
+
+class PortSweepTest
+    : public ::testing::TestWithParam<std::tuple<QueueDiscipline, uint16_t>> {};
+
+TEST_P(PortSweepTest, MessagesConservedUnderRandomTraffic) {
+  auto [discipline, capacity] = GetParam();
+  MachineConfig machine_config;
+  machine_config.memory_bytes = 512 * 1024;
+  machine_config.object_table_capacity = 2048;
+  Machine machine(machine_config);
+  BasicMemoryManager memory(&machine);
+  PortSubsystem ports(&machine, &memory);
+
+  auto port = ports.CreatePort(memory.global_heap(), capacity, discipline);
+  ASSERT_TRUE(port.ok());
+
+  Xorshift rng(1234 + static_cast<uint64_t>(capacity) * 7 +
+               static_cast<uint64_t>(discipline));
+  int enqueued = 0;
+  int dequeued = 0;
+  std::vector<bool> seen(512, false);
+  int next_tag = 0;
+
+  for (int step = 0; step < 400 && next_tag < 512; ++step) {
+    if (rng.NextChance(1, 2)) {
+      auto message = memory.CreateObject(memory.global_heap(), SystemType::kGeneric, 16, 0,
+                                         rights::kRead | rights::kWrite);
+      ASSERT_TRUE(message.ok());
+      ASSERT_TRUE(machine.addressing()
+                      .WriteData(message.value(), 0, 4,
+                                 static_cast<uint64_t>(next_tag))
+                      .ok());
+      ++next_tag;
+      Status status = ports.Enqueue(port.value(), message.value(),
+                                    static_cast<uint8_t>(rng.NextBelow(256)),
+                                    static_cast<uint32_t>(rng.NextBelow(10000)));
+      if (status.ok()) {
+        ++enqueued;
+      } else {
+        ASSERT_EQ(status.fault(), Fault::kQueueFull);
+      }
+    } else {
+      auto message = ports.Dequeue(port.value());
+      if (message.ok()) {
+        ++dequeued;
+        auto tag = machine.addressing().ReadData(message.value(), 0, 4);
+        ASSERT_TRUE(tag.ok());
+        ASSERT_LT(tag.value(), seen.size());
+        ASSERT_FALSE(seen[tag.value()]) << "message duplicated";
+        seen[tag.value()] = true;
+      } else {
+        ASSERT_EQ(message.fault(), Fault::kQueueEmpty);
+      }
+    }
+    // Conservation invariant at every step.
+    ASSERT_EQ(ports.QueuedCount(port.value()).value(), enqueued - dequeued);
+    ASSERT_LE(enqueued - dequeued, capacity);
+  }
+  // Drain: everything enqueued comes out exactly once.
+  while (true) {
+    auto message = ports.Dequeue(port.value());
+    if (!message.ok()) {
+      break;
+    }
+    ++dequeued;
+    auto tag = machine.addressing().ReadData(message.value(), 0, 4);
+    ASSERT_FALSE(seen[tag.value()]);
+    seen[tag.value()] = true;
+  }
+  EXPECT_EQ(enqueued, dequeued);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DisciplinesAndCapacities, PortSweepTest,
+    ::testing::Combine(::testing::Values(QueueDiscipline::kFifo, QueueDiscipline::kPriority,
+                                         QueueDiscipline::kDeadline),
+                       ::testing::Values<uint16_t>(1, 3, 8, 64)));
+
+// ---------------------------------------------------------------------------
+// Sweep 3: the level storing rule's truth table, for every (container, referenced) pair.
+// ---------------------------------------------------------------------------
+
+class LevelRuleTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(LevelRuleTest, StorePermittedIffContainerAtLeastAsDeep) {
+  auto [container_level, referenced_level] = GetParam();
+  MachineConfig machine_config;
+  machine_config.memory_bytes = 1024 * 1024;
+  machine_config.object_table_capacity = 1024;
+  Machine machine(machine_config);
+  BasicMemoryManager memory(&machine);
+
+  // Build SROs at each level by nesting from the global heap; each nested region shrinks so
+  // it fits inside its parent.
+  auto sro_at_level = [&](int level) -> AccessDescriptor {
+    AccessDescriptor current = memory.global_heap();
+    for (int l = 1; l <= level; ++l) {
+      auto child = memory.CreateLocalSro(current, 256 * 1024 >> (2 * l),
+                                         static_cast<Level>(l));
+      EXPECT_TRUE(child.ok()) << FaultName(child.fault());
+      current = child.value();
+    }
+    return current;
+  };
+
+  auto container = memory.CreateObject(sro_at_level(container_level), SystemType::kGeneric,
+                                       8, 2, rights::kRead | rights::kWrite);
+  auto referenced = memory.CreateObject(sro_at_level(referenced_level), SystemType::kGeneric,
+                                        8, 0, rights::kRead);
+  ASSERT_TRUE(container.ok() && referenced.ok());
+
+  Status stored = machine.addressing().WriteAd(container.value(), 0, referenced.value());
+  if (container_level >= referenced_level) {
+    EXPECT_TRUE(stored.ok()) << container_level << " <- " << referenced_level;
+  } else {
+    EXPECT_EQ(stored.fault(), Fault::kLevelViolation)
+        << container_level << " <- " << referenced_level;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLevelPairs, LevelRuleTest,
+                         ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                                            ::testing::Values(0, 1, 2, 3)));
+
+// ---------------------------------------------------------------------------
+// Sweep 4: segment geometry at the architectural extremes.
+// ---------------------------------------------------------------------------
+
+class GeometryTest : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t>> {};
+
+TEST_P(GeometryTest, CreateReadWriteDestroyRoundTrip) {
+  auto [data_bytes, access_slots] = GetParam();
+  MachineConfig machine_config;
+  machine_config.memory_bytes = 2 * 1024 * 1024;
+  machine_config.object_table_capacity = 256;
+  Machine machine(machine_config);
+  BasicMemoryManager memory(&machine);
+
+  auto object = memory.CreateObject(memory.global_heap(), SystemType::kGeneric, data_bytes,
+                                    access_slots, rights::kAll);
+  ASSERT_TRUE(object.ok());
+  const ObjectDescriptor* descriptor = machine.table().Resolve(object.value()).value();
+  EXPECT_EQ(descriptor->data_length, data_bytes);
+  EXPECT_EQ(descriptor->access_count(), access_slots);
+
+  if (data_bytes >= 16) {
+    // First and last addressable words (distinct when the part holds at least two).
+    ASSERT_TRUE(machine.addressing().WriteData(object.value(), 0, 8, 0x11).ok());
+    ASSERT_TRUE(machine.addressing().WriteData(object.value(), data_bytes - 8, 8, 0x22).ok());
+    EXPECT_EQ(machine.addressing().ReadData(object.value(), 0, 8).value(), 0x11u);
+    EXPECT_EQ(machine.addressing().ReadData(object.value(), data_bytes - 8, 8).value(),
+              0x22u);
+  } else if (data_bytes >= 8) {
+    ASSERT_TRUE(machine.addressing().WriteData(object.value(), 0, 8, 0x33).ok());
+    EXPECT_EQ(machine.addressing().ReadData(object.value(), 0, 8).value(), 0x33u);
+  }
+  EXPECT_EQ(machine.addressing().ReadData(object.value(), data_bytes, 1).fault(),
+            Fault::kBoundsViolation);
+  if (access_slots > 0) {
+    ASSERT_TRUE(machine.addressing().WriteAd(object.value(), access_slots - 1,
+                                             memory.global_heap())
+                    .ok());
+    EXPECT_EQ(machine.addressing().ReadAd(object.value(), access_slots).fault(),
+              Fault::kBoundsViolation);
+  }
+  EXPECT_TRUE(memory.DestroyObject(object.value()).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Extremes, GeometryTest,
+    ::testing::Values(std::make_tuple(0u, 1u),                       // access-only
+                      std::make_tuple(1u, 0u),                       // minimal segment
+                      std::make_tuple(8u, 8u),
+                      std::make_tuple(4096u, 64u),
+                      std::make_tuple(kMaxDataPartBytes, 0u),        // max data part
+                      std::make_tuple(0u, kMaxAccessPartSlots),      // max access part
+                      std::make_tuple(kMaxDataPartBytes, kMaxAccessPartSlots)));
+
+// ---------------------------------------------------------------------------
+// Sweep 5: GC exactness across random graph shapes (seeded).
+// ---------------------------------------------------------------------------
+
+class GcGraphTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GcGraphTest, OnlyUnreachableObjectsCollected) {
+  uint64_t seed = GetParam();
+  MachineConfig machine_config;
+  machine_config.memory_bytes = 1024 * 1024;
+  machine_config.object_table_capacity = 2048;
+  Machine machine(machine_config);
+  BasicMemoryManager memory(&machine);
+  Kernel kernel(&machine, &memory);
+  GarbageCollector gc(&kernel);
+
+  constexpr int kObjects = 40;
+  Xorshift rng(seed);
+  std::vector<AccessDescriptor> objects;
+  for (int i = 0; i < kObjects; ++i) {
+    auto object = memory.CreateObject(memory.global_heap(), SystemType::kGeneric, 16, 3,
+                                      rights::kAll);
+    ASSERT_TRUE(object.ok());
+    objects.push_back(object.value());
+  }
+  std::vector<std::vector<int>> edges(kObjects);
+  for (int i = 0; i < kObjects; ++i) {
+    for (uint32_t slot = 0; slot < 3; ++slot) {
+      if (rng.NextChance(2, 5)) {
+        int target = static_cast<int>(rng.NextBelow(kObjects));
+        ASSERT_TRUE(machine.addressing()
+                        .WriteAd(objects[static_cast<size_t>(i)], slot,
+                                 objects[static_cast<size_t>(target)])
+                        .ok());
+        edges[static_cast<size_t>(i)].push_back(target);
+      }
+    }
+  }
+  int root_id = static_cast<int>(rng.NextBelow(kObjects));
+  kernel.AddRootProvider([&objects, root_id](std::vector<AccessDescriptor>* roots) {
+    roots->push_back(objects[static_cast<size_t>(root_id)]);
+  });
+
+  std::vector<bool> reachable(kObjects, false);
+  std::vector<int> work = {root_id};
+  while (!work.empty()) {
+    int node = work.back();
+    work.pop_back();
+    if (reachable[static_cast<size_t>(node)]) {
+      continue;
+    }
+    reachable[static_cast<size_t>(node)] = true;
+    for (int next : edges[static_cast<size_t>(node)]) {
+      work.push_back(next);
+    }
+  }
+  gc.CollectNow();
+  for (int i = 0; i < kObjects; ++i) {
+    EXPECT_EQ(machine.table().Resolve(objects[static_cast<size_t>(i)]).ok(),
+              reachable[static_cast<size_t>(i)])
+        << "object " << i << " seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GcGraphTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+}  // namespace
+}  // namespace imax432

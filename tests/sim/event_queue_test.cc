@@ -1,0 +1,91 @@
+#include "src/sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace imax432 {
+namespace {
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.ScheduleAt(30, [&] { order.push_back(3); });
+  queue.ScheduleAt(10, [&] { order.push_back(1); });
+  queue.ScheduleAt(20, [&] { order.push_back(2); });
+  queue.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(queue.now(), 30u);
+}
+
+TEST(EventQueueTest, EqualTimesRunInScheduleOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    queue.ScheduleAt(5, [&order, i] { order.push_back(i); });
+  }
+  queue.RunUntilIdle();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(EventQueueTest, CallbacksMayScheduleMore) {
+  EventQueue queue;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    ++count;
+    if (count < 5) {
+      queue.ScheduleAfter(10, tick);
+    }
+  };
+  queue.ScheduleAt(0, tick);
+  queue.RunUntilIdle();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(queue.now(), 40u);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtDeadline) {
+  EventQueue queue;
+  int ran = 0;
+  queue.ScheduleAt(10, [&] { ++ran; });
+  queue.ScheduleAt(20, [&] { ++ran; });
+  queue.ScheduleAt(30, [&] { ++ran; });
+  EXPECT_EQ(queue.RunUntil(20), 2u);
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(queue.pending(), 1u);
+  EXPECT_EQ(queue.RunUntilIdle(), 1u);
+  EXPECT_EQ(ran, 3);
+}
+
+TEST(EventQueueTest, RunBoundedLimitsWork) {
+  EventQueue queue;
+  int count = 0;
+  std::function<void()> forever = [&] {
+    ++count;
+    queue.ScheduleAfter(1, forever);
+  };
+  queue.ScheduleAt(0, forever);
+  EXPECT_EQ(queue.RunBounded(100), 100u);
+  EXPECT_EQ(count, 100);
+}
+
+TEST(EventQueueTest, ClockNeverGoesBackward) {
+  EventQueue queue;
+  Cycles last = 0;
+  bool monotone = true;
+  for (int i = 0; i < 50; ++i) {
+    queue.ScheduleAt(static_cast<Cycles>((i * 7) % 23 + 1), [&, i] {
+      if (queue.now() < last) {
+        monotone = false;
+      }
+      last = queue.now();
+      (void)i;
+    });
+  }
+  queue.RunUntilIdle();
+  EXPECT_TRUE(monotone);
+}
+
+}  // namespace
+}  // namespace imax432
