@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_destruction_filter.dir/bench_destruction_filter.cpp.o"
+  "CMakeFiles/bench_destruction_filter.dir/bench_destruction_filter.cpp.o.d"
+  "bench_destruction_filter"
+  "bench_destruction_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_destruction_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

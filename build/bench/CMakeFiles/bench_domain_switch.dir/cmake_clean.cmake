@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_domain_switch.dir/bench_domain_switch.cpp.o"
+  "CMakeFiles/bench_domain_switch.dir/bench_domain_switch.cpp.o.d"
+  "bench_domain_switch"
+  "bench_domain_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_domain_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_memory_managers.dir/bench_memory_managers.cpp.o"
+  "CMakeFiles/bench_memory_managers.dir/bench_memory_managers.cpp.o.d"
+  "bench_memory_managers"
+  "bench_memory_managers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_memory_managers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mp_scaling.dir/bench_mp_scaling.cpp.o"
+  "CMakeFiles/bench_mp_scaling.dir/bench_mp_scaling.cpp.o.d"
+  "bench_mp_scaling"
+  "bench_mp_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mp_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

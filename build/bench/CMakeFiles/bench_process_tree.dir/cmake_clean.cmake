@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_process_tree.dir/bench_process_tree.cpp.o"
+  "CMakeFiles/bench_process_tree.dir/bench_process_tree.cpp.o.d"
+  "bench_process_tree"
+  "bench_process_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_process_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

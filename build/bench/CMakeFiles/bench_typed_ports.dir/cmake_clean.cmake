@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_typed_ports.dir/bench_typed_ports.cpp.o"
+  "CMakeFiles/bench_typed_ports.dir/bench_typed_ports.cpp.o.d"
+  "bench_typed_ports"
+  "bench_typed_ports.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_typed_ports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ada_tasks.dir/ada_tasks.cpp.o"
+  "CMakeFiles/ada_tasks.dir/ada_tasks.cpp.o.d"
+  "ada_tasks"
+  "ada_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ada_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

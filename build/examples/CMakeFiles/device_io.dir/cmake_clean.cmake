@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_io.dir/device_io.cpp.o"
+  "CMakeFiles/device_io.dir/device_io.cpp.o.d"
+  "device_io"
+  "device_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

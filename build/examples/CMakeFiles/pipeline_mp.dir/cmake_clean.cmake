@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_mp.dir/pipeline_mp.cpp.o"
+  "CMakeFiles/pipeline_mp.dir/pipeline_mp.cpp.o.d"
+  "pipeline_mp"
+  "pipeline_mp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_mp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

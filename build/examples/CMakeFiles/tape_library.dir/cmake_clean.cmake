@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tape_library.dir/tape_library.cpp.o"
+  "CMakeFiles/tape_library.dir/tape_library.cpp.o.d"
+  "tape_library"
+  "tape_library.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tape_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

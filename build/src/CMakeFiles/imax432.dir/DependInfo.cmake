@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/addressing_unit.cc" "src/CMakeFiles/imax432.dir/arch/addressing_unit.cc.o" "gcc" "src/CMakeFiles/imax432.dir/arch/addressing_unit.cc.o.d"
+  "/root/repo/src/arch/object_table.cc" "src/CMakeFiles/imax432.dir/arch/object_table.cc.o" "gcc" "src/CMakeFiles/imax432.dir/arch/object_table.cc.o.d"
+  "/root/repo/src/arch/types.cc" "src/CMakeFiles/imax432.dir/arch/types.cc.o" "gcc" "src/CMakeFiles/imax432.dir/arch/types.cc.o.d"
+  "/root/repo/src/base/log.cc" "src/CMakeFiles/imax432.dir/base/log.cc.o" "gcc" "src/CMakeFiles/imax432.dir/base/log.cc.o.d"
+  "/root/repo/src/base/result.cc" "src/CMakeFiles/imax432.dir/base/result.cc.o" "gcc" "src/CMakeFiles/imax432.dir/base/result.cc.o.d"
+  "/root/repo/src/exec/kernel.cc" "src/CMakeFiles/imax432.dir/exec/kernel.cc.o" "gcc" "src/CMakeFiles/imax432.dir/exec/kernel.cc.o.d"
+  "/root/repo/src/filing/object_store.cc" "src/CMakeFiles/imax432.dir/filing/object_store.cc.o" "gcc" "src/CMakeFiles/imax432.dir/filing/object_store.cc.o.d"
+  "/root/repo/src/gc/collector.cc" "src/CMakeFiles/imax432.dir/gc/collector.cc.o" "gcc" "src/CMakeFiles/imax432.dir/gc/collector.cc.o.d"
+  "/root/repo/src/io/device.cc" "src/CMakeFiles/imax432.dir/io/device.cc.o" "gcc" "src/CMakeFiles/imax432.dir/io/device.cc.o.d"
+  "/root/repo/src/io/devices.cc" "src/CMakeFiles/imax432.dir/io/devices.cc.o" "gcc" "src/CMakeFiles/imax432.dir/io/devices.cc.o.d"
+  "/root/repo/src/ipc/port_subsystem.cc" "src/CMakeFiles/imax432.dir/ipc/port_subsystem.cc.o" "gcc" "src/CMakeFiles/imax432.dir/ipc/port_subsystem.cc.o.d"
+  "/root/repo/src/isa/disassembler.cc" "src/CMakeFiles/imax432.dir/isa/disassembler.cc.o" "gcc" "src/CMakeFiles/imax432.dir/isa/disassembler.cc.o.d"
+  "/root/repo/src/memory/basic_memory_manager.cc" "src/CMakeFiles/imax432.dir/memory/basic_memory_manager.cc.o" "gcc" "src/CMakeFiles/imax432.dir/memory/basic_memory_manager.cc.o.d"
+  "/root/repo/src/memory/sro.cc" "src/CMakeFiles/imax432.dir/memory/sro.cc.o" "gcc" "src/CMakeFiles/imax432.dir/memory/sro.cc.o.d"
+  "/root/repo/src/memory/swapping_memory_manager.cc" "src/CMakeFiles/imax432.dir/memory/swapping_memory_manager.cc.o" "gcc" "src/CMakeFiles/imax432.dir/memory/swapping_memory_manager.cc.o.d"
+  "/root/repo/src/os/ada_runtime.cc" "src/CMakeFiles/imax432.dir/os/ada_runtime.cc.o" "gcc" "src/CMakeFiles/imax432.dir/os/ada_runtime.cc.o.d"
+  "/root/repo/src/os/fault_service.cc" "src/CMakeFiles/imax432.dir/os/fault_service.cc.o" "gcc" "src/CMakeFiles/imax432.dir/os/fault_service.cc.o.d"
+  "/root/repo/src/os/introspection.cc" "src/CMakeFiles/imax432.dir/os/introspection.cc.o" "gcc" "src/CMakeFiles/imax432.dir/os/introspection.cc.o.d"
+  "/root/repo/src/os/process_manager.cc" "src/CMakeFiles/imax432.dir/os/process_manager.cc.o" "gcc" "src/CMakeFiles/imax432.dir/os/process_manager.cc.o.d"
+  "/root/repo/src/os/schedulers.cc" "src/CMakeFiles/imax432.dir/os/schedulers.cc.o" "gcc" "src/CMakeFiles/imax432.dir/os/schedulers.cc.o.d"
+  "/root/repo/src/os/system.cc" "src/CMakeFiles/imax432.dir/os/system.cc.o" "gcc" "src/CMakeFiles/imax432.dir/os/system.cc.o.d"
+  "/root/repo/src/os/type_manager.cc" "src/CMakeFiles/imax432.dir/os/type_manager.cc.o" "gcc" "src/CMakeFiles/imax432.dir/os/type_manager.cc.o.d"
+  "/root/repo/src/proc/layouts.cc" "src/CMakeFiles/imax432.dir/proc/layouts.cc.o" "gcc" "src/CMakeFiles/imax432.dir/proc/layouts.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

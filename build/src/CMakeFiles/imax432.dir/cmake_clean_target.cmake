@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libimax432.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for imax432.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/arch/access_descriptor_test.cc" "tests/CMakeFiles/imax432_tests.dir/arch/access_descriptor_test.cc.o" "gcc" "tests/CMakeFiles/imax432_tests.dir/arch/access_descriptor_test.cc.o.d"
+  "/root/repo/tests/arch/addressing_unit_test.cc" "tests/CMakeFiles/imax432_tests.dir/arch/addressing_unit_test.cc.o" "gcc" "tests/CMakeFiles/imax432_tests.dir/arch/addressing_unit_test.cc.o.d"
+  "/root/repo/tests/arch/object_table_test.cc" "tests/CMakeFiles/imax432_tests.dir/arch/object_table_test.cc.o" "gcc" "tests/CMakeFiles/imax432_tests.dir/arch/object_table_test.cc.o.d"
+  "/root/repo/tests/arch/physical_memory_test.cc" "tests/CMakeFiles/imax432_tests.dir/arch/physical_memory_test.cc.o" "gcc" "tests/CMakeFiles/imax432_tests.dir/arch/physical_memory_test.cc.o.d"
+  "/root/repo/tests/base/result_test.cc" "tests/CMakeFiles/imax432_tests.dir/base/result_test.cc.o" "gcc" "tests/CMakeFiles/imax432_tests.dir/base/result_test.cc.o.d"
+  "/root/repo/tests/base/xorshift_test.cc" "tests/CMakeFiles/imax432_tests.dir/base/xorshift_test.cc.o" "gcc" "tests/CMakeFiles/imax432_tests.dir/base/xorshift_test.cc.o.d"
+  "/root/repo/tests/exec/dispatch_discipline_test.cc" "tests/CMakeFiles/imax432_tests.dir/exec/dispatch_discipline_test.cc.o" "gcc" "tests/CMakeFiles/imax432_tests.dir/exec/dispatch_discipline_test.cc.o.d"
+  "/root/repo/tests/exec/interpreter_edge_test.cc" "tests/CMakeFiles/imax432_tests.dir/exec/interpreter_edge_test.cc.o" "gcc" "tests/CMakeFiles/imax432_tests.dir/exec/interpreter_edge_test.cc.o.d"
+  "/root/repo/tests/exec/kernel_test.cc" "tests/CMakeFiles/imax432_tests.dir/exec/kernel_test.cc.o" "gcc" "tests/CMakeFiles/imax432_tests.dir/exec/kernel_test.cc.o.d"
+  "/root/repo/tests/exec/timed_receive_test.cc" "tests/CMakeFiles/imax432_tests.dir/exec/timed_receive_test.cc.o" "gcc" "tests/CMakeFiles/imax432_tests.dir/exec/timed_receive_test.cc.o.d"
+  "/root/repo/tests/filing/object_store_test.cc" "tests/CMakeFiles/imax432_tests.dir/filing/object_store_test.cc.o" "gcc" "tests/CMakeFiles/imax432_tests.dir/filing/object_store_test.cc.o.d"
+  "/root/repo/tests/gc/collector_test.cc" "tests/CMakeFiles/imax432_tests.dir/gc/collector_test.cc.o" "gcc" "tests/CMakeFiles/imax432_tests.dir/gc/collector_test.cc.o.d"
+  "/root/repo/tests/gc/local_collection_test.cc" "tests/CMakeFiles/imax432_tests.dir/gc/local_collection_test.cc.o" "gcc" "tests/CMakeFiles/imax432_tests.dir/gc/local_collection_test.cc.o.d"
+  "/root/repo/tests/integration/full_system_test.cc" "tests/CMakeFiles/imax432_tests.dir/integration/full_system_test.cc.o" "gcc" "tests/CMakeFiles/imax432_tests.dir/integration/full_system_test.cc.o.d"
+  "/root/repo/tests/integration/stress_test.cc" "tests/CMakeFiles/imax432_tests.dir/integration/stress_test.cc.o" "gcc" "tests/CMakeFiles/imax432_tests.dir/integration/stress_test.cc.o.d"
+  "/root/repo/tests/io/device_test.cc" "tests/CMakeFiles/imax432_tests.dir/io/device_test.cc.o" "gcc" "tests/CMakeFiles/imax432_tests.dir/io/device_test.cc.o.d"
+  "/root/repo/tests/ipc/port_subsystem_test.cc" "tests/CMakeFiles/imax432_tests.dir/ipc/port_subsystem_test.cc.o" "gcc" "tests/CMakeFiles/imax432_tests.dir/ipc/port_subsystem_test.cc.o.d"
+  "/root/repo/tests/isa/assembler_test.cc" "tests/CMakeFiles/imax432_tests.dir/isa/assembler_test.cc.o" "gcc" "tests/CMakeFiles/imax432_tests.dir/isa/assembler_test.cc.o.d"
+  "/root/repo/tests/isa/disassembler_test.cc" "tests/CMakeFiles/imax432_tests.dir/isa/disassembler_test.cc.o" "gcc" "tests/CMakeFiles/imax432_tests.dir/isa/disassembler_test.cc.o.d"
+  "/root/repo/tests/memory/basic_memory_manager_test.cc" "tests/CMakeFiles/imax432_tests.dir/memory/basic_memory_manager_test.cc.o" "gcc" "tests/CMakeFiles/imax432_tests.dir/memory/basic_memory_manager_test.cc.o.d"
+  "/root/repo/tests/memory/sro_test.cc" "tests/CMakeFiles/imax432_tests.dir/memory/sro_test.cc.o" "gcc" "tests/CMakeFiles/imax432_tests.dir/memory/sro_test.cc.o.d"
+  "/root/repo/tests/memory/swapping_memory_manager_test.cc" "tests/CMakeFiles/imax432_tests.dir/memory/swapping_memory_manager_test.cc.o" "gcc" "tests/CMakeFiles/imax432_tests.dir/memory/swapping_memory_manager_test.cc.o.d"
+  "/root/repo/tests/os/ada_runtime_test.cc" "tests/CMakeFiles/imax432_tests.dir/os/ada_runtime_test.cc.o" "gcc" "tests/CMakeFiles/imax432_tests.dir/os/ada_runtime_test.cc.o.d"
+  "/root/repo/tests/os/fault_service_test.cc" "tests/CMakeFiles/imax432_tests.dir/os/fault_service_test.cc.o" "gcc" "tests/CMakeFiles/imax432_tests.dir/os/fault_service_test.cc.o.d"
+  "/root/repo/tests/os/introspection_test.cc" "tests/CMakeFiles/imax432_tests.dir/os/introspection_test.cc.o" "gcc" "tests/CMakeFiles/imax432_tests.dir/os/introspection_test.cc.o.d"
+  "/root/repo/tests/os/process_manager_test.cc" "tests/CMakeFiles/imax432_tests.dir/os/process_manager_test.cc.o" "gcc" "tests/CMakeFiles/imax432_tests.dir/os/process_manager_test.cc.o.d"
+  "/root/repo/tests/os/system_test.cc" "tests/CMakeFiles/imax432_tests.dir/os/system_test.cc.o" "gcc" "tests/CMakeFiles/imax432_tests.dir/os/system_test.cc.o.d"
+  "/root/repo/tests/os/type_manager_test.cc" "tests/CMakeFiles/imax432_tests.dir/os/type_manager_test.cc.o" "gcc" "tests/CMakeFiles/imax432_tests.dir/os/type_manager_test.cc.o.d"
+  "/root/repo/tests/param/param_sweeps_test.cc" "tests/CMakeFiles/imax432_tests.dir/param/param_sweeps_test.cc.o" "gcc" "tests/CMakeFiles/imax432_tests.dir/param/param_sweeps_test.cc.o.d"
+  "/root/repo/tests/sim/bus_test.cc" "tests/CMakeFiles/imax432_tests.dir/sim/bus_test.cc.o" "gcc" "tests/CMakeFiles/imax432_tests.dir/sim/bus_test.cc.o.d"
+  "/root/repo/tests/sim/event_queue_test.cc" "tests/CMakeFiles/imax432_tests.dir/sim/event_queue_test.cc.o" "gcc" "tests/CMakeFiles/imax432_tests.dir/sim/event_queue_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/imax432.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
