@@ -32,7 +32,7 @@ ProgramRef Spinner() {
 }
 
 // Builds a balanced tree of `size` processes under one root; returns the root.
-AccessDescriptor BuildTree(System& system, BasicProcessManager& manager, int size,
+AccessDescriptor BuildTree(BasicProcessManager& manager, int size,
                            const AccessDescriptor& scheduler_port = {}) {
   ProcessOptions root_options;
   root_options.scheduler_port = scheduler_port;
@@ -65,7 +65,7 @@ void BM_StopStartByTreeSize(benchmark::State& state) {
   for (auto _ : state) {
     System system(DefaultConfig(2));
     BasicProcessManager manager(&system.kernel());
-    AccessDescriptor root = BuildTree(system, manager, size);
+    AccessDescriptor root = BuildTree(manager, size);
     IMAX_CHECK(manager.Start(root).ok());
     system.RunUntil(system.now() + 20000);
 
@@ -102,7 +102,7 @@ void BM_SchedulerMediation(benchmark::State& state) {
       IMAX_CHECK(scheduler.ok());
       scheduler_port = scheduler.value().port;
     }
-    AccessDescriptor root = BuildTree(system, manager, 4, scheduler_port);
+    AccessDescriptor root = BuildTree(manager, 4, scheduler_port);
     IMAX_CHECK(manager.Start(root).ok());
     system.RunUntil(system.now() + 20000);
 
@@ -131,7 +131,7 @@ void BM_RedundantRequestsAreCheap(benchmark::State& state) {
   for (auto _ : state) {
     System system(DefaultConfig(1));
     BasicProcessManager manager(&system.kernel());
-    AccessDescriptor root = BuildTree(system, manager, 8);
+    AccessDescriptor root = BuildTree(manager, 8);
     IMAX_CHECK(manager.Start(root).ok());
     system.RunUntil(system.now() + 20000);
     for (int i = 0; i < 10; ++i) {

@@ -1,0 +1,103 @@
+// E11 — Static verification throughput.
+//
+// The verifier runs at load time, on the host: its cost is real wall-clock overhead added to
+// CreateProcess/CreateDomain, not virtual 432 time. These benchmarks therefore report host
+// time (unlike E1–E10) and the derived instructions-per-second rate, over three program
+// shapes that stress different parts of the analysis:
+//   - StraightLine : one basic block, transfer-function cost only
+//   - DiamondChain : repeated if/else joins, exercises the lattice join
+//   - LoopNest     : back edges force extra fixpoint iterations per block
+//
+// Rows scale the program size; `items_per_second` is verified instructions per second.
+
+#include <benchmark/benchmark.h>
+
+#include "src/analysis/verifier.h"
+#include "src/isa/assembler.h"
+
+namespace imax432 {
+namespace {
+
+// `size` instructions of straight-line AD and data traffic.
+ProgramRef BuildStraightLine(uint32_t size) {
+  Assembler a("straight_line");
+  a.MoveAd(1, kArgAdReg).CreateObject(2, 1, 256, 4);
+  while (a.here() + 2 < size) {
+    a.StoreData(2, 0, (a.here() * 8) % 248, 8).MoveAd(3, 2);
+  }
+  a.Halt();
+  return a.Build();
+}
+
+// `diamonds` sequential if/else diamonds whose arms disagree about a3, forcing a real join.
+ProgramRef BuildDiamondChain(uint32_t diamonds) {
+  Assembler a("diamond_chain");
+  a.MoveAd(1, kArgAdReg).CreateObject(2, 1, 64).LoadImm(0, 1);
+  for (uint32_t i = 0; i < diamonds; ++i) {
+    auto else_arm = a.NewLabel();
+    auto done = a.NewLabel();
+    a.BranchIfZero(0, else_arm)
+        .MoveAd(3, 2)
+        .RestrictRights(3, rights::kRead)
+        .Branch(done)
+        .Bind(else_arm)
+        .ClearAd(3)
+        .Bind(done)
+        .LoadData(4, 2, 0, 8);
+  }
+  a.Halt();
+  return a.Build();
+}
+
+// `loops` nested-feel sequential loops, each with a back edge over AD traffic.
+ProgramRef BuildLoopNest(uint32_t loops) {
+  Assembler a("loop_nest");
+  a.MoveAd(1, kArgAdReg).CreateObject(2, 1, 64, 2);
+  for (uint32_t i = 0; i < loops; ++i) {
+    auto head = a.NewLabel();
+    a.LoadImm(0, 8)
+        .Bind(head)
+        .MoveAd(3, 2)
+        .StoreAd(2, 3, 0)
+        .AddImm(0, 0, 0xffffffffu)  // r0 -= 1 (two's complement)
+        .BranchIfNotZero(0, head);
+  }
+  a.Halt();
+  return a.Build();
+}
+
+void RunVerify(benchmark::State& state, const ProgramRef& program) {
+  analysis::VerifyOptions options;
+  options.initial_arg = analysis::AdAbstract::Object(
+      SystemType::kStorageResource, rights::kRead | rights::kSroAllocate,
+      analysis::LevelRange::Exact(0));
+  uint64_t instructions = 0;
+  for (auto _ : state) {
+    auto result = analysis::Verifier::Verify(*program, options);
+    benchmark::DoNotOptimize(result);
+    IMAX_CHECK(result.ok());
+    instructions += program->size();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(instructions));
+  state.counters["program_size"] = static_cast<double>(program->size());
+}
+
+void BM_VerifyStraightLine(benchmark::State& state) {
+  RunVerify(state, BuildStraightLine(static_cast<uint32_t>(state.range(0))));
+}
+BENCHMARK(BM_VerifyStraightLine)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_VerifyDiamondChain(benchmark::State& state) {
+  RunVerify(state, BuildDiamondChain(static_cast<uint32_t>(state.range(0))));
+}
+BENCHMARK(BM_VerifyDiamondChain)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_VerifyLoopNest(benchmark::State& state) {
+  RunVerify(state, BuildLoopNest(static_cast<uint32_t>(state.range(0))));
+}
+BENCHMARK(BM_VerifyLoopNest)->Arg(8)->Arg(64)->Arg(512);
+
+}  // namespace
+}  // namespace imax432
+
+BENCHMARK_MAIN();

@@ -1,0 +1,128 @@
+#include "src/analysis/cfg.h"
+
+#include <algorithm>
+
+namespace imax432 {
+namespace analysis {
+
+bool IsBranch(Opcode op) {
+  switch (op) {
+    case Opcode::kBranch:
+    case Opcode::kBranchIfZero:
+    case Opcode::kBranchIfNotZero:
+    case Opcode::kBranchIfLess:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsBlockTerminator(Opcode op) {
+  switch (op) {
+    case Opcode::kBranch:
+    case Opcode::kBranchIfZero:
+    case Opcode::kBranchIfNotZero:
+    case Opcode::kBranchIfLess:
+    case Opcode::kReturn:
+    case Opcode::kHalt:
+      return true;
+    default:
+      return false;
+  }
+}
+
+ControlFlowGraph ControlFlowGraph::Build(const Program& program) {
+  ControlFlowGraph cfg;
+  const uint32_t size = program.size();
+  if (size == 0) {
+    return cfg;
+  }
+
+  // Pass 1: leaders. Instruction 0, every in-range branch target, and every instruction
+  // after a terminator.
+  std::vector<bool> leader(size, false);
+  leader[0] = true;
+  for (uint32_t pc = 0; pc < size; ++pc) {
+    const Instruction& in = program.at(pc);
+    if (in.op == Opcode::kNative) {
+      cfg.has_native_ = true;
+    }
+    if (IsBranch(in.op) && in.imm < size) {
+      leader[in.imm] = true;
+    }
+    if (IsBlockTerminator(in.op) && pc + 1 < size) {
+      leader[pc + 1] = true;
+    }
+  }
+
+  // Pass 2: carve blocks.
+  cfg.block_of_.assign(size, 0);
+  for (uint32_t pc = 0; pc < size; ++pc) {
+    if (leader[pc]) {
+      BasicBlock block;
+      block.begin = pc;
+      cfg.blocks_.push_back(block);
+    }
+    uint32_t id = static_cast<uint32_t>(cfg.blocks_.size() - 1);
+    cfg.block_of_[pc] = id;
+    cfg.blocks_[id].end = pc + 1;
+  }
+
+  // Pass 3: edges. A block's last instruction decides its successors; branch targets at or
+  // beyond program end are implicit returns (no edge).
+  for (BasicBlock& block : cfg.blocks_) {
+    const Instruction& last = program.at(block.end - 1);
+    auto add = [&](uint32_t target_pc) {
+      if (target_pc >= size) {
+        return;  // falls off the end: implicit return
+      }
+      uint32_t target = cfg.block_of_[target_pc];
+      if (std::find(block.successors.begin(), block.successors.end(), target) ==
+          block.successors.end()) {
+        block.successors.push_back(target);
+      }
+    };
+    switch (last.op) {
+      case Opcode::kBranch:
+        add(last.imm);
+        break;
+      case Opcode::kBranchIfZero:
+      case Opcode::kBranchIfNotZero:
+      case Opcode::kBranchIfLess:
+        add(last.imm);
+        add(block.end);
+        break;
+      case Opcode::kReturn:
+      case Opcode::kHalt:
+        break;
+      default:
+        add(block.end);
+        break;
+    }
+  }
+
+  // Pass 4: reachability from the entry block. Native steps may jump anywhere at run time,
+  // so native-bearing programs treat every block as reachable.
+  if (cfg.has_native_) {
+    for (BasicBlock& block : cfg.blocks_) {
+      block.reachable = true;
+    }
+    return cfg;
+  }
+  std::vector<uint32_t> worklist{0};
+  cfg.blocks_[0].reachable = true;
+  while (!worklist.empty()) {
+    uint32_t id = worklist.back();
+    worklist.pop_back();
+    for (uint32_t successor : cfg.blocks_[id].successors) {
+      if (!cfg.blocks_[successor].reachable) {
+        cfg.blocks_[successor].reachable = true;
+        worklist.push_back(successor);
+      }
+    }
+  }
+  return cfg;
+}
+
+}  // namespace analysis
+}  // namespace imax432

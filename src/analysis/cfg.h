@@ -1,0 +1,62 @@
+// Control-flow graph over a Program's instruction stream.
+//
+// Basic blocks are maximal straight-line runs: a leader is instruction 0, any branch target,
+// and any instruction following a control transfer (branch, return, halt). kCall/kCallLocal/
+// kOsCall fall through in the *caller's* stream — the callee executes in a fresh context with
+// its own program, so a call is an ordinary instruction from this CFG's point of view.
+//
+// kNative is special: a native step may return NativeResult::Action::kJump with an arbitrary
+// target computed at run time (the GC daemon's batch loop does exactly this), so a program
+// containing natives has statically unknowable edges. The CFG records that fact in
+// `has_native`; the verifier responds by treating every block as reachable and joining the
+// all-unknown state into each block entry, which keeps the analysis sound (it can only make
+// it more permissive).
+
+#ifndef IMAX432_SRC_ANALYSIS_CFG_H_
+#define IMAX432_SRC_ANALYSIS_CFG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/isa/program.h"
+
+namespace imax432 {
+namespace analysis {
+
+struct BasicBlock {
+  uint32_t begin = 0;  // first instruction index
+  uint32_t end = 0;    // one past the last instruction index
+  std::vector<uint32_t> successors;  // block ids; branches past program end fall off (exit)
+  bool reachable = false;            // from block 0 along static edges
+};
+
+class ControlFlowGraph {
+ public:
+  // Builds the CFG. Branch targets beyond program.size() do not create edges (at run time
+  // pc >= size is an implicit return); the verifier reports them separately.
+  static ControlFlowGraph Build(const Program& program);
+
+  const std::vector<BasicBlock>& blocks() const { return blocks_; }
+  const BasicBlock& block(uint32_t id) const { return blocks_[id]; }
+  // Block containing instruction `pc`.
+  uint32_t block_of(uint32_t pc) const { return block_of_[pc]; }
+  bool has_native() const { return has_native_; }
+  uint32_t size() const { return static_cast<uint32_t>(blocks_.size()); }
+
+ private:
+  std::vector<BasicBlock> blocks_;
+  std::vector<uint32_t> block_of_;
+  bool has_native_ = false;
+};
+
+// True when the instruction ends a basic block (control does not implicitly continue to the
+// next instruction in this stream, or continues only conditionally).
+bool IsBlockTerminator(Opcode op);
+
+// True when the instruction names a branch target in `imm`.
+bool IsBranch(Opcode op);
+
+}  // namespace analysis
+}  // namespace imax432
+
+#endif  // IMAX432_SRC_ANALYSIS_CFG_H_

@@ -58,6 +58,8 @@ const char* FaultName(Fault fault) {
       return "kFilingFormatError";
     case Fault::kPermissionDenied:
       return "kPermissionDenied";
+    case Fault::kVerificationFailed:
+      return "kVerificationFailed";
   }
   return "kUnknown";
 }

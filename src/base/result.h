@@ -50,6 +50,7 @@ enum class Fault : uint8_t {
   kDeviceError,           // simulated device-level failure
   kFilingFormatError,     // object filing store corrupt or version mismatch
   kPermissionDenied,      // caller's domain lacks access to the requested package facility
+  kVerificationFailed,    // static verifier rejected the program at load time
 };
 
 // Human-readable fault name (for logs and test diagnostics).

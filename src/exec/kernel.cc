@@ -1,5 +1,6 @@
 #include "src/exec/kernel.h"
 
+#include "src/analysis/verifier.h"
 #include "src/base/check.h"
 #include "src/base/log.h"
 
@@ -11,6 +12,24 @@ constexpr uint16_t kDefaultDispatchCapacity = 1024;
 
 bool ValidReg(uint8_t r) { return r < kNumDataRegs; }
 bool ValidAdReg(uint8_t r) { return r < kNumAdRegs; }
+
+// Abstract value the verifier should assume for an AD handed to a fresh program (the initial
+// argument in a7). Resolving the descriptor turns the loader's concrete knowledge — type,
+// rights, level, sizes — into seeded facts, which makes load-time verification strictly
+// stronger than analyzing the program in a vacuum.
+analysis::AdAbstract AbstractFromAd(ObjectTable& table, const AccessDescriptor& ad) {
+  if (ad.is_null()) {
+    return analysis::AdAbstract::Null();
+  }
+  auto descriptor = table.Resolve(ad);
+  if (!descriptor.ok()) {
+    return analysis::AdAbstract::Unknown();
+  }
+  return analysis::AdAbstract::Object(descriptor.value()->type, ad.rights(),
+                                      analysis::LevelRange::Exact(descriptor.value()->level),
+                                      descriptor.value()->data_length,
+                                      descriptor.value()->access_count());
+}
 
 }  // namespace
 
@@ -109,12 +128,29 @@ void Kernel::RegisterService(uint32_t id, ServiceFn fn) { services_[id] = std::m
 
 Result<AccessDescriptor> Kernel::CreateProcess(ProgramRef program,
                                                const ProcessOptions& options) {
-  IMAX_ASSIGN_OR_RETURN(AccessDescriptor segment, programs_.Register(std::move(program)));
-
   AccessDescriptor sro =
       options.allocation_sro.is_null() ? memory_->global_heap() : options.allocation_sro;
   IMAX_ASSIGN_OR_RETURN(const ObjectDescriptor* sro_descriptor, machine_->table().Resolve(sro));
   Level base_level = sro_descriptor->level;
+
+  if (verify_on_load_) {
+    analysis::VerifyOptions verify_options;
+    verify_options.entry = analysis::VerifyOptions::EntryKind::kProcessEntry;
+    // The initial context executes one level below the process ("contexts live one level
+    // below the process"), and the loader knows exactly what lands in a7.
+    verify_options.entry_level = static_cast<uint32_t>(base_level + 1);
+    verify_options.initial_arg = AbstractFromAd(machine_->table(), options.initial_arg);
+    analysis::VerifyResult verdict = analysis::Verifier::Verify(*program, verify_options);
+    ++stats_.programs_verified;
+    if (!verdict.ok()) {
+      ++stats_.programs_rejected;
+      IMAX_LOG_INFO("kernel: verifier rejected process program:\n%s",
+                    analysis::FormatDiagnostics(*program, verdict).c_str());
+      return Fault::kVerificationFailed;
+    }
+  }
+
+  IMAX_ASSIGN_OR_RETURN(AccessDescriptor segment, programs_.Register(std::move(program)));
 
   // The process object.
   IMAX_ASSIGN_OR_RETURN(
@@ -199,6 +235,23 @@ Result<AccessDescriptor> Kernel::CreateContext(ProcessView& proc,
 
 Result<AccessDescriptor> Kernel::CreateDomain(const std::vector<AccessDescriptor>& entries,
                                               uint32_t state_slots) {
+  if (verify_on_load_) {
+    for (const AccessDescriptor& entry_segment : entries) {
+      IMAX_ASSIGN_OR_RETURN(ProgramRef entry_program, programs_.Fetch(entry_segment));
+      analysis::VerifyOptions verify_options;
+      verify_options.entry = analysis::VerifyOptions::EntryKind::kDomainEntry;
+      // Domains are called from arbitrary levels with arbitrary arguments, so nothing else
+      // can be seeded.
+      analysis::VerifyResult verdict = analysis::Verifier::Verify(*entry_program, verify_options);
+      ++stats_.programs_verified;
+      if (!verdict.ok()) {
+        ++stats_.programs_rejected;
+        IMAX_LOG_INFO("kernel: verifier rejected domain entry program:\n%s",
+                      analysis::FormatDiagnostics(*entry_program, verdict).c_str());
+        return Fault::kVerificationFailed;
+      }
+    }
+  }
   IMAX_ASSIGN_OR_RETURN(
       AccessDescriptor domain,
       memory_->CreateObject(memory_->global_heap(), SystemType::kDomain,

@@ -65,6 +65,8 @@ struct KernelStats {
   uint64_t domain_calls = 0;
   uint64_t local_calls = 0;
   uint64_t swap_faults = 0;        // kSegmentSwapped transparently serviced
+  uint64_t programs_verified = 0;  // programs run through the static verifier at load
+  uint64_t programs_rejected = 0;  // programs the verifier refused (kVerificationFailed)
 };
 
 class Kernel {
@@ -93,6 +95,13 @@ class Kernel {
 
   // Registers an additional GC root provider (OS packages holding ADs outside any object).
   void AddRootProvider(RootProviderFn fn) { root_providers_.push_back(std::move(fn)); }
+
+  // When enabled, CreateProcess and CreateDomain run the static capability verifier
+  // (src/analysis) over each program before accepting it, and fail with
+  // Fault::kVerificationFailed when the verifier proves the program faults. Off by default:
+  // runtime checks in the AddressingUnit remain authoritative either way.
+  void set_verify_on_load(bool enabled) { verify_on_load_ = enabled; }
+  bool verify_on_load() const { return verify_on_load_; }
 
   // --- Objects ---
 
@@ -223,6 +232,7 @@ class Kernel {
   std::vector<RootProviderFn> root_providers_;
   AccessDescriptor default_dispatch_port_;
   KernelStats stats_;
+  bool verify_on_load_ = false;
 };
 
 // Well-known OsCall service ids.

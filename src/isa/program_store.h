@@ -50,6 +50,15 @@ class ProgramStore {
   // Drops the program content of a reclaimed instruction segment (called by the GC).
   void Forget(ObjectIndex index) { programs_.erase(index); }
 
+  // Visits every registered program as (segment object index, program) — offline tools like
+  // imax_lint use this to sweep all code loaded into a running system.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& [index, program] : programs_) {
+      fn(index, *program);
+    }
+  }
+
  private:
   Machine* machine_;
   MemoryManager* memory_;

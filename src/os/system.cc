@@ -19,6 +19,7 @@ System::System(const SystemConfig& config)
   }
 
   kernel_ = std::make_unique<Kernel>(&machine_, memory_.get());
+  kernel_->set_verify_on_load(config.verify_on_load);
   gc_ = std::make_unique<GarbageCollector>(kernel_.get());
   types_ = std::make_unique<TypeManagerFacility>(kernel_.get());
   process_manager_ = std::make_unique<BasicProcessManager>(kernel_.get());

@@ -39,6 +39,10 @@ struct SystemConfig {
   // only to recover lost process objects"). Recovered process objects appear at
   // lost_process_port().
   bool recover_lost_processes = false;
+  // Run the static capability verifier (src/analysis) over every program loaded through
+  // CreateProcess / CreateDomain; provably-faulting programs are rejected with
+  // Fault::kVerificationFailed instead of being dispatched.
+  bool verify_on_load = false;
 };
 
 class System {

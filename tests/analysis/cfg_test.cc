@@ -1,0 +1,110 @@
+#include "src/analysis/cfg.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/isa/assembler.h"
+
+namespace imax432 {
+namespace analysis {
+namespace {
+
+TEST(ControlFlowGraphTest, StraightLineIsOneBlock) {
+  Assembler a("straight");
+  a.LoadImm(0, 1).AddImm(0, 0, 1).Halt();
+  ControlFlowGraph cfg = ControlFlowGraph::Build(*a.Build());
+
+  ASSERT_EQ(cfg.size(), 1u);
+  EXPECT_EQ(cfg.block(0).begin, 0u);
+  EXPECT_EQ(cfg.block(0).end, 3u);
+  EXPECT_TRUE(cfg.block(0).successors.empty());
+  EXPECT_TRUE(cfg.block(0).reachable);
+  EXPECT_FALSE(cfg.has_native());
+}
+
+TEST(ControlFlowGraphTest, ConditionalBranchSplitsBlocks) {
+  Assembler a("diamond");
+  auto else_arm = a.NewLabel();
+  auto done = a.NewLabel();
+  a.LoadImm(0, 1)               // 0
+      .BranchIfZero(0, else_arm)  // 1: ends block 0
+      .LoadImm(1, 10)           // 2: then-arm, block 1
+      .Branch(done)             // 3
+      .Bind(else_arm)
+      .LoadImm(1, 20)           // 4: else-arm, block 2
+      .Bind(done)
+      .Halt();                  // 5: join, block 3
+  ControlFlowGraph cfg = ControlFlowGraph::Build(*a.Build());
+
+  ASSERT_EQ(cfg.size(), 4u);
+  // Block 0 = [0,2) branches to the else-arm or falls through to the then-arm.
+  EXPECT_EQ(cfg.block(0).successors.size(), 2u);
+  // Then-arm jumps to the join; else-arm falls through to it.
+  EXPECT_EQ(cfg.block(1).successors, std::vector<uint32_t>{3u});
+  EXPECT_EQ(cfg.block(2).successors, std::vector<uint32_t>{3u});
+  EXPECT_TRUE(cfg.block(3).successors.empty());
+  for (uint32_t id = 0; id < cfg.size(); ++id) {
+    EXPECT_TRUE(cfg.block(id).reachable) << id;
+  }
+}
+
+TEST(ControlFlowGraphTest, LoopBackEdge) {
+  Assembler a("loop");
+  auto head = a.NewLabel();
+  a.LoadImm(0, 0)                // 0: block 0
+      .Bind(head)
+      .AddImm(0, 0, 1)           // 1: block 1 (loop head, branch target)
+      .BranchIfLess(0, 1, head)  // 2
+      .Halt();                   // 3: block 2
+  ControlFlowGraph cfg = ControlFlowGraph::Build(*a.Build());
+
+  ASSERT_EQ(cfg.size(), 3u);
+  EXPECT_EQ(cfg.block_of(1), 1u);
+  EXPECT_EQ(cfg.block_of(2), 1u);
+  // The loop body branches back to itself and exits forward.
+  EXPECT_EQ(cfg.block(1).successors.size(), 2u);
+  EXPECT_NE(std::find(cfg.block(1).successors.begin(), cfg.block(1).successors.end(), 1u),
+            cfg.block(1).successors.end());
+}
+
+TEST(ControlFlowGraphTest, CodeAfterHaltIsUnreachable) {
+  Assembler a("dead");
+  a.Halt().LoadImm(0, 1).Halt();
+  ControlFlowGraph cfg = ControlFlowGraph::Build(*a.Build());
+
+  ASSERT_EQ(cfg.size(), 2u);
+  EXPECT_TRUE(cfg.block(0).reachable);
+  EXPECT_FALSE(cfg.block(1).reachable);
+}
+
+TEST(ControlFlowGraphTest, BranchPastEndHasNoEdge) {
+  auto program = std::make_shared<Program>("off_end");
+  Instruction branch;
+  branch.op = Opcode::kBranch;
+  branch.imm = 5;  // == size after the two appends: implicit return
+  program->Append(branch);
+  program->Append(Instruction{});  // kHalt
+  ControlFlowGraph cfg = ControlFlowGraph::Build(*program);
+
+  ASSERT_EQ(cfg.size(), 2u);
+  EXPECT_TRUE(cfg.block(0).successors.empty());
+}
+
+TEST(ControlFlowGraphTest, NativeMarksEverythingReachable) {
+  Assembler a("daemon");
+  a.Native([](ExecutionContext&) -> Result<NativeResult> { return NativeResult{}; })
+      .Halt()
+      .LoadImm(0, 1)  // statically dead, but a native jump could land here
+      .Halt();
+  ControlFlowGraph cfg = ControlFlowGraph::Build(*a.Build());
+
+  EXPECT_TRUE(cfg.has_native());
+  for (uint32_t id = 0; id < cfg.size(); ++id) {
+    EXPECT_TRUE(cfg.block(id).reachable) << id;
+  }
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace imax432

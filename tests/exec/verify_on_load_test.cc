@@ -1,0 +1,185 @@
+// Verify-on-load: the kernel option gating the static capability verifier (src/analysis).
+
+#include <gtest/gtest.h>
+
+#include "src/exec/kernel.h"
+#include "src/io/devices.h"
+#include "src/memory/basic_memory_manager.h"
+#include "src/os/fault_service.h"
+#include "src/os/schedulers.h"
+#include "src/os/system.h"
+#include "src/sim/machine.h"
+
+namespace imax432 {
+namespace {
+
+MachineConfig SmallConfig() {
+  MachineConfig config;
+  config.memory_bytes = 1024 * 1024;
+  config.object_table_capacity = 8192;
+  return config;
+}
+
+class VerifyOnLoadTest : public ::testing::Test {
+ protected:
+  VerifyOnLoadTest() : machine_(SmallConfig()), memory_(&machine_), kernel_(&machine_, &memory_) {
+    kernel_.set_verify_on_load(true);
+    EXPECT_TRUE(kernel_.AddProcessors(1).ok());
+  }
+
+  Machine machine_;
+  BasicMemoryManager memory_;
+  Kernel kernel_;
+};
+
+TEST_F(VerifyOnLoadTest, RejectsProvablyFaultingProgram) {
+  Assembler a("bad");
+  a.LoadData(0, 1, 0, 8).Halt();  // a1 never initialized
+  auto process = kernel_.CreateProcess(a.Build(), {});
+  ASSERT_FALSE(process.ok());
+  EXPECT_EQ(process.fault(), Fault::kVerificationFailed);
+  EXPECT_EQ(kernel_.stats().programs_verified, 1u);
+  EXPECT_EQ(kernel_.stats().programs_rejected, 1u);
+  EXPECT_EQ(kernel_.stats().processes_created, 0u);
+}
+
+TEST_F(VerifyOnLoadTest, AcceptsAndRunsCleanProgram) {
+  Assembler a("good");
+  a.MoveAd(1, kArgAdReg)       // a1 = global heap
+      .CreateObject(2, 1, 64)
+      .StoreData(2, 0, 0, 8)
+      .Halt();
+  ProcessOptions options;
+  options.initial_arg = memory_.global_heap();
+  auto process = kernel_.CreateProcess(a.Build(), options);
+  ASSERT_TRUE(process.ok()) << FaultName(process.fault());
+  EXPECT_TRUE(kernel_.StartProcess(process.value()).ok());
+  kernel_.Run();
+  EXPECT_EQ(kernel_.process_view(process.value()).state(), ProcessState::kTerminated);
+  EXPECT_EQ(kernel_.stats().programs_verified, 1u);
+  EXPECT_EQ(kernel_.stats().programs_rejected, 0u);
+}
+
+TEST_F(VerifyOnLoadTest, SeededArgumentFactsMakeRightsProvable) {
+  // The loader knows the concrete AD placed in a7; rights stripped from it at spawn time
+  // make the rights violation provable at load time.
+  Assembler a("overreach");
+  a.MoveAd(1, kArgAdReg).StoreData(1, 0, 0, 8).Halt();
+  ProcessOptions options;
+  options.initial_arg = memory_.global_heap().Restricted(rights::kRead);
+  auto process = kernel_.CreateProcess(a.Build(), options);
+  ASSERT_FALSE(process.ok());
+  EXPECT_EQ(process.fault(), Fault::kVerificationFailed);
+}
+
+TEST_F(VerifyOnLoadTest, DomainEntriesVerifiedOnCreateDomain) {
+  // A well-behaved entry: does its work and clears the return register.
+  Assembler good("good_entry");
+  good.ClearAd(kArgAdReg).Return();
+  auto good_segment = kernel_.programs().Register(good.Build());
+  ASSERT_TRUE(good_segment.ok());
+  auto domain = kernel_.CreateDomain({good_segment.value()});
+  EXPECT_TRUE(domain.ok()) << FaultName(domain.fault());
+
+  // An entry that uses an AD register no caller could have initialized.
+  Assembler bad("bad_entry");
+  bad.Send(3, 3).Return();
+  auto bad_segment = kernel_.programs().Register(bad.Build());
+  ASSERT_TRUE(bad_segment.ok());
+  auto bad_domain = kernel_.CreateDomain({bad_segment.value()});
+  ASSERT_FALSE(bad_domain.ok());
+  EXPECT_EQ(bad_domain.fault(), Fault::kVerificationFailed);
+  EXPECT_EQ(kernel_.stats().programs_rejected, 1u);
+}
+
+TEST_F(VerifyOnLoadTest, OffByDefaultLeavesFaultsToRuntime) {
+  Machine machine(SmallConfig());
+  BasicMemoryManager memory(&machine);
+  Kernel kernel(&machine, &memory);
+  EXPECT_FALSE(kernel.verify_on_load());
+  Assembler a("bad");
+  a.LoadData(0, 1, 0, 8).Halt();
+  auto process = kernel.CreateProcess(a.Build(), {});
+  EXPECT_TRUE(process.ok());  // accepted; the AddressingUnit faults it at run time
+  EXPECT_EQ(kernel.stats().programs_verified, 0u);
+}
+
+// The whole OS — GC daemon, fault service, schedulers, device server, user programs — must
+// boot and run under verify-on-load: the verifier accepts every program the system loads.
+TEST(VerifyOnLoadSystemTest, FullSystemBootsAndRunsVerified) {
+  SystemConfig config;
+  config.processors = 2;
+  config.verify_on_load = true;
+  System system(config);
+  EXPECT_TRUE(system.kernel().verify_on_load());
+
+  FaultService fault_service(&system.kernel(), FaultPolicy{});
+  auto fault_port = fault_service.Spawn();
+  ASSERT_TRUE(fault_port.ok()) << FaultName(fault_port.fault());
+
+  SchedulerStats scheduler_stats;
+  auto scheduler = SpawnPassThroughScheduler(&system.kernel(), &system.process_manager(),
+                                             &scheduler_stats);
+  ASSERT_TRUE(scheduler.ok()) << FaultName(scheduler.fault());
+
+  auto console = DeviceServer::Spawn(&system.kernel(), std::make_unique<ConsoleDevice>());
+  ASSERT_TRUE(console.ok()) << FaultName(console.fault());
+
+  // A user pair exchanging a message, as in the quickstart example.
+  auto port = system.kernel().ports().CreatePort(system.memory().global_heap(), 4,
+                                                 QueueDiscipline::kFifo);
+  ASSERT_TRUE(port.ok());
+  auto carrier = system.memory().CreateObject(system.memory().global_heap(),
+                                              SystemType::kGeneric, 16, 2,
+                                              rights::kRead | rights::kWrite);
+  ASSERT_TRUE(carrier.ok());
+  ASSERT_TRUE(
+      system.machine().addressing().WriteAd(carrier.value(), 0, port.value()).ok());
+  ASSERT_TRUE(system.machine()
+                  .addressing()
+                  .WriteAd(carrier.value(), 1, system.memory().global_heap())
+                  .ok());
+
+  Assembler producer("producer");
+  producer.MoveAd(1, kArgAdReg)
+      .LoadAd(2, 1, 0)
+      .LoadAd(3, 1, 1)
+      .CreateObject(4, 3, 32)
+      .StoreData(4, 0, 0, 8)
+      .Send(2, 4)
+      .Halt();
+  Assembler consumer("consumer");
+  consumer.MoveAd(1, kArgAdReg)
+      .LoadAd(2, 1, 0)
+      .Receive(4, 2)
+      .LoadData(3, 4, 0, 8)
+      .StoreData(1, 3, 8, 8)
+      .Halt();
+
+  ProcessOptions options;
+  options.initial_arg = carrier.value();
+  auto consumer_process = system.Spawn(consumer.Build(), options);
+  auto producer_process = system.Spawn(producer.Build(), options);
+  ASSERT_TRUE(consumer_process.ok()) << FaultName(consumer_process.fault());
+  ASSERT_TRUE(producer_process.ok()) << FaultName(producer_process.fault());
+  system.Run();
+
+  EXPECT_EQ(system.kernel().stats().programs_rejected, 0u);
+  EXPECT_GE(system.kernel().stats().programs_verified, 5u);  // daemons + services + pair
+  EXPECT_EQ(system.kernel()
+                .process_view(producer_process.value())
+                .state(),
+            ProcessState::kTerminated);
+  EXPECT_EQ(system.kernel()
+                .process_view(consumer_process.value())
+                .state(),
+            ProcessState::kTerminated);
+
+  // One GC cycle under verify-on-load, for good measure.
+  (void)system.RequestCollection();
+  system.Run();
+  EXPECT_GT(system.gc().stats().objects_reclaimed, 0u);
+}
+
+}  // namespace
+}  // namespace imax432

@@ -56,8 +56,10 @@ TEST_F(FaultServiceTest, RetryPolicyRecoversTransientFault) {
   // external condition clearing) gives the process a valid a1 the first time it observes
   // the faulted state; the service's Resume then re-executes the instruction successfully.
   ASSERT_TRUE(kernel_.StartProcess(process.value()).ok());
-  auto fixer = std::make_shared<std::function<void(int)>>();
-  *fixer = [this, process = process.value(), target = target.value(), fixer](int remaining) {
+  // `fixer` outlives kernel_.Run(), so the event lambdas capture it by reference; a
+  // self-owning shared_ptr capture would cycle and leak.
+  std::function<void(int)> fixer;
+  fixer = [this, process = process.value(), target = target.value(), &fixer](int remaining) {
     ProcessView proc = kernel_.process_view(process);
     if (proc.state() == ProcessState::kFaulted) {
       ContextView ctx(&machine_.addressing(), proc.context());
@@ -65,10 +67,10 @@ TEST_F(FaultServiceTest, RetryPolicyRecoversTransientFault) {
       return;  // condition cleared; no more polling
     }
     if (proc.state() != ProcessState::kTerminated && remaining > 0) {
-      machine_.events().ScheduleAfter(200, [fixer, remaining] { (*fixer)(remaining - 1); });
+      machine_.events().ScheduleAfter(200, [&fixer, remaining] { fixer(remaining - 1); });
     }
   };
-  machine_.events().ScheduleAfter(1, [fixer] { (*fixer)(100); });
+  machine_.events().ScheduleAfter(1, [&fixer] { fixer(100); });
   kernel_.Run();
   EXPECT_EQ(kernel_.process_view(process.value()).state(), ProcessState::kTerminated);
   EXPECT_GE(service.stats().retried, 1u);

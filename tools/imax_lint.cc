@@ -1,0 +1,228 @@
+// imax_lint: offline static capability verification for iMAX-432 programs.
+//
+// Boots a representative system configuration — GC daemon, fault service, pass-through
+// scheduler, console device server, plus a quickstart-style producer/consumer pair — then
+// sweeps every instruction segment in the program store through the static verifier
+// (src/analysis) and prints a disassembly-annotated diagnostic report.
+//
+// Usage: imax_lint [--dump] [--demo-bad]
+//   --dump      also print the full disassembly of every linted program
+//   --demo-bad  additionally lint a corpus of deliberately broken programs and check that
+//               each one is rejected (exercises the verifier's rule coverage end to end)
+//
+// Exit status: 0 when every system/example program verifies (and, with --demo-bad, every
+// broken program is rejected); 1 otherwise.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/analysis/verifier.h"
+#include "src/io/devices.h"
+#include "src/isa/disassembler.h"
+#include "src/os/fault_service.h"
+#include "src/os/schedulers.h"
+#include "src/os/system.h"
+
+using namespace imax432;
+
+namespace {
+
+struct BadProgram {
+  const char* why;
+  ProgramRef program;
+  analysis::VerifyOptions options;
+};
+
+// The shape Spawn-from-the-global-heap gives a7: a level-0 SRO with allocate rights.
+analysis::VerifyOptions SroArg() {
+  analysis::VerifyOptions options;
+  options.initial_arg = analysis::AdAbstract::Object(
+      SystemType::kStorageResource, rights::kRead | rights::kSroAllocate,
+      analysis::LevelRange::Exact(0));
+  return options;
+}
+
+analysis::VerifyOptions PortArg() {
+  analysis::VerifyOptions options;
+  options.initial_arg = analysis::AdAbstract::Object(SystemType::kPort, rights::kAll,
+                                                     analysis::LevelRange::Exact(0));
+  return options;
+}
+
+// Deliberately broken programs, one per verifier rule family.
+std::vector<BadProgram> BuildBadCorpus() {
+  std::vector<BadProgram> corpus;
+
+  {
+    Assembler a("bad_null_load");
+    a.LoadData(0, 1, 0, 8).Halt();  // a1 never initialized
+    corpus.push_back({"loads through a null AD register", a.Build(), {}});
+  }
+  {
+    Assembler a("bad_restricted_send");
+    a.MoveAd(1, kArgAdReg).RestrictRights(1, rights::kRead).Send(1, 1).Halt();
+    corpus.push_back({"sends after stripping port-send rights", a.Build(), PortArg()});
+  }
+  {
+    Assembler a("bad_branch_target");
+    Instruction in;
+    in.op = Opcode::kBranch;
+    in.imm = 1000;
+    auto program = std::make_shared<Program>("bad_branch_target");
+    program->Append(in);
+    corpus.push_back({"branches far beyond the program end", ProgramRef(program), {}});
+  }
+  {
+    Assembler a("bad_oob_store");
+    a.MoveAd(1, kArgAdReg)
+        .CreateObject(2, 1, 16)    // 16-byte object
+        .StoreData(2, 0, 64, 8)    // store at offset 64
+        .Halt();
+    corpus.push_back({"stores past the end of a 16-byte object", a.Build(), SroArg()});
+  }
+  {
+    Assembler a("bad_level_escape");
+    a.MoveAd(1, kArgAdReg)       // a1 = global SRO (level 0)
+        .CreateObject(2, 1, 16, 2)
+        .CreateSro(3, 1, 4096)   // a3 = local SRO, level = entry + 1
+        .StoreAd(2, 3, 0)        // store local SRO into global-level object
+        .Halt();
+    corpus.push_back(
+        {"stores an activation-local SRO into a global object", a.Build(), SroArg()});
+  }
+
+  return corpus;
+}
+
+int LintProgram(const Program& program, const analysis::VerifyOptions& options, bool dump) {
+  analysis::VerifyResult result = analysis::Verifier::Verify(program, options);
+  std::printf("---- %-24s %4u instructions: %s\n", program.name().c_str(), program.size(),
+              result.ok() ? (result.diagnostics.empty() ? "clean" : "clean (warnings)")
+                          : "REJECTED");
+  if (dump) {
+    std::fputs(Disassemble(program).c_str(), stdout);
+  }
+  if (!result.diagnostics.empty()) {
+    std::fputs(analysis::FormatDiagnostics(program, result).c_str(), stdout);
+  }
+  return static_cast<int>(result.error_count());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool dump = false;
+  bool demo_bad = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--dump") == 0) {
+      dump = true;
+    } else if (std::strcmp(argv[i], "--demo-bad") == 0) {
+      demo_bad = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--dump] [--demo-bad]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  // Boot the representative configuration with verify-on-load armed, so every program below
+  // passes through the verifier twice: once inside the kernel, once in the sweep.
+  SystemConfig config;
+  config.processors = 2;
+  config.verify_on_load = true;
+  System system(config);
+
+  FaultService fault_service(&system.kernel(), FaultPolicy{});
+  auto fault_port = fault_service.Spawn();
+  SchedulerStats scheduler_stats;
+  auto scheduler =
+      SpawnPassThroughScheduler(&system.kernel(), &system.process_manager(), &scheduler_stats);
+  auto console = DeviceServer::Spawn(&system.kernel(), std::make_unique<ConsoleDevice>());
+  if (!fault_port.ok() || !scheduler.ok() || !console.ok()) {
+    std::fprintf(stderr, "imax_lint: system services failed to boot\n");
+    return 1;
+  }
+
+  // A quickstart-style user pair, so the sweep covers ordinary assembled code too.
+  auto port = system.kernel().ports().CreatePort(system.memory().global_heap(), 8,
+                                                 QueueDiscipline::kFifo);
+  if (!port.ok()) {
+    return 1;
+  }
+  Assembler producer("example_producer");
+  auto send_loop = producer.NewLabel();
+  producer.MoveAd(1, kArgAdReg)
+      .LoadAd(2, 1, 0)
+      .LoadAd(3, 1, 1)
+      .LoadImm(0, 0)
+      .LoadImm(1, 10)
+      .Bind(send_loop)
+      .CreateObject(4, 3, 32)
+      .StoreData(4, 0, 0, 8)
+      .Send(2, 4)
+      .AddImm(0, 0, 1)
+      .BranchIfLess(0, 1, send_loop)
+      .Halt();
+  Assembler consumer("example_consumer");
+  auto recv_loop = consumer.NewLabel();
+  consumer.MoveAd(1, kArgAdReg)
+      .LoadAd(2, 1, 0)
+      .LoadImm(0, 0)
+      .LoadImm(1, 10)
+      .Bind(recv_loop)
+      .Receive(4, 2)
+      .LoadData(3, 4, 0, 8)
+      .AddImm(0, 0, 1)
+      .BranchIfLess(0, 1, recv_loop)
+      .Halt();
+  auto carrier = system.memory().CreateObject(system.memory().global_heap(),
+                                              SystemType::kGeneric, 16, 2,
+                                              rights::kRead | rights::kWrite);
+  if (!carrier.ok()) {
+    return 1;
+  }
+  (void)system.machine().addressing().WriteAd(carrier.value(), 0, port.value());
+  (void)system.machine().addressing().WriteAd(carrier.value(), 1,
+                                              system.memory().global_heap());
+  ProcessOptions options;
+  options.initial_arg = carrier.value();
+  auto producer_process = system.Spawn(producer.Build(), options);
+  auto consumer_process = system.Spawn(consumer.Build(), options);
+  if (!producer_process.ok() || !consumer_process.ok()) {
+    std::fprintf(stderr, "imax_lint: verify-on-load rejected an example program\n");
+    return 1;
+  }
+
+  // Sweep every instruction segment now registered in the program store. Process programs
+  // are analyzed as process entries with an unknown initial argument, which is weaker than
+  // what the kernel proved at load time and therefore cannot produce extra rejections.
+  std::printf("imax_lint: %u instruction segments registered\n\n",
+              static_cast<uint32_t>(system.machine().table().live_count()));
+  int errors = 0;
+  int programs = 0;
+  system.kernel().programs().ForEach([&](ObjectIndex, const Program& program) {
+    ++programs;
+    errors += LintProgram(program, analysis::VerifyOptions{}, dump);
+  });
+  std::printf("\nimax_lint: %d programs, %d errors (kernel verified %llu, rejected %llu)\n",
+              programs, errors,
+              static_cast<unsigned long long>(system.kernel().stats().programs_verified),
+              static_cast<unsigned long long>(system.kernel().stats().programs_rejected));
+
+  int missed = 0;
+  if (demo_bad) {
+    std::printf("\n==== seeded-bad corpus (every program below must be rejected) ====\n");
+    for (const BadProgram& bad : BuildBadCorpus()) {
+      std::printf("# %s\n", bad.why);
+      if (LintProgram(*bad.program, bad.options, dump) == 0) {
+        std::printf("^^^^ NOT REJECTED — verifier rule gap\n");
+        ++missed;
+      }
+    }
+    std::printf("\nimax_lint: %d of %zu bad programs slipped through\n", missed,
+                BuildBadCorpus().size());
+  }
+
+  return (errors > 0 || missed > 0) ? 1 : 0;
+}
