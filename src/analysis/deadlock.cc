@@ -1,0 +1,348 @@
+#include "src/analysis/deadlock.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "src/isa/disassembler.h"
+
+namespace imax432 {
+namespace analysis {
+namespace {
+
+// A port use attributed to the program whose wait-for behavior it contributes to (after
+// domain-call composition a caller owns its callees' uses).
+struct OwnedUse {
+  const PortUse* use = nullptr;
+  ObjectIndex origin_segment = kInvalidObjectIndex;  // segment the site's code lives in
+};
+
+// Per-program view after composing domain callees into callers.
+struct Effective {
+  ObjectIndex segment = kInvalidObjectIndex;
+  const EffectSummary* own = nullptr;
+  std::vector<OwnedUse> uses;
+  bool opaque = false;  // native steps, unknown services, or calls into unknown code
+  bool unresolved_send = false;
+  bool unresolved_receive = false;
+};
+
+std::string PortLabel(ObjectIndex port, const SymbolTable* symbols) {
+  std::string label = "port " + std::to_string(port);
+  if (symbols != nullptr) {
+    if (const std::string* name = symbols->Find(port)) label += " '" + *name + "'";
+  }
+  return label;
+}
+
+std::string JoinNames(const std::vector<std::string>& names) {
+  std::string out;
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += names[i];
+  }
+  return out;
+}
+
+// Strongly connected components by iterative Tarjan; returns one vector of node ids per SCC.
+std::vector<std::vector<uint32_t>> Sccs(const std::vector<std::set<uint32_t>>& adjacency) {
+  const uint32_t n = static_cast<uint32_t>(adjacency.size());
+  std::vector<std::vector<uint32_t>> components;
+  std::vector<uint32_t> index(n, 0), lowlink(n, 0);
+  std::vector<bool> visited(n, false), on_stack(n, false);
+  std::vector<uint32_t> stack;
+  uint32_t next_index = 1;
+
+  struct Frame {
+    uint32_t node;
+    std::set<uint32_t>::const_iterator next;
+  };
+  for (uint32_t root = 0; root < n; ++root) {
+    if (visited[root]) continue;
+    std::vector<Frame> frames;
+    visited[root] = true;
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    frames.push_back({root, adjacency[root].begin()});
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      if (frame.next != adjacency[frame.node].end()) {
+        const uint32_t child = *frame.next++;
+        if (!visited[child]) {
+          visited[child] = true;
+          index[child] = lowlink[child] = next_index++;
+          stack.push_back(child);
+          on_stack[child] = true;
+          frames.push_back({child, adjacency[child].begin()});
+        } else if (on_stack[child]) {
+          lowlink[frame.node] = std::min(lowlink[frame.node], index[child]);
+        }
+        continue;
+      }
+      const uint32_t node = frame.node;
+      frames.pop_back();
+      if (!frames.empty()) {
+        lowlink[frames.back().node] = std::min(lowlink[frames.back().node], lowlink[node]);
+      }
+      if (lowlink[node] == index[node]) {
+        std::vector<uint32_t> component;
+        uint32_t member;
+        do {
+          member = stack.back();
+          stack.pop_back();
+          on_stack[member] = false;
+          component.push_back(member);
+        } while (member != node);
+        components.push_back(std::move(component));
+      }
+    }
+  }
+  return components;
+}
+
+}  // namespace
+
+const char* SystemRuleName(SystemRule rule) {
+  switch (rule) {
+    case SystemRule::kDeadlockCycle: return "deadlock-cycle";
+    case SystemRule::kOrphanPort: return "orphan-port";
+    case SystemRule::kStarvedPort: return "starved-port";
+  }
+  return "?";
+}
+
+std::string FormatReport(const SystemAnalysisReport& report) {
+  std::string out;
+  for (const SystemDiagnostic& diagnostic : report.diagnostics) out += diagnostic.message;
+  return out;
+}
+
+void SystemEffectGraph::AddProgram(ObjectIndex segment, EffectSummary summary,
+                                   ProgramKind kind) {
+  programs_[segment] = Entry{std::move(summary), kind};
+}
+
+void SystemEffectGraph::RemoveProgram(ObjectIndex segment) { programs_.erase(segment); }
+
+SystemAnalysisReport SystemEffectGraph::Analyze() const {
+  SystemAnalysisReport report;
+  report.programs_analyzed = program_count();
+
+  // --- Compose domain callees into callers (transitive, cycle-safe via BFS). ---
+  // Only processes become wait-for actors; domain entries contribute through composition,
+  // never as independent traffic sources (they execute only when a process calls them).
+  std::vector<Effective> effective;
+  effective.reserve(programs_.size());
+  for (const auto& [segment, entry] : programs_) {
+    if (entry.kind != ProgramKind::kProcess) continue;
+    Effective e;
+    e.segment = segment;
+    e.own = &entry.summary;
+    std::set<ObjectIndex> reached;
+    std::queue<ObjectIndex> frontier;
+    reached.insert(segment);
+    frontier.push(segment);
+    while (!frontier.empty()) {
+      const ObjectIndex current = frontier.front();
+      frontier.pop();
+      auto it = programs_.find(current);
+      if (it == programs_.end()) {
+        // Calls land in code this graph has no summary for: anything could happen there.
+        e.opaque = true;
+        continue;
+      }
+      const EffectSummary& s = it->second.summary;
+      e.opaque |= s.has_native;
+      e.unresolved_send |= s.has_unresolved_send;
+      e.unresolved_receive |= s.has_unresolved_receive;
+      for (const PortUse& use : s.uses) e.uses.push_back({&use, current});
+      for (const DomainCall& call : s.calls) {
+        if (call.callee_segment == kInvalidObjectIndex) {
+          e.opaque = true;
+        } else if (reached.insert(call.callee_segment).second) {
+          frontier.push(call.callee_segment);
+        }
+      }
+    }
+    effective.push_back(std::move(e));
+  }
+
+  // --- Per-port sender/receiver sets from resolved traffic only. ---
+  const uint32_t n = static_cast<uint32_t>(effective.size());
+  std::map<ObjectIndex, std::set<uint32_t>> senders;    // port -> program ids sending to it
+  std::map<ObjectIndex, std::set<uint32_t>> receivers;  // port -> program ids receiving
+  std::set<ObjectIndex> ports;
+  bool unknown_sender = false;
+  bool unknown_receiver = false;
+  for (uint32_t p = 0; p < n; ++p) {
+    const Effective& e = effective[p];
+    if (e.opaque) {
+      // An opaque program could send to or receive from any port.
+      unknown_sender = true;
+      unknown_receiver = true;
+      report.opaque_programs++;
+    }
+    if (e.unresolved_send) {
+      unknown_sender = true;
+      report.unresolved_send_programs++;
+    }
+    if (e.unresolved_receive) {
+      unknown_receiver = true;
+      report.unresolved_receive_programs++;
+    }
+    for (const OwnedUse& owned : e.uses) {
+      if (owned.use->port == kUnresolvedPort) continue;
+      ports.insert(owned.use->port);
+      if (owned.use->op == PortOp::kSend) {
+        senders[owned.use->port].insert(p);
+      } else {
+        receivers[owned.use->port].insert(p);
+      }
+    }
+  }
+  report.ports_seen = static_cast<uint32_t>(ports.size());
+
+  auto name_of = [&](uint32_t p) { return effective[p].own->program_name; };
+  auto externally_fed = [&](ObjectIndex port) {
+    return external_senders_.count(port) != 0 || unknown_sender;
+  };
+
+  // --- Deadlock cycles: wait-for edges between programs, SCCs, priming filter. ---
+  // edge_uses[p] holds the blocking receive sites that create p's outgoing edges, by port.
+  std::vector<std::set<uint32_t>> adjacency(n);
+  std::vector<std::map<ObjectIndex, std::vector<const PortUse*>>> edge_uses(n);
+  for (uint32_t p = 0; p < n; ++p) {
+    for (const OwnedUse& owned : effective[p].uses) {
+      const PortUse& use = *owned.use;
+      if (use.op != PortOp::kReceive || !use.blocking || use.port == kUnresolvedPort) continue;
+      if (externally_fed(use.port)) continue;  // an outside sender can always unblock this
+      auto it = senders.find(use.port);
+      if (it == senders.end()) continue;  // no sender at all: the starvation report below
+      for (uint32_t s : it->second) adjacency[p].insert(s);
+      edge_uses[p][use.port].push_back(&use);
+    }
+  }
+
+  for (const std::vector<uint32_t>& component : Sccs(adjacency)) {
+    const std::set<uint32_t> members(component.begin(), component.end());
+    const bool self_loop =
+        component.size() == 1 && adjacency[component[0]].count(component[0]) != 0;
+    if (component.size() < 2 && !self_loop) continue;
+
+    // Ports whose wait edges stay inside the component.
+    std::set<ObjectIndex> cycle_ports;
+    bool escapable = false;
+    for (uint32_t p : component) {
+      for (const auto& [port, uses] : edge_uses[p]) {
+        (void)uses;
+        for (uint32_t s : senders[port]) {
+          if (members.count(s) == 0) escapable = true;  // a non-member may feed the cycle
+        }
+        cycle_ports.insert(port);
+      }
+    }
+    if (escapable) continue;
+    // Primed cycle: some member provably sent into the cycle before its receive, so a
+    // message is in flight and the ring makes progress (request/reply, pre-primed token
+    // rings). Suppress.
+    bool primed = false;
+    for (uint32_t p : component) {
+      for (const auto& [port, uses] : edge_uses[p]) {
+        (void)port;
+        for (const PortUse* use : uses) {
+          for (ObjectIndex sent : use->sends_before) {
+            if (cycle_ports.count(sent) != 0) primed = true;
+          }
+        }
+      }
+    }
+    if (primed) continue;
+
+    SystemDiagnostic diagnostic;
+    diagnostic.rule = SystemRule::kDeadlockCycle;
+    diagnostic.ports.assign(cycle_ports.begin(), cycle_ports.end());
+    std::vector<uint32_t> ordered(component);
+    std::sort(ordered.begin(), ordered.end(),
+              [&](uint32_t a, uint32_t b) { return name_of(a) < name_of(b); });
+    std::string message = std::string("error  ") + SystemRuleName(diagnostic.rule) + "  " +
+                          std::to_string(component.size()) +
+                          " program(s) in a blocking-receive cycle with no external sender\n";
+    for (uint32_t p : ordered) {
+      diagnostic.programs.push_back(name_of(p));
+      for (const auto& [port, uses] : edge_uses[p]) {
+        std::vector<std::string> feeders;
+        for (uint32_t s : senders[port]) feeders.push_back(name_of(s));
+        std::sort(feeders.begin(), feeders.end());
+        message += "  " + name_of(p) + " blocks on " + PortLabel(port, symbols_) +
+                   ", fed only by " + JoinNames(feeders) + "\n";
+        for (const PortUse* use : uses) message += "    | " + use->disasm + "\n";
+      }
+    }
+    diagnostic.message = std::move(message);
+    report.diagnostics.push_back(std::move(diagnostic));
+  }
+
+  // --- Orphan ports: resolved senders, no possible receiver. ---
+  for (const auto& [port, sending] : senders) {
+    if (receivers.count(port) != 0) continue;
+    if (external_receivers_.count(port) != 0 || unknown_receiver) continue;
+    SystemDiagnostic diagnostic;
+    diagnostic.rule = SystemRule::kOrphanPort;
+    diagnostic.ports.push_back(port);
+    std::string message = std::string("error  ") + SystemRuleName(diagnostic.rule) + "  " +
+                          PortLabel(port, symbols_) +
+                          " is sent to but never received from (unbounded queue growth)\n";
+    for (uint32_t p : sending) {
+      diagnostic.programs.push_back(name_of(p));
+      message += "  sent from " + name_of(p) + ":\n";
+      for (const OwnedUse& owned : effective[p].uses) {
+        if (owned.use->op == PortOp::kSend && owned.use->port == port) {
+          message += "    | " + owned.use->disasm + "\n";
+        }
+      }
+    }
+    diagnostic.message = std::move(message);
+    report.diagnostics.push_back(std::move(diagnostic));
+  }
+
+  // --- Starved ports: a blocking receive nothing can ever satisfy. ---
+  for (const auto& [port, receiving] : receivers) {
+    if (senders.count(port) != 0) continue;
+    if (external_senders_.count(port) != 0 || unknown_sender) continue;
+    // Only unguarded receives block forever; a port polled purely via cond_receive is fine.
+    std::vector<uint32_t> blocked;
+    for (uint32_t p : receiving) {
+      for (const OwnedUse& owned : effective[p].uses) {
+        if (owned.use->op == PortOp::kReceive && owned.use->port == port &&
+            owned.use->blocking) {
+          blocked.push_back(p);
+          break;
+        }
+      }
+    }
+    if (blocked.empty()) continue;
+    SystemDiagnostic diagnostic;
+    diagnostic.rule = SystemRule::kStarvedPort;
+    diagnostic.ports.push_back(port);
+    std::string message = std::string("error  ") + SystemRuleName(diagnostic.rule) + "  " +
+                          PortLabel(port, symbols_) +
+                          " is received from but nothing ever sends to it (permanent block)\n";
+    for (uint32_t p : blocked) {
+      diagnostic.programs.push_back(name_of(p));
+      message += "  " + name_of(p) + " blocks at:\n";
+      for (const OwnedUse& owned : effective[p].uses) {
+        if (owned.use->op == PortOp::kReceive && owned.use->port == port &&
+            owned.use->blocking) {
+          message += "    | " + owned.use->disasm + "\n";
+        }
+      }
+    }
+    diagnostic.message = std::move(message);
+    report.diagnostics.push_back(std::move(diagnostic));
+  }
+
+  return report;
+}
+
+}  // namespace analysis
+}  // namespace imax432

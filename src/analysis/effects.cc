@@ -1,0 +1,458 @@
+#include "src/analysis/effects.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "src/analysis/cfg.h"
+#include "src/arch/object_descriptor.h"
+#include "src/arch/object_table.h"
+#include "src/isa/disassembler.h"
+
+namespace imax432 {
+namespace analysis {
+namespace {
+
+// Kernel service ids modeled precisely. Kept in sync with src/exec/kernel.h; duplicated here
+// so the analysis layer does not depend on the execution layer.
+constexpr uint32_t kOsYield = 1;
+constexpr uint32_t kOsGetTime = 2;
+constexpr uint32_t kOsSetPriority = 3;
+constexpr uint32_t kOsSetDeadline = 4;
+constexpr uint32_t kOsTimedReceive = 5;
+
+// Widening bound on the concrete-object set per register; beyond this the value goes to top.
+constexpr size_t kMaxAdSet = 8;
+
+// Abstract AD register value: the set of concrete objects the register may name.
+// Empty and not top = the register is definitely null (or holds only fresh objects that
+// cannot be any pre-existing port). Top = any object.
+struct AbstractAd {
+  bool top = false;
+  std::vector<ObjectIndex> objs;  // sorted, deduped, size <= kMaxAdSet
+
+  static AbstractAd Top() {
+    AbstractAd v;
+    v.top = true;
+    return v;
+  }
+
+  void Add(ObjectIndex index) {
+    if (top || index == kInvalidObjectIndex) return;
+    auto it = std::lower_bound(objs.begin(), objs.end(), index);
+    if (it != objs.end() && *it == index) return;
+    objs.insert(it, index);
+    if (objs.size() > kMaxAdSet) {
+      top = true;
+      objs.clear();
+    }
+  }
+
+  // Least upper bound; returns true when this value changed.
+  bool Join(const AbstractAd& other) {
+    if (top) return false;
+    if (other.top) {
+      top = true;
+      objs.clear();
+      return true;
+    }
+    const size_t before = objs.size();
+    for (ObjectIndex index : other.objs) Add(index);
+    return top || objs.size() != before;
+  }
+};
+
+// Must-have-sent set: ports provably sent to on every path reaching the current point.
+// `top` is the lattice identity at join (entry of a not-yet-visited block).
+struct MustSent {
+  bool top = true;
+  std::vector<ObjectIndex> ports;  // sorted
+
+  void Add(ObjectIndex index) {
+    if (top) return;
+    auto it = std::lower_bound(ports.begin(), ports.end(), index);
+    if (it == ports.end() || *it != index) ports.insert(it, index);
+  }
+
+  // Path intersection; returns true when this value changed.
+  bool Join(const MustSent& other) {
+    if (other.top) return false;
+    if (top) {
+      top = false;
+      ports = other.ports;
+      return true;
+    }
+    std::vector<ObjectIndex> kept;
+    std::set_intersection(ports.begin(), ports.end(), other.ports.begin(), other.ports.end(),
+                          std::back_inserter(kept));
+    const bool changed = kept.size() != ports.size();
+    ports = std::move(kept);
+    return changed;
+  }
+};
+
+struct AbstractState {
+  AbstractAd regs[kNumAdRegs];
+  MustSent sent;
+
+  bool Join(const AbstractState& other) {
+    bool changed = false;
+    for (uint8_t r = 0; r < kNumAdRegs; ++r) changed |= regs[r].Join(other.regs[r]);
+    changed |= sent.Join(other.sent);
+    return changed;
+  }
+};
+
+struct Analyzer {
+  const Program& program;
+  const EffectOptions& options;
+  const ControlFlowGraph cfg;
+  EffectSummary summary;
+
+  // Objects whose access parts this program may overwrite: a load_ad chain through a dirty
+  // object must not trust the slot reader's (boot-time) view. Monotone across the fixpoint.
+  std::set<ObjectIndex> dirty;
+  bool dirty_all = false;
+
+  Analyzer(const Program& p, const EffectOptions& o)
+      : program(p), options(o), cfg(ControlFlowGraph::Build(p)) {}
+
+  AbstractState EntryState() const {
+    AbstractState state;
+    state.sent.top = false;  // entry: nothing sent yet
+    if (!options.initial_arg.is_null()) {
+      state.regs[kArgAdReg].Add(options.initial_arg.index());
+    } else {
+      state.regs[kArgAdReg] = AbstractAd::Top();
+    }
+    return state;
+  }
+
+  AccessDescriptor ReadSlot(ObjectIndex container, uint32_t slot) const {
+    if (!options.slot_reader) return {};
+    return options.slot_reader(container, slot);
+  }
+
+  bool IsDirty(ObjectIndex container) const {
+    return dirty_all || dirty.count(container) != 0;
+  }
+
+  // Resolves `load_ad dst, container[slot]` into dst. Returns false when the result had to
+  // go to top (unknown container or stale snapshot).
+  AbstractAd LoadSlot(const AbstractAd& container, uint32_t slot) const {
+    if (container.top || !options.slot_reader) {
+      // Unknown container: loading through it yields anything. A definitely-null container
+      // faults at run time, so the empty result below is never observed.
+      return container.top || !container.objs.empty() ? AbstractAd::Top() : AbstractAd();
+    }
+    AbstractAd out;
+    for (ObjectIndex obj : container.objs) {
+      if (IsDirty(obj)) return AbstractAd::Top();
+      const AccessDescriptor slot_ad = ReadSlot(obj, slot);
+      if (!slot_ad.is_null()) out.Add(slot_ad.index());
+    }
+    return out;
+  }
+
+  void MarkStoreInto(const AbstractAd& container) {
+    if (container.top) {
+      dirty_all = true;
+      return;
+    }
+    for (ObjectIndex obj : container.objs) dirty.insert(obj);
+  }
+
+  void HavocRegs(AbstractState& state) {
+    for (uint8_t r = 0; r < kNumAdRegs; ++r) state.regs[r] = AbstractAd::Top();
+  }
+
+  // Applies one instruction to `state`. When `record` is non-null (the reporting pass),
+  // send/receive/call sites are appended to it.
+  void Transfer(uint32_t pc, AbstractState& state, EffectSummary* record) {
+    const Instruction& in = program.at(pc);
+    switch (in.op) {
+      case Opcode::kMoveAd:
+        state.regs[in.a] = state.regs[in.b];
+        break;
+      case Opcode::kClearAd:
+        state.regs[in.a] = AbstractAd();
+        break;
+      case Opcode::kLoadAd:
+        state.regs[in.a] = LoadSlot(state.regs[in.b], in.imm);
+        break;
+      case Opcode::kLoadAdIndexed:
+        // Run-time slot index: any slot of the container could be loaded. Conservative top
+        // whenever the container may hold anything at all.
+        state.regs[in.a] =
+            (state.regs[in.b].top || !state.regs[in.b].objs.empty()) ? AbstractAd::Top()
+                                                                     : AbstractAd();
+        break;
+      case Opcode::kStoreAd:
+      case Opcode::kStoreAdIndexed:
+        MarkStoreInto(state.regs[in.a]);
+        break;
+      case Opcode::kRestrictRights:
+      case Opcode::kAdIsNull:
+        break;  // object identity unchanged / data result only
+      case Opcode::kCreateObject:
+      case Opcode::kCreateSro:
+        // A fresh object is never a pre-existing port; model as definitely-not-a-port.
+        state.regs[in.a] = AbstractAd();
+        break;
+      case Opcode::kDestroyObject:
+      case Opcode::kDestroySro:
+        break;
+      case Opcode::kSend:
+        RecordUse(pc, PortOp::kSend, state.regs[in.a], /*blocking=*/true, state, record);
+        NoteMustSend(state, state.regs[in.a]);
+        break;
+      case Opcode::kCondSend:
+        RecordUse(pc, PortOp::kSend, state.regs[in.a], /*blocking=*/false, state, record);
+        break;
+      case Opcode::kReceive:
+        RecordUse(pc, PortOp::kReceive, state.regs[in.b], /*blocking=*/true, state, record);
+        state.regs[in.a] = AbstractAd::Top();
+        break;
+      case Opcode::kCondReceive:
+        RecordUse(pc, PortOp::kReceive, state.regs[in.b], /*blocking=*/false, state, record);
+        state.regs[in.a] = AbstractAd::Top();
+        break;
+      case Opcode::kCall:
+        RecordCall(pc, state.regs[in.a], in.imm, record);
+        state.regs[kArgAdReg] = AbstractAd::Top();  // callee return value
+        break;
+      case Opcode::kCallLocal:
+        RecordCall(pc, state.regs[kDomainAdReg], in.imm, record);
+        state.regs[kArgAdReg] = AbstractAd::Top();
+        break;
+      case Opcode::kOsCall:
+        TransferOsCall(pc, in.imm, state, record);
+        break;
+      case Opcode::kNative:
+        // Opaque C++: may move any AD anywhere and jump anywhere.
+        summary.has_native = true;
+        HavocRegs(state);
+        dirty_all = true;
+        break;
+      default:
+        break;  // data / branch / return / halt: no AD effect
+    }
+  }
+
+  void TransferOsCall(uint32_t pc, uint32_t service, AbstractState& state,
+                      EffectSummary* record) {
+    switch (service) {
+      case kOsYield:
+      case kOsGetTime:
+      case kOsSetPriority:
+      case kOsSetDeadline:
+        return;  // data-only services, no AD effect
+      case kOsTimedReceive:
+        // Receives into a7 from the port in a7 (see kernel.h). Blocking up to the timeout:
+        // for deadlock purposes a bounded wait is a guarded wait, so not blocking.
+        RecordUse(pc, PortOp::kReceive, state.regs[kArgAdReg], /*blocking=*/false, state,
+                  record);
+        state.regs[kArgAdReg] = AbstractAd::Top();
+        return;
+      default:
+        // Unknown / package service: opaque like a native step.
+        summary.has_native = true;
+        HavocRegs(state);
+        dirty_all = true;
+        return;
+    }
+  }
+
+  void NoteMustSend(AbstractState& state, const AbstractAd& port) {
+    // Only a provably-unique target is a guaranteed send.
+    if (!port.top && port.objs.size() == 1) state.sent.Add(port.objs[0]);
+  }
+
+  void RecordUse(uint32_t pc, PortOp op, const AbstractAd& port, bool blocking,
+                 const AbstractState& state, EffectSummary* record) {
+    if (record == nullptr) return;
+    const std::vector<ObjectIndex> sends_before = state.sent.top
+                                                      ? std::vector<ObjectIndex>{}
+                                                      : state.sent.ports;
+    auto emit = [&](ObjectIndex resolved) {
+      PortUse use;
+      use.op = op;
+      use.pc = pc;
+      use.port = resolved;
+      use.blocking = blocking;
+      use.sends_before = sends_before;
+      char prefix[16];
+      std::snprintf(prefix, sizeof(prefix), "%04u  ", pc);
+      use.disasm = prefix + DisassembleInstruction(program.at(pc), resolved, options.symbols);
+      record->uses.push_back(std::move(use));
+    };
+    if (port.top) {
+      emit(kUnresolvedPort);
+      if (op == PortOp::kSend) record->has_unresolved_send = true;
+      if (op == PortOp::kReceive) record->has_unresolved_receive = true;
+      return;
+    }
+    // Definitely-null port registers fault at run time and communicate with nothing; the
+    // verifier reports those, so no use is recorded here.
+    for (ObjectIndex obj : port.objs) emit(obj);
+  }
+
+  void RecordCall(uint32_t pc, const AbstractAd& domain, uint32_t entry,
+                  EffectSummary* record) {
+    if (record == nullptr) return;
+    auto emit = [&](ObjectIndex callee) {
+      DomainCall call;
+      call.pc = pc;
+      call.entry = entry;
+      call.callee_segment = callee;
+      record->calls.push_back(call);
+    };
+    if (domain.top || domain.objs.empty() || !options.slot_reader) {
+      emit(kInvalidObjectIndex);
+      return;
+    }
+    bool emitted = false;
+    for (ObjectIndex obj : domain.objs) {
+      // Domain entries are the leading access slots of the domain object.
+      const AccessDescriptor segment = IsDirty(obj) ? AccessDescriptor() : ReadSlot(obj, entry);
+      emit(segment.is_null() ? kInvalidObjectIndex : segment.index());
+      emitted = true;
+    }
+    if (!emitted) emit(kInvalidObjectIndex);
+  }
+
+  bool HasReachableCycle() const {
+    // Iterative DFS over static CFG edges; a back edge to an on-stack block is a loop.
+    enum : uint8_t { kWhite, kGray, kBlack };
+    std::vector<uint8_t> color(cfg.size(), kWhite);
+    std::vector<std::pair<uint32_t, size_t>> stack;  // block id, next-successor cursor
+    stack.emplace_back(0, 0);
+    color[0] = kGray;
+    while (!stack.empty()) {
+      auto& [block, cursor] = stack.back();
+      const auto& succs = cfg.block(block).successors;
+      if (cursor == succs.size()) {
+        color[block] = kBlack;
+        stack.pop_back();
+        continue;
+      }
+      const uint32_t next = succs[cursor++];
+      if (color[next] == kGray) return true;
+      if (color[next] == kWhite) {
+        color[next] = kGray;
+        stack.emplace_back(next, 0);
+      }
+    }
+    return false;
+  }
+
+  EffectSummary Run() {
+    summary.program_name = program.name();
+    if (program.size() == 0) return summary;
+
+    std::vector<AbstractState> entry(cfg.size());
+    std::vector<bool> seen(cfg.size(), false);
+    std::vector<bool> queued(cfg.size(), false);
+    std::vector<uint32_t> worklist;
+
+    auto enqueue = [&](uint32_t block) {
+      if (!queued[block]) {
+        queued[block] = true;
+        worklist.push_back(block);
+      }
+    };
+
+    auto seed = [&](uint32_t block, const AbstractState& state) {
+      if (!seen[block]) {
+        seen[block] = true;
+        entry[block] = state;
+        enqueue(block);
+      } else if (entry[block].Join(state)) {
+        enqueue(block);
+      }
+    };
+
+    seed(0, EntryState());
+    if (cfg.has_native()) {
+      // Native jumps make every block a potential entry with unknown registers (mirrors the
+      // verifier's treatment; see cfg.h).
+      AbstractState unknown;
+      HavocRegs(unknown);
+      unknown.sent.top = false;  // no guaranteed sends on an unknown path
+      for (uint32_t b = 0; b < cfg.size(); ++b) seed(b, unknown);
+    }
+
+    // Fixpoint. The dirty set only grows; when it does, resolved loads may need to weaken,
+    // so every seen block re-runs.
+    while (!worklist.empty()) {
+      const uint32_t block = worklist.back();
+      worklist.pop_back();
+      queued[block] = false;
+
+      const size_t dirty_before = dirty.size();
+      const bool dirty_all_before = dirty_all;
+
+      AbstractState state = entry[block];
+      const BasicBlock& bb = cfg.block(block);
+      for (uint32_t pc = bb.begin; pc < bb.end; ++pc) Transfer(pc, state, nullptr);
+      for (uint32_t succ : bb.successors) seed(succ, state);
+
+      if (dirty.size() != dirty_before || dirty_all != dirty_all_before) {
+        for (uint32_t b = 0; b < cfg.size(); ++b) {
+          if (seen[b]) enqueue(b);
+        }
+      }
+    }
+
+    // Reporting pass: replay each analyzed block once, in program order, recording sites.
+    for (uint32_t b = 0; b < cfg.size(); ++b) {
+      if (!seen[b]) continue;
+      AbstractState state = entry[b];
+      const BasicBlock& bb = cfg.block(b);
+      for (uint32_t pc = bb.begin; pc < bb.end; ++pc) Transfer(pc, state, &summary);
+    }
+
+    summary.may_not_terminate = summary.has_native || HasReachableCycle();
+    return summary;
+  }
+};
+
+}  // namespace
+
+bool EffectSummary::SendsTo(ObjectIndex port) const {
+  for (const PortUse& use : uses) {
+    if (use.op == PortOp::kSend && use.port == port) return true;
+  }
+  return false;
+}
+
+bool EffectSummary::ReceivesFrom(ObjectIndex port) const {
+  for (const PortUse& use : uses) {
+    if (use.op == PortOp::kReceive && use.port == port) return true;
+  }
+  return false;
+}
+
+EffectSummary EffectAnalyzer::Analyze(const Program& program, const EffectOptions& options) {
+  Analyzer analyzer(program, options);
+  return analyzer.Run();
+}
+
+EffectOptions EffectOptionsForTable(const ObjectTable& table,
+                                    const AccessDescriptor& initial_arg,
+                                    const SymbolTable* symbols) {
+  EffectOptions options;
+  options.initial_arg = initial_arg;
+  options.symbols = symbols;
+  options.slot_reader = [&table](ObjectIndex index, uint32_t slot) -> AccessDescriptor {
+    if (index >= table.capacity()) return {};
+    const ObjectDescriptor& descriptor = table.At(index);
+    if (!descriptor.allocated || slot >= descriptor.access_count()) return {};
+    return descriptor.access[slot];
+  };
+  return options;
+}
+
+}  // namespace analysis
+}  // namespace imax432

@@ -1,0 +1,112 @@
+// Per-program IPC effect summaries: which ports a program may send to or receive from.
+//
+// The capability verifier (verifier.h) proves per-instruction facts inside one program; this
+// pass computes the complementary *interface* fact — the program's communication footprint —
+// so a whole-system analysis (deadlock.h) can reason across program boundaries. The abstract
+// value per AD register is the set of concrete objects the register may name, grown from the
+// seeded initial argument (the loader knows exactly what lands in a7) and chased through
+// move_ad / load_ad chains by reading the live machine's access parts via a slot-reader
+// callback. Every send / receive / cond_send / cond_receive site is recorded with the
+// resolved port object when the chain resolves, and flagged unresolved otherwise.
+//
+// Soundness posture (see DESIGN.md §6): this is a *may* analysis over the ISA stream.
+// Native steps and unknown OS services havoc the register file and mark the summary opaque —
+// their C++ bodies can talk to any port without appearing here. Known AD-free OS services
+// (yield, get-time, set-priority/deadline) are modeled precisely, and the timed-receive
+// service is modeled as a blocking receive through a7. Access-part stores performed by the
+// program itself dirty the stored-into objects: later load_ad chains through a dirtied
+// object resolve to "unknown" rather than to the boot-time snapshot the slot reader sees.
+
+#ifndef IMAX432_SRC_ANALYSIS_EFFECTS_H_
+#define IMAX432_SRC_ANALYSIS_EFFECTS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/arch/access_descriptor.h"
+#include "src/arch/types.h"
+#include "src/isa/program.h"
+
+namespace imax432 {
+
+class ObjectTable;
+class SymbolTable;  // disassembler.h
+
+namespace analysis {
+
+// Sentinel port identity for a send/receive whose AD chain could not be followed.
+inline constexpr ObjectIndex kUnresolvedPort = kInvalidObjectIndex;
+
+enum class PortOp : uint8_t { kSend, kReceive };
+
+// One send/receive site in a program.
+struct PortUse {
+  PortOp op = PortOp::kSend;
+  uint32_t pc = 0;
+  // Resolved port object, or kUnresolvedPort. A site whose register resolves to several
+  // concrete objects produces one PortUse per candidate.
+  ObjectIndex port = kUnresolvedPort;
+  // False for cond_send / cond_receive: the op has a fallback and never blocks the process.
+  bool blocking = true;
+  // Ports this program has provably sent to on *every* path from entry to this site
+  // (must-analysis). The deadlock detector uses it to recognize primed request/reply
+  // cycles: a receive preceded by a guaranteed send into the cycle cannot be the first
+  // blocker.
+  std::vector<ObjectIndex> sends_before;
+  // Disassembly of the site, for diagnostics ("receive a4, port=a2 ; port 12 'ring.0'").
+  std::string disasm;
+};
+
+// One inter-domain (or local) call site.
+struct DomainCall {
+  uint32_t pc = 0;
+  uint32_t entry = 0;
+  // Resolved instruction-segment object the call lands in, or kInvalidObjectIndex. The
+  // system analysis composes callee summaries into callers through this edge.
+  ObjectIndex callee_segment = kInvalidObjectIndex;
+};
+
+struct EffectSummary {
+  std::string program_name;
+  std::vector<PortUse> uses;          // every send/receive site, ascending pc
+  std::vector<DomainCall> calls;      // every call / call_local site
+  bool has_native = false;            // opaque native / unknown OS-call steps present
+  bool has_unresolved_send = false;   // some send's port chain did not resolve
+  bool has_unresolved_receive = false;
+  // The CFG has a reachable cycle (or opaque code): the program may never terminate, so
+  // its sends may repeat without bound.
+  bool may_not_terminate = false;
+
+  bool SendsTo(ObjectIndex port) const;
+  bool ReceivesFrom(ObjectIndex port) const;
+};
+
+struct EffectOptions {
+  // Concrete AD in a7 at entry. Null = unknown entry argument (domain entries, offline
+  // analysis): a7 starts at "any object" and nothing resolves through it.
+  AccessDescriptor initial_arg;
+  // Reads access slot `slot` of live object `index`; returns a null AD when the object or
+  // slot does not exist. Without it no load_ad chain resolves.
+  std::function<AccessDescriptor(ObjectIndex index, uint32_t slot)> slot_reader;
+  // Optional names for resolved port operands in the per-site disassembly.
+  const SymbolTable* symbols = nullptr;
+};
+
+class EffectAnalyzer {
+ public:
+  // Computes the summary to a fixpoint over the program's CFG.
+  static EffectSummary Analyze(const Program& program, const EffectOptions& options = {});
+};
+
+// Options whose slot reader chases chains through a live object table. The table must
+// outlive the Analyze call (it is consulted synchronously, never stored).
+EffectOptions EffectOptionsForTable(const ObjectTable& table,
+                                    const AccessDescriptor& initial_arg,
+                                    const SymbolTable* symbols = nullptr);
+
+}  // namespace analysis
+}  // namespace imax432
+
+#endif  // IMAX432_SRC_ANALYSIS_EFFECTS_H_

@@ -1,5 +1,6 @@
 #include "src/exec/kernel.h"
 
+#include "src/analysis/effects.h"
 #include "src/analysis/verifier.h"
 #include "src/base/check.h"
 #include "src/base/log.h"
@@ -50,6 +51,11 @@ Kernel::Kernel(Machine* machine, MemoryManager* memory)
                                 QueueDiscipline::kPriority);
   IMAX_CHECK(port.ok());
   default_dispatch_port_ = port.value();
+  // Dispatching traffic is kernel machinery, not program-level IPC: the dispatcher both
+  // feeds and drains this port, so it never starves or orphans.
+  effect_graph_.MarkExternalSender(default_dispatch_port_.index());
+  effect_graph_.MarkExternalReceiver(default_dispatch_port_.index());
+  effect_graph_.set_symbols(&symbols_);
 
   RegisterService(os_service::kYield, [](ExecutionContext&) -> Result<NativeResult> {
     NativeResult r;
@@ -103,6 +109,8 @@ Kernel::Kernel(Machine* machine, MemoryManager* memory)
 
 Status Kernel::AddProcessors(int count, const AccessDescriptor& dispatch_port) {
   AccessDescriptor port = dispatch_port.is_null() ? default_dispatch_port_ : dispatch_port;
+  effect_graph_.MarkExternalSender(port.index());
+  effect_graph_.MarkExternalReceiver(port.index());
   for (int i = 0; i < count; ++i) {
     IMAX_ASSIGN_OR_RETURN(
         AccessDescriptor object,
@@ -150,7 +158,31 @@ Result<AccessDescriptor> Kernel::CreateProcess(ProgramRef program,
     }
   }
 
+  ProgramRef loaded = program;  // keep the content for the effect summary below
   IMAX_ASSIGN_OR_RETURN(AccessDescriptor segment, programs_.Register(std::move(program)));
+
+  if (verify_on_load_) {
+    // Incremental whole-system analysis upkeep: summarize the program's IPC effects now,
+    // while the loader's concrete initial argument is in hand (see AnalyzeSystem).
+    RecordEffectSummary(segment.index(), *loaded, options.initial_arg,
+                        analysis::ProgramKind::kProcess);
+  } else {
+    // Defer the summary to the first AnalyzeSystem() call, but keep the concrete initial
+    // argument — it is what makes the program's port uses resolvable at all.
+    deferred_args_[segment.index()] = options.initial_arg;
+  }
+  // The kernel itself feeds fault and scheduler ports (RaiseFault / scheduler
+  // notifications), so their receivers are never statically starved.
+  if (!options.fault_port.is_null()) {
+    effect_graph_.MarkExternalSender(options.fault_port.index());
+  }
+  if (!options.scheduler_port.is_null()) {
+    effect_graph_.MarkExternalSender(options.scheduler_port.index());
+  }
+  if (!options.dispatch_port.is_null()) {
+    effect_graph_.MarkExternalSender(options.dispatch_port.index());
+    effect_graph_.MarkExternalReceiver(options.dispatch_port.index());
+  }
 
   // The process object.
   IMAX_ASSIGN_OR_RETURN(
@@ -250,6 +282,11 @@ Result<AccessDescriptor> Kernel::CreateDomain(const std::vector<AccessDescriptor
                       analysis::FormatDiagnostics(*entry_program, verdict).c_str());
         return Fault::kVerificationFailed;
       }
+      if (!effect_graph_.HasProgram(entry_segment.index())) {
+        // Domain entries take arbitrary caller arguments: no initial-arg seeding.
+        RecordEffectSummary(entry_segment.index(), *entry_program, AccessDescriptor(),
+                            analysis::ProgramKind::kDomainEntry);
+      }
     }
   }
   IMAX_ASSIGN_OR_RETURN(
@@ -348,6 +385,11 @@ Status Kernel::MakeReady(const AccessDescriptor& process) {
 }
 
 Status Kernel::PostMessage(const AccessDescriptor& port, const AccessDescriptor& message) {
+  if (!port.is_null()) {
+    // Traffic injected from outside the simulation: the static analysis must not claim this
+    // port's receivers block forever.
+    effect_graph_.MarkExternalSender(port.index());
+  }
   auto receiver = ports_.PopBlockedReceiver(port);
   if (receiver.ok()) {
     ProcessView recv = process_view(receiver.value().process);
@@ -1130,6 +1172,32 @@ void Kernel::NotifyEvent(const AccessDescriptor& process, ProcessEvent event) {
   if (process_event_handler_) {
     process_event_handler_(process, event);
   }
+}
+
+void Kernel::RecordEffectSummary(ObjectIndex segment, const Program& program,
+                                 const AccessDescriptor& initial_arg,
+                                 analysis::ProgramKind kind) {
+  analysis::EffectOptions options =
+      analysis::EffectOptionsForTable(machine_->table(), initial_arg, &symbols_);
+  effect_graph_.AddProgram(segment, analysis::EffectAnalyzer::Analyze(program, options), kind);
+  ++stats_.effect_summaries;
+}
+
+analysis::SystemAnalysisReport Kernel::AnalyzeSystem() {
+  // Programs loaded while verify_on_load was off have no summary yet; compute them now,
+  // seeding each from the initial argument remembered at CreateProcess time. A program with
+  // no recorded argument (registered directly with the store) starts from "any object" —
+  // strictly weaker than the incremental path, never wrong.
+  programs_.ForEach([this](ObjectIndex segment, const Program& program) {
+    if (!effect_graph_.HasProgram(segment)) {
+      auto deferred = deferred_args_.find(segment);
+      RecordEffectSummary(
+          segment, program,
+          deferred != deferred_args_.end() ? deferred->second : AccessDescriptor(),
+          analysis::ProgramKind::kProcess);
+    }
+  });
+  return effect_graph_.Analyze();
 }
 
 Cycles Kernel::TotalBusyCycles() const {

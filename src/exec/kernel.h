@@ -19,8 +19,10 @@
 #include <map>
 #include <vector>
 
+#include "src/analysis/deadlock.h"
 #include "src/exec/execution_context.h"
 #include "src/ipc/port_subsystem.h"
+#include "src/isa/disassembler.h"
 #include "src/isa/assembler.h"
 #include "src/isa/program.h"
 #include "src/isa/program_store.h"
@@ -67,6 +69,7 @@ struct KernelStats {
   uint64_t swap_faults = 0;        // kSegmentSwapped transparently serviced
   uint64_t programs_verified = 0;  // programs run through the static verifier at load
   uint64_t programs_rejected = 0;  // programs the verifier refused (kVerificationFailed)
+  uint64_t effect_summaries = 0;   // IPC effect summaries computed (verify-on-load + lazy)
 };
 
 class Kernel {
@@ -154,6 +157,29 @@ class Kernel {
   int processor_count() const { return static_cast<int>(processors_.size()); }
   AccessDescriptor processor_object(int index) const { return processors_[index].object; }
 
+  // --- Whole-system IPC analysis (src/analysis/deadlock.h) ---
+
+  // Runs the static deadlock/orphan/starvation analysis over every registered program plus
+  // the kernel's concrete port topology. Under verify_on_load the per-program summaries are
+  // maintained incrementally as programs register; otherwise (or for programs loaded while
+  // verification was off) missing summaries are computed here on demand.
+  analysis::SystemAnalysisReport AnalyzeSystem();
+
+  // The incrementally-maintained summary store. Tests and tools may mark additional
+  // external senders/receivers before calling AnalyzeSystem().
+  analysis::SystemEffectGraph& effect_graph() { return effect_graph_; }
+
+  // Drops all analysis state for a reclaimed instruction segment (summary + any deferred
+  // initial-argument fact). Called by the GC reclaim observer.
+  void ForgetProgramAnalysis(ObjectIndex segment) {
+    effect_graph_.RemoveProgram(segment);
+    deferred_args_.erase(segment);
+  }
+
+  // Object names used by analysis diagnostics and annotated disassembly. Name ports before
+  // the programs using them load: summaries render their disassembly at registration time.
+  SymbolTable& symbols() { return symbols_; }
+
   // Sum of busy cycles over all processors (for utilization metrics).
   Cycles TotalBusyCycles() const;
 
@@ -219,6 +245,11 @@ class Kernel {
 
   void NotifyEvent(const AccessDescriptor& process, ProcessEvent event);
 
+  // Computes and stores the IPC effect summary for a freshly-registered program, seeding
+  // resolution from the loader's concrete knowledge of the initial argument.
+  void RecordEffectSummary(ObjectIndex segment, const Program& program,
+                           const AccessDescriptor& initial_arg, analysis::ProgramKind kind);
+
   // Charges `compute` + `bus` starting at now(); returns completion time.
   Cycles ChargeCycles(ProcessorRec& rec, ProcessView& proc, Cycles compute, Cycles bus);
 
@@ -233,6 +264,11 @@ class Kernel {
   AccessDescriptor default_dispatch_port_;
   KernelStats stats_;
   bool verify_on_load_ = false;
+  analysis::SystemEffectGraph effect_graph_;
+  // Initial argument per instruction segment for processes loaded with verify-on-load off;
+  // consumed by AnalyzeSystem's deferred summarization.
+  std::map<ObjectIndex, AccessDescriptor> deferred_args_;
+  SymbolTable symbols_;
 };
 
 // Well-known OsCall service ids.

@@ -159,6 +159,21 @@ std::string DisassembleInstruction(const Instruction& in) {
   return buffer;
 }
 
+std::string DisassembleInstruction(const Instruction& in, ObjectIndex resolved_port,
+                                   const SymbolTable* symbols) {
+  std::string text = DisassembleInstruction(in);
+  const bool takes_port = in.op == Opcode::kSend || in.op == Opcode::kReceive ||
+                          in.op == Opcode::kCondSend || in.op == Opcode::kCondReceive;
+  if (!takes_port || resolved_port == kInvalidObjectIndex) return text;
+  text += " ; port " + std::to_string(resolved_port);
+  if (symbols != nullptr) {
+    if (const std::string* port_name = symbols->Find(resolved_port)) {
+      text += " '" + *port_name + "'";
+    }
+  }
+  return text;
+}
+
 std::string Disassemble(const Program& program) {
   std::string out;
   out += "; program \"" + program.name() + "\", " + std::to_string(program.size()) +

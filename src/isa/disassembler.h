@@ -7,13 +7,39 @@
 #define IMAX432_SRC_ISA_DISASSEMBLER_H_
 
 #include <string>
+#include <unordered_map>
 
+#include "src/arch/types.h"
 #include "src/isa/program.h"
 
 namespace imax432 {
 
+// Maps object indices to human names ("console.requests", "ring.0"). Ports, domains and
+// instruction segments get named by whoever creates them (imax_lint names its boot topology;
+// tests name their fixtures); the disassembler and the system analyzer render the names in
+// diagnostics so a cycle report reads as port names, not bare table indices.
+class SymbolTable {
+ public:
+  void Name(ObjectIndex index, std::string name) { names_[index] = std::move(name); }
+  // Null when the object has no recorded name.
+  const std::string* Find(ObjectIndex index) const {
+    auto it = names_.find(index);
+    return it == names_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  std::unordered_map<ObjectIndex, std::string> names_;
+};
+
 // One instruction, e.g. "add      r3, r1, r2" or "send     a2, a4".
 std::string DisassembleInstruction(const Instruction& instruction);
+
+// As above, but when `instruction` takes a port operand that external analysis resolved to a
+// concrete object, appends a "; port N" note — with the port's name when `symbols` knows it:
+//   "send     port=a2, msg=a4 ; port 12 'ring.0'". Operand registers alone cannot be
+// resolved statically, so the resolution comes from the effect analysis (analysis/effects.h).
+std::string DisassembleInstruction(const Instruction& instruction, ObjectIndex resolved_port,
+                                   const SymbolTable* symbols);
 
 // The whole program, one line per instruction with pc prefixes:
 //   0000  load_imm r0, 0

@@ -31,6 +31,9 @@ System::System(const SystemConfig& config)
       kernel_->ports().Forget(index);
     } else if (descriptor.type == SystemType::kInstructionSegment) {
       kernel_->programs().Forget(index);
+      // Keep the whole-system IPC analysis in step: a reclaimed segment's summary must not
+      // keep feeding the wait-for graph.
+      kernel_->ForgetProgramAnalysis(index);
     }
   });
 

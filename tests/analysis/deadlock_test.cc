@@ -1,0 +1,259 @@
+#include "src/analysis/deadlock.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/isa/disassembler.h"
+
+namespace imax432 {
+namespace analysis {
+namespace {
+
+// Summaries are hand-built: these tests exercise the system graph, not the per-program
+// analyzer (tests/analysis/effects_test.cc covers that).
+constexpr ObjectIndex kQ1 = 100;
+constexpr ObjectIndex kQ2 = 101;
+constexpr ObjectIndex kQ3 = 102;
+
+PortUse Sends(ObjectIndex port, bool blocking = true) {
+  PortUse use;
+  use.op = PortOp::kSend;
+  use.port = port;
+  use.blocking = blocking;
+  use.disasm = "0000  send           port=a1, msg=a2";
+  return use;
+}
+
+PortUse Receives(ObjectIndex port, bool blocking = true,
+                 std::vector<ObjectIndex> sends_before = {}) {
+  PortUse use;
+  use.op = PortOp::kReceive;
+  use.port = port;
+  use.blocking = blocking;
+  use.sends_before = std::move(sends_before);
+  use.disasm = "0001  receive        a3, port=a1";
+  return use;
+}
+
+EffectSummary Summary(std::string name, std::vector<PortUse> uses) {
+  EffectSummary summary;
+  summary.program_name = std::move(name);
+  summary.uses = std::move(uses);
+  return summary;
+}
+
+int CountRule(const SystemAnalysisReport& report, SystemRule rule) {
+  int count = 0;
+  for (const SystemDiagnostic& diagnostic : report.diagnostics) {
+    if (diagnostic.rule == rule) ++count;
+  }
+  return count;
+}
+
+TEST(DeadlockTest, TwoProgramReceiveCycleDetected) {
+  SystemEffectGraph graph;
+  // a blocks on q1 then would feed q2; b blocks on q2 then would feed q1.
+  graph.AddProgram(1, Summary("a", {Receives(kQ1), Sends(kQ2)}));
+  graph.AddProgram(2, Summary("b", {Receives(kQ2), Sends(kQ1)}));
+  SystemAnalysisReport report = graph.Analyze();
+  ASSERT_EQ(CountRule(report, SystemRule::kDeadlockCycle), 1) << FormatReport(report);
+  const SystemDiagnostic& diagnostic = report.diagnostics[0];
+  EXPECT_EQ(diagnostic.programs.size(), 2u);
+  EXPECT_EQ(diagnostic.ports.size(), 2u);
+}
+
+TEST(DeadlockTest, ThreeProgramRingDetectedWithAllMembersNamed) {
+  SystemEffectGraph graph;
+  graph.AddProgram(1, Summary("p0", {Receives(kQ1), Sends(kQ2)}));
+  graph.AddProgram(2, Summary("p1", {Receives(kQ2), Sends(kQ3)}));
+  graph.AddProgram(3, Summary("p2", {Receives(kQ3), Sends(kQ1)}));
+  SystemAnalysisReport report = graph.Analyze();
+  ASSERT_EQ(CountRule(report, SystemRule::kDeadlockCycle), 1) << FormatReport(report);
+  const SystemDiagnostic& diagnostic = report.diagnostics[0];
+  ASSERT_EQ(diagnostic.programs.size(), 3u);
+  for (const char* name : {"p0", "p1", "p2"}) {
+    EXPECT_NE(std::find(diagnostic.programs.begin(), diagnostic.programs.end(), name),
+              diagnostic.programs.end());
+    EXPECT_NE(diagnostic.message.find(name), std::string::npos) << diagnostic.message;
+  }
+  // Disassembly anchor present in the rendered diagnostic.
+  EXPECT_NE(diagnostic.message.find("receive"), std::string::npos) << diagnostic.message;
+}
+
+TEST(DeadlockTest, SelfWaitDetected) {
+  SystemEffectGraph graph;
+  // Only this program ever feeds q1, but it blocks on q1 before any send.
+  graph.AddProgram(1, Summary("loner", {Receives(kQ1), Sends(kQ1)}));
+  SystemAnalysisReport report = graph.Analyze();
+  EXPECT_EQ(CountRule(report, SystemRule::kDeadlockCycle), 1) << FormatReport(report);
+}
+
+TEST(DeadlockTest, CleanPipelineIsClean) {
+  SystemEffectGraph graph;
+  graph.AddProgram(1, Summary("head", {Sends(kQ1)}));
+  graph.AddProgram(2, Summary("mid", {Receives(kQ1), Sends(kQ2)}));
+  graph.AddProgram(3, Summary("tail", {Receives(kQ2)}));
+  SystemAnalysisReport report = graph.Analyze();
+  EXPECT_TRUE(report.ok()) << FormatReport(report);
+  EXPECT_EQ(report.programs_analyzed, 3u);
+  EXPECT_EQ(report.ports_seen, 2u);
+}
+
+TEST(DeadlockTest, ExternalSenderBreaksTheCycle) {
+  SystemEffectGraph graph;
+  graph.AddProgram(1, Summary("a", {Receives(kQ1), Sends(kQ2)}));
+  graph.AddProgram(2, Summary("b", {Receives(kQ2), Sends(kQ1)}));
+  graph.MarkExternalSender(kQ1);  // a device/test harness can always unblock `a`
+  SystemAnalysisReport report = graph.Analyze();
+  EXPECT_EQ(CountRule(report, SystemRule::kDeadlockCycle), 0) << FormatReport(report);
+}
+
+TEST(DeadlockTest, GuardedReceivesCreateNoWaitEdges) {
+  SystemEffectGraph graph;
+  graph.AddProgram(1, Summary("a", {Receives(kQ1, /*blocking=*/false), Sends(kQ2)}));
+  graph.AddProgram(2, Summary("b", {Receives(kQ2, /*blocking=*/false), Sends(kQ1)}));
+  SystemAnalysisReport report = graph.Analyze();
+  EXPECT_TRUE(report.ok()) << FormatReport(report);
+}
+
+TEST(DeadlockTest, PrimedRequestReplyIsNotADeadlock) {
+  SystemEffectGraph graph;
+  // Classic RPC: the client's request is provably in flight before it blocks for the
+  // reply, so the server can always make progress.
+  graph.AddProgram(1, Summary("client", {Sends(kQ1), Receives(kQ2, true, {kQ1})}));
+  graph.AddProgram(2, Summary("server", {Receives(kQ1), Sends(kQ2)}));
+  SystemAnalysisReport report = graph.Analyze();
+  EXPECT_EQ(CountRule(report, SystemRule::kDeadlockCycle), 0) << FormatReport(report);
+}
+
+TEST(DeadlockTest, OutsideSenderIntoCyclePortSuppresses) {
+  SystemEffectGraph graph;
+  graph.AddProgram(1, Summary("a", {Receives(kQ1), Sends(kQ2)}));
+  graph.AddProgram(2, Summary("b", {Receives(kQ2), Sends(kQ1)}));
+  // A third, non-blocked program can also feed q1; the "cycle" is escapable.
+  graph.AddProgram(3, Summary("helper", {Sends(kQ1)}));
+  SystemAnalysisReport report = graph.Analyze();
+  EXPECT_EQ(CountRule(report, SystemRule::kDeadlockCycle), 0) << FormatReport(report);
+}
+
+TEST(DeadlockTest, OrphanPortDetectedAndExternalReceiverSuppresses) {
+  SystemEffectGraph graph;
+  graph.AddProgram(1, Summary("writer", {Sends(kQ1)}));
+  SystemAnalysisReport report = graph.Analyze();
+  ASSERT_EQ(CountRule(report, SystemRule::kOrphanPort), 1) << FormatReport(report);
+  EXPECT_EQ(report.diagnostics[0].ports[0], kQ1);
+  EXPECT_NE(report.diagnostics[0].message.find("writer"), std::string::npos);
+
+  graph.MarkExternalReceiver(kQ1);
+  EXPECT_EQ(CountRule(graph.Analyze(), SystemRule::kOrphanPort), 0);
+}
+
+TEST(DeadlockTest, StarvedPortDetectedAndExternalSenderSuppresses) {
+  SystemEffectGraph graph;
+  graph.AddProgram(1, Summary("reader", {Receives(kQ1)}));
+  SystemAnalysisReport report = graph.Analyze();
+  ASSERT_EQ(CountRule(report, SystemRule::kStarvedPort), 1) << FormatReport(report);
+  EXPECT_EQ(report.diagnostics[0].ports[0], kQ1);
+
+  graph.MarkExternalSender(kQ1);
+  EXPECT_EQ(CountRule(graph.Analyze(), SystemRule::kStarvedPort), 0);
+}
+
+TEST(DeadlockTest, GuardedOnlyReceiverIsNotStarved) {
+  SystemEffectGraph graph;
+  graph.AddProgram(1, Summary("poller", {Receives(kQ1, /*blocking=*/false)}));
+  SystemAnalysisReport report = graph.Analyze();
+  EXPECT_TRUE(report.ok()) << FormatReport(report);
+}
+
+TEST(DeadlockTest, UnresolvedSendsSuppressStarvationAndCycles) {
+  SystemEffectGraph graph;
+  graph.AddProgram(1, Summary("a", {Receives(kQ1), Sends(kQ2)}));
+  graph.AddProgram(2, Summary("b", {Receives(kQ2), Sends(kQ1)}));
+  EffectSummary murky = Summary("murky", {});
+  murky.has_unresolved_send = true;  // could be feeding any port, including q1/q2
+  graph.AddProgram(3, std::move(murky));
+  SystemAnalysisReport report = graph.Analyze();
+  EXPECT_TRUE(report.ok()) << FormatReport(report);
+  EXPECT_EQ(report.unresolved_send_programs, 1u);
+}
+
+TEST(DeadlockTest, OpaqueProgramSuppressesEverything) {
+  SystemEffectGraph graph;
+  graph.AddProgram(1, Summary("reader", {Receives(kQ1)}));
+  graph.AddProgram(2, Summary("writer", {Sends(kQ2)}));
+  EffectSummary daemon = Summary("native-daemon", {});
+  daemon.has_native = true;  // C++ body: may touch any port
+  graph.AddProgram(3, std::move(daemon));
+  SystemAnalysisReport report = graph.Analyze();
+  EXPECT_TRUE(report.ok()) << FormatReport(report);
+  EXPECT_EQ(report.opaque_programs, 1u);
+}
+
+TEST(DeadlockTest, RemovingACycleMemberRetiresTheCycle) {
+  SystemEffectGraph graph;
+  graph.AddProgram(1, Summary("a", {Receives(kQ1), Sends(kQ2)}));
+  graph.AddProgram(2, Summary("b", {Receives(kQ2), Sends(kQ1)}));
+  ASSERT_EQ(CountRule(graph.Analyze(), SystemRule::kDeadlockCycle), 1);
+
+  // GC reclaims b's segment: the cycle disappears; a's port is now merely starved.
+  graph.RemoveProgram(2);
+  SystemAnalysisReport report = graph.Analyze();
+  EXPECT_EQ(CountRule(report, SystemRule::kDeadlockCycle), 0) << FormatReport(report);
+  EXPECT_EQ(CountRule(report, SystemRule::kStarvedPort), 1) << FormatReport(report);
+
+  // Re-registering restores it (incremental re-analysis on program registration).
+  graph.AddProgram(2, Summary("b", {Receives(kQ2), Sends(kQ1)}));
+  EXPECT_EQ(CountRule(graph.Analyze(), SystemRule::kDeadlockCycle), 1);
+}
+
+TEST(DeadlockTest, DomainCalleeEffectsComposeIntoCaller) {
+  SystemEffectGraph graph;
+  // `a` blocks on q1 and sends q2 only through a domain call; `b` completes the ring.
+  EffectSummary caller = Summary("a", {Receives(kQ1)});
+  DomainCall call;
+  call.callee_segment = 50;
+  caller.calls.push_back(call);
+  graph.AddProgram(1, std::move(caller));
+  graph.AddProgram(50, Summary("a-helper", {Sends(kQ2)}), ProgramKind::kDomainEntry);
+  graph.AddProgram(2, Summary("b", {Receives(kQ2), Sends(kQ1)}));
+  SystemAnalysisReport report = graph.Analyze();
+  EXPECT_EQ(CountRule(report, SystemRule::kDeadlockCycle), 1) << FormatReport(report);
+}
+
+TEST(DeadlockTest, UnresolvedDomainCallMakesCallerOpaque) {
+  SystemEffectGraph graph;
+  EffectSummary caller = Summary("a", {Receives(kQ1)});
+  caller.calls.push_back(DomainCall{});  // callee unknown
+  graph.AddProgram(1, std::move(caller));
+  SystemAnalysisReport report = graph.Analyze();
+  EXPECT_TRUE(report.ok()) << FormatReport(report);  // no starvation claim
+  EXPECT_EQ(report.opaque_programs, 1u);
+}
+
+TEST(DeadlockTest, UncalledDomainEntryIsNotAnActor) {
+  SystemEffectGraph graph;
+  // The entry receive-blocks on q1, but no process ever calls it: nothing to report.
+  graph.AddProgram(50, Summary("entry", {Receives(kQ1)}), ProgramKind::kDomainEntry);
+  SystemAnalysisReport report = graph.Analyze();
+  EXPECT_TRUE(report.ok()) << FormatReport(report);
+}
+
+TEST(DeadlockTest, SymbolTableNamesPortsInDiagnostics) {
+  SymbolTable symbols;
+  symbols.Name(kQ1, "requests");
+  SystemEffectGraph graph;
+  graph.set_symbols(&symbols);
+  graph.AddProgram(1, Summary("writer", {Sends(kQ1)}));
+  SystemAnalysisReport report = graph.Analyze();
+  ASSERT_EQ(report.diagnostics.size(), 1u);
+  EXPECT_NE(report.diagnostics[0].message.find("'requests'"), std::string::npos)
+      << report.diagnostics[0].message;
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace imax432

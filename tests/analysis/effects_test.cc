@@ -1,0 +1,288 @@
+#include "src/analysis/effects.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/arch/object_table.h"
+#include "src/arch/rights.h"
+#include "src/isa/assembler.h"
+#include "src/isa/disassembler.h"
+
+namespace imax432 {
+namespace analysis {
+namespace {
+
+// Fixture world: a tiny synthetic object graph the slot reader answers from, without any
+// machine. Object 1 = carrier, objects 10/11/12 = ports, object 20 = domain, 21 = segment.
+constexpr ObjectIndex kCarrier = 1;
+constexpr ObjectIndex kPortA = 10;
+constexpr ObjectIndex kPortB = 11;
+constexpr ObjectIndex kPortC = 12;
+constexpr ObjectIndex kDomain = 20;
+constexpr ObjectIndex kSegment = 21;
+
+AccessDescriptor Ad(ObjectIndex index) { return AccessDescriptor(index, 0, rights::kAll); }
+
+EffectOptions WorldOptions(const SymbolTable* symbols = nullptr) {
+  EffectOptions options;
+  options.initial_arg = Ad(kCarrier);
+  options.symbols = symbols;
+  options.slot_reader = [](ObjectIndex index, uint32_t slot) -> AccessDescriptor {
+    static const std::map<std::pair<ObjectIndex, uint32_t>, ObjectIndex> kSlots = {
+        {{kCarrier, 0}, kPortA},
+        {{kCarrier, 1}, kPortB},
+        {{kCarrier, 2}, kPortC},
+        {{kDomain, 0}, kSegment},
+    };
+    auto it = kSlots.find({index, slot});
+    return it == kSlots.end() ? AccessDescriptor() : Ad(it->second);
+  };
+  return options;
+}
+
+const PortUse* FindUse(const EffectSummary& summary, PortOp op, ObjectIndex port) {
+  for (const PortUse& use : summary.uses) {
+    if (use.op == op && use.port == port) return &use;
+  }
+  return nullptr;
+}
+
+TEST(EffectsTest, SendResolvesThroughMoveAndLoadChain) {
+  Assembler a("producer");
+  a.MoveAd(1, kArgAdReg)  // a1 = carrier
+      .LoadAd(2, 1, 0)    // a2 = port A
+      .MoveAd(3, 2)       // chase one more move
+      .Send(3, 1)
+      .Halt();
+  EffectSummary summary = EffectAnalyzer::Analyze(*a.Build(), WorldOptions());
+  EXPECT_TRUE(summary.SendsTo(kPortA));
+  EXPECT_FALSE(summary.has_unresolved_send);
+  const PortUse* use = FindUse(summary, PortOp::kSend, kPortA);
+  ASSERT_NE(use, nullptr);
+  EXPECT_TRUE(use->blocking);
+  EXPECT_EQ(use->pc, 3u);
+}
+
+TEST(EffectsTest, ReceiveResolvesAndIsBlocking) {
+  Assembler a("consumer");
+  a.MoveAd(1, kArgAdReg).LoadAd(2, 1, 1).Receive(4, 2).Halt();
+  EffectSummary summary = EffectAnalyzer::Analyze(*a.Build(), WorldOptions());
+  EXPECT_TRUE(summary.ReceivesFrom(kPortB));
+  const PortUse* use = FindUse(summary, PortOp::kReceive, kPortB);
+  ASSERT_NE(use, nullptr);
+  EXPECT_TRUE(use->blocking);
+}
+
+TEST(EffectsTest, CondVariantsAreGuarded) {
+  Assembler a("poller");
+  a.MoveAd(1, kArgAdReg)
+      .LoadAd(2, 1, 0)
+      .CondSend(2, 1, 0)
+      .CondReceive(3, 2, 1)
+      .Halt();
+  EffectSummary summary = EffectAnalyzer::Analyze(*a.Build(), WorldOptions());
+  const PortUse* send = FindUse(summary, PortOp::kSend, kPortA);
+  const PortUse* recv = FindUse(summary, PortOp::kReceive, kPortA);
+  ASSERT_NE(send, nullptr);
+  ASSERT_NE(recv, nullptr);
+  EXPECT_FALSE(send->blocking);
+  EXPECT_FALSE(recv->blocking);
+}
+
+TEST(EffectsTest, UnseededArgumentLeavesUsesUnresolved) {
+  Assembler a("orphaned");
+  a.MoveAd(1, kArgAdReg).LoadAd(2, 1, 0).Send(2, 1).Receive(3, 2).Halt();
+  EffectOptions options = WorldOptions();
+  options.initial_arg = AccessDescriptor();  // a7 unknown
+  EffectSummary summary = EffectAnalyzer::Analyze(*a.Build(), options);
+  EXPECT_TRUE(summary.has_unresolved_send);
+  EXPECT_TRUE(summary.has_unresolved_receive);
+  EXPECT_NE(FindUse(summary, PortOp::kSend, kUnresolvedPort), nullptr);
+  EXPECT_FALSE(summary.SendsTo(kPortA));
+}
+
+TEST(EffectsTest, ClearedRegisterRecordsNoUse) {
+  Assembler a("cleared");
+  a.MoveAd(1, kArgAdReg)
+      .LoadAd(2, 1, 0)
+      .ClearAd(2)   // the send below faults at run time; statically it reaches no port
+      .Send(2, 1)
+      .Halt();
+  EffectSummary summary = EffectAnalyzer::Analyze(*a.Build(), WorldOptions());
+  EXPECT_TRUE(summary.uses.empty());
+  EXPECT_FALSE(summary.has_unresolved_send);
+}
+
+TEST(EffectsTest, FreshObjectIsNeverAPreexistingPort) {
+  Assembler a("fresh");
+  a.MoveAd(1, kArgAdReg)
+      .CreateObject(2, 1, 32)  // a2 = brand-new object
+      .Send(2, 1)              // cannot name any existing port
+      .Halt();
+  EffectSummary summary = EffectAnalyzer::Analyze(*a.Build(), WorldOptions());
+  EXPECT_TRUE(summary.uses.empty());
+}
+
+TEST(EffectsTest, NativeStepHavocsResolutionAndFlagsSummary) {
+  Assembler a("daemonish");
+  a.MoveAd(1, kArgAdReg)
+      .Native([](ExecutionContext&) -> Result<NativeResult> { return NativeResult{}; })
+      .LoadAd(2, 1, 0)
+      .Send(2, 1)
+      .Halt();
+  EffectSummary summary = EffectAnalyzer::Analyze(*a.Build(), WorldOptions());
+  EXPECT_TRUE(summary.has_native);
+  EXPECT_TRUE(summary.may_not_terminate);
+  EXPECT_TRUE(summary.has_unresolved_send);
+  EXPECT_FALSE(summary.SendsTo(kPortA));
+}
+
+TEST(EffectsTest, LoopSetsMayNotTerminate) {
+  Assembler looping("looping");
+  auto loop = looping.NewLabel();
+  looping.MoveAd(1, kArgAdReg).Bind(loop).Compute(10).Branch(loop);
+  EXPECT_TRUE(EffectAnalyzer::Analyze(*looping.Build(), WorldOptions()).may_not_terminate);
+
+  Assembler straight("straight");
+  straight.MoveAd(1, kArgAdReg).Compute(10).Halt();
+  EXPECT_FALSE(EffectAnalyzer::Analyze(*straight.Build(), WorldOptions()).may_not_terminate);
+}
+
+TEST(EffectsTest, MustSendsBeforeAReceiveAreRecorded) {
+  Assembler a("request_reply");
+  a.MoveAd(1, kArgAdReg)
+      .LoadAd(2, 1, 0)  // request port A
+      .LoadAd(3, 1, 1)  // reply port B
+      .Send(2, 1)       // request goes out on every path
+      .Receive(4, 3)    // then block for the reply
+      .Halt();
+  EffectSummary summary = EffectAnalyzer::Analyze(*a.Build(), WorldOptions());
+  const PortUse* recv = FindUse(summary, PortOp::kReceive, kPortB);
+  ASSERT_NE(recv, nullptr);
+  ASSERT_EQ(recv->sends_before.size(), 1u);
+  EXPECT_EQ(recv->sends_before[0], kPortA);
+}
+
+TEST(EffectsTest, MustSendsIntersectAcrossPaths) {
+  Assembler a("branchy");
+  auto other = a.NewLabel();
+  auto join = a.NewLabel();
+  a.MoveAd(1, kArgAdReg)
+      .LoadAd(2, 1, 0)           // port A
+      .LoadAd(3, 1, 1)           // port B
+      .BranchIfZero(0, other)
+      .Send(2, 1)                // path 1 sends to A only
+      .Branch(join)
+      .Bind(other)
+      .Send(3, 1)                // path 2 sends to B only
+      .Bind(join)
+      .Receive(4, 2)             // no send is guaranteed here
+      .Halt();
+  EffectSummary summary = EffectAnalyzer::Analyze(*a.Build(), WorldOptions());
+  const PortUse* recv = FindUse(summary, PortOp::kReceive, kPortA);
+  ASSERT_NE(recv, nullptr);
+  EXPECT_TRUE(recv->sends_before.empty());
+}
+
+TEST(EffectsTest, JoinUnionsPortCandidates) {
+  Assembler a("either");
+  auto other = a.NewLabel();
+  auto join = a.NewLabel();
+  a.MoveAd(1, kArgAdReg)
+      .BranchIfZero(0, other)
+      .LoadAd(2, 1, 0)  // port A
+      .Branch(join)
+      .Bind(other)
+      .LoadAd(2, 1, 1)  // port B
+      .Bind(join)
+      .Send(2, 1)       // may hit either port: both must be recorded
+      .Halt();
+  EffectSummary summary = EffectAnalyzer::Analyze(*a.Build(), WorldOptions());
+  EXPECT_TRUE(summary.SendsTo(kPortA));
+  EXPECT_TRUE(summary.SendsTo(kPortB));
+  EXPECT_FALSE(summary.has_unresolved_send);
+}
+
+TEST(EffectsTest, StoreAdInvalidatesSnapshotResolution) {
+  Assembler a("self_mutating");
+  a.MoveAd(1, kArgAdReg)
+      .LoadAd(2, 1, 0)   // resolves against the boot snapshot
+      .StoreAd(1, 2, 1)  // carrier slot 1 overwritten at run time
+      .LoadAd(3, 1, 1)   // must NOT resolve to the stale port B
+      .Send(3, 1)
+      .Halt();
+  EffectSummary summary = EffectAnalyzer::Analyze(*a.Build(), WorldOptions());
+  EXPECT_FALSE(summary.SendsTo(kPortB));
+  EXPECT_TRUE(summary.has_unresolved_send);
+}
+
+TEST(EffectsTest, DomainCallEntryResolvesToSegment) {
+  Assembler a("caller");
+  a.MoveAd(1, kArgAdReg)
+      .Call(1, 0)  // treat the argument as a domain; entry 0
+      .Halt();
+  EffectOptions options = WorldOptions();
+  options.initial_arg = Ad(kDomain);
+  EffectSummary summary = EffectAnalyzer::Analyze(*a.Build(), options);
+  ASSERT_EQ(summary.calls.size(), 1u);
+  EXPECT_EQ(summary.calls[0].callee_segment, kSegment);
+  EXPECT_EQ(summary.calls[0].entry, 0u);
+}
+
+TEST(EffectsTest, TimedReceiveIsAGuardedReceiveThroughA7) {
+  Assembler a("timed");
+  a.LoadAd(7, 7, 0)  // a7 = carrier slot 0 = port A (carrier arrives in a7)
+      .LoadImm(7, 1000)
+      .OsCall(/*kTimedReceive=*/5)
+      .Halt();
+  EffectSummary summary = EffectAnalyzer::Analyze(*a.Build(), WorldOptions());
+  const PortUse* use = FindUse(summary, PortOp::kReceive, kPortA);
+  ASSERT_NE(use, nullptr);
+  EXPECT_FALSE(use->blocking);  // the timeout fault bounds the wait
+  EXPECT_FALSE(summary.has_native);
+}
+
+TEST(EffectsTest, UnknownOsServiceIsOpaque) {
+  Assembler a("pkg_call");
+  a.MoveAd(1, kArgAdReg).OsCall(/*some package service=*/16).LoadAd(2, 1, 0).Send(2, 1).Halt();
+  EffectSummary summary = EffectAnalyzer::Analyze(*a.Build(), WorldOptions());
+  EXPECT_TRUE(summary.has_native);
+  EXPECT_TRUE(summary.has_unresolved_send);
+}
+
+TEST(EffectsTest, DisassemblyIsAnchoredAndNamesThePort) {
+  SymbolTable symbols;
+  symbols.Name(kPortA, "ring.0");
+  Assembler a("named");
+  a.MoveAd(1, kArgAdReg).LoadAd(2, 1, 0).Receive(4, 2).Halt();
+  EffectSummary summary = EffectAnalyzer::Analyze(*a.Build(), WorldOptions(&symbols));
+  const PortUse* use = FindUse(summary, PortOp::kReceive, kPortA);
+  ASSERT_NE(use, nullptr);
+  EXPECT_NE(use->disasm.find("0002"), std::string::npos) << use->disasm;
+  EXPECT_NE(use->disasm.find("receive"), std::string::npos) << use->disasm;
+  EXPECT_NE(use->disasm.find("'ring.0'"), std::string::npos) << use->disasm;
+}
+
+TEST(EffectsTest, OptionsForTableChaseRealAccessParts) {
+  ObjectTable table(16);
+  auto port = table.Allocate(SystemType::kPort, 0, 0, 0, 0, kInvalidObjectIndex, 0);
+  auto carrier = table.Allocate(SystemType::kGeneric, 0, 0, 16, 2, kInvalidObjectIndex, 0);
+  ASSERT_TRUE(port.ok());
+  ASSERT_TRUE(carrier.ok());
+  auto port_ad = table.MintAd(port.value(), rights::kAll);
+  auto carrier_ad = table.MintAd(carrier.value(), rights::kAll);
+  ASSERT_TRUE(port_ad.ok());
+  ASSERT_TRUE(carrier_ad.ok());
+  table.At(carrier.value()).access[0] = port_ad.value();
+
+  Assembler a("table_backed");
+  a.MoveAd(1, kArgAdReg).LoadAd(2, 1, 0).Send(2, 1).Halt();
+  EffectSummary summary = EffectAnalyzer::Analyze(
+      *a.Build(), EffectOptionsForTable(table, carrier_ad.value()));
+  EXPECT_TRUE(summary.SendsTo(port.value()));
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace imax432

@@ -270,6 +270,35 @@ TEST(VerifierTest, TypeConfusionOnSendToNonPort) {
   EXPECT_TRUE(HasError(result, Rule::kTypeConfusion, 1)) << Render(*program, result);
 }
 
+// The guarded variants must obey the same rights discipline as their blocking forms: a
+// successful conditional transfer moves the message exactly like Send/Receive would.
+TEST(VerifierTest, CondSendWithoutSendRightsRejected) {
+  Assembler a("cond_send_stripped");
+  a.MoveAd(1, kArgAdReg).RestrictRights(1, rights::kRead).CondSend(1, 1, 0).Halt();
+  ProgramRef program = a.Build();
+  VerifyResult result = Verifier::Verify(*program, PortArg());
+  EXPECT_TRUE(HasError(result, Rule::kMissingRights, 2)) << Render(*program, result);
+}
+
+TEST(VerifierTest, CondReceiveWithoutReceiveRightsRejected) {
+  Assembler a("cond_receive_stripped");
+  a.MoveAd(1, kArgAdReg)
+      .RestrictRights(1, rights::kPortSend)
+      .CondReceive(2, 1, 0)
+      .Halt();
+  ProgramRef program = a.Build();
+  VerifyResult result = Verifier::Verify(*program, PortArg());
+  EXPECT_TRUE(HasError(result, Rule::kMissingRights, 2)) << Render(*program, result);
+}
+
+TEST(VerifierTest, CondVariantsWithFullPortRightsAreClean) {
+  Assembler a("cond_ok");
+  a.MoveAd(1, kArgAdReg).CondSend(1, 1, 0).CondReceive(2, 1, 1).Halt();
+  ProgramRef program = a.Build();
+  VerifyResult result = Verifier::Verify(*program, PortArg());
+  EXPECT_TRUE(result.ok()) << Render(*program, result);
+}
+
 // The acceptance corpus: distinct seeded-bad programs, each rejected with a diagnostic
 // naming the offending instruction index and rule.
 struct BadCase {

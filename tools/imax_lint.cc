@@ -1,23 +1,18 @@
-// imax_lint: offline static capability verification for iMAX-432 programs.
+// imax_lint: offline static analysis for iMAX-432 programs.
 //
 // Boots a representative system configuration — GC daemon, fault service, pass-through
 // scheduler, console device server, plus a quickstart-style producer/consumer pair — then
 // sweeps every instruction segment in the program store through the static verifier
-// (src/analysis) and prints a disassembly-annotated diagnostic report.
-//
-// Usage: imax_lint [--dump] [--demo-bad]
-//   --dump      also print the full disassembly of every linted program
-//   --demo-bad  additionally lint a corpus of deliberately broken programs and check that
-//               each one is rejected (exercises the verifier's rule coverage end to end)
-//
-// Exit status: 0 when every system/example program verifies (and, with --demo-bad, every
-// broken program is rejected); 1 otherwise.
+// (src/analysis) and prints a disassembly-annotated diagnostic report. See --help for the
+// modes and the exit-code contract (CI gates on it).
 
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "src/analysis/deadlock.h"
+#include "src/analysis/effects.h"
 #include "src/analysis/verifier.h"
 #include "src/io/devices.h"
 #include "src/isa/disassembler.h"
@@ -28,6 +23,26 @@
 using namespace imax432;
 
 namespace {
+
+constexpr char kUsage[] =
+    "usage: imax_lint [--dump] [--demo-bad] [--deadlock] [--help]\n"
+    "\n"
+    "Boots a representative iMAX-432 system with verify-on-load armed and sweeps every\n"
+    "loaded program through the static capability verifier.\n"
+    "\n"
+    "  --dump      also print the full disassembly of every linted program\n"
+    "  --demo-bad  additionally lint a corpus of deliberately broken programs and check\n"
+    "              that each one is rejected (verifier rule coverage, end to end)\n"
+    "  --deadlock  additionally run the whole-system IPC analysis: the booted system must\n"
+    "              come back clean, and a seeded corpus (3-process receive cycle, orphan\n"
+    "              port, starved port) must be flagged\n"
+    "  --help      print this text and exit 0\n"
+    "\n"
+    "exit status:\n"
+    "  0  everything clean: all programs verified, all seeded defects detected\n"
+    "  1  infrastructure failure (boot/setup error, bad usage) — the analyses did not run\n"
+    "  2  diagnostics found: a verifier error, a missed seeded defect, or a whole-system\n"
+    "     false positive/negative; CI gates on this value\n";
 
 struct BadProgram {
   const char* why;
@@ -83,6 +98,21 @@ std::vector<BadProgram> BuildBadCorpus() {
     corpus.push_back({"stores past the end of a 16-byte object", a.Build(), SroArg()});
   }
   {
+    Assembler a("bad_restricted_cond_send");
+    a.MoveAd(1, kArgAdReg).RestrictRights(1, rights::kRead).CondSend(1, 1, 0).Halt();
+    corpus.push_back(
+        {"cond-sends after stripping port-send rights", a.Build(), PortArg()});
+  }
+  {
+    Assembler a("bad_restricted_cond_receive");
+    a.MoveAd(1, kArgAdReg)
+        .RestrictRights(1, rights::kPortSend)  // keep send, drop receive
+        .CondReceive(2, 1, 0)
+        .Halt();
+    corpus.push_back(
+        {"cond-receives after stripping port-receive rights", a.Build(), PortArg()});
+  }
+  {
     Assembler a("bad_level_escape");
     a.MoveAd(1, kArgAdReg)       // a1 = global SRO (level 0)
         .CreateObject(2, 1, 16, 2)
@@ -110,19 +140,146 @@ int LintProgram(const Program& program, const analysis::VerifyOptions& options, 
   return static_cast<int>(result.error_count());
 }
 
+// Whole-system IPC analysis: the booted system must come back clean (zero false positives
+// on shipped programs), then a seeded corpus of known-defective topologies must be flagged
+// (zero false negatives on the patterns the detector claims to catch). Returns the number
+// of failed expectations; -1 on setup failure.
+int RunDeadlockChecks(System& system, bool dump) {
+  int failures = 0;
+
+  std::printf("\n==== whole-system IPC analysis (booted system) ====\n");
+  analysis::SystemAnalysisReport live = system.kernel().AnalyzeSystem();
+  std::printf("imax_lint: %u programs, %u distinct ports, %u opaque: %s\n",
+              live.programs_analyzed, live.ports_seen, live.opaque_programs,
+              live.ok() ? "clean" : "DIAGNOSTICS");
+  if (!live.ok()) {
+    std::fputs(analysis::FormatReport(live).c_str(), stdout);
+    std::printf("^^^^ FALSE POSITIVE — the booted system is known deadlock-free\n");
+    failures += static_cast<int>(live.diagnostics.size());
+  }
+
+  // --- Seeded corpus: a 3-process receive ring, an orphan port, a starved port. ---
+  // Ports and carriers are real objects in the live table (so AD chains resolve exactly as
+  // they would at load time), but the programs are analyzed standalone and never spawned —
+  // running the ring would genuinely hang the simulation.
+  std::printf("\n==== seeded deadlock corpus (every defect below must be flagged) ====\n");
+  Kernel& kernel = system.kernel();
+  SymbolTable& symbols = kernel.symbols();
+  auto make_port = [&](const char* name) {
+    auto port = kernel.ports().CreatePort(system.memory().global_heap(), 4,
+                                          QueueDiscipline::kFifo);
+    if (port.ok()) symbols.Name(port.value().index(), name);
+    return port;
+  };
+  auto ring0 = make_port("ring.0");
+  auto ring1 = make_port("ring.1");
+  auto ring2 = make_port("ring.2");
+  auto orphan = make_port("orphan.sink");
+  auto starved = make_port("starved.source");
+  if (!ring0.ok() || !ring1.ok() || !ring2.ok() || !orphan.ok() || !starved.ok()) {
+    std::fprintf(stderr, "imax_lint: corpus port creation failed\n");
+    return -1;
+  }
+
+  // carrier slot 0 = the port the program receives from, slot 1 = the port it sends to.
+  auto make_carrier = [&](const AccessDescriptor& recv_port,
+                          const AccessDescriptor& send_port) {
+    auto carrier = system.memory().CreateObject(system.memory().global_heap(),
+                                                SystemType::kGeneric, 16, 2,
+                                                rights::kRead | rights::kWrite);
+    if (carrier.ok()) {
+      (void)system.machine().addressing().WriteAd(carrier.value(), 0, recv_port);
+      (void)system.machine().addressing().WriteAd(carrier.value(), 1, send_port);
+    }
+    return carrier;
+  };
+
+  analysis::SystemEffectGraph graph;
+  graph.set_symbols(&symbols);
+  ObjectIndex next_key = 1;
+  auto add_program = [&](const Program& program, const AccessDescriptor& carrier) {
+    analysis::EffectOptions options =
+        analysis::EffectOptionsForTable(system.machine().table(), carrier, &symbols);
+    if (dump) std::fputs(Disassemble(program).c_str(), stdout);
+    graph.AddProgram(next_key++, analysis::EffectAnalyzer::Analyze(program, options));
+  };
+
+  // The ring: each member blocks receiving from its own port, then forwards to the next.
+  // No message is ever in flight, so all three block forever.
+  const AccessDescriptor ring_ports[3] = {ring0.value(), ring1.value(), ring2.value()};
+  for (int i = 0; i < 3; ++i) {
+    Assembler a("ring.p" + std::to_string(i));
+    a.MoveAd(1, kArgAdReg)
+        .LoadAd(2, 1, 0)   // own port
+        .LoadAd(3, 1, 1)   // next member's port
+        .Receive(4, 2)
+        .Send(3, 4)
+        .Halt();
+    auto carrier = make_carrier(ring_ports[i], ring_ports[(i + 1) % 3]);
+    if (!carrier.ok()) return -1;
+    add_program(*a.Build(), carrier.value());
+  }
+  {
+    Assembler a("orphan.writer");
+    a.MoveAd(1, kArgAdReg).LoadAd(2, 1, 1).Send(2, 1).Halt();
+    auto carrier = make_carrier(AccessDescriptor(), orphan.value());
+    if (!carrier.ok()) return -1;
+    add_program(*a.Build(), carrier.value());
+  }
+  {
+    Assembler a("starved.reader");
+    a.MoveAd(1, kArgAdReg).LoadAd(2, 1, 0).Receive(4, 2).Halt();
+    auto carrier = make_carrier(starved.value(), AccessDescriptor());
+    if (!carrier.ok()) return -1;
+    add_program(*a.Build(), carrier.value());
+  }
+
+  analysis::SystemAnalysisReport report = graph.Analyze();
+  std::fputs(analysis::FormatReport(report).c_str(), stdout);
+  int cycles = 0, orphans = 0, starvations = 0;
+  for (const analysis::SystemDiagnostic& diagnostic : report.diagnostics) {
+    switch (diagnostic.rule) {
+      case analysis::SystemRule::kDeadlockCycle:
+        ++cycles;
+        if (diagnostic.programs.size() != 3) {
+          std::printf("^^^^ WRONG CYCLE — expected 3 programs, got %zu\n",
+                      diagnostic.programs.size());
+          ++failures;
+        }
+        break;
+      case analysis::SystemRule::kOrphanPort: ++orphans; break;
+      case analysis::SystemRule::kStarvedPort: ++starvations; break;
+    }
+  }
+  if (cycles != 1 || orphans != 1 || starvations != 1) {
+    std::printf("^^^^ MISSED DEFECT — expected 1 cycle / 1 orphan / 1 starved, "
+                "got %d / %d / %d\n", cycles, orphans, starvations);
+    ++failures;
+  }
+  std::printf("\nimax_lint: seeded corpus: %d cycle, %d orphan, %d starved; %d failures\n",
+              cycles, orphans, starvations, failures);
+  return failures;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool dump = false;
   bool demo_bad = false;
+  bool deadlock = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--dump") == 0) {
       dump = true;
     } else if (std::strcmp(argv[i], "--demo-bad") == 0) {
       demo_bad = true;
+    } else if (std::strcmp(argv[i], "--deadlock") == 0) {
+      deadlock = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::fputs(kUsage, stdout);
+      return 0;
     } else {
-      std::fprintf(stderr, "usage: %s [--dump] [--demo-bad]\n", argv[0]);
-      return 2;
+      std::fputs(kUsage, stderr);
+      return 1;  // bad usage is an infrastructure failure, not a lint finding
     }
   }
 
@@ -224,5 +381,18 @@ int main(int argc, char** argv) {
                 BuildBadCorpus().size());
   }
 
-  return (errors > 0 || missed > 0) ? 1 : 0;
+  int deadlock_failures = 0;
+  if (deadlock) {
+    // Give the quickstart pair's port a name first, so any diagnostic that did involve it
+    // would read well.
+    system.kernel().symbols().Name(port.value().index(), "example.queue");
+    deadlock_failures = RunDeadlockChecks(system, dump);
+    if (deadlock_failures < 0) {
+      return 1;
+    }
+  }
+
+  const int findings = errors + missed + deadlock_failures;
+  std::printf("\nLINT EXIT: %d\n", findings > 0 ? 2 : 0);
+  return findings > 0 ? 2 : 0;
 }
