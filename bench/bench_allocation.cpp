@@ -145,4 +145,4 @@ BENCHMARK(BM_ModelCalibration)->Iterations(1);
 }  // namespace
 }  // namespace imax432
 
-BENCHMARK_MAIN();
+IMAX_BENCH_MAIN()

@@ -11,7 +11,7 @@
 // `items_per_second` is summarized instructions (BM_EffectSummary) or analyzed programs
 // (BM_SystemAnalyze) per second.
 
-#include <benchmark/benchmark.h>
+#include "bench/bench_util.h"
 
 #include <string>
 #include <vector>
@@ -133,4 +133,4 @@ BENCHMARK(BM_SystemAnalyzePipeline)->Arg(8)->Arg(64)->Arg(512);
 }  // namespace
 }  // namespace imax432
 
-BENCHMARK_MAIN();
+IMAX_BENCH_MAIN()

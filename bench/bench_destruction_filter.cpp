@@ -132,4 +132,4 @@ BENCHMARK(BM_FilterLatency)->Iterations(1);
 }  // namespace
 }  // namespace imax432
 
-BENCHMARK_MAIN();
+IMAX_BENCH_MAIN()

@@ -184,4 +184,4 @@ BENCHMARK(BM_DispatchDisciplineAblation)
 }  // namespace
 }  // namespace imax432
 
-BENCHMARK_MAIN();
+IMAX_BENCH_MAIN()

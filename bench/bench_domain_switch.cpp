@@ -149,4 +149,4 @@ BENCHMARK(BM_DomainCallByDepth)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Iterations(1);
 }  // namespace
 }  // namespace imax432
 
-BENCHMARK_MAIN();
+IMAX_BENCH_MAIN()

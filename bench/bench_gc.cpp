@@ -330,4 +330,4 @@ BENCHMARK(BM_GcStepGranularity)->Arg(32)->Arg(128)->Arg(512)->Arg(4096)->Iterati
 }  // namespace
 }  // namespace imax432
 
-BENCHMARK_MAIN();
+IMAX_BENCH_MAIN()

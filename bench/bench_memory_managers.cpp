@@ -131,4 +131,4 @@ BENCHMARK(BM_SwappingThrashCurve)->Arg(8)->Arg(12)->Arg(16)->Arg(20)->Arg(28)->I
 }  // namespace
 }  // namespace imax432
 
-BENCHMARK_MAIN();
+IMAX_BENCH_MAIN()

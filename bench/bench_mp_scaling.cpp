@@ -131,4 +131,4 @@ BENCHMARK(BM_MixedBusChannels)->Arg(1)->Arg(2)->Arg(4)->Iterations(1);
 }  // namespace
 }  // namespace imax432
 
-BENCHMARK_MAIN();
+IMAX_BENCH_MAIN()

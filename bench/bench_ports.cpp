@@ -199,4 +199,4 @@ BENCHMARK(BM_QueueDiscipline)
 }  // namespace
 }  // namespace imax432
 
-BENCHMARK_MAIN();
+IMAX_BENCH_MAIN()

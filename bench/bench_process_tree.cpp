@@ -153,4 +153,4 @@ BENCHMARK(BM_RedundantRequestsAreCheap)->Iterations(1);
 }  // namespace
 }  // namespace imax432
 
-BENCHMARK_MAIN();
+IMAX_BENCH_MAIN()

@@ -146,4 +146,4 @@ BENCHMARK(BM_CodeIdentity)->Iterations(1);
 }  // namespace
 }  // namespace imax432
 
-BENCHMARK_MAIN();
+IMAX_BENCH_MAIN()

@@ -10,6 +10,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <memory>
 
 #include "src/os/system.h"
@@ -44,6 +45,62 @@ inline AccessDescriptor MakeCarrier(System& system, const std::vector<AccessDesc
 
 inline double ToUs(Cycles c) { return cycles::ToMicroseconds(c); }
 
+// Machine-readable reporter selected by the --json flag: one JSON object per line per run,
+// with the benchmark name, iteration count, host real time, and every user counter (which
+// is where all the virtual-time results live). Schema documented in EXPERIMENTS.md.
+class JsonLineReporter : public benchmark::BenchmarkReporter {
+ public:
+  bool ReportContext(const Context&) override { return true; }
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) {
+        continue;
+      }
+      std::ostream& out = GetOutputStream();
+      double iterations = run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      out << "{\"name\":\"" << run.benchmark_name() << "\",\"iterations\":" << run.iterations
+          << ",\"real_time_ns\":" << run.real_accumulated_time * 1e9 / iterations;
+      for (const auto& [name, counter] : run.counters) {
+        out << ",\"" << name << "\":" << counter.value;
+      }
+      out << "}\n";
+    }
+  }
+};
+
+// Shared main: strips --json from argv (google benchmark rejects unknown flags), then runs
+// with either the default console reporter or the one-line JSON reporter.
+inline int BenchMain(int argc, char** argv) {
+  bool json = false;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  if (json) {
+    JsonLineReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+  } else {
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  benchmark::Shutdown();
+  return 0;
+}
+
 }  // namespace imax432::bench
+
+#define IMAX_BENCH_MAIN()                                  \
+  int main(int argc, char** argv) {                        \
+    return ::imax432::bench::BenchMain(argc, argv);        \
+  }
 
 #endif  // IMAX432_BENCH_BENCH_UTIL_H_

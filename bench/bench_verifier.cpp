@@ -10,7 +10,7 @@
 //
 // Rows scale the program size; `items_per_second` is verified instructions per second.
 
-#include <benchmark/benchmark.h>
+#include "bench/bench_util.h"
 
 #include "src/analysis/verifier.h"
 #include "src/isa/assembler.h"
@@ -100,4 +100,4 @@ BENCHMARK(BM_VerifyLoopNest)->Arg(8)->Arg(64)->Arg(512);
 }  // namespace
 }  // namespace imax432
 
-BENCHMARK_MAIN();
+IMAX_BENCH_MAIN()

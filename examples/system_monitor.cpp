@@ -19,6 +19,7 @@ int main() {
   config.memory_manager = MemoryManagerKind::kSwapping;
   System system(config);
   Introspection monitor(&system.kernel());
+  monitor.AttachGc(&system.gc());
 
   std::printf("=== boot ===\n%s\n", Introspection::Format(monitor.Report()).c_str());
 

@@ -7,6 +7,9 @@ namespace {
 
 LogSeverity g_min_severity = LogSeverity::kWarning;
 
+TraceLogSink g_trace_sink = nullptr;
+void* g_trace_sink_user = nullptr;
+
 const char* SeverityTag(LogSeverity severity) {
   switch (severity) {
     case LogSeverity::kTrace:
@@ -29,7 +32,21 @@ void SetLogSeverity(LogSeverity severity) { g_min_severity = severity; }
 
 LogSeverity GetLogSeverity() { return g_min_severity; }
 
+void SetTraceLogSink(TraceLogSink sink, void* user) {
+  g_trace_sink = sink;
+  g_trace_sink_user = user;
+}
+
 void Logf(LogSeverity severity, const char* format, ...) {
+  if (severity == LogSeverity::kTrace && g_trace_sink != nullptr) {
+    char buffer[512];
+    va_list args;
+    va_start(args, format);
+    std::vsnprintf(buffer, sizeof(buffer), format, args);
+    va_end(args);
+    g_trace_sink(g_trace_sink_user, buffer);
+    return;
+  }
   if (severity < g_min_severity) {
     return;
   }

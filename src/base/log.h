@@ -28,6 +28,14 @@ LogSeverity GetLogSeverity();
 // printf-style log statement.
 void Logf(LogSeverity severity, const char* format, ...) __attribute__((format(printf, 2, 3)));
 
+// Optional sink for kTrace-level messages. While installed, every kTrace line is delivered
+// to the sink — regardless of the minimum severity — and never reaches stderr, so
+// instruction-level interpreter dumps have a single destination. System installs a sink
+// forwarding into the machine's TraceRecorder when SystemConfig::trace is set. Pass nullptr
+// to uninstall.
+using TraceLogSink = void (*)(void* user, const char* message);
+void SetTraceLogSink(TraceLogSink sink, void* user);
+
 #define IMAX_LOG_TRACE(...) ::imax432::Logf(::imax432::LogSeverity::kTrace, __VA_ARGS__)
 #define IMAX_LOG_DEBUG(...) ::imax432::Logf(::imax432::LogSeverity::kDebug, __VA_ARGS__)
 #define IMAX_LOG_INFO(...) ::imax432::Logf(::imax432::LogSeverity::kInfo, __VA_ARGS__)

@@ -363,6 +363,17 @@ Status Kernel::MarkStopped(const AccessDescriptor& process) {
 
 Status Kernel::MakeReady(const AccessDescriptor& process) {
   ProcessView proc = process_view(process);
+  // If the process was blocked at a port, the blocking episode ends here — whether it goes
+  // ready or (stop pending) parks as stopped.
+  auto wait = block_waits_.find(process.index());
+  if (wait != block_waits_.end()) {
+    Cycles waited = machine_->now() - wait->second.start;
+    machine_->latency().port_wait.Record(waited);
+    machine_->trace().Emit(TraceEventKind::kUnblock, machine_->now(), kTraceNoProcessor,
+                           process.index(), wait->second.port,
+                           static_cast<uint32_t>(waited));
+    block_waits_.erase(wait);
+  }
   if (proc.stop_count() > 0) {
     // Held out of the dispatching mix.
     proc.set_state(ProcessState::kStopped);
@@ -433,6 +444,9 @@ void Kernel::BindProcess(ProcessorRec& rec, const AccessDescriptor& process) {
   // Dispatch latency: binding a process to a processor is itself a hardware algorithm.
   Cycles done = machine_->bus().Acquire(machine_->now() + cycles::kDispatch,
                                         cycles::kBusDispatch);
+  machine_->latency().dispatch_latency.Record(done - machine_->now());
+  machine_->trace().Emit(TraceEventKind::kDispatch, machine_->now(), rec.id, process.index(),
+                         static_cast<uint32_t>(done - machine_->now()));
   machine_->events().ScheduleAt(done, [this, id = rec.id] { ProcessorStep(id); });
 }
 
@@ -462,6 +476,8 @@ void Kernel::ProcessorFetch(uint16_t processor_id) {
                      static_cast<uint64_t>(ProcessorState::kIdle));
   rec.idle_since = machine_->now();
   rec.waiting = true;
+  machine_->trace().Emit(TraceEventKind::kIdle, machine_->now(), processor_id, kTraceNoProcess,
+                         rec.dispatch_port.index());
   ports_.PushWaitingProcessor(rec.dispatch_port, processor_id);
 }
 
@@ -507,11 +523,20 @@ void Kernel::ProcessorStep(uint16_t processor_id) {
   StepEffect effect;
   if (pc >= program.size()) {
     // Falling off the end of a subprogram is an implicit return.
-    auto returned = DoReturn(proc, ctx);
+    auto returned = DoReturn(rec.id, proc, ctx);
     IMAX_CHECK(returned.ok());
     effect = returned.value();
   } else {
     const Instruction& instruction = program.at(pc);
+    // The interpreter's instruction dump: with tracing on, each step lands in the event
+    // timeline (and the kTrace log line reaches the recorder's annotation channel through
+    // the sink installed by System) instead of spamming stderr.
+    if (machine_->trace().enabled() && GetLogSeverity() == LogSeverity::kTrace) {
+      machine_->trace().Emit(TraceEventKind::kInstruction, machine_->now(), processor_id,
+                             rec.current.index(), pc, static_cast<uint32_t>(instruction.op));
+      IMAX_LOG_TRACE("cpu %u process %u pc %u %s", processor_id, rec.current.index(), pc,
+                     OpcodeName(instruction.op));
+    }
     ctx.set_pc(pc + 1);
     auto result = Execute(rec, proc, ctx, program, instruction);
     if (!result.ok()) {
@@ -550,6 +575,7 @@ void Kernel::ProcessorStep(uint16_t processor_id) {
         // instruction's completion time so the process cannot overlap itself on another
         // processor.
         ++stats_.time_slice_ends;
+        machine_->trace().Emit(TraceEventKind::kPreempt, done, rec.id, rec.current.index());
         proc.set_slice_used(0);
         machine_->events().ScheduleAt(done, [this, process = rec.current] {
           IMAX_CHECK(MakeReady(process).ok());
@@ -785,7 +811,7 @@ Result<Kernel::StepEffect> Kernel::Execute(ProcessorRec& rec, ProcessView& proc,
       if (!ValidAdReg(in.a) || !ValidAdReg(in.b)) return Fault::kRegisterOutOfRange;
       bool can_block = in.op == Opcode::kSend;
       if (!can_block && !ValidReg(in.c)) return Fault::kRegisterOutOfRange;
-      auto sent = DoSend(proc, ctx.ad_reg(in.a), ctx.ad_reg(in.b), can_block);
+      auto sent = DoSend(rec.id, proc, ctx.ad_reg(in.a), ctx.ad_reg(in.b), can_block);
       if (!sent.ok()) {
         if (!can_block && sent.fault() == Fault::kQueueFull) {
           ctx.set_reg(in.c, 0);
@@ -806,7 +832,7 @@ Result<Kernel::StepEffect> Kernel::Execute(ProcessorRec& rec, ProcessView& proc,
       if (!ValidAdReg(in.a) || !ValidAdReg(in.b)) return Fault::kRegisterOutOfRange;
       bool can_block = in.op == Opcode::kReceive;
       if (!can_block && !ValidReg(in.c)) return Fault::kRegisterOutOfRange;
-      auto received = DoReceive(proc, ctx, in.a, ctx.ad_reg(in.b), can_block);
+      auto received = DoReceive(rec.id, proc, ctx, in.a, ctx.ad_reg(in.b), can_block);
       if (!received.ok()) {
         if (!can_block && received.fault() == Fault::kQueueEmpty) {
           ctx.set_reg(in.c, 0);
@@ -824,13 +850,13 @@ Result<Kernel::StepEffect> Kernel::Execute(ProcessorRec& rec, ProcessView& proc,
 
     case Opcode::kCall:
       if (!ValidAdReg(in.a)) return Fault::kRegisterOutOfRange;
-      return DoCall(proc, ctx, ctx.ad_reg(in.a), in.imm);
+      return DoCall(rec.id, proc, ctx, ctx.ad_reg(in.a), in.imm);
 
     case Opcode::kCallLocal:
-      return DoCall(proc, ctx, ctx.domain(), in.imm);
+      return DoCall(rec.id, proc, ctx, ctx.domain(), in.imm);
 
     case Opcode::kReturn:
-      return DoReturn(proc, ctx);
+      return DoReturn(rec.id, proc, ctx);
 
     case Opcode::kBranch:
       ctx.set_pc(in.imm);
@@ -896,7 +922,7 @@ Result<Kernel::StepEffect> Kernel::Execute(ProcessorRec& rec, ProcessView& proc,
           effect.kind = StepEffect::Kind::kTerminated;
           return effect;
         case NativeResult::Action::kBlockReceive: {
-          auto received = DoReceive(proc, ctx, native.dest_adreg, native.port,
+          auto received = DoReceive(rec.id, proc, ctx, native.dest_adreg, native.port,
                                     /*can_block=*/true);
           if (!received.ok()) {
             return received.fault();
@@ -913,7 +939,8 @@ Result<Kernel::StepEffect> Kernel::Execute(ProcessorRec& rec, ProcessView& proc,
   return Fault::kInvalidInstruction;
 }
 
-Result<Kernel::StepEffect> Kernel::DoSend(ProcessView& proc, const AccessDescriptor& port_ad,
+Result<Kernel::StepEffect> Kernel::DoSend(uint16_t cpu, ProcessView& proc,
+                                          const AccessDescriptor& port_ad,
                                           const AccessDescriptor& message, bool can_block) {
   AddressingUnit& au = machine_->addressing();
   auto typed = au.ResolveTyped(port_ad, SystemType::kPort, rights::kPortSend);
@@ -942,6 +969,15 @@ Result<Kernel::StepEffect> Kernel::DoSend(ProcessView& proc, const AccessDescrip
     }
     recv.Increment(ProcessLayout::kOffMessagesReceived, 4);
     proc.Increment(ProcessLayout::kOffMessagesSent, 4);
+    // The message never touches the queue on this path, so Enqueue/Dequeue cannot trace it;
+    // emit the transfer pair here (depth 0: a handoff implies an empty queue).
+    if (machine_->trace().enabled()) {
+      machine_->trace().Emit(TraceEventKind::kSend, machine_->now(), cpu, proc.ad().index(),
+                             port_ad.index(), 0, message.index());
+      machine_->trace().Emit(TraceEventKind::kReceive, machine_->now(), kTraceNoProcessor,
+                             receiver.value().process.index(), port_ad.index(), 0,
+                             message.index());
+    }
     IMAX_RETURN_IF_FAULT(MakeReady(receiver.value().process));
     return effect;
   }
@@ -962,12 +998,19 @@ Result<Kernel::StepEffect> Kernel::DoSend(ProcessView& proc, const AccessDescrip
   IMAX_RETURN_IF_FAULT(ports_.PushBlockedSender(port_ad, BlockedSender{proc.ad(), message}));
   proc.set_state(ProcessState::kBlocked);
   proc.bump_block_epoch();
+  block_waits_[proc.ad().index()] = BlockWait{machine_->now(), port_ad.index()};
+  if (machine_->trace().enabled()) {
+    auto depth = ports_.QueuedCount(port_ad);
+    machine_->trace().Emit(TraceEventKind::kBlockSend, machine_->now(), cpu,
+                           proc.ad().index(), port_ad.index(),
+                           depth.ok() ? depth.value() : 0);
+  }
   effect.kind = StepEffect::Kind::kBlocked;
   effect.compute += cycles::kBlockOnPort;
   return effect;
 }
 
-Result<Kernel::StepEffect> Kernel::DoReceive(ProcessView& proc, ContextView& ctx,
+Result<Kernel::StepEffect> Kernel::DoReceive(uint16_t cpu, ProcessView& proc, ContextView& ctx,
                                              uint8_t dest_adreg,
                                              const AccessDescriptor& port_ad, bool can_block) {
   AddressingUnit& au = machine_->addressing();
@@ -1010,12 +1053,19 @@ Result<Kernel::StepEffect> Kernel::DoReceive(ProcessView& proc, ContextView& ctx
       ports_.PushBlockedReceiver(port_ad, BlockedReceiver{proc.ad(), dest_adreg}));
   proc.set_state(ProcessState::kBlocked);
   proc.bump_block_epoch();
+  block_waits_[proc.ad().index()] = BlockWait{machine_->now(), port_ad.index()};
+  if (machine_->trace().enabled()) {
+    auto depth = ports_.QueuedCount(port_ad);
+    machine_->trace().Emit(TraceEventKind::kBlockReceive, machine_->now(), cpu,
+                           proc.ad().index(), port_ad.index(),
+                           depth.ok() ? depth.value() : 0);
+  }
   effect.kind = StepEffect::Kind::kBlocked;
   effect.compute += cycles::kBlockOnPort;
   return effect;
 }
 
-Result<Kernel::StepEffect> Kernel::DoCall(ProcessView& proc, ContextView& ctx,
+Result<Kernel::StepEffect> Kernel::DoCall(uint16_t cpu, ProcessView& proc, ContextView& ctx,
                                           const AccessDescriptor& domain_ad, uint32_t entry) {
   AddressingUnit& au = machine_->addressing();
   IMAX_ASSIGN_OR_RETURN(ObjectDescriptor * domain,
@@ -1048,15 +1098,24 @@ Result<Kernel::StepEffect> Kernel::DoCall(ProcessView& proc, ContextView& ctx,
     ++stats_.local_calls;
     effect.compute = cycles::kLocalCall;
     effect.bus = cycles::kBusDomainCall / 2;
+    machine_->trace().Emit(TraceEventKind::kLocalCall, machine_->now(), cpu,
+                           proc.ad().index(), callee.index());
   } else {
     ++stats_.domain_calls;
     effect.compute = cycles::kDomainCall;
     effect.bus = cycles::kBusDomainCall;
+    // The modeled switch cost rides in the payload so the exporter can draw the calibrated
+    // ~65 microsecond slice; the residence time is closed out at the matching return.
+    call_starts_[callee.index()] = machine_->now();
+    machine_->trace().Emit(TraceEventKind::kDomainCall, machine_->now(), cpu,
+                           proc.ad().index(), callee.index(),
+                           static_cast<uint32_t>(cycles::kDomainCall),
+                           domain_ad.index());
   }
   return effect;
 }
 
-Result<Kernel::StepEffect> Kernel::DoReturn(ProcessView& proc, ContextView& ctx) {
+Result<Kernel::StepEffect> Kernel::DoReturn(uint16_t cpu, ProcessView& proc, ContextView& ctx) {
   AddressingUnit& au = machine_->addressing();
   StepEffect effect;
 
@@ -1093,6 +1152,19 @@ Result<Kernel::StepEffect> Kernel::DoReturn(ProcessView& proc, ContextView& ctx)
   bool local = ctx.domain().SameObject(caller_ctx.domain()) ||
                (ctx.domain().is_null() && caller_ctx.domain().is_null());
   AccessDescriptor dying = ctx.ad();
+  // Close the domain-call residence opened at DoCall (absent for local calls).
+  auto call_start = call_starts_.find(dying.index());
+  if (call_start != call_starts_.end()) {
+    Cycles residence = machine_->now() - call_start->second;
+    machine_->latency().domain_call.Record(residence);
+    machine_->trace().Emit(TraceEventKind::kDomainReturn, machine_->now(), cpu,
+                           proc.ad().index(), dying.index(),
+                           static_cast<uint32_t>(residence));
+    call_starts_.erase(call_start);
+  } else {
+    machine_->trace().Emit(TraceEventKind::kLocalReturn, machine_->now(), cpu,
+                           proc.ad().index(), dying.index());
+  }
   proc.SetSlot(ProcessLayout::kSlotContext, caller);
   proc.set_call_depth(static_cast<uint16_t>(proc.call_depth() - 1));
   // The context returns to the stack SRO's free list (stack discipline).
@@ -1113,6 +1185,12 @@ void Kernel::RaiseFault(ProcessView& proc, Fault fault) {
   // at level 1 are not permitted even these."
   bool permitted =
       level >= kImaxLevelServices || (level == kImaxLevelMemory && fault == Fault::kTimeout);
+  // A fault ends any blocking episode (e.g. a timed receive whose watchdog fired) without a
+  // completed wait to record.
+  block_waits_.erase(proc.ad().index());
+  machine_->trace().Emit(TraceEventKind::kFault, machine_->now(), kTraceNoProcessor,
+                         proc.ad().index(), static_cast<uint32_t>(fault),
+                         permitted && !proc.fault_port().is_null() ? 1 : 0);
   if (!permitted) {
     ++stats_.panics;
     IMAX_LOG_ERROR("iMAX design-rule violation: level-%u process faulted with %s", level,
@@ -1139,8 +1217,10 @@ void Kernel::RaiseFault(ProcessView& proc, Fault fault) {
 }
 
 void Kernel::TerminateProcess(ProcessView& proc, bool faulted) {
-  (void)faulted;
   proc.set_state(ProcessState::kTerminated);
+  block_waits_.erase(proc.ad().index());
+  machine_->trace().Emit(TraceEventKind::kTerminate, machine_->now(), kTraceNoProcessor,
+                         proc.ad().index(), faulted ? 1 : 0);
 
   // Dispose of the activation stack: destroy local heaps owned by live contexts, then the
   // stack SRO (which reclaims every context in one sweep — the local-heap efficiency story).
@@ -1151,6 +1231,7 @@ void Kernel::TerminateProcess(ProcessView& proc, bool faulted) {
       break;
     }
     ContextView ctx(&au, context);
+    call_starts_.erase(context.index());
     for (uint32_t slot = 0; slot < ContextLayout::kNumOwnedSroSlots; ++slot) {
       AccessDescriptor owned = ctx.Slot(ContextLayout::kSlotOwnedSros + slot);
       if (!owned.is_null()) {

@@ -224,16 +224,18 @@ class Kernel {
   Result<StepEffect> Execute(ProcessorRec& rec, ProcessView& proc, ContextView& ctx,
                              const Program& program, const Instruction& instruction);
 
-  // Send/receive bodies shared by the blocking, conditional and native forms.
-  Result<StepEffect> DoSend(ProcessView& proc, const AccessDescriptor& port_ad,
+  // Send/receive bodies shared by the blocking, conditional and native forms. `cpu` is the
+  // executing processor, for the event trace.
+  Result<StepEffect> DoSend(uint16_t cpu, ProcessView& proc, const AccessDescriptor& port_ad,
                             const AccessDescriptor& message, bool can_block);
-  Result<StepEffect> DoReceive(ProcessView& proc, ContextView& ctx, uint8_t dest_adreg,
-                               const AccessDescriptor& port_ad, bool can_block);
+  Result<StepEffect> DoReceive(uint16_t cpu, ProcessView& proc, ContextView& ctx,
+                               uint8_t dest_adreg, const AccessDescriptor& port_ad,
+                               bool can_block);
 
   // Call/return machinery.
-  Result<StepEffect> DoCall(ProcessView& proc, ContextView& ctx,
+  Result<StepEffect> DoCall(uint16_t cpu, ProcessView& proc, ContextView& ctx,
                             const AccessDescriptor& domain_ad, uint32_t entry);
-  Result<StepEffect> DoReturn(ProcessView& proc, ContextView& ctx);
+  Result<StepEffect> DoReturn(uint16_t cpu, ProcessView& proc, ContextView& ctx);
   Result<AccessDescriptor> CreateContext(ProcessView& proc, const AccessDescriptor& segment,
                                          const AccessDescriptor& domain,
                                          const AccessDescriptor& caller, Level level);
@@ -269,6 +271,17 @@ class Kernel {
   // consumed by AnalyzeSystem's deferred summarization.
   std::map<ObjectIndex, AccessDescriptor> deferred_args_;
   SymbolTable symbols_;
+
+  // Observability bookkeeping (src/obs): open port waits keyed by process index and open
+  // domain-call residences keyed by callee context index. Closed in MakeReady / DoReturn;
+  // reaped on fault and termination so a reused object index can never pair a stale start
+  // with a fresh end.
+  struct BlockWait {
+    Cycles start = 0;
+    ObjectIndex port = kInvalidObjectIndex;
+  };
+  std::map<ObjectIndex, BlockWait> block_waits_;
+  std::map<ObjectIndex, Cycles> call_starts_;
 };
 
 // Well-known OsCall service ids.

@@ -31,11 +31,19 @@ void GarbageCollector::ShadeRoots() {
   }
 }
 
+void GarbageCollector::EmitPhase() {
+  // Phase and GcTracePhase share the same ordinals by construction.
+  kernel_->machine().trace().Emit(TraceEventKind::kGcPhase, kernel_->machine().now(),
+                                  kTraceNoProcessor, kTraceNoProcess,
+                                  static_cast<uint32_t>(phase_));
+}
+
 void GarbageCollector::BeginCycle() {
   IMAX_CHECK(phase_ == Phase::kIdle);
   phase_ = Phase::kWhiten;
   cursor_ = 0;
   gray_.clear();
+  EmitPhase();
 }
 
 bool GarbageCollector::MarkFixpoint() {
@@ -100,6 +108,7 @@ bool GarbageCollector::Step(uint32_t units) {
         if (cursor_ == table.capacity()) {
           ShadeRoots();
           phase_ = Phase::kMark;
+          EmitPhase();
         }
         break;
       }
@@ -111,6 +120,7 @@ bool GarbageCollector::Step(uint32_t units) {
           }
           phase_ = Phase::kSweep;
           cursor_ = 0;
+          EmitPhase();
           break;
         }
         ObjectIndex index = gray_.back();
@@ -144,6 +154,7 @@ bool GarbageCollector::Step(uint32_t units) {
         if (cursor_ == table.capacity()) {
           phase_ = Phase::kIdle;
           ++stats_.cycles_completed;
+          EmitPhase();
           return false;
         }
         break;

@@ -111,6 +111,8 @@ class GarbageCollector {
 
   void ShadeRoots();
   void Shade(ObjectIndex index);
+  // Records a phase transition on the machine's event trace.
+  void EmitPhase();
   // Runs the end-of-mark fixpoint checks (origin SROs, fresh roots). Returns true if new
   // gray objects appeared and marking must continue.
   bool MarkFixpoint();

@@ -92,6 +92,9 @@ Status PortSubsystem::Enqueue(const AccessDescriptor& port_ad, const AccessDescr
   port.SetField(PortLayout::kOffCount, 2, shadow->queue.size());
   port.Increment(PortLayout::kOffSendsTotal, 8);
   ++stats_.messages_enqueued;
+  machine_->trace().Emit(TraceEventKind::kSend, machine_->now(), kTraceNoProcessor,
+                         kTraceNoProcess, port_ad.index(),
+                         static_cast<uint32_t>(shadow->queue.size()), message.index());
   return Status::Ok();
 }
 
@@ -121,6 +124,9 @@ Result<AccessDescriptor> PortSubsystem::Dequeue(const AccessDescriptor& port_ad)
   ObjectView port(&machine_->addressing(), port_ad);
   port.SetField(PortLayout::kOffCount, 2, shadow->queue.size());
   port.Increment(PortLayout::kOffReceivesTotal, 8);
+  machine_->trace().Emit(TraceEventKind::kReceive, machine_->now(), kTraceNoProcessor,
+                         kTraceNoProcess, port_ad.index(),
+                         static_cast<uint32_t>(shadow->queue.size()), message.index());
   return message;
 }
 

@@ -48,6 +48,8 @@ Result<uint32_t> SwappingMemoryManager::EvictOne(Sro* sro) {
     descriptor.backing_slot = slot;
     mutable_stats().resident_bytes -= descriptor.data_length;
     ++swap_outs_;
+    machine()->trace().Emit(TraceEventKind::kSwapOut, machine()->now(), kTraceNoProcessor,
+                            kTraceNoProcess, index, descriptor.data_length);
     IMAX_LOG_DEBUG("swapped out object %u (%u bytes)", index, descriptor.data_length);
     return descriptor.storage_claim;
   }
@@ -78,6 +80,8 @@ Result<Cycles> SwappingMemoryManager::EnsureResident(ObjectIndex index) {
   descriptor.swapped_out = false;
   mutable_stats().resident_bytes += descriptor.data_length;
   ++swap_ins_;
+  machine()->trace().Emit(TraceEventKind::kSwapIn, machine()->now(), kTraceNoProcessor,
+                          kTraceNoProcess, index, descriptor.data_length);
   SyncSroCounters(*origin);
   IMAX_LOG_DEBUG("swapped in object %u (%u bytes)", index, descriptor.data_length);
   return BackingStore::TransferCost(descriptor.data_length);

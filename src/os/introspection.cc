@@ -39,6 +39,15 @@ SystemReport Introspection::Report() const {
   report.bus_utilization = kernel_->machine().bus().Utilization(report.now);
   report.kernel = kernel_->stats();
   report.memory = kernel_->memory().stats();
+  report.ports = kernel_->ports().stats();
+  if (gc_ != nullptr) {
+    report.has_gc = true;
+    report.gc = gc_->stats();
+  }
+  if (scheduler_ != nullptr) {
+    report.has_scheduler = true;
+    report.scheduler = *scheduler_;
+  }
 
   for (int i = 0; i < kernel_->processor_count(); ++i) {
     ObjectView view(&kernel_->machine().addressing(), kernel_->processor_object(i));
@@ -105,6 +114,29 @@ std::string Introspection::Format(const SystemReport& report) {
                 report.memory.resident_bytes,
                 static_cast<unsigned long long>(report.memory.swap_ins));
   out += line;
+  std::snprintf(line, sizeof(line),
+                "  ports: %llu created, %llu messages enqueued, %llu direct handoffs\n",
+                static_cast<unsigned long long>(report.ports.ports_created),
+                static_cast<unsigned long long>(report.ports.messages_enqueued),
+                static_cast<unsigned long long>(report.ports.direct_handoffs));
+  out += line;
+  if (report.has_gc) {
+    std::snprintf(line, sizeof(line),
+                  "  gc: %llu cycles, %llu objects scanned, %llu reclaimed (%llu bytes), "
+                  "%llu finalized\n",
+                  static_cast<unsigned long long>(report.gc.cycles_completed),
+                  static_cast<unsigned long long>(report.gc.objects_scanned),
+                  static_cast<unsigned long long>(report.gc.objects_reclaimed),
+                  static_cast<unsigned long long>(report.gc.bytes_reclaimed),
+                  static_cast<unsigned long long>(report.gc.objects_finalized));
+    out += line;
+  }
+  if (report.has_scheduler) {
+    std::snprintf(line, sizeof(line), "  scheduler: %llu admitted, %llu adjusted\n",
+                  static_cast<unsigned long long>(report.scheduler.admitted),
+                  static_cast<unsigned long long>(report.scheduler.adjusted));
+    out += line;
+  }
   return out;
 }
 

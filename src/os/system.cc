@@ -7,6 +7,12 @@ namespace imax432 {
 
 System::System(const SystemConfig& config)
     : machine_config_(config.machine), machine_(machine_config_) {
+  // Arm tracing before the storage system boots so even the boot allocations are on the
+  // timeline.
+  if (config.trace) {
+    machine_.trace().Enable(config.trace_capacity);
+    SetTraceLogSink(&System::TraceLogThunk, this);
+  }
   // §6.2: one memory specification, two implementations; the system is configured by
   // selecting one, and nothing downstream changes.
   switch (config.memory_manager) {
@@ -56,6 +62,17 @@ System::System(const SystemConfig& config)
     IMAX_CHECK(request_port.ok());
     gc_request_port_ = request_port.value();
   }
+}
+
+System::~System() {
+  if (machine_.trace().enabled()) {
+    SetTraceLogSink(nullptr, nullptr);
+  }
+}
+
+void System::TraceLogThunk(void* user, const char* message) {
+  System* system = static_cast<System*>(user);
+  system->machine_.trace().Annotate(system->machine_.now(), message);
 }
 
 Result<AccessDescriptor> System::Spawn(ProgramRef program, const ProcessOptions& options) {

@@ -43,11 +43,18 @@ struct SystemConfig {
   // CreateProcess / CreateDomain; provably-faulting programs are rejected with
   // Fault::kVerificationFailed instead of being dispatched.
   bool verify_on_load = false;
+  // Record cycle-timestamped kernel events (dispatches, port traffic, allocations, GC
+  // phases, ...) into the machine's TraceRecorder ring, and route kTrace-level log lines
+  // into its annotation channel. Export with ExportChromeTrace (src/obs/perfetto.h) or the
+  // imax_trace tool. Off by default: the disabled hooks cost one predicted branch each.
+  bool trace = false;
+  uint32_t trace_capacity = TraceRecorder::kDefaultCapacity;
 };
 
 class System {
  public:
   explicit System(const SystemConfig& config);
+  ~System();
 
   System(const System&) = delete;
   System& operator=(const System&) = delete;
@@ -80,6 +87,9 @@ class System {
   AccessDescriptor gc_request_port() const { return gc_request_port_; }
 
  private:
+  // Trampoline handed to SetTraceLogSink: lands kTrace log lines in the machine's trace.
+  static void TraceLogThunk(void* user, const char* message);
+
   MachineConfig machine_config_;
   Machine machine_;
   std::unique_ptr<MemoryManager> memory_;

@@ -15,6 +15,8 @@
 #include "src/arch/cycle_model.h"
 #include "src/arch/object_table.h"
 #include "src/arch/physical_memory.h"
+#include "src/obs/histogram.h"
+#include "src/obs/trace.h"
 #include "src/sim/bus.h"
 #include "src/sim/event_queue.h"
 
@@ -46,6 +48,13 @@ class Machine {
   Bus& bus() { return bus_; }
   EventQueue& events() { return events_; }
 
+  // Observability state lives with the clock it timestamps against. Every subsystem holds a
+  // Machine*, so no extra plumbing is needed to reach the recorder or the histograms.
+  TraceRecorder& trace() { return trace_; }
+  const TraceRecorder& trace() const { return trace_; }
+  LatencyHistograms& latency() { return latency_; }
+  const LatencyHistograms& latency() const { return latency_; }
+
   Cycles now() const { return events_.now(); }
 
  private:
@@ -55,6 +64,8 @@ class Machine {
   AddressingUnit addressing_;
   Bus bus_;
   EventQueue events_;
+  TraceRecorder trace_;
+  LatencyHistograms latency_;
 };
 
 }  // namespace imax432

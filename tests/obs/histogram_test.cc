@@ -1,0 +1,107 @@
+#include "src/obs/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace imax432 {
+namespace {
+
+TEST(HistogramTest, ZeroGoesToBucketZero) {
+  EXPECT_EQ(Histogram::BucketFor(0), 0u);
+  Histogram h;
+  h.Record(0);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(HistogramTest, PowerOfTwoBucketBoundaries) {
+  EXPECT_EQ(Histogram::BucketFor(1), 1u);
+  EXPECT_EQ(Histogram::BucketFor(2), 2u);
+  EXPECT_EQ(Histogram::BucketFor(3), 2u);
+  EXPECT_EQ(Histogram::BucketFor(4), 3u);
+  EXPECT_EQ(Histogram::BucketFor(7), 3u);
+  EXPECT_EQ(Histogram::BucketFor(8), 4u);
+  EXPECT_EQ(Histogram::BucketFor(1023), 10u);
+  EXPECT_EQ(Histogram::BucketFor(1024), 11u);
+}
+
+TEST(HistogramTest, HugeValuesClampToLastBucket) {
+  constexpr size_t kLast = Histogram::kBuckets - 1;
+  EXPECT_EQ(Histogram::BucketFor(1u << 24), kLast);
+  EXPECT_EQ(Histogram::BucketFor(1ull << 40), kLast);
+  EXPECT_EQ(Histogram::BucketFor(~0ull), kLast);
+  Histogram h;
+  h.Record(~0ull);
+  EXPECT_EQ(h.bucket(kLast), 1u);
+  EXPECT_EQ(h.max(), ~0ull);
+}
+
+TEST(HistogramTest, BucketLowerBoundInvertsBucketFor) {
+  EXPECT_EQ(Histogram::BucketLowerBound(0), 0u);
+  for (size_t bucket = 1; bucket < Histogram::kBuckets; ++bucket) {
+    Cycles lower = Histogram::BucketLowerBound(bucket);
+    EXPECT_EQ(Histogram::BucketFor(lower), bucket) << "bucket " << bucket;
+    if (bucket > 1) {
+      EXPECT_EQ(Histogram::BucketFor(lower - 1), bucket - 1) << "bucket " << bucket;
+    }
+  }
+}
+
+TEST(HistogramTest, CountSumMinMaxMean) {
+  Histogram h;
+  h.Record(10);
+  h.Record(20);
+  h.Record(30);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 60u);
+  EXPECT_EQ(h.min(), 10u);
+  EXPECT_EQ(h.max(), 30u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 20.0);
+}
+
+TEST(HistogramTest, EmptyHistogramIsInert) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Percentile(50.0), 0u);
+  EXPECT_EQ(h.Percentile(99.0), 0u);
+}
+
+TEST(HistogramTest, PercentileReturnsBucketLowerBound) {
+  Histogram h;
+  // 90 small values in bucket 7 (64..127), 10 large in bucket 11 (1024..2047).
+  for (int i = 0; i < 90; ++i) h.Record(100);
+  for (int i = 0; i < 10; ++i) h.Record(2000);
+  EXPECT_EQ(h.Percentile(50.0), Histogram::BucketLowerBound(Histogram::BucketFor(100)));
+  EXPECT_EQ(h.Percentile(99.0), Histogram::BucketLowerBound(Histogram::BucketFor(2000)));
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  Histogram h;
+  h.Record(5);
+  h.Record(500);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+    EXPECT_EQ(h.bucket(i), 0u);
+  }
+}
+
+TEST(HistogramTest, LatencyHistogramsResetTogether) {
+  LatencyHistograms latency;
+  latency.port_wait.Record(7);
+  latency.dispatch_latency.Record(7);
+  latency.domain_call.Record(7);
+  latency.allocation.Record(7);
+  latency.Reset();
+  EXPECT_EQ(latency.port_wait.count(), 0u);
+  EXPECT_EQ(latency.dispatch_latency.count(), 0u);
+  EXPECT_EQ(latency.domain_call.count(), 0u);
+  EXPECT_EQ(latency.allocation.count(), 0u);
+}
+
+}  // namespace
+}  // namespace imax432

@@ -1,0 +1,386 @@
+// imax_trace: run a canned workload with kernel event tracing enabled and export the
+// timeline as Chrome trace-event JSON (open in ui.perfetto.dev or chrome://tracing) plus an
+// optional metrics snapshot.
+//
+// Usage:
+//   imax_trace [--workload quickstart|pipeline|churn] [--processors N] [--cycles N]
+//              [--trace-capacity N] [--out trace.json] [--metrics metrics.json] [--overhead]
+//
+// --overhead runs the selected workload twice — tracing enabled and disabled — and reports
+// the host wall-clock cost of instrumentation. The two runs must reach the same virtual
+// time; tracing is an observer, never a participant.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "src/obs/metrics.h"
+#include "src/obs/perfetto.h"
+#include "src/os/system.h"
+
+using namespace imax432;
+
+namespace {
+
+struct Options {
+  std::string workload = "quickstart";
+  std::string out = "trace.json";
+  std::string metrics;
+  int processors = 2;
+  Cycles cycles = 0;  // 0 = run to quiescence
+  uint32_t trace_capacity = TraceRecorder::kDefaultCapacity;
+  bool overhead = false;
+};
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: imax_trace [--workload quickstart|pipeline|churn] [--processors N]\n"
+               "                  [--cycles N] [--trace-capacity N] [--out FILE]\n"
+               "                  [--metrics FILE] [--overhead]\n");
+}
+
+// quickstart: the README workload — a producer/consumer pair over a bounded port, a domain
+// the producer calls on every item, and a GC cycle at the end. Exercises dispatch, port,
+// domain-call, allocation, and GC-phase events.
+std::unique_ptr<System> RunQuickstart(SystemConfig config) {
+  auto system = std::make_unique<System>(config);
+  auto& kernel = system->kernel();
+  auto& memory = system->memory();
+
+  auto port = kernel.ports().CreatePort(memory.global_heap(), 4, QueueDiscipline::kFifo);
+  IMAX_CHECK(port.ok());
+  kernel.symbols().Name(port.value().index(), "work port");
+
+  // A one-entry domain the producer calls per item; every call is a protection-domain
+  // switch and shows up as a ~65 us slice.
+  Assembler leaf("stamp");
+  leaf.Compute(64).ClearAd(7).Return();
+  auto segment = kernel.programs().Register(leaf.Build());
+  IMAX_CHECK(segment.ok());
+  auto domain = kernel.CreateDomain({segment.value()});
+  IMAX_CHECK(domain.ok());
+  kernel.symbols().Name(domain.value().index(), "stamp domain");
+
+  auto carrier = memory.CreateObject(memory.global_heap(), SystemType::kGeneric, 16, 3,
+                                     rights::kRead | rights::kWrite);
+  IMAX_CHECK(carrier.ok());
+  (void)system->machine().addressing().WriteAd(carrier.value(), 0, port.value());
+  (void)system->machine().addressing().WriteAd(carrier.value(), 1, memory.global_heap());
+  (void)system->machine().addressing().WriteAd(carrier.value(), 2, domain.value());
+
+  constexpr uint64_t kItems = 12;
+
+  Assembler producer("producer");
+  auto send_loop = producer.NewLabel();
+  producer.MoveAd(1, kArgAdReg)
+      .LoadAd(2, 1, 0)  // a2 = port
+      .LoadAd(3, 1, 1)  // a3 = heap
+      .LoadAd(5, 1, 2)  // a5 = domain
+      .LoadImm(0, 0)
+      .LoadImm(1, kItems)
+      .Bind(send_loop)
+      .CreateObject(4, 3, 32)
+      .StoreData(4, 0, 0, 8)
+      .Call(5, 0)  // inter-domain call before every send
+      .Send(2, 4)
+      .AddImm(0, 0, 1)
+      .BranchIfLess(0, 1, send_loop)
+      .Halt();
+
+  Assembler consumer("consumer");
+  auto recv_loop = consumer.NewLabel();
+  consumer.MoveAd(1, kArgAdReg)
+      .LoadAd(2, 1, 0)
+      .LoadImm(0, 0)
+      .LoadImm(1, kItems)
+      .LoadImm(2, 0)
+      .Bind(recv_loop)
+      .Receive(4, 2)
+      .LoadData(3, 4, 0, 8)
+      .Add(2, 2, 3)
+      .Compute(512)  // slow consumer: the bounded port backpressures the producer
+      .AddImm(0, 0, 1)
+      .BranchIfLess(0, 1, recv_loop)
+      .StoreData(1, 2, 0, 8)
+      .Halt();
+
+  ProcessOptions options;
+  options.initial_arg = carrier.value();
+  auto consumer_process = system->Spawn(consumer.Build(), options);
+  auto producer_process = system->Spawn(producer.Build(), options);
+  IMAX_CHECK(consumer_process.ok() && producer_process.ok());
+  kernel.symbols().Name(consumer_process.value().index(), "consumer");
+  kernel.symbols().Name(producer_process.value().index(), "producer");
+
+  system->Run();
+  (void)system->RequestCollection();
+  system->Run();
+  return system;
+}
+
+// pipeline: a four-stage dataflow across however many GDPs are configured; heavy port
+// traffic with backpressure, good for watching processes migrate between processors.
+std::unique_ptr<System> RunPipeline(SystemConfig config) {
+  constexpr int kStages = 4;
+  constexpr uint64_t kItems = 16;
+  auto system = std::make_unique<System>(config);
+  auto& kernel = system->kernel();
+  auto& memory = system->memory();
+
+  std::vector<AccessDescriptor> ports;
+  for (int i = 0; i <= kStages; ++i) {
+    uint16_t capacity = (i == kStages) ? static_cast<uint16_t>(kItems) : 2;
+    auto port =
+        kernel.ports().CreatePort(memory.global_heap(), capacity, QueueDiscipline::kFifo);
+    IMAX_CHECK(port.ok());
+    kernel.symbols().Name(port.value().index(), "stage port " + std::to_string(i));
+    ports.push_back(port.value());
+  }
+  kernel.AddRootProvider([ports](std::vector<AccessDescriptor>* roots) {
+    for (const AccessDescriptor& port : ports) {
+      roots->push_back(port);
+    }
+  });
+
+  auto carrier = memory.CreateObject(memory.global_heap(), SystemType::kGeneric, 8,
+                                     kStages + 2, rights::kRead | rights::kWrite);
+  IMAX_CHECK(carrier.ok());
+  for (int i = 0; i <= kStages; ++i) {
+    (void)system->machine().addressing().WriteAd(carrier.value(), static_cast<uint32_t>(i),
+                                                 ports[static_cast<size_t>(i)]);
+  }
+  (void)system->machine().addressing().WriteAd(carrier.value(), kStages + 1,
+                                               memory.global_heap());
+
+  Assembler source("source");
+  auto source_loop = source.NewLabel();
+  source.MoveAd(1, kArgAdReg)
+      .LoadAd(2, 1, 0)
+      .LoadAd(3, 1, kStages + 1)
+      .LoadImm(0, 0)
+      .LoadImm(1, kItems)
+      .Bind(source_loop)
+      .CreateObject(4, 3, 64)
+      .StoreData(4, 0, 0, 8)
+      .Send(2, 4)
+      .AddImm(0, 0, 1)
+      .BranchIfLess(0, 1, source_loop)
+      .Halt();
+
+  ProcessOptions options;
+  options.initial_arg = carrier.value();
+  for (int stage = 0; stage < kStages; ++stage) {
+    Assembler a("stage");
+    auto loop = a.NewLabel();
+    a.MoveAd(1, kArgAdReg)
+        .LoadAd(2, 1, static_cast<uint32_t>(stage))
+        .LoadAd(3, 1, static_cast<uint32_t>(stage + 1))
+        .LoadImm(0, 0)
+        .LoadImm(1, kItems)
+        .Bind(loop)
+        .Receive(4, 2)
+        .Compute(4000)
+        .Send(3, 4)
+        .AddImm(0, 0, 1)
+        .BranchIfLess(0, 1, loop)
+        .Halt();
+    auto process = system->Spawn(a.Build(), options);
+    IMAX_CHECK(process.ok());
+    kernel.symbols().Name(process.value().index(), "stage " + std::to_string(stage));
+  }
+  auto source_process = system->Spawn(source.Build(), options);
+  IMAX_CHECK(source_process.ok());
+  kernel.symbols().Name(source_process.value().index(), "source");
+
+  system->Run();
+  return system;
+}
+
+// churn: an allocation-heavy loop that turns most of its objects into garbage, then a GC
+// cycle to reclaim them — a memory-manager and collector stress view.
+std::unique_ptr<System> RunChurn(SystemConfig config) {
+  auto system = std::make_unique<System>(config);
+  auto& memory = system->memory();
+
+  auto carrier = memory.CreateObject(memory.global_heap(), SystemType::kGeneric, 16, 1,
+                                     rights::kRead | rights::kWrite);
+  IMAX_CHECK(carrier.ok());
+  (void)system->machine().addressing().WriteAd(carrier.value(), 0, memory.global_heap());
+
+  Assembler churn("churn");
+  auto loop = churn.NewLabel();
+  churn.MoveAd(1, kArgAdReg)
+      .LoadAd(3, 1, 0)
+      .LoadImm(0, 0)
+      .LoadImm(1, 200)
+      .Bind(loop)
+      .CreateObject(4, 3, 128)  // each iteration orphans the previous object
+      .StoreData(4, 0, 0, 8)
+      .AddImm(0, 0, 1)
+      .BranchIfLess(0, 1, loop)
+      .Halt();
+
+  ProcessOptions options;
+  options.initial_arg = carrier.value();
+  auto process = system->Spawn(churn.Build(), options);
+  IMAX_CHECK(process.ok());
+  system->kernel().symbols().Name(process.value().index(), "churn");
+
+  system->Run();
+  (void)system->RequestCollection();
+  system->Run();
+  return system;
+}
+
+std::unique_ptr<System> RunWorkload(const Options& options, bool trace) {
+  SystemConfig config;
+  config.processors = options.processors;
+  config.machine.memory_bytes = 8 * 1024 * 1024;
+  config.trace = trace;
+  config.trace_capacity = options.trace_capacity;
+  std::unique_ptr<System> system;
+  if (options.workload == "quickstart") {
+    system = RunQuickstart(config);
+  } else if (options.workload == "pipeline") {
+    system = RunPipeline(config);
+  } else if (options.workload == "churn") {
+    system = RunChurn(config);
+  } else {
+    std::fprintf(stderr, "imax_trace: unknown workload '%s'\n", options.workload.c_str());
+    return nullptr;
+  }
+  if (options.cycles != 0 && system->now() > options.cycles) {
+    std::fprintf(stderr, "note: workload ran to %llu cycles, past --cycles %llu\n",
+                 static_cast<unsigned long long>(system->now()),
+                 static_cast<unsigned long long>(options.cycles));
+  }
+  return system;
+}
+
+bool WriteFile(const std::string& path, const std::string& contents) {
+  if (path == "-") {
+    std::fwrite(contents.data(), 1, contents.size(), stdout);
+    return true;
+  }
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "imax_trace: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(contents.data(), 1, contents.size(), file);
+  std::fclose(file);
+  return true;
+}
+
+int RunOverhead(const Options& options) {
+  using Clock = std::chrono::steady_clock;
+  // Warm-up run so first-touch costs (page faults, allocator growth) hit neither side.
+  RunWorkload(options, /*trace=*/false);
+
+  // Host timing on a millisecond workload is noisy; alternate the two configurations and
+  // compare best-of-N, which discards scheduler interference instead of averaging it in.
+  constexpr int kRepeats = 7;
+  double off_us = 1e300;
+  double on_us = 1e300;
+  std::unique_ptr<System> untraced;
+  std::unique_ptr<System> traced;
+  for (int i = 0; i < kRepeats; ++i) {
+    auto t0 = Clock::now();
+    untraced = RunWorkload(options, /*trace=*/false);
+    auto t1 = Clock::now();
+    traced = RunWorkload(options, /*trace=*/true);
+    auto t2 = Clock::now();
+    if (untraced == nullptr || traced == nullptr) {
+      return 1;
+    }
+    off_us = std::min(off_us, std::chrono::duration<double, std::micro>(t1 - t0).count());
+    on_us = std::min(on_us, std::chrono::duration<double, std::micro>(t2 - t1).count());
+  }
+
+  std::printf("workload %s: trace off %.0f us, trace on %.0f us, overhead %+.1f%% "
+              "(best of %d)\n",
+              options.workload.c_str(), off_us, on_us, (on_us / off_us - 1.0) * 100.0,
+              kRepeats);
+  std::printf("events recorded: %llu (dropped %llu)\n",
+              static_cast<unsigned long long>(traced->machine().trace().total_emitted()),
+              static_cast<unsigned long long>(traced->machine().trace().dropped()));
+  if (traced->now() != untraced->now()) {
+    std::printf("FAIL: tracing changed virtual time (%llu vs %llu cycles)\n",
+                static_cast<unsigned long long>(traced->now()),
+                static_cast<unsigned long long>(untraced->now()));
+    return 1;
+  }
+  std::printf("virtual time identical with tracing on/off: %llu cycles\n",
+              static_cast<unsigned long long>(traced->now()));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        Usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--workload") {
+      options.workload = value();
+    } else if (arg == "--out") {
+      options.out = value();
+    } else if (arg == "--metrics") {
+      options.metrics = value();
+    } else if (arg == "--processors") {
+      options.processors = std::atoi(value());
+    } else if (arg == "--cycles") {
+      options.cycles = static_cast<Cycles>(std::strtoull(value(), nullptr, 10));
+    } else if (arg == "--trace-capacity") {
+      options.trace_capacity = static_cast<uint32_t>(std::strtoul(value(), nullptr, 10));
+    } else if (arg == "--overhead") {
+      options.overhead = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "imax_trace: unknown flag '%s'\n", arg.c_str());
+      Usage();
+      return 2;
+    }
+  }
+
+  if (options.overhead) {
+    return RunOverhead(options);
+  }
+
+  auto system = RunWorkload(options, /*trace=*/true);
+  if (system == nullptr) {
+    return 1;
+  }
+
+  const TraceRecorder& trace = system->machine().trace();
+  std::string json = ExportChromeTrace(trace, &system->kernel().symbols());
+  if (!WriteFile(options.out, json)) {
+    return 1;
+  }
+  std::fprintf(stderr, "%s: %zu events (%llu dropped), %.1f virtual ms -> %s\n",
+               options.workload.c_str(), trace.size(),
+               static_cast<unsigned long long>(trace.dropped()),
+               cycles::ToMicroseconds(system->now()) / 1000.0, options.out.c_str());
+
+  if (!options.metrics.empty()) {
+    MetricsRegistry registry(system.get());
+    if (!WriteFile(options.metrics, registry.Collect().ToJson())) {
+      return 1;
+    }
+    std::fprintf(stderr, "metrics -> %s\n", options.metrics.c_str());
+  }
+  return 0;
+}
