@@ -9,31 +9,6 @@ namespace imax432 {
 namespace analysis {
 namespace {
 
-// A port use attributed to the program whose wait-for behavior it contributes to (after
-// domain-call composition a caller owns its callees' uses).
-struct OwnedUse {
-  const PortUse* use = nullptr;
-  ObjectIndex origin_segment = kInvalidObjectIndex;  // segment the site's code lives in
-};
-
-// Per-program view after composing domain callees into callers.
-struct Effective {
-  ObjectIndex segment = kInvalidObjectIndex;
-  const EffectSummary* own = nullptr;
-  std::vector<OwnedUse> uses;
-  bool opaque = false;  // native steps, unknown services, or calls into unknown code
-  bool unresolved_send = false;
-  bool unresolved_receive = false;
-};
-
-std::string PortLabel(ObjectIndex port, const SymbolTable* symbols) {
-  std::string label = "port " + std::to_string(port);
-  if (symbols != nullptr) {
-    if (const std::string* name = symbols->Find(port)) label += " '" + *name + "'";
-  }
-  return label;
-}
-
 std::string JoinNames(const std::vector<std::string>& names) {
   std::string out;
   for (size_t i = 0; i < names.size(); ++i) {
@@ -117,25 +92,30 @@ std::string FormatReport(const SystemAnalysisReport& report) {
   return out;
 }
 
+std::string PortLabel(ObjectIndex port, const SymbolTable* symbols) {
+  std::string label = "port " + std::to_string(port);
+  if (symbols != nullptr) {
+    if (const std::string* name = symbols->Find(port)) label += " '" + *name + "'";
+  }
+  return label;
+}
+
 void SystemEffectGraph::AddProgram(ObjectIndex segment, EffectSummary summary,
                                    ProgramKind kind) {
-  programs_[segment] = Entry{std::move(summary), kind};
+  programs_[segment] = ProgramEntry{std::move(summary), kind};
 }
 
 void SystemEffectGraph::RemoveProgram(ObjectIndex segment) { programs_.erase(segment); }
 
-SystemAnalysisReport SystemEffectGraph::Analyze() const {
-  SystemAnalysisReport report;
-  report.programs_analyzed = program_count();
-
-  // --- Compose domain callees into callers (transitive, cycle-safe via BFS). ---
-  // Only processes become wait-for actors; domain entries contribute through composition,
-  // never as independent traffic sources (they execute only when a process calls them).
-  std::vector<Effective> effective;
-  effective.reserve(programs_.size());
-  for (const auto& [segment, entry] : programs_) {
+// Only processes become actors; domain entries contribute through composition, never as
+// independent traffic sources (they execute only when a process calls them).
+std::vector<EffectiveProgram> ComposeProcesses(const SystemEffectGraph& graph) {
+  const auto& programs = graph.programs();
+  std::vector<EffectiveProgram> effective;
+  effective.reserve(programs.size());
+  for (const auto& [segment, entry] : programs) {
     if (entry.kind != ProgramKind::kProcess) continue;
-    Effective e;
+    EffectiveProgram e;
     e.segment = segment;
     e.own = &entry.summary;
     std::set<ObjectIndex> reached;
@@ -145,20 +125,25 @@ SystemAnalysisReport SystemEffectGraph::Analyze() const {
     while (!frontier.empty()) {
       const ObjectIndex current = frontier.front();
       frontier.pop();
-      auto it = programs_.find(current);
-      if (it == programs_.end()) {
+      auto it = programs.find(current);
+      if (it == programs.end()) {
         // Calls land in code this graph has no summary for: anything could happen there.
         e.opaque = true;
+        e.may_not_terminate = true;
         continue;
       }
       const EffectSummary& s = it->second.summary;
       e.opaque |= s.has_native;
       e.unresolved_send |= s.has_unresolved_send;
       e.unresolved_receive |= s.has_unresolved_receive;
+      e.unresolved_access |= s.has_unresolved_access;
+      e.may_not_terminate |= s.may_not_terminate;
       for (const PortUse& use : s.uses) e.uses.push_back({&use, current});
+      for (const ObjectAccess& access : s.accesses) e.accesses.push_back({&access, current});
       for (const DomainCall& call : s.calls) {
         if (call.callee_segment == kInvalidObjectIndex) {
           e.opaque = true;
+          e.may_not_terminate = true;
         } else if (reached.insert(call.callee_segment).second) {
           frontier.push(call.callee_segment);
         }
@@ -166,6 +151,15 @@ SystemAnalysisReport SystemEffectGraph::Analyze() const {
     }
     effective.push_back(std::move(e));
   }
+  return effective;
+}
+
+SystemAnalysisReport SystemEffectGraph::Analyze() const {
+  SystemAnalysisReport report;
+  report.programs_analyzed = program_count();
+
+  // --- Compose domain callees into callers (transitive, cycle-safe via BFS). ---
+  const std::vector<EffectiveProgram> effective = ComposeProcesses(*this);
 
   // --- Per-port sender/receiver sets from resolved traffic only. ---
   const uint32_t n = static_cast<uint32_t>(effective.size());
@@ -175,7 +169,7 @@ SystemAnalysisReport SystemEffectGraph::Analyze() const {
   bool unknown_sender = false;
   bool unknown_receiver = false;
   for (uint32_t p = 0; p < n; ++p) {
-    const Effective& e = effective[p];
+    const EffectiveProgram& e = effective[p];
     if (e.opaque) {
       // An opaque program could send to or receive from any port.
       unknown_sender = true;
@@ -190,7 +184,7 @@ SystemAnalysisReport SystemEffectGraph::Analyze() const {
       unknown_receiver = true;
       report.unresolved_receive_programs++;
     }
-    for (const OwnedUse& owned : e.uses) {
+    for (const OwnedPortUse& owned : e.uses) {
       if (owned.use->port == kUnresolvedPort) continue;
       ports.insert(owned.use->port);
       if (owned.use->op == PortOp::kSend) {
@@ -212,7 +206,7 @@ SystemAnalysisReport SystemEffectGraph::Analyze() const {
   std::vector<std::set<uint32_t>> adjacency(n);
   std::vector<std::map<ObjectIndex, std::vector<const PortUse*>>> edge_uses(n);
   for (uint32_t p = 0; p < n; ++p) {
-    for (const OwnedUse& owned : effective[p].uses) {
+    for (const OwnedPortUse& owned : effective[p].uses) {
       const PortUse& use = *owned.use;
       if (use.op != PortOp::kReceive || !use.blocking || use.port == kUnresolvedPort) continue;
       if (externally_fed(use.port)) continue;  // an outside sender can always unblock this
@@ -295,7 +289,7 @@ SystemAnalysisReport SystemEffectGraph::Analyze() const {
     for (uint32_t p : sending) {
       diagnostic.programs.push_back(name_of(p));
       message += "  sent from " + name_of(p) + ":\n";
-      for (const OwnedUse& owned : effective[p].uses) {
+      for (const OwnedPortUse& owned : effective[p].uses) {
         if (owned.use->op == PortOp::kSend && owned.use->port == port) {
           message += "    | " + owned.use->disasm + "\n";
         }
@@ -312,7 +306,7 @@ SystemAnalysisReport SystemEffectGraph::Analyze() const {
     // Only unguarded receives block forever; a port polled purely via cond_receive is fine.
     std::vector<uint32_t> blocked;
     for (uint32_t p : receiving) {
-      for (const OwnedUse& owned : effective[p].uses) {
+      for (const OwnedPortUse& owned : effective[p].uses) {
         if (owned.use->op == PortOp::kReceive && owned.use->port == port &&
             owned.use->blocking) {
           blocked.push_back(p);
@@ -330,7 +324,7 @@ SystemAnalysisReport SystemEffectGraph::Analyze() const {
     for (uint32_t p : blocked) {
       diagnostic.programs.push_back(name_of(p));
       message += "  " + name_of(p) + " blocks at:\n";
-      for (const OwnedUse& owned : effective[p].uses) {
+      for (const OwnedPortUse& owned : effective[p].uses) {
         if (owned.use->op == PortOp::kReceive && owned.use->port == port &&
             owned.use->blocking) {
           message += "    | " + owned.use->disasm + "\n";

@@ -73,6 +73,12 @@ std::string FormatReport(const SystemAnalysisReport& report);
 // its effects count solely through composition into its callers.
 enum class ProgramKind : uint8_t { kProcess, kDomainEntry };
 
+// One registered summary plus how it runs.
+struct ProgramEntry {
+  EffectSummary summary;
+  ProgramKind kind = ProgramKind::kProcess;
+};
+
 // Incremental store of per-program summaries plus external port topology. The kernel owns
 // one and feeds it as programs register (see Kernel::AnalyzeSystem); tools and tests build
 // standalone instances.
@@ -94,18 +100,52 @@ class SystemEffectGraph {
 
   void set_symbols(const SymbolTable* symbols) { symbols_ = symbols; }
 
+  const std::map<ObjectIndex, ProgramEntry>& programs() const { return programs_; }
+  const std::set<ObjectIndex>& external_senders() const { return external_senders_; }
+  const std::set<ObjectIndex>& external_receivers() const { return external_receivers_; }
+  const SymbolTable* symbols() const { return symbols_; }
+
   SystemAnalysisReport Analyze() const;
 
  private:
-  struct Entry {
-    EffectSummary summary;
-    ProgramKind kind = ProgramKind::kProcess;
-  };
-  std::map<ObjectIndex, Entry> programs_;
+  std::map<ObjectIndex, ProgramEntry> programs_;
   std::set<ObjectIndex> external_senders_;
   std::set<ObjectIndex> external_receivers_;
   const SymbolTable* symbols_ = nullptr;
 };
+
+// A port use / object access attributed to the program whose behavior it contributes to
+// (after domain-call composition a caller owns its callees' sites). Pointers alias the
+// graph's stored summaries and stay valid until the graph is next mutated.
+struct OwnedPortUse {
+  const PortUse* use = nullptr;
+  ObjectIndex origin_segment = kInvalidObjectIndex;  // segment the site's code lives in
+};
+
+struct OwnedAccess {
+  const ObjectAccess* access = nullptr;
+  ObjectIndex origin_segment = kInvalidObjectIndex;
+};
+
+// Per-process view after composing domain callees into callers (transitively, cycle-safe).
+struct EffectiveProgram {
+  ObjectIndex segment = kInvalidObjectIndex;
+  const EffectSummary* own = nullptr;  // the process's own (pre-composition) summary
+  std::vector<OwnedPortUse> uses;
+  std::vector<OwnedAccess> accesses;
+  bool opaque = false;  // native steps, unknown services, or calls into unknown code
+  bool unresolved_send = false;
+  bool unresolved_receive = false;
+  bool unresolved_access = false;
+  bool may_not_terminate = false;  // any composed summary may loop or is opaque
+};
+
+// Composes every registered process (domain entries contribute only through their callers).
+// Shared between the deadlock pass and the race pass (races/races.h).
+std::vector<EffectiveProgram> ComposeProcesses(const SystemEffectGraph& graph);
+
+// "port N" / "port N 'name'" for diagnostics.
+std::string PortLabel(ObjectIndex port, const SymbolTable* symbols);
 
 }  // namespace analysis
 }  // namespace imax432

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <map>
 #include <set>
 #include <vector>
 
@@ -95,11 +96,15 @@ struct MustSent {
 struct AbstractState {
   AbstractAd regs[kNumAdRegs];
   MustSent sent;
+  // Ports a blocking receive has provably completed from on every path (same intersection
+  // lattice as `sent`). Feeds PortUse/ObjectAccess::recvs_before.
+  MustSent received;
 
   bool Join(const AbstractState& other) {
     bool changed = false;
     for (uint8_t r = 0; r < kNumAdRegs; ++r) changed |= regs[r].Join(other.regs[r]);
     changed |= sent.Join(other.sent);
+    changed |= received.Join(other.received);
     return changed;
   }
 };
@@ -120,7 +125,8 @@ struct Analyzer {
 
   AbstractState EntryState() const {
     AbstractState state;
-    state.sent.top = false;  // entry: nothing sent yet
+    state.sent.top = false;      // entry: nothing sent yet
+    state.received.top = false;  // entry: nothing received yet
     if (!options.initial_arg.is_null()) {
       state.regs[kArgAdReg].Add(options.initial_arg.index());
     } else {
@@ -178,18 +184,34 @@ struct Analyzer {
       case Opcode::kClearAd:
         state.regs[in.a] = AbstractAd();
         break;
+      case Opcode::kLoadData:
+      case Opcode::kLoadDataIndexed:
+        RecordAccess(pc, AccessKind::kRead, ObjectPart::kData, state.regs[in.b], state,
+                     record);
+        break;
+      case Opcode::kStoreData:
+      case Opcode::kStoreDataIndexed:
+        RecordAccess(pc, AccessKind::kWrite, ObjectPart::kData, state.regs[in.a], state,
+                     record);
+        break;
       case Opcode::kLoadAd:
+        RecordAccess(pc, AccessKind::kRead, ObjectPart::kAccess, state.regs[in.b], state,
+                     record);
         state.regs[in.a] = LoadSlot(state.regs[in.b], in.imm);
         break;
       case Opcode::kLoadAdIndexed:
         // Run-time slot index: any slot of the container could be loaded. Conservative top
         // whenever the container may hold anything at all.
+        RecordAccess(pc, AccessKind::kRead, ObjectPart::kAccess, state.regs[in.b], state,
+                     record);
         state.regs[in.a] =
             (state.regs[in.b].top || !state.regs[in.b].objs.empty()) ? AbstractAd::Top()
                                                                      : AbstractAd();
         break;
       case Opcode::kStoreAd:
       case Opcode::kStoreAdIndexed:
+        RecordAccess(pc, AccessKind::kWrite, ObjectPart::kAccess, state.regs[in.a], state,
+                     record);
         MarkStoreInto(state.regs[in.a]);
         break;
       case Opcode::kRestrictRights:
@@ -198,10 +220,17 @@ struct Analyzer {
       case Opcode::kCreateObject:
       case Opcode::kCreateSro:
         // A fresh object is never a pre-existing port; model as definitely-not-a-port.
+        // Allocation itself mutates only manager metadata, which the kernel serializes, so
+        // no access is recorded for the source SRO.
         state.regs[in.a] = AbstractAd();
         break;
       case Opcode::kDestroyObject:
       case Opcode::kDestroySro:
+        // Destruction invalidates both halves of the object for every other holder.
+        RecordAccess(pc, AccessKind::kWrite, ObjectPart::kData, state.regs[in.a], state,
+                     record);
+        RecordAccess(pc, AccessKind::kWrite, ObjectPart::kAccess, state.regs[in.a], state,
+                     record);
         break;
       case Opcode::kSend:
         RecordUse(pc, PortOp::kSend, state.regs[in.a], /*blocking=*/true, state, record);
@@ -212,6 +241,7 @@ struct Analyzer {
         break;
       case Opcode::kReceive:
         RecordUse(pc, PortOp::kReceive, state.regs[in.b], /*blocking=*/true, state, record);
+        NoteMustReceive(state, state.regs[in.b]);
         state.regs[in.a] = AbstractAd::Top();
         break;
       case Opcode::kCondReceive:
@@ -269,12 +299,52 @@ struct Analyzer {
     if (!port.top && port.objs.size() == 1) state.sent.Add(port.objs[0]);
   }
 
+  void NoteMustReceive(AbstractState& state, const AbstractAd& port) {
+    // Completing a blocking receive from a provably-unique port is a guaranteed join with
+    // whoever sent there. Guarded variants (cond/timed receive) complete without a message
+    // and never register here.
+    if (!port.top && port.objs.size() == 1) state.received.Add(port.objs[0]);
+  }
+
+  void RecordAccess(uint32_t pc, AccessKind kind, ObjectPart part, const AbstractAd& object,
+                    const AbstractState& state, EffectSummary* record) {
+    if (record == nullptr) return;
+    if (object.top) {
+      // The site may touch any object at all; the race analysis counts this program's
+      // unresolved sites but never reports them.
+      record->has_unresolved_access = true;
+      return;
+    }
+    // Empty set: a definitely-null register (faults, touches nothing) or a fresh object no
+    // other pre-existing summary can name. Either way there is no shared object to report.
+    if (object.objs.empty()) return;
+    const std::vector<ObjectIndex> recvs_before =
+        state.received.top ? std::vector<ObjectIndex>{} : state.received.ports;
+    char prefix[16];
+    std::snprintf(prefix, sizeof(prefix), "%04u  ", pc);
+    const std::string disasm =
+        prefix + DisassembleInstruction(program.at(pc), kInvalidObjectIndex, options.symbols);
+    for (ObjectIndex obj : object.objs) {
+      ObjectAccess access;
+      access.kind = kind;
+      access.part = part;
+      access.pc = pc;
+      access.object = obj;
+      access.recvs_before = recvs_before;
+      access.disasm = disasm;
+      record->accesses.push_back(std::move(access));
+    }
+  }
+
   void RecordUse(uint32_t pc, PortOp op, const AbstractAd& port, bool blocking,
                  const AbstractState& state, EffectSummary* record) {
     if (record == nullptr) return;
     const std::vector<ObjectIndex> sends_before = state.sent.top
                                                       ? std::vector<ObjectIndex>{}
                                                       : state.sent.ports;
+    const std::vector<ObjectIndex> recvs_before = state.received.top
+                                                      ? std::vector<ObjectIndex>{}
+                                                      : state.received.ports;
     auto emit = [&](ObjectIndex resolved) {
       PortUse use;
       use.op = op;
@@ -282,6 +352,7 @@ struct Analyzer {
       use.port = resolved;
       use.blocking = blocking;
       use.sends_before = sends_before;
+      use.recvs_before = recvs_before;
       char prefix[16];
       std::snprintf(prefix, sizeof(prefix), "%04u  ", pc);
       use.disasm = prefix + DisassembleInstruction(program.at(pc), resolved, options.symbols);
@@ -379,7 +450,8 @@ struct Analyzer {
       // verifier's treatment; see cfg.h).
       AbstractState unknown;
       HavocRegs(unknown);
-      unknown.sent.top = false;  // no guaranteed sends on an unknown path
+      unknown.sent.top = false;      // no guaranteed sends on an unknown path
+      unknown.received.top = false;  // ... and no guaranteed receives either
       for (uint32_t b = 0; b < cfg.size(); ++b) seed(b, unknown);
     }
 
@@ -413,8 +485,85 @@ struct Analyzer {
       for (uint32_t pc = bb.begin; pc < bb.end; ++pc) Transfer(pc, state, &summary);
     }
 
+    FillSendsAfter(seen);
+
     summary.may_not_terminate = summary.has_native || HasReachableCycle();
     return summary;
+  }
+
+  // Backward must-send pass filling ObjectAccess::sends_after: the ports a blocking send
+  // with a provably-unique target reaches on *every* path from the access to program exit.
+  // The race analysis only trusts these facts for acyclic, native-free programs (each site
+  // then executes at most once), so the pass is skipped for opaque programs.
+  void FillSendsAfter(const std::vector<bool>& seen) {
+    if (summary.has_native || summary.accesses.empty()) return;
+
+    // Unique blocking-send target per pc. A site whose register resolves to several
+    // candidates (several PortUse rows at one pc) or to nothing certain is excluded.
+    std::map<uint32_t, ObjectIndex> send_at;
+    std::set<uint32_t> ambiguous;
+    for (const PortUse& use : summary.uses) {
+      if (use.op != PortOp::kSend || !use.blocking) continue;
+      if (use.port == kUnresolvedPort || ambiguous.count(use.pc) != 0 ||
+          send_at.count(use.pc) != 0) {
+        send_at.erase(use.pc);
+        ambiguous.insert(use.pc);
+        continue;
+      }
+      send_at.emplace(use.pc, use.port);
+    }
+
+    // Greatest-fixpoint intersection over reversed CFG edges. out[b] = sends guaranteed
+    // after the *end* of block b; exit blocks guarantee nothing.
+    std::vector<MustSent> out(cfg.size());  // top = not yet constrained
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (uint32_t b = cfg.size(); b-- > 0;) {
+        if (!seen[b]) continue;
+        const BasicBlock& bb = cfg.block(b);
+        MustSent next;
+        if (bb.successors.empty()) {
+          next.top = false;
+        } else {
+          for (uint32_t succ : bb.successors) {
+            MustSent in_succ = out[succ];
+            if (!in_succ.top) {
+              for (uint32_t pc = cfg.block(succ).begin; pc < cfg.block(succ).end; ++pc) {
+                auto it = send_at.find(pc);
+                if (it != send_at.end()) in_succ.Add(it->second);
+              }
+            }
+            next.Join(in_succ);
+          }
+        }
+        if (next.top != out[b].top || next.ports != out[b].ports) {
+          out[b] = std::move(next);
+          changed = true;
+        }
+      }
+    }
+
+    // pc -> block lookup, then per access: later same-block sends plus out[block].
+    std::vector<uint32_t> block_of(program.size(), 0);
+    for (uint32_t b = 0; b < cfg.size(); ++b) {
+      for (uint32_t pc = cfg.block(b).begin; pc < cfg.block(b).end; ++pc) block_of[pc] = b;
+    }
+    for (ObjectAccess& access : summary.accesses) {
+      const uint32_t b = block_of[access.pc];
+      MustSent after = out[b];
+      if (after.top) {
+        // Every path from this block loops forever; nothing is guaranteed (and the race
+        // analysis would discard the fact anyway via may_not_terminate).
+        after.top = false;
+        after.ports.clear();
+      }
+      for (uint32_t pc = access.pc + 1; pc < cfg.block(b).end; ++pc) {
+        auto it = send_at.find(pc);
+        if (it != send_at.end()) after.Add(it->second);
+      }
+      access.sends_after = std::move(after.ports);
+    }
   }
 };
 
@@ -430,6 +579,24 @@ bool EffectSummary::SendsTo(ObjectIndex port) const {
 bool EffectSummary::ReceivesFrom(ObjectIndex port) const {
   for (const PortUse& use : uses) {
     if (use.op == PortOp::kReceive && use.port == port) return true;
+  }
+  return false;
+}
+
+bool EffectSummary::Reads(ObjectIndex object, ObjectPart part) const {
+  for (const ObjectAccess& access : accesses) {
+    if (access.kind == AccessKind::kRead && access.object == object && access.part == part) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool EffectSummary::Writes(ObjectIndex object, ObjectPart part) const {
+  for (const ObjectAccess& access : accesses) {
+    if (access.kind == AccessKind::kWrite && access.object == object && access.part == part) {
+      return true;
+    }
   }
   return false;
 }

@@ -7,7 +7,11 @@
 // seeded initial argument (the loader knows exactly what lands in a7) and chased through
 // move_ad / load_ad chains by reading the live machine's access parts via a slot-reader
 // callback. Every send / receive / cond_send / cond_receive site is recorded with the
-// resolved port object when the chain resolves, and flagged unresolved otherwise.
+// resolved port object when the chain resolves, and flagged unresolved otherwise. The same
+// resolution also yields per-program *access summaries* — may-read / may-write sets over
+// abstract objects, annotated with must-send-after / must-receive-before port facts — which
+// the whole-system race detector (races/races.h) turns into a message-passing
+// happens-before relation.
 //
 // Soundness posture (see DESIGN.md §6): this is a *may* analysis over the ISA stream.
 // Native steps and unknown OS services havoc the register file and mark the summary opaque —
@@ -55,7 +59,40 @@ struct PortUse {
   // cycles: a receive preceded by a guaranteed send into the cycle cannot be the first
   // blocker.
   std::vector<ObjectIndex> sends_before;
+  // Ports this program has provably *completed a blocking receive from* on every path to
+  // this site. The race detector chains happens-before through relay processes with it: a
+  // relay that only sends after receiving extends the ordering its input port carries.
+  std::vector<ObjectIndex> recvs_before;
   // Disassembly of the site, for diagnostics ("receive a4, port=a2 ; port 12 'ring.0'").
+  std::string disasm;
+};
+
+enum class AccessKind : uint8_t { kRead, kWrite };
+
+// Which half of an object an access touches. Data reads/writes never conflict with
+// access-part (AD slot) reads/writes: the two parts are disjoint storage.
+enum class ObjectPart : uint8_t { kData, kAccess };
+
+// One memory access site: a data or access-part read/write of a resolved abstract object.
+// load_data / store_data touch the data part; load_ad / store_ad touch the access part;
+// destroy_object writes both. A site whose object register resolves to several candidates
+// produces one ObjectAccess per candidate; fresh objects (create_object results) and
+// definitely-null registers produce none.
+struct ObjectAccess {
+  AccessKind kind = AccessKind::kRead;
+  ObjectPart part = ObjectPart::kData;
+  uint32_t pc = 0;
+  ObjectIndex object = kInvalidObjectIndex;
+  // Must-analysis context for message-passing happens-before (DESIGN.md §6.2):
+  //   sends_after  — ports provably sent to (blocking send, unique target) on every path
+  //                  from this site to program exit. A write followed by a guaranteed send
+  //                  happens-before reads after the matching receive.
+  //   recvs_before — ports a blocking receive provably completed from on every path from
+  //                  entry to this site. A read after a guaranteed receive happens-after
+  //                  writes before the matching send.
+  std::vector<ObjectIndex> sends_after;
+  std::vector<ObjectIndex> recvs_before;
+  // Disassembly of the site, for diagnostics.
   std::string disasm;
 };
 
@@ -71,16 +108,20 @@ struct DomainCall {
 struct EffectSummary {
   std::string program_name;
   std::vector<PortUse> uses;          // every send/receive site, ascending pc
+  std::vector<ObjectAccess> accesses; // every resolved data/AD access site, ascending pc
   std::vector<DomainCall> calls;      // every call / call_local site
   bool has_native = false;            // opaque native / unknown OS-call steps present
   bool has_unresolved_send = false;   // some send's port chain did not resolve
   bool has_unresolved_receive = false;
+  bool has_unresolved_access = false; // some access's object chain did not resolve
   // The CFG has a reachable cycle (or opaque code): the program may never terminate, so
   // its sends may repeat without bound.
   bool may_not_terminate = false;
 
   bool SendsTo(ObjectIndex port) const;
   bool ReceivesFrom(ObjectIndex port) const;
+  bool Reads(ObjectIndex object, ObjectPart part = ObjectPart::kData) const;
+  bool Writes(ObjectIndex object, ObjectPart part = ObjectPart::kData) const;
 };
 
 struct EffectOptions {

@@ -1,0 +1,298 @@
+#include "src/analysis/races/races.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "src/isa/disassembler.h"
+
+namespace imax432 {
+namespace analysis {
+namespace {
+
+std::string ObjectLabel(ObjectIndex object, const SymbolTable* symbols) {
+  std::string label = "object " + std::to_string(object);
+  if (symbols != nullptr) {
+    if (const std::string* name = symbols->Find(object)) label += " '" + *name + "'";
+  }
+  return label;
+}
+
+const char* PartName(ObjectPart part) {
+  return part == ObjectPart::kData ? "data" : "access";
+}
+
+const char* KindName(AccessKind kind) {
+  return kind == AccessKind::kRead ? "reads" : "writes";
+}
+
+// The whole analysis over one composed system. Built once per AnalyzeRaces call.
+struct RaceAnalyzer {
+  const SystemEffectGraph& graph;
+  const std::vector<EffectiveProgram> effective;
+  RaceAnalysisReport report;
+
+  // Per-port resolved traffic, over every composed use (any op kind, guarded included).
+  std::map<ObjectIndex, std::set<uint32_t>> senders;    // port -> process ids
+  std::map<ObjectIndex, std::set<uint32_t>> receivers;  // port -> process ids
+  std::map<ObjectIndex, uint32_t> send_sites;           // port -> total send-site rows
+  // port -> the one send row when send_sites == 1 (site-level must facts live on it).
+  std::map<ObjectIndex, const OwnedPortUse*> sole_send_row;
+  bool unknown_sender = false;  // some opaque / unresolved-send program could feed any port
+
+  // May-communication reachability, processes plus one wildcard node for everything the
+  // summaries cannot see (opaque code, unresolved chains, kernel/device traffic).
+  std::vector<std::vector<bool>> reach;
+
+  // Happens-before relay closure: hb_reach[t] = ports whose guaranteed receive is provably
+  // ordered after a send on t (t itself included).
+  std::map<ObjectIndex, std::set<ObjectIndex>> hb_reach;
+
+  explicit RaceAnalyzer(const SystemEffectGraph& g)
+      : graph(g), effective(ComposeProcesses(g)) {}
+
+  // A send on `port` can be matched to one known site: process `p` is its only possible
+  // sender, sends from exactly one site in its own (root) program, and that program cannot
+  // loop — so at most one message ever exists on the port and any completed receive is
+  // ordered after everything that must precede the send.
+  bool QualifiedSender(ObjectIndex port, uint32_t* sender_out = nullptr) const {
+    if (unknown_sender || graph.external_senders().count(port) != 0) return false;
+    auto it = senders.find(port);
+    if (it == senders.end() || it->second.size() != 1) return false;
+    auto sites = send_sites.find(port);
+    if (sites == send_sites.end() || sites->second != 1) return false;
+    const uint32_t p = *it->second.begin();
+    if (effective[p].may_not_terminate) return false;
+    const OwnedPortUse* row = sole_send_row.at(port);
+    // Composed callee sites may run once per call site; only the root program's single
+    // site is provably executed at most once.
+    if (row->origin_segment != effective[p].segment) return false;
+    if (sender_out != nullptr) *sender_out = p;
+    return true;
+  }
+
+  void BuildTraffic() {
+    const uint32_t n = static_cast<uint32_t>(effective.size());
+    for (uint32_t p = 0; p < n; ++p) {
+      const EffectiveProgram& e = effective[p];
+      if (e.opaque) report.opaque_programs++;
+      if (e.unresolved_access) report.unresolved_access_programs++;
+      if (e.opaque || e.unresolved_send) unknown_sender = true;
+      for (const OwnedPortUse& owned : e.uses) {
+        if (owned.use->port == kUnresolvedPort) continue;
+        if (owned.use->op == PortOp::kSend) {
+          senders[owned.use->port].insert(p);
+          if (++send_sites[owned.use->port] == 1) {
+            sole_send_row[owned.use->port] = &owned;
+          }
+        } else {
+          receivers[owned.use->port].insert(p);
+        }
+      }
+    }
+  }
+
+  void BuildMayReach() {
+    // Node n is the wildcard: it stands for every actor the summaries cannot see and may
+    // send to or receive from anything. It only participates when such an actor exists.
+    const uint32_t n = static_cast<uint32_t>(effective.size());
+    bool unknown_exists =
+        !graph.external_senders().empty() || !graph.external_receivers().empty();
+    std::vector<bool> sends_any(n, false), receives_any(n, false);
+    for (uint32_t p = 0; p < n; ++p) {
+      const EffectiveProgram& e = effective[p];
+      if (e.opaque || e.unresolved_send || e.unresolved_receive) unknown_exists = true;
+      for (const OwnedPortUse& owned : e.uses) {
+        (owned.use->op == PortOp::kSend ? sends_any : receives_any)[p] = true;
+      }
+      if (e.opaque) sends_any[p] = receives_any[p] = true;
+    }
+
+    std::vector<std::set<uint32_t>> adjacency(n + 1);
+    for (const auto& [port, from] : senders) {
+      auto it = receivers.find(port);
+      if (it == receivers.end()) continue;
+      for (uint32_t s : from) {
+        for (uint32_t r : it->second) {
+          if (s != r) adjacency[s].insert(r);
+        }
+      }
+    }
+    if (unknown_exists) {
+      for (uint32_t p = 0; p < n; ++p) {
+        if (sends_any[p]) adjacency[p].insert(n);
+        if (receives_any[p]) adjacency[n].insert(p);
+      }
+    }
+
+    reach.assign(n + 1, std::vector<bool>(n + 1, false));
+    for (uint32_t start = 0; start <= n; ++start) {
+      std::vector<uint32_t> stack{start};
+      while (!stack.empty()) {
+        const uint32_t node = stack.back();
+        stack.pop_back();
+        for (uint32_t next : adjacency[node]) {
+          if (!reach[start][next]) {
+            reach[start][next] = true;
+            stack.push_back(next);
+          }
+        }
+      }
+    }
+  }
+
+  void BuildHbRelays() {
+    // Relay edge t -> u: the (qualified) sole send site of u completes only after a
+    // guaranteed receive from t, so ordering carried by t extends to u.
+    std::map<ObjectIndex, std::set<ObjectIndex>> edges;
+    std::set<ObjectIndex> qualified;
+    for (const auto& [port, rows] : send_sites) {
+      (void)rows;
+      if (!QualifiedSender(port)) continue;
+      qualified.insert(port);
+      for (ObjectIndex before : sole_send_row.at(port)->use->recvs_before) {
+        edges[before].insert(port);
+      }
+    }
+    for (ObjectIndex t : qualified) {
+      std::set<ObjectIndex>& closed = hb_reach[t];
+      std::vector<ObjectIndex> stack{t};
+      closed.insert(t);
+      while (!stack.empty()) {
+        const ObjectIndex node = stack.back();
+        stack.pop_back();
+        auto it = edges.find(node);
+        if (it == edges.end()) continue;
+        for (ObjectIndex next : it->second) {
+          if (closed.insert(next).second) stack.push_back(next);
+        }
+      }
+    }
+  }
+
+  // True when `first` provably happens-before `second` in every execution where both run.
+  bool Ordered(uint32_t p, const OwnedAccess& first, uint32_t q,
+               const OwnedAccess& second) const {
+    if (effective[p].may_not_terminate) return false;
+    // sends_after facts are computed in the frame of the summary that owns the site; only
+    // the root program's frame is the process's own single execution.
+    if (first.origin_segment != effective[p].segment) return false;
+    (void)q;
+    for (ObjectIndex t : first.access->sends_after) {
+      uint32_t sender = 0;
+      if (!QualifiedSender(t, &sender) || sender != p) continue;
+      auto closed = hb_reach.find(t);
+      if (closed == hb_reach.end()) continue;
+      for (ObjectIndex u : second.access->recvs_before) {
+        if (closed->second.count(u) != 0) return true;
+      }
+    }
+    return false;
+  }
+
+  void CheckPairs() {
+    struct Site {
+      uint32_t proc = 0;
+      const OwnedAccess* owned = nullptr;
+    };
+    std::map<std::pair<ObjectIndex, uint8_t>, std::vector<Site>> by_object;
+    for (uint32_t p = 0; p < static_cast<uint32_t>(effective.size()); ++p) {
+      for (const OwnedAccess& owned : effective[p].accesses) {
+        by_object[{owned.access->object, static_cast<uint8_t>(owned.access->part)}]
+            .push_back({p, &owned});
+      }
+    }
+
+    std::set<ObjectIndex> shared;
+    for (const auto& [key, sites] : by_object) {
+      std::set<uint32_t> procs;
+      for (const Site& site : sites) procs.insert(site.proc);
+      if (procs.size() > 1) shared.insert(key.first);
+    }
+    report.objects_shared = static_cast<uint32_t>(shared.size());
+
+    for (const auto& [key, sites] : by_object) {
+      RaceDiagnostic diagnostic;
+      diagnostic.object = key.first;
+      diagnostic.part = static_cast<ObjectPart>(key.second);
+      for (size_t i = 0; i < sites.size(); ++i) {
+        for (size_t j = i + 1; j < sites.size(); ++j) {
+          const Site& a = sites[i];
+          const Site& b = sites[j];
+          if (a.proc == b.proc) continue;
+          if (a.owned->access->kind != AccessKind::kWrite &&
+              b.owned->access->kind != AccessKind::kWrite) {
+            continue;  // read/read never conflicts
+          }
+          report.pairs_checked++;
+          if (Ordered(a.proc, *a.owned, b.proc, *b.owned) ||
+              Ordered(b.proc, *b.owned, a.proc, *a.owned)) {
+            report.pairs_ordered++;
+            continue;
+          }
+          if (reach[a.proc][b.proc] || reach[b.proc][a.proc]) {
+            // The two processes may communicate; without a must-order proof the pair is
+            // ambiguous, and ambiguity never becomes an error (zero-FP posture).
+            report.pairs_suppressed++;
+            continue;
+          }
+          RacePair pair;
+          const std::string& name_a = effective[a.proc].own->program_name;
+          const std::string& name_b = effective[b.proc].own->program_name;
+          const bool a_first = name_a <= name_b;
+          pair.first_program = a_first ? name_a : name_b;
+          pair.second_program = a_first ? name_b : name_a;
+          pair.first = a_first ? a.owned->access : b.owned->access;
+          pair.second = a_first ? b.owned->access : a.owned->access;
+          diagnostic.pairs.push_back(std::move(pair));
+        }
+      }
+      if (diagnostic.pairs.empty()) continue;
+      RenderDiagnostic(diagnostic);
+      report.diagnostics.push_back(std::move(diagnostic));
+    }
+  }
+
+  void RenderDiagnostic(RaceDiagnostic& diagnostic) const {
+    std::set<std::string> names;
+    std::string message = std::string("error  data-race  ") +
+                          ObjectLabel(diagnostic.object, graph.symbols()) + " (" +
+                          PartName(diagnostic.part) + " part): " +
+                          std::to_string(diagnostic.pairs.size()) +
+                          " conflicting access pair(s) with no ordering\n";
+    for (const RacePair& pair : diagnostic.pairs) {
+      names.insert(pair.first_program);
+      names.insert(pair.second_program);
+      message += "  " + pair.first_program + " " + KindName(pair.first->kind) + " / " +
+                 pair.second_program + " " + KindName(pair.second->kind) + ":\n";
+      message += "    | " + pair.first_program + ": " + pair.first->disasm + "\n";
+      message += "    | " + pair.second_program + ": " + pair.second->disasm + "\n";
+    }
+    diagnostic.programs.assign(names.begin(), names.end());
+    diagnostic.message = std::move(message);
+  }
+
+  RaceAnalysisReport Run() {
+    report.programs_analyzed = graph.program_count();
+    BuildTraffic();
+    BuildMayReach();
+    BuildHbRelays();
+    CheckPairs();
+    return std::move(report);
+  }
+};
+
+}  // namespace
+
+std::string FormatRaceReport(const RaceAnalysisReport& report) {
+  std::string out;
+  for (const RaceDiagnostic& diagnostic : report.diagnostics) out += diagnostic.message;
+  return out;
+}
+
+RaceAnalysisReport AnalyzeRaces(const SystemEffectGraph& graph) {
+  return RaceAnalyzer(graph).Run();
+}
+
+}  // namespace analysis
+}  // namespace imax432

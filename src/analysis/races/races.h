@@ -1,0 +1,85 @@
+// Whole-system static data-race detection over shared abstract objects.
+//
+// iMAX's only sanctioned synchronization is port send/receive (paper §"Interprocess
+// Communication"): there are no locks, so two processes touching the same object are safe
+// only when every conflicting access pair is ordered by message passing or the object is
+// privately owned. This pass layers on the PR 2 effect machinery: per-program access
+// summaries (effects.h) name the abstract objects a process may read or write, and the
+// must-send-after / must-receive-before annotations on each site induce a message-passing
+// happens-before relation:
+//
+//     write w in P,  t in w.sends_after,  P the sole sender of t with a single send site
+//     and an acyclic program,  t in r.recvs_before for access r in Q
+//         =>  w happens-before r in every execution where both occur.
+//
+// The relation composes transitively through relay processes (receive t, then provably
+// send u) and through domain calls (callee sites are composed into callers by
+// ComposeProcesses). Conflicting pairs fall in three tiers:
+//
+//   ordered    — proven happens-before in one direction; never a race.
+//   suppressed — the two processes *may* communicate (directly, transitively, or through
+//                opaque/unresolved code or external traffic) but no must-ordering could be
+//                proven. Zero-false-positive posture: counted, never reported.
+//   reported   — no communication path exists between the two processes in either
+//                direction: they are autonomous, so the conflicting pair is concurrent in
+//                some execution. These are the candidate races.
+//
+// The dynamic cross-check for every verdict is the vector-clock sanitizer (sanitizer.h,
+// SystemConfig::race_sanitize), which validates reported pairs against concrete traced
+// executions. See DESIGN.md §6.2.
+
+#ifndef IMAX432_SRC_ANALYSIS_RACES_RACES_H_
+#define IMAX432_SRC_ANALYSIS_RACES_RACES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/analysis/deadlock.h"
+#include "src/analysis/effects.h"
+#include "src/arch/types.h"
+
+namespace imax432 {
+namespace analysis {
+
+// One conflicting, unordered, unsuppressed access pair.
+struct RacePair {
+  std::string first_program;   // alphabetically first of the two, for stable output
+  std::string second_program;
+  const ObjectAccess* first = nullptr;   // aliases the graph's stored summaries
+  const ObjectAccess* second = nullptr;
+};
+
+// All candidate races on one (object, part), with a rendered message.
+struct RaceDiagnostic {
+  ObjectIndex object = kInvalidObjectIndex;
+  ObjectPart part = ObjectPart::kData;
+  std::vector<RacePair> pairs;
+  std::vector<std::string> programs;  // names of involved programs, sorted, deduped
+  std::string message;                // multi-line, disassembly-anchored
+};
+
+struct RaceAnalysisReport {
+  std::vector<RaceDiagnostic> diagnostics;
+  uint32_t programs_analyzed = 0;
+  uint32_t objects_shared = 0;     // objects accessed (resolved) by more than one process
+  uint32_t pairs_checked = 0;      // conflicting cross-process pairs examined
+  uint32_t pairs_ordered = 0;      // proven ordered by message-passing happens-before
+  uint32_t pairs_suppressed = 0;   // may-communication without a must-order proof
+  uint32_t opaque_programs = 0;
+  uint32_t unresolved_access_programs = 0;  // some access site did not resolve
+
+  bool ok() const { return diagnostics.empty(); }
+};
+
+// One report as text, one block per diagnostic ("" when the report is clean).
+std::string FormatRaceReport(const RaceAnalysisReport& report);
+
+// Runs the race analysis over the graph's registered summaries and external topology.
+// Pointers in the report alias the graph and stay valid until it is next mutated.
+RaceAnalysisReport AnalyzeRaces(const SystemEffectGraph& graph);
+
+}  // namespace analysis
+}  // namespace imax432
+
+#endif  // IMAX432_SRC_ANALYSIS_RACES_RACES_H_

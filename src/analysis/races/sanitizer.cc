@@ -1,0 +1,124 @@
+#include "src/analysis/races/sanitizer.h"
+
+#include <cstdio>
+
+namespace imax432 {
+namespace analysis {
+
+uint32_t RaceSanitizer::SlotFor(ObjectIndex process) {
+  auto it = slots_.find(process);
+  if (it != slots_.end()) return it->second;
+  const uint32_t slot = static_cast<uint32_t>(clocks_.size());
+  slots_.emplace(process, slot);
+  clocks_.emplace_back();
+  clocks_[slot].Set(slot, 1);  // epochs must be distinguishable from "never observed"
+  auto retired = retired_.find(process);
+  if (retired != retired_.end()) {
+    // The index was reused: the new process was created after the old one terminated, so
+    // everything the old incarnation did is ordered before everything this one does. The
+    // entry stays behind for OnProcessCreated joins by later processes.
+    clocks_[slot].Join(retired->second);
+  }
+  return slot;
+}
+
+void RaceSanitizer::OnProcessCreated(ObjectIndex process) {
+  const uint32_t slot = SlotFor(process);
+  // Every already-retired process terminated before this one was created — the join edge of
+  // a thread join. Without it, generations that never overlap would read as concurrent.
+  for (const auto& [index, clock] : retired_) {
+    clocks_[slot].Join(clock);
+  }
+}
+
+void RaceSanitizer::OnSend(ObjectIndex sender, uint64_t seq) {
+  const uint32_t slot = SlotFor(sender);
+  messages_[seq] = clocks_[slot];
+  clocks_[slot].Bump(slot);  // later sender accesses are not released by this message
+  ++stats_.messages_stamped;
+}
+
+void RaceSanitizer::OnReceive(ObjectIndex receiver, uint64_t seq) {
+  auto it = messages_.find(seq);
+  if (it == messages_.end()) return;  // injected from outside (PostMessage): no known order
+  clocks_[SlotFor(receiver)].Join(it->second);
+  messages_.erase(it);
+  ++stats_.joins;
+}
+
+void RaceSanitizer::OnHandoff(ObjectIndex sender, ObjectIndex receiver) {
+  const uint32_t from = SlotFor(sender);
+  const uint32_t to = SlotFor(receiver);
+  clocks_[to].Join(clocks_[from]);
+  clocks_[from].Bump(from);
+  ++stats_.joins;
+}
+
+const RaceRecord* RaceSanitizer::Report(const Epoch& prior, ObjectIndex process,
+                                        ObjectIndex object, ObjectPart part, AccessKind kind,
+                                        uint32_t pc, Cycles now) {
+  char key[96];
+  std::snprintf(key, sizeof(key), "%llu.%u.%u.%u/%u.%u",
+                static_cast<unsigned long long>(object), static_cast<unsigned>(part),
+                prior.slot, prior.pc, SlotFor(process), pc);
+  if (!seen_pairs_.insert(key).second) return nullptr;
+  RaceRecord record;
+  record.object = object;
+  record.part = part;
+  record.first_process = prior.process;
+  record.first_pc = prior.pc;
+  record.first_kind = prior.kind;
+  record.second_process = process;
+  record.second_pc = pc;
+  record.second_kind = kind;
+  record.when = now;
+  races_.push_back(record);
+  ++stats_.races_detected;
+  return &races_.back();
+}
+
+const RaceRecord* RaceSanitizer::OnAccess(ObjectIndex process, ObjectIndex object,
+                                          ObjectPart part, AccessKind kind, uint32_t pc,
+                                          Cycles now) {
+  ++stats_.accesses_checked;
+  const uint32_t slot = SlotFor(process);
+  const VectorClock& clock = clocks_[slot];
+  ObjectState& state = objects_[(static_cast<uint64_t>(object) << 1) |
+                                static_cast<uint64_t>(part)];
+  const RaceRecord* detected = nullptr;
+
+  // A prior write by someone this process has not caught up with conflicts with any access.
+  if (state.has_write && state.write.slot != slot &&
+      state.write.time > clock.Get(state.write.slot)) {
+    detected = Report(state.write, process, object, part, kind, pc, now);
+  }
+  if (kind == AccessKind::kWrite) {
+    // ... and a write additionally conflicts with every unordered prior read.
+    for (const auto& [read_slot, read] : state.reads) {
+      if (read_slot == slot || read.time <= clock.Get(read_slot)) continue;
+      const RaceRecord* r = Report(read, process, object, part, kind, pc, now);
+      if (detected == nullptr) detected = r;
+    }
+    state.has_write = true;
+    state.write = Epoch{slot, clock.Get(slot), pc, process, kind};
+    state.reads.clear();
+  } else {
+    state.reads[slot] = Epoch{slot, clock.Get(slot), pc, process, kind};
+  }
+  return detected;
+}
+
+void RaceSanitizer::OnProcessRetired(ObjectIndex process) {
+  auto it = slots_.find(process);
+  if (it == slots_.end()) return;
+  retired_[process] = clocks_[it->second];
+  slots_.erase(it);
+}
+
+void RaceSanitizer::OnObjectDestroyed(ObjectIndex object) {
+  objects_.erase(static_cast<uint64_t>(object) << 1);
+  objects_.erase((static_cast<uint64_t>(object) << 1) | 1);
+}
+
+}  // namespace analysis
+}  // namespace imax432

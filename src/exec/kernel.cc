@@ -230,6 +230,9 @@ Result<AccessDescriptor> Kernel::CreateProcess(ProgramRef program,
   proc.set_call_depth(1);
 
   ++stats_.processes_created;
+  if (race_sanitizer_ != nullptr) {
+    race_sanitizer_->OnProcessCreated(process.index());
+  }
   return process;
 }
 
@@ -613,6 +616,20 @@ void Kernel::ProcessorStep(uint16_t processor_id) {
   }
 }
 
+void Kernel::NoteAccess(uint16_t cpu, ProcessView& proc, ContextView& ctx, ObjectIndex object,
+                        analysis::ObjectPart part, analysis::AccessKind kind) {
+  if (race_sanitizer_ == nullptr) return;
+  // ProcessorStep advanced the pc before Execute, so the current instruction is pc - 1.
+  const uint32_t pc = ctx.pc() - 1;
+  const analysis::RaceRecord* record = race_sanitizer_->OnAccess(
+      proc.ad().index(), object, part, kind, pc, machine_->now());
+  if (record != nullptr) {
+    machine_->trace().Emit(TraceEventKind::kRaceDetected, machine_->now(), cpu,
+                           record->second_process, record->object, record->second_pc,
+                           record->first_process);
+  }
+}
+
 Result<Kernel::StepEffect> Kernel::Execute(ProcessorRec& rec, ProcessView& proc,
                                            ContextView& ctx, const Program& program,
                                            const Instruction& in) {
@@ -668,6 +685,8 @@ Result<Kernel::StepEffect> Kernel::Execute(ProcessorRec& rec, ProcessView& proc,
         offset += static_cast<uint32_t>(ctx.reg(in.c));
       }
       IMAX_ASSIGN_OR_RETURN(uint64_t value, au.ReadData(ctx.ad_reg(in.b), offset, width));
+      NoteAccess(rec.id, proc, ctx, ctx.ad_reg(in.b).index(), analysis::ObjectPart::kData,
+                 analysis::AccessKind::kRead);
       ctx.set_reg(in.a, value);
       effect.compute = cycles::kDataAccessBase;
       effect.bus = cycles::kBusDataAccess;
@@ -684,6 +703,8 @@ Result<Kernel::StepEffect> Kernel::Execute(ProcessorRec& rec, ProcessView& proc,
         offset += static_cast<uint32_t>(ctx.reg(in.c));
       }
       IMAX_RETURN_IF_FAULT(au.WriteData(ctx.ad_reg(in.a), offset, width, ctx.reg(in.b)));
+      NoteAccess(rec.id, proc, ctx, ctx.ad_reg(in.a).index(), analysis::ObjectPart::kData,
+                 analysis::AccessKind::kWrite);
       effect.compute = cycles::kDataAccessBase;
       effect.bus = cycles::kBusDataAccess;
       return effect;
@@ -711,6 +732,8 @@ Result<Kernel::StepEffect> Kernel::Execute(ProcessorRec& rec, ProcessView& proc,
         slot += static_cast<uint32_t>(ctx.reg(in.c));
       }
       IMAX_ASSIGN_OR_RETURN(AccessDescriptor value, au.ReadAd(ctx.ad_reg(in.b), slot));
+      NoteAccess(rec.id, proc, ctx, ctx.ad_reg(in.b).index(), analysis::ObjectPart::kAccess,
+                 analysis::AccessKind::kRead);
       ctx.set_ad_reg(in.a, value);
       effect.compute = cycles::kAdMove;
       effect.bus = cycles::kBusAdMove;
@@ -727,6 +750,8 @@ Result<Kernel::StepEffect> Kernel::Execute(ProcessorRec& rec, ProcessView& proc,
       }
       // The checked mutator store: rights, bounds, level rule, gray-bit.
       IMAX_RETURN_IF_FAULT(au.WriteAd(ctx.ad_reg(in.a), slot, ctx.ad_reg(in.b)));
+      NoteAccess(rec.id, proc, ctx, ctx.ad_reg(in.a).index(), analysis::ObjectPart::kAccess,
+                 analysis::AccessKind::kWrite);
       effect.compute = cycles::kAdMove;
       effect.bus = cycles::kBusAdMove;
       return effect;
@@ -756,13 +781,22 @@ Result<Kernel::StepEffect> Kernel::Execute(ProcessorRec& rec, ProcessView& proc,
       return effect;
     }
 
-    case Opcode::kDestroyObject:
+    case Opcode::kDestroyObject: {
       if (!ValidAdReg(in.a)) return Fault::kRegisterOutOfRange;
+      const ObjectIndex dying = ctx.ad_reg(in.a).index();
       IMAX_RETURN_IF_FAULT(memory_->DestroyObject(ctx.ad_reg(in.a)));
+      // Destruction conflicts with any concurrent access to either part; check against the
+      // prior epochs before dropping the object's sanitizer state.
+      NoteAccess(rec.id, proc, ctx, dying, analysis::ObjectPart::kData,
+                 analysis::AccessKind::kWrite);
+      NoteAccess(rec.id, proc, ctx, dying, analysis::ObjectPart::kAccess,
+                 analysis::AccessKind::kWrite);
+      if (race_sanitizer_ != nullptr) race_sanitizer_->OnObjectDestroyed(dying);
       ctx.set_ad_reg(in.a, AccessDescriptor());
       effect.compute = cycles::kDestroyObject;
       effect.bus = cycles::kBusCreateObject / 2;
       return effect;
+    }
 
     case Opcode::kCreateSro: {
       if (!ValidAdReg(in.a) || !ValidAdReg(in.b)) return Fault::kRegisterOutOfRange;
@@ -794,6 +828,11 @@ Result<Kernel::StepEffect> Kernel::Execute(ProcessorRec& rec, ProcessView& proc,
       if (!ValidAdReg(in.a)) return Fault::kRegisterOutOfRange;
       AccessDescriptor sro = ctx.ad_reg(in.a);
       IMAX_ASSIGN_OR_RETURN(uint32_t reclaimed, memory_->DestroySro(sro));
+      NoteAccess(rec.id, proc, ctx, sro.index(), analysis::ObjectPart::kData,
+                 analysis::AccessKind::kWrite);
+      NoteAccess(rec.id, proc, ctx, sro.index(), analysis::ObjectPart::kAccess,
+                 analysis::AccessKind::kWrite);
+      if (race_sanitizer_ != nullptr) race_sanitizer_->OnObjectDestroyed(sro.index());
       // Clear the ownership slot if this was one of ours.
       for (uint32_t slot = 0; slot < ContextLayout::kNumOwnedSroSlots; ++slot) {
         if (ctx.Slot(ContextLayout::kSlotOwnedSros + slot).SameObject(sro)) {
@@ -969,6 +1008,9 @@ Result<Kernel::StepEffect> Kernel::DoSend(uint16_t cpu, ProcessView& proc,
     }
     recv.Increment(ProcessLayout::kOffMessagesReceived, 4);
     proc.Increment(ProcessLayout::kOffMessagesSent, 4);
+    if (race_sanitizer_ != nullptr) {
+      race_sanitizer_->OnHandoff(proc.ad().index(), receiver.value().process.index());
+    }
     // The message never touches the queue on this path, so Enqueue/Dequeue cannot trace it;
     // emit the transfer pair here (depth 0: a handoff implies an empty queue).
     if (machine_->trace().enabled()) {
@@ -985,6 +1027,9 @@ Result<Kernel::StepEffect> Kernel::DoSend(uint16_t cpu, ProcessView& proc,
   Status queued = ports_.Enqueue(port_ad, message, proc.priority(), proc.deadline());
   if (queued.ok()) {
     proc.Increment(ProcessLayout::kOffMessagesSent, 4);
+    if (race_sanitizer_ != nullptr) {
+      race_sanitizer_->OnSend(proc.ad().index(), ports_.last_enqueue_seq());
+    }
     return effect;
   }
   if (queued.fault() != Fault::kQueueFull) {
@@ -1026,6 +1071,9 @@ Result<Kernel::StepEffect> Kernel::DoReceive(uint16_t cpu, ProcessView& proc, Co
   if (message.ok()) {
     ctx.set_ad_reg(dest_adreg, message.value());
     proc.Increment(ProcessLayout::kOffMessagesReceived, 4);
+    if (race_sanitizer_ != nullptr) {
+      race_sanitizer_->OnReceive(proc.ad().index(), ports_.last_dequeue_seq());
+    }
     // A slot freed up: admit one blocked sender.
     auto sender = ports_.PopBlockedSender(port_ad);
     if (sender.ok()) {
@@ -1034,6 +1082,9 @@ Result<Kernel::StepEffect> Kernel::DoReceive(uint16_t cpu, ProcessView& proc, Co
                                      sending.deadline());
       if (queued.ok()) {
         sending.Increment(ProcessLayout::kOffMessagesSent, 4);
+        if (race_sanitizer_ != nullptr) {
+          race_sanitizer_->OnSend(sending.ad().index(), ports_.last_enqueue_seq());
+        }
         IMAX_RETURN_IF_FAULT(MakeReady(sender.value().process));
       } else {
         // The deferred send hit a protection fault: it is the sender's fault to take.
@@ -1219,6 +1270,7 @@ void Kernel::RaiseFault(ProcessView& proc, Fault fault) {
 void Kernel::TerminateProcess(ProcessView& proc, bool faulted) {
   proc.set_state(ProcessState::kTerminated);
   block_waits_.erase(proc.ad().index());
+  if (race_sanitizer_ != nullptr) race_sanitizer_->OnProcessRetired(proc.ad().index());
   machine_->trace().Emit(TraceEventKind::kTerminate, machine_->now(), kTraceNoProcessor,
                          proc.ad().index(), faulted ? 1 : 0);
 
@@ -1264,7 +1316,7 @@ void Kernel::RecordEffectSummary(ObjectIndex segment, const Program& program,
   ++stats_.effect_summaries;
 }
 
-analysis::SystemAnalysisReport Kernel::AnalyzeSystem() {
+void Kernel::EnsureSummaries() {
   // Programs loaded while verify_on_load was off have no summary yet; compute them now,
   // seeding each from the initial argument remembered at CreateProcess time. A program with
   // no recorded argument (registered directly with the store) starts from "any object" —
@@ -1278,7 +1330,16 @@ analysis::SystemAnalysisReport Kernel::AnalyzeSystem() {
           analysis::ProgramKind::kProcess);
     }
   });
+}
+
+analysis::SystemAnalysisReport Kernel::AnalyzeSystem() {
+  EnsureSummaries();
   return effect_graph_.Analyze();
+}
+
+analysis::RaceAnalysisReport Kernel::AnalyzeRaces() {
+  EnsureSummaries();
+  return analysis::AnalyzeRaces(effect_graph_);
 }
 
 Cycles Kernel::TotalBusyCycles() const {

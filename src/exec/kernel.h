@@ -17,9 +17,12 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "src/analysis/deadlock.h"
+#include "src/analysis/races/races.h"
+#include "src/analysis/races/sanitizer.h"
 #include "src/exec/execution_context.h"
 #include "src/ipc/port_subsystem.h"
 #include "src/isa/disassembler.h"
@@ -165,16 +168,31 @@ class Kernel {
   // verification was off) missing summaries are computed here on demand.
   analysis::SystemAnalysisReport AnalyzeSystem();
 
+  // Runs the static data-race analysis (src/analysis/races/races.h) over the same
+  // incrementally-maintained summaries, completing any missing ones first exactly like
+  // AnalyzeSystem.
+  analysis::RaceAnalysisReport AnalyzeRaces();
+
   // The incrementally-maintained summary store. Tests and tools may mark additional
   // external senders/receivers before calling AnalyzeSystem().
   analysis::SystemEffectGraph& effect_graph() { return effect_graph_; }
 
   // Drops all analysis state for a reclaimed instruction segment (summary + any deferred
-  // initial-argument fact). Called by the GC reclaim observer.
+  // initial-argument fact + its diagnostic name). Called by the GC reclaim observer.
   void ForgetProgramAnalysis(ObjectIndex segment) {
     effect_graph_.RemoveProgram(segment);
     deferred_args_.erase(segment);
+    symbols_.Forget(segment);
   }
+
+  // Turns on the dynamic race sanitizer (analysis/races/sanitizer.h). Pure observer: no
+  // virtual-time effect; findings surface as kRaceDetected trace events and via races().
+  void EnableRaceSanitizer() {
+    if (race_sanitizer_ == nullptr) {
+      race_sanitizer_ = std::make_unique<analysis::RaceSanitizer>();
+    }
+  }
+  analysis::RaceSanitizer* race_sanitizer() { return race_sanitizer_.get(); }
 
   // Object names used by analysis diagnostics and annotated disassembly. Name ports before
   // the programs using them load: summaries render their disassembly at registration time.
@@ -240,12 +258,21 @@ class Kernel {
                                          const AccessDescriptor& domain,
                                          const AccessDescriptor& caller, Level level);
 
+  // Forwards one accepted object access to the race sanitizer (no-op when off); a fresh
+  // finding is surfaced as a kRaceDetected trace event on the spot.
+  void NoteAccess(uint16_t cpu, ProcessView& proc, ContextView& ctx, ObjectIndex object,
+                  analysis::ObjectPart part, analysis::AccessKind kind);
+
   // Fault delivery per the iMAX internal-level rules.
   void RaiseFault(ProcessView& proc, Fault fault);
   // Finalization of a finished process (reclaims the context stack).
   void TerminateProcess(ProcessView& proc, bool faulted);
 
   void NotifyEvent(const AccessDescriptor& process, ProcessEvent event);
+
+  // Computes summaries for any program registered while verify-on-load was off (shared by
+  // AnalyzeSystem and AnalyzeRaces).
+  void EnsureSummaries();
 
   // Computes and stores the IPC effect summary for a freshly-registered program, seeding
   // resolution from the loader's concrete knowledge of the initial argument.
@@ -271,6 +298,7 @@ class Kernel {
   // consumed by AnalyzeSystem's deferred summarization.
   std::map<ObjectIndex, AccessDescriptor> deferred_args_;
   SymbolTable symbols_;
+  std::unique_ptr<analysis::RaceSanitizer> race_sanitizer_;
 
   // Observability bookkeeping (src/obs): open port waits keyed by process index and open
   // domain-call residences keyed by callee context index. Closed in MakeReady / DoReturn;

@@ -87,6 +87,7 @@ Status PortSubsystem::Enqueue(const AccessDescriptor& port_ad, const AccessDescr
       key = sender_deadline;  // earlier deadline dequeues first
       break;
   }
+  last_enqueue_seq_ = next_seq_;
   shadow->queue.push_back(QueueEntry{slot, key, next_seq_++});
 
   port.SetField(PortLayout::kOffCount, 2, shadow->queue.size());
@@ -114,6 +115,7 @@ Result<AccessDescriptor> PortSubsystem::Dequeue(const AccessDescriptor& port_ad)
     }
   }
   uint16_t slot = shadow->queue[best].slot;
+  last_dequeue_seq_ = shadow->queue[best].seq;
   shadow->queue.erase(shadow->queue.begin() + static_cast<ptrdiff_t>(best));
 
   IMAX_ASSIGN_OR_RETURN(AccessDescriptor message, machine_->addressing().ReadAd(port_ad, slot));

@@ -107,6 +107,12 @@ class PortSubsystem {
 
   const PortStats& stats() const { return stats_; }
 
+  // Transfer sequence numbers of the most recent successful Enqueue / Dequeue. The race
+  // sanitizer keys in-flight message clocks by these, matching each dequeue to the exact
+  // enqueue that produced the message even when one object is queued repeatedly.
+  uint64_t last_enqueue_seq() const { return last_enqueue_seq_; }
+  uint64_t last_dequeue_seq() const { return last_dequeue_seq_; }
+
  private:
   struct QueueEntry {
     uint16_t slot;
@@ -130,6 +136,8 @@ class PortSubsystem {
   std::map<ObjectIndex, PortShadow> states_;
   PortStats stats_;
   uint64_t next_seq_ = 0;
+  uint64_t last_enqueue_seq_ = 0;
+  uint64_t last_dequeue_seq_ = 0;
 };
 
 }  // namespace imax432

@@ -21,6 +21,8 @@ namespace imax432 {
 class SymbolTable {
  public:
   void Name(ObjectIndex index, std::string name) { names_[index] = std::move(name); }
+  // Drops the name for a reclaimed object, so a reused index never inherits a stale label.
+  void Forget(ObjectIndex index) { names_.erase(index); }
   // Null when the object has no recorded name.
   const std::string* Find(ObjectIndex index) const {
     auto it = names_.find(index);

@@ -225,6 +225,14 @@ void Exporter::HandleEvent(const TraceEvent& event) {
                   ",\"opcode\":" + std::to_string(event.b) + "}");
       break;
     }
+    case TraceEventKind::kRaceDetected: {
+      Instant(tid, event.ts, "race-detected",
+              "{\"process\":" + std::to_string(event.process) +
+                  ",\"object\":" + std::to_string(event.a) +
+                  ",\"pc\":" + std::to_string(event.b) +
+                  ",\"other\":" + std::to_string(event.c) + "}");
+      break;
+    }
   }
 }
 

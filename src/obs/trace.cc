@@ -24,6 +24,7 @@ const char* TraceEventKindName(TraceEventKind kind) {
     case TraceEventKind::kGcPhase: return "gc-phase";
     case TraceEventKind::kTerminate: return "terminate";
     case TraceEventKind::kInstruction: return "instruction";
+    case TraceEventKind::kRaceDetected: return "race-detected";
   }
   return "unknown";
 }

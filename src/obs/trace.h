@@ -48,6 +48,8 @@ enum class TraceEventKind : uint8_t {
   kGcPhase,         // collector phase transition; a = new phase (GcTracePhase)
   kTerminate,       // process terminated; a = 1 if by fault
   kInstruction,     // instruction-level event (kTrace logging); a = pc, b = opcode
+  kRaceDetected,    // dynamic race sanitizer finding; a = object index, b = pc,
+                    // c = the other process's object index
 };
 
 // GC phase payload for kGcPhase (mirrors gc/collector.h Phase without depending on it).

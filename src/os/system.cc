@@ -26,6 +26,9 @@ System::System(const SystemConfig& config)
 
   kernel_ = std::make_unique<Kernel>(&machine_, memory_.get());
   kernel_->set_verify_on_load(config.verify_on_load);
+  if (config.race_sanitize) {
+    kernel_->EnableRaceSanitizer();
+  }
   gc_ = std::make_unique<GarbageCollector>(kernel_.get());
   types_ = std::make_unique<TypeManagerFacility>(kernel_.get());
   process_manager_ = std::make_unique<BasicProcessManager>(kernel_.get());
@@ -40,6 +43,11 @@ System::System(const SystemConfig& config)
       // Keep the whole-system IPC analysis in step: a reclaimed segment's summary must not
       // keep feeding the wait-for graph.
       kernel_->ForgetProgramAnalysis(index);
+    }
+    if (kernel_->race_sanitizer() != nullptr) {
+      // A reclaimed index may be reused; stale epochs would fabricate races against the
+      // next object that lands there.
+      kernel_->race_sanitizer()->OnObjectDestroyed(index);
     }
   });
 

@@ -49,6 +49,11 @@ struct SystemConfig {
   // imax_trace tool. Off by default: the disabled hooks cost one predicted branch each.
   bool trace = false;
   uint32_t trace_capacity = TraceRecorder::kDefaultCapacity;
+  // Run the dynamic data-race sanitizer (src/analysis/races/sanitizer.h): vector clocks
+  // over port transfers, checked at every data / access-part touch. Findings surface as
+  // kRaceDetected trace events and via kernel().race_sanitizer()->races(). Pure observer:
+  // the simulated timeline is bit-identical with it on or off.
+  bool race_sanitize = false;
 };
 
 class System {

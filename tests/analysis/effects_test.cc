@@ -283,6 +283,93 @@ TEST(EffectsTest, OptionsForTableChaseRealAccessParts) {
   EXPECT_TRUE(summary.SendsTo(port.value()));
 }
 
+// --- Bounded AD-set resolution: conditional move chains and domain-call arguments. ---
+
+// A carrier whose first 16 slots all hold distinct ports, for exercising the candidate-set
+// bound (the analyzer keeps at most 8 candidates per register before saturating).
+EffectOptions WideWorldOptions() {
+  EffectOptions options;
+  options.initial_arg = Ad(kCarrier);
+  options.slot_reader = [](ObjectIndex index, uint32_t slot) -> AccessDescriptor {
+    if (index == kCarrier && slot < 16) return Ad(static_cast<ObjectIndex>(100 + slot));
+    return AccessDescriptor();
+  };
+  return options;
+}
+
+// Loads slot 0, then threads the register through `diamonds` conditional overwrites, each
+// of which may replace it with the next slot's port. At the final merge the register holds
+// the union of every path's candidate.
+Assembler DiamondChain(uint32_t diamonds) {
+  Assembler a("diamonds");
+  a.MoveAd(1, kArgAdReg).LoadAd(2, 1, 0);
+  for (uint32_t i = 1; i <= diamonds; ++i) {
+    Assembler::Label skip = a.NewLabel();
+    a.BranchIfZero(0, skip).LoadAd(2, 1, i).Bind(skip);
+  }
+  a.Send(2, 1).Halt();
+  return a;
+}
+
+TEST(EffectsTest, ConditionalMoveChainUnionsBothCandidates) {
+  EffectSummary summary = EffectAnalyzer::Analyze(*DiamondChain(1).Build(), WideWorldOptions());
+  EXPECT_TRUE(summary.SendsTo(100));
+  EXPECT_TRUE(summary.SendsTo(101));
+  EXPECT_FALSE(summary.has_unresolved_send);
+}
+
+TEST(EffectsTest, CandidateSetStaysResolvedUpToTheBound) {
+  // Seven diamonds leave eight candidates: exactly the cap, still fully resolved.
+  EffectSummary summary = EffectAnalyzer::Analyze(*DiamondChain(7).Build(), WideWorldOptions());
+  for (ObjectIndex port = 100; port < 108; ++port) {
+    EXPECT_TRUE(summary.SendsTo(port)) << "port " << port;
+  }
+  EXPECT_FALSE(summary.has_unresolved_send);
+}
+
+TEST(EffectsTest, CandidateSetBeyondTheBoundSaturatesToUnresolved) {
+  // Nine diamonds would need ten candidates: the set saturates and the send degrades to
+  // "some port" rather than silently dropping candidates.
+  EffectSummary summary = EffectAnalyzer::Analyze(*DiamondChain(9).Build(), WideWorldOptions());
+  EXPECT_TRUE(summary.has_unresolved_send);
+  for (ObjectIndex port = 100; port < 110; ++port) {
+    EXPECT_FALSE(summary.SendsTo(port)) << "port " << port;
+  }
+}
+
+TEST(EffectsTest, DomainCallHavocsOnlyTheArgumentRegister) {
+  // The caller passes a port in a7 (the argument register the callee may overwrite) and
+  // keeps another in a2. After the call only a7's resolution is lost.
+  Assembler a("caller");
+  a.MoveAd(1, kArgAdReg)
+      .LoadAd(2, 1, 0)        // a2 = port A: survives the call
+      .LoadAd(5, 1, 3)        // a5 = the domain
+      .LoadAd(kArgAdReg, 1, 1)  // a7 = port B: the call argument, havocked on return
+      .Call(5, 0)
+      .Send(2, 1)
+      .Send(kArgAdReg, 1)
+      .Halt();
+  EffectOptions options;
+  options.initial_arg = Ad(kCarrier);
+  options.slot_reader = [](ObjectIndex index, uint32_t slot) -> AccessDescriptor {
+    static const std::map<std::pair<ObjectIndex, uint32_t>, ObjectIndex> kSlots = {
+        {{kCarrier, 0}, kPortA},
+        {{kCarrier, 1}, kPortB},
+        {{kCarrier, 3}, kDomain},
+        {{kDomain, 0}, kSegment},
+    };
+    auto it = kSlots.find({index, slot});
+    return it == kSlots.end() ? AccessDescriptor() : Ad(it->second);
+  };
+  EffectSummary summary = EffectAnalyzer::Analyze(*a.Build(), options);
+  EXPECT_TRUE(summary.SendsTo(kPortA));
+  EXPECT_FALSE(summary.SendsTo(kPortB)) << "a7 must be havocked by the call";
+  EXPECT_TRUE(summary.has_unresolved_send);
+  // The callee itself is recorded for composition: the call site resolves to the segment.
+  ASSERT_EQ(summary.calls.size(), 1u);
+  EXPECT_EQ(summary.calls[0].callee_segment, kSegment);
+}
+
 }  // namespace
 }  // namespace analysis
 }  // namespace imax432

@@ -13,6 +13,7 @@
 
 #include "src/analysis/deadlock.h"
 #include "src/analysis/effects.h"
+#include "src/analysis/races/races.h"
 #include "src/analysis/verifier.h"
 #include "src/io/devices.h"
 #include "src/isa/disassembler.h"
@@ -25,7 +26,7 @@ using namespace imax432;
 namespace {
 
 constexpr char kUsage[] =
-    "usage: imax_lint [--dump] [--demo-bad] [--deadlock] [--help]\n"
+    "usage: imax_lint [--dump] [--demo-bad] [--deadlock] [--races] [--help]\n"
     "\n"
     "Boots a representative iMAX-432 system with verify-on-load armed and sweeps every\n"
     "loaded program through the static capability verifier.\n"
@@ -36,13 +37,19 @@ constexpr char kUsage[] =
     "  --deadlock  additionally run the whole-system IPC analysis: the booted system must\n"
     "              come back clean, and a seeded corpus (3-process receive cycle, orphan\n"
     "              port, starved port) must be flagged\n"
+    "  --races     additionally run the static data-race analysis: the booted system must\n"
+    "              come back clean, a seeded racy corpus (unordered write/write and\n"
+    "              write/read pairs) must be flagged, and a seeded race-free corpus\n"
+    "              (send/receive ordered, relayed, conditionally ambiguous) must not be\n"
     "  --help      print this text and exit 0\n"
     "\n"
-    "exit status:\n"
-    "  0  everything clean: all programs verified, all seeded defects detected\n"
-    "  1  infrastructure failure (boot/setup error, bad usage) — the analyses did not run\n"
+    "exit status (flags combine; the worst outcome across all requested checks wins):\n"
+    "  0  everything clean: all programs verified, all seeded defects detected, no seeded\n"
+    "     race-free pair reported\n"
+    "  1  infrastructure failure (boot/setup error, bad usage) — reported only when no\n"
+    "     check that did run produced a finding\n"
     "  2  diagnostics found: a verifier error, a missed seeded defect, or a whole-system\n"
-    "     false positive/negative; CI gates on this value\n";
+    "     false positive/negative; takes precedence over 1. CI gates on this value\n";
 
 struct BadProgram {
   const char* why;
@@ -261,12 +268,202 @@ int RunDeadlockChecks(System& system, bool dump) {
   return failures;
 }
 
+// Static data-race analysis: the booted system must come back clean, a seeded corpus of
+// genuinely racy topologies must be flagged, and a seeded corpus of message-ordered (or
+// merely ambiguous) topologies must be suppressed — both halves of the zero-false-positive
+// contract, end to end. Returns the number of failed expectations; -1 on setup failure.
+int RunRaceChecks(System& system, bool dump) {
+  int failures = 0;
+
+  std::printf("\n==== whole-system race analysis (booted system) ====\n");
+  analysis::RaceAnalysisReport live = system.kernel().AnalyzeRaces();
+  std::printf("imax_lint: %u programs, %u shared objects, %u pairs "
+              "(%u ordered, %u suppressed): %s\n",
+              live.programs_analyzed, live.objects_shared, live.pairs_checked,
+              live.pairs_ordered, live.pairs_suppressed,
+              live.ok() ? "clean" : "DIAGNOSTICS");
+  if (!live.ok()) {
+    std::fputs(analysis::FormatRaceReport(live).c_str(), stdout);
+    std::printf("^^^^ FALSE POSITIVE — the booted system is known race-free\n");
+    failures += static_cast<int>(live.diagnostics.size());
+  }
+
+  std::printf("\n==== seeded race corpus (racy pairs flagged, ordered pairs not) ====\n");
+  Kernel& kernel = system.kernel();
+  SymbolTable& symbols = kernel.symbols();
+  // Shared objects and ports are real objects in the live table; the programs are analyzed
+  // standalone, exactly like the deadlock corpus.
+  auto make_object = [&](const char* name) {
+    auto object = system.memory().CreateObject(system.memory().global_heap(),
+                                               SystemType::kGeneric, 16, 0,
+                                               rights::kRead | rights::kWrite);
+    if (object.ok()) symbols.Name(object.value().index(), name);
+    return object;
+  };
+  auto make_port = [&](const char* name) {
+    auto port = kernel.ports().CreatePort(system.memory().global_heap(), 4,
+                                          QueueDiscipline::kFifo);
+    if (port.ok()) symbols.Name(port.value().index(), name);
+    return port;
+  };
+  // carrier slot 0 = the shared object, slots 1/2 = ports.
+  auto make_carrier = [&](const AccessDescriptor& shared, const AccessDescriptor& port1,
+                          const AccessDescriptor& port2) {
+    auto carrier = system.memory().CreateObject(system.memory().global_heap(),
+                                                SystemType::kGeneric, 16, 3,
+                                                rights::kRead | rights::kWrite);
+    if (carrier.ok()) {
+      (void)system.machine().addressing().WriteAd(carrier.value(), 0, shared);
+      (void)system.machine().addressing().WriteAd(carrier.value(), 1, port1);
+      (void)system.machine().addressing().WriteAd(carrier.value(), 2, port2);
+    }
+    return carrier;
+  };
+
+  auto ww = make_object("racy.counter");
+  auto rw = make_object("racy.buffer");
+  auto sync = make_object("sync.cell");
+  auto relay = make_object("relay.cell");
+  auto cond = make_object("cond.cell");
+  auto sync_port = make_port("sync.token");
+  auto relay_t = make_port("relay.t");
+  auto relay_u = make_port("relay.u");
+  auto cond_port = make_port("cond.token");
+  if (!ww.ok() || !rw.ok() || !sync.ok() || !relay.ok() || !cond.ok() || !sync_port.ok() ||
+      !relay_t.ok() || !relay_u.ok() || !cond_port.ok()) {
+    std::fprintf(stderr, "imax_lint: race corpus object creation failed\n");
+    return -1;
+  }
+
+  analysis::SystemEffectGraph graph;
+  graph.set_symbols(&symbols);
+  ObjectIndex next_key = 1;
+  bool carriers_ok = true;
+  auto add_program = [&](const Program& program, const AccessDescriptor& shared,
+                         const AccessDescriptor& port1, const AccessDescriptor& port2) {
+    auto carrier = make_carrier(shared, port1, port2);
+    if (!carrier.ok()) {
+      carriers_ok = false;
+      return;
+    }
+    analysis::EffectOptions options = analysis::EffectOptionsForTable(
+        system.machine().table(), carrier.value(), &symbols);
+    if (dump) std::fputs(Disassemble(program).c_str(), stdout);
+    graph.AddProgram(next_key++, analysis::EffectAnalyzer::Analyze(program, options));
+  };
+
+  // Two writers, no communication at all: must be reported.
+  for (int i = 0; i < 2; ++i) {
+    Assembler a("racy.w" + std::to_string(i));
+    a.MoveAd(1, kArgAdReg).LoadAd(2, 1, 0).StoreData(2, 0, 0, 8).Halt();
+    add_program(*a.Build(), ww.value(), AccessDescriptor(), AccessDescriptor());
+  }
+  // A writer and a reader, no communication: must be reported.
+  {
+    Assembler a("racy.writer");
+    a.MoveAd(1, kArgAdReg).LoadAd(2, 1, 0).StoreData(2, 0, 0, 8).Halt();
+    add_program(*a.Build(), rw.value(), AccessDescriptor(), AccessDescriptor());
+  }
+  {
+    Assembler a("racy.reader");
+    a.MoveAd(1, kArgAdReg).LoadAd(2, 1, 0).LoadData(0, 2, 0, 8).Halt();
+    add_program(*a.Build(), rw.value(), AccessDescriptor(), AccessDescriptor());
+  }
+  // Write, then a blocking send; the reader receives first: proven ordered, not reported.
+  {
+    Assembler a("sync.writer");
+    a.MoveAd(1, kArgAdReg).LoadAd(2, 1, 0).LoadAd(3, 1, 1).StoreData(2, 0, 0, 8)
+        .Send(3, 1).Halt();
+    add_program(*a.Build(), sync.value(), sync_port.value(), AccessDescriptor());
+  }
+  {
+    Assembler a("sync.reader");
+    a.MoveAd(1, kArgAdReg).LoadAd(2, 1, 0).LoadAd(3, 1, 1).Receive(4, 3)
+        .LoadData(0, 2, 0, 8).Halt();
+    add_program(*a.Build(), sync.value(), sync_port.value(), AccessDescriptor());
+  }
+  // Same, but the ordering crosses a relay (receive t, then send u): still not reported.
+  {
+    Assembler a("relay.writer");
+    a.MoveAd(1, kArgAdReg).LoadAd(2, 1, 0).LoadAd(3, 1, 1).StoreData(2, 0, 0, 8)
+        .Send(3, 1).Halt();
+    add_program(*a.Build(), relay.value(), relay_t.value(), relay_u.value());
+  }
+  {
+    Assembler a("relay.hop");
+    a.MoveAd(1, kArgAdReg).LoadAd(3, 1, 1).LoadAd(4, 1, 2).Receive(5, 3).Send(4, 1).Halt();
+    add_program(*a.Build(), relay.value(), relay_t.value(), relay_u.value());
+  }
+  {
+    Assembler a("relay.reader");
+    a.MoveAd(1, kArgAdReg).LoadAd(2, 1, 0).LoadAd(4, 1, 2).Receive(5, 4)
+        .LoadData(0, 2, 0, 8).Halt();
+    add_program(*a.Build(), relay.value(), relay_t.value(), relay_u.value());
+  }
+  // A conditional send carries no must-ordering, but the pair may communicate: the
+  // zero-false-positive posture suppresses it rather than reporting.
+  {
+    Assembler a("cond.writer");
+    a.MoveAd(1, kArgAdReg).LoadAd(2, 1, 0).LoadAd(3, 1, 1).StoreData(2, 0, 0, 8)
+        .CondSend(3, 1, 0).Halt();
+    add_program(*a.Build(), cond.value(), cond_port.value(), AccessDescriptor());
+  }
+  {
+    Assembler a("cond.reader");
+    a.MoveAd(1, kArgAdReg).LoadAd(2, 1, 0).LoadAd(3, 1, 1).Receive(4, 3)
+        .LoadData(0, 2, 0, 8).Halt();
+    add_program(*a.Build(), cond.value(), cond_port.value(), AccessDescriptor());
+  }
+  if (!carriers_ok) {
+    std::fprintf(stderr, "imax_lint: race corpus carrier creation failed\n");
+    return -1;
+  }
+
+  analysis::RaceAnalysisReport report = analysis::AnalyzeRaces(graph);
+  std::fputs(analysis::FormatRaceReport(report).c_str(), stdout);
+  int ww_pairs = 0, rw_pairs = 0, clean_object_reports = 0;
+  for (const analysis::RaceDiagnostic& diagnostic : report.diagnostics) {
+    if (diagnostic.object == ww.value().index()) {
+      ww_pairs += static_cast<int>(diagnostic.pairs.size());
+    } else if (diagnostic.object == rw.value().index()) {
+      rw_pairs += static_cast<int>(diagnostic.pairs.size());
+    } else {
+      ++clean_object_reports;
+    }
+  }
+  if (ww_pairs != 1 || rw_pairs != 1) {
+    std::printf("^^^^ MISSED RACE — expected 1 write/write + 1 write/read pair, "
+                "got %d / %d\n", ww_pairs, rw_pairs);
+    ++failures;
+  }
+  if (clean_object_reports != 0) {
+    std::printf("^^^^ FALSE POSITIVE — %d diagnostic(s) on ordered/suppressed objects\n",
+                clean_object_reports);
+    failures += clean_object_reports;
+  }
+  if (report.pairs_ordered < 2) {
+    std::printf("^^^^ LOST ORDERING — expected >= 2 ordered pairs (sync + relay), got %u\n",
+                report.pairs_ordered);
+    ++failures;
+  }
+  if (report.pairs_suppressed < 1) {
+    std::printf("^^^^ LOST SUPPRESSION — expected >= 1 suppressed pair (cond), got %u\n",
+                report.pairs_suppressed);
+    ++failures;
+  }
+  std::printf("\nimax_lint: race corpus: %d racy pair(s) flagged, %u ordered, "
+              "%u suppressed; %d failures\n",
+              ww_pairs + rw_pairs, report.pairs_ordered, report.pairs_suppressed, failures);
+  return failures;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool dump = false;
   bool demo_bad = false;
   bool deadlock = false;
+  bool races = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--dump") == 0) {
       dump = true;
@@ -274,6 +471,8 @@ int main(int argc, char** argv) {
       demo_bad = true;
     } else if (std::strcmp(argv[i], "--deadlock") == 0) {
       deadlock = true;
+    } else if (std::strcmp(argv[i], "--races") == 0) {
+      races = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::fputs(kUsage, stdout);
       return 0;
@@ -381,18 +580,34 @@ int main(int argc, char** argv) {
                 BuildBadCorpus().size());
   }
 
+  // A setup failure in one check must not mask findings from another: run everything that
+  // was requested, then let findings (exit 2) take precedence over infrastructure trouble
+  // (exit 1).
+  bool infrastructure_failed = false;
   int deadlock_failures = 0;
-  if (deadlock) {
+  if (deadlock || races) {
     // Give the quickstart pair's port a name first, so any diagnostic that did involve it
     // would read well.
     system.kernel().symbols().Name(port.value().index(), "example.queue");
+  }
+  if (deadlock) {
     deadlock_failures = RunDeadlockChecks(system, dump);
     if (deadlock_failures < 0) {
-      return 1;
+      infrastructure_failed = true;
+      deadlock_failures = 0;
+    }
+  }
+  int race_failures = 0;
+  if (races) {
+    race_failures = RunRaceChecks(system, dump);
+    if (race_failures < 0) {
+      infrastructure_failed = true;
+      race_failures = 0;
     }
   }
 
-  const int findings = errors + missed + deadlock_failures;
-  std::printf("\nLINT EXIT: %d\n", findings > 0 ? 2 : 0);
-  return findings > 0 ? 2 : 0;
+  const int findings = errors + missed + deadlock_failures + race_failures;
+  const int exit_code = findings > 0 ? 2 : (infrastructure_failed ? 1 : 0);
+  std::printf("\nLINT EXIT: %d\n", exit_code);
+  return exit_code;
 }

@@ -34,13 +34,14 @@ struct Options {
   Cycles cycles = 0;  // 0 = run to quiescence
   uint32_t trace_capacity = TraceRecorder::kDefaultCapacity;
   bool overhead = false;
+  bool race_sanitize = false;
 };
 
 void Usage() {
   std::fprintf(stderr,
                "usage: imax_trace [--workload quickstart|pipeline|churn] [--processors N]\n"
                "                  [--cycles N] [--trace-capacity N] [--out FILE]\n"
-               "                  [--metrics FILE] [--overhead]\n");
+               "                  [--metrics FILE] [--overhead] [--race-sanitize]\n");
 }
 
 // quickstart: the README workload — a producer/consumer pair over a bounded port, a domain
@@ -242,6 +243,7 @@ std::unique_ptr<System> RunWorkload(const Options& options, bool trace) {
   config.machine.memory_bytes = 8 * 1024 * 1024;
   config.trace = trace;
   config.trace_capacity = options.trace_capacity;
+  config.race_sanitize = options.race_sanitize;
   std::unique_ptr<System> system;
   if (options.workload == "quickstart") {
     system = RunQuickstart(config);
@@ -346,6 +348,8 @@ int main(int argc, char** argv) {
       options.trace_capacity = static_cast<uint32_t>(std::strtoul(value(), nullptr, 10));
     } else if (arg == "--overhead") {
       options.overhead = true;
+    } else if (arg == "--race-sanitize") {
+      options.race_sanitize = true;
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;
@@ -381,6 +385,30 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::fprintf(stderr, "metrics -> %s\n", options.metrics.c_str());
+  }
+
+  if (options.race_sanitize) {
+    const analysis::RaceSanitizer* sanitizer = system->kernel().race_sanitizer();
+    const analysis::RaceSanitizerStats& stats = sanitizer->stats();
+    std::fprintf(stderr,
+                 "race sanitizer: %llu accesses checked, %llu messages stamped, "
+                 "%llu joins, %llu race(s)\n",
+                 static_cast<unsigned long long>(stats.accesses_checked),
+                 static_cast<unsigned long long>(stats.messages_stamped),
+                 static_cast<unsigned long long>(stats.joins),
+                 static_cast<unsigned long long>(stats.races_detected));
+    // The canned workloads are race-free by construction; a finding is a real defect (or a
+    // sanitizer bug) and must fail the run so CI catches it.
+    if (!sanitizer->races().empty()) {
+      for (const analysis::RaceRecord& race : sanitizer->races()) {
+        std::fprintf(stderr,
+                     "  race: object %llu process %llu pc %u vs process %llu pc %u\n",
+                     static_cast<unsigned long long>(race.object),
+                     static_cast<unsigned long long>(race.first_process), race.first_pc,
+                     static_cast<unsigned long long>(race.second_process), race.second_pc);
+      }
+      return 1;
+    }
   }
   return 0;
 }
