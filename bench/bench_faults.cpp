@@ -1,0 +1,221 @@
+// E14 — Fault recovery: retirement latency, degraded-mode throughput, device retry cost,
+// patrol sweep cost.
+//
+// The paper's hardware provides "multiprocessing ... transparent to software" and iMAX's
+// services survive partial hardware failure by recovery rather than by prevention: a dead
+// GDP's in-flight process is re-queued at its dispatching port, a flaky swap device is
+// retried with exponential backoff before the fault surfaces, and the object-table patrol
+// quarantines corrupt objects instead of letting them propagate. This experiment prices
+// those mechanisms in virtual time:
+//   - recovery latency: GDP retirement to the orphaned process's next dispatch
+//   - degraded throughput: fleet makespan as 0..3 of 4 GDPs retire mid-run
+//   - device retry: makespan and backoff cycles added by transient transfer failures
+//   - patrol sweep: virtual cost of one full descriptor sweep vs table population
+
+#include "bench/bench_util.h"
+
+namespace imax432 {
+namespace {
+
+using bench::ToUs;
+
+SystemConfig FaultConfig(int processors, MemoryManagerKind kind) {
+  SystemConfig config;
+  config.processors = processors;
+  config.machine.memory_bytes = 2 * 1024 * 1024;
+  config.memory_manager = kind;
+  config.start_gc_daemon = false;
+  config.trace = true;  // recovery latency is read off the event timeline
+  return config;
+}
+
+// Compute-bound fleet: `workers` processes, each `iters` slices of 2000 cycles. Enough
+// work per process that a retirement always catches some process mid-quantum.
+void SpawnFleet(System& system, int workers, uint64_t iters) {
+  for (int w = 0; w < workers; ++w) {
+    Assembler a("fleet");
+    auto loop = a.NewLabel();
+    a.LoadImm(0, 0)
+        .LoadImm(1, iters)
+        .Bind(loop)
+        .Compute(2000)
+        .AddImm(0, 0, 1)
+        .BranchIfLess(0, 1, loop)
+        .Halt();
+    ProcessOptions options;
+    options.imax_level = kImaxLevelServices;
+    IMAX_CHECK(system.Spawn(a.Build(), options).ok());
+  }
+}
+
+// Retires one GDP mid-run and reports the virtual latency from the kProcessorRetired event
+// to the orphaned process's next dispatch on a surviving GDP.
+void BM_RetirementRecoveryLatency(benchmark::State& state) {
+  Cycles latency = 0;
+  Cycles makespan = 0;
+  uint64_t requeues = 0;
+  for (auto _ : state) {
+    System system(FaultConfig(2, MemoryManagerKind::kNonSwapping));
+    SpawnFleet(system, /*workers=*/4, /*iters=*/400);
+    System* sys = &system;
+    system.machine().events().ScheduleAt(
+        500'000, [sys] { (void)sys->kernel().RetireProcessor(0); });
+    system.Run();
+
+    Cycles retired_at = 0;
+    uint32_t orphan = kTraceNoProcess;
+    for (const TraceEvent& event : system.machine().trace().Snapshot()) {
+      if (event.kind == TraceEventKind::kProcessorRetired) {
+        retired_at = event.ts;
+        orphan = event.process;
+      } else if (event.kind == TraceEventKind::kDispatch && retired_at != 0 &&
+                 event.process == orphan && event.ts >= retired_at) {
+        latency = event.ts - retired_at;
+        break;
+      }
+    }
+    makespan = system.now();
+    requeues = system.kernel().stats().retirement_requeues;
+  }
+  state.counters["recovery_latency_us"] = ToUs(latency);
+  state.counters["makespan_ms"] = ToUs(makespan) / 1000.0;
+  state.counters["requeues"] = static_cast<double>(requeues);
+}
+BENCHMARK(BM_RetirementRecoveryLatency)->Iterations(1);
+
+// Fleet makespan with k of 4 GDPs retiring early: graceful degradation, not a cliff. The
+// k = 0 row is the baseline; throughput degrades roughly as 4/(4-k).
+void BM_DegradedThroughput(benchmark::State& state) {
+  int retire = static_cast<int>(state.range(0));
+  Cycles makespan = 0;
+  int survivors = 0;
+  for (auto _ : state) {
+    System system(FaultConfig(4, MemoryManagerKind::kNonSwapping));
+    SpawnFleet(system, /*workers=*/8, /*iters=*/400);
+    System* sys = &system;
+    for (int i = 0; i < retire; ++i) {
+      system.machine().events().ScheduleAt(
+          300'000 + static_cast<Cycles>(i) * 100'000,
+          [sys, i] { (void)sys->kernel().RetireProcessor(static_cast<uint16_t>(i)); });
+    }
+    system.Run();
+    makespan = system.now();
+    survivors = system.kernel().active_processor_count();
+  }
+  state.counters["retired"] = retire;
+  state.counters["survivors"] = survivors;
+  state.counters["makespan_ms"] = ToUs(makespan) / 1000.0;
+}
+BENCHMARK(BM_DegradedThroughput)->Arg(0)->Arg(1)->Arg(2)->Arg(3)->Iterations(1);
+
+// A swapping working-set sweep (16 KB objects through 256 KB of memory) with transient
+// device failures injected on a timer. The delta against the zero-failure baseline is the
+// backoff tax; device_errors stays zero because every burst fits the retry budget.
+Cycles RunDeviceWorkload(bool inject, uint64_t* retries, uint64_t* errors) {
+  SystemConfig config = FaultConfig(1, MemoryManagerKind::kSwapping);
+  config.machine.memory_bytes = 256 * 1024;
+  config.machine.object_table_capacity = 4096;
+  System system(config);
+  auto& memory = system.memory();
+
+  constexpr int kObjects = 20;  // 320 KB working set: forced evictions
+  auto holder = system.memory().CreateObject(
+      memory.global_heap(), SystemType::kGeneric, 8, kObjects + 1,
+      rights::kRead | rights::kWrite);
+  IMAX_CHECK(holder.ok());
+  IMAX_CHECK(system.machine()
+                 .addressing()
+                 .WriteAd(holder.value(), kObjects, memory.global_heap())
+                 .ok());
+
+  Assembler a("device-sweep");
+  a.MoveAd(1, kArgAdReg).LoadAd(2, 1, kObjects);
+  auto alloc_loop = a.NewLabel();
+  a.LoadImm(0, 0).LoadImm(1, kObjects).Bind(alloc_loop);
+  a.CreateObject(3, 2, 16 * 1024);
+  a.StoreAdIndexed(1, 3, 0);
+  a.AddImm(0, 0, 1).BranchIfLess(0, 1, alloc_loop);
+  auto pass_loop = a.NewLabel();
+  auto touch_loop = a.NewLabel();
+  a.LoadImm(2, 0).LoadImm(3, 3).Bind(pass_loop);
+  a.LoadImm(0, 0).Bind(touch_loop);
+  a.LoadAdIndexed(3, 1, 0);
+  a.LoadData(4, 3, 0, 8);
+  a.AddImm(0, 0, 1).BranchIfLess(0, 1, touch_loop);
+  a.AddImm(2, 2, 1).BranchIfLess(2, 3, pass_loop);
+  a.Halt();
+
+  ProcessOptions options;
+  options.initial_arg = holder.value();
+  options.imax_level = kImaxLevelServices;
+  IMAX_CHECK(system.Spawn(a.Build(), options).ok());
+
+  if (inject) {
+    auto* swap = static_cast<SwappingMemoryManager*>(&memory);
+    for (Cycles t = 200'000; t < 4'000'000; t += 400'000) {
+      system.machine().events().ScheduleAt(t, [swap] {
+        swap->mutable_backing_store().InjectTransientFailures(2);
+      });
+    }
+  }
+  system.Run();
+  *retries = system.memory().stats().device_retries;
+  *errors = system.memory().stats().device_errors;
+  return system.now();
+}
+
+void BM_DeviceRetryCost(benchmark::State& state) {
+  Cycles baseline = 0;
+  Cycles injected = 0;
+  uint64_t retries = 0;
+  uint64_t errors = 0;
+  for (auto _ : state) {
+    uint64_t ignored_retries = 0;
+    uint64_t ignored_errors = 0;
+    baseline = RunDeviceWorkload(false, &ignored_retries, &ignored_errors);
+    injected = RunDeviceWorkload(true, &retries, &errors);
+  }
+  state.counters["baseline_ms"] = ToUs(baseline) / 1000.0;
+  state.counters["injected_ms"] = ToUs(injected) / 1000.0;
+  state.counters["retry_tax_ms"] =
+      ToUs(injected >= baseline ? injected - baseline : 0) / 1000.0;
+  state.counters["device_retries"] = static_cast<double>(retries);
+  state.counters["device_errors"] = static_cast<double>(errors);
+}
+BENCHMARK(BM_DeviceRetryCost)->Iterations(1);
+
+// One full patrol sweep (daemon-driven, in virtual time) over a table with N live generic
+// objects. Cost scales with descriptors scanned plus data CRC'd.
+void BM_PatrolSweepCost(benchmark::State& state) {
+  int objects = static_cast<int>(state.range(0));
+  Cycles sweep_time = 0;
+  uint64_t scanned = 0;
+  uint64_t work_units = 0;
+  for (auto _ : state) {
+    SystemConfig config = FaultConfig(1, MemoryManagerKind::kNonSwapping);
+    config.machine.memory_bytes = 8 * 1024 * 1024;
+    config.start_patrol_daemon = true;
+    System system(config);
+    for (int i = 0; i < objects; ++i) {
+      IMAX_CHECK(system.memory()
+                     .CreateObject(system.memory().global_heap(), SystemType::kGeneric,
+                                   256, 0, rights::kRead | rights::kWrite)
+                     .ok());
+    }
+    IMAX_CHECK(system.RequestPatrolSweep().ok());
+    system.Run();
+    sweep_time = system.now();
+    scanned = system.patrol().stats().descriptors_scanned;
+    work_units = system.patrol().work_units();
+  }
+  state.counters["objects"] = objects;
+  state.counters["sweep_ms"] = ToUs(sweep_time) / 1000.0;
+  state.counters["descriptors_scanned"] = static_cast<double>(scanned);
+  state.counters["work_units"] = static_cast<double>(work_units);
+}
+BENCHMARK(BM_PatrolSweepCost)->Arg(64)->Arg(256)->Arg(1024)->Iterations(1);
+
+}  // namespace
+}  // namespace imax432
+
+IMAX_BENCH_MAIN()

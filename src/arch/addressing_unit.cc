@@ -7,6 +7,9 @@ namespace imax432 {
 Result<PhysAddr> AddressingUnit::CheckDataAccess(const AccessDescriptor& ad, uint32_t offset,
                                                  uint32_t length, RightsMask required) const {
   IMAX_ASSIGN_OR_RETURN(const ObjectDescriptor* object, table_->Resolve(ad));
+  if (object->quarantined) {
+    return Fault::kObjectQuarantined;
+  }
   if (!ad.HasRights(required)) {
     return Fault::kRightsViolation;
   }
@@ -35,7 +38,11 @@ Status AddressingUnit::WriteData(const AccessDescriptor& ad, uint32_t offset, ui
     return Fault::kInvalidArgument;
   }
   IMAX_ASSIGN_OR_RETURN(PhysAddr addr, CheckDataAccess(ad, offset, width, rights::kWrite));
-  return memory_->Write(addr, width, value);
+  IMAX_RETURN_IF_FAULT(memory_->Write(addr, width, value));
+  // Mutator writes advance the data epoch so the patrol scan can distinguish a legitimate
+  // rewrite from silent corruption of the data part.
+  ++table_->At(ad.index()).data_epoch;
+  return Status::Ok();
 }
 
 Status AddressingUnit::ReadDataBlock(const AccessDescriptor& ad, uint32_t offset, void* out,
@@ -47,12 +54,17 @@ Status AddressingUnit::ReadDataBlock(const AccessDescriptor& ad, uint32_t offset
 Status AddressingUnit::WriteDataBlock(const AccessDescriptor& ad, uint32_t offset, const void* in,
                                       uint32_t length) {
   IMAX_ASSIGN_OR_RETURN(PhysAddr addr, CheckDataAccess(ad, offset, length, rights::kWrite));
-  return memory_->WriteBlock(addr, in, length);
+  IMAX_RETURN_IF_FAULT(memory_->WriteBlock(addr, in, length));
+  ++table_->At(ad.index()).data_epoch;
+  return Status::Ok();
 }
 
 Result<AccessDescriptor> AddressingUnit::ReadAd(const AccessDescriptor& container,
                                                 uint32_t slot) const {
   IMAX_ASSIGN_OR_RETURN(const ObjectDescriptor* object, table_->Resolve(container));
+  if (object->quarantined) {
+    return Fault::kObjectQuarantined;
+  }
   if (!container.HasRights(rights::kRead)) {
     return Fault::kRightsViolation;
   }
@@ -65,6 +77,9 @@ Result<AccessDescriptor> AddressingUnit::ReadAd(const AccessDescriptor& containe
 Status AddressingUnit::WriteAd(const AccessDescriptor& container, uint32_t slot,
                                const AccessDescriptor& ad) {
   IMAX_ASSIGN_OR_RETURN(ObjectDescriptor * object, table_->Resolve(container));
+  if (object->quarantined) {
+    return Fault::kObjectQuarantined;
+  }
   if (!container.HasRights(rights::kWrite)) {
     return Fault::kRightsViolation;
   }

@@ -73,6 +73,17 @@ struct ObjectDescriptor {
   // fault with kInvalidAccess on use.
   uint32_t generation = 0;
 
+  // Integrity state maintained for the object-table patrol scan. `checksum` seals the
+  // descriptor's identity fields (type, level, data_length, access slot count, origin SRO)
+  // at allocation — ObjectTable::Seal recomputes it after any legitimate identity mutation.
+  // `data_epoch` counts mutator writes to the data part (bumped by the AddressingUnit), so
+  // the patrol can tell a legitimate rewrite from silent bit rot. A quarantined object has
+  // had its representation rights revoked: every checked data or access-part operation
+  // faults with kObjectQuarantined instead of exposing corrupt state.
+  uint32_t checksum = 0;
+  uint32_t data_epoch = 0;
+  bool quarantined = false;
+
   // Total architectural bytes charged to the origin SRO for this object (data part plus
   // kAdArchBytes per access slot), remembered so reclamation returns exactly what was taken.
   uint32_t storage_claim = 0;

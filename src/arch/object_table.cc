@@ -39,7 +39,10 @@ Result<ObjectIndex> ObjectTable::Allocate(SystemType type, Level level, PhysAddr
   slot.color = GcColor::kWhite;
   slot.swapped_out = false;
   slot.backing_slot = 0;
+  slot.data_epoch = 0;
+  slot.quarantined = false;
   slot.storage_claim = storage_claim;
+  slot.checksum = DescriptorChecksum(slot);
   ++live_count_;
   return index;
 }
@@ -55,10 +58,35 @@ Status ObjectTable::Free(ObjectIndex index) {
   slot.allocated = false;
   slot.access.clear();
   slot.access.shrink_to_fit();
+  slot.quarantined = false;
   ++slot.generation;
   --live_count_;
   free_list_.push_back(index);
   return Status::Ok();
+}
+
+uint32_t ObjectTable::DescriptorChecksum(const ObjectDescriptor& descriptor) {
+  // FNV-1a over the identity fields; cheap and stable across platforms.
+  uint32_t hash = 2166136261u;
+  auto mix = [&hash](uint32_t word) {
+    for (int shift = 0; shift < 32; shift += 8) {
+      hash ^= (word >> shift) & 0xFFu;
+      hash *= 16777619u;
+    }
+  };
+  mix(static_cast<uint32_t>(descriptor.type));
+  mix(static_cast<uint32_t>(descriptor.level));
+  mix(descriptor.data_length);
+  mix(descriptor.access_count());
+  mix(descriptor.origin_sro);
+  return hash;
+}
+
+void ObjectTable::Seal(ObjectIndex index) {
+  IMAX_CHECK(index < capacity());
+  ObjectDescriptor& slot = slots_[index];
+  IMAX_CHECK(slot.allocated);
+  slot.checksum = DescriptorChecksum(slot);
 }
 
 Result<ObjectDescriptor*> ObjectTable::Resolve(const AccessDescriptor& ad) {

@@ -61,6 +61,16 @@ class ObjectTable {
     return container.level >= referenced.level;
   }
 
+  // Checksum over the descriptor's identity fields (type, level, data_length, access slot
+  // count, origin SRO). Mutable operational state (data_base, swap state, GC color,
+  // generation) is deliberately excluded so the patrol scan never flags normal operation.
+  static uint32_t DescriptorChecksum(const ObjectDescriptor& descriptor);
+
+  // Recomputes and stores the identity checksum for a live slot. Allocate seals every new
+  // descriptor; callers that legitimately mutate identity fields afterwards (e.g. the kernel
+  // overriding a context's level) must re-seal.
+  void Seal(ObjectIndex index);
+
  private:
   std::vector<ObjectDescriptor> slots_;
   std::vector<ObjectIndex> free_list_;

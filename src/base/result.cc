@@ -60,6 +60,8 @@ const char* FaultName(Fault fault) {
       return "kPermissionDenied";
     case Fault::kVerificationFailed:
       return "kVerificationFailed";
+    case Fault::kObjectQuarantined:
+      return "kObjectQuarantined";
   }
   return "kUnknown";
 }

@@ -51,6 +51,7 @@ enum class Fault : uint8_t {
   kFilingFormatError,     // object filing store corrupt or version mismatch
   kPermissionDenied,      // caller's domain lacks access to the requested package facility
   kVerificationFailed,    // static verifier rejected the program at load time
+  kObjectQuarantined,     // object failed a patrol integrity check; rep-rights revoked
 };
 
 // Human-readable fault name (for logs and test diagnostics).

@@ -249,6 +249,8 @@ Result<AccessDescriptor> Kernel::CreateContext(ProcessView& proc,
   // process has a level one greater than that of its caller"), overriding the stack SRO's
   // fixed allocation level — this is the hardware's stack-allocation mechanism.
   machine_->table().At(context.index()).level = level;
+  // The level override is a legitimate identity mutation: re-seal the patrol checksum.
+  machine_->table().Seal(context.index());
 
   ContextView ctx(&machine_->addressing(), context);
   ctx.set_pc(0);
@@ -364,6 +366,80 @@ Status Kernel::MarkStopped(const AccessDescriptor& process) {
   return Status::Ok();
 }
 
+Status Kernel::RetireProcessor(uint16_t processor_id) {
+  if (processor_id >= processors_.size()) {
+    return Fault::kNotFound;
+  }
+  ProcessorRec& rec = processors_[processor_id];
+  if (rec.halted) {
+    return Fault::kWrongState;
+  }
+  rec.halted = true;
+  ++stats_.processors_retired;
+
+  ObjectView processor(&machine_->addressing(), rec.object);
+  if (rec.waiting) {
+    // Parked at its dispatching port as an idle receiver: pull it out so MakeReady never
+    // hands a process to a dead GDP.
+    (void)ports_.RemoveWaitingProcessor(rec.dispatch_port, processor_id);
+    processor.Increment(ProcessorLayout::kOffIdleCycles, 8, machine_->now() - rec.idle_since);
+    rec.waiting = false;
+  }
+  processor.SetField(ProcessorLayout::kOffState, 1,
+                     static_cast<uint64_t>(ProcessorState::kHalted));
+
+  // Rescue the in-flight process. Execution is synchronous per instruction, so at retirement
+  // time the process is at a consistent instruction boundary; any pending ProcessorStep
+  // event no-ops once rec.current is cleared.
+  uint32_t requeued = kTraceNoProcess;
+  AccessDescriptor victim = rec.current;
+  rec.current = AccessDescriptor();
+  processor.SetSlot(ProcessorLayout::kSlotCurrentProcess, AccessDescriptor());
+  if (!victim.is_null() && machine_->table().Resolve(victim).ok()) {
+    ProcessView proc = process_view(victim);
+    if (proc.state() == ProcessState::kRunning) {
+      proc.set_slice_used(0);
+      Status ready = MakeReady(victim);
+      if (ready.ok()) {
+        requeued = victim.index();
+        ++stats_.retirement_requeues;
+      } else {
+        RaiseFault(proc, ready.fault());
+      }
+    }
+  }
+  machine_->trace().Emit(TraceEventKind::kProcessorRetired, machine_->now(), processor_id,
+                         requeued, static_cast<uint32_t>(active_processor_count()));
+  IMAX_LOG_INFO("processor %u retired (%d survive)", processor_id, active_processor_count());
+  return Status::Ok();
+}
+
+Status Kernel::StallProcessor(uint16_t processor_id, Cycles duration) {
+  if (processor_id >= processors_.size()) {
+    return Fault::kNotFound;
+  }
+  ProcessorRec& rec = processors_[processor_id];
+  if (rec.halted) {
+    return Fault::kWrongState;
+  }
+  Cycles until = machine_->now() + duration;
+  if (until > rec.stall_until) {
+    rec.stall_until = until;
+  }
+  ++stats_.processors_stalled;
+  // A parked processor re-checks the stall when a process is handed to it (BindProcess
+  // schedules ProcessorStep, which defers); a running one defers at its next step.
+  return Status::Ok();
+}
+
+int Kernel::active_processor_count() const {
+  int active = 0;
+  for (const ProcessorRec& rec : processors_) {
+    if (!rec.halted) ++active;
+  }
+  return active;
+}
+
 Status Kernel::MakeReady(const AccessDescriptor& process) {
   ProcessView proc = process_view(process);
   // If the process was blocked at a port, the blocking episode ends here — whether it goes
@@ -422,6 +498,13 @@ Status Kernel::PostMessage(const AccessDescriptor& port, const AccessDescriptor&
 
 void Kernel::BindProcess(ProcessorRec& rec, const AccessDescriptor& process) {
   ProcessView proc = process_view(process);
+  if (rec.halted) {
+    // Raced with retirement: hand the process back for a surviving processor to claim.
+    proc.set_state(ProcessState::kReady);
+    (void)ports_.Enqueue(proc.dispatch_port(), process, proc.priority(), proc.deadline(),
+                         /*privileged=*/true);
+    return;
+  }
   if (proc.stop_count() > 0) {
     // A stop arrived while the process was queued: park it and look again.
     proc.set_state(ProcessState::kStopped);
@@ -456,6 +539,12 @@ void Kernel::BindProcess(ProcessorRec& rec, const AccessDescriptor& process) {
 void Kernel::ProcessorFetch(uint16_t processor_id) {
   ProcessorRec& rec = processors_[processor_id];
   if (rec.halted) {
+    return;
+  }
+  if (machine_->now() < rec.stall_until) {
+    // Transient stall: come back for work once the processor re-arbitrates.
+    machine_->events().ScheduleAt(rec.stall_until,
+                                  [this, processor_id] { ProcessorFetch(processor_id); });
     return;
   }
   rec.current = AccessDescriptor();
@@ -499,6 +588,12 @@ Cycles Kernel::ChargeCycles(ProcessorRec& rec, ProcessView& proc, Cycles compute
 void Kernel::ProcessorStep(uint16_t processor_id) {
   ProcessorRec& rec = processors_[processor_id];
   if (rec.halted || rec.current.is_null()) {
+    return;
+  }
+  if (machine_->now() < rec.stall_until) {
+    // Transient stall: the bound process resumes exactly here once the stall lifts.
+    machine_->events().ScheduleAt(rec.stall_until,
+                                  [this, processor_id] { ProcessorStep(processor_id); });
     return;
   }
   ProcessView proc = process_view(rec.current);

@@ -73,6 +73,9 @@ struct KernelStats {
   uint64_t programs_verified = 0;  // programs run through the static verifier at load
   uint64_t programs_rejected = 0;  // programs the verifier refused (kVerificationFailed)
   uint64_t effect_summaries = 0;   // IPC effect summaries computed (verify-on-load + lazy)
+  uint64_t processors_retired = 0;   // GDPs permanently halted (fault injection / operator)
+  uint64_t processors_stalled = 0;   // transient GDP stalls applied
+  uint64_t retirement_requeues = 0;  // in-flight processes rescued from a retired GDP
 };
 
 class Kernel {
@@ -135,6 +138,23 @@ class Kernel {
   // next dispatched; a running process at its next instruction boundary; a blocked process
   // when it unblocks.
   Status MarkStopped(const AccessDescriptor& process);
+
+  // --- Processor failure (fault injection / graceful degradation) ---
+
+  // Permanently retires a GDP, as if it failed its hardware self-test mid-run. Any process
+  // it was executing is rescued at its current instruction boundary and re-queued at its
+  // dispatching port, so scheduling degrades gracefully to the survivors ("the rest of the
+  // system never knows how many processors exist"). Emits kProcessorRetired.
+  // Faults: kNotFound (bad id), kWrongState (already retired).
+  Status RetireProcessor(uint16_t processor_id);
+
+  // Transiently stalls a GDP: it executes nothing until now() + duration, then resumes
+  // exactly where it was. Models a processor dropped off the interconnect and re-arbitrating.
+  Status StallProcessor(uint16_t processor_id, Cycles duration);
+
+  bool processor_retired(int index) const { return processors_[index].halted; }
+  // GDPs still participating in dispatching.
+  int active_processor_count() const;
 
   // Sends `message` to `port` from outside the simulation (boot code, tests). Never blocks:
   // faults with kQueueFull instead.
@@ -222,6 +242,7 @@ class Kernel {
     Cycles idle_since = 0;
     bool waiting = false;         // queued at the dispatching port as an idle receiver
     bool halted = false;
+    Cycles stall_until = 0;       // transient stall: no execution before this time
   };
 
   // Outcome of one interpreted instruction.

@@ -209,6 +209,19 @@ Result<uint16_t> PortSubsystem::PopWaitingProcessor(const AccessDescriptor& port
   return id;
 }
 
+Status PortSubsystem::RemoveWaitingProcessor(const AccessDescriptor& port_ad,
+                                             uint16_t processor_id) {
+  IMAX_ASSIGN_OR_RETURN(PortShadow * shadow, ResolveShadow(port_ad));
+  for (auto it = shadow->waiting_processors.begin(); it != shadow->waiting_processors.end();
+       ++it) {
+    if (*it == processor_id) {
+      shadow->waiting_processors.erase(it);
+      return Status::Ok();
+    }
+  }
+  return Fault::kNotFound;
+}
+
 Result<uint16_t> PortSubsystem::QueuedCount(const AccessDescriptor& port_ad) const {
   IMAX_ASSIGN_OR_RETURN(const PortShadow* shadow, ResolveShadow(port_ad));
   return static_cast<uint16_t>(shadow->queue.size());

@@ -93,6 +93,8 @@ class PortSubsystem {
   // Idle-processor queue (dispatching ports only).
   void PushWaitingProcessor(const AccessDescriptor& port_ad, uint16_t processor_id);
   Result<uint16_t> PopWaitingProcessor(const AccessDescriptor& port_ad);
+  // Removes a specific parked processor (processor retirement); kNotFound if absent.
+  Status RemoveWaitingProcessor(const AccessDescriptor& port_ad, uint16_t processor_id);
 
   // Queue inspection.
   Result<uint16_t> QueuedCount(const AccessDescriptor& port_ad) const;

@@ -23,19 +23,28 @@ class BackingStore {
   static constexpr Cycles kAccessLatencyCycles = 24000;
   static Cycles TransferCost(uint32_t bytes) { return kAccessLatencyCycles + bytes / 2; }
 
-  explicit BackingStore(uint32_t capacity_slots = 4096) : slots_(capacity_slots) {}
-
-  // Writes `data` to a free slot; returns the slot id.
-  Result<uint32_t> StoreOut(const std::vector<uint8_t>& data) {
-    for (uint32_t i = 0; i < slots_.size(); ++i) {
-      if (!slots_[i].used) {
-        slots_[i].used = true;
-        slots_[i].data = data;
-        ++writes_;
-        return i;
-      }
+  explicit BackingStore(uint32_t capacity_slots = 4096) : slots_(capacity_slots) {
+    free_list_.reserve(capacity_slots);
+    // Hand out low slot ids first: push in reverse so pop_back yields ascending order.
+    for (uint32_t i = capacity_slots; i > 0; --i) {
+      free_list_.push_back(i - 1);
     }
-    return Fault::kStorageExhausted;
+  }
+
+  // Writes `data` to a free slot; returns the slot id. O(1) via the free list.
+  Result<uint32_t> StoreOut(const std::vector<uint8_t>& data) {
+    IMAX_RETURN_IF_FAULT(CheckDevice());
+    if (free_list_.empty()) {
+      return Fault::kStorageExhausted;
+    }
+    uint32_t slot = free_list_.back();
+    free_list_.pop_back();
+    slots_[slot].used = true;
+    slots_[slot].data = data;
+    ++writes_;
+    ++used_;
+    if (used_ > peak_used_) peak_used_ = used_;
+    return slot;
   }
 
   // Reads a slot back and frees it.
@@ -43,23 +52,40 @@ class BackingStore {
     if (slot >= slots_.size() || !slots_[slot].used) {
       return Fault::kNotFound;
     }
+    IMAX_RETURN_IF_FAULT(CheckDevice());
     slots_[slot].used = false;
+    free_list_.push_back(slot);
+    --used_;
     ++reads_;
     return std::move(slots_[slot].data);
   }
 
-  // Discards a slot without reading (object died while swapped out).
+  // Discards a slot without reading (object died while swapped out). Pure bookkeeping —
+  // no media transfer — so it never takes a device error: reclamation cannot fail.
   Status Discard(uint32_t slot) {
     if (slot >= slots_.size() || !slots_[slot].used) {
       return Fault::kNotFound;
     }
     slots_[slot].used = false;
     slots_[slot].data.clear();
+    free_list_.push_back(slot);
+    --used_;
     return Status::Ok();
   }
 
+  // --- Fault injection (driven by the FaultInjector) ---
+  // The next `count` media transfers fail with kDeviceError, then the device recovers.
+  void InjectTransientFailures(uint32_t count) { transient_failures_ += count; }
+  // While set, every media transfer fails (a dead drive until the injector heals it).
+  void SetPermanentFailure(bool failed) { permanent_failure_ = failed; }
+  bool permanent_failure() const { return permanent_failure_; }
+
   uint64_t reads() const { return reads_; }
   uint64_t writes() const { return writes_; }
+  uint64_t failed_transfers() const { return failed_transfers_; }
+  uint32_t used() const { return used_; }
+  uint32_t peak_used() const { return peak_used_; }
+  uint32_t capacity() const { return static_cast<uint32_t>(slots_.size()); }
 
  private:
   struct Slot {
@@ -67,9 +93,28 @@ class BackingStore {
     std::vector<uint8_t> data;
   };
 
+  Status CheckDevice() {
+    if (permanent_failure_) {
+      ++failed_transfers_;
+      return Fault::kDeviceError;
+    }
+    if (transient_failures_ > 0) {
+      --transient_failures_;
+      ++failed_transfers_;
+      return Fault::kDeviceError;
+    }
+    return Status::Ok();
+  }
+
   std::vector<Slot> slots_;
+  std::vector<uint32_t> free_list_;
   uint64_t reads_ = 0;
   uint64_t writes_ = 0;
+  uint64_t failed_transfers_ = 0;
+  uint32_t used_ = 0;
+  uint32_t peak_used_ = 0;
+  uint32_t transient_failures_ = 0;
+  bool permanent_failure_ = false;
 };
 
 }  // namespace imax432

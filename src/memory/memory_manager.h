@@ -30,7 +30,10 @@ struct MemoryStats {
   uint64_t bulk_reclaimed_objects = 0;  // objects reclaimed by DestroySro cascades
   uint64_t swap_ins = 0;                // swapping implementation only
   uint64_t swap_outs = 0;
+  uint64_t device_retries = 0;          // backing-store transfers retried after kDeviceError
+  uint64_t device_errors = 0;           // transfers abandoned after the retry budget
   uint32_t resident_bytes = 0;          // bytes of live data parts in physical memory
+  uint32_t backing_peak_used = 0;       // high-water mark of occupied backing-store slots
 };
 
 class MemoryManager {

@@ -29,13 +29,22 @@ class SwappingMemoryManager : public BasicMemoryManager {
 
   // Management interface: objects of these system types are never evicted (processors,
   // processes, ports and SROs must stay resident for the hardware algorithms to run).
+  // Quarantined objects are pinned too: their contents are already suspect and must stay
+  // where the patrol froze them.
   static bool IsSwappable(const ObjectDescriptor& descriptor) {
     return (descriptor.type == SystemType::kGeneric ||
             descriptor.type == SystemType::kInstructionSegment) &&
-           descriptor.data_length > 0;
+           descriptor.data_length > 0 && !descriptor.quarantined;
   }
 
   const BackingStore& backing_store() const { return store_; }
+  // Mutable access for the fault injector (failure windows are device state).
+  BackingStore& mutable_backing_store() { return store_; }
+
+  // Bounded retry-with-backoff around device transfers. Each failed attempt charges an
+  // exponentially growing backoff (kAccessLatencyCycles << attempt) to the process that
+  // eventually takes the transfer cost; after kMaxDeviceRetries the kDeviceError surfaces.
+  static constexpr uint32_t kMaxDeviceRetries = 3;
 
  protected:
   Result<PhysAddr> AllocateSpace(Sro* sro, uint32_t bytes) override;
@@ -46,12 +55,22 @@ class SwappingMemoryManager : public BasicMemoryManager {
  private:
   // Evicts one swappable resident object allocated from `sro` (so its extent can be reused
   // by that SRO). Returns the number of bytes freed, or kStorageExhausted if nothing is
-  // evictable.
+  // evictable, or kDeviceError if the swap device failed past the retry budget.
   Result<uint32_t> EvictOne(Sro* sro);
 
+  // Retrying transfer wrappers. `index` is the object being moved (trace payload only).
+  Result<uint32_t> StoreOutWithRetry(const std::vector<uint8_t>& data, ObjectIndex index);
+  Result<std::vector<uint8_t>> FetchInWithRetry(uint32_t slot, ObjectIndex index);
+
   BackingStore store_;
+  uint32_t evict_cursor_ = 0;  // clock hand for EvictOne's round-robin victim scan
   uint64_t swap_ins_ = 0;
   uint64_t swap_outs_ = 0;
+  uint64_t device_retries_ = 0;
+  uint64_t device_errors_ = 0;
+  // Backoff cycles accrued by retries on the evict path, where no faulting process is on
+  // hand to charge; the next EnsureResident folds them into its returned transfer cost.
+  Cycles pending_penalty_ = 0;
 };
 
 }  // namespace imax432

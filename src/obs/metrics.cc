@@ -27,7 +27,10 @@ CounterMap CountersFor(const KernelStats& stats) {
           {"swap_faults", stats.swap_faults},
           {"programs_verified", stats.programs_verified},
           {"programs_rejected", stats.programs_rejected},
-          {"effect_summaries", stats.effect_summaries}};
+          {"effect_summaries", stats.effect_summaries},
+          {"processors_retired", stats.processors_retired},
+          {"processors_stalled", stats.processors_stalled},
+          {"retirement_requeues", stats.retirement_requeues}};
 }
 
 CounterMap CountersFor(const PortStats& stats) {
@@ -55,7 +58,10 @@ CounterMap CountersFor(const MemoryStats& stats) {
           {"bulk_reclaimed_objects", stats.bulk_reclaimed_objects},
           {"swap_ins", stats.swap_ins},
           {"swap_outs", stats.swap_outs},
-          {"resident_bytes", stats.resident_bytes}};
+          {"device_retries", stats.device_retries},
+          {"device_errors", stats.device_errors},
+          {"resident_bytes", stats.resident_bytes},
+          {"backing_peak_used", stats.backing_peak_used}};
 }
 
 CounterMap CountersFor(const SchedulerStats& stats) {
@@ -91,6 +97,16 @@ CounterMap CountersFor(const FaultServiceStats& stats) {
           {"budget_exhausted", stats.budget_exhausted}};
 }
 
+CounterMap CountersFor(const PatrolStats& stats) {
+  return {{"sweeps_completed", stats.sweeps_completed},
+          {"descriptors_scanned", stats.descriptors_scanned},
+          {"objects_quarantined", stats.objects_quarantined},
+          {"checksum_failures", stats.checksum_failures},
+          {"invariant_failures", stats.invariant_failures},
+          {"data_crc_failures", stats.data_crc_failures},
+          {"shadow_refreshes", stats.shadow_refreshes}};
+}
+
 MetricsRegistry::MetricsRegistry(System* system) {
   Machine* machine = &system->machine();
   clock_ = [machine] { return machine->now(); };
@@ -98,12 +114,15 @@ MetricsRegistry::MetricsRegistry(System* system) {
   Add("ports", [system] { return CountersFor(system->kernel().ports().stats()); });
   Add("gc", [system] { return CountersFor(system->gc().stats()); });
   Add("memory", [system] { return CountersFor(system->memory().stats()); });
+  Add("patrol", [system] { return CountersFor(system->patrol().stats()); });
   Add("process_manager", [system] { return CountersFor(system->process_manager().stats()); });
   Add("machine", [machine] {
     CounterMap counters;
     counters.emplace_back("bus_busy_cycles", machine->bus().busy_cycles());
     counters.emplace_back("bus_wait_cycles", machine->bus().wait_cycles());
     counters.emplace_back("bus_transactions", machine->bus().transactions());
+    counters.emplace_back("bus_dropped_transfers", machine->bus().dropped_transfers());
+    counters.emplace_back("bus_duplicated_transfers", machine->bus().duplicated_transfers());
     counters.emplace_back(
         "bus_utilization_permille",
         static_cast<uint64_t>(machine->bus().Utilization(machine->now()) * 1000.0));

@@ -29,6 +29,7 @@ struct ProcessManagerStats;
 struct FilingStats;
 struct DeviceStats;
 struct FaultServiceStats;
+struct PatrolStats;
 class System;
 
 // Ordered name -> value pairs; a vector (not a map) so serialization order is declaration
@@ -46,6 +47,7 @@ CounterMap CountersFor(const ProcessManagerStats& stats);
 CounterMap CountersFor(const FilingStats& stats);
 CounterMap CountersFor(const DeviceStats& stats);
 CounterMap CountersFor(const FaultServiceStats& stats);
+CounterMap CountersFor(const PatrolStats& stats);
 
 struct HistogramSnapshot {
   std::string name;

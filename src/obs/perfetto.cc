@@ -233,6 +233,43 @@ void Exporter::HandleEvent(const TraceEvent& event) {
                   ",\"other\":" + std::to_string(event.c) + "}");
       break;
     }
+    case TraceEventKind::kProcessorRetired: {
+      // A retired GDP's execution slice ends forever; close it before the marker.
+      if (cpu_slice_open_[tid]) {
+        CloseSlice(tid, event.ts);
+        cpu_slice_open_[tid] = false;
+      }
+      Instant(tid, event.ts, "processor-retired",
+              "{\"requeued_process\":" + std::to_string(event.process) +
+                  ",\"survivors\":" + std::to_string(event.a) + "}");
+      break;
+    }
+    case TraceEventKind::kObjectQuarantined: {
+      Instant(tid, event.ts, "object-quarantined",
+              "{\"object\":" + std::to_string(event.a) +
+                  ",\"check\":" + std::to_string(event.b) + "}");
+      break;
+    }
+    case TraceEventKind::kDeviceRetry: {
+      Instant(tid, event.ts, "device-retry",
+              "{\"object\":" + std::to_string(event.a) +
+                  ",\"attempt\":" + std::to_string(event.b) +
+                  ",\"backoff_cycles\":" + std::to_string(event.c) + "}");
+      break;
+    }
+    case TraceEventKind::kInjection: {
+      Instant(tid, event.ts, "injection",
+              "{\"kind\":" + std::to_string(event.a) +
+                  ",\"target\":" + std::to_string(event.b) +
+                  ",\"arg\":" + std::to_string(event.c) + "}");
+      break;
+    }
+    case TraceEventKind::kPatrolSweep: {
+      Instant(tid, event.ts, "patrol-sweep",
+              "{\"scanned\":" + std::to_string(event.a) +
+                  ",\"quarantined\":" + std::to_string(event.b) + "}");
+      break;
+    }
   }
 }
 

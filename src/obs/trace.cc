@@ -25,6 +25,11 @@ const char* TraceEventKindName(TraceEventKind kind) {
     case TraceEventKind::kTerminate: return "terminate";
     case TraceEventKind::kInstruction: return "instruction";
     case TraceEventKind::kRaceDetected: return "race-detected";
+    case TraceEventKind::kProcessorRetired: return "processor-retired";
+    case TraceEventKind::kObjectQuarantined: return "object-quarantined";
+    case TraceEventKind::kDeviceRetry: return "device-retry";
+    case TraceEventKind::kInjection: return "injection";
+    case TraceEventKind::kPatrolSweep: return "patrol-sweep";
   }
   return "unknown";
 }

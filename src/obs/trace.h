@@ -50,6 +50,14 @@ enum class TraceEventKind : uint8_t {
   kInstruction,     // instruction-level event (kTrace logging); a = pc, b = opcode
   kRaceDetected,    // dynamic race sanitizer finding; a = object index, b = pc,
                     // c = the other process's object index
+  kProcessorRetired,  // GDP retired; process = re-queued process (or kTraceNoProcess),
+                      // a = surviving processor count
+  kObjectQuarantined,  // patrol quarantined a corrupt object; a = object index,
+                       // b = integrity check that failed (ObjectPatrol::CheckKind)
+  kDeviceRetry,     // backing-store transfer retried; a = object index, b = attempt number,
+                    // c = backoff cycles charged
+  kInjection,       // fault injector fired; a = injection kind, b = concrete target, c = arg
+  kPatrolSweep,     // patrol sweep completed; a = descriptors scanned, b = quarantined total
 };
 
 // GC phase payload for kGcPhase (mirrors gc/collector.h Phase without depending on it).

@@ -1,8 +1,33 @@
 #include "src/os/fault_service.h"
 
 #include "src/base/log.h"
+#include "src/obs/metrics.h"
 
 namespace imax432 {
+
+FaultPolicy FaultService::MakeRecoveryPolicy() {
+  FaultPolicy policy;
+  policy.actions[Fault::kDeviceError] = FaultAction::kRetry;
+  policy.actions[Fault::kTimeout] = FaultAction::kRetry;
+  policy.actions[Fault::kStorageExhausted] = FaultAction::kRetry;
+  policy.actions[Fault::kObjectQuarantined] = FaultAction::kTerminate;
+  policy.retry_budgets[Fault::kDeviceError] = 5;
+  policy.retry_budgets[Fault::kTimeout] = 5;
+  policy.retry_budgets[Fault::kStorageExhausted] = 2;
+  return policy;
+}
+
+uint32_t FaultService::BudgetFor(Fault fault) const {
+  if (fault == Fault::kObjectQuarantined) {
+    return 0;  // corrupt is corrupt: no retry can un-quarantine the object
+  }
+  auto it = policy_.retry_budgets.find(fault);
+  return it != policy_.retry_budgets.end() ? it->second : policy_.retry_budget;
+}
+
+void FaultService::RegisterMetrics(MetricsRegistry* registry, const char* group) {
+  registry->Add(group, [this] { return CountersFor(stats_); });
+}
 
 Result<AccessDescriptor> FaultService::Spawn(const AccessDescriptor& escalation_port) {
   escalation_port_ = escalation_port;
@@ -60,8 +85,8 @@ void FaultService::Handle(const AccessDescriptor& process) {
   FaultAction action = it != policy_.actions.end() ? it->second : policy_.default_action;
 
   if (action == FaultAction::kRetry) {
-    uint32_t& used = retries_[process.index()];
-    if (used >= policy_.retry_budget) {
+    uint32_t& used = retries_[{process.index(), fault}];
+    if (used >= BudgetFor(fault)) {
       ++stats_.budget_exhausted;
       action = FaultAction::kTerminate;
     } else {

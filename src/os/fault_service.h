@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <map>
+#include <utility>
 
 #include "src/exec/kernel.h"
 
@@ -32,8 +33,12 @@ struct FaultPolicy {
   // Action per fault code; anything unlisted gets `default_action`.
   std::map<Fault, FaultAction> actions;
   FaultAction default_action = FaultAction::kTerminate;
-  // Retries allowed per process before it is terminated regardless of policy.
+  // Retries allowed per (process, fault code) before termination regardless of policy.
   uint32_t retry_budget = 3;
+  // Per-fault-code budget overrides: transient conditions (kDeviceError, kTimeout) deserve
+  // more patience than logic faults. kObjectQuarantined is special-cased to zero by the
+  // service itself — retrying an access to a corrupt object can never succeed.
+  std::map<Fault, uint32_t> retry_budgets;
 };
 
 struct FaultServiceStats {
@@ -44,25 +49,41 @@ struct FaultServiceStats {
   uint64_t budget_exhausted = 0;
 };
 
+class MetricsRegistry;
+
 class FaultService {
  public:
   FaultService(Kernel* kernel, FaultPolicy policy)
       : kernel_(kernel), policy_(std::move(policy)) {}
+
+  // The policy matched to the injectable fault classes: generous retries for transient
+  // device errors and timeouts, a couple for storage exhaustion (a GC cycle may free
+  // space), and immediate termination for quarantined-object faults (retry cannot help;
+  // the object stays corrupt).
+  static FaultPolicy MakeRecoveryPolicy();
 
   // Spawns the handler daemon. Returns the fault port to configure processes with
   // (ProcessOptions::fault_port). `escalation_port` receives kDeliver-class processes
   // (null = treat kDeliver as kTerminate).
   Result<AccessDescriptor> Spawn(const AccessDescriptor& escalation_port = {});
 
+  // Exposes stats() through a registry group (the System constructor cannot: the fault
+  // service is configured by selection, à la carte).
+  void RegisterMetrics(MetricsRegistry* registry, const char* group = "fault_service");
+
   const FaultServiceStats& stats() const { return stats_; }
 
  private:
   void Handle(const AccessDescriptor& process);
+  // Effective retry budget for one fault code under the current policy.
+  uint32_t BudgetFor(Fault fault) const;
 
   Kernel* kernel_;
   FaultPolicy policy_;
   AccessDescriptor escalation_port_;
-  std::map<ObjectIndex, uint32_t> retries_;  // per-process retry counts
+  // Retry counts per (process, fault code): a process with recurring device errors must
+  // not burn the budget of an unrelated later timeout.
+  std::map<std::pair<ObjectIndex, Fault>, uint32_t> retries_;
   FaultServiceStats stats_;
 };
 

@@ -30,6 +30,7 @@ System::System(const SystemConfig& config)
     kernel_->EnableRaceSanitizer();
   }
   gc_ = std::make_unique<GarbageCollector>(kernel_.get());
+  patrol_ = std::make_unique<ObjectPatrol>(kernel_.get());
   types_ = std::make_unique<TypeManagerFacility>(kernel_.get());
   process_manager_ = std::make_unique<BasicProcessManager>(kernel_.get());
   ports_api_ = std::make_unique<UntypedPorts>(kernel_.get());
@@ -49,6 +50,9 @@ System::System(const SystemConfig& config)
       // next object that lands there.
       kernel_->race_sanitizer()->OnObjectDestroyed(index);
     }
+    // Drop the patrol's CRC baseline: the index may be reused (the generation key would
+    // catch it anyway, but the entry is dead weight).
+    patrol_->Forget(index);
   });
 
   IMAX_CHECK(kernel_->AddProcessors(config.processors).ok());
@@ -69,6 +73,12 @@ System::System(const SystemConfig& config)
     auto request_port = gc_->SpawnDaemon(config.gc_units_per_step);
     IMAX_CHECK(request_port.ok());
     gc_request_port_ = request_port.value();
+  }
+
+  if (config.start_patrol_daemon) {
+    auto request_port = patrol_->SpawnDaemon(config.patrol_units_per_step);
+    IMAX_CHECK(request_port.ok());
+    patrol_request_port_ = request_port.value();
   }
 }
 
@@ -97,6 +107,13 @@ Status System::RequestCollection() {
   // Any message works as a request; the collector replies only if it is a port. Reuse the
   // global heap AD as a cheap, always-live token.
   return kernel_->PostMessage(gc_request_port_, memory_->global_heap());
+}
+
+Status System::RequestPatrolSweep() {
+  if (patrol_request_port_.is_null()) {
+    return Fault::kWrongState;
+  }
+  return kernel_->PostMessage(patrol_request_port_, memory_->global_heap());
 }
 
 }  // namespace imax432

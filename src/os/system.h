@@ -18,6 +18,7 @@
 #include "src/gc/collector.h"
 #include "src/memory/basic_memory_manager.h"
 #include "src/memory/swapping_memory_manager.h"
+#include "src/os/patrol.h"
 #include "src/os/ports_api.h"
 #include "src/os/process_manager.h"
 #include "src/os/type_manager.h"
@@ -54,6 +55,13 @@ struct SystemConfig {
   // kRaceDetected trace events and via kernel().race_sanitizer()->races(). Pure observer:
   // the simulated timeline is bit-identical with it on or off.
   bool race_sanitize = false;
+  // Start the object-table patrol daemon (src/os/patrol.h): a low-priority process that
+  // validates descriptor checksums, level invariants and data-part CRCs, quarantining
+  // corrupt objects. Request sweeps via patrol_request_port(); synchronous sweeps via
+  // patrol().SweepNow(). Off by default — the patrol only earns its cycles when faults are
+  // being injected (or real corruption is suspected).
+  bool start_patrol_daemon = false;
+  uint32_t patrol_units_per_step = 256;
 };
 
 class System {
@@ -69,6 +77,7 @@ class System {
   MemoryManager& memory() { return *memory_; }
   Kernel& kernel() { return *kernel_; }
   GarbageCollector& gc() { return *gc_; }
+  ObjectPatrol& patrol() { return *patrol_; }
   TypeManagerFacility& types() { return *types_; }
   BasicProcessManager& process_manager() { return *process_manager_; }
   UntypedPorts& ports() { return *ports_api_; }
@@ -90,6 +99,10 @@ class System {
   // Where recovered lost processes arrive (null unless configured).
   AccessDescriptor lost_process_port() const { return lost_process_port_; }
   AccessDescriptor gc_request_port() const { return gc_request_port_; }
+  AccessDescriptor patrol_request_port() const { return patrol_request_port_; }
+
+  // Requests one patrol sweep from the daemon (kWrongState unless it was started).
+  Status RequestPatrolSweep();
 
  private:
   // Trampoline handed to SetTraceLogSink: lands kTrace log lines in the machine's trace.
@@ -100,10 +113,12 @@ class System {
   std::unique_ptr<MemoryManager> memory_;
   std::unique_ptr<Kernel> kernel_;
   std::unique_ptr<GarbageCollector> gc_;
+  std::unique_ptr<ObjectPatrol> patrol_;
   std::unique_ptr<TypeManagerFacility> types_;
   std::unique_ptr<BasicProcessManager> process_manager_;
   std::unique_ptr<UntypedPorts> ports_api_;
   AccessDescriptor gc_request_port_;
+  AccessDescriptor patrol_request_port_;
   AccessDescriptor lost_process_port_;
 };
 

@@ -31,6 +31,18 @@ class Bus {
     if (bus_cycles == 0) {
       return earliest;
     }
+    // A transfer starting inside an injected fault window occupies the channel twice over:
+    // a dropped transfer is lost and retransmitted; a duplicated one is sent twice. Either
+    // way the payload arrives (the interconnect protocol is assumed reliable-with-retry),
+    // so the fault is purely a timing/occupancy event — which keeps replay deterministic.
+    if (earliest < fault_window_end_ && earliest >= fault_window_begin_) {
+      bus_cycles *= 2;
+      if (fault_window_drops_) {
+        ++dropped_transfers_;
+      } else {
+        ++duplicated_transfers_;
+      }
+    }
     // Pick the channel that can start soonest.
     size_t best = 0;
     for (size_t i = 1; i < next_free_.size(); ++i) {
@@ -47,6 +59,14 @@ class Bus {
     return done;
   }
 
+  // Arms a fault window over [begin, end): transfers requested inside it are dropped
+  // (`drops` = true) or duplicated. Windows do not stack; the latest call wins.
+  void SetFaultWindow(Cycles begin, Cycles end, bool drops) {
+    fault_window_begin_ = begin;
+    fault_window_end_ = end;
+    fault_window_drops_ = drops;
+  }
+
   int channels() const { return static_cast<int>(next_free_.size()); }
 
   // Total interconnect cycles consumed (across channels).
@@ -54,6 +74,8 @@ class Bus {
   // Total cycles requesters spent waiting for a channel grant.
   Cycles wait_cycles() const { return wait_cycles_; }
   uint64_t transactions() const { return transactions_; }
+  uint64_t dropped_transfers() const { return dropped_transfers_; }
+  uint64_t duplicated_transfers() const { return duplicated_transfers_; }
 
   // Utilization of the interconnect over [0, now]: busy / (channels * now).
   double Utilization(Cycles now) const {
@@ -69,6 +91,11 @@ class Bus {
   Cycles busy_cycles_ = 0;
   Cycles wait_cycles_ = 0;
   uint64_t transactions_ = 0;
+  Cycles fault_window_begin_ = 0;
+  Cycles fault_window_end_ = 0;     // begin == end: no window armed
+  bool fault_window_drops_ = false;
+  uint64_t dropped_transfers_ = 0;
+  uint64_t duplicated_transfers_ = 0;
 };
 
 }  // namespace imax432

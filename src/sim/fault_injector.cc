@@ -1,0 +1,211 @@
+#include "src/sim/fault_injector.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+#include "src/base/log.h"
+#include "src/base/xorshift.h"
+#include "src/exec/kernel.h"
+#include "src/memory/swapping_memory_manager.h"
+
+namespace imax432 {
+
+const char* InjectionKindName(InjectionKind kind) {
+  switch (kind) {
+    case InjectionKind::kProcessorRetire: return "processor-retire";
+    case InjectionKind::kProcessorStall: return "processor-stall";
+    case InjectionKind::kDeviceTransient: return "device-transient";
+    case InjectionKind::kDevicePermanent: return "device-permanent";
+    case InjectionKind::kBitFlip: return "bit-flip";
+    case InjectionKind::kChecksumCorrupt: return "checksum-corrupt";
+    case InjectionKind::kBusDrop: return "bus-drop";
+    case InjectionKind::kBusDuplicate: return "bus-duplicate";
+    case InjectionKind::kKindCount: break;
+  }
+  return "unknown";
+}
+
+std::vector<InjectionEvent> FaultInjector::GenerateSchedule(uint64_t seed, uint32_t count,
+                                                            Cycles horizon) {
+  IMAX_CHECK(horizon > 0);
+  Xorshift rng(seed);
+  std::vector<InjectionEvent> schedule(count);
+  for (InjectionEvent& event : schedule) {
+    event.at = rng.NextBelow(horizon);
+    event.kind = static_cast<InjectionKind>(
+        rng.NextBelow(static_cast<uint64_t>(InjectionKind::kKindCount)));
+    event.target = static_cast<uint32_t>(rng.Next());
+    switch (event.kind) {
+      case InjectionKind::kProcessorRetire:
+        event.arg = 0;
+        break;
+      case InjectionKind::kProcessorStall:
+        event.arg = static_cast<uint32_t>(rng.NextInRange(1'000, 50'000));
+        break;
+      case InjectionKind::kDeviceTransient:
+        // 1..3 consecutive failures: within the swap layer's retry budget, so these always
+        // recover via backoff rather than surfacing kDeviceError.
+        event.arg = static_cast<uint32_t>(rng.NextInRange(1, 3));
+        break;
+      case InjectionKind::kDevicePermanent:
+        // Heal delay. Long enough to exhaust retries on an unlucky transfer (surfacing
+        // kDeviceError to the fault service), short enough that the campaign recovers.
+        event.arg = static_cast<uint32_t>(rng.NextInRange(50'000, 200'000));
+        break;
+      case InjectionKind::kBitFlip:
+      case InjectionKind::kChecksumCorrupt:
+        event.arg = static_cast<uint32_t>(rng.Next());
+        break;
+      case InjectionKind::kBusDrop:
+      case InjectionKind::kBusDuplicate:
+        event.arg = static_cast<uint32_t>(rng.NextInRange(5'000, 50'000));
+        break;
+      case InjectionKind::kKindCount:
+        break;
+    }
+  }
+  // Stable: events drawn earlier fire first on timestamp ties, part of the replay contract.
+  std::stable_sort(schedule.begin(), schedule.end(),
+                   [](const InjectionEvent& a, const InjectionEvent& b) { return a.at < b.at; });
+  return schedule;
+}
+
+void FaultInjector::Arm(const std::vector<InjectionEvent>& schedule) {
+  EventQueue& events = kernel_->machine().events();
+  for (const InjectionEvent& event : schedule) {
+    events.ScheduleAt(std::max(events.now(), event.at), [this, event] { Apply(event); });
+  }
+}
+
+bool FaultInjector::PickProcessor(uint32_t target, bool keep_one_alive, uint16_t* out) const {
+  std::vector<uint16_t> candidates;
+  for (int i = 0; i < kernel_->processor_count(); ++i) {
+    if (!kernel_->processor_retired(i)) {
+      candidates.push_back(static_cast<uint16_t>(i));
+    }
+  }
+  // Never retire the last GDP: a dead system recovers nothing. (Stalls are fine — they end.)
+  if (candidates.empty() || (keep_one_alive && candidates.size() <= 1)) {
+    return false;
+  }
+  *out = candidates[target % candidates.size()];
+  return true;
+}
+
+bool FaultInjector::PickGenericObject(uint32_t target, bool needs_data,
+                                      ObjectIndex* out) const {
+  const ObjectTable& table = kernel_->machine().table();
+  std::vector<ObjectIndex> candidates;
+  for (ObjectIndex index = 0; index < table.capacity(); ++index) {
+    const ObjectDescriptor& descriptor = table.At(index);
+    // Only plain generic objects: corrupting a kernel system object (process, context,
+    // port) would model a fault class the 432's checked-against-the-descriptor microcode
+    // paths don't survive, and quarantine deliberately applies to generic objects only.
+    if (!descriptor.allocated || descriptor.type != SystemType::kGeneric ||
+        descriptor.quarantined) {
+      continue;
+    }
+    if (needs_data && (descriptor.data_length == 0 || descriptor.swapped_out)) {
+      continue;
+    }
+    candidates.push_back(index);
+  }
+  if (candidates.empty()) {
+    return false;
+  }
+  *out = candidates[target % candidates.size()];
+  return true;
+}
+
+bool FaultInjector::Apply(const InjectionEvent& event) {
+  Machine& machine = kernel_->machine();
+  bool applied = false;
+  uint32_t concrete = event.target;  // refined to the chosen target where one is picked
+
+  switch (event.kind) {
+    case InjectionKind::kProcessorRetire: {
+      uint16_t id = 0;
+      if (PickProcessor(event.target, /*keep_one_alive=*/true, &id)) {
+        applied = kernel_->RetireProcessor(id).ok();
+        concrete = id;
+      }
+      break;
+    }
+    case InjectionKind::kProcessorStall: {
+      uint16_t id = 0;
+      if (PickProcessor(event.target, /*keep_one_alive=*/false, &id)) {
+        applied = kernel_->StallProcessor(id, event.arg).ok();
+        concrete = id;
+      }
+      break;
+    }
+    case InjectionKind::kDeviceTransient:
+      if (swap_ != nullptr) {
+        swap_->mutable_backing_store().InjectTransientFailures(event.arg == 0 ? 1 : event.arg);
+        applied = true;
+      }
+      break;
+    case InjectionKind::kDevicePermanent:
+      if (swap_ != nullptr) {
+        swap_->mutable_backing_store().SetPermanentFailure(true);
+        if (event.arg > 0) {
+          SwappingMemoryManager* swap = swap_;
+          machine.events().ScheduleAfter(event.arg, [swap] {
+            swap->mutable_backing_store().SetPermanentFailure(false);
+          });
+        }
+        applied = true;
+      }
+      break;
+    case InjectionKind::kBitFlip: {
+      ObjectIndex index = 0;
+      if (PickGenericObject(event.target, /*needs_data=*/true, &index)) {
+        const ObjectDescriptor& descriptor = machine.table().At(index);
+        uint32_t offset = (event.arg / 8) % descriptor.data_length;
+        uint8_t byte = 0;
+        IMAX_CHECK(machine.memory().ReadBlock(descriptor.data_base + offset, &byte, 1).ok());
+        byte ^= static_cast<uint8_t>(1u << (event.arg % 8));
+        IMAX_CHECK(machine.memory().WriteBlock(descriptor.data_base + offset, &byte, 1).ok());
+        // No data_epoch bump: this is silent corruption behind the addressing unit's back,
+        // exactly the case the patrol's shadow CRC exists to catch.
+        concrete = index;
+        applied = true;
+      }
+      break;
+    }
+    case InjectionKind::kChecksumCorrupt: {
+      ObjectIndex index = 0;
+      if (PickGenericObject(event.target, /*needs_data=*/false, &index)) {
+        machine.table().At(index).checksum ^= (event.arg | 1u);
+        concrete = index;
+        applied = true;
+      }
+      break;
+    }
+    case InjectionKind::kBusDrop:
+    case InjectionKind::kBusDuplicate: {
+      Cycles window = event.arg == 0 ? 1 : event.arg;
+      machine.bus().SetFaultWindow(machine.now(), machine.now() + window,
+                                   event.kind == InjectionKind::kBusDrop);
+      applied = true;
+      break;
+    }
+    case InjectionKind::kKindCount:
+      break;
+  }
+
+  if (applied) {
+    ++stats_.fired;
+    ++stats_.per_kind[static_cast<size_t>(event.kind)];
+    machine.trace().Emit(TraceEventKind::kInjection, machine.now(), kTraceNoProcessor,
+                         kTraceNoProcess, static_cast<uint32_t>(event.kind), concrete,
+                         event.arg);
+    IMAX_LOG_DEBUG("injector: %s target=%u arg=%u", InjectionKindName(event.kind), concrete,
+                   event.arg);
+  } else {
+    ++stats_.skipped;
+  }
+  return applied;
+}
+
+}  // namespace imax432

@@ -1,0 +1,92 @@
+// FaultInjector: deterministic, replayable hardware-fault campaigns.
+//
+// iMAX's reliability story rests on recovery mechanisms (processor retirement, transfer
+// retry, patrol scan) that only fire when hardware misbehaves — which the simulator's
+// hardware never does on its own. The injector supplies the misbehaviour: a schedule of
+// injection events, each pinned to a virtual-cycle timestamp, drawn from a seeded xorshift
+// stream. Two runs with the same {seed, schedule} inject the same faults at the same
+// instants against the same targets, so a whole campaign — faults, recoveries, final
+// metrics — replays bit-identically. Target selection is deferred to fire time (the
+// schedule stores an abstract selector, Apply maps it onto the then-live candidate set by
+// index order), so a schedule generated before boot still lands on real objects.
+
+#ifndef IMAX432_SRC_SIM_FAULT_INJECTOR_H_
+#define IMAX432_SRC_SIM_FAULT_INJECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/arch/types.h"
+
+namespace imax432 {
+
+class Kernel;
+class SwappingMemoryManager;
+
+enum class InjectionKind : uint8_t {
+  kProcessorRetire = 0,  // halt a GDP permanently; kernel retires it
+  kProcessorStall,       // freeze a GDP for `arg` cycles (thermal throttle / bus hang)
+  kDeviceTransient,      // next `arg` backing-store transfers fail (retry recovers)
+  kDevicePermanent,      // backing store down until healed after `arg` cycles
+  kBitFlip,              // flip one bit in a generic object's data part (silent bit rot)
+  kChecksumCorrupt,      // corrupt a descriptor's identity checksum (patrol catches it)
+  kBusDrop,              // transfers in a `arg`-cycle window are lost and retransmitted
+  kBusDuplicate,         // transfers in a `arg`-cycle window are sent twice
+  kKindCount,
+};
+
+const char* InjectionKindName(InjectionKind kind);
+
+struct InjectionEvent {
+  Cycles at = 0;        // virtual time the injection fires
+  InjectionKind kind = InjectionKind::kProcessorRetire;
+  uint32_t target = 0;  // abstract selector, mapped onto live candidates at fire time
+  uint32_t arg = 0;     // kind-specific magnitude (see InjectionKind comments)
+};
+
+struct InjectorStats {
+  uint64_t fired = 0;    // events whose fault was actually applied
+  uint64_t skipped = 0;  // events with no eligible target at fire time
+  uint64_t per_kind[static_cast<size_t>(InjectionKind::kKindCount)] = {};
+};
+
+class FaultInjector {
+ public:
+  // `swap` may be null; device injections are then recorded as skipped. The kernel (and
+  // through it the machine) must outlive the injector.
+  FaultInjector(Kernel* kernel, SwappingMemoryManager* swap)
+      : kernel_(kernel), swap_(swap) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Draws `count` events uniformly over [0, horizon) from a seeded stream and returns them
+  // sorted by fire time. Pure function of (seed, count, horizon) — the replay contract.
+  static std::vector<InjectionEvent> GenerateSchedule(uint64_t seed, uint32_t count,
+                                                      Cycles horizon);
+
+  // Schedules Apply() for every event on the machine's event queue. Events already in the
+  // past fire at now(). Call once; campaigns append by calling Arm with a fresh schedule.
+  void Arm(const std::vector<InjectionEvent>& schedule);
+
+  // Fires one event immediately (tests drive this directly). Returns true if the fault was
+  // applied, false if no eligible target existed.
+  bool Apply(const InjectionEvent& event);
+
+  const InjectorStats& stats() const { return stats_; }
+
+ private:
+  // Picks the target % size element of the candidate set, built in deterministic index
+  // order. Returns false if the set is empty.
+  bool PickProcessor(uint32_t target, bool keep_one_alive, uint16_t* out) const;
+  bool PickGenericObject(uint32_t target, bool needs_data, ObjectIndex* out) const;
+
+  Kernel* kernel_;
+  SwappingMemoryManager* swap_;
+  InjectorStats stats_;
+};
+
+}  // namespace imax432
+
+#endif  // IMAX432_SRC_SIM_FAULT_INJECTOR_H_

@@ -1,0 +1,121 @@
+// Processor retirement and stall: the recovery half of the injector's processor faults.
+// A retired GDP's in-flight process is rescued and re-queued at its dispatching port; a
+// parked GDP is pulled out of the idle-receiver queue so MakeReady never hands work to a
+// dead processor; stalls delay execution without losing anything.
+
+#include <gtest/gtest.h>
+
+#include "src/exec/kernel.h"
+#include "src/memory/basic_memory_manager.h"
+#include "src/sim/machine.h"
+
+namespace imax432 {
+namespace {
+
+class RetirementTest : public ::testing::Test {
+ protected:
+  RetirementTest() : machine_(MakeConfig()), memory_(&machine_), kernel_(&machine_, &memory_) {
+    EXPECT_TRUE(kernel_.AddProcessors(2).ok());
+  }
+
+  static MachineConfig MakeConfig() {
+    MachineConfig config;
+    config.memory_bytes = 512 * 1024;
+    config.object_table_capacity = 2048;
+    return config;
+  }
+
+  // A worker burning `slices` x 2000 compute cycles: long enough that a mid-run retirement
+  // always catches some process in flight.
+  AccessDescriptor SpawnWorker(uint64_t slices) {
+    Assembler a("worker");
+    auto loop = a.NewLabel();
+    a.LoadImm(0, 0)
+        .LoadImm(1, slices)
+        .Bind(loop)
+        .Compute(2000)
+        .AddImm(0, 0, 1)
+        .BranchIfLess(0, 1, loop)
+        .Halt();
+    auto process = kernel_.CreateProcess(a.Build(), ProcessOptions{});
+    EXPECT_TRUE(process.ok());
+    fleet_.push_back(process.value());
+    EXPECT_TRUE(kernel_.StartProcess(process.value()).ok());
+    return process.value();
+  }
+
+  void RootFleet() {
+    kernel_.AddRootProvider([this](std::vector<AccessDescriptor>* roots) {
+      for (const AccessDescriptor& ad : fleet_) {
+        roots->push_back(ad);
+      }
+    });
+  }
+
+  Machine machine_;
+  BasicMemoryManager memory_;
+  Kernel kernel_;
+  std::vector<AccessDescriptor> fleet_;
+};
+
+TEST_F(RetirementTest, InFlightProcessIsRequeuedAndFinishes) {
+  RootFleet();
+  for (int i = 0; i < 3; ++i) {
+    SpawnWorker(100);  // ~200k cycles each
+  }
+  machine_.events().ScheduleAt(50'000,
+                               [this] { ASSERT_TRUE(kernel_.RetireProcessor(0).ok()); });
+  kernel_.Run();
+
+  EXPECT_TRUE(kernel_.processor_retired(0));
+  EXPECT_EQ(kernel_.active_processor_count(), 1);
+  EXPECT_EQ(kernel_.stats().processors_retired, 1u);
+  // The process the dead GDP was running came back and every worker still completed.
+  EXPECT_GE(kernel_.stats().retirement_requeues, 1u);
+  for (const AccessDescriptor& process : fleet_) {
+    EXPECT_EQ(kernel_.process_view(process).state(), ProcessState::kTerminated);
+  }
+  EXPECT_EQ(kernel_.stats().panics, 0u);
+}
+
+TEST_F(RetirementTest, ParkedProcessorIsRemovedFromTheReceiverQueue) {
+  kernel_.Run();  // both GDPs park at the dispatching port as idle receivers
+  ASSERT_TRUE(kernel_.RetireProcessor(0).ok());
+  EXPECT_EQ(kernel_.stats().retirement_requeues, 0u);  // nothing was in flight
+
+  // Work submitted after the retirement must land on the survivor, not the corpse.
+  RootFleet();
+  AccessDescriptor worker = SpawnWorker(10);
+  kernel_.Run();
+  EXPECT_EQ(kernel_.process_view(worker).state(), ProcessState::kTerminated);
+}
+
+TEST_F(RetirementTest, DoubleRetireIsWrongState) {
+  ASSERT_TRUE(kernel_.RetireProcessor(1).ok());
+  EXPECT_EQ(kernel_.RetireProcessor(1).fault(), Fault::kWrongState);
+  EXPECT_EQ(kernel_.RetireProcessor(99).fault(), Fault::kNotFound);
+  EXPECT_EQ(kernel_.stats().processors_retired, 1u);
+}
+
+TEST_F(RetirementTest, StallOnRetiredProcessorIsWrongState) {
+  ASSERT_TRUE(kernel_.RetireProcessor(0).ok());
+  EXPECT_EQ(kernel_.StallProcessor(0, 1000).fault(), Fault::kWrongState);
+  EXPECT_EQ(kernel_.StallProcessor(99, 1000).fault(), Fault::kNotFound);
+}
+
+TEST_F(RetirementTest, StallDelaysExecutionWithoutLosingWork) {
+  kernel_.Run();  // park
+  RootFleet();
+  AccessDescriptor worker = SpawnWorker(2);  // finishes in well under 30k cycles unstalled
+  constexpr Cycles kStall = 30'000;
+  ASSERT_TRUE(kernel_.StallProcessor(0, kStall).ok());
+  ASSERT_TRUE(kernel_.StallProcessor(1, kStall).ok());
+  kernel_.Run();
+  // With every GDP frozen, completion cannot beat the stall deadline — but it does complete.
+  EXPECT_GE(machine_.now(), kStall);
+  EXPECT_EQ(kernel_.process_view(worker).state(), ProcessState::kTerminated);
+  EXPECT_EQ(kernel_.stats().processors_stalled, 2u);
+}
+
+}  // namespace
+}  // namespace imax432

@@ -1,0 +1,168 @@
+// Backing-store failure injection and the swap layer's retry-with-backoff recovery:
+// transient failures are absorbed within the retry budget, permanent ones surface
+// kDeviceError after it, and the backoff cycles are charged to the process that eventually
+// takes the transfer.
+
+#include <gtest/gtest.h>
+
+#include "src/memory/swapping_memory_manager.h"
+#include "src/sim/machine.h"
+
+namespace imax432 {
+namespace {
+
+class DeviceRetryTest : public ::testing::Test {
+ protected:
+  DeviceRetryTest() : machine_(MakeConfig()), manager_(&machine_) {}
+
+  static MachineConfig MakeConfig() {
+    MachineConfig config;
+    config.memory_bytes = 32 * 1024;  // small so eviction triggers quickly
+    config.object_table_capacity = 512;
+    return config;
+  }
+
+  AccessDescriptor MustCreate(uint32_t bytes) {
+    auto ad = manager_.CreateObject(manager_.global_heap(), SystemType::kGeneric, bytes, 0,
+                                    rights::kRead | rights::kWrite | rights::kDelete);
+    EXPECT_TRUE(ad.ok()) << FaultName(ad.fault());
+    return ad.ok() ? ad.value() : AccessDescriptor();
+  }
+
+  Machine machine_;
+  SwappingMemoryManager manager_;
+};
+
+TEST_F(DeviceRetryTest, TransientFailuresAreAbsorbedByRetries) {
+  manager_.mutable_backing_store().InjectTransientFailures(2);
+  // 6 x 8 KB through 32 KB of memory: eviction must run, and its first store-outs hit the
+  // injected failures. Allocation still succeeds — the retries absorb the fault.
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_FALSE(MustCreate(8 * 1024).is_null());
+  }
+  EXPECT_GT(manager_.stats().swap_outs, 0u);
+  EXPECT_GE(manager_.stats().device_retries, 2u);
+  EXPECT_EQ(manager_.stats().device_errors, 0u);
+  EXPECT_EQ(manager_.backing_store().failed_transfers(), 2u);
+}
+
+TEST_F(DeviceRetryTest, PermanentFailureExhaustsBudgetAndSurfacesDeviceError) {
+  // Fill memory with swappable objects, then kill the device: the next allocation needs an
+  // eviction, every transfer attempt fails, and after the retry budget the caller sees
+  // kDeviceError — distinct from plain kStorageExhausted.
+  std::vector<AccessDescriptor> held;
+  for (int i = 0; i < 3; ++i) {
+    held.push_back(MustCreate(8 * 1024));
+  }
+  manager_.mutable_backing_store().SetPermanentFailure(true);
+  auto blocked = manager_.CreateObject(manager_.global_heap(), SystemType::kGeneric, 16 * 1024,
+                                       0, rights::kRead);
+  ASSERT_FALSE(blocked.ok());
+  EXPECT_EQ(blocked.fault(), Fault::kDeviceError);
+  EXPECT_GE(manager_.stats().device_retries, SwappingMemoryManager::kMaxDeviceRetries);
+  EXPECT_GE(manager_.stats().device_errors, 1u);
+
+  // The injector's heal event flips the device back; the same allocation now succeeds.
+  manager_.mutable_backing_store().SetPermanentFailure(false);
+  EXPECT_TRUE(manager_
+                  .CreateObject(manager_.global_heap(), SystemType::kGeneric, 16 * 1024, 0,
+                                rights::kRead)
+                  .ok());
+}
+
+TEST_F(DeviceRetryTest, RetryBackoffIsChargedToTheFaultingTransfer) {
+  std::vector<AccessDescriptor> held;
+  for (int i = 0; i < 16; ++i) {
+    held.push_back(MustCreate(8 * 1024));
+  }
+  ASSERT_GT(manager_.stats().swap_outs, 0u);
+  ObjectIndex swapped = 0;
+  bool found_swapped = false;
+  // Free enough resident space that EnsureResident will not need to evict (an eviction's
+  // store-out would consume the injected failure instead of the fetch under test).
+  int destroyed = 0;
+  for (const AccessDescriptor& ad : held) {
+    const ObjectDescriptor& descriptor = machine_.table().At(ad.index());
+    if (descriptor.swapped_out) {
+      if (!found_swapped) {
+        swapped = ad.index();
+        found_swapped = true;
+      }
+    } else if (destroyed < 2) {
+      ASSERT_TRUE(manager_.DestroyObject(ad).ok());
+      ++destroyed;
+    }
+  }
+  ASSERT_TRUE(found_swapped);
+  ASSERT_EQ(destroyed, 2);
+
+  const uint32_t length = machine_.table().At(swapped).data_length;
+  manager_.mutable_backing_store().InjectTransientFailures(1);
+  auto cost = manager_.EnsureResident(swapped);
+  ASSERT_TRUE(cost.ok());
+  // One failed attempt: the first backoff step (kAccessLatencyCycles << 0) rides on top of
+  // the ordinary transfer cost.
+  EXPECT_GE(cost.value(),
+            BackingStore::TransferCost(length) + BackingStore::kAccessLatencyCycles);
+  EXPECT_GE(manager_.stats().device_retries, 1u);
+  EXPECT_EQ(manager_.stats().device_errors, 0u);
+  EXPECT_FALSE(machine_.table().At(swapped).swapped_out);
+}
+
+TEST_F(DeviceRetryTest, PeakUsedTracksTheHighWaterMark) {
+  std::vector<AccessDescriptor> held;
+  for (int i = 0; i < 16; ++i) {
+    held.push_back(MustCreate(8 * 1024));
+  }
+  uint32_t peak = manager_.backing_store().peak_used();
+  uint32_t used = manager_.backing_store().used();
+  ASSERT_GT(peak, 0u);
+  EXPECT_GE(peak, used);
+  // Bring one object back. Re-residence may itself evict (a store-out lands before the
+  // fetch frees its slot), so the mark may climb — but it never falls below used.
+  for (const AccessDescriptor& ad : held) {
+    if (machine_.table().At(ad.index()).swapped_out) {
+      ASSERT_TRUE(manager_.EnsureResident(ad.index()).ok());
+      break;
+    }
+  }
+  EXPECT_GE(manager_.backing_store().peak_used(), peak);
+  EXPECT_GE(manager_.backing_store().peak_used(), manager_.backing_store().used());
+  EXPECT_EQ(manager_.stats().backing_peak_used, manager_.backing_store().peak_used());
+}
+
+TEST(BackingStoreFaultTest, TransientFailuresDecrementPerTransfer) {
+  BackingStore store(8);
+  store.InjectTransientFailures(2);
+  EXPECT_EQ(store.StoreOut({1}).fault(), Fault::kDeviceError);
+  EXPECT_EQ(store.StoreOut({1}).fault(), Fault::kDeviceError);
+  EXPECT_TRUE(store.StoreOut({1}).ok());  // injected count exhausted: device healthy again
+  EXPECT_EQ(store.failed_transfers(), 2u);
+}
+
+TEST(BackingStoreFaultTest, PermanentFailureBlocksTransfersButNotDiscard) {
+  BackingStore store(8);
+  auto slot = store.StoreOut({7, 7});
+  ASSERT_TRUE(slot.ok());
+  store.SetPermanentFailure(true);
+  EXPECT_EQ(store.StoreOut({1}).fault(), Fault::kDeviceError);
+  EXPECT_EQ(store.FetchIn(slot.value()).fault(), Fault::kDeviceError);
+  // Discard is bookkeeping, not a media transfer: reclamation cannot fail.
+  EXPECT_TRUE(store.Discard(slot.value()).ok());
+  store.SetPermanentFailure(false);
+  EXPECT_TRUE(store.StoreOut({2}).ok());
+}
+
+TEST(BackingStoreFaultTest, FreeListHandsOutAscendingThenReusesFreedSlots) {
+  BackingStore store(4);
+  EXPECT_EQ(store.StoreOut({0}).value(), 0u);
+  EXPECT_EQ(store.StoreOut({1}).value(), 1u);
+  EXPECT_EQ(store.StoreOut({2}).value(), 2u);
+  ASSERT_TRUE(store.FetchIn(1).ok());
+  // The freed slot is recycled before untouched capacity (LIFO free list).
+  EXPECT_EQ(store.StoreOut({3}).value(), 1u);
+  EXPECT_EQ(store.peak_used(), 3u);
+}
+
+}  // namespace
+}  // namespace imax432

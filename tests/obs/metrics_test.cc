@@ -36,7 +36,7 @@ TEST(MetricsRegistryTest, SystemRegistryCollectsEveryGroup) {
     groups.push_back(group);
     EXPECT_FALSE(counters.empty()) << group;
   }
-  EXPECT_EQ(groups, (std::vector<std::string>{"kernel", "ports", "gc", "memory",
+  EXPECT_EQ(groups, (std::vector<std::string>{"kernel", "ports", "gc", "memory", "patrol",
                                               "process_manager", "machine"}));
 }
 

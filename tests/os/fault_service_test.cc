@@ -159,6 +159,96 @@ TEST_F(FaultServiceTest, EscalationForwardsTheProcessObject) {
   EXPECT_EQ(kernel_.process_view(process.value()).fault_code(), Fault::kRightsViolation);
 }
 
+TEST_F(FaultServiceTest, DeliverWithoutEscalationPortTerminates) {
+  // kDeliver is only as good as the smarter handler behind it: spawned with no escalation
+  // port, the service falls back to termination instead of leaving the process in limbo.
+  FaultPolicy policy;
+  policy.actions[Fault::kNullAccess] = FaultAction::kDeliver;
+  FaultService service(&kernel_, policy);
+  auto fault_port = service.Spawn();  // no escalation port
+  ASSERT_TRUE(fault_port.ok());
+  kernel_.Run();
+
+  Assembler a("undeliverable");
+  a.LoadData(0, 1, 0, 8).Halt();
+  ProcessOptions options;
+  options.fault_port = fault_port.value();
+  auto process = kernel_.CreateProcess(a.Build(), options);
+  ASSERT_TRUE(process.ok());
+  kernel_.AddRootProvider([ad = process.value()](std::vector<AccessDescriptor>* roots) {
+    roots->push_back(ad);
+  });
+  ASSERT_TRUE(kernel_.StartProcess(process.value()).ok());
+  kernel_.Run();
+
+  EXPECT_EQ(service.stats().escalated, 0u);
+  EXPECT_EQ(service.stats().terminated, 1u);
+  EXPECT_EQ(kernel_.process_view(process.value()).state(), ProcessState::kTerminated);
+}
+
+TEST_F(FaultServiceTest, PerFaultCodeBudgetOverridesTheGlobalBudget) {
+  // The global budget is 1 but kNullAccess carries an override of 4: the mid-retry-loop
+  // exhaustion must trip at the override, not the default.
+  FaultPolicy policy;
+  policy.actions[Fault::kNullAccess] = FaultAction::kRetry;
+  policy.retry_budget = 1;
+  policy.retry_budgets[Fault::kNullAccess] = 4;
+  FaultService service(&kernel_, policy);
+  auto fault_port = service.Spawn();
+  ASSERT_TRUE(fault_port.ok());
+  kernel_.Run();
+
+  Assembler a("loop-fault");
+  a.LoadData(0, 1, 0, 8).Halt();  // a1 stays null: faults on every retry
+  ProcessOptions options;
+  options.fault_port = fault_port.value();
+  auto process = kernel_.CreateProcess(a.Build(), options);
+  ASSERT_TRUE(process.ok());
+  kernel_.AddRootProvider([ad = process.value()](std::vector<AccessDescriptor>* roots) {
+    roots->push_back(ad);
+  });
+  ASSERT_TRUE(kernel_.StartProcess(process.value()).ok());
+  kernel_.Run();
+
+  EXPECT_EQ(service.stats().retried, 4u);
+  EXPECT_EQ(service.stats().budget_exhausted, 1u);
+  EXPECT_EQ(service.stats().terminated, 1u);
+  EXPECT_EQ(kernel_.process_view(process.value()).state(), ProcessState::kTerminated);
+}
+
+TEST_F(FaultServiceTest, QuarantinedFaultBudgetIsForcedToZero) {
+  // Even a policy that asks for generous retries on kObjectQuarantined gets none: retrying
+  // an access to a corrupt object can never succeed, so the service refuses the first one.
+  FaultPolicy policy;
+  policy.actions[Fault::kObjectQuarantined] = FaultAction::kRetry;
+  policy.retry_budgets[Fault::kObjectQuarantined] = 5;
+  FaultService service(&kernel_, policy);
+  auto fault_port = service.Spawn();
+  ASSERT_TRUE(fault_port.ok());
+  kernel_.Run();
+
+  auto object = memory_.CreateObject(memory_.global_heap(), SystemType::kGeneric, 16, 0,
+                                     rights::kRead | rights::kWrite);
+  ASSERT_TRUE(object.ok());
+  machine_.table().At(object.value().index()).quarantined = true;
+
+  Assembler a("touch-quarantined");
+  a.MoveAd(1, kArgAdReg).LoadData(0, 1, 0, 8).Halt();
+  ProcessOptions options;
+  options.fault_port = fault_port.value();
+  options.initial_arg = object.value();
+  auto process = kernel_.CreateProcess(a.Build(), options);
+  ASSERT_TRUE(process.ok());
+  ASSERT_TRUE(kernel_.StartProcess(process.value()).ok());
+  kernel_.Run();
+
+  EXPECT_EQ(service.stats().retried, 0u);
+  EXPECT_EQ(service.stats().budget_exhausted, 1u);
+  EXPECT_EQ(service.stats().terminated, 1u);
+  EXPECT_EQ(kernel_.process_view(process.value()).fault_code(), Fault::kObjectQuarantined);
+  EXPECT_EQ(kernel_.process_view(process.value()).state(), ProcessState::kTerminated);
+}
+
 TEST_F(FaultServiceTest, MixedFleetUnderOnePolicy) {
   FaultPolicy policy;
   policy.actions[Fault::kNullAccess] = FaultAction::kRetry;

@@ -1,0 +1,200 @@
+#include "src/sim/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include "src/exec/kernel.h"
+#include "src/memory/basic_memory_manager.h"
+#include "src/memory/swapping_memory_manager.h"
+#include "src/sim/machine.h"
+
+namespace imax432 {
+namespace {
+
+TEST(GenerateScheduleTest, PureFunctionOfSeedCountHorizon) {
+  auto a = FaultInjector::GenerateSchedule(432, 64, 1'000'000);
+  auto b = FaultInjector::GenerateSchedule(432, 64, 1'000'000);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].at, b[i].at);
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].target, b[i].target);
+    EXPECT_EQ(a[i].arg, b[i].arg);
+  }
+}
+
+TEST(GenerateScheduleTest, DifferentSeedsDiverge) {
+  auto a = FaultInjector::GenerateSchedule(1, 32, 1'000'000);
+  auto b = FaultInjector::GenerateSchedule(2, 32, 1'000'000);
+  bool any_difference = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].at != b[i].at || a[i].target != b[i].target) {
+      any_difference = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(GenerateScheduleTest, SortedAndWithinBounds) {
+  auto schedule = FaultInjector::GenerateSchedule(7, 128, 500'000);
+  ASSERT_EQ(schedule.size(), 128u);
+  Cycles previous = 0;
+  for (const InjectionEvent& event : schedule) {
+    EXPECT_GE(event.at, previous);
+    EXPECT_LT(event.at, 500'000u);
+    EXPECT_LT(static_cast<unsigned>(event.kind),
+              static_cast<unsigned>(InjectionKind::kKindCount));
+    if (event.kind == InjectionKind::kDeviceTransient) {
+      // Transient bursts must fit the swap layer's retry budget so they always recover.
+      EXPECT_GE(event.arg, 1u);
+      EXPECT_LE(event.arg, SwappingMemoryManager::kMaxDeviceRetries);
+    }
+    previous = event.at;
+  }
+}
+
+TEST(InjectionKindNameTest, EveryKindHasAName) {
+  for (unsigned k = 0; k < static_cast<unsigned>(InjectionKind::kKindCount); ++k) {
+    EXPECT_STRNE(InjectionKindName(static_cast<InjectionKind>(k)), "unknown");
+  }
+}
+
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  FaultInjectorTest()
+      : machine_(MakeConfig()),
+        memory_(&machine_),
+        kernel_(&machine_, &memory_),
+        injector_(&kernel_, /*swap=*/nullptr) {
+    EXPECT_TRUE(kernel_.AddProcessors(2).ok());
+  }
+
+  static MachineConfig MakeConfig() {
+    MachineConfig config;
+    config.memory_bytes = 256 * 1024;
+    config.object_table_capacity = 1024;
+    return config;
+  }
+
+  // Position of `wanted` in the injector's candidate ordering (allocated, generic, not
+  // quarantined, index order), so a test can aim an event at a specific object.
+  uint32_t CandidatePosition(ObjectIndex wanted, bool needs_data) {
+    uint32_t position = 0;
+    for (ObjectIndex i = 0; i < machine_.table().capacity(); ++i) {
+      const ObjectDescriptor& d = machine_.table().At(i);
+      if (!d.allocated || d.type != SystemType::kGeneric || d.quarantined) continue;
+      if (needs_data && (d.data_length == 0 || d.swapped_out)) continue;
+      if (i == wanted) return position;
+      ++position;
+    }
+    ADD_FAILURE() << "object " << wanted << " is not an injection candidate";
+    return 0;
+  }
+
+  Machine machine_;
+  BasicMemoryManager memory_;
+  Kernel kernel_;
+  FaultInjector injector_;
+};
+
+TEST_F(FaultInjectorTest, RetirementKeepsTheLastProcessorAlive) {
+  InjectionEvent retire;
+  retire.kind = InjectionKind::kProcessorRetire;
+  retire.target = 5;  // 5 % 2 live candidates = processor 1
+  EXPECT_TRUE(injector_.Apply(retire));
+  EXPECT_EQ(kernel_.stats().processors_retired, 1u);
+  EXPECT_EQ(kernel_.active_processor_count(), 1);
+
+  // One GDP left: the injector refuses to kill it — a dead system recovers nothing.
+  EXPECT_FALSE(injector_.Apply(retire));
+  EXPECT_EQ(kernel_.active_processor_count(), 1);
+  EXPECT_EQ(injector_.stats().fired, 1u);
+  EXPECT_EQ(injector_.stats().skipped, 1u);
+}
+
+TEST_F(FaultInjectorTest, StallMayTargetTheLastProcessor) {
+  InjectionEvent retire;
+  retire.kind = InjectionKind::kProcessorRetire;
+  ASSERT_TRUE(injector_.Apply(retire));
+
+  InjectionEvent stall;
+  stall.kind = InjectionKind::kProcessorStall;
+  stall.arg = 10'000;
+  EXPECT_TRUE(injector_.Apply(stall));  // stalls end, so the survivor is fair game
+  EXPECT_EQ(kernel_.stats().processors_stalled, 1u);
+}
+
+TEST_F(FaultInjectorTest, DeviceInjectionsSkippedWithoutSwapManager) {
+  InjectionEvent transient;
+  transient.kind = InjectionKind::kDeviceTransient;
+  transient.arg = 2;
+  EXPECT_FALSE(injector_.Apply(transient));
+  InjectionEvent permanent;
+  permanent.kind = InjectionKind::kDevicePermanent;
+  permanent.arg = 1000;
+  EXPECT_FALSE(injector_.Apply(permanent));
+  EXPECT_EQ(injector_.stats().skipped, 2u);
+  EXPECT_EQ(injector_.stats().fired, 0u);
+}
+
+TEST_F(FaultInjectorTest, BitFlipIsSilentCorruption) {
+  auto ad = memory_.CreateObject(memory_.global_heap(), SystemType::kGeneric, 64, 0,
+                                 rights::kRead | rights::kWrite);
+  ASSERT_TRUE(ad.ok());
+  const uint64_t value = 0x1122334455667788ull;
+  ASSERT_TRUE(machine_.addressing().WriteData(ad.value(), 0, 8, value).ok());
+  const uint32_t epoch_before = machine_.table().At(ad.value().index()).data_epoch;
+
+  InjectionEvent flip;
+  flip.kind = InjectionKind::kBitFlip;
+  flip.target = CandidatePosition(ad.value().index(), /*needs_data=*/true);
+  flip.arg = 16;  // offset (16/8) % 64 = byte 2, bit 0
+  ASSERT_TRUE(injector_.Apply(flip));
+
+  auto read = machine_.addressing().ReadData(ad.value(), 0, 8);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), value ^ (1ull << 16));
+  // The epoch did not advance: the write went behind the addressing unit's back, which is
+  // exactly the signature the patrol's shadow CRC is built to catch.
+  EXPECT_EQ(machine_.table().At(ad.value().index()).data_epoch, epoch_before);
+}
+
+TEST_F(FaultInjectorTest, ChecksumCorruptionBreaksTheSeal) {
+  auto ad = memory_.CreateObject(memory_.global_heap(), SystemType::kGeneric, 32, 0,
+                                 rights::kRead);
+  ASSERT_TRUE(ad.ok());
+  const ObjectDescriptor& descriptor = machine_.table().At(ad.value().index());
+  ASSERT_EQ(ObjectTable::DescriptorChecksum(descriptor), descriptor.checksum);
+
+  InjectionEvent corrupt;
+  corrupt.kind = InjectionKind::kChecksumCorrupt;
+  corrupt.target = CandidatePosition(ad.value().index(), /*needs_data=*/false);
+  corrupt.arg = 0;  // forced odd: even args must still flip at least one bit
+  ASSERT_TRUE(injector_.Apply(corrupt));
+  EXPECT_NE(ObjectTable::DescriptorChecksum(descriptor), descriptor.checksum);
+}
+
+TEST_F(FaultInjectorTest, BusWindowDoublesTransferCostAndCounts) {
+  InjectionEvent drop;
+  drop.kind = InjectionKind::kBusDrop;
+  drop.arg = 20'000;
+  ASSERT_TRUE(injector_.Apply(drop));
+  // A transfer inside the window pays for the lost copy and the retransmission.
+  Cycles inside = machine_.bus().Acquire(machine_.now(), 1000);
+  Cycles clean_start = machine_.now() + 30'000;
+  Cycles outside = machine_.bus().Acquire(clean_start, 1000) - clean_start;
+  EXPECT_GE(inside, 2000u);
+  EXPECT_LT(outside, 2000u);
+  EXPECT_EQ(machine_.bus().dropped_transfers(), 1u);
+  EXPECT_EQ(machine_.bus().duplicated_transfers(), 0u);
+}
+
+TEST_F(FaultInjectorTest, ArmFiresEventsAtTheirTimestamps) {
+  auto schedule = FaultInjector::GenerateSchedule(11, 6, 50'000);
+  injector_.Arm(schedule);
+  machine_.events().RunUntilIdle();
+  EXPECT_EQ(injector_.stats().fired + injector_.stats().skipped, schedule.size());
+}
+
+}  // namespace
+}  // namespace imax432

@@ -9,6 +9,15 @@
 // --overhead runs the selected workload twice — tracing enabled and disabled — and reports
 // the host wall-clock cost of instrumentation. The two runs must reach the same virtual
 // time; tracing is an observer, never a participant.
+//
+// --inject N switches to fault-injection campaign mode: a seeded schedule of N hardware
+// faults (processor retirement/stalls, backing-store failures, bit flips, descriptor
+// corruption, bus fault windows) is armed against a swapping-memory worker fleet with the
+// patrol daemon and the fault service's recovery policy active. The run must end with zero
+// kernel panics — every injected fault either recovers or is terminated by policy — and
+// --inject-report writes a JSON recovery report. --inject-verify runs the campaign twice
+// and fails unless both runs are bit-identical (same virtual end time, same trace
+// fingerprint): the replay contract.
 
 #include <algorithm>
 #include <chrono>
@@ -20,7 +29,9 @@
 
 #include "src/obs/metrics.h"
 #include "src/obs/perfetto.h"
+#include "src/os/fault_service.h"
 #include "src/os/system.h"
+#include "src/sim/fault_injector.h"
 
 using namespace imax432;
 
@@ -35,13 +46,20 @@ struct Options {
   uint32_t trace_capacity = TraceRecorder::kDefaultCapacity;
   bool overhead = false;
   bool race_sanitize = false;
+  uint32_t inject_count = 0;  // > 0 selects campaign mode
+  uint64_t seed = 432;
+  Cycles inject_horizon = 2'000'000;
+  std::string inject_report;
+  bool inject_verify = false;
 };
 
 void Usage() {
   std::fprintf(stderr,
                "usage: imax_trace [--workload quickstart|pipeline|churn] [--processors N]\n"
                "                  [--cycles N] [--trace-capacity N] [--out FILE]\n"
-               "                  [--metrics FILE] [--overhead] [--race-sanitize]\n");
+               "                  [--metrics FILE] [--overhead] [--race-sanitize]\n"
+               "                  [--inject N] [--seed S] [--inject-horizon CYCLES]\n"
+               "                  [--inject-report FILE] [--inject-verify]\n");
 }
 
 // quickstart: the README workload — a producer/consumer pair over a bounded port, a domain
@@ -278,6 +296,338 @@ bool WriteFile(const std::string& path, const std::string& contents) {
   return true;
 }
 
+// --- Fault-injection campaign mode ---
+
+struct CampaignResult {
+  std::unique_ptr<System> system;
+  std::vector<InjectionEvent> schedule;
+  InjectorStats injector;
+  FaultServiceStats fault_service;
+  uint64_t fingerprint = 0;
+};
+
+// FNV-1a over every recorded trace event. Two campaigns with the same {seed, schedule}
+// must produce the same fingerprint — the bit-identical-replay check.
+uint64_t FingerprintTrace(const TraceRecorder& trace) {
+  uint64_t hash = 1469598103934665603ull;
+  auto mix = [&hash](uint64_t word) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      hash ^= (word >> shift) & 0xFFull;
+      hash *= 1099511628211ull;
+    }
+  };
+  for (const TraceEvent& event : trace.Snapshot()) {
+    mix(event.ts);
+    mix(event.process);
+    mix((static_cast<uint64_t>(event.a) << 32) | event.b);
+    mix((static_cast<uint64_t>(event.c) << 16) | event.cpu);
+    mix(static_cast<uint64_t>(event.kind));
+  }
+  return hash;
+}
+
+// The campaign workload: a fleet of workers over the swapping memory manager, each churning
+// allocations through a small ring of objects and re-reading the slot it filled on the
+// previous iteration. The churn keeps the heap under pressure (evictions -> backing-store
+// traffic for the device faults to hit), the re-reads force swap-ins and walk straight into
+// any object the patrol quarantined, and the fleet gives processor retirement real victims.
+CampaignResult RunCampaign(const Options& options) {
+  SystemConfig config;
+  config.processors = options.processors;
+  config.machine.memory_bytes = 2 * 1024 * 1024;
+  config.memory_manager = MemoryManagerKind::kSwapping;
+  config.trace = true;
+  config.trace_capacity = options.trace_capacity;
+  config.start_patrol_daemon = true;
+
+  CampaignResult result;
+  result.system = std::make_unique<System>(config);
+  System& system = *result.system;
+  auto& kernel = system.kernel();
+  auto& memory = system.memory();
+
+  auto* swap = static_cast<SwappingMemoryManager*>(&memory);
+  FaultService fault_service(&kernel, FaultService::MakeRecoveryPolicy());
+  auto fault_port = fault_service.Spawn();
+  IMAX_CHECK(fault_port.ok());
+
+  FaultInjector injector(&kernel, swap);
+  result.schedule = FaultInjector::GenerateSchedule(options.seed, options.inject_count,
+                                                    options.inject_horizon);
+  injector.Arm(result.schedule);
+
+  // Periodic GC (reclaims the churn so allocation pressure stays survivable) and patrol
+  // sweeps (bounds how long corruption lingers before quarantine) across the window.
+  System* sys = &system;
+  for (Cycles t = 150'000; t < options.inject_horizon; t += 150'000) {
+    system.machine().events().ScheduleAt(t, [sys] { (void)sys->RequestCollection(); });
+  }
+  for (Cycles t = 100'000; t < options.inject_horizon; t += 200'000) {
+    system.machine().events().ScheduleAt(t, [sys] { (void)sys->RequestPatrolSweep(); });
+  }
+
+  constexpr int kWorkers = 6;
+  constexpr uint32_t kRing = 6;
+  constexpr uint64_t kIterations = 220;
+  constexpr uint32_t kObjectBytes = 2048;
+  for (int w = 0; w < kWorkers; ++w) {
+    auto carrier = memory.CreateObject(memory.global_heap(), SystemType::kGeneric, 16,
+                                       kRing + 1, rights::kRead | rights::kWrite);
+    IMAX_CHECK(carrier.ok());
+    (void)system.machine().addressing().WriteAd(carrier.value(), 0, memory.global_heap());
+
+    Assembler a("worker");
+    auto fill = a.NewLabel();
+    auto loop = a.NewLabel();
+    auto advanced = a.NewLabel();
+    a.MoveAd(1, kArgAdReg)
+        .LoadAd(2, 1, 0)  // a2 = heap
+        .LoadImm(0, 0)    // r0 = iteration counter
+        .LoadImm(1, kIterations)
+        .LoadImm(2, 0)  // r2 = ring cursor
+        .LoadImm(4, kRing)
+        .Bind(fill)  // pre-fill the ring so the re-read below never hits a null slot
+        .CreateObject(4, 2, kObjectBytes)
+        .StoreData(4, 0, 0, 8)
+        .StoreAdIndexed(1, 4, 2, 1)
+        .AddImm(2, 2, 1)
+        .BranchIfLess(2, 4, fill)
+        .LoadImm(2, 0)
+        .LoadImm(3, 0)  // r3 = slot filled on the previous iteration
+        .Bind(loop)
+        .CreateObject(4, 2, kObjectBytes)
+        .StoreData(4, 0, 0, 8)
+        .StoreAdIndexed(1, 4, 2, 1)  // overwrite: orphans the slot's old occupant
+        .LoadAdIndexed(5, 1, 3, 1)
+        .LoadData(6, 5, 0, 8)  // re-read: swap-ins, and quarantined objects fault here
+        .Compute(300)
+        .Move(3, 2)
+        .AddImm(2, 2, 1)
+        .BranchIfLess(2, 4, advanced)
+        .LoadImm(2, 0)
+        .Bind(advanced)
+        .AddImm(0, 0, 1)
+        .BranchIfLess(0, 1, loop)
+        .Halt();
+
+    ProcessOptions po;
+    po.initial_arg = carrier.value();
+    // Services level: injected faults deliver to the fault port instead of panicking —
+    // the campaign exercises recovery, not the §7.3 fault-freedom proof obligations.
+    po.imax_level = kImaxLevelServices;
+    po.fault_port = fault_port.value();
+    auto process = system.Spawn(a.Build(), po);
+    IMAX_CHECK(process.ok());
+    kernel.symbols().Name(process.value().index(), "worker " + std::to_string(w));
+  }
+
+  system.Run();
+  // A final synchronous sweep so corruption injected near the end still shows up in the
+  // quarantine counts the report documents.
+  system.patrol().SweepNow();
+
+  result.injector = injector.stats();
+  result.fault_service = fault_service.stats();
+  result.fingerprint = FingerprintTrace(system.machine().trace());
+  return result;
+}
+
+void AppendJsonU64(std::string* out, uint64_t value) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "%llu", static_cast<unsigned long long>(value));
+  *out += buffer;
+}
+
+void AppendJsonField(std::string* out, const char* name, uint64_t value, bool* first) {
+  if (!*first) *out += ',';
+  *first = false;
+  *out += '"';
+  *out += name;
+  *out += "\":";
+  AppendJsonU64(out, value);
+}
+
+std::string CampaignReportJson(const Options& options, const CampaignResult& result) {
+  System& system = *result.system;
+  const KernelStats& kernel = system.kernel().stats();
+  const MemoryStats memory = system.memory().stats();
+  const PatrolStats& patrol = system.patrol().stats();
+  const Bus& bus = system.machine().bus();
+
+  std::string out = "{\"seed\":";
+  AppendJsonU64(&out, options.seed);
+  out += ",\"requested\":";
+  AppendJsonU64(&out, options.inject_count);
+  out += ",\"horizon\":";
+  AppendJsonU64(&out, options.inject_horizon);
+  out += ",\"processors\":";
+  AppendJsonU64(&out, static_cast<uint64_t>(options.processors));
+
+  out += ",\"events\":[";
+  bool first = true;
+  for (const InjectionEvent& event : result.schedule) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"at\":";
+    AppendJsonU64(&out, event.at);
+    out += ",\"kind\":\"";
+    out += InjectionKindName(event.kind);
+    out += "\",\"target\":";
+    AppendJsonU64(&out, event.target);
+    out += ",\"arg\":";
+    AppendJsonU64(&out, event.arg);
+    out += '}';
+  }
+  out += ']';
+
+  out += ",\"injector\":{\"fired\":";
+  AppendJsonU64(&out, result.injector.fired);
+  out += ",\"skipped\":";
+  AppendJsonU64(&out, result.injector.skipped);
+  out += ",\"per_kind\":{";
+  first = true;
+  for (size_t kind = 0; kind < static_cast<size_t>(InjectionKind::kKindCount); ++kind) {
+    AppendJsonField(&out, InjectionKindName(static_cast<InjectionKind>(kind)),
+                    result.injector.per_kind[kind], &first);
+  }
+  out += "}}";
+
+  out += ",\"recovery\":{";
+  first = true;
+  AppendJsonField(&out, "processors_retired", kernel.processors_retired, &first);
+  AppendJsonField(&out, "processors_stalled", kernel.processors_stalled, &first);
+  AppendJsonField(&out, "retirement_requeues", kernel.retirement_requeues, &first);
+  AppendJsonField(&out, "device_retries", memory.device_retries, &first);
+  AppendJsonField(&out, "device_errors", memory.device_errors, &first);
+  AppendJsonField(&out, "swap_ins", memory.swap_ins, &first);
+  AppendJsonField(&out, "swap_outs", memory.swap_outs, &first);
+  AppendJsonField(&out, "backing_peak_used", memory.backing_peak_used, &first);
+  AppendJsonField(&out, "patrol_sweeps", patrol.sweeps_completed, &first);
+  AppendJsonField(&out, "objects_quarantined", patrol.objects_quarantined, &first);
+  AppendJsonField(&out, "checksum_failures", patrol.checksum_failures, &first);
+  AppendJsonField(&out, "data_crc_failures", patrol.data_crc_failures, &first);
+  AppendJsonField(&out, "bus_dropped_transfers", bus.dropped_transfers(), &first);
+  AppendJsonField(&out, "bus_duplicated_transfers", bus.duplicated_transfers(), &first);
+  out += ",\"fault_service\":{";
+  first = true;
+  AppendJsonField(&out, "received", result.fault_service.received, &first);
+  AppendJsonField(&out, "retried", result.fault_service.retried, &first);
+  AppendJsonField(&out, "terminated", result.fault_service.terminated, &first);
+  AppendJsonField(&out, "escalated", result.fault_service.escalated, &first);
+  AppendJsonField(&out, "budget_exhausted", result.fault_service.budget_exhausted, &first);
+  out += "}}";
+
+  out += ",\"outcome\":{";
+  first = true;
+  AppendJsonField(&out, "virtual_cycles", system.now(), &first);
+  AppendJsonField(&out, "panics", kernel.panics, &first);
+  AppendJsonField(&out, "faults_delivered", kernel.faults_delivered, &first);
+  AppendJsonField(&out, "processes_created", kernel.processes_created, &first);
+  AppendJsonField(&out, "processes_terminated", kernel.processes_terminated, &first);
+  AppendJsonField(&out, "active_processors",
+                  static_cast<uint64_t>(system.kernel().active_processor_count()), &first);
+  AppendJsonField(&out, "trace_events", system.machine().trace().total_emitted(), &first);
+  out += ",\"trace_fingerprint\":\"";
+  char fp[20];
+  std::snprintf(fp, sizeof(fp), "%016llx",
+                static_cast<unsigned long long>(result.fingerprint));
+  out += fp;
+  out += "\"}}";
+  return out;
+}
+
+int RunInjectCampaign(const Options& options) {
+  CampaignResult result = RunCampaign(options);
+
+  if (options.inject_verify) {
+    CampaignResult replay = RunCampaign(options);
+    if (replay.system->now() != result.system->now() ||
+        replay.fingerprint != result.fingerprint) {
+      if (std::getenv("IMAX_INJECT_DEBUG") != nullptr) {
+        auto a = result.system->machine().trace().Snapshot();
+        auto b = replay.system->machine().trace().Snapshot();
+        for (size_t i = 0; i < std::min(a.size(), b.size()); ++i) {
+          if (a[i].ts != b[i].ts || a[i].kind != b[i].kind || a[i].a != b[i].a ||
+              a[i].b != b[i].b || a[i].c != b[i].c || a[i].process != b[i].process ||
+              a[i].cpu != b[i].cpu) {
+            std::fprintf(stderr,
+                         "first diff at event %zu:\n  A ts=%llu kind=%s cpu=%u proc=%u "
+                         "a=%u b=%u c=%u\n  B ts=%llu kind=%s cpu=%u proc=%u a=%u b=%u "
+                         "c=%u\n",
+                         i, static_cast<unsigned long long>(a[i].ts),
+                         TraceEventKindName(a[i].kind), a[i].cpu, a[i].process, a[i].a,
+                         a[i].b, a[i].c, static_cast<unsigned long long>(b[i].ts),
+                         TraceEventKindName(b[i].kind), b[i].cpu, b[i].process, b[i].a,
+                         b[i].b, b[i].c);
+            break;
+          }
+        }
+        std::fprintf(stderr, "sizes: A=%zu B=%zu\n", a.size(), b.size());
+        for (size_t i = std::min(a.size(), b.size());
+             i < std::max(a.size(), b.size()); ++i) {
+          const auto& e = (a.size() > b.size() ? a : b)[i];
+          std::fprintf(stderr, "  extra[%zu] ts=%llu kind=%s cpu=%u proc=%u a=%u b=%u c=%u\n",
+                       i, static_cast<unsigned long long>(e.ts), TraceEventKindName(e.kind),
+                       e.cpu, e.process, e.a, e.b, e.c);
+        }
+      }
+      std::fprintf(stderr,
+                   "FAIL: replay diverged (cycles %llu vs %llu, fingerprint %016llx vs "
+                   "%016llx)\n",
+                   static_cast<unsigned long long>(result.system->now()),
+                   static_cast<unsigned long long>(replay.system->now()),
+                   static_cast<unsigned long long>(result.fingerprint),
+                   static_cast<unsigned long long>(replay.fingerprint));
+      return 1;
+    }
+    std::fprintf(stderr, "replay verified: %llu cycles, fingerprint %016llx\n",
+                 static_cast<unsigned long long>(result.system->now()),
+                 static_cast<unsigned long long>(result.fingerprint));
+  }
+
+  const KernelStats& kernel = result.system->kernel().stats();
+  std::fprintf(stderr,
+               "campaign seed %llu: %llu/%u faults fired, %llu retired GDP(s), "
+               "%llu device retries, %llu quarantined, %llu panics, %llu virtual cycles\n",
+               static_cast<unsigned long long>(options.seed),
+               static_cast<unsigned long long>(result.injector.fired), options.inject_count,
+               static_cast<unsigned long long>(kernel.processors_retired),
+               static_cast<unsigned long long>(result.system->memory().stats().device_retries),
+               static_cast<unsigned long long>(
+                   result.system->patrol().stats().objects_quarantined),
+               static_cast<unsigned long long>(kernel.panics),
+               static_cast<unsigned long long>(result.system->now()));
+
+  if (!options.inject_report.empty() &&
+      !WriteFile(options.inject_report, CampaignReportJson(options, result))) {
+    return 1;
+  }
+  // Campaigns usually only want the report; export the timeline only when --out was given
+  // explicitly (the default trace.json write would be surprising here).
+  if (options.out != "trace.json") {
+    std::string json =
+        ExportChromeTrace(result.system->machine().trace(), &result.system->kernel().symbols());
+    if (!WriteFile(options.out, json)) {
+      return 1;
+    }
+  }
+  if (!options.metrics.empty()) {
+    MetricsRegistry registry(result.system.get());
+    if (!WriteFile(options.metrics, registry.Collect().ToJson())) {
+      return 1;
+    }
+  }
+
+  // The acceptance bar: every injected fault ends in recovery or policy-driven
+  // termination. A panic means a fault escaped both.
+  if (kernel.panics != 0) {
+    std::fprintf(stderr, "FAIL: %llu kernel panic(s) during campaign\n",
+                 static_cast<unsigned long long>(kernel.panics));
+    return 1;
+  }
+  return 0;
+}
+
 int RunOverhead(const Options& options) {
   using Clock = std::chrono::steady_clock;
   // Warm-up run so first-touch costs (page faults, allocator growth) hit neither side.
@@ -348,6 +698,16 @@ int main(int argc, char** argv) {
       options.trace_capacity = static_cast<uint32_t>(std::strtoul(value(), nullptr, 10));
     } else if (arg == "--overhead") {
       options.overhead = true;
+    } else if (arg == "--inject") {
+      options.inject_count = static_cast<uint32_t>(std::strtoul(value(), nullptr, 10));
+    } else if (arg == "--seed") {
+      options.seed = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--inject-horizon") {
+      options.inject_horizon = static_cast<Cycles>(std::strtoull(value(), nullptr, 10));
+    } else if (arg == "--inject-report") {
+      options.inject_report = value();
+    } else if (arg == "--inject-verify") {
+      options.inject_verify = true;
     } else if (arg == "--race-sanitize") {
       options.race_sanitize = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -360,6 +720,9 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (options.inject_count > 0) {
+    return RunInjectCampaign(options);
+  }
   if (options.overhead) {
     return RunOverhead(options);
   }
