@@ -22,8 +22,18 @@ using bench::MakeCarrier;
 using bench::ToUs;
 
 // Measures average virtual us per create-object of `bytes` from the given heap setup.
-double MeasureAllocCost(uint32_t bytes, bool local_sro, int count, bool destroy_each) {
-  System system(DefaultConfig());
+double MeasureAllocCost(uint32_t bytes, bool local_sro, int count, bool destroy_each,
+                        bool demote = false) {
+  SystemConfig config = DefaultConfig();
+  if (demote) {
+    // Lifetime demotion re-targets provably context-local allocations at the per-context
+    // demote SRO (verify_on_load computes the verdicts at load time).
+    config.verify_on_load = true;
+    config.lifetime_demote = true;
+    config.lifetime_audit = true;
+    config.demote_sro_bytes = 256 * 1024;
+  }
+  System system(config);
 
   std::vector<AccessDescriptor> slots = {system.memory().global_heap()};
   AccessDescriptor carrier = MakeCarrier(system, slots);
@@ -121,6 +131,19 @@ void BM_AllocateLocalHeap(benchmark::State& state) {
   state.counters["us_per_alloc"] = us;
 }
 BENCHMARK(BM_AllocateLocalHeap)->Iterations(1);
+
+void BM_AllocateDemoted(benchmark::State& state) {
+  double us = 0;
+  for (auto _ : state) {
+    us = MeasureAllocCost(64, /*local_sro=*/false, 256, /*destroy_each=*/false,
+                          /*demote=*/true);
+  }
+  // The demoted path charges the same create-object cycles by design: demotion moves the
+  // reclamation (bulk destroy at context exit, GC exemption in between), not the
+  // allocation. Any gap between this row and BM_AllocateGlobalHeap is a regression.
+  state.counters["us_per_alloc"] = us;
+}
+BENCHMARK(BM_AllocateDemoted)->Iterations(1);
 
 void BM_AllocateDestroyPair(benchmark::State& state) {
   double us = 0;

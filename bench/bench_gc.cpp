@@ -327,6 +327,80 @@ void BM_GcStepGranularity(benchmark::State& state) {
 }
 BENCHMARK(BM_GcStepGranularity)->Arg(32)->Arg(128)->Arg(512)->Arg(4096)->Iterations(1);
 
+// GC-load demotion (E15 companion): a mutator parks on a receive holding a context-local
+// chain of `chain` objects live, and the collector runs a full cycle against it. With
+// lifetime demotion the whole chain is gc_exempt — the cycle never traces it — so the
+// traced-object count drops by the chain's share of the heap. Both configurations run in
+// the same iteration and the delta ships in the --json counters.
+void BM_DemotionGcLoad(benchmark::State& state) {
+  int chain = static_cast<int>(state.range(0));
+  uint64_t traced[2] = {0, 0};
+  uint64_t demotions = 0;
+  uint64_t violations = 0;
+  for (auto _ : state) {
+    for (int demote = 0; demote < 2; ++demote) {
+      SystemConfig config = DefaultConfig(1);
+      config.machine.object_table_capacity = 8192;
+      config.start_gc_daemon = true;
+      config.verify_on_load = true;
+      config.lifetime_demote = demote != 0;
+      config.lifetime_audit = demote != 0;
+      config.demote_sro_bytes = 512 * 1024;
+      System system(config);
+      system.Run();  // daemon parks
+      auto port = system.kernel().ports().CreatePort(system.memory().global_heap(), 4,
+                                                     QueueDiscipline::kFifo);
+      IMAX_CHECK(port.ok());
+      AccessDescriptor carrier =
+          MakeCarrier(system, {system.memory().global_heap(), port.value()});
+      // The chain: every new object stores its predecessor (a sibling store, so the whole
+      // chain stays demotable), then the process blocks on the port with the chain live.
+      Assembler a("demotion-chain");
+      auto loop = a.NewLabel();
+      a.MoveAd(1, kArgAdReg)
+          .LoadAd(2, 1, 0)
+          .LoadAd(3, 1, 1)
+          .CreateObject(4, 2, 16, 1)
+          .LoadImm(0, 1)
+          .LoadImm(1, static_cast<uint64_t>(chain))
+          .Bind(loop)
+          .CreateObject(5, 2, 16, 1)
+          .StoreAd(5, 4, 0)
+          .MoveAd(4, 5)
+          .AddImm(0, 0, 1)
+          .BranchIfLess(0, 1, loop)
+          .Receive(6, 3)
+          .Halt();
+      ProcessOptions options;
+      options.initial_arg = carrier;
+      auto process = system.Spawn(a.Build(), options);
+      IMAX_CHECK(process.ok());
+      system.Run();  // mutator parks on the receive, chain live
+
+      uint64_t before = system.gc().stats().objects_scanned;
+      IMAX_CHECK(system.RequestCollection().ok());
+      system.Run();  // full cycle against the parked chain
+      traced[demote] = system.gc().stats().objects_scanned - before;
+
+      IMAX_CHECK(system.kernel().PostMessage(port.value(), carrier).ok());
+      system.Run();  // unblock; context exit bulk-reclaims the demote SRO
+      if (demote != 0) {
+        demotions = system.kernel().stats().demotions;
+        IMAX_CHECK(system.kernel().stats().demote_fallbacks == 0);
+      }
+      violations += system.kernel().stats().lifetime_violations;
+    }
+  }
+  state.counters["chain_objects"] = chain;
+  state.counters["traced_full"] = static_cast<double>(traced[0]);
+  state.counters["traced_demoted"] = static_cast<double>(traced[1]);
+  state.counters["reduction_pct"] =
+      100.0 * static_cast<double>(traced[0] - traced[1]) / static_cast<double>(traced[0]);
+  state.counters["demotions"] = static_cast<double>(demotions);
+  state.counters["audit_violations"] = static_cast<double>(violations);
+}
+BENCHMARK(BM_DemotionGcLoad)->Arg(200)->Arg(600)->Iterations(1);
+
 }  // namespace
 }  // namespace imax432
 

@@ -37,6 +37,8 @@ Result<ObjectIndex> ObjectTable::Allocate(SystemType type, Level level, PhysAddr
   slot.type_def = kInvalidObjectIndex;
   slot.origin_sro = origin_sro;
   slot.color = GcColor::kWhite;
+  slot.gc_exempt = false;
+  slot.finalized = false;
   slot.swapped_out = false;
   slot.backing_slot = 0;
   slot.data_epoch = 0;

@@ -866,11 +866,47 @@ Result<Kernel::StepEffect> Kernel::Execute(ProcessorRec& rec, ProcessView& proc,
 
     case Opcode::kCreateObject: {
       if (!ValidAdReg(in.a) || !ValidAdReg(in.b)) return Fault::kRegisterOutOfRange;
-      IMAX_ASSIGN_OR_RETURN(
-          AccessDescriptor object,
-          memory_->CreateObject(ctx.ad_reg(in.b), SystemType::kGeneric, in.imm, in.c,
-                                rights::kRead | rights::kWrite | rights::kDelete));
-      ctx.set_ad_reg(in.a, object);
+      bool demoted = false;
+      if (lifetime_demote_ && !ctx.ad_reg(in.b).is_null()) {
+        // The dispatcher advanced pc past this instruction before Execute.
+        const uint32_t site_pc = ctx.pc() - 1;
+        const ObjectIndex segment = ctx.instruction_segment().index();
+        if (IsDemotableSite(segment, site_pc)) {
+          Level context_level = machine_->table().At(ctx.ad().index()).level;
+          AccessDescriptor demote_sro = DemoteSroFor(ctx, context_level);
+          auto local = demote_sro.is_null()
+                           ? Result<AccessDescriptor>(Fault::kStorageExhausted)
+                           : memory_->CreateObject(
+                                 demote_sro, SystemType::kGeneric, in.imm, in.c,
+                                 rights::kRead | rights::kWrite | rights::kDelete);
+          if (local.ok()) {
+            const AccessDescriptor object = local.value();
+            // Skip GC registration: exempt objects are permanently black (never whitened,
+            // never swept); their outgoing slots are scanned as roots. Reclamation happens
+            // only through the bulk destroy at context exit (see gc/collector.h).
+            ObjectDescriptor& descriptor = machine_->table().At(object.index());
+            descriptor.gc_exempt = true;
+            descriptor.color = GcColor::kBlack;  // exempt implies black, from birth
+            if (lifetime_auditor_ != nullptr) {
+              lifetime_auditor_->OnDemoted(object.index(), object.generation(),
+                                           demote_sro.index(), segment, site_pc);
+            }
+            ctx.set_ad_reg(in.a, object);
+            ++stats_.demotions;
+            demoted = true;
+          } else {
+            ++stats_.demote_fallbacks;  // demote SRO exhausted or uncreatable
+          }
+        }
+      }
+      if (!demoted) {
+        IMAX_ASSIGN_OR_RETURN(
+            AccessDescriptor object,
+            memory_->CreateObject(ctx.ad_reg(in.b), SystemType::kGeneric, in.imm, in.c,
+                                  rights::kRead | rights::kWrite | rights::kDelete));
+        ctx.set_ad_reg(in.a, object);
+      }
+      // Identical charge on both paths: demotion must not perturb virtual time.
       effect.compute = cycles::CreateObjectCost(in.imm, in.c);
       effect.bus = cycles::kBusCreateObject;
       return effect;
@@ -887,6 +923,7 @@ Result<Kernel::StepEffect> Kernel::Execute(ProcessorRec& rec, ProcessView& proc,
       NoteAccess(rec.id, proc, ctx, dying, analysis::ObjectPart::kAccess,
                  analysis::AccessKind::kWrite);
       if (race_sanitizer_ != nullptr) race_sanitizer_->OnObjectDestroyed(dying);
+      if (lifetime_auditor_ != nullptr) lifetime_auditor_->OnObjectDestroyed(dying);
       ctx.set_ad_reg(in.a, AccessDescriptor());
       effect.compute = cycles::kDestroyObject;
       effect.bus = cycles::kBusCreateObject / 2;
@@ -1265,6 +1302,10 @@ Result<Kernel::StepEffect> Kernel::DoReturn(uint16_t cpu, ProcessView& proc, Con
   AddressingUnit& au = machine_->addressing();
   StepEffect effect;
 
+  // Demoted allocations die with the activation too — audited first, while every object
+  // that could illegally hold one of their ADs is still alive to be caught.
+  effect.compute += ReclaimDemoteSro(cpu, proc, ctx) * cycles::kGcFreeObject / 4;
+
   // Local heaps created by this activation die with it.
   for (uint32_t slot = 0; slot < ContextLayout::kNumOwnedSroSlots; ++slot) {
     AccessDescriptor owned = ctx.Slot(ContextLayout::kSlotOwnedSros + slot);
@@ -1379,6 +1420,7 @@ void Kernel::TerminateProcess(ProcessView& proc, bool faulted) {
     }
     ContextView ctx(&au, context);
     call_starts_.erase(context.index());
+    (void)ReclaimDemoteSro(kTraceNoProcessor, proc, ctx);
     for (uint32_t slot = 0; slot < ContextLayout::kNumOwnedSroSlots; ++slot) {
       AccessDescriptor owned = ctx.Slot(ContextLayout::kSlotOwnedSros + slot);
       if (!owned.is_null()) {
@@ -1409,6 +1451,58 @@ void Kernel::RecordEffectSummary(ObjectIndex segment, const Program& program,
       analysis::EffectOptionsForTable(machine_->table(), initial_arg, &symbols_);
   effect_graph_.AddProgram(segment, analysis::EffectAnalyzer::Analyze(program, options), kind);
   ++stats_.effect_summaries;
+
+  // The lifetime summary rides along so demotion verdicts exist the moment the program can
+  // run (and AnalyzeLifetimes never recomputes).
+  analysis::LifetimeSummary lifetime = analysis::LifetimeAnalyzer::Analyze(program, options);
+  std::set<uint32_t> demotable;
+  for (uint32_t pc : analysis::DemotableSites(lifetime)) demotable.insert(pc);
+  demotable_sites_[segment] = std::move(demotable);
+  lifetime_summaries_[segment] = std::move(lifetime);
+  ++stats_.lifetime_summaries;
+}
+
+bool Kernel::IsDemotableSite(ObjectIndex segment, uint32_t pc) const {
+  auto it = demotable_sites_.find(segment);
+  return it != demotable_sites_.end() && it->second.count(pc) != 0;
+}
+
+AccessDescriptor Kernel::DemoteSroFor(ContextView& ctx, Level context_level) {
+  AccessDescriptor existing = ctx.Slot(ContextLayout::kSlotDemoteSro);
+  if (!existing.is_null()) return existing;
+  // Same level as a program-created local heap: objects inside it can reference each other
+  // and anything longer-lived, and nothing at a lower level can legally store ADs to them.
+  auto sro = memory_->CreateLocalSro(memory_->global_heap(), demote_sro_bytes_,
+                                     static_cast<Level>(context_level + 1));
+  if (!sro.ok()) return {};
+  ctx.SetSlot(ContextLayout::kSlotDemoteSro, sro.value());
+  ++stats_.demote_sros_created;
+  return sro.value();
+}
+
+uint32_t Kernel::ReclaimDemoteSro(uint16_t cpu, ProcessView& proc, ContextView& ctx) {
+  AccessDescriptor sro = ctx.Slot(ContextLayout::kSlotDemoteSro);
+  if (sro.is_null()) return 0;
+  if (lifetime_auditor_ != nullptr) {
+    auto violations = lifetime_auditor_->AuditScopeExit(machine_->table(), sro.index(),
+                                                        ctx.ad().index());
+    for (const analysis::LifetimeViolation& violation : violations) {
+      ++stats_.lifetime_violations;
+      machine_->trace().Emit(TraceEventKind::kLifetimeViolation, machine_->now(), cpu,
+                             proc.ad().index(), violation.object, violation.holder,
+                             violation.alloc_pc);
+      IMAX_LOG_ERROR(
+          "lifetime audit: demoted object %u (segment %u pc %u) still referenced by "
+          "object %u slot %u at scope exit",
+          violation.object, violation.segment, violation.alloc_pc, violation.holder,
+          violation.holder_slot);
+    }
+  }
+  ctx.SetSlot(ContextLayout::kSlotDemoteSro, AccessDescriptor());
+  auto reclaimed = memory_->DestroySro(sro);
+  if (!reclaimed.ok()) return 0;
+  stats_.demoted_bulk_reclaimed += reclaimed.value();
+  return reclaimed.value();
 }
 
 void Kernel::EnsureSummaries() {
@@ -1435,6 +1529,11 @@ analysis::SystemAnalysisReport Kernel::AnalyzeSystem() {
 analysis::RaceAnalysisReport Kernel::AnalyzeRaces() {
   EnsureSummaries();
   return analysis::AnalyzeRaces(effect_graph_);
+}
+
+analysis::LifetimeAnalysisReport Kernel::AnalyzeLifetimes() {
+  EnsureSummaries();
+  return analysis::AnalyzeLifetimes(effect_graph_, lifetime_summaries_);
 }
 
 Cycles Kernel::TotalBusyCycles() const {

@@ -18,9 +18,12 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "src/analysis/deadlock.h"
+#include "src/analysis/lifetime/auditor.h"
+#include "src/analysis/lifetime/lifetime.h"
 #include "src/analysis/races/races.h"
 #include "src/analysis/races/sanitizer.h"
 #include "src/exec/execution_context.h"
@@ -73,6 +76,12 @@ struct KernelStats {
   uint64_t programs_verified = 0;  // programs run through the static verifier at load
   uint64_t programs_rejected = 0;  // programs the verifier refused (kVerificationFailed)
   uint64_t effect_summaries = 0;   // IPC effect summaries computed (verify-on-load + lazy)
+  uint64_t lifetime_summaries = 0; // object-lifetime summaries computed alongside them
+  uint64_t demotions = 0;          // allocations redirected to a per-context demote SRO
+  uint64_t demote_fallbacks = 0;   // demotable sites that fell back to the named SRO
+  uint64_t demote_sros_created = 0;     // per-context demote SROs lazily created
+  uint64_t demoted_bulk_reclaimed = 0;  // demoted objects bulk-destroyed at context exit
+  uint64_t lifetime_violations = 0;     // audit hits (kLifetimeViolation events raised)
   uint64_t processors_retired = 0;   // GDPs permanently halted (fault injection / operator)
   uint64_t processors_stalled = 0;   // transient GDP stalls applied
   uint64_t retirement_requeues = 0;  // in-flight processes rescued from a retired GDP
@@ -111,6 +120,18 @@ class Kernel {
   // runtime checks in the AddressingUnit remain authoritative either way.
   void set_verify_on_load(bool enabled) { verify_on_load_ = enabled; }
   bool verify_on_load() const { return verify_on_load_; }
+
+  // When enabled, create_object at a site the lifetime analysis (lifetime/lifetime.h)
+  // proved context-local allocates from a lazily-created per-context demote SRO instead of
+  // the program-named SRO, is marked GC-exempt (the collector treats it as permanently
+  // black and scans its slots as roots), and is bulk-destroyed when its context returns.
+  // Only sites with a recorded summary demote, so this is effective under verify_on_load
+  // (summaries are computed at load); cycle charges are identical either way, preserving
+  // virtual-time determinism.
+  void set_lifetime_demote(bool enabled) { lifetime_demote_ = enabled; }
+  bool lifetime_demote() const { return lifetime_demote_; }
+  // Capacity of each per-context demote SRO; exhaustion falls back to the named SRO.
+  void set_demote_sro_bytes(uint32_t bytes) { demote_sro_bytes_ = bytes; }
 
   // --- Objects ---
 
@@ -193,16 +214,29 @@ class Kernel {
   // AnalyzeSystem.
   analysis::RaceAnalysisReport AnalyzeRaces();
 
+  // Runs the whole-system object-lifetime analysis (src/analysis/lifetime/lifetime.h) over
+  // the same incrementally-maintained summaries, completing any missing ones first exactly
+  // like AnalyzeSystem.
+  analysis::LifetimeAnalysisReport AnalyzeLifetimes();
+
   // The incrementally-maintained summary store. Tests and tools may mark additional
   // external senders/receivers before calling AnalyzeSystem().
   analysis::SystemEffectGraph& effect_graph() { return effect_graph_; }
 
+  // Per-segment lifetime summaries, maintained alongside the effect graph.
+  const std::map<ObjectIndex, analysis::LifetimeSummary>& lifetime_summaries() const {
+    return lifetime_summaries_;
+  }
+
   // Drops all analysis state for a reclaimed instruction segment (summary + any deferred
-  // initial-argument fact + its diagnostic name). Called by the GC reclaim observer.
+  // initial-argument fact + its diagnostic name + lifetime summary and demotable-site set).
+  // Called by the GC reclaim observer.
   void ForgetProgramAnalysis(ObjectIndex segment) {
     effect_graph_.RemoveProgram(segment);
     deferred_args_.erase(segment);
     symbols_.Forget(segment);
+    lifetime_summaries_.erase(segment);
+    demotable_sites_.erase(segment);
   }
 
   // Turns on the dynamic race sanitizer (analysis/races/sanitizer.h). Pure observer: no
@@ -213,6 +247,16 @@ class Kernel {
     }
   }
   analysis::RaceSanitizer* race_sanitizer() { return race_sanitizer_.get(); }
+
+  // Turns on the dynamic lifetime auditor (analysis/lifetime/auditor.h): every demoted
+  // object is checked to be unreferenced from outside its population at scope exit. Pure
+  // observer; findings surface as kLifetimeViolation trace events and via violations().
+  void EnableLifetimeAuditor() {
+    if (lifetime_auditor_ == nullptr) {
+      lifetime_auditor_ = std::make_unique<analysis::LifetimeAuditor>();
+    }
+  }
+  analysis::LifetimeAuditor* lifetime_auditor() { return lifetime_auditor_.get(); }
 
   // Object names used by analysis diagnostics and annotated disassembly. Name ports before
   // the programs using them load: summaries render their disassembly at registration time.
@@ -296,9 +340,22 @@ class Kernel {
   void EnsureSummaries();
 
   // Computes and stores the IPC effect summary for a freshly-registered program, seeding
-  // resolution from the loader's concrete knowledge of the initial argument.
+  // resolution from the loader's concrete knowledge of the initial argument. Also computes
+  // the program's lifetime summary and demotable-site set (lifetime/lifetime.h).
   void RecordEffectSummary(ObjectIndex segment, const Program& program,
                            const AccessDescriptor& initial_arg, analysis::ProgramKind kind);
+
+  // True when the create_object at (segment, pc) was proven context-local.
+  bool IsDemotableSite(ObjectIndex segment, uint32_t pc) const;
+
+  // The context's demote SRO, lazily created from the global heap at context level + 1
+  // (null AD when creation failed; callers fall back to the named SRO).
+  AccessDescriptor DemoteSroFor(ContextView& ctx, Level context_level);
+
+  // Audits (when the auditor is on) and bulk-destroys the context's demote SRO, if any.
+  // `cpu` attributes the kLifetimeViolation trace events. Returns the number of demoted
+  // objects bulk-reclaimed (0 when the context never demoted an allocation).
+  uint32_t ReclaimDemoteSro(uint16_t cpu, ProcessView& proc, ContextView& ctx);
 
   // Charges `compute` + `bus` starting at now(); returns completion time.
   Cycles ChargeCycles(ProcessorRec& rec, ProcessView& proc, Cycles compute, Cycles bus);
@@ -320,6 +377,11 @@ class Kernel {
   std::map<ObjectIndex, AccessDescriptor> deferred_args_;
   SymbolTable symbols_;
   std::unique_ptr<analysis::RaceSanitizer> race_sanitizer_;
+  std::unique_ptr<analysis::LifetimeAuditor> lifetime_auditor_;
+  bool lifetime_demote_ = false;
+  uint32_t demote_sro_bytes_ = 16 * 1024;
+  std::map<ObjectIndex, analysis::LifetimeSummary> lifetime_summaries_;
+  std::map<ObjectIndex, std::set<uint32_t>> demotable_sites_;  // segment -> demotable pcs
 
   // Observability bookkeeping (src/obs): open port waits keyed by process index and open
   // domain-call residences keyed by callee context index. Closed in MakeReady / DoReturn;

@@ -21,12 +21,29 @@ void GarbageCollector::Shade(ObjectIndex index) {
 }
 
 void GarbageCollector::ShadeRoots() {
+  ObjectTable& table = kernel_->machine().table();
   std::vector<AccessDescriptor> roots;
   kernel_->AppendRoots(&roots);
   roots.push_back(kernel_->memory().global_heap());
   for (const AccessDescriptor& root : roots) {
-    if (!root.is_null() && kernel_->machine().table().Resolve(root).ok()) {
+    if (!root.is_null() && table.Resolve(root).ok()) {
       Shade(root.index());
+    }
+  }
+  // Demoted (gc_exempt) objects are never traced — they stay black — but anything they
+  // reference is live for as long as their demote SRO exists, so their outgoing slots are
+  // pseudo-roots. Without this, a heap object referenced only from a demoted object would
+  // be swept while still reachable.
+  for (ObjectIndex i = 0; i < table.capacity(); ++i) {
+    const ObjectDescriptor& descriptor = table.At(i);
+    if (!descriptor.allocated || !descriptor.gc_exempt) {
+      continue;
+    }
+    for (const AccessDescriptor& slot : descriptor.access) {
+      if (!slot.is_null() && table.Resolve(slot).ok()) {
+        Shade(slot.index());
+      }
+      ++stats_.slots_scanned;
     }
   }
 }
@@ -100,7 +117,14 @@ bool GarbageCollector::Step(uint32_t units) {
         for (uint32_t i = 0; i < batch; ++i, ++cursor_) {
           ObjectDescriptor& descriptor = table.At(cursor_);
           if (descriptor.allocated) {
-            descriptor.color = GcColor::kWhite;
+            if (descriptor.gc_exempt) {
+              // Demoted objects never enter the cycle: permanently black, reclaimed only
+              // by their demote SRO's bulk destroy at context exit.
+              descriptor.color = GcColor::kBlack;
+              ++stats_.exempt_objects_skipped;
+            } else {
+              descriptor.color = GcColor::kWhite;
+            }
           }
         }
         units -= batch;
@@ -188,7 +212,8 @@ AccessDescriptor GarbageCollector::FilterPortFor(const ObjectDescriptor& descrip
 void GarbageCollector::SweepOne(ObjectIndex index) {
   ObjectTable& table = kernel_->machine().table();
   ObjectDescriptor& descriptor = table.At(index);
-  if (!descriptor.allocated || descriptor.color != GcColor::kWhite) {
+  if (!descriptor.allocated || descriptor.gc_exempt ||
+      descriptor.color != GcColor::kWhite) {
     return;
   }
 
@@ -251,6 +276,8 @@ GcStats GarbageCollector::CollectNow() {
   delta.objects_finalized = stats_.objects_finalized - before.objects_finalized;
   delta.sros_kept_live = stats_.sros_kept_live - before.sros_kept_live;
   delta.filter_send_failures = stats_.filter_send_failures - before.filter_send_failures;
+  delta.exempt_objects_skipped =
+      stats_.exempt_objects_skipped - before.exempt_objects_skipped;
   return delta;
 }
 
@@ -274,7 +301,7 @@ Result<GcStats> GarbageCollector::CollectLocalNow(const AccessDescriptor& sro_ad
   for (ObjectIndex i = 0; i < table.capacity(); ++i) {
     ObjectDescriptor& descriptor = table.At(i);
     if (descriptor.allocated && descriptor.origin_sro == sro_index &&
-        descriptor.type != SystemType::kStorageResource) {
+        !descriptor.gc_exempt && descriptor.type != SystemType::kStorageResource) {
       population[i] = true;
       descriptor.color = GcColor::kWhite;
       members.push_back(i);

@@ -43,6 +43,7 @@ struct GcStats {
   uint64_t objects_finalized = 0;    // garbage sent to destruction filters
   uint64_t sros_kept_live = 0;       // SROs shaded by the origin-liveness rule
   uint64_t filter_send_failures = 0; // filter port full: object survives to next cycle
+  uint64_t exempt_objects_skipped = 0;  // demoted (gc_exempt) objects held black at whiten
 };
 
 class GarbageCollector {

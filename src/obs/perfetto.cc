@@ -270,6 +270,13 @@ void Exporter::HandleEvent(const TraceEvent& event) {
                   ",\"quarantined\":" + std::to_string(event.b) + "}");
       break;
     }
+    case TraceEventKind::kLifetimeViolation: {
+      Instant(tid, event.ts, "lifetime-violation",
+              "{\"object\":" + std::to_string(event.a) +
+                  ",\"holder\":" + std::to_string(event.b) +
+                  ",\"alloc_pc\":" + std::to_string(event.c) + "}");
+      break;
+    }
   }
 }
 

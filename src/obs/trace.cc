@@ -30,6 +30,7 @@ const char* TraceEventKindName(TraceEventKind kind) {
     case TraceEventKind::kDeviceRetry: return "device-retry";
     case TraceEventKind::kInjection: return "injection";
     case TraceEventKind::kPatrolSweep: return "patrol-sweep";
+    case TraceEventKind::kLifetimeViolation: return "lifetime-violation";
   }
   return "unknown";
 }

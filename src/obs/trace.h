@@ -58,6 +58,8 @@ enum class TraceEventKind : uint8_t {
                     // c = backoff cycles charged
   kInjection,       // fault injector fired; a = injection kind, b = concrete target, c = arg
   kPatrolSweep,     // patrol sweep completed; a = descriptors scanned, b = quarantined total
+  kLifetimeViolation,  // demoted object escaped its context; a = object index,
+                       // b = holding object index, c = allocation-site pc
 };
 
 // GC phase payload for kGcPhase (mirrors gc/collector.h Phase without depending on it).

@@ -29,6 +29,11 @@ System::System(const SystemConfig& config)
   if (config.race_sanitize) {
     kernel_->EnableRaceSanitizer();
   }
+  kernel_->set_lifetime_demote(config.lifetime_demote);
+  kernel_->set_demote_sro_bytes(config.demote_sro_bytes);
+  if (config.lifetime_audit) {
+    kernel_->EnableLifetimeAuditor();
+  }
   gc_ = std::make_unique<GarbageCollector>(kernel_.get());
   patrol_ = std::make_unique<ObjectPatrol>(kernel_.get());
   types_ = std::make_unique<TypeManagerFacility>(kernel_.get());
@@ -49,6 +54,11 @@ System::System(const SystemConfig& config)
       // A reclaimed index may be reused; stale epochs would fabricate races against the
       // next object that lands there.
       kernel_->race_sanitizer()->OnObjectDestroyed(index);
+    }
+    if (kernel_->lifetime_auditor() != nullptr) {
+      // Same reuse hazard: a tracked demoted object reclaimed through any other path must
+      // not leave a stale audit entry behind.
+      kernel_->lifetime_auditor()->OnObjectDestroyed(index);
     }
     // Drop the patrol's CRC baseline: the index may be reused (the generation key would
     // catch it anyway, but the entry is dead weight).

@@ -62,6 +62,19 @@ struct SystemConfig {
   // being injected (or real corruption is suspected).
   bool start_patrol_daemon = false;
   uint32_t patrol_units_per_step = 256;
+  // GC-load demotion (src/analysis/lifetime): allocations the static lifetime analysis
+  // proves context-local are taken from a per-context demote SRO, marked gc_exempt (the
+  // collector never traces or sweeps them), and bulk-destroyed at context exit. Requires
+  // verify_on_load — without program summaries no site is ever demotable, so the flag is
+  // inert. Cycle charges are identical on both allocation paths; the simulated timeline is
+  // deterministic per configuration.
+  bool lifetime_demote = false;
+  // Dynamic cross-check for the demotion verdicts (src/analysis/lifetime/auditor.h): at
+  // every demote-SRO bulk destroy, flat-scan the live object table for surviving references
+  // into the doomed population. Escapes raise kLifetimeViolation trace events and count in
+  // kernel().stats().lifetime_violations. Pure observer: bit-identical timeline on or off.
+  bool lifetime_audit = false;
+  uint32_t demote_sro_bytes = 16 * 1024;
 };
 
 class System {

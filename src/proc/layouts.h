@@ -121,7 +121,12 @@ struct ContextLayout {
   // it corresponds").
   static constexpr uint32_t kSlotOwnedSros = 12;
   static constexpr uint32_t kNumOwnedSroSlots = 4;
-  static constexpr uint32_t kAccessSlots = 16;
+  // Demote SRO: the kernel-created local heap holding allocations the lifetime analysis
+  // proved context-local (lifetime/lifetime.h). Lazily created at the first demoted
+  // allocation; audited and destroyed when the activation returns. Separate from the owned
+  // slots so demotion never consumes one of the program's four local heaps.
+  static constexpr uint32_t kSlotDemoteSro = 16;
+  static constexpr uint32_t kAccessSlots = 17;
 };
 
 // ---------------------------------------------------------------------------

@@ -8,11 +8,13 @@
 
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "src/analysis/deadlock.h"
 #include "src/analysis/effects.h"
+#include "src/analysis/lifetime/lifetime.h"
 #include "src/analysis/races/races.h"
 #include "src/analysis/verifier.h"
 #include "src/io/devices.h"
@@ -26,7 +28,7 @@ using namespace imax432;
 namespace {
 
 constexpr char kUsage[] =
-    "usage: imax_lint [--dump] [--demo-bad] [--deadlock] [--races] [--help]\n"
+    "usage: imax_lint [--dump] [--demo-bad] [--deadlock] [--races] [--lifetime] [--help]\n"
     "\n"
     "Boots a representative iMAX-432 system with verify-on-load armed and sweeps every\n"
     "loaded program through the static capability verifier.\n"
@@ -41,6 +43,10 @@ constexpr char kUsage[] =
     "              come back clean, a seeded racy corpus (unordered write/write and\n"
     "              write/read pairs) must be flagged, and a seeded race-free corpus\n"
     "              (send/receive ordered, relayed, conditionally ambiguous) must not be\n"
+    "  --lifetime  additionally run the object-lifetime analysis: the booted system must\n"
+    "              come back clean, a seeded corpus (leaked store, retention anomaly) must\n"
+    "              be flagged while context-local and consumed allocations must not, and a\n"
+    "              live demote+audit quickstart must run violation-free\n"
     "  --help      print this text and exit 0\n"
     "\n"
     "exit status (flags combine; the worst outcome across all requested checks wins):\n"
@@ -457,6 +463,216 @@ int RunRaceChecks(System& system, bool dump) {
   return failures;
 }
 
+// Object-lifetime analysis: the booted system must come back clean (whole-system opacity
+// from the native daemons suppresses speculation), a seeded corpus must flag the genuine
+// leak and retention anomaly while never touching the context-local or consumed
+// allocations, and a live demote+audit quickstart must demote every loop allocation with
+// zero auditor violations. Returns the number of failed expectations; -1 on setup failure.
+int RunLifetimeChecks(System& system, bool dump) {
+  int failures = 0;
+
+  std::printf("\n==== whole-system lifetime analysis (booted system) ====\n");
+  analysis::LifetimeAnalysisReport live = system.kernel().AnalyzeLifetimes();
+  std::printf("imax_lint: %u programs, %u sites (%u demotable), %u opaque, "
+              "%u leaks / %u anomalies suppressed: %s\n",
+              live.programs_analyzed, live.sites_analyzed, live.sites_demotable,
+              live.opaque_programs, live.leaks_suppressed, live.anomalies_suppressed,
+              live.ok() ? "clean" : "DIAGNOSTICS");
+  if (!live.ok()) {
+    std::fputs(analysis::FormatLifetimeReport(live).c_str(), stdout);
+    std::printf("^^^^ FALSE POSITIVE — the booted system is known leak-free\n");
+    failures += static_cast<int>(live.leaks.size() + live.anomalies.size());
+  }
+
+  std::printf("\n==== seeded lifetime corpus (leak + anomaly flagged, local/consumed not) "
+              "====\n");
+  SymbolTable& symbols = system.kernel().symbols();
+  // Long-lived containers are real objects in the live table so store targets resolve
+  // exactly as they would at load time; the programs are analyzed standalone.
+  auto make_container = [&](const char* name) {
+    auto object = system.memory().CreateObject(system.memory().global_heap(),
+                                               SystemType::kGeneric, 16, 2,
+                                               rights::kRead | rights::kWrite);
+    if (object.ok()) symbols.Name(object.value().index(), name);
+    return object;
+  };
+  auto leak_registry = make_container("leak.registry");
+  auto consumed_buffer = make_container("consumed.buffer");
+  auto anomaly_cell = make_container("anomaly.cell");
+  if (!leak_registry.ok() || !consumed_buffer.ok() || !anomaly_cell.ok()) {
+    std::fprintf(stderr, "imax_lint: lifetime corpus container creation failed\n");
+    return -1;
+  }
+
+  // carrier slot 0 = the allocation SRO (the global heap), slot 1 = the container.
+  analysis::SystemEffectGraph graph;
+  graph.set_symbols(&symbols);
+  std::map<ObjectIndex, analysis::LifetimeSummary> lifetimes;
+  ObjectIndex next_key = 1;
+  bool carriers_ok = true;
+  auto add_program = [&](const Program& program, const AccessDescriptor& container) {
+    auto carrier = system.memory().CreateObject(system.memory().global_heap(),
+                                                SystemType::kGeneric, 16, 2,
+                                                rights::kRead | rights::kWrite);
+    if (!carrier.ok()) {
+      carriers_ok = false;
+      return;
+    }
+    (void)system.machine().addressing().WriteAd(carrier.value(), 0,
+                                                system.memory().global_heap());
+    (void)system.machine().addressing().WriteAd(carrier.value(), 1, container);
+    analysis::EffectOptions options = analysis::EffectOptionsForTable(
+        system.machine().table(), carrier.value(), &symbols);
+    if (dump) std::fputs(Disassemble(program).c_str(), stdout);
+    graph.AddProgram(next_key, analysis::EffectAnalyzer::Analyze(program, options));
+    lifetimes[next_key] = analysis::LifetimeAnalyzer::Analyze(program, options);
+    ++next_key;
+  };
+
+  // Context-local allocation: demotable, and never the subject of a diagnostic.
+  {
+    Assembler a("good.local");
+    a.MoveAd(1, kArgAdReg).LoadAd(2, 1, 0).CreateObject(4, 2, 16).Halt();
+    add_program(*a.Build(), AccessDescriptor());
+  }
+  // Stored into a long-lived buffer that another program loads back: leak retracted.
+  {
+    Assembler a("good.producer");
+    a.MoveAd(1, kArgAdReg)
+        .LoadAd(2, 1, 0)
+        .LoadAd(3, 1, 1)
+        .CreateObject(4, 2, 16)
+        .StoreAd(3, 4, 0)
+        .Halt();
+    add_program(*a.Build(), consumed_buffer.value());
+  }
+  {
+    Assembler a("good.consumer");
+    a.MoveAd(1, kArgAdReg).LoadAd(3, 1, 1).LoadAd(4, 3, 0).Halt();
+    add_program(*a.Build(), consumed_buffer.value());
+  }
+  // Stored into a registry nobody ever reads back: a leak suspect.
+  {
+    Assembler a("bad.leak");
+    a.MoveAd(1, kArgAdReg)
+        .LoadAd(2, 1, 0)
+        .LoadAd(3, 1, 1)
+        .CreateObject(4, 2, 16)
+        .StoreAd(3, 4, 0)
+        .Halt();
+    add_program(*a.Build(), leak_registry.value());
+  }
+  // The cell's sole reference is overwritten while no register still holds the object.
+  {
+    Assembler a("bad.anomaly");
+    a.MoveAd(1, kArgAdReg)
+        .LoadAd(2, 1, 0)
+        .LoadAd(3, 1, 1)
+        .CreateObject(4, 2, 16)
+        .StoreAd(3, 4, 0)
+        .ClearAd(4)
+        .CreateObject(5, 2, 16)
+        .StoreAd(3, 5, 0)
+        .Halt();
+    add_program(*a.Build(), anomaly_cell.value());
+  }
+  if (!carriers_ok) {
+    std::fprintf(stderr, "imax_lint: lifetime corpus carrier creation failed\n");
+    return -1;
+  }
+
+  analysis::LifetimeAnalysisReport report = analysis::AnalyzeLifetimes(graph, lifetimes);
+  std::fputs(analysis::FormatLifetimeReport(report).c_str(), stdout);
+  int leak_hits = 0, anomaly_hits = 0, good_hits = 0;
+  for (const analysis::LeakDiagnostic& leak : report.leaks) {
+    if (leak.program == "bad.leak") ++leak_hits;
+    if (leak.program.rfind("good.", 0) == 0) ++good_hits;
+  }
+  for (const analysis::AnomalyDiagnostic& anomaly : report.anomalies) {
+    if (anomaly.program == "bad.anomaly") ++anomaly_hits;
+    if (anomaly.program.rfind("good.", 0) == 0) ++good_hits;
+  }
+  if (leak_hits < 1 || anomaly_hits < 1) {
+    std::printf("^^^^ MISSED DEFECT — expected >= 1 leak on bad.leak and >= 1 anomaly on "
+                "bad.anomaly, got %d / %d\n", leak_hits, anomaly_hits);
+    ++failures;
+  }
+  if (good_hits != 0) {
+    std::printf("^^^^ FALSE POSITIVE — %d diagnostic(s) on context-local/consumed "
+                "programs\n", good_hits);
+    failures += good_hits;
+  }
+  if (report.sites_demotable < 1) {
+    std::printf("^^^^ LOST DEMOTION — good.local's allocation should be demotable\n");
+    ++failures;
+  }
+  if (report.leaks_suppressed < 1) {
+    std::printf("^^^^ LOST RETRACTION — good.producer's store should be retracted by the "
+                "consumer's read-back\n");
+    ++failures;
+  }
+  std::printf("\nimax_lint: lifetime corpus: %d leak(s), %d anomaly(ies) flagged, "
+              "%u demotable, %u retracted; %d failures\n",
+              leak_hits, anomaly_hits, report.sites_demotable, report.leaks_suppressed,
+              failures);
+
+  // --- Live quickstart: demotion + audit, end to end. ---
+  std::printf("\n==== demotion quickstart (lifetime_demote + lifetime_audit) ====\n");
+  SystemConfig config;
+  config.processors = 1;
+  config.verify_on_load = true;
+  config.lifetime_demote = true;
+  config.lifetime_audit = true;
+  System demo(config);
+  auto carrier = demo.memory().CreateObject(demo.memory().global_heap(),
+                                            SystemType::kGeneric, 8, 1, rights::kAll);
+  if (!carrier.ok() ||
+      !demo.machine()
+           .addressing()
+           .WriteAd(carrier.value(), 0, demo.memory().global_heap())
+           .ok()) {
+    std::fprintf(stderr, "imax_lint: quickstart carrier creation failed\n");
+    return failures > 0 ? failures : -1;
+  }
+  constexpr uint64_t kLoopAllocations = 16;
+  Assembler loop_program("quickstart.demoter");
+  auto loop = loop_program.NewLabel();
+  loop_program.MoveAd(1, kArgAdReg)
+      .LoadAd(2, 1, 0)
+      .LoadImm(0, 0)
+      .LoadImm(1, kLoopAllocations)
+      .Bind(loop)
+      .CreateObject(4, 2, 32)
+      .AddImm(0, 0, 1)
+      .BranchIfLess(0, 1, loop)
+      .Halt();
+  ProcessOptions options;
+  options.initial_arg = carrier.value();
+  auto process = demo.Spawn(loop_program.Build(), options);
+  if (!process.ok()) {
+    std::fprintf(stderr, "imax_lint: quickstart spawn failed\n");
+    return failures > 0 ? failures : -1;
+  }
+  demo.Run();
+  const KernelStats& stats = demo.kernel().stats();
+  std::printf("imax_lint: %llu demotions, %llu bulk-reclaimed, %llu violations, "
+              "%llu fallbacks\n",
+              static_cast<unsigned long long>(stats.demotions),
+              static_cast<unsigned long long>(stats.demoted_bulk_reclaimed),
+              static_cast<unsigned long long>(stats.lifetime_violations),
+              static_cast<unsigned long long>(stats.demote_fallbacks));
+  if (stats.demotions < kLoopAllocations || stats.demoted_bulk_reclaimed != stats.demotions) {
+    std::printf("^^^^ LOST DEMOTION — expected %llu loop allocations demoted and "
+                "bulk-reclaimed\n", static_cast<unsigned long long>(kLoopAllocations));
+    ++failures;
+  }
+  if (stats.lifetime_violations != 0) {
+    std::printf("^^^^ AUDIT VIOLATION — a demoted object escaped its context\n");
+    failures += static_cast<int>(stats.lifetime_violations);
+  }
+  return failures;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -464,6 +680,7 @@ int main(int argc, char** argv) {
   bool demo_bad = false;
   bool deadlock = false;
   bool races = false;
+  bool lifetime = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--dump") == 0) {
       dump = true;
@@ -473,6 +690,8 @@ int main(int argc, char** argv) {
       deadlock = true;
     } else if (std::strcmp(argv[i], "--races") == 0) {
       races = true;
+    } else if (std::strcmp(argv[i], "--lifetime") == 0) {
+      lifetime = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::fputs(kUsage, stdout);
       return 0;
@@ -605,8 +824,17 @@ int main(int argc, char** argv) {
       race_failures = 0;
     }
   }
+  int lifetime_failures = 0;
+  if (lifetime) {
+    lifetime_failures = RunLifetimeChecks(system, dump);
+    if (lifetime_failures < 0) {
+      infrastructure_failed = true;
+      lifetime_failures = 0;
+    }
+  }
 
-  const int findings = errors + missed + deadlock_failures + race_failures;
+  const int findings = errors + missed + deadlock_failures + race_failures +
+                       lifetime_failures;
   const int exit_code = findings > 0 ? 2 : (infrastructure_failed ? 1 : 0);
   std::printf("\nLINT EXIT: %d\n", exit_code);
   return exit_code;

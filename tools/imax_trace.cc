@@ -46,6 +46,7 @@ struct Options {
   uint32_t trace_capacity = TraceRecorder::kDefaultCapacity;
   bool overhead = false;
   bool race_sanitize = false;
+  bool lifetime_demote = false;
   uint32_t inject_count = 0;  // > 0 selects campaign mode
   uint64_t seed = 432;
   Cycles inject_horizon = 2'000'000;
@@ -58,8 +59,9 @@ void Usage() {
                "usage: imax_trace [--workload quickstart|pipeline|churn] [--processors N]\n"
                "                  [--cycles N] [--trace-capacity N] [--out FILE]\n"
                "                  [--metrics FILE] [--overhead] [--race-sanitize]\n"
-               "                  [--inject N] [--seed S] [--inject-horizon CYCLES]\n"
-               "                  [--inject-report FILE] [--inject-verify]\n");
+               "                  [--lifetime-demote] [--inject N] [--seed S]\n"
+               "                  [--inject-horizon CYCLES] [--inject-report FILE]\n"
+               "                  [--inject-verify]\n");
 }
 
 // quickstart: the README workload — a producer/consumer pair over a bounded port, a domain
@@ -262,6 +264,14 @@ std::unique_ptr<System> RunWorkload(const Options& options, bool trace) {
   config.trace = trace;
   config.trace_capacity = options.trace_capacity;
   config.race_sanitize = options.race_sanitize;
+  if (options.lifetime_demote) {
+    // Demotion verdicts come from the load-time lifetime analysis, so the verifier (and
+    // with it the analysis pipeline) must be armed; the auditor rides along to prove every
+    // demotion stayed context-local.
+    config.verify_on_load = true;
+    config.lifetime_demote = true;
+    config.lifetime_audit = true;
+  }
   std::unique_ptr<System> system;
   if (options.workload == "quickstart") {
     system = RunQuickstart(config);
@@ -339,6 +349,13 @@ CampaignResult RunCampaign(const Options& options) {
   config.trace = true;
   config.trace_capacity = options.trace_capacity;
   config.start_patrol_daemon = true;
+  if (options.lifetime_demote) {
+    // Demotion under fire: the campaign replays must stay bit-identical with the demote
+    // machinery (and its auditor) in the loop.
+    config.verify_on_load = true;
+    config.lifetime_demote = true;
+    config.lifetime_audit = true;
+  }
 
   CampaignResult result;
   result.system = std::make_unique<System>(config);
@@ -708,6 +725,8 @@ int main(int argc, char** argv) {
       options.inject_report = value();
     } else if (arg == "--inject-verify") {
       options.inject_verify = true;
+    } else if (arg == "--lifetime-demote") {
+      options.lifetime_demote = true;
     } else if (arg == "--race-sanitize") {
       options.race_sanitize = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -770,6 +789,23 @@ int main(int argc, char** argv) {
                      static_cast<unsigned long long>(race.first_process), race.first_pc,
                      static_cast<unsigned long long>(race.second_process), race.second_pc);
       }
+      return 1;
+    }
+  }
+
+  if (options.lifetime_demote) {
+    const KernelStats& stats = system->kernel().stats();
+    std::fprintf(stderr,
+                 "lifetime demotion: %llu demotions (%llu bulk-reclaimed, %llu fallbacks, "
+                 "%llu demote SROs), %llu violations\n",
+                 static_cast<unsigned long long>(stats.demotions),
+                 static_cast<unsigned long long>(stats.demoted_bulk_reclaimed),
+                 static_cast<unsigned long long>(stats.demote_fallbacks),
+                 static_cast<unsigned long long>(stats.demote_sros_created),
+                 static_cast<unsigned long long>(stats.lifetime_violations));
+    // The canned workloads never leak a demoted object; an audit violation is a real
+    // soundness bug in the lifetime analysis and must fail the run so CI catches it.
+    if (stats.lifetime_violations != 0) {
       return 1;
     }
   }
