@@ -1,0 +1,325 @@
+// E16 — Static interference analysis and the certified AD-translation cache (DESIGN.md §6.4).
+//
+// The interference pass claims four things worth pricing: (1) the per-program footprint
+// summary is cheap enough to ride along with verify-on-load, (2) whole-system composition
+// scales with program count, (3) the certified/epoch-keyed translation cache buys real host
+// wall-clock on the interpreter hot path without moving virtual time by a single cycle, and
+// (4) the dynamic auditor that cross-checks every certified hit is a pure observer.
+//
+// Rows reported:
+//   - InterferenceSummary : per-program Phase 1 cost vs program size (host time)
+//   - InterferenceCompose : AnalyzeInterference() vs program count (host time)
+//   - XlatAllocHotPath    : E2-shaped allocation loop, cache off/on — host best-of-N,
+//                           speedup_pct, hit rate; virtual makespans must be identical
+//   - XlatChurnHotPath    : E6-shaped churn-then-collect loop, cache off/on — same contract
+//   - XlatAuditObserver   : certified reader run with the auditor off/on — the virtual-time
+//                           delta must be exactly zero and the auditor must stay silent
+//
+// Unlike most experiment rows, host time IS the result here: the cache exists to make the
+// emulator faster, and the virtual clock is the invariant, not the metric.
+
+#include <chrono>
+
+#include "bench/bench_util.h"
+#include "src/analysis/interference/interference.h"
+
+namespace imax432 {
+namespace {
+
+using bench::DefaultConfig;
+using bench::MakeCarrier;
+using bench::ToUs;
+
+constexpr ObjectIndex kCarrier = 1;
+constexpr ObjectIndex kContainerBase = 100;
+constexpr ObjectIndex kPortBase = 5000;
+
+// Phase-1 options mirroring what the kernel seeds at load time: a resolvable carrier whose
+// slot 1 is a shared container and slot 2 a port.
+analysis::EffectOptions SyntheticOptions(ObjectIndex container) {
+  analysis::EffectOptions options;
+  options.initial_arg = AccessDescriptor(kCarrier, 1, rights::kAll);
+  options.slot_reader = [container](ObjectIndex object, uint32_t slot) {
+    if (object == kCarrier && slot == 1) {
+      return AccessDescriptor(container, 1, rights::kAll);
+    }
+    if (object == kCarrier && slot == 2) {
+      return AccessDescriptor(kPortBase, 1, rights::kAll);
+    }
+    return AccessDescriptor();
+  };
+  return options;
+}
+
+// Region-dense program: every trip reads and republishes the container through the port,
+// so the summary walks many inter-sync regions and the publication fixpoint.
+ProgramRef BuildRegionProgram(uint32_t size) {
+  Assembler a("regions");
+  a.MoveAd(1, kArgAdReg).LoadAd(3, 1, 1).LoadAd(5, 1, 2);
+  while (a.here() + 4 < size) {
+    a.LoadData(2, 3, 0, 8).StoreData(3, 2, 8, 8).Send(5, 3);
+  }
+  a.Halt();
+  return a.Build();
+}
+
+void BM_InterferenceSummary(benchmark::State& state) {
+  ProgramRef program = BuildRegionProgram(static_cast<uint32_t>(state.range(0)));
+  analysis::EffectOptions options = SyntheticOptions(kContainerBase);
+  uint64_t instructions = 0;
+  uint32_t regions = 0;
+  for (auto _ : state) {
+    analysis::InterferenceSummary summary =
+        analysis::InterferenceAnalyzer::Analyze(*program, options);
+    benchmark::DoNotOptimize(summary);
+    instructions += program->size();
+    regions = summary.region_count;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(instructions));
+  state.counters["program_size"] = static_cast<double>(program->size());
+  state.counters["regions"] = static_cast<double>(regions);
+}
+BENCHMARK(BM_InterferenceSummary)->Arg(16)->Arg(128)->Arg(1024);
+
+// `count` writer programs, each over its own container; every fourth container also gets a
+// reader, so composition exercises both the interfering-pair path and the independence
+// sweep across all O(n^2) pairs.
+void BM_InterferenceCompose(benchmark::State& state) {
+  int count = static_cast<int>(state.range(0));
+  analysis::SystemEffectGraph graph;
+  std::map<ObjectIndex, analysis::InterferenceSummary> summaries;
+  ObjectIndex key = 1;
+  for (int i = 0; i < count; ++i) {
+    ObjectIndex container = kContainerBase + static_cast<ObjectIndex>(i);
+    analysis::EffectOptions options = SyntheticOptions(container);
+    Assembler writer("writer");
+    writer.MoveAd(1, kArgAdReg).LoadAd(3, 1, 1).LoadImm(2, 7).StoreData(3, 2, 0, 8).Halt();
+    ProgramRef program = writer.Build();
+    graph.AddProgram(key, analysis::EffectAnalyzer::Analyze(*program, options));
+    summaries[key] = analysis::InterferenceAnalyzer::Analyze(*program, options);
+    ++key;
+    if (i % 4 == 0) {
+      Assembler reader("reader");
+      reader.MoveAd(1, kArgAdReg).LoadAd(3, 1, 1).LoadData(2, 3, 0, 8).Halt();
+      ProgramRef read_program = reader.Build();
+      graph.AddProgram(key, analysis::EffectAnalyzer::Analyze(*read_program, options));
+      summaries[key] = analysis::InterferenceAnalyzer::Analyze(*read_program, options);
+      ++key;
+    }
+  }
+  uint64_t interfering = 0;
+  uint64_t independent = 0;
+  uint64_t certificates = 0;
+  for (auto _ : state) {
+    analysis::InterferenceAnalysisReport report =
+        analysis::AnalyzeInterference(graph, summaries);
+    benchmark::DoNotOptimize(report);
+    interfering = report.pairs_interfering;
+    independent = report.pairs_independent;
+    certificates = report.certificates.size();
+  }
+  state.counters["programs"] = static_cast<double>(summaries.size());
+  state.counters["pairs_interfering"] = static_cast<double>(interfering);
+  state.counters["pairs_independent"] = static_cast<double>(independent);
+  state.counters["certificates"] = static_cast<double>(certificates);
+}
+BENCHMARK(BM_InterferenceCompose)->Arg(8)->Arg(64)->Arg(512);
+
+// --- The cache rows: host wall-clock on the interpreter hot path ------------------------
+
+SystemConfig CacheConfig(bool cache, bool audit = false, bool gc = false) {
+  SystemConfig config = DefaultConfig(1);
+  config.verify_on_load = true;  // summaries (and with them the certified set) land at spawn
+  config.xlat_cache = cache;
+  config.interference_audit = audit;
+  config.start_gc_daemon = gc;  // the churn row requests a collection mid-run
+  return config;
+}
+
+struct HotPathRun {
+  double best_us = 1e300;  // best-of-N host time for System::Run
+  Cycles virtual_now = 0;
+  XlatCacheStats stats;
+};
+
+// Builds a fresh system per repeat, spawns the workload, and times only the interpreter
+// run. Host timing on millisecond workloads is noisy; best-of-N discards scheduler
+// interference instead of averaging it in.
+template <typename SpawnFn>
+void TimeHotPathOnce(bool cache, bool gc, SpawnFn&& spawn, HotPathRun* result) {
+  using Clock = std::chrono::steady_clock;
+  System system(CacheConfig(cache, /*audit=*/false, gc));
+  if (gc) {
+    system.Run();  // the collector daemon starts and parks before the workload spawns
+  }
+  spawn(system);
+  auto t0 = Clock::now();
+  system.Run();
+  auto t1 = Clock::now();
+  double us = std::chrono::duration<double, std::micro>(t1 - t0).count();
+  result->best_us = std::min(result->best_us, us);
+  result->virtual_now = system.now();
+  result->stats = system.kernel().xlat_stats();
+}
+
+// Repeats are interleaved off/on so a host-load drift during the run skews both
+// configurations equally instead of poisoning one side's best-of-N.
+template <typename SpawnFn>
+void TimeHotPathPair(int repeats, bool gc, SpawnFn&& spawn, HotPathRun* off, HotPathRun* on) {
+  for (int i = 0; i < repeats; ++i) {
+    TimeHotPathOnce(/*cache=*/false, gc, spawn, off);
+    TimeHotPathOnce(/*cache=*/true, gc, spawn, on);
+  }
+}
+
+void ReportHotPath(benchmark::State& state, const HotPathRun& off, const HotPathRun& on) {
+  // The cache is an observer of virtual time: both configurations must reach the same
+  // cycle, or the cache participated in the simulation and the row is void.
+  IMAX_CHECK(off.virtual_now == on.virtual_now);
+  uint64_t hits = on.stats.hits + on.stats.certified_hits + on.stats.program_hits +
+                  on.stats.certified_program_hits;
+  uint64_t misses = on.stats.misses + on.stats.program_misses;
+  state.counters["host_ms_off"] = off.best_us / 1000.0;
+  state.counters["host_ms_on"] = on.best_us / 1000.0;
+  state.counters["speedup_pct"] = (off.best_us / on.best_us - 1.0) * 100.0;
+  state.counters["hit_rate_pct"] =
+      hits + misses > 0 ? 100.0 * static_cast<double>(hits) / static_cast<double>(hits + misses)
+                        : 0.0;
+  state.counters["certified_hits"] = static_cast<double>(on.stats.certified_hits);
+  state.counters["certified_program_hits"] =
+      static_cast<double>(on.stats.certified_program_hits);
+  state.counters["epoch_hits"] = static_cast<double>(on.stats.hits + on.stats.program_hits);
+  state.counters["virtual_us"] = ToUs(on.virtual_now);
+}
+
+// E2-shaped hot path: the allocation loop from bench_allocation — create, initialize, drop,
+// repeat. Every instruction pays a program fetch and every operand access a translation.
+void BM_XlatAllocHotPath(benchmark::State& state) {
+  int count = static_cast<int>(state.range(0));
+  auto spawn = [count](System& system) {
+    AccessDescriptor carrier = MakeCarrier(system, {system.memory().global_heap()});
+    Assembler a("alloc-hot");
+    auto loop = a.NewLabel();
+    a.MoveAd(1, kArgAdReg)
+        .LoadAd(2, 1, 0)
+        .LoadImm(0, 0)
+        .LoadImm(1, static_cast<uint64_t>(count))
+        .Bind(loop)
+        .CreateObject(4, 2, 32)
+        .StoreData(4, 0, 0, 8)
+        .LoadData(3, 4, 0, 8)
+        .ClearAd(4)
+        .AddImm(0, 0, 1)
+        .BranchIfLess(0, 1, loop)
+        .Halt();
+    ProcessOptions options;
+    options.initial_arg = carrier;
+    IMAX_CHECK(system.Spawn(a.Build(), options).ok());
+  };
+  constexpr int kRepeats = 7;
+  for (auto _ : state) {
+    HotPathRun off;
+    HotPathRun on;
+    TimeHotPathPair(kRepeats, /*gc=*/false, spawn, &off, &on);
+    ReportHotPath(state, off, on);
+  }
+  state.counters["allocations"] = count;
+}
+BENCHMARK(BM_XlatAllocHotPath)->Arg(4000)->Iterations(1);
+
+// E6-shaped hot path: the churn loop from bench_gc — create, initialize, read back,
+// republish; every store orphans the slot's old occupant, then a full collection reclaims
+// the garbage with the mutator parked.
+void BM_XlatChurnHotPath(benchmark::State& state) {
+  int count = static_cast<int>(state.range(0));
+  auto spawn = [count](System& system) {
+    AccessDescriptor carrier =
+        MakeCarrier(system, {system.memory().global_heap(), AccessDescriptor()});
+    Assembler a("churn-hot");
+    auto loop = a.NewLabel();
+    a.MoveAd(1, kArgAdReg)
+        .LoadAd(2, 1, 0)
+        .LoadImm(0, 0)
+        .LoadImm(1, static_cast<uint64_t>(count))
+        .Bind(loop)
+        .CreateObject(4, 2, 64);
+    for (uint32_t off = 0; off < 64; off += 8) {
+      a.StoreData(4, 0, off, 8);  // initialize the whole data part before publishing
+    }
+    a.LoadData(3, 4, 0, 8)
+        .StoreAd(1, 4, 1)  // orphans the previous iteration's object
+        .AddImm(0, 0, 1)
+        .BranchIfLess(0, 1, loop)
+        .Halt();
+    ProcessOptions options;
+    options.initial_arg = carrier;
+    IMAX_CHECK(system.Spawn(a.Build(), options).ok());
+    IMAX_CHECK(system.RequestCollection().ok());
+  };
+  constexpr int kRepeats = 7;
+  for (auto _ : state) {
+    HotPathRun off;
+    HotPathRun on;
+    TimeHotPathPair(kRepeats, /*gc=*/true, spawn, &off, &on);
+    ReportHotPath(state, off, on);
+  }
+  state.counters["allocations"] = count;
+}
+BENCHMARK(BM_XlatChurnHotPath)->Arg(3000)->Iterations(1);
+
+// The auditor's contract, priced: an identical certified-reader run with the auditor off
+// and on. The auditor is host-side bookkeeping hanging off certified hits, so the virtual
+// clocks must agree to the cycle and the canned workload must audit clean.
+void BM_XlatAuditObserver(benchmark::State& state) {
+  constexpr uint32_t kIterations = 2000;
+  Cycles clock[2] = {0, 0};
+  uint64_t checked = 0;
+  uint64_t certified = 0;
+  for (auto _ : state) {
+    for (int audit = 0; audit < 2; ++audit) {
+      System system(CacheConfig(/*cache=*/true, audit != 0));
+      auto shared = system.memory().CreateObject(system.memory().global_heap(),
+                                                 SystemType::kGeneric, 64, 0,
+                                                 rights::kRead | rights::kWrite);
+      IMAX_CHECK(shared.ok());
+      IMAX_CHECK(system.machine().addressing().WriteData(shared.value(), 0, 8, 5).ok());
+      Assembler a("certified-reader");
+      auto loop = a.NewLabel();
+      a.MoveAd(1, kArgAdReg)
+          .LoadImm(0, 0)
+          .LoadImm(4, kIterations)
+          .LoadImm(3, 0)
+          .Bind(loop)
+          .LoadData(2, 1, 0, 8)
+          .Add(3, 3, 2)
+          .AddImm(0, 0, 1)
+          .BranchIfLess(0, 4, loop)
+          .Halt();
+      ProcessOptions options;
+      options.initial_arg = shared.value();
+      IMAX_CHECK(system.Spawn(a.Build(), options).ok());
+      system.Run();
+      clock[audit] = system.now();
+      certified = system.kernel().xlat_stats().certified_hits;
+      if (audit != 0) {
+        const analysis::InterferenceAuditorStats& stats =
+            system.kernel().interference_auditor()->stats();
+        checked = stats.hits_checked;
+        IMAX_CHECK(stats.violations == 0);
+        IMAX_CHECK(system.kernel().stats().interference_violations == 0);
+      }
+    }
+    IMAX_CHECK(clock[0] == clock[1]);
+  }
+  state.counters["virtual_us"] = ToUs(clock[1]);
+  state.counters["virtual_delta_cycles"] =
+      static_cast<double>(clock[1] > clock[0] ? clock[1] - clock[0] : clock[0] - clock[1]);
+  state.counters["certified_hits"] = static_cast<double>(certified);
+  state.counters["audited_hits"] = static_cast<double>(checked);
+}
+BENCHMARK(BM_XlatAuditObserver)->Iterations(1);
+
+}  // namespace
+}  // namespace imax432
+
+IMAX_BENCH_MAIN()

@@ -1,0 +1,55 @@
+#include "src/analysis/interference/auditor.h"
+
+#include "src/arch/object_table.h"
+
+namespace imax432 {
+namespace analysis {
+
+const char* InterferenceViolationKindName(InterferenceViolationKind kind) {
+  switch (kind) {
+    case InterferenceViolationKind::kFreed: return "freed";
+    case InterferenceViolationKind::kMutated: return "mutated";
+    case InterferenceViolationKind::kQuarantined: return "quarantined";
+    case InterferenceViolationKind::kRetyped: return "retyped";
+  }
+  return "?";
+}
+
+InterferenceAuditor::Check InterferenceAuditor::CheckCertifiedHit(
+    const ObjectTable& table, ObjectIndex object, uint32_t generation,
+    uint32_t fill_data_epoch, uint8_t fill_type) {
+  ++stats_.hits_checked;
+  if (tracked_.emplace(object, generation).second) ++stats_.certified_tracked;
+
+  Check check;
+  check.violation.object = object;
+  check.violation.generation = generation;
+  check.violation.recorded_epoch = fill_data_epoch;
+
+  if (object >= table.capacity()) {
+    check.ok = false;
+    check.violation.kind = InterferenceViolationKind::kFreed;
+    ++stats_.violations;
+    return check;
+  }
+  const ObjectDescriptor& descriptor = table.At(object);
+  if (!descriptor.allocated || descriptor.generation != generation) {
+    check.ok = false;
+    check.violation.kind = InterferenceViolationKind::kFreed;
+  } else if (static_cast<uint8_t>(descriptor.type) != fill_type) {
+    check.ok = false;
+    check.violation.kind = InterferenceViolationKind::kRetyped;
+  } else if (descriptor.quarantined) {
+    check.ok = false;
+    check.violation.kind = InterferenceViolationKind::kQuarantined;
+  } else if (descriptor.data_epoch != fill_data_epoch) {
+    check.ok = false;
+    check.violation.kind = InterferenceViolationKind::kMutated;
+    check.violation.observed_epoch = descriptor.data_epoch;
+  }
+  if (!check.ok) ++stats_.violations;
+  return check;
+}
+
+}  // namespace analysis
+}  // namespace imax432

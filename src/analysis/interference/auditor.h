@@ -1,0 +1,77 @@
+// Dynamic interference auditor: the ground-truth cross-check for certified translations.
+//
+// The static pass (interference.h) certifies objects immutable; the kernel then lets
+// certified translation-cache entries skip per-hit revalidation entirely (arch/xlat_cache.h).
+// This auditor validates that bargain against the concrete execution
+// (SystemConfig::interference_audit): on every certified hit it recomputes what the skipped
+// authoritative path would have established — the slot is still allocated, the generation
+// still matches the presented AD, the type is unchanged, the object is not quarantined, and
+// `data_epoch` still equals the fill-time value (the immutability witness: nothing wrote the
+// data part since the certificate was issued). Any mismatch is a violation: the analysis
+// certified an object some path mutated or reclaimed without the kernel retracting the
+// certificate. The kernel raises a kInterferenceViolation trace event per hit.
+//
+// Pure observer, same contract as the race sanitizer and lifetime auditor: nothing here
+// consumes virtual time, so the simulated timeline is bit-identical with the audit on or
+// off, preserving the PR 5 replay contract.
+
+#ifndef IMAX432_SRC_ANALYSIS_INTERFERENCE_AUDITOR_H_
+#define IMAX432_SRC_ANALYSIS_INTERFERENCE_AUDITOR_H_
+
+#include <cstdint>
+#include <map>
+
+#include "src/arch/types.h"
+
+namespace imax432 {
+
+class ObjectTable;
+
+namespace analysis {
+
+enum class InterferenceViolationKind : uint8_t {
+  kFreed = 0,       // slot unallocated or generation moved past the certified AD
+  kMutated = 1,     // data_epoch drifted from the fill-time value
+  kQuarantined = 2, // patrol quarantined the object after certification
+  kRetyped = 3,     // descriptor type changed under the certificate
+};
+const char* InterferenceViolationKindName(InterferenceViolationKind kind);
+
+// One certified cache hit that failed its authoritative recheck.
+struct InterferenceViolationRec {
+  ObjectIndex object = kInvalidObjectIndex;
+  uint32_t generation = 0;
+  InterferenceViolationKind kind = InterferenceViolationKind::kFreed;
+  uint32_t recorded_epoch = 0;  // fill-time data_epoch
+  uint32_t observed_epoch = 0;  // live data_epoch at the failing hit
+};
+
+struct InterferenceAuditorStats {
+  uint64_t certified_tracked = 0;  // distinct certified objects seen
+  uint64_t hits_checked = 0;       // certified cache hits cross-checked
+  uint64_t violations = 0;
+};
+
+class InterferenceAuditor {
+ public:
+  struct Check {
+    bool ok = true;
+    InterferenceViolationRec violation;
+  };
+
+  // Cross-checks one certified cache hit against the live table. `fill_data_epoch` and
+  // `fill_type` are the values recorded when the entry was filled.
+  Check CheckCertifiedHit(const ObjectTable& table, ObjectIndex object, uint32_t generation,
+                          uint32_t fill_data_epoch, uint8_t fill_type);
+
+  const InterferenceAuditorStats& stats() const { return stats_; }
+
+ private:
+  std::map<ObjectIndex, uint32_t> tracked_;  // object -> generation first seen certified
+  InterferenceAuditorStats stats_;
+};
+
+}  // namespace analysis
+}  // namespace imax432
+
+#endif  // IMAX432_SRC_ANALYSIS_INTERFERENCE_AUDITOR_H_

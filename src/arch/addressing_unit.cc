@@ -1,12 +1,120 @@
 #include "src/arch/addressing_unit.h"
 
+#include <cstring>
+
 #include "src/base/check.h"
 
 namespace imax432 {
 
+namespace {
+
+// Width-dispatched little-endian scalar access for the fused fast path: each case compiles
+// to a single fixed-size move instead of a variable-length memcpy call.
+inline uint64_t LoadScalar(const uint8_t* p, uint32_t width) {
+  switch (width) {
+    case 1:
+      return *p;
+    case 2: {
+      uint16_t v;
+      std::memcpy(&v, p, 2);
+      return v;
+    }
+    case 4: {
+      uint32_t v;
+      std::memcpy(&v, p, 4);
+      return v;
+    }
+    default: {
+      uint64_t v;
+      std::memcpy(&v, p, 8);
+      return v;
+    }
+  }
+}
+
+inline void StoreScalar(uint8_t* p, uint32_t width, uint64_t value) {
+  switch (width) {
+    case 1:
+      *p = static_cast<uint8_t>(value);
+      return;
+    case 2: {
+      uint16_t v = static_cast<uint16_t>(value);
+      std::memcpy(p, &v, 2);
+      return;
+    }
+    case 4: {
+      uint32_t v = static_cast<uint32_t>(value);
+      std::memcpy(p, &v, 4);
+      return;
+    }
+    default:
+      std::memcpy(p, &value, 8);
+      return;
+  }
+}
+
+// A fused-fast-path probe: a translation hit plus every per-access check CheckDataAccess
+// performs, evaluated on the already-probed entry in one branch chain. Returns {nullptr,
+// nullptr} on any miss or check failure, sending the caller to the layered slow path —
+// which owns fault selection, so fault semantics are byte-identical with the cache bound.
+struct FastDataHit {
+  XlatEntry* entry = nullptr;
+  ObjectDescriptor* descriptor = nullptr;
+};
+
+inline FastDataHit ProbeFastDataHit(XlatCache* xlat, const PhysicalMemory& memory,
+                                    const AccessDescriptor& ad, uint32_t offset,
+                                    uint32_t width, RightsMask required) {
+  FastDataHit hit;
+  XlatEntry& entry = xlat->Probe(ad.index());
+  if (entry.descriptor == nullptr || entry.index != ad.index() ||
+      entry.generation != ad.generation()) {
+    return hit;
+  }
+  ObjectDescriptor* descriptor = entry.descriptor;
+  // Certified entries skip the liveness revalidation under the interference analysis's
+  // immutability proof; epoch-keyed entries replicate Resolve's checks.
+  if (!entry.certified &&
+      !(descriptor->allocated && descriptor->generation == ad.generation())) {
+    return hit;
+  }
+  if (descriptor->quarantined || descriptor->swapped_out || !ad.HasRights(required) ||
+      static_cast<uint64_t>(offset) + width > descriptor->data_length ||
+      !memory.InRange(descriptor->data_base + offset, width) ||
+      (width != 1 && width != 2 && width != 4 && width != 8)) {
+    return hit;
+  }
+  hit.entry = &entry;
+  hit.descriptor = descriptor;
+  return hit;
+}
+
+}  // namespace
+
+Result<ObjectDescriptor*> AddressingUnit::ResolveAndFill(const AccessDescriptor& ad) const {
+  ++xlat_->stats().misses;
+  Result<ObjectDescriptor*> resolved = table_->Resolve(ad);
+  if (!resolved.ok()) {
+    return resolved;
+  }
+  ObjectDescriptor* descriptor = resolved.value();
+  XlatEntry& entry = xlat_->Probe(ad.index());
+  if (entry.index != ad.index() || entry.generation != ad.generation()) {
+    // New identity in this slot: drop any payload carried for the evicted translation.
+    entry = XlatEntry{};
+    entry.index = ad.index();
+    entry.generation = ad.generation();
+  }
+  entry.descriptor = descriptor;
+  entry.data_epoch = descriptor->data_epoch;
+  entry.type = static_cast<uint8_t>(descriptor->type);
+  entry.certified = xlat_->IsCertified(ad.index());
+  return resolved;
+}
+
 Result<PhysAddr> AddressingUnit::CheckDataAccess(const AccessDescriptor& ad, uint32_t offset,
                                                  uint32_t length, RightsMask required) const {
-  IMAX_ASSIGN_OR_RETURN(const ObjectDescriptor* object, table_->Resolve(ad));
+  IMAX_ASSIGN_OR_RETURN(const ObjectDescriptor* object, CachedResolve(ad));
   if (object->quarantined) {
     return Fault::kObjectQuarantined;
   }
@@ -25,6 +133,18 @@ Result<PhysAddr> AddressingUnit::CheckDataAccess(const AccessDescriptor& ad, uin
 
 Result<uint64_t> AddressingUnit::ReadData(const AccessDescriptor& ad, uint32_t offset,
                                           uint32_t width) const {
+  if (xlat_ != nullptr) {
+    FastDataHit hit = ProbeFastDataHit(xlat_, *memory_, ad, offset, width, rights::kRead);
+    if (hit.descriptor != nullptr) {
+      if (hit.entry->certified) {
+        ++xlat_->stats().certified_hits;
+        xlat_->NotifyCertifiedHit(*hit.entry);
+      } else {
+        ++xlat_->stats().hits;
+      }
+      return LoadScalar(memory_->at(hit.descriptor->data_base + offset), width);
+    }
+  }
   if (width != 1 && width != 2 && width != 4 && width != 8) {
     return Fault::kInvalidArgument;
   }
@@ -34,6 +154,21 @@ Result<uint64_t> AddressingUnit::ReadData(const AccessDescriptor& ad, uint32_t o
 
 Status AddressingUnit::WriteData(const AccessDescriptor& ad, uint32_t offset, uint32_t width,
                                  uint64_t value) {
+  if (xlat_ != nullptr) {
+    FastDataHit hit = ProbeFastDataHit(xlat_, *memory_, ad, offset, width, rights::kWrite);
+    if (hit.descriptor != nullptr) {
+      if (hit.entry->certified) {
+        ++xlat_->stats().certified_hits;
+        xlat_->NotifyCertifiedHit(*hit.entry);
+      } else {
+        ++xlat_->stats().hits;
+      }
+      StoreScalar(memory_->at(hit.descriptor->data_base + offset), width, value);
+      // Same epoch bump as the slow path, on the descriptor already in hand.
+      ++hit.descriptor->data_epoch;
+      return Status::Ok();
+    }
+  }
   if (width != 1 && width != 2 && width != 4 && width != 8) {
     return Fault::kInvalidArgument;
   }
@@ -61,7 +196,7 @@ Status AddressingUnit::WriteDataBlock(const AccessDescriptor& ad, uint32_t offse
 
 Result<AccessDescriptor> AddressingUnit::ReadAd(const AccessDescriptor& container,
                                                 uint32_t slot) const {
-  IMAX_ASSIGN_OR_RETURN(const ObjectDescriptor* object, table_->Resolve(container));
+  IMAX_ASSIGN_OR_RETURN(const ObjectDescriptor* object, CachedResolve(container));
   if (object->quarantined) {
     return Fault::kObjectQuarantined;
   }
@@ -76,7 +211,7 @@ Result<AccessDescriptor> AddressingUnit::ReadAd(const AccessDescriptor& containe
 
 Status AddressingUnit::WriteAd(const AccessDescriptor& container, uint32_t slot,
                                const AccessDescriptor& ad) {
-  IMAX_ASSIGN_OR_RETURN(ObjectDescriptor * object, table_->Resolve(container));
+  IMAX_ASSIGN_OR_RETURN(ObjectDescriptor * object, CachedResolve(container));
   if (object->quarantined) {
     return Fault::kObjectQuarantined;
   }
@@ -90,7 +225,7 @@ Status AddressingUnit::WriteAd(const AccessDescriptor& container, uint32_t slot,
     object->access[slot] = AccessDescriptor();
     return Status::Ok();
   }
-  IMAX_ASSIGN_OR_RETURN(ObjectDescriptor * referenced, table_->Resolve(ad));
+  IMAX_ASSIGN_OR_RETURN(ObjectDescriptor * referenced, CachedResolve(ad));
   // Lifetime storing rule: container.level must be >= referenced.level.
   if (!ObjectTable::StorePermitted(*object, *referenced)) {
     return Fault::kLevelViolation;
@@ -107,12 +242,12 @@ Status AddressingUnit::WriteAd(const AccessDescriptor& container, uint32_t slot,
 
 Status AddressingUnit::WriteAdPrivileged(const AccessDescriptor& container, uint32_t slot,
                                          const AccessDescriptor& ad) {
-  IMAX_ASSIGN_OR_RETURN(ObjectDescriptor * object, table_->Resolve(container));
+  IMAX_ASSIGN_OR_RETURN(ObjectDescriptor * object, CachedResolve(container));
   if (slot >= object->access_count()) {
     return Fault::kBoundsViolation;
   }
   if (!ad.is_null()) {
-    IMAX_ASSIGN_OR_RETURN(ObjectDescriptor * referenced, table_->Resolve(ad));
+    IMAX_ASSIGN_OR_RETURN(ObjectDescriptor * referenced, CachedResolve(ad));
     if (referenced->color == GcColor::kWhite) {
       referenced->color = GcColor::kGray;
       ++shade_count_;
@@ -124,7 +259,7 @@ Status AddressingUnit::WriteAdPrivileged(const AccessDescriptor& container, uint
 
 Result<ObjectDescriptor*> AddressingUnit::ResolveTyped(const AccessDescriptor& ad,
                                                        SystemType type, RightsMask required) {
-  IMAX_ASSIGN_OR_RETURN(ObjectDescriptor * object, table_->Resolve(ad));
+  IMAX_ASSIGN_OR_RETURN(ObjectDescriptor * object, CachedResolve(ad));
   if (object->type != type) {
     return Fault::kTypeMismatch;
   }
@@ -136,7 +271,7 @@ Result<ObjectDescriptor*> AddressingUnit::ResolveTyped(const AccessDescriptor& a
 
 Result<ObjectDescriptor*> AddressingUnit::ResolveChecked(const AccessDescriptor& ad,
                                                          RightsMask required) {
-  IMAX_ASSIGN_OR_RETURN(ObjectDescriptor * object, table_->Resolve(ad));
+  IMAX_ASSIGN_OR_RETURN(ObjectDescriptor * object, CachedResolve(ad));
   if (!ad.HasRights(required)) {
     return Fault::kRightsViolation;
   }

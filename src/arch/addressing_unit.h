@@ -21,6 +21,7 @@
 #include "src/arch/object_table.h"
 #include "src/arch/physical_memory.h"
 #include "src/arch/types.h"
+#include "src/arch/xlat_cache.h"
 #include "src/base/result.h"
 
 namespace imax432 {
@@ -75,15 +76,54 @@ class AddressingUnit {
   // fault-information area; the memory manager reads it to service the fault).
   ObjectIndex last_swapped_object() const { return last_swapped_object_; }
 
+  // Binds (or unbinds, with nullptr) a per-processor AD-translation cache
+  // (SystemConfig::xlat_cache). Every Resolve in this unit then goes through CachedResolve:
+  // an epoch-keyed hit replicates Resolve's allocated/generation checks on the cached
+  // descriptor pointer; a certified hit skips them under the interference analysis's
+  // immutability proof. Rights, bounds, quarantine, swap state, and data_base stay per-access
+  // on the resolved descriptor, so fault semantics are byte-identical with the cache bound.
+  void BindXlatCache(XlatCache* cache) { xlat_ = cache; }
+  XlatCache* xlat_cache() const { return xlat_; }
+
  private:
   // Common data-part checks; returns the physical address of (ad.data_base + offset).
-  Result<PhysAddr> CheckDataAccess(const AccessDescriptor& ad, uint32_t offset, uint32_t length,
-                                   RightsMask required) const;
+  // always_inline pins the no-cache configuration's codegen: the fused fast path below
+  // grows ReadData/WriteData past GCC's inlining budget, and letting this helper fall out
+  // of line would slow the default (cache-off) interpreter hot path by ~50%.
+  __attribute__((always_inline)) inline Result<PhysAddr> CheckDataAccess(
+      const AccessDescriptor& ad, uint32_t offset, uint32_t length, RightsMask required) const;
+
+  // ObjectTable::Resolve through the bound translation cache (authoritative Resolve when no
+  // cache is bound). Hot: inline, one predictable branch on the unbound path.
+  Result<ObjectDescriptor*> CachedResolve(const AccessDescriptor& ad) const {
+    if (xlat_ != nullptr) {
+      XlatEntry& entry = xlat_->Probe(ad.index());
+      if (entry.descriptor != nullptr && entry.index == ad.index() &&
+          entry.generation == ad.generation()) {
+        if (entry.certified) {
+          ++xlat_->stats().certified_hits;
+          xlat_->NotifyCertifiedHit(entry);
+          return entry.descriptor;
+        }
+        if (entry.descriptor->allocated && entry.descriptor->generation == ad.generation()) {
+          ++xlat_->stats().hits;
+          return entry.descriptor;
+        }
+      }
+      return ResolveAndFill(ad);
+    }
+    return table_->Resolve(ad);
+  }
+
+  // Slow path: authoritative Resolve, then (on success) fill the probed entry. Fault
+  // outcomes are never cached.
+  Result<ObjectDescriptor*> ResolveAndFill(const AccessDescriptor& ad) const;
 
   ObjectTable* table_;
   PhysicalMemory* memory_;
   uint64_t shade_count_ = 0;
   mutable ObjectIndex last_swapped_object_ = kInvalidObjectIndex;
+  XlatCache* xlat_ = nullptr;
 };
 
 }  // namespace imax432

@@ -67,12 +67,17 @@ class PhysicalMemory {
     return Status::Ok();
   }
 
- private:
   bool InRange(PhysAddr addr, uint32_t length) const {
     // Overflow-safe: addr + length may wrap in 32 bits.
     return static_cast<uint64_t>(addr) + length <= bytes_.size();
   }
 
+  // Direct byte access for the addressing unit's fused fast path. Callers must pair with
+  // an InRange check; the accessor itself performs none.
+  const uint8_t* at(PhysAddr addr) const { return &bytes_[addr]; }
+  uint8_t* at(PhysAddr addr) { return &bytes_[addr]; }
+
+ private:
   std::vector<uint8_t> bytes_;
 };
 

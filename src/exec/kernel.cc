@@ -125,10 +125,17 @@ Status Kernel::AddProcessors(int count, const AccessDescriptor& dispatch_port) {
     view.SetSlot(ProcessorLayout::kSlotDispatchPort, port);
 
     processors_.push_back(ProcessorRec{id, object, port, AccessDescriptor(), machine_->now(),
-                                       false, false});
+                                       false, false, 0, XlatCache{}});
+    processors_.back().xlat.SetCertifiedSet(&certified_translations_);
+    if (interference_auditor_ != nullptr) {
+      processors_.back().xlat.SetCertifiedHitHook(&Kernel::CertifiedHitThunk, this);
+    }
     // The processor comes online and immediately looks for work.
     machine_->events().ScheduleAfter(0, [this, id] { ProcessorFetch(id); });
   }
+  // push_back may have reallocated processors_; drop any stale addressing-unit binding
+  // until the next ProcessorStep rebinds the executing processor's cache.
+  machine_->addressing().BindXlatCache(nullptr);
   return Status::Ok();
 }
 
@@ -168,8 +175,11 @@ Result<AccessDescriptor> Kernel::CreateProcess(ProgramRef program,
                         analysis::ProgramKind::kProcess);
   } else {
     // Defer the summary to the first AnalyzeSystem() call, but keep the concrete initial
-    // argument — it is what makes the program's port uses resolvable at all.
+    // argument — it is what makes the program's port uses resolvable at all. Until that
+    // summary exists the program is unsummarized code entering the system: every certified
+    // translation must be retracted (EnsureSummaries will cover it before recertification).
     deferred_args_[segment.index()] = options.initial_arg;
+    InvalidateTranslationCaches();
   }
   // The kernel itself feeds fault and scheduler ports (RaiseFault / scheduler
   // notifications), so their receivers are never statically starved.
@@ -291,6 +301,15 @@ Result<AccessDescriptor> Kernel::CreateDomain(const std::vector<AccessDescriptor
         // Domain entries take arbitrary caller arguments: no initial-arg seeding.
         RecordEffectSummary(entry_segment.index(), *entry_program, AccessDescriptor(),
                             analysis::ProgramKind::kDomainEntry);
+      }
+    }
+  } else {
+    // Unsummarized entry code can now run through Call: retract every certified
+    // translation until EnsureSummaries covers it.
+    for (const AccessDescriptor& entry_segment : entries) {
+      if (!effect_graph_.HasProgram(entry_segment.index())) {
+        InvalidateTranslationCaches();
+        break;
       }
     }
   }
@@ -596,6 +615,13 @@ void Kernel::ProcessorStep(uint16_t processor_id) {
                                   [this, processor_id] { ProcessorStep(processor_id); });
     return;
   }
+  if (xlat_cache_enabled_) {
+    // Per-processor translation cache: rebound every step so the addressing unit always
+    // consults the cache of the processor actually executing, and never a pointer left
+    // stale by a processors_ reallocation.
+    machine_->addressing().BindXlatCache(&rec.xlat);
+    audit_cpu_ = processor_id;
+  }
   ProcessView proc = process_view(rec.current);
 
   // Honor stops at instruction boundaries ("nested stopping and starting of processes").
@@ -608,14 +634,29 @@ void Kernel::ProcessorStep(uint16_t processor_id) {
   }
 
   ContextView ctx(&machine_->addressing(), proc.context());
-  auto program_result = programs_.Fetch(ctx.instruction_segment());
-  if (!program_result.ok()) {
-    RaiseFault(proc, program_result.fault());
-    machine_->events().ScheduleAfter(cycles::kDispatch,
-                                     [this, processor_id] { ProcessorFetch(processor_id); });
-    return;
+  const Program* program_ptr = nullptr;
+  ProgramRef program_ref;  // keeps the uncached fetch's program alive through this step
+  if (xlat_cache_enabled_) {
+    auto cached = FetchProgramCached(rec, ctx.instruction_segment());
+    if (!cached.ok()) {
+      RaiseFault(proc, cached.fault());
+      machine_->events().ScheduleAfter(cycles::kDispatch,
+                                       [this, processor_id] { ProcessorFetch(processor_id); });
+      return;
+    }
+    program_ptr = cached.value();
+  } else {
+    auto program_result = programs_.Fetch(ctx.instruction_segment());
+    if (!program_result.ok()) {
+      RaiseFault(proc, program_result.fault());
+      machine_->events().ScheduleAfter(cycles::kDispatch,
+                                       [this, processor_id] { ProcessorFetch(processor_id); });
+      return;
+    }
+    program_ref = program_result.value();
+    program_ptr = program_ref.get();
   }
-  const Program& program = *program_result.value();
+  const Program& program = *program_ptr;
 
   uint32_t pc = ctx.pc();
   StepEffect effect;
@@ -1449,7 +1490,15 @@ void Kernel::RecordEffectSummary(ObjectIndex segment, const Program& program,
                                  analysis::ProgramKind kind) {
   analysis::EffectOptions options =
       analysis::EffectOptionsForTable(machine_->table(), initial_arg, &symbols_);
-  effect_graph_.AddProgram(segment, analysis::EffectAnalyzer::Analyze(program, options), kind);
+  analysis::EffectSummary effects = analysis::EffectAnalyzer::Analyze(program, options);
+
+  // The interference summary reuses the effect pass's resolved access list, so it rides
+  // along at negligible extra cost and AnalyzeInterference never re-walks the program.
+  interference_summaries_[segment] =
+      analysis::InterferenceAnalyzer::Analyze(program, options, effects);
+  ++stats_.interference_summaries;
+
+  effect_graph_.AddProgram(segment, std::move(effects), kind);
   ++stats_.effect_summaries;
 
   // The lifetime summary rides along so demotion verdicts exist the moment the program can
@@ -1460,6 +1509,10 @@ void Kernel::RecordEffectSummary(ObjectIndex segment, const Program& program,
   demotable_sites_[segment] = std::move(demotable);
   lifetime_summaries_[segment] = std::move(lifetime);
   ++stats_.lifetime_summaries;
+
+  // A new summary can retract previously certified immutability: kill every cached
+  // translation and force recertification before the next certified hit.
+  InvalidateTranslationCaches();
 }
 
 bool Kernel::IsDemotableSite(ObjectIndex segment, uint32_t pc) const {
@@ -1534,6 +1587,163 @@ analysis::RaceAnalysisReport Kernel::AnalyzeRaces() {
 analysis::LifetimeAnalysisReport Kernel::AnalyzeLifetimes() {
   EnsureSummaries();
   return analysis::AnalyzeLifetimes(effect_graph_, lifetime_summaries_);
+}
+
+analysis::InterferenceAnalysisReport Kernel::AnalyzeInterference() {
+  EnsureSummaries();
+  return analysis::AnalyzeInterference(effect_graph_, interference_summaries_);
+}
+
+void Kernel::EnableXlatCache() {
+  xlat_cache_enabled_ = true;
+  certificates_stale_ = true;
+  for (ProcessorRec& rec : processors_) {
+    rec.xlat.SetCertifiedSet(&certified_translations_);
+    if (interference_auditor_ != nullptr) {
+      rec.xlat.SetCertifiedHitHook(&Kernel::CertifiedHitThunk, this);
+    }
+  }
+}
+
+void Kernel::EnableInterferenceAuditor() {
+  if (interference_auditor_ == nullptr) {
+    interference_auditor_ = std::make_unique<analysis::InterferenceAuditor>();
+  }
+  for (ProcessorRec& rec : processors_) {
+    rec.xlat.SetCertifiedHitHook(&Kernel::CertifiedHitThunk, this);
+  }
+}
+
+XlatCacheStats Kernel::xlat_stats() const {
+  XlatCacheStats total;
+  for (const ProcessorRec& rec : processors_) {
+    const XlatCacheStats& s = rec.xlat.stats();
+    total.hits += s.hits;
+    total.certified_hits += s.certified_hits;
+    total.misses += s.misses;
+    total.program_hits += s.program_hits;
+    total.certified_program_hits += s.certified_program_hits;
+    total.program_misses += s.program_misses;
+  }
+  return total;
+}
+
+void Kernel::InvalidateTranslationCaches() {
+  certificates_stale_ = true;
+  if (!xlat_cache_enabled_) return;
+  for (ProcessorRec& rec : processors_) rec.xlat.Clear();
+  ++stats_.xlat_invalidations;
+}
+
+void Kernel::EnsureInterferenceCertificates() {
+  if (!certificates_stale_) return;
+  // EnsureSummaries can re-mark us stale through RecordEffectSummary; the flag is cleared
+  // only at the very end, after the certified set reflects every summary just computed.
+  EnsureSummaries();
+  analysis::InterferenceAnalysisReport report =
+      analysis::AnalyzeInterference(effect_graph_, interference_summaries_);
+  certified_translations_.clear();
+
+  // Generic objects qualify only under strict, caveat-free immutability certificates on
+  // every certified part: zero false positives, at the price of recall.
+  std::map<ObjectIndex, bool> strict;
+  for (const analysis::CacheCertificate& cert : report.certificates) {
+    bool ok = cert.grade == analysis::CacheGrade::kImmutable && !cert.caveat;
+    auto [it, inserted] = strict.emplace(cert.object, ok);
+    if (!inserted) it->second = it->second && ok;
+  }
+  ObjectTable& table = machine_->table();
+  for (const auto& [object, ok] : strict) {
+    if (!ok || object >= table.capacity()) continue;
+    const ObjectDescriptor& descriptor = table.At(object);
+    if (descriptor.allocated && descriptor.type == SystemType::kGeneric) {
+      certified_translations_.insert(object);
+    }
+  }
+
+  // Instruction segments qualify whenever no summarized program writes them. The store
+  // registers them read-only, and every kernel mutation path (Register, Forget via the GC
+  // reclaim observer) bumps the store version or clears these caches anyway.
+  programs_.ForEach([this](ObjectIndex segment, const Program&) {
+    for (const auto& [index, summary] : interference_summaries_) {
+      if (summary.Writes(segment, analysis::ObjectPart::kData) ||
+          summary.Writes(segment, analysis::ObjectPart::kAccess)) {
+        return;
+      }
+    }
+    certified_translations_.insert(segment);
+  });
+
+  // The membership just changed; entries filled against the old set are untrustworthy.
+  for (ProcessorRec& rec : processors_) rec.xlat.Clear();
+  certificates_stale_ = false;
+}
+
+Result<const Program*> Kernel::FetchProgramCached(ProcessorRec& rec,
+                                                 const AccessDescriptor& ad) {
+  XlatEntry& entry = rec.xlat.Probe(ad.index());
+  if (entry.program != nullptr && entry.index == ad.index() &&
+      entry.generation == ad.generation()) {
+    if (entry.certified) {
+      // Analysis-certified immutable: no revalidation at all. The dynamic auditor (when
+      // armed) cross-checks the claim against the live descriptor.
+      ++rec.xlat.stats().certified_program_hits;
+      rec.xlat.NotifyCertifiedHit(entry);
+      return static_cast<const Program*>(entry.program);
+    }
+    // Epoch-keyed: revalidate exactly what ProgramStore::Fetch checks, plus the epochs
+    // that witness content stability (descriptor data_epoch, store version).
+    const ObjectDescriptor* descriptor = entry.descriptor;
+    if (descriptor->allocated && descriptor->generation == ad.generation() &&
+        descriptor->type == SystemType::kInstructionSegment &&
+        descriptor->data_epoch == entry.data_epoch &&
+        entry.program_version == programs_.version()) {
+      ++rec.xlat.stats().program_hits;
+      return static_cast<const Program*>(entry.program);
+    }
+  }
+  ++rec.xlat.stats().program_misses;
+  EnsureInterferenceCertificates();
+  IMAX_ASSIGN_OR_RETURN(ObjectDescriptor * descriptor, machine_->table().Resolve(ad));
+  if (descriptor->type != SystemType::kInstructionSegment) {
+    return Fault::kTypeMismatch;
+  }
+  const Program* program = programs_.Find(ad.index());
+  if (program == nullptr) {
+    return Fault::kNotFound;
+  }
+  // Re-probe: EnsureInterferenceCertificates may have cleared the cache above.
+  XlatEntry& fill = rec.xlat.Probe(ad.index());
+  fill = XlatEntry{};
+  fill.index = ad.index();
+  fill.generation = ad.generation();
+  fill.descriptor = descriptor;
+  fill.program = program;
+  fill.program_version = programs_.version();
+  fill.data_epoch = descriptor->data_epoch;
+  fill.type = static_cast<uint8_t>(SystemType::kInstructionSegment);
+  fill.certified = rec.xlat.IsCertified(ad.index());
+  return program;
+}
+
+void Kernel::CertifiedHitThunk(void* kernel, const XlatEntry& entry) {
+  static_cast<Kernel*>(kernel)->OnCertifiedXlatHit(entry);
+}
+
+void Kernel::OnCertifiedXlatHit(const XlatEntry& entry) {
+  if (interference_auditor_ == nullptr) return;
+  analysis::InterferenceAuditor::Check check = interference_auditor_->CheckCertifiedHit(
+      machine_->table(), entry.index, entry.generation, entry.data_epoch, entry.type);
+  if (check.ok) return;
+  ++stats_.interference_violations;
+  machine_->trace().Emit(TraceEventKind::kInterferenceViolation, machine_->now(), audit_cpu_,
+                         kTraceNoProcess, entry.index,
+                         static_cast<uint32_t>(check.violation.kind), entry.data_epoch);
+  IMAX_LOG_ERROR(
+      "interference audit: certified object %u failed its %s cross-check "
+      "(fill epoch %u, observed %u)",
+      entry.index, analysis::InterferenceViolationKindName(check.violation.kind),
+      entry.data_epoch, check.violation.observed_epoch);
 }
 
 Cycles Kernel::TotalBusyCycles() const {

@@ -22,10 +22,13 @@
 #include <vector>
 
 #include "src/analysis/deadlock.h"
+#include "src/analysis/interference/auditor.h"
+#include "src/analysis/interference/interference.h"
 #include "src/analysis/lifetime/auditor.h"
 #include "src/analysis/lifetime/lifetime.h"
 #include "src/analysis/races/races.h"
 #include "src/analysis/races/sanitizer.h"
+#include "src/arch/xlat_cache.h"
 #include "src/exec/execution_context.h"
 #include "src/ipc/port_subsystem.h"
 #include "src/isa/disassembler.h"
@@ -85,6 +88,9 @@ struct KernelStats {
   uint64_t processors_retired = 0;   // GDPs permanently halted (fault injection / operator)
   uint64_t processors_stalled = 0;   // transient GDP stalls applied
   uint64_t retirement_requeues = 0;  // in-flight processes rescued from a retired GDP
+  uint64_t interference_summaries = 0;  // object-footprint summaries computed
+  uint64_t interference_violations = 0; // certified cache hits that failed the audit
+  uint64_t xlat_invalidations = 0;   // whole-cache clears on analysis/store retraction
 };
 
 class Kernel {
@@ -219,6 +225,13 @@ class Kernel {
   // like AnalyzeSystem.
   analysis::LifetimeAnalysisReport AnalyzeLifetimes();
 
+  // Runs the whole-system interference/immutability analysis
+  // (src/analysis/interference/interference.h) over the same incrementally-maintained
+  // summaries, completing any missing ones first exactly like AnalyzeSystem. Pairwise
+  // independence verdicts are the lookahead oracle for parallel execution; the certificate
+  // report is what EnsureInterferenceCertificates consumes for the translation cache.
+  analysis::InterferenceAnalysisReport AnalyzeInterference();
+
   // The incrementally-maintained summary store. Tests and tools may mark additional
   // external senders/receivers before calling AnalyzeSystem().
   analysis::SystemEffectGraph& effect_graph() { return effect_graph_; }
@@ -228,15 +241,24 @@ class Kernel {
     return lifetime_summaries_;
   }
 
+  // Per-segment interference summaries, maintained alongside the effect graph.
+  const std::map<ObjectIndex, analysis::InterferenceSummary>& interference_summaries() const {
+    return interference_summaries_;
+  }
+
   // Drops all analysis state for a reclaimed instruction segment (summary + any deferred
-  // initial-argument fact + its diagnostic name + lifetime summary and demotable-site set).
-  // Called by the GC reclaim observer.
+  // initial-argument fact + its diagnostic name + lifetime summary and demotable-site set +
+  // interference summary). Called by the GC reclaim observer. Any change to the analyzed
+  // program set retracts the certificate basis, so the translation caches are cleared and
+  // the certified set marked stale for lazy recomputation.
   void ForgetProgramAnalysis(ObjectIndex segment) {
     effect_graph_.RemoveProgram(segment);
     deferred_args_.erase(segment);
     symbols_.Forget(segment);
     lifetime_summaries_.erase(segment);
     demotable_sites_.erase(segment);
+    interference_summaries_.erase(segment);
+    InvalidateTranslationCaches();
   }
 
   // Turns on the dynamic race sanitizer (analysis/races/sanitizer.h). Pure observer: no
@@ -257,6 +279,23 @@ class Kernel {
     }
   }
   analysis::LifetimeAuditor* lifetime_auditor() { return lifetime_auditor_.get(); }
+
+  // Arms the per-processor AD-translation caches (SystemConfig::xlat_cache): ProcessorStep
+  // binds each processor's cache into the AddressingUnit and serves instruction fetches
+  // through it. Host-side only — cycle charges are untouched, so virtual time and the PR 5
+  // replay fingerprint are bit-identical with the cache on or off.
+  void EnableXlatCache();
+  bool xlat_cache_enabled() const { return xlat_cache_enabled_; }
+
+  // Aggregate hit/miss counters over every processor's translation cache.
+  XlatCacheStats xlat_stats() const;
+
+  // Turns on the dynamic interference auditor (analysis/interference/auditor.h): every
+  // certified translation-cache hit is re-derived against the authoritative table state.
+  // Pure observer; findings surface as kInterferenceViolation trace events and in
+  // stats().interference_violations.
+  void EnableInterferenceAuditor();
+  analysis::InterferenceAuditor* interference_auditor() { return interference_auditor_.get(); }
 
   // Object names used by analysis diagnostics and annotated disassembly. Name ports before
   // the programs using them load: summaries render their disassembly at registration time.
@@ -287,6 +326,7 @@ class Kernel {
     bool waiting = false;         // queued at the dispatching port as an idle receiver
     bool halted = false;
     Cycles stall_until = 0;       // transient stall: no execution before this time
+    XlatCache xlat;               // per-processor AD-translation cache (xlat_cache_enabled_)
   };
 
   // Outcome of one interpreted instruction.
@@ -339,6 +379,29 @@ class Kernel {
   // AnalyzeSystem and AnalyzeRaces).
   void EnsureSummaries();
 
+  // Instruction fetch through the processor's translation cache: a hit skips the table
+  // resolve and the program-store map lookup. Certified entries (instruction segments under
+  // the kernel-trusted carve-out) skip revalidation entirely; epoch-keyed entries recheck
+  // liveness, type, data_epoch, and the store version, so every path that could change what
+  // an AD translates to forces the authoritative slow path.
+  Result<const Program*> FetchProgramCached(ProcessorRec& rec, const AccessDescriptor& ad);
+
+  // Lazily recomputes certified_translations_ from the interference analysis when stale.
+  // Consumption rule (DESIGN.md §6.4): generic objects only under a strict, caveat-free
+  // kImmutable certificate on both parts; instruction segments whenever no summarized
+  // program writes them (kernel-trusted carve-out — segments are registered with read-only
+  // rights, and every kernel mutation path bumps the store version or clears these caches).
+  void EnsureInterferenceCertificates();
+
+  // Clears every processor's translation cache and marks the certified set stale. Called
+  // whenever the analyzed program set changes (RecordEffectSummary, ForgetProgramAnalysis).
+  void InvalidateTranslationCaches();
+
+  // Certified-hit tap installed on the per-processor caches while the interference auditor
+  // is armed; cross-checks the hit and raises kInterferenceViolation on mismatch.
+  static void CertifiedHitThunk(void* kernel, const XlatEntry& entry);
+  void OnCertifiedXlatHit(const XlatEntry& entry);
+
   // Computes and stores the IPC effect summary for a freshly-registered program, seeding
   // resolution from the loader's concrete knowledge of the initial argument. Also computes
   // the program's lifetime summary and demotable-site set (lifetime/lifetime.h).
@@ -382,6 +445,15 @@ class Kernel {
   uint32_t demote_sro_bytes_ = 16 * 1024;
   std::map<ObjectIndex, analysis::LifetimeSummary> lifetime_summaries_;
   std::map<ObjectIndex, std::set<uint32_t>> demotable_sites_;  // segment -> demotable pcs
+  std::map<ObjectIndex, analysis::InterferenceSummary> interference_summaries_;
+  bool xlat_cache_enabled_ = false;
+  // Objects whose translations the analysis certified immutable. The per-processor caches
+  // hold a pointer to this set; it changes only under InvalidateTranslationCaches +
+  // EnsureInterferenceCertificates, which clear the caches around every update.
+  std::set<ObjectIndex> certified_translations_;
+  bool certificates_stale_ = true;
+  std::unique_ptr<analysis::InterferenceAuditor> interference_auditor_;
+  uint16_t audit_cpu_ = 0;  // processor attributed to kInterferenceViolation events
 
   // Observability bookkeeping (src/obs): open port waits keyed by process index and open
   // domain-call residences keyed by callee context index. Closed in MakeReady / DoReturn;

@@ -30,6 +30,7 @@ class ProgramStore {
     IMAX_RETURN_IF_FAULT(machine_->memory().Write(
         machine_->table().At(ad.index()).data_base, 4, program->size()));
     programs_[ad.index()] = std::move(program);
+    ++version_;
     return ad;
   }
 
@@ -48,7 +49,21 @@ class ProgramStore {
   }
 
   // Drops the program content of a reclaimed instruction segment (called by the GC).
-  void Forget(ObjectIndex index) { programs_.erase(index); }
+  void Forget(ObjectIndex index) {
+    if (programs_.erase(index) != 0) ++version_;
+  }
+
+  // Raw pointer lookup for the kernel's translation-cache fill path: no Resolve, no
+  // shared_ptr traffic. The pointer stays valid until Forget drops the segment — which
+  // bumps version(), killing every cache entry that captured it.
+  const Program* Find(ObjectIndex index) const {
+    auto it = programs_.find(index);
+    return it == programs_.end() ? nullptr : it->second.get();
+  }
+
+  // Bumped on every Register / successful Forget. Translation-cache program payloads are
+  // keyed on it: any store mutation invalidates them wholesale.
+  uint64_t version() const { return version_; }
 
   // Visits every registered program as (segment object index, program) — offline tools like
   // imax_lint use this to sweep all code loaded into a running system.
@@ -63,6 +78,7 @@ class ProgramStore {
   Machine* machine_;
   MemoryManager* memory_;
   std::map<ObjectIndex, ProgramRef> programs_;
+  uint64_t version_ = 0;
 };
 
 }  // namespace imax432

@@ -31,6 +31,7 @@ const char* TraceEventKindName(TraceEventKind kind) {
     case TraceEventKind::kInjection: return "injection";
     case TraceEventKind::kPatrolSweep: return "patrol-sweep";
     case TraceEventKind::kLifetimeViolation: return "lifetime-violation";
+    case TraceEventKind::kInterferenceViolation: return "interference-violation";
   }
   return "unknown";
 }

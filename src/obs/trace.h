@@ -60,6 +60,9 @@ enum class TraceEventKind : uint8_t {
   kPatrolSweep,     // patrol sweep completed; a = descriptors scanned, b = quarantined total
   kLifetimeViolation,  // demoted object escaped its context; a = object index,
                        // b = holding object index, c = allocation-site pc
+  kInterferenceViolation,  // certified translation-cache entry failed its runtime
+                           // cross-check; a = object index,
+                           // b = InterferenceViolationKind, c = fill-time data_epoch
 };
 
 // GC phase payload for kGcPhase (mirrors gc/collector.h Phase without depending on it).

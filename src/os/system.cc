@@ -34,6 +34,14 @@ System::System(const SystemConfig& config)
   if (config.lifetime_audit) {
     kernel_->EnableLifetimeAuditor();
   }
+  // Auditor before cache: EnableXlatCache installs the certified-hit hook only on caches
+  // that already know about the auditor, so order here keeps both orders equivalent.
+  if (config.interference_audit) {
+    kernel_->EnableInterferenceAuditor();
+  }
+  if (config.xlat_cache) {
+    kernel_->EnableXlatCache();
+  }
   gc_ = std::make_unique<GarbageCollector>(kernel_.get());
   patrol_ = std::make_unique<ObjectPatrol>(kernel_.get());
   types_ = std::make_unique<TypeManagerFacility>(kernel_.get());

@@ -75,6 +75,17 @@ struct SystemConfig {
   // kernel().stats().lifetime_violations. Pure observer: bit-identical timeline on or off.
   bool lifetime_audit = false;
   uint32_t demote_sro_bytes = 16 * 1024;
+
+  // Per-processor AD-translation cache in the addressing-unit / program-fetch hot path.
+  // Entries are either interference-analysis-certified immutable (no revalidation) or
+  // epoch-keyed against descriptor generation + data_epoch. Host-side only: zero cycle
+  // charges, bit-identical virtual time with the cache on or off.
+  bool xlat_cache = false;
+  // Dynamic cross-check for the certified tier (src/analysis/interference/auditor.h):
+  // every certified cache hit re-reads the live descriptor and verifies the immutability
+  // claim still holds. Violations raise kInterferenceViolation trace events and count in
+  // kernel().stats().interference_violations. Pure observer.
+  bool interference_audit = false;
 };
 
 class System {

@@ -1,0 +1,532 @@
+// Static interference & immutability analysis (src/analysis/interference/interference.h):
+// Phase 1 inter-sync region tagging + publication facts, and Phase 2 pairwise verdicts
+// with the zero-false-positive suppression tiers and the cacheability certificates.
+
+#include "src/analysis/interference/interference.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/analysis/effects.h"
+#include "src/arch/rights.h"
+#include "src/isa/assembler.h"
+
+namespace imax432 {
+namespace analysis {
+namespace {
+
+// Fixture world (races_test.cc idiom): object 1 = carrier; slots 0/1/2 = ports 10/11/12,
+// slots 3/4 = plain shared objects 30/31, slot 5 = domain 20 whose entry 0 is segment 21.
+constexpr ObjectIndex kCarrier = 1;
+constexpr ObjectIndex kPortA = 10;
+constexpr ObjectIndex kPortB = 11;
+constexpr ObjectIndex kShared = 30;
+constexpr ObjectIndex kOther = 31;
+constexpr ObjectIndex kDomain = 20;
+constexpr ObjectIndex kSegment = 21;
+
+AccessDescriptor Ad(ObjectIndex index) { return AccessDescriptor(index, 0, rights::kAll); }
+
+EffectOptions WorldOptions() {
+  EffectOptions options;
+  options.initial_arg = Ad(kCarrier);
+  options.slot_reader = [](ObjectIndex index, uint32_t slot) -> AccessDescriptor {
+    static const std::map<std::pair<ObjectIndex, uint32_t>, ObjectIndex> kSlots = {
+        {{kCarrier, 0}, kPortA}, {{kCarrier, 1}, kPortB},  {{kCarrier, 3}, kShared},
+        {{kCarrier, 4}, kOther}, {{kCarrier, 5}, kDomain}, {{kDomain, 0}, kSegment},
+    };
+    auto it = kSlots.find({index, slot});
+    return it == kSlots.end() ? AccessDescriptor() : Ad(it->second);
+  };
+  return options;
+}
+
+InterferenceSummary Summarize(Assembler& a) {
+  return InterferenceAnalyzer::Analyze(*a.Build(), WorldOptions());
+}
+
+const FootprintEntry* FindEntry(const InterferenceSummary& summary, ObjectIndex object,
+                                AccessKind kind) {
+  for (const FootprintEntry& entry : summary.footprint) {
+    if (entry.object == object && entry.kind == kind && entry.part == ObjectPart::kData) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+// Phase 2 world: programs keyed by synthetic segment indices starting at 100.
+struct World {
+  SystemEffectGraph graph;
+  std::map<ObjectIndex, InterferenceSummary> summaries;
+  ObjectIndex next_segment = 100;
+
+  ObjectIndex Add(Assembler& a, ProgramKind kind = ProgramKind::kProcess,
+                  ObjectIndex segment = kInvalidObjectIndex) {
+    if (segment == kInvalidObjectIndex) segment = next_segment++;
+    ProgramRef program = a.Build();
+    graph.AddProgram(segment, EffectAnalyzer::Analyze(*program, WorldOptions()), kind);
+    summaries[segment] = InterferenceAnalyzer::Analyze(*program, WorldOptions());
+    return segment;
+  }
+
+  InterferenceAnalysisReport Analyze() { return AnalyzeInterference(graph, summaries); }
+};
+
+Assembler Writer(const char* name, uint32_t slot = 3) {
+  Assembler a(name);
+  a.MoveAd(1, kArgAdReg).LoadAd(2, 1, slot).StoreData(2, 0, 0, 8).Halt();
+  return a;
+}
+
+Assembler Reader(const char* name, uint32_t slot = 3) {
+  Assembler a(name);
+  a.MoveAd(1, kArgAdReg).LoadAd(2, 1, slot).LoadData(0, 2, 0, 8).Halt();
+  return a;
+}
+
+// Writes the shared object, then blocking-sends the token to port slot 0.
+Assembler SyncWriter(const char* name) {
+  Assembler a(name);
+  a.MoveAd(1, kArgAdReg)
+      .LoadAd(2, 1, 3)
+      .LoadAd(3, 1, 0)
+      .StoreData(2, 0, 0, 8)
+      .Send(3, 1)
+      .Halt();
+  return a;
+}
+
+// Blocking-receives the token from port slot 0, then reads the shared object.
+Assembler SyncReader(const char* name) {
+  Assembler a(name);
+  a.MoveAd(1, kArgAdReg)
+      .LoadAd(2, 1, 3)
+      .LoadAd(3, 1, 0)
+      .Receive(4, 3)
+      .LoadData(0, 2, 0, 8)
+      .Halt();
+  return a;
+}
+
+// --- Phase 1: regions, publication, flags -----------------------------------------------
+
+TEST(InterferenceSummaryTest, StraightLineProgramHasOneRegion) {
+  Assembler a = Writer("straight");
+  InterferenceSummary summary = Summarize(a);
+  EXPECT_EQ(summary.region_count, 1u);
+  EXPECT_EQ(summary.sync_count, 0u);
+  EXPECT_FALSE(summary.opaque);
+  EXPECT_FALSE(summary.unresolved);
+  const FootprintEntry* write = FindEntry(summary, kShared, AccessKind::kWrite);
+  ASSERT_NE(write, nullptr);
+  EXPECT_EQ(write->region, 0u);
+  EXPECT_FALSE(write->published);
+  EXPECT_FALSE(summary.footprint.empty());
+}
+
+TEST(InterferenceSummaryTest, AccessAfterSendLandsInTheNextRegion) {
+  Assembler a("send-then-read");
+  a.MoveAd(1, kArgAdReg)
+      .LoadAd(2, 1, 3)
+      .LoadAd(3, 1, 0)
+      .StoreData(2, 0, 0, 8)  // region 0
+      .Send(3, 1)
+      .LoadData(0, 2, 0, 8)  // region 1
+      .Halt();
+  InterferenceSummary summary = Summarize(a);
+  EXPECT_EQ(summary.region_count, 2u);
+  EXPECT_EQ(summary.sync_count, 1u);
+  const FootprintEntry* write = FindEntry(summary, kShared, AccessKind::kWrite);
+  const FootprintEntry* read = FindEntry(summary, kShared, AccessKind::kRead);
+  ASSERT_NE(write, nullptr);
+  ASSERT_NE(read, nullptr);
+  EXPECT_EQ(write->region, 0u);
+  EXPECT_EQ(read->region, 1u);
+}
+
+TEST(InterferenceSummaryTest, ReceiveIsASynchronizationPoint) {
+  Assembler a = SyncReader("receiver");
+  InterferenceSummary summary = Summarize(a);
+  const FootprintEntry* read = FindEntry(summary, kShared, AccessKind::kRead);
+  ASSERT_NE(read, nullptr);
+  EXPECT_EQ(read->region, 1u);
+  EXPECT_EQ(summary.region_count, 2u);
+}
+
+TEST(InterferenceSummaryTest, DomainCallIsASynchronizationPoint) {
+  Assembler a("caller");
+  a.MoveAd(1, kArgAdReg)
+      .LoadAd(2, 1, 3)
+      .LoadAd(5, 1, 5)
+      .Call(5, 0)
+      .LoadData(0, 2, 0, 8)
+      .Halt();
+  InterferenceSummary summary = Summarize(a);
+  const FootprintEntry* read = FindEntry(summary, kShared, AccessKind::kRead);
+  ASSERT_NE(read, nullptr);
+  EXPECT_EQ(read->region, 1u);
+}
+
+TEST(InterferenceSummaryTest, BranchJoinTakesTheMinimumRegion) {
+  // One arm sends, the other does not; the post-join read cannot be proven to run after
+  // the sync, so its sound region is the path minimum: 0.
+  Assembler a("branchy");
+  auto skip = a.NewLabel();
+  a.MoveAd(1, kArgAdReg)
+      .LoadAd(2, 1, 3)
+      .LoadAd(3, 1, 0)
+      .BranchIfZero(0, skip)
+      .Send(3, 1)
+      .Bind(skip)
+      .LoadData(0, 2, 0, 8)
+      .Halt();
+  InterferenceSummary summary = Summarize(a);
+  const FootprintEntry* read = FindEntry(summary, kShared, AccessKind::kRead);
+  ASSERT_NE(read, nullptr);
+  EXPECT_EQ(read->region, 0u);
+}
+
+TEST(InterferenceSummaryTest, LoopDoesNotInflateRegions) {
+  // The loop body has no sync instruction: every iteration stays in region 0 and the
+  // min-fixpoint terminates without counting trips.
+  Assembler a("loop");
+  auto loop = a.NewLabel();
+  a.MoveAd(1, kArgAdReg)
+      .LoadAd(2, 1, 3)
+      .LoadImm(0, 4)
+      .Bind(loop)
+      .LoadData(5, 2, 0, 8)
+      .AddImm(0, 0, static_cast<uint32_t>(-1))
+      .BranchIfNotZero(0, loop)
+      .Halt();
+  InterferenceSummary summary = Summarize(a);
+  EXPECT_EQ(summary.region_count, 1u);
+  const FootprintEntry* read = FindEntry(summary, kShared, AccessKind::kRead);
+  ASSERT_NE(read, nullptr);
+  EXPECT_EQ(read->region, 0u);
+}
+
+TEST(InterferenceSummaryTest, WriteWithSendOnEveryExitPathIsPublished) {
+  Assembler a = SyncWriter("publisher");
+  InterferenceSummary summary = Summarize(a);
+  const FootprintEntry* write = FindEntry(summary, kShared, AccessKind::kWrite);
+  ASSERT_NE(write, nullptr);
+  EXPECT_TRUE(write->published);
+  EXPECT_TRUE(summary.WritesPublished(kShared, ObjectPart::kData));
+}
+
+TEST(InterferenceSummaryTest, WriteWithASendFreePathIsNotPublished) {
+  Assembler a("maybe-publish");
+  auto skip = a.NewLabel();
+  a.MoveAd(1, kArgAdReg)
+      .LoadAd(2, 1, 3)
+      .LoadAd(3, 1, 0)
+      .StoreData(2, 0, 0, 8)
+      .BranchIfZero(0, skip)
+      .Send(3, 1)
+      .Bind(skip)
+      .Halt();
+  InterferenceSummary summary = Summarize(a);
+  const FootprintEntry* write = FindEntry(summary, kShared, AccessKind::kWrite);
+  ASSERT_NE(write, nullptr);
+  EXPECT_FALSE(write->published);
+  EXPECT_FALSE(summary.WritesPublished(kShared, ObjectPart::kData));
+}
+
+TEST(InterferenceSummaryTest, NativeStepMakesTheSummaryOpaque) {
+  Assembler a("opaque");
+  a.Native([](ExecutionContext&) -> Result<NativeResult> { return NativeResult{}; }).Halt();
+  InterferenceSummary summary = Summarize(a);
+  EXPECT_TRUE(summary.opaque);
+  EXPECT_EQ(summary.region_count, 1u);
+}
+
+TEST(InterferenceSummaryTest, UnresolvedAccessChainSetsTheUnresolvedFlag) {
+  // A store through a received message could hit any object: the summary is unresolved.
+  Assembler a("unresolved");
+  a.MoveAd(1, kArgAdReg).LoadAd(2, 1, 0).Receive(3, 2).StoreData(3, 0, 0, 8).Halt();
+  InterferenceSummary summary = Summarize(a);
+  EXPECT_TRUE(summary.unresolved);
+}
+
+TEST(InterferenceSummaryTest, ReadsAndWritesHelpersMatchTheFootprint) {
+  Assembler a = SyncWriter("helpers");
+  InterferenceSummary summary = Summarize(a);
+  EXPECT_TRUE(summary.Writes(kShared, ObjectPart::kData));
+  EXPECT_FALSE(summary.Reads(kShared, ObjectPart::kData));
+  EXPECT_FALSE(summary.Writes(kOther, ObjectPart::kData));
+  EXPECT_FALSE(summary.Writes(kShared, ObjectPart::kAccess));
+}
+
+// --- Phase 2: pairwise verdicts ---------------------------------------------------------
+
+TEST(InterferenceComposeTest, DisjointFootprintsAreIndependent) {
+  World world;
+  Assembler w = Writer("w", 3), r = Reader("r", 4);
+  world.Add(w);
+  world.Add(r);
+  InterferenceAnalysisReport report = world.Analyze();
+  ASSERT_EQ(report.verdicts.size(), 1u);
+  EXPECT_EQ(report.verdicts[0].verdict, PairVerdict::kIndependent);
+  EXPECT_EQ(report.pairs_independent, 1u);
+  // Both sides read the arg carrier's access slots: read-only sharing, still independent.
+  EXPECT_EQ(report.pairs_read_sharing, 1u);
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(InterferenceComposeTest, ReadOnlySharingStaysIndependentAndIsCounted) {
+  World world;
+  Assembler r0 = Reader("r0"), r1 = Reader("r1");
+  world.Add(r0);
+  world.Add(r1);
+  InterferenceAnalysisReport report = world.Analyze();
+  ASSERT_EQ(report.verdicts.size(), 1u);
+  EXPECT_EQ(report.verdicts[0].verdict, PairVerdict::kIndependent);
+  EXPECT_EQ(report.pairs_read_sharing, 1u);
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(InterferenceComposeTest, ConflictingWritesWithNoMessagePathInterfere) {
+  World world;
+  Assembler w0 = Writer("w0"), w1 = Writer("w1");
+  world.Add(w0);
+  world.Add(w1);
+  InterferenceAnalysisReport report = world.Analyze();
+  ASSERT_EQ(report.verdicts.size(), 1u);
+  const InterferenceVerdict& verdict = report.verdicts[0];
+  EXPECT_EQ(verdict.verdict, PairVerdict::kInterfering);
+  ASSERT_EQ(verdict.shared.size(), 1u);
+  EXPECT_EQ(verdict.shared[0], kShared);
+  EXPECT_NE(verdict.message.find("w0"), std::string::npos) << verdict.message;
+  EXPECT_NE(verdict.message.find("w1"), std::string::npos) << verdict.message;
+  EXPECT_NE(verdict.message.find("[region 0/1]"), std::string::npos) << verdict.message;
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(InterferenceComposeTest, WriteReadConflictAlsoInterferes) {
+  World world;
+  Assembler w = Writer("w"), r = Reader("r");
+  world.Add(w);
+  world.Add(r);
+  InterferenceAnalysisReport report = world.Analyze();
+  ASSERT_EQ(report.verdicts.size(), 1u);
+  EXPECT_EQ(report.verdicts[0].verdict, PairVerdict::kInterfering);
+  EXPECT_EQ(report.pairs_interfering, 1u);
+}
+
+TEST(InterferenceComposeTest, CommunicatingPairIsSuppressedNotReported) {
+  World world;
+  Assembler w = SyncWriter("w"), r = SyncReader("r");
+  world.Add(w);
+  world.Add(r);
+  InterferenceAnalysisReport report = world.Analyze();
+  ASSERT_EQ(report.verdicts.size(), 1u);
+  EXPECT_EQ(report.verdicts[0].verdict, PairVerdict::kSuppressed);
+  EXPECT_EQ(report.pairs_suppressed, 1u);
+  EXPECT_EQ(report.suppressed_by_communication, 1u);
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(InterferenceComposeTest, RelayedCommunicationAlsoSuppresses) {
+  // w sends port A; relay receives A and sends B; r receives B then reads. The w/r conflict
+  // is ordered through the relay: the transitive closure must find it.
+  World world;
+  Assembler w = SyncWriter("w");
+  Assembler relay("relay");
+  relay.MoveAd(1, kArgAdReg)
+      .LoadAd(3, 1, 0)
+      .LoadAd(4, 1, 1)
+      .Receive(5, 3)
+      .Send(4, 5)
+      .Halt();
+  Assembler r("r");
+  r.MoveAd(1, kArgAdReg)
+      .LoadAd(2, 1, 3)
+      .LoadAd(4, 1, 1)
+      .Receive(5, 4)
+      .LoadData(0, 2, 0, 8)
+      .Halt();
+  world.Add(w);
+  world.Add(relay);
+  world.Add(r);
+  InterferenceAnalysisReport report = world.Analyze();
+  EXPECT_EQ(report.pairs_interfering, 0u);
+  EXPECT_GE(report.suppressed_by_communication, 1u);
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(InterferenceComposeTest, OpaqueSideSuppressesTheWholePair) {
+  World world;
+  Assembler w = Writer("w");
+  Assembler opaque("opaque");
+  opaque.Native([](ExecutionContext&) -> Result<NativeResult> { return NativeResult{}; }).Halt();
+  world.Add(w);
+  world.Add(opaque);
+  InterferenceAnalysisReport report = world.Analyze();
+  ASSERT_EQ(report.verdicts.size(), 1u);
+  EXPECT_EQ(report.verdicts[0].verdict, PairVerdict::kSuppressed);
+  EXPECT_EQ(report.suppressed_by_opacity, 1u);
+  EXPECT_EQ(report.opaque_programs, 1u);
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(InterferenceComposeTest, UnresolvedSideSuppressesTheWholePair) {
+  World world;
+  Assembler w = Writer("w");
+  Assembler lost("lost");
+  lost.MoveAd(1, kArgAdReg).LoadAd(2, 1, 0).Receive(3, 2).StoreData(3, 0, 0, 8).Halt();
+  world.Add(w);
+  world.Add(lost);
+  InterferenceAnalysisReport report = world.Analyze();
+  ASSERT_EQ(report.verdicts.size(), 1u);
+  EXPECT_EQ(report.verdicts[0].verdict, PairVerdict::kSuppressed);
+  EXPECT_EQ(report.suppressed_by_unresolved, 1u);
+  EXPECT_EQ(report.unresolved_programs, 1u);
+}
+
+TEST(InterferenceComposeTest, VerdictNamesAreSorted) {
+  World world;
+  Assembler z = Writer("zz"), a = Writer("aa");
+  world.Add(z);
+  world.Add(a);
+  InterferenceAnalysisReport report = world.Analyze();
+  ASSERT_EQ(report.verdicts.size(), 1u);
+  EXPECT_EQ(report.verdicts[0].first_program, "aa");
+  EXPECT_EQ(report.verdicts[0].second_program, "zz");
+}
+
+TEST(InterferenceComposeTest, DomainCalleeFootprintFoldsIntoTheCaller) {
+  // The caller itself never touches kShared; its domain callee writes it. Composed against
+  // a plain writer the pair must still conflict.
+  World world;
+  Assembler callee("callee");
+  callee.MoveAd(1, kArgAdReg).LoadAd(2, 1, 3).StoreData(2, 0, 0, 8).Return();
+  world.Add(callee, ProgramKind::kDomainEntry, kSegment);
+  Assembler caller("caller");
+  caller.MoveAd(1, kArgAdReg).LoadAd(5, 1, 5).Call(5, 0).Halt();
+  world.Add(caller);
+  Assembler w = Writer("w");
+  world.Add(w);
+  InterferenceAnalysisReport report = world.Analyze();
+  EXPECT_EQ(report.pairs_interfering, 1u);
+  bool found = false;
+  for (const InterferenceVerdict& verdict : report.verdicts) {
+    if (verdict.verdict == PairVerdict::kInterfering) {
+      found = true;
+      EXPECT_EQ(verdict.first_program, "caller");
+      EXPECT_EQ(verdict.second_program, "w");
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// --- Phase 2: cacheability certificates -------------------------------------------------
+
+TEST(InterferenceCertificateTest, ReadOnlyObjectIsCertifiedImmutable) {
+  World world;
+  Assembler r0 = Reader("r0"), r1 = Reader("r1");
+  world.Add(r0);
+  world.Add(r1);
+  InterferenceAnalysisReport report = world.Analyze();
+  // Two read-only parts in the footprint: {carrier, access} and {shared, data}.
+  ASSERT_EQ(report.certificates.size(), 2u);
+  const CacheCertificate* cert = nullptr;
+  for (const CacheCertificate& c : report.certificates) {
+    if (c.object == kShared && c.part == ObjectPart::kData) cert = &c;
+  }
+  ASSERT_NE(cert, nullptr);
+  EXPECT_EQ(cert->grade, CacheGrade::kImmutable);
+  EXPECT_FALSE(cert->caveat);
+  EXPECT_EQ(cert->readers, 2u);
+  EXPECT_EQ(cert->writers, 0u);
+  EXPECT_EQ(report.certified_immutable, 2u);
+  EXPECT_EQ(report.objects_seen, 2u);
+}
+
+TEST(InterferenceCertificateTest, OpaqueCodeAnywhereCaveatsEveryImmutableCertificate) {
+  World world;
+  Assembler r = Reader("r");
+  Assembler opaque("opaque");
+  opaque.Native([](ExecutionContext&) -> Result<NativeResult> { return NativeResult{}; }).Halt();
+  world.Add(r);
+  world.Add(opaque);
+  InterferenceAnalysisReport report = world.Analyze();
+  ASSERT_EQ(report.certificates.size(), 2u);  // {carrier, access} + {shared, data}
+  for (const CacheCertificate& cert : report.certificates) {
+    EXPECT_EQ(cert.grade, CacheGrade::kImmutable);
+    EXPECT_TRUE(cert.caveat);
+  }
+  EXPECT_EQ(report.certified_immutable, 0u);
+  EXPECT_EQ(report.certified_with_caveat, 2u);
+}
+
+TEST(InterferenceCertificateTest, PublishedWritesWithGatedReadsEarnPublishedOnly) {
+  World world;
+  Assembler w = SyncWriter("w"), r = SyncReader("r");
+  world.Add(w);
+  world.Add(r);
+  InterferenceAnalysisReport report = world.Analyze();
+  const CacheCertificate* shared_cert = nullptr;
+  for (const CacheCertificate& cert : report.certificates) {
+    if (cert.object == kShared && cert.part == ObjectPart::kData) shared_cert = &cert;
+  }
+  ASSERT_NE(shared_cert, nullptr);
+  EXPECT_EQ(shared_cert->grade, CacheGrade::kPublishedOnly);
+  EXPECT_EQ(report.certified_published, 1u);
+}
+
+TEST(InterferenceCertificateTest, UnpublishedWriteGradesMutable) {
+  World world;
+  Assembler w = Writer("w"), r = Reader("r");
+  world.Add(w);
+  world.Add(r);
+  InterferenceAnalysisReport report = world.Analyze();
+  const CacheCertificate* cert = nullptr;
+  for (const CacheCertificate& c : report.certificates) {
+    if (c.object == kShared && c.part == ObjectPart::kData) cert = &c;
+  }
+  ASSERT_NE(cert, nullptr);
+  EXPECT_EQ(cert->grade, CacheGrade::kMutable);
+  EXPECT_EQ(report.uncertified, 1u);
+}
+
+TEST(InterferenceCertificateTest, UngatedForeignReadDemotesPublishedToMutable) {
+  // The writer publishes, but the reader never receives first: the read is not ordered
+  // after publication, so the published-only claim must not be made.
+  World world;
+  Assembler w = SyncWriter("w"), r = Reader("r");
+  world.Add(w);
+  world.Add(r);
+  InterferenceAnalysisReport report = world.Analyze();
+  const CacheCertificate* shared_cert = nullptr;
+  for (const CacheCertificate& cert : report.certificates) {
+    if (cert.object == kShared && cert.part == ObjectPart::kData) shared_cert = &cert;
+  }
+  ASSERT_NE(shared_cert, nullptr);
+  EXPECT_EQ(shared_cert->grade, CacheGrade::kMutable);
+}
+
+TEST(InterferenceCertificateTest, FormatReportRendersDiagnosticsAndRollup) {
+  World world;
+  Assembler w0 = Writer("w0"), w1 = Writer("w1");
+  world.Add(w0);
+  world.Add(w1);
+  InterferenceAnalysisReport report = world.Analyze();
+  std::string text = FormatInterferenceReport(report);
+  EXPECT_NE(text.find("error  interference"), std::string::npos) << text;
+  EXPECT_NE(text.find("1 interfering"), std::string::npos) << text;
+  EXPECT_NE(text.find("1 mutable"), std::string::npos) << text;
+}
+
+TEST(InterferenceCertificateTest, EmptySystemFormatsToNothing) {
+  World world;
+  InterferenceAnalysisReport report = world.Analyze();
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(FormatInterferenceReport(report), "");
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace imax432

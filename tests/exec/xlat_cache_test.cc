@@ -1,0 +1,305 @@
+// The AD-translation cache (src/arch/xlat_cache.h) and its kernel integration: the
+// direct-mapped structure itself, the addressing-unit epoch-keyed tier (every downstream
+// check still enforced), the program-fetch tiers, invalidation on analysis retraction, and
+// the pure-observer contract (bit-identical virtual time with the cache on or off).
+
+#include "src/arch/xlat_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/arch/object_descriptor.h"
+#include "src/arch/rights.h"
+#include "src/exec/kernel.h"
+#include "src/isa/assembler.h"
+#include "src/memory/basic_memory_manager.h"
+#include "src/os/system.h"
+#include "src/sim/machine.h"
+
+namespace imax432 {
+namespace {
+
+MachineConfig SmallConfig() {
+  MachineConfig config;
+  config.memory_bytes = 1024 * 1024;
+  config.object_table_capacity = 8192;
+  return config;
+}
+
+// --- The structure itself ---------------------------------------------------------------
+
+TEST(XlatCacheTest, ProbeIsDirectMappedModuloEntries) {
+  XlatCache cache;
+  EXPECT_EQ(&cache.Probe(5), &cache.Probe(5 + XlatCache::kEntries));
+  EXPECT_NE(&cache.Probe(5), &cache.Probe(6));
+}
+
+TEST(XlatCacheTest, ClearDropsEntriesButKeepsStats) {
+  XlatCache cache;
+  cache.Probe(3).index = 3;
+  cache.stats().hits = 7;
+  cache.Clear();
+  EXPECT_EQ(cache.Probe(3).index, kInvalidObjectIndex);
+  EXPECT_EQ(cache.Probe(3).descriptor, nullptr);
+  EXPECT_EQ(cache.stats().hits, 7u);
+}
+
+TEST(XlatCacheTest, CertifiedMembershipFollowsTheBoundSet) {
+  XlatCache cache;
+  EXPECT_FALSE(cache.IsCertified(7));  // no set bound
+  std::set<ObjectIndex> certified{7};
+  cache.SetCertifiedSet(&certified);
+  EXPECT_TRUE(cache.IsCertified(7));
+  EXPECT_FALSE(cache.IsCertified(8));
+  certified.erase(7);
+  EXPECT_FALSE(cache.IsCertified(7));  // live view, not a snapshot
+}
+
+TEST(XlatCacheTest, CertifiedHitHookFiresWithTheEntry) {
+  XlatCache cache;
+  std::vector<ObjectIndex> seen;
+  cache.SetCertifiedHitHook(
+      [](void* user, const XlatEntry& entry) {
+        static_cast<std::vector<ObjectIndex>*>(user)->push_back(entry.index);
+      },
+      &seen);
+  XlatEntry entry;
+  entry.index = 42;
+  cache.NotifyCertifiedHit(entry);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], 42u);
+}
+
+// --- Addressing-unit epoch-keyed tier ---------------------------------------------------
+
+class XlatAddressingTest : public ::testing::Test {
+ protected:
+  XlatAddressingTest() : machine_(SmallConfig()), memory_(&machine_) {
+    machine_.addressing().BindXlatCache(&cache_);
+  }
+
+  ~XlatAddressingTest() override { machine_.addressing().BindXlatCache(nullptr); }
+
+  AccessDescriptor MakeObject(RightsMask rights = rights::kRead | rights::kWrite |
+                                                  rights::kDelete) {
+    auto object =
+        memory_.CreateObject(memory_.global_heap(), SystemType::kGeneric, 64, 0, rights);
+    EXPECT_TRUE(object.ok());
+    return object.value();
+  }
+
+  Machine machine_;
+  BasicMemoryManager memory_;
+  XlatCache cache_;
+};
+
+TEST_F(XlatAddressingTest, RepeatedAccessHitsAfterTheFirstMiss) {
+  AccessDescriptor ad = MakeObject();
+  ASSERT_TRUE(machine_.addressing().WriteData(ad, 0, 8, 17).ok());
+  uint64_t misses = cache_.stats().misses;
+  ASSERT_GT(misses, 0u);
+  for (int i = 0; i < 10; ++i) {
+    auto read = machine_.addressing().ReadData(ad, 0, 8);
+    ASSERT_TRUE(read.ok());
+    EXPECT_EQ(read.value(), 17u);
+  }
+  EXPECT_GT(cache_.stats().hits, 0u);
+  EXPECT_EQ(cache_.stats().misses, misses);  // no further authoritative resolves
+}
+
+TEST_F(XlatAddressingTest, QuarantineIsStillEnforcedOnCacheHits) {
+  AccessDescriptor ad = MakeObject();
+  ASSERT_TRUE(machine_.addressing().WriteData(ad, 0, 8, 1).ok());  // entry now cached
+  machine_.table().At(ad.index()).quarantined = true;
+  auto read = machine_.addressing().ReadData(ad, 0, 8);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.fault(), Fault::kObjectQuarantined);
+}
+
+TEST_F(XlatAddressingTest, RightsAreStillEnforcedOnCacheHits) {
+  AccessDescriptor ad = MakeObject();
+  ASSERT_TRUE(machine_.addressing().ReadData(ad, 0, 8).ok());  // fill
+  AccessDescriptor read_only = ad.Restricted(rights::kRead);
+  EXPECT_TRUE(machine_.addressing().ReadData(read_only, 0, 8).ok());
+  EXPECT_EQ(machine_.addressing().WriteData(read_only, 0, 8, 1).fault(),
+            Fault::kRightsViolation);
+}
+
+TEST_F(XlatAddressingTest, FreedObjectMissesAndFaultsThroughTheCache) {
+  AccessDescriptor ad = MakeObject();
+  ASSERT_TRUE(machine_.addressing().ReadData(ad, 0, 8).ok());  // fill
+  ASSERT_TRUE(memory_.DestroyObject(ad).ok());
+  auto read = machine_.addressing().ReadData(ad, 0, 8);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.fault(), Fault::kInvalidAccess);
+}
+
+TEST_F(XlatAddressingTest, ReusedSlotNeverServesTheOldGeneration) {
+  AccessDescriptor old_ad = MakeObject();
+  ObjectIndex index = old_ad.index();
+  ASSERT_TRUE(machine_.addressing().ReadData(old_ad, 0, 8).ok());  // fill
+  ASSERT_TRUE(memory_.DestroyObject(old_ad).ok());
+  // Allocate until the slot is reused (the basic manager reuses low indices eagerly).
+  AccessDescriptor reused;
+  for (int i = 0; i < 64 && reused.index() != index; ++i) {
+    reused = MakeObject();
+  }
+  if (reused.index() == index) {
+    ASSERT_TRUE(machine_.addressing().WriteData(reused, 0, 8, 99).ok());
+    EXPECT_EQ(machine_.addressing().ReadData(old_ad, 0, 8).fault(), Fault::kInvalidAccess);
+    auto fresh = machine_.addressing().ReadData(reused, 0, 8);
+    ASSERT_TRUE(fresh.ok());
+    EXPECT_EQ(fresh.value(), 99u);
+  }
+}
+
+// --- Kernel integration ------------------------------------------------------------------
+
+// A self-contained workload: bumps a counter in the shared object `iters` times.
+Assembler CounterLoop(const std::string& name, uint32_t iters) {
+  Assembler a(name);
+  auto loop = a.NewLabel();
+  a.MoveAd(1, kArgAdReg)
+      .LoadImm(0, 0)
+      .LoadImm(3, iters)
+      .Bind(loop)
+      .LoadData(2, 1, 0, 8)
+      .AddImm(2, 2, 1)
+      .StoreData(1, 2, 0, 8)
+      .AddImm(0, 0, 1)
+      .BranchIfLess(0, 3, loop)
+      .Halt();
+  return a;
+}
+
+SystemConfig CacheConfig(bool cache, bool audit) {
+  SystemConfig config;
+  config.machine = SmallConfig();
+  config.processors = 1;
+  config.verify_on_load = true;  // summaries land at spawn, like the shipped configuration
+  config.start_gc_daemon = false;
+  config.xlat_cache = cache;
+  config.interference_audit = audit;
+  return config;
+}
+
+struct RunOutcome {
+  Cycles now = 0;
+  uint64_t instructions = 0;
+  uint64_t counter = 0;
+};
+
+RunOutcome RunCounterWorkload(System& system, uint32_t iters) {
+  auto shared = system.memory().CreateObject(system.memory().global_heap(),
+                                             SystemType::kGeneric, 64, 0,
+                                             rights::kRead | rights::kWrite);
+  EXPECT_TRUE(shared.ok());
+  Assembler a = CounterLoop("xlat.counter", iters);
+  ProcessOptions options;
+  options.initial_arg = shared.value();
+  EXPECT_TRUE(system.Spawn(a.Build(), options).ok());
+  system.Run();
+  RunOutcome outcome;
+  outcome.now = system.machine().now();
+  outcome.instructions = system.kernel().stats().instructions_executed;
+  auto counter = system.machine().addressing().ReadData(shared.value(), 0, 8);
+  EXPECT_TRUE(counter.ok());
+  outcome.counter = counter.value();
+  return outcome;
+}
+
+TEST(XlatKernelTest, DisabledByDefaultAndStatsStayZero) {
+  System system(CacheConfig(false, false));
+  RunCounterWorkload(system, 50);
+  EXPECT_FALSE(system.kernel().xlat_cache_enabled());
+  XlatCacheStats stats = system.kernel().xlat_stats();
+  EXPECT_EQ(stats.hits + stats.misses + stats.program_hits + stats.program_misses, 0u);
+}
+
+TEST(XlatKernelTest, HotLoopPopulatesBothCacheTiers) {
+  System system(CacheConfig(true, false));
+  RunOutcome outcome = RunCounterWorkload(system, 200);
+  EXPECT_EQ(outcome.counter, 200u);
+  XlatCacheStats stats = system.kernel().xlat_stats();
+  EXPECT_GT(stats.hits, 0u);
+  // The instruction segment is written by no program: the program-fetch tier runs certified.
+  EXPECT_GT(stats.certified_program_hits, 0u);
+  EXPECT_GT(stats.program_misses, 0u);  // the compulsory fill
+}
+
+TEST(XlatKernelTest, VirtualTimeAndResultsAreBitIdenticalOffAndOn) {
+  System off(CacheConfig(false, false));
+  System on(CacheConfig(true, true));
+  RunOutcome off_outcome = RunCounterWorkload(off, 300);
+  RunOutcome on_outcome = RunCounterWorkload(on, 300);
+  EXPECT_EQ(off_outcome.now, on_outcome.now);
+  EXPECT_EQ(off_outcome.instructions, on_outcome.instructions);
+  EXPECT_EQ(off_outcome.counter, on_outcome.counter);
+}
+
+TEST(XlatKernelTest, SystemConfigWiresCacheAndAuditor) {
+  System plain(CacheConfig(false, false));
+  EXPECT_FALSE(plain.kernel().xlat_cache_enabled());
+  EXPECT_EQ(plain.kernel().interference_auditor(), nullptr);
+
+  System armed(CacheConfig(true, true));
+  EXPECT_TRUE(armed.kernel().xlat_cache_enabled());
+  ASSERT_NE(armed.kernel().interference_auditor(), nullptr);
+}
+
+TEST(XlatKernelTest, AuditorConfirmsEveryCertifiedHitOnACleanRun) {
+  System system(CacheConfig(true, true));
+  RunCounterWorkload(system, 200);
+  const analysis::InterferenceAuditorStats& stats =
+      system.kernel().interference_auditor()->stats();
+  EXPECT_GT(stats.hits_checked, 0u);
+  EXPECT_EQ(stats.violations, 0u);
+  EXPECT_EQ(system.kernel().stats().interference_violations, 0u);
+}
+
+TEST(XlatKernelTest, NewSummaryInvalidatesEveryTranslationCache) {
+  System system(CacheConfig(true, false));
+  RunCounterWorkload(system, 100);
+  uint64_t invalidations = system.kernel().stats().xlat_invalidations;
+  EXPECT_GT(invalidations, 0u);  // the spawn's RecordEffectSummary already invalidated
+
+  // A second program entering the system retracts certificates again.
+  auto shared = system.memory().CreateObject(system.memory().global_heap(),
+                                             SystemType::kGeneric, 64, 0,
+                                             rights::kRead | rights::kWrite);
+  ASSERT_TRUE(shared.ok());
+  Assembler late = CounterLoop("xlat.late", 10);
+  ProcessOptions options;
+  options.initial_arg = shared.value();
+  ASSERT_TRUE(system.Spawn(late.Build(), options).ok());
+  EXPECT_GT(system.kernel().stats().xlat_invalidations, invalidations);
+  system.Run();
+}
+
+TEST(XlatKernelTest, ForgetProgramAnalysisClearsTheCaches) {
+  System system(CacheConfig(true, false));
+  RunCounterWorkload(system, 100);
+  ASSERT_FALSE(system.kernel().interference_summaries().empty());
+  ObjectIndex segment = system.kernel().interference_summaries().begin()->first;
+  uint64_t invalidations = system.kernel().stats().xlat_invalidations;
+  system.kernel().ForgetProgramAnalysis(segment);
+  EXPECT_GT(system.kernel().stats().xlat_invalidations, invalidations);
+  EXPECT_EQ(system.kernel().interference_summaries().count(segment), 0u);
+}
+
+TEST(XlatKernelTest, InterferenceSummariesRideAlongWithEffectSummaries) {
+  System system(CacheConfig(false, false));
+  RunCounterWorkload(system, 10);
+  EXPECT_EQ(system.kernel().stats().interference_summaries,
+            system.kernel().stats().effect_summaries);
+  ASSERT_EQ(system.kernel().interference_summaries().size(), 1u);
+  const analysis::InterferenceSummary& summary =
+      system.kernel().interference_summaries().begin()->second;
+  EXPECT_FALSE(summary.opaque);
+  EXPECT_EQ(summary.region_count, 1u);  // the counter loop never synchronizes
+}
+
+}  // namespace
+}  // namespace imax432

@@ -1,0 +1,268 @@
+// Ground truth for the interference analysis: a pair it claims independent runs with zero
+// auditor findings, a shared-write pair it reports really conflicts, a certified-immutable
+// object serves certified cache hits that the runtime auditor confirms, mutation after
+// certification retracts the certificate, and a forced host-side mutation of a certified
+// object is caught as a kInterferenceViolation. Plus the PR 5 replay contract: the trace
+// fingerprint is bit-identical with the cache and auditor armed.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/interference/interference.h"
+#include "src/arch/rights.h"
+#include "src/exec/kernel.h"
+#include "src/isa/assembler.h"
+#include "src/memory/basic_memory_manager.h"
+#include "src/os/system.h"
+#include "src/sim/machine.h"
+
+namespace imax432 {
+namespace {
+
+MachineConfig SmallConfig() {
+  MachineConfig config;
+  config.memory_bytes = 1024 * 1024;
+  config.object_table_capacity = 8192;
+  return config;
+}
+
+SystemConfig CorpusConfig(bool cache, bool audit) {
+  SystemConfig config;
+  config.machine = SmallConfig();
+  config.processors = 1;
+  config.start_gc_daemon = false;  // the daemon's native steps would caveat every certificate
+  config.xlat_cache = cache;
+  config.interference_audit = audit;
+  return config;
+}
+
+uint64_t FingerprintTrace(const std::vector<TraceEvent>& events) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a over every payload word
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (const TraceEvent& event : events) {
+    mix(event.ts);
+    mix(event.process);
+    mix(event.a);
+    mix(event.b);
+    mix(event.c);
+    mix(event.cpu);
+    mix(static_cast<uint64_t>(event.kind));
+  }
+  return h;
+}
+
+AccessDescriptor MakeShared(System& system, const std::string& name,
+                            uint64_t initial_value = 0) {
+  auto object = system.memory().CreateObject(system.memory().global_heap(),
+                                             SystemType::kGeneric, 64, 0,
+                                             rights::kRead | rights::kWrite);
+  EXPECT_TRUE(object.ok());
+  system.kernel().symbols().Name(object.value().index(), name);
+  EXPECT_TRUE(
+      system.machine().addressing().WriteData(object.value(), 0, 8, initial_value).ok());
+  return object.value();
+}
+
+void Spawn(System& system, Assembler& a, const AccessDescriptor& arg) {
+  ProcessOptions options;
+  options.initial_arg = arg;
+  auto process = system.Spawn(a.Build(), options);
+  ASSERT_TRUE(process.ok()) << FaultName(process.fault());
+}
+
+// Sums the shared object into a private total `iters` times (read-only workload).
+Assembler ReadLoop(const std::string& name, uint32_t iters) {
+  Assembler a(name);
+  auto loop = a.NewLabel();
+  a.MoveAd(1, kArgAdReg)
+      .LoadImm(0, 0)
+      .LoadImm(4, iters)
+      .LoadImm(3, 0)
+      .Bind(loop)
+      .LoadData(2, 1, 0, 8)
+      .Add(3, 3, 2)
+      .AddImm(0, 0, 1)
+      .BranchIfLess(0, 4, loop)
+      .Halt();
+  return a;
+}
+
+Assembler WriteOnce(const std::string& name, uint64_t value) {
+  Assembler a(name);
+  a.MoveAd(1, kArgAdReg).LoadImm(2, value).StoreData(1, 2, 0, 8).Halt();
+  return a;
+}
+
+TEST(InterferenceCorpusTest, DisjointFootprintPairIsIndependentAndRunsClean) {
+  System system(CorpusConfig(true, true));
+  AccessDescriptor left = MakeShared(system, "corpus.left", 1);
+  AccessDescriptor right = MakeShared(system, "corpus.right", 2);
+  Assembler a = ReadLoop("corpus.a", 20);
+  Assembler b = ReadLoop("corpus.b", 20);
+  Spawn(system, a, left);
+  Spawn(system, b, right);
+
+  analysis::InterferenceAnalysisReport report = system.kernel().AnalyzeInterference();
+  EXPECT_TRUE(report.ok()) << analysis::FormatInterferenceReport(report);
+  EXPECT_EQ(report.pairs_independent, 1u);
+  EXPECT_EQ(report.pairs_interfering, 0u);
+
+  system.Run();
+  EXPECT_EQ(system.kernel().stats().interference_violations, 0u);
+}
+
+TEST(InterferenceCorpusTest, SharedWritePairIsReportedWithNamedWitness) {
+  System system(CorpusConfig(false, false));
+  AccessDescriptor shared = MakeShared(system, "corpus.cell");
+  Assembler w0 = WriteOnce("corpus.w0", 1);
+  Assembler w1 = WriteOnce("corpus.w1", 2);
+  Spawn(system, w0, shared);
+  Spawn(system, w1, shared);
+
+  analysis::InterferenceAnalysisReport report = system.kernel().AnalyzeInterference();
+  EXPECT_FALSE(report.ok());
+  ASSERT_EQ(report.pairs_interfering, 1u);
+  bool found = false;
+  for (const analysis::InterferenceVerdict& verdict : report.verdicts) {
+    if (verdict.verdict != analysis::PairVerdict::kInterfering) continue;
+    found = true;
+    ASSERT_EQ(verdict.shared.size(), 1u);
+    EXPECT_EQ(verdict.shared[0], shared.index());
+    EXPECT_NE(verdict.message.find("corpus.cell"), std::string::npos) << verdict.message;
+  }
+  EXPECT_TRUE(found);
+  system.Run();
+}
+
+TEST(InterferenceCorpusTest, ImmutableCertifiedObjectServesAuditedCertifiedHits) {
+  System system(CorpusConfig(true, true));
+  AccessDescriptor shared = MakeShared(system, "corpus.table", 5);
+  Assembler reader = ReadLoop("corpus.reader", 200);
+  Spawn(system, reader, shared);
+
+  // Static claim first: the read-only object earns a strict immutable certificate.
+  analysis::InterferenceAnalysisReport report = system.kernel().AnalyzeInterference();
+  const analysis::CacheCertificate* cert = nullptr;
+  for (const analysis::CacheCertificate& c : report.certificates) {
+    if (c.object == shared.index() && c.part == analysis::ObjectPart::kData) cert = &c;
+  }
+  ASSERT_NE(cert, nullptr);
+  EXPECT_EQ(cert->grade, analysis::CacheGrade::kImmutable);
+  EXPECT_FALSE(cert->caveat);
+
+  // Dynamic ground truth: certified hits happen, and the auditor confirms every one.
+  system.Run();
+  XlatCacheStats stats = system.kernel().xlat_stats();
+  EXPECT_GT(stats.certified_hits, 0u);
+  EXPECT_GT(system.kernel().interference_auditor()->stats().hits_checked, 0u);
+  EXPECT_EQ(system.kernel().interference_auditor()->stats().violations, 0u);
+  EXPECT_EQ(system.kernel().stats().interference_violations, 0u);
+}
+
+TEST(InterferenceCorpusTest, MutationAfterCertificationRetractsTheCertificate) {
+  System system(CorpusConfig(true, true));
+  AccessDescriptor shared = MakeShared(system, "corpus.retract", 5);
+  Assembler reader = ReadLoop("corpus.reader", 50);
+  Spawn(system, reader, shared);
+
+  analysis::InterferenceAnalysisReport before = system.kernel().AnalyzeInterference();
+  ASSERT_EQ(before.certified_immutable, 1u);
+  uint64_t invalidations = system.kernel().stats().xlat_invalidations;
+
+  // A writer entering the system retracts immutability before it executes a single
+  // instruction: registering unsummarized code clears every cache at spawn.
+  Assembler writer = WriteOnce("corpus.writer", 9);
+  Spawn(system, writer, shared);
+  EXPECT_GT(system.kernel().stats().xlat_invalidations, invalidations);
+
+  analysis::InterferenceAnalysisReport after = system.kernel().AnalyzeInterference();
+  const analysis::CacheCertificate* cert = nullptr;
+  for (const analysis::CacheCertificate& c : after.certificates) {
+    if (c.object == shared.index() && c.part == analysis::ObjectPart::kData) cert = &c;
+  }
+  ASSERT_NE(cert, nullptr);
+  EXPECT_EQ(cert->grade, analysis::CacheGrade::kMutable);
+
+  // The run stays clean: the retraction happened before any certified entry could serve.
+  system.Run();
+  EXPECT_EQ(system.kernel().stats().interference_violations, 0u);
+}
+
+TEST(InterferenceCorpusTest, ForcedMutationOfACertifiedObjectTripsTheAuditor) {
+  System system(CorpusConfig(true, true));
+  AccessDescriptor shared = MakeShared(system, "corpus.victim", 5);
+  Assembler reader = ReadLoop("corpus.reader", 400);
+  Spawn(system, reader, shared);
+  system.machine().trace().Enable();
+
+  // Let the certified entry fill and serve, then corrupt the object behind the analysis's
+  // back — the host-side equivalent of unsummarized code mutating certified state.
+  system.RunUntil(2000);
+  system.machine().table().At(shared.index()).data_epoch += 1;
+  system.Run();
+
+  EXPECT_GT(system.kernel().stats().interference_violations, 0u);
+  EXPECT_GT(system.kernel().interference_auditor()->stats().violations, 0u);
+  bool traced = false;
+  for (const TraceEvent& event : system.machine().trace().Snapshot()) {
+    if (event.kind == TraceEventKind::kInterferenceViolation) {
+      traced = true;
+      EXPECT_EQ(event.a, shared.index());
+      EXPECT_EQ(event.b,
+                static_cast<uint32_t>(analysis::InterferenceViolationKind::kMutated));
+    }
+  }
+  EXPECT_TRUE(traced);
+}
+
+TEST(InterferenceCorpusTest, BootedSystemAnalyzesCleanWithTheDaemonRunning) {
+  SystemConfig config;
+  config.machine = SmallConfig();
+  config.processors = 2;
+  config.xlat_cache = true;
+  config.interference_audit = true;
+  System system(config);  // GC daemon on: an opaque resident program in the mix
+
+  analysis::InterferenceAnalysisReport report = system.kernel().AnalyzeInterference();
+  EXPECT_TRUE(report.ok()) << analysis::FormatInterferenceReport(report);
+
+  system.RunUntil(200000);
+  EXPECT_EQ(system.kernel().stats().interference_violations, 0u);
+}
+
+TEST(InterferenceCorpusTest, ReplayFingerprintIsBitIdenticalWithCacheAndAuditor) {
+  auto run = [](bool cache, bool audit) {
+    System system(CorpusConfig(cache, audit));
+    system.machine().trace().Enable();
+    AccessDescriptor left = MakeShared(system, "corpus.left", 1);
+    AccessDescriptor right = MakeShared(system, "corpus.right", 2);
+    Assembler a = ReadLoop("corpus.a", 100);
+    Assembler b("corpus.b");
+    auto loop = b.NewLabel();
+    b.MoveAd(1, kArgAdReg)
+        .LoadImm(0, 0)
+        .LoadImm(3, 60)
+        .Bind(loop)
+        .LoadData(2, 1, 0, 8)
+        .AddImm(2, 2, 1)
+        .StoreData(1, 2, 0, 8)
+        .AddImm(0, 0, 1)
+        .BranchIfLess(0, 3, loop)
+        .Halt();
+    Spawn(system, a, left);
+    Spawn(system, b, right);
+    system.Run();
+    return FingerprintTrace(system.machine().trace().Snapshot());
+  };
+  uint64_t off = run(false, false);
+  uint64_t on = run(true, true);
+  EXPECT_EQ(off, on);
+}
+
+}  // namespace
+}  // namespace imax432

@@ -14,6 +14,7 @@
 
 #include "src/analysis/deadlock.h"
 #include "src/analysis/effects.h"
+#include "src/analysis/interference/interference.h"
 #include "src/analysis/lifetime/lifetime.h"
 #include "src/analysis/races/races.h"
 #include "src/analysis/verifier.h"
@@ -28,7 +29,8 @@ using namespace imax432;
 namespace {
 
 constexpr char kUsage[] =
-    "usage: imax_lint [--dump] [--demo-bad] [--deadlock] [--races] [--lifetime] [--help]\n"
+    "usage: imax_lint [--dump] [--demo-bad] [--deadlock] [--races] [--lifetime]\n"
+    "                 [--interference] [--all] [--help]\n"
     "\n"
     "Boots a representative iMAX-432 system with verify-on-load armed and sweeps every\n"
     "loaded program through the static capability verifier.\n"
@@ -47,6 +49,14 @@ constexpr char kUsage[] =
     "              come back clean, a seeded corpus (leaked store, retention anomaly) must\n"
     "              be flagged while context-local and consumed allocations must not, and a\n"
     "              live demote+audit quickstart must run violation-free\n"
+    "  --interference\n"
+    "              additionally run the interference & immutability analysis: the booted\n"
+    "              system must come back clean, a seeded corpus (disjoint pair, shared-write\n"
+    "              pair, immutable-after-publication, mutation-after-certification) must\n"
+    "              produce the ground-truth verdicts and certificates, and a live\n"
+    "              xlat-cache+audit quickstart must serve certified hits violation-free\n"
+    "  --all       run every analysis pass above (equivalent to --demo-bad --deadlock\n"
+    "              --races --lifetime --interference); tools/lint.sh and CI use this\n"
     "  --help      print this text and exit 0\n"
     "\n"
     "exit status (flags combine; the worst outcome across all requested checks wins):\n"
@@ -673,6 +683,206 @@ int RunLifetimeChecks(System& system, bool dump) {
   return failures;
 }
 
+// Static interference & immutability analysis: the booted system must come back clean
+// (the zero-false-positive tiers suppress the native daemons), a seeded corpus must keep
+// the disjoint pair independent, report the shared-write pair with named witnesses,
+// certify the read-only object strictly immutable, and retract that certificate the moment
+// a writer joins the graph — then a live xlat-cache+audit quickstart must serve certified
+// hits with zero auditor violations. Returns the number of failed expectations; -1 on
+// setup failure.
+int RunInterferenceChecks(System& system, bool dump) {
+  int failures = 0;
+
+  std::printf("\n==== whole-system interference analysis (booted system) ====\n");
+  analysis::InterferenceAnalysisReport live = system.kernel().AnalyzeInterference();
+  std::printf("imax_lint: %u programs, %u objects, %u independent / %u interfering / %u "
+              "suppressed pair(s), %u certified immutable (%u caveated): %s\n",
+              live.programs_analyzed, live.objects_seen, live.pairs_independent,
+              live.pairs_interfering, live.pairs_suppressed, live.certified_immutable,
+              live.certified_with_caveat, live.ok() ? "clean" : "DIAGNOSTICS");
+  if (!live.ok()) {
+    std::fputs(analysis::FormatInterferenceReport(live).c_str(), stdout);
+    std::printf("^^^^ FALSE POSITIVE — the booted system is known interference-free\n");
+    failures += static_cast<int>(live.pairs_interfering);
+  }
+
+  std::printf("\n==== seeded interference corpus (ground-truth verdicts & certificates) "
+              "====\n");
+  SymbolTable& symbols = system.kernel().symbols();
+  auto make_object = [&](const char* name) {
+    auto object = system.memory().CreateObject(system.memory().global_heap(),
+                                               SystemType::kGeneric, 16, 0,
+                                               rights::kRead | rights::kWrite);
+    if (object.ok()) symbols.Name(object.value().index(), name);
+    return object;
+  };
+  auto left = make_object("disjoint.left");
+  auto right = make_object("disjoint.right");
+  auto cell = make_object("contended.cell");
+  auto table = make_object("immutable.table");
+  if (!left.ok() || !right.ok() || !cell.ok() || !table.ok()) {
+    std::fprintf(stderr, "imax_lint: interference corpus object creation failed\n");
+    return -1;
+  }
+
+  // carrier slot 0 = the target object. Programs are analyzed standalone, like every other
+  // seeded corpus: the objects are real so AD chains resolve exactly as at load time.
+  analysis::SystemEffectGraph graph;
+  graph.set_symbols(&symbols);
+  std::map<ObjectIndex, analysis::InterferenceSummary> summaries;
+  ObjectIndex next_key = 1;
+  bool carriers_ok = true;
+  auto add_program = [&](const Program& program, const AccessDescriptor& target) {
+    auto carrier = system.memory().CreateObject(system.memory().global_heap(),
+                                                SystemType::kGeneric, 16, 1,
+                                                rights::kRead | rights::kWrite);
+    if (!carrier.ok()) {
+      carriers_ok = false;
+      return;
+    }
+    (void)system.machine().addressing().WriteAd(carrier.value(), 0, target);
+    analysis::EffectOptions options = analysis::EffectOptionsForTable(
+        system.machine().table(), carrier.value(), &symbols);
+    if (dump) std::fputs(Disassemble(program).c_str(), stdout);
+    graph.AddProgram(next_key, analysis::EffectAnalyzer::Analyze(program, options));
+    summaries[next_key] = analysis::InterferenceAnalyzer::Analyze(program, options);
+    ++next_key;
+  };
+  auto reader = [](const char* name) {
+    Assembler a(name);
+    a.MoveAd(1, kArgAdReg).LoadAd(2, 1, 0).LoadData(0, 2, 0, 8).Halt();
+    return a;
+  };
+  auto writer = [](const char* name) {
+    Assembler a(name);
+    a.MoveAd(1, kArgAdReg).LoadAd(2, 1, 0).StoreData(2, 0, 0, 8).Halt();
+    return a;
+  };
+
+  // Disjoint pair: independent. Shared-write pair: interfering. Immutable table: two
+  // readers, nobody writes — a strict immutable certificate.
+  add_program(*reader("disjoint.a").Build(), left.value());
+  add_program(*reader("disjoint.b").Build(), right.value());
+  add_program(*writer("contended.w0").Build(), cell.value());
+  add_program(*writer("contended.w1").Build(), cell.value());
+  add_program(*reader("immutable.r0").Build(), table.value());
+  add_program(*reader("immutable.r1").Build(), table.value());
+  if (!carriers_ok) {
+    std::fprintf(stderr, "imax_lint: interference corpus carrier creation failed\n");
+    return -1;
+  }
+
+  analysis::InterferenceAnalysisReport report =
+      analysis::AnalyzeInterference(graph, summaries);
+  std::fputs(analysis::FormatInterferenceReport(report).c_str(), stdout);
+  if (report.pairs_interfering != 1) {
+    std::printf("^^^^ WRONG VERDICTS — expected exactly the contended.cell pair to "
+                "interfere, got %u pair(s)\n", report.pairs_interfering);
+    ++failures;
+  }
+  bool witness_ok = false;
+  for (const analysis::InterferenceVerdict& verdict : report.verdicts) {
+    if (verdict.verdict != analysis::PairVerdict::kInterfering) continue;
+    witness_ok = verdict.shared.size() == 1 && verdict.shared[0] == cell.value().index() &&
+                 verdict.message.find("contended.cell") != std::string::npos;
+  }
+  if (report.pairs_interfering == 1 && !witness_ok) {
+    std::printf("^^^^ WRONG WITNESS — the interfering verdict must name contended.cell\n");
+    ++failures;
+  }
+  auto find_cert = [](const analysis::InterferenceAnalysisReport& r, ObjectIndex object) {
+    const analysis::CacheCertificate* found = nullptr;
+    for (const analysis::CacheCertificate& cert : r.certificates) {
+      if (cert.object == object && cert.part == analysis::ObjectPart::kData) found = &cert;
+    }
+    return found;
+  };
+  const analysis::CacheCertificate* table_cert = find_cert(report, table.value().index());
+  if (table_cert == nullptr || table_cert->grade != analysis::CacheGrade::kImmutable ||
+      table_cert->caveat) {
+    std::printf("^^^^ LOST CERTIFICATE — immutable.table must certify strictly "
+                "immutable\n");
+    ++failures;
+  }
+
+  // Mutation after certification: a writer joining the graph must retract the certificate.
+  add_program(*writer("immutable.late_writer").Build(), table.value());
+  if (!carriers_ok) {
+    std::fprintf(stderr, "imax_lint: interference corpus carrier creation failed\n");
+    return failures > 0 ? failures : -1;
+  }
+  analysis::InterferenceAnalysisReport retracted =
+      analysis::AnalyzeInterference(graph, summaries);
+  const analysis::CacheCertificate* late_cert = find_cert(retracted, table.value().index());
+  if (late_cert == nullptr || late_cert->grade != analysis::CacheGrade::kMutable) {
+    std::printf("^^^^ STALE CERTIFICATE — immutable.table must grade mutable once a "
+                "writer exists\n");
+    ++failures;
+  }
+  std::printf("\nimax_lint: interference corpus: %u independent, %u interfering, "
+              "certificate %s -> %s; %d failures\n",
+              report.pairs_independent, report.pairs_interfering,
+              table_cert != nullptr ? analysis::CacheGradeName(table_cert->grade) : "?",
+              late_cert != nullptr ? analysis::CacheGradeName(late_cert->grade) : "?",
+              failures);
+
+  // --- Live quickstart: certified translation cache + runtime auditor, end to end. ---
+  std::printf("\n==== xlat-cache quickstart (xlat_cache + interference_audit) ====\n");
+  SystemConfig config;
+  config.processors = 1;
+  config.verify_on_load = true;
+  config.start_gc_daemon = false;  // the daemon's native steps caveat every certificate
+  config.xlat_cache = true;
+  config.interference_audit = true;
+  System demo(config);
+  auto shared = demo.memory().CreateObject(demo.memory().global_heap(),
+                                           SystemType::kGeneric, 64, 0,
+                                           rights::kRead | rights::kWrite);
+  if (!shared.ok() ||
+      !demo.machine().addressing().WriteData(shared.value(), 0, 8, 7).ok()) {
+    std::fprintf(stderr, "imax_lint: quickstart object creation failed\n");
+    return failures > 0 ? failures : -1;
+  }
+  Assembler loop_program("quickstart.reader");
+  auto loop = loop_program.NewLabel();
+  loop_program.MoveAd(1, kArgAdReg)
+      .LoadImm(0, 0)
+      .LoadImm(3, 256)
+      .Bind(loop)
+      .LoadData(2, 1, 0, 8)
+      .AddImm(0, 0, 1)
+      .BranchIfLess(0, 3, loop)
+      .Halt();
+  ProcessOptions options;
+  options.initial_arg = shared.value();
+  auto process = demo.Spawn(loop_program.Build(), options);
+  if (!process.ok()) {
+    std::fprintf(stderr, "imax_lint: quickstart spawn failed\n");
+    return failures > 0 ? failures : -1;
+  }
+  demo.Run();
+  XlatCacheStats stats = demo.kernel().xlat_stats();
+  const analysis::InterferenceAuditorStats& audit =
+      demo.kernel().interference_auditor()->stats();
+  std::printf("imax_lint: %llu certified hits, %llu certified program hits, %llu epoch "
+              "hits, %llu audited, %llu violations\n",
+              static_cast<unsigned long long>(stats.certified_hits),
+              static_cast<unsigned long long>(stats.certified_program_hits),
+              static_cast<unsigned long long>(stats.hits),
+              static_cast<unsigned long long>(audit.hits_checked),
+              static_cast<unsigned long long>(audit.violations));
+  if (stats.certified_hits == 0 || stats.certified_program_hits == 0) {
+    std::printf("^^^^ COLD CACHE — the hot read loop must serve certified hits on both "
+                "tiers\n");
+    ++failures;
+  }
+  if (audit.violations != 0 || demo.kernel().stats().interference_violations != 0) {
+    std::printf("^^^^ AUDIT VIOLATION — a certified translation went stale\n");
+    failures += static_cast<int>(audit.violations);
+  }
+  return failures;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -681,6 +891,7 @@ int main(int argc, char** argv) {
   bool deadlock = false;
   bool races = false;
   bool lifetime = false;
+  bool interference = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--dump") == 0) {
       dump = true;
@@ -692,6 +903,10 @@ int main(int argc, char** argv) {
       races = true;
     } else if (std::strcmp(argv[i], "--lifetime") == 0) {
       lifetime = true;
+    } else if (std::strcmp(argv[i], "--interference") == 0) {
+      interference = true;
+    } else if (std::strcmp(argv[i], "--all") == 0) {
+      demo_bad = deadlock = races = lifetime = interference = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::fputs(kUsage, stdout);
       return 0;
@@ -832,9 +1047,17 @@ int main(int argc, char** argv) {
       lifetime_failures = 0;
     }
   }
+  int interference_failures = 0;
+  if (interference) {
+    interference_failures = RunInterferenceChecks(system, dump);
+    if (interference_failures < 0) {
+      infrastructure_failed = true;
+      interference_failures = 0;
+    }
+  }
 
   const int findings = errors + missed + deadlock_failures + race_failures +
-                       lifetime_failures;
+                       lifetime_failures + interference_failures;
   const int exit_code = findings > 0 ? 2 : (infrastructure_failed ? 1 : 0);
   std::printf("\nLINT EXIT: %d\n", exit_code);
   return exit_code;

@@ -5,6 +5,13 @@
 // Usage:
 //   imax_trace [--workload quickstart|pipeline|churn] [--processors N] [--cycles N]
 //              [--trace-capacity N] [--out trace.json] [--metrics metrics.json] [--overhead]
+//              [--xlat-cache]
+//
+// --xlat-cache arms the certified AD-translation cache and its runtime auditor (implies
+// verify-on-load so the interference analysis runs at spawn). The run reports hit/miss
+// counts at exit and fails if the auditor catches a single certified-entry violation.
+// Composes with --inject: the campaign replay must stay bit-identical with the cache in
+// the hot path.
 //
 // --overhead runs the selected workload twice — tracing enabled and disabled — and reports
 // the host wall-clock cost of instrumentation. The two runs must reach the same virtual
@@ -47,6 +54,7 @@ struct Options {
   bool overhead = false;
   bool race_sanitize = false;
   bool lifetime_demote = false;
+  bool xlat_cache = false;
   uint32_t inject_count = 0;  // > 0 selects campaign mode
   uint64_t seed = 432;
   Cycles inject_horizon = 2'000'000;
@@ -59,7 +67,7 @@ void Usage() {
                "usage: imax_trace [--workload quickstart|pipeline|churn] [--processors N]\n"
                "                  [--cycles N] [--trace-capacity N] [--out FILE]\n"
                "                  [--metrics FILE] [--overhead] [--race-sanitize]\n"
-               "                  [--lifetime-demote] [--inject N] [--seed S]\n"
+               "                  [--lifetime-demote] [--xlat-cache] [--inject N] [--seed S]\n"
                "                  [--inject-horizon CYCLES] [--inject-report FILE]\n"
                "                  [--inject-verify]\n");
 }
@@ -272,6 +280,14 @@ std::unique_ptr<System> RunWorkload(const Options& options, bool trace) {
     config.lifetime_demote = true;
     config.lifetime_audit = true;
   }
+  if (options.xlat_cache) {
+    // Cacheability certificates come from the load-time interference analysis, so
+    // summaries must land at spawn; the auditor revalidates every certified hit so a
+    // violation is a soundness finding, not silent corruption.
+    config.verify_on_load = true;
+    config.xlat_cache = true;
+    config.interference_audit = true;
+  }
   std::unique_ptr<System> system;
   if (options.workload == "quickstart") {
     system = RunQuickstart(config);
@@ -355,6 +371,13 @@ CampaignResult RunCampaign(const Options& options) {
     config.verify_on_load = true;
     config.lifetime_demote = true;
     config.lifetime_audit = true;
+  }
+  if (options.xlat_cache) {
+    // Translation caching under fire: certified and epoch-keyed hits must not perturb
+    // virtual time, and the auditor must stay silent across retirements and corruption.
+    config.verify_on_load = true;
+    config.xlat_cache = true;
+    config.interference_audit = true;
   }
 
   CampaignResult result;
@@ -635,6 +658,28 @@ int RunInjectCampaign(const Options& options) {
     }
   }
 
+  if (options.xlat_cache) {
+    const XlatCacheStats xlat = result.system->kernel().xlat_stats();
+    const analysis::InterferenceAuditorStats& audit =
+        result.system->kernel().interference_auditor()->stats();
+    std::fprintf(stderr,
+                 "xlat cache: %llu certified + %llu epoch hits, %llu certified + %llu "
+                 "epoch program hits; auditor checked %llu, %llu violation(s)\n",
+                 static_cast<unsigned long long>(xlat.certified_hits),
+                 static_cast<unsigned long long>(xlat.hits),
+                 static_cast<unsigned long long>(xlat.certified_program_hits),
+                 static_cast<unsigned long long>(xlat.program_hits),
+                 static_cast<unsigned long long>(audit.hits_checked),
+                 static_cast<unsigned long long>(audit.violations));
+    // Under fault injection every certified hit is still revalidated by the auditor; a
+    // violation means injected corruption reached a translation the analysis froze.
+    if (audit.violations != 0) {
+      std::fprintf(stderr, "FAIL: %llu interference violation(s) during campaign\n",
+                   static_cast<unsigned long long>(audit.violations));
+      return 1;
+    }
+  }
+
   // The acceptance bar: every injected fault ends in recovery or policy-driven
   // termination. A panic means a fault escaped both.
   if (kernel.panics != 0) {
@@ -727,6 +772,8 @@ int main(int argc, char** argv) {
       options.inject_verify = true;
     } else if (arg == "--lifetime-demote") {
       options.lifetime_demote = true;
+    } else if (arg == "--xlat-cache") {
+      options.xlat_cache = true;
     } else if (arg == "--race-sanitize") {
       options.race_sanitize = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -806,6 +853,29 @@ int main(int argc, char** argv) {
     // The canned workloads never leak a demoted object; an audit violation is a real
     // soundness bug in the lifetime analysis and must fail the run so CI catches it.
     if (stats.lifetime_violations != 0) {
+      return 1;
+    }
+  }
+
+  if (options.xlat_cache) {
+    const XlatCacheStats xlat = system->kernel().xlat_stats();
+    const analysis::InterferenceAuditorStats& audit =
+        system->kernel().interference_auditor()->stats();
+    std::fprintf(stderr,
+                 "xlat cache: %llu certified + %llu epoch hits (%llu misses), "
+                 "%llu certified + %llu epoch program hits (%llu misses); "
+                 "auditor checked %llu, %llu violation(s)\n",
+                 static_cast<unsigned long long>(xlat.certified_hits),
+                 static_cast<unsigned long long>(xlat.hits),
+                 static_cast<unsigned long long>(xlat.misses),
+                 static_cast<unsigned long long>(xlat.certified_program_hits),
+                 static_cast<unsigned long long>(xlat.program_hits),
+                 static_cast<unsigned long long>(xlat.program_misses),
+                 static_cast<unsigned long long>(audit.hits_checked),
+                 static_cast<unsigned long long>(audit.violations));
+    // Nothing in the canned workloads mutates a certified object; a violation means the
+    // interference analysis certified something it shouldn't have. Fail loudly.
+    if (audit.violations != 0 || system->kernel().stats().interference_violations != 0) {
       return 1;
     }
   }
