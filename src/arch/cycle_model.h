@@ -14,6 +14,9 @@
 #ifndef IMAX432_SRC_ARCH_CYCLE_MODEL_H_
 #define IMAX432_SRC_ARCH_CYCLE_MODEL_H_
 
+#include <array>
+#include <cstddef>
+
 #include "src/arch/types.h"
 
 namespace imax432 {
@@ -89,6 +92,44 @@ inline constexpr Cycles CreateObjectCost(uint32_t data_bytes, uint32_t access_sl
 }
 
 }  // namespace cycles
+
+// Attribution buckets for the cycle profiler (src/obs/profiler.h). Every virtual cycle a
+// processor lives through lands in exactly one bucket, so per-GDP bucket sums reconstruct
+// wall time exactly (the invariant bench_profiler asserts). The taxonomy follows the cost
+// model's own split: compute local to a GDP, bus serialized on the interconnect, and the
+// scheduling / recovery gaps between charged instructions.
+enum class CycleBucket : uint8_t {
+  kInterpreter = 0,  // instruction compute (the microcoded high-level instruction bodies)
+  kDispatch,         // dispatching-port binds, time-slice machinery, stop/park transitions
+  kBusTransfer,      // granted interconnect occupancy (incl. fault-window retransmissions)
+  kBusWait,          // waiting for an interconnect channel grant
+  kMemoryWait,       // transparent swap-in service (kSegmentSwapped residency faults)
+  kPortWait,         // blocked at a port (per-process only; a blocked process holds no GDP)
+  kGc,               // the collector daemon's interpreter cycles (by process tag)
+  kFaultRecovery,    // fault delivery gaps, stalls, patrol / fault-service daemons (by tag)
+  kIdle,             // parked at the dispatching port with nothing ready
+  kHalted,           // retired GDP, from retirement to end of run
+};
+
+inline constexpr size_t kCycleBucketCount = 10;
+
+using CycleBucketArray = std::array<Cycles, kCycleBucketCount>;
+
+inline constexpr const char* CycleBucketName(CycleBucket bucket) {
+  switch (bucket) {
+    case CycleBucket::kInterpreter: return "interpreter";
+    case CycleBucket::kDispatch: return "dispatch";
+    case CycleBucket::kBusTransfer: return "bus_transfer";
+    case CycleBucket::kBusWait: return "bus_wait";
+    case CycleBucket::kMemoryWait: return "memory_wait";
+    case CycleBucket::kPortWait: return "port_wait";
+    case CycleBucket::kGc: return "gc";
+    case CycleBucket::kFaultRecovery: return "fault_recovery";
+    case CycleBucket::kIdle: return "idle";
+    case CycleBucket::kHalted: return "halted";
+  }
+  return "unknown";
+}
 
 }  // namespace imax432
 

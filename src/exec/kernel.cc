@@ -126,6 +126,7 @@ Status Kernel::AddProcessors(int count, const AccessDescriptor& dispatch_port) {
 
     processors_.push_back(ProcessorRec{id, object, port, AccessDescriptor(), machine_->now(),
                                        false, false, 0, XlatCache{}});
+    machine_->profiler().OnProcessorAdded(id, machine_->now());
     processors_.back().xlat.SetCertifiedSet(&certified_translations_);
     if (interference_auditor_ != nullptr) {
       processors_.back().xlat.SetCertifiedHitHook(&Kernel::CertifiedHitThunk, this);
@@ -242,6 +243,11 @@ Result<AccessDescriptor> Kernel::CreateProcess(ProgramRef program,
   ++stats_.processes_created;
   if (race_sanitizer_ != nullptr) {
     race_sanitizer_->OnProcessCreated(process.index());
+  }
+  if (machine_->spans().enabled()) {
+    machine_->spans().OnSpawn(
+        options.parent.is_null() ? kTraceNoProcess : options.parent.index(),
+        process.index());
   }
   return process;
 }
@@ -395,6 +401,7 @@ Status Kernel::RetireProcessor(uint16_t processor_id) {
   }
   rec.halted = true;
   ++stats_.processors_retired;
+  machine_->profiler().OnRetired(processor_id, machine_->now());
 
   ObjectView processor(&machine_->addressing(), rec.object);
   if (rec.waiting) {
@@ -467,6 +474,13 @@ Status Kernel::MakeReady(const AccessDescriptor& process) {
   if (wait != block_waits_.end()) {
     Cycles waited = machine_->now() - wait->second.start;
     machine_->latency().port_wait.Record(waited);
+    machine_->profiler().ChargeProcess(process.index(), CycleBucket::kPortWait, waited);
+    if (wait->second.is_send && machine_->spans().enabled()) {
+      // Only a blocked *sender's* wait sits on its request's critical path; a receiver's
+      // pre-arrival wait belongs to no request.
+      machine_->spans().ChargeCurrent(process.index(), CycleBucket::kPortWait, waited,
+                                      machine_->now());
+    }
     machine_->trace().Emit(TraceEventKind::kUnblock, machine_->now(), kTraceNoProcessor,
                            process.index(), wait->second.port,
                            static_cast<uint32_t>(waited));
@@ -510,9 +524,18 @@ Status Kernel::PostMessage(const AccessDescriptor& port, const AccessDescriptor&
       return stored;
     }
     recv.Increment(ProcessLayout::kOffMessagesReceived, 4);
+    if (machine_->spans().enabled()) {
+      machine_->spans().OnExternalHandoff(receiver.value().process.index(),
+                                          machine_->now());
+    }
     return MakeReady(receiver.value().process);
   }
-  return ports_.Enqueue(port, message, /*sender_priority=*/128, /*sender_deadline=*/0);
+  Status queued =
+      ports_.Enqueue(port, message, /*sender_priority=*/128, /*sender_deadline=*/0);
+  if (queued.ok()) {
+    machine_->spans().OnExternalSend(ports_.last_enqueue_seq());
+  }
+  return queued;
 }
 
 void Kernel::BindProcess(ProcessorRec& rec, const AccessDescriptor& process) {
@@ -524,10 +547,12 @@ void Kernel::BindProcess(ProcessorRec& rec, const AccessDescriptor& process) {
                          /*privileged=*/true);
     return;
   }
+  machine_->profiler().CloseIdle(rec.id, machine_->now());
   if (proc.stop_count() > 0) {
     // A stop arrived while the process was queued: park it and look again.
     proc.set_state(ProcessState::kStopped);
     NotifyEvent(process, ProcessEvent::kStopped);
+    machine_->profiler().ChargeCpu(rec.id, CycleBucket::kDispatch, cycles::kDispatch);
     machine_->events().ScheduleAfter(cycles::kDispatch,
                                      [this, id = rec.id] { ProcessorFetch(id); });
     return;
@@ -547,8 +572,21 @@ void Kernel::BindProcess(ProcessorRec& rec, const AccessDescriptor& process) {
   ++stats_.dispatches;
 
   // Dispatch latency: binding a process to a processor is itself a hardware algorithm.
+  BusGrant grant;
   Cycles done = machine_->bus().Acquire(machine_->now() + cycles::kDispatch,
-                                        cycles::kBusDispatch);
+                                        cycles::kBusDispatch, &grant);
+  if (machine_->profiler().enabled()) {
+    CycleProfiler& profiler = machine_->profiler();
+    profiler.Charge(rec.id, process.index(), CycleBucket::kDispatch, cycles::kDispatch);
+    profiler.Charge(rec.id, process.index(), CycleBucket::kBusWait, grant.wait);
+    profiler.Charge(rec.id, process.index(), CycleBucket::kBusTransfer, grant.busy);
+  }
+  if (machine_->spans().enabled()) {
+    SpanTracer& spans = machine_->spans();
+    spans.ChargeCurrent(process.index(), CycleBucket::kDispatch, cycles::kDispatch, done);
+    spans.ChargeCurrent(process.index(), CycleBucket::kBusWait, grant.wait, done);
+    spans.ChargeCurrent(process.index(), CycleBucket::kBusTransfer, grant.busy, done);
+  }
   machine_->latency().dispatch_latency.Record(done - machine_->now());
   machine_->trace().Emit(TraceEventKind::kDispatch, machine_->now(), rec.id, process.index(),
                          static_cast<uint32_t>(done - machine_->now()));
@@ -562,6 +600,8 @@ void Kernel::ProcessorFetch(uint16_t processor_id) {
   }
   if (machine_->now() < rec.stall_until) {
     // Transient stall: come back for work once the processor re-arbitrates.
+    machine_->profiler().ChargeCpu(processor_id, CycleBucket::kFaultRecovery,
+                                   rec.stall_until - machine_->now());
     machine_->events().ScheduleAt(rec.stall_until,
                                   [this, processor_id] { ProcessorFetch(processor_id); });
     return;
@@ -589,13 +629,35 @@ void Kernel::ProcessorFetch(uint16_t processor_id) {
   rec.waiting = true;
   machine_->trace().Emit(TraceEventKind::kIdle, machine_->now(), processor_id, kTraceNoProcess,
                          rec.dispatch_port.index());
+  machine_->profiler().OpenIdle(processor_id);
   ports_.PushWaitingProcessor(rec.dispatch_port, processor_id);
 }
 
-Cycles Kernel::ChargeCycles(ProcessorRec& rec, ProcessView& proc, Cycles compute, Cycles bus) {
+Cycles Kernel::ChargeCycles(ProcessorRec& rec, ProcessView& proc, Cycles compute, Cycles bus,
+                            CycleBucket bucket) {
   Cycles start = machine_->now();
   Cycles after_compute = start + compute;
-  Cycles done = machine_->bus().Acquire(after_compute, bus);
+  CycleProfiler& profiler = machine_->profiler();
+  SpanTracer& spans = machine_->spans();
+  Cycles done;
+  if (profiler.enabled() || spans.enabled()) {
+    BusGrant grant;
+    done = machine_->bus().Acquire(after_compute, bus, &grant);
+    uint32_t process = proc.ad().index();
+    CycleBucket resolved = profiler.ResolveTag(process, bucket);
+    if (profiler.enabled()) {
+      profiler.Charge(rec.id, process, resolved, compute);
+      profiler.Charge(rec.id, process, CycleBucket::kBusWait, grant.wait);
+      profiler.Charge(rec.id, process, CycleBucket::kBusTransfer, grant.busy);
+    }
+    if (spans.enabled()) {
+      spans.ChargeCurrent(process, resolved, compute, done);
+      spans.ChargeCurrent(process, CycleBucket::kBusWait, grant.wait, done);
+      spans.ChargeCurrent(process, CycleBucket::kBusTransfer, grant.busy, done);
+    }
+  } else {
+    done = machine_->bus().Acquire(after_compute, bus);
+  }
   Cycles duration = done - start;
   proc.Increment(ProcessLayout::kOffConsumed, 8, duration);
   proc.set_slice_used(proc.slice_used() + duration);
@@ -611,6 +673,8 @@ void Kernel::ProcessorStep(uint16_t processor_id) {
   }
   if (machine_->now() < rec.stall_until) {
     // Transient stall: the bound process resumes exactly here once the stall lifts.
+    machine_->profiler().ChargeCpu(processor_id, CycleBucket::kFaultRecovery,
+                                   rec.stall_until - machine_->now());
     machine_->events().ScheduleAt(rec.stall_until,
                                   [this, processor_id] { ProcessorStep(processor_id); });
     return;
@@ -628,6 +692,7 @@ void Kernel::ProcessorStep(uint16_t processor_id) {
   if (proc.stop_count() > 0) {
     proc.set_state(ProcessState::kStopped);
     NotifyEvent(rec.current, ProcessEvent::kStopped);
+    machine_->profiler().ChargeCpu(processor_id, CycleBucket::kDispatch, cycles::kSimpleOp);
     machine_->events().ScheduleAfter(cycles::kSimpleOp,
                                      [this, processor_id] { ProcessorFetch(processor_id); });
     return;
@@ -640,6 +705,8 @@ void Kernel::ProcessorStep(uint16_t processor_id) {
     auto cached = FetchProgramCached(rec, ctx.instruction_segment());
     if (!cached.ok()) {
       RaiseFault(proc, cached.fault());
+      machine_->profiler().ChargeCpu(processor_id, CycleBucket::kFaultRecovery,
+                                     cycles::kDispatch);
       machine_->events().ScheduleAfter(cycles::kDispatch,
                                        [this, processor_id] { ProcessorFetch(processor_id); });
       return;
@@ -649,6 +716,8 @@ void Kernel::ProcessorStep(uint16_t processor_id) {
     auto program_result = programs_.Fetch(ctx.instruction_segment());
     if (!program_result.ok()) {
       RaiseFault(proc, program_result.fault());
+      machine_->profiler().ChargeCpu(processor_id, CycleBucket::kFaultRecovery,
+                                     cycles::kDispatch);
       machine_->events().ScheduleAfter(cycles::kDispatch,
                                        [this, processor_id] { ProcessorFetch(processor_id); });
       return;
@@ -660,12 +729,20 @@ void Kernel::ProcessorStep(uint16_t processor_id) {
 
   uint32_t pc = ctx.pc();
   StepEffect effect;
+  bool sampled_site = false;
+  uint64_t site_segment = 0;
   if (pc >= program.size()) {
     // Falling off the end of a subprogram is an implicit return.
     auto returned = DoReturn(rec.id, proc, ctx);
     IMAX_CHECK(returned.ok());
     effect = returned.value();
   } else {
+    if (machine_->profiler().enabled()) {
+      // Capture the hot-site key before Execute: an explicit Return destroys the context
+      // object, so reading the instruction segment afterwards would touch freed state.
+      sampled_site = true;
+      site_segment = ctx.instruction_segment().index();
+    }
     const Instruction& instruction = program.at(pc);
     // The interpreter's instruction dump: with tracing on, each step lands in the event
     // timeline (and the kTrace log line reaches the recorder's annotation channel through
@@ -688,7 +765,7 @@ void Kernel::ProcessorStep(uint16_t processor_id) {
         if (cost.ok()) {
           ctx.set_pc(pc);
           ++stats_.swap_faults;
-          Cycles done = ChargeCycles(rec, proc, cost.value(), 0);
+          Cycles done = ChargeCycles(rec, proc, cost.value(), 0, CycleBucket::kMemoryWait);
           machine_->events().ScheduleAt(done,
                                         [this, processor_id] { ProcessorStep(processor_id); });
           return;
@@ -697,6 +774,8 @@ void Kernel::ProcessorStep(uint16_t processor_id) {
       }
       ctx.set_pc(pc);  // the process faulted *at* this instruction
       RaiseFault(proc, fault);
+      machine_->profiler().ChargeCpu(processor_id, CycleBucket::kFaultRecovery,
+                                     cycles::kDispatch);
       machine_->events().ScheduleAfter(cycles::kDispatch,
                                        [this, processor_id] { ProcessorFetch(processor_id); });
       return;
@@ -705,6 +784,11 @@ void Kernel::ProcessorStep(uint16_t processor_id) {
   }
 
   Cycles done = ChargeCycles(rec, proc, effect.compute, effect.bus);
+  if (sampled_site) {
+    // now() is constant for the duration of this event, so done - now() is the full
+    // modeled duration the instruction just charged.
+    machine_->profiler().SampleSite(site_segment, pc, done - machine_->now());
+  }
   ++stats_.instructions_executed;
 
   switch (effect.kind) {
@@ -1184,6 +1268,10 @@ Result<Kernel::StepEffect> Kernel::DoSend(uint16_t cpu, ProcessView& proc,
     if (race_sanitizer_ != nullptr) {
       race_sanitizer_->OnHandoff(proc.ad().index(), receiver.value().process.index());
     }
+    if (machine_->spans().enabled()) {
+      machine_->spans().OnHandoff(proc.ad().index(), receiver.value().process.index(),
+                                  machine_->now());
+    }
     // The message never touches the queue on this path, so Enqueue/Dequeue cannot trace it;
     // emit the transfer pair here (depth 0: a handoff implies an empty queue).
     if (machine_->trace().enabled()) {
@@ -1203,6 +1291,7 @@ Result<Kernel::StepEffect> Kernel::DoSend(uint16_t cpu, ProcessView& proc,
     if (race_sanitizer_ != nullptr) {
       race_sanitizer_->OnSend(proc.ad().index(), ports_.last_enqueue_seq());
     }
+    machine_->spans().OnSend(proc.ad().index(), ports_.last_enqueue_seq(), machine_->now());
     return effect;
   }
   if (queued.fault() != Fault::kQueueFull) {
@@ -1216,7 +1305,8 @@ Result<Kernel::StepEffect> Kernel::DoSend(uint16_t cpu, ProcessView& proc,
   IMAX_RETURN_IF_FAULT(ports_.PushBlockedSender(port_ad, BlockedSender{proc.ad(), message}));
   proc.set_state(ProcessState::kBlocked);
   proc.bump_block_epoch();
-  block_waits_[proc.ad().index()] = BlockWait{machine_->now(), port_ad.index()};
+  block_waits_[proc.ad().index()] =
+      BlockWait{machine_->now(), port_ad.index(), /*is_send=*/true};
   if (machine_->trace().enabled()) {
     auto depth = ports_.QueuedCount(port_ad);
     machine_->trace().Emit(TraceEventKind::kBlockSend, machine_->now(), cpu,
@@ -1247,6 +1337,8 @@ Result<Kernel::StepEffect> Kernel::DoReceive(uint16_t cpu, ProcessView& proc, Co
     if (race_sanitizer_ != nullptr) {
       race_sanitizer_->OnReceive(proc.ad().index(), ports_.last_dequeue_seq());
     }
+    machine_->spans().OnReceive(proc.ad().index(), ports_.last_dequeue_seq(),
+                                machine_->now());
     // A slot freed up: admit one blocked sender.
     auto sender = ports_.PopBlockedSender(port_ad);
     if (sender.ok()) {
@@ -1258,6 +1350,8 @@ Result<Kernel::StepEffect> Kernel::DoReceive(uint16_t cpu, ProcessView& proc, Co
         if (race_sanitizer_ != nullptr) {
           race_sanitizer_->OnSend(sending.ad().index(), ports_.last_enqueue_seq());
         }
+        machine_->spans().OnSend(sending.ad().index(), ports_.last_enqueue_seq(),
+                                 machine_->now());
         IMAX_RETURN_IF_FAULT(MakeReady(sender.value().process));
       } else {
         // The deferred send hit a protection fault: it is the sender's fault to take.
@@ -1277,7 +1371,9 @@ Result<Kernel::StepEffect> Kernel::DoReceive(uint16_t cpu, ProcessView& proc, Co
       ports_.PushBlockedReceiver(port_ad, BlockedReceiver{proc.ad(), dest_adreg}));
   proc.set_state(ProcessState::kBlocked);
   proc.bump_block_epoch();
-  block_waits_[proc.ad().index()] = BlockWait{machine_->now(), port_ad.index()};
+  block_waits_[proc.ad().index()] =
+      BlockWait{machine_->now(), port_ad.index(), /*is_send=*/false};
+  machine_->spans().OnBlockReceive(proc.ad().index(), machine_->now());
   if (machine_->trace().enabled()) {
     auto depth = ports_.QueuedCount(port_ad);
     machine_->trace().Emit(TraceEventKind::kBlockReceive, machine_->now(), cpu,
@@ -1331,6 +1427,7 @@ Result<Kernel::StepEffect> Kernel::DoCall(uint16_t cpu, ProcessView& proc, Conte
     // The modeled switch cost rides in the payload so the exporter can draw the calibrated
     // ~65 microsecond slice; the residence time is closed out at the matching return.
     call_starts_[callee.index()] = machine_->now();
+    machine_->spans().OnDomainCall(proc.ad().index(), machine_->now());
     machine_->trace().Emit(TraceEventKind::kDomainCall, machine_->now(), cpu,
                            proc.ad().index(), callee.index(),
                            static_cast<uint32_t>(cycles::kDomainCall),
@@ -1385,6 +1482,7 @@ Result<Kernel::StepEffect> Kernel::DoReturn(uint16_t cpu, ProcessView& proc, Con
   if (call_start != call_starts_.end()) {
     Cycles residence = machine_->now() - call_start->second;
     machine_->latency().domain_call.Record(residence);
+    machine_->spans().OnDomainReturn(proc.ad().index(), machine_->now());
     machine_->trace().Emit(TraceEventKind::kDomainReturn, machine_->now(), cpu,
                            proc.ad().index(), dying.index(),
                            static_cast<uint32_t>(residence));
@@ -1416,6 +1514,7 @@ void Kernel::RaiseFault(ProcessView& proc, Fault fault) {
   // A fault ends any blocking episode (e.g. a timed receive whose watchdog fired) without a
   // completed wait to record.
   block_waits_.erase(proc.ad().index());
+  machine_->spans().OnFault(proc.ad().index(), machine_->now());
   machine_->trace().Emit(TraceEventKind::kFault, machine_->now(), kTraceNoProcessor,
                          proc.ad().index(), static_cast<uint32_t>(fault),
                          permitted && !proc.fault_port().is_null() ? 1 : 0);
@@ -1447,6 +1546,7 @@ void Kernel::RaiseFault(ProcessView& proc, Fault fault) {
 void Kernel::TerminateProcess(ProcessView& proc, bool faulted) {
   proc.set_state(ProcessState::kTerminated);
   block_waits_.erase(proc.ad().index());
+  machine_->spans().OnTerminate(proc.ad().index(), machine_->now());
   if (race_sanitizer_ != nullptr) race_sanitizer_->OnProcessRetired(proc.ad().index());
   machine_->trace().Emit(TraceEventKind::kTerminate, machine_->now(), kTraceNoProcessor,
                          proc.ad().index(), faulted ? 1 : 0);

@@ -420,8 +420,11 @@ class Kernel {
   // objects bulk-reclaimed (0 when the context never demoted an allocation).
   uint32_t ReclaimDemoteSro(uint16_t cpu, ProcessView& proc, ContextView& ctx);
 
-  // Charges `compute` + `bus` starting at now(); returns completion time.
-  Cycles ChargeCycles(ProcessorRec& rec, ProcessView& proc, Cycles compute, Cycles bus);
+  // Charges `compute` + `bus` starting at now(); returns completion time. `bucket` names
+  // the attribution bin the compute portion lands in when the profiler or span tracer is
+  // armed (bus wait/transfer split out automatically via BusGrant).
+  Cycles ChargeCycles(ProcessorRec& rec, ProcessView& proc, Cycles compute, Cycles bus,
+                      CycleBucket bucket = CycleBucket::kInterpreter);
 
   Machine* machine_;
   MemoryManager* memory_;
@@ -462,6 +465,8 @@ class Kernel {
   struct BlockWait {
     Cycles start = 0;
     ObjectIndex port = kInvalidObjectIndex;
+    bool is_send = false;  // blocked sender waits sit on the request's critical path;
+                           // a receiver's pre-arrival wait does not
   };
   std::map<ObjectIndex, BlockWait> block_waits_;
   std::map<ObjectIndex, Cycles> call_starts_;

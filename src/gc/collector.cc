@@ -440,6 +440,9 @@ Result<AccessDescriptor> GarbageCollector::SpawnDaemon(uint32_t units_per_step,
   options.priority = priority;
   options.imax_level = kImaxLevelServices;
   IMAX_ASSIGN_OR_RETURN(AccessDescriptor daemon, kernel_->CreateProcess(a.Build(), options));
+  // The daemon's interpreter cycles are GC work: rebin them under the gc bucket so the
+  // profiler attributes collection cost to collection, not to "some process computing".
+  kernel_->machine().profiler().TagProcess(daemon.index(), CycleBucket::kGc);
   IMAX_RETURN_IF_FAULT(kernel_->StartProcess(daemon));
   return request_port;
 }

@@ -89,6 +89,9 @@ Status PortSubsystem::Enqueue(const AccessDescriptor& port_ad, const AccessDescr
   }
   last_enqueue_seq_ = next_seq_;
   shadow->queue.push_back(QueueEntry{slot, key, next_seq_++});
+  if (shadow->queue.size() > stats_.peak_queue_depth) {
+    stats_.peak_queue_depth = shadow->queue.size();
+  }
 
   port.SetField(PortLayout::kOffCount, 2, shadow->queue.size());
   port.Increment(PortLayout::kOffSendsTotal, 8);
@@ -117,6 +120,7 @@ Result<AccessDescriptor> PortSubsystem::Dequeue(const AccessDescriptor& port_ad)
   uint16_t slot = shadow->queue[best].slot;
   last_dequeue_seq_ = shadow->queue[best].seq;
   shadow->queue.erase(shadow->queue.begin() + static_cast<ptrdiff_t>(best));
+  ++stats_.messages_dequeued;
 
   IMAX_ASSIGN_OR_RETURN(AccessDescriptor message, machine_->addressing().ReadAd(port_ad, slot));
   // Clear the slot so the port does not keep the message alive after delivery.

@@ -48,7 +48,9 @@ struct BlockedReceiver {
 struct PortStats {
   uint64_t ports_created = 0;
   uint64_t messages_enqueued = 0;
+  uint64_t messages_dequeued = 0;
   uint64_t direct_handoffs = 0;  // messages passed straight to a blocked receiver
+  uint64_t peak_queue_depth = 0;  // deepest any single port's queue ever got
 };
 
 class PortSubsystem {

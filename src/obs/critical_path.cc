@@ -1,0 +1,118 @@
+#include "src/obs/critical_path.h"
+
+#include <cstdio>
+#include <map>
+
+namespace imax432 {
+
+CriticalPathReport AnalyzeCriticalPath(SpanTracer& tracer) {
+  CriticalPathReport report;
+  const std::vector<SpanRecord>& spans = tracer.spans();
+  report.spans = spans.size();
+  report.dropped = tracer.dropped();
+
+  struct RootAgg {
+    Cycles start = 0;
+    Cycles end = 0;
+    uint64_t tail_span = 0;  // latest-ending span: the causal chain ends here
+    bool seen = false;
+  };
+  std::map<uint64_t, RootAgg> roots;
+  for (const SpanRecord& span : spans) {
+    RootAgg& agg = roots[span.root];
+    if (!agg.seen || span.start < agg.start) {
+      agg.start = span.start;
+    }
+    if (!agg.seen || span.end > agg.end) {
+      agg.end = span.end;
+      agg.tail_span = span.id;
+    }
+    agg.seen = true;
+  }
+  report.roots = roots.size();
+
+  for (const auto& [root, agg] : roots) {
+    Cycles latency = agg.end - agg.start;
+    tracer.latency().Record(latency);
+    if (latency >= report.longest_latency) {
+      report.longest_latency = latency;
+      report.longest_root = root;
+    }
+  }
+  const Histogram& latency = tracer.latency();
+  report.p50 = latency.Percentile(50.0);
+  report.p99 = latency.Percentile(99.0);
+  report.p999 = latency.Percentile(99.9);
+  report.max_latency = latency.max();
+
+  // Walk the longest request's chain from its tail span back to the root. Parent ids are
+  // always smaller than child ids (spans open in causal order), so the walk terminates.
+  if (report.longest_root != 0 || !roots.empty()) {
+    auto it = roots.find(report.longest_root);
+    if (it != roots.end()) {
+      uint64_t id = it->second.tail_span;
+      while (id != 0 && id <= spans.size()) {
+        const SpanRecord& span = spans[id - 1];
+        ++report.longest_depth;
+        for (size_t b = 0; b < kCycleBucketCount; ++b) {
+          report.chain_cycles[b] += span.cycles[b];
+        }
+        if (span.parent >= id) {
+          break;  // defensive: malformed link
+        }
+        id = span.parent;
+      }
+    }
+  }
+
+  size_t best = 0;
+  for (size_t b = 1; b < kCycleBucketCount; ++b) {
+    if (report.chain_cycles[b] > report.chain_cycles[best]) {
+      best = b;
+    }
+  }
+  report.dominant = static_cast<CycleBucket>(best);
+  return report;
+}
+
+std::string CriticalPathReport::ToString() const {
+  char line[256];
+  std::string out;
+  std::snprintf(line, sizeof(line),
+                "critical path: %llu roots, %llu spans (%llu dropped)\n",
+                static_cast<unsigned long long>(roots),
+                static_cast<unsigned long long>(spans),
+                static_cast<unsigned long long>(dropped));
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "  end-to-end latency: p50 %llu  p99 %llu  p999 %llu  max %llu cycles\n",
+                static_cast<unsigned long long>(p50), static_cast<unsigned long long>(p99),
+                static_cast<unsigned long long>(p999),
+                static_cast<unsigned long long>(max_latency));
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "  longest request: root %llu, %llu cycles end-to-end, chain depth %u\n",
+                static_cast<unsigned long long>(longest_root),
+                static_cast<unsigned long long>(longest_latency), longest_depth);
+  out += line;
+  Cycles chain_total = 0;
+  for (Cycles c : chain_cycles) {
+    chain_total += c;
+  }
+  for (size_t b = 0; b < kCycleBucketCount; ++b) {
+    if (chain_cycles[b] == 0) {
+      continue;
+    }
+    std::snprintf(line, sizeof(line), "    %-14s %12llu cycles (%5.1f%%)\n",
+                  CycleBucketName(static_cast<CycleBucket>(b)),
+                  static_cast<unsigned long long>(chain_cycles[b]),
+                  chain_total == 0 ? 0.0 : 100.0 * static_cast<double>(chain_cycles[b]) /
+                                               static_cast<double>(chain_total));
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "  dominant bucket: %s\n", CycleBucketName(dominant));
+  out += line;
+  return out;
+}
+
+}  // namespace imax432

@@ -1,0 +1,47 @@
+// Critical-path extraction over completed span trees (src/obs/span.h).
+//
+// Post-run analysis: group spans by root request, measure each request's end-to-end latency
+// (first span start to last span end), feed the latencies into the tracer's request-latency
+// histogram (p50/p99/p999 federate into MetricsRegistry), and walk the longest request's
+// causal chain — from its latest-ending span back through parent links to the root — to
+// report the chain's per-bucket cycle composition and the dominant bucket. That dominant
+// bucket is the serialized resource a scaling effort must attack first (ROADMAP item 1's
+// baseline measurement).
+
+#ifndef IMAX432_SRC_OBS_CRITICAL_PATH_H_
+#define IMAX432_SRC_OBS_CRITICAL_PATH_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/arch/cycle_model.h"
+#include "src/arch/types.h"
+#include "src/obs/span.h"
+
+namespace imax432 {
+
+struct CriticalPathReport {
+  uint64_t roots = 0;            // distinct root requests observed
+  uint64_t spans = 0;            // spans analyzed
+  uint64_t dropped = 0;          // spans lost to the tracer's capacity cap
+  Cycles p50 = 0;                // end-to-end request latency percentiles (histogram
+  Cycles p99 = 0;                // upper-bound estimates, see Histogram::Percentile)
+  Cycles p999 = 0;
+  Cycles max_latency = 0;
+  uint64_t longest_root = 0;     // root id of the longest request
+  Cycles longest_latency = 0;
+  uint32_t longest_depth = 0;    // spans on the longest request's critical chain
+  CycleBucketArray chain_cycles{};  // per-bucket composition of that chain
+  CycleBucket dominant = CycleBucket::kInterpreter;  // argmax of chain_cycles
+
+  // Human-readable summary (imax_trace --critical-path).
+  std::string ToString() const;
+};
+
+// Analyzes the tracer's spans (call SpanTracer::FlushOpen first) and records every request
+// latency into tracer.latency().
+CriticalPathReport AnalyzeCriticalPath(SpanTracer& tracer);
+
+}  // namespace imax432
+
+#endif  // IMAX432_SRC_OBS_CRITICAL_PATH_H_

@@ -36,7 +36,9 @@ CounterMap CountersFor(const KernelStats& stats) {
 CounterMap CountersFor(const PortStats& stats) {
   return {{"ports_created", stats.ports_created},
           {"messages_enqueued", stats.messages_enqueued},
-          {"direct_handoffs", stats.direct_handoffs}};
+          {"messages_dequeued", stats.messages_dequeued},
+          {"direct_handoffs", stats.direct_handoffs},
+          {"peak_queue_depth", stats.peak_queue_depth}};
 }
 
 CounterMap CountersFor(const GcStats& stats) {
@@ -134,6 +136,24 @@ MetricsRegistry::MetricsRegistry(System* system) {
   AddHistogram("dispatch_latency", &machine->latency().dispatch_latency);
   AddHistogram("domain_call", &machine->latency().domain_call);
   AddHistogram("allocation", &machine->latency().allocation);
+  Add("profiler", [machine] {
+    CounterMap counters;
+    const CycleProfiler& profiler = machine->profiler();
+    CycleBucketArray totals = profiler.Totals();
+    for (size_t b = 0; b < kCycleBucketCount; ++b) {
+      counters.emplace_back(
+          std::string("cycles_") + CycleBucketName(static_cast<CycleBucket>(b)), totals[b]);
+    }
+    counters.emplace_back("hot_sites", profiler.hot_sites().size());
+    counters.emplace_back("samples_taken", profiler.samples_taken());
+    counters.emplace_back("samples_dropped", profiler.samples_dropped());
+    const SpanTracer& spans = machine->spans();
+    counters.emplace_back("spans_created", spans.spans_created());
+    counters.emplace_back("roots_created", spans.roots_created());
+    counters.emplace_back("spans_dropped", spans.dropped());
+    return counters;
+  });
+  AddHistogram("request_latency", &machine->spans().latency());
 }
 
 void MetricsRegistry::Add(std::string group, Provider provider) {
@@ -160,6 +180,7 @@ MetricsSnapshot MetricsRegistry::Collect() const {
     h.p50 = histogram->Percentile(50.0);
     h.p95 = histogram->Percentile(95.0);
     h.p99 = histogram->Percentile(99.0);
+    h.p999 = histogram->Percentile(99.9);
     size_t last = 0;
     for (size_t i = 0; i < Histogram::kBuckets; ++i) {
       if (histogram->bucket(i) != 0) {
@@ -227,6 +248,8 @@ std::string MetricsSnapshot::ToJson() const {
     AppendJsonNumber(&out, h.p95);
     out += ",\"p99\":";
     AppendJsonNumber(&out, h.p99);
+    out += ",\"p999\":";
+    AppendJsonNumber(&out, h.p999);
     out += ",\"buckets\":[";
     for (size_t i = 0; i < h.buckets.size(); ++i) {
       if (i != 0) out += ',';

@@ -58,6 +58,7 @@ struct HistogramSnapshot {
   Cycles p50 = 0;
   Cycles p95 = 0;
   Cycles p99 = 0;
+  Cycles p999 = 0;
   std::vector<uint64_t> buckets;  // trailing empty buckets trimmed
 };
 

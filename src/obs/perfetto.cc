@@ -6,6 +6,7 @@
 
 #include "src/arch/cycle_model.h"
 #include "src/base/result.h"
+#include "src/obs/span.h"
 
 namespace imax432 {
 
@@ -341,6 +342,79 @@ std::string ExportChromeTrace(const TraceRecorder& trace, const SymbolTable* sym
   std::vector<std::pair<Cycles, std::string>> annotations(trace.annotations().begin(),
                                                           trace.annotations().end());
   return ExportChromeTrace(trace.Snapshot(), annotations, symbols);
+}
+
+std::string ExportSpanChromeTrace(const SpanTracer& spans, const SymbolTable* symbols) {
+  auto ts_of = [](Cycles cycles) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.3f", cycles::ToMicroseconds(cycles));
+    return std::string(buffer);
+  };
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  auto append = [&out, &first](const std::string& event) {
+    if (!first) out += ",\n";
+    first = false;
+    out += event;
+  };
+  append("{\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\","
+         "\"args\":{\"name\":\"iMAX-432 spans\"}}");
+
+  // One track per iMAX process, in order of first appearance.
+  std::map<uint32_t, uint32_t> tids;
+  for (const SpanRecord& span : spans.spans()) {
+    if (tids.find(span.process) != tids.end()) {
+      continue;
+    }
+    uint32_t tid = static_cast<uint32_t>(tids.size()) + 1;
+    tids[span.process] = tid;
+    std::string name = "process " + std::to_string(span.process);
+    if (symbols != nullptr) {
+      const std::string* symbol = symbols->Find(span.process);
+      if (symbol != nullptr) name = *symbol;
+    }
+    append("{\"ph\":\"M\",\"pid\":0,\"tid\":" + std::to_string(tid) +
+           ",\"name\":\"thread_name\",\"args\":{\"name\":\"" + name + "\"}}");
+  }
+
+  const std::vector<SpanRecord>& records = spans.spans();
+  for (const SpanRecord& span : records) {
+    uint32_t tid = tids[span.process];
+    std::string name = span.parent == 0 ? "request " + std::to_string(span.root)
+                                        : "span " + std::to_string(span.id);
+    std::string args = "{\"span\":" + std::to_string(span.id) +
+                       ",\"parent\":" + std::to_string(span.parent) +
+                       ",\"root\":" + std::to_string(span.root) +
+                       ",\"process\":" + std::to_string(span.process);
+    for (size_t b = 0; b < kCycleBucketCount; ++b) {
+      if (span.cycles[b] == 0) continue;
+      args += ",\"cycles_";
+      args += CycleBucketName(static_cast<CycleBucket>(b));
+      args += "\":" + std::to_string(span.cycles[b]);
+    }
+    args += '}';
+    append("{\"ph\":\"X\",\"pid\":0,\"tid\":" + std::to_string(tid) +
+           ",\"ts\":" + ts_of(span.start) + ",\"dur\":" + ts_of(span.end - span.start) +
+           ",\"cat\":\"span\",\"name\":\"" + name + "\",\"args\":" + args + "}");
+
+    // Causal edge from the parent span: a flow-start pinned inside the parent slice and a
+    // flow-finish at this span's beginning. Flow id = child span id (unique per edge).
+    if (span.parent != 0 && span.parent <= records.size()) {
+      const SpanRecord& parent = records[span.parent - 1];
+      Cycles anchor = span.start;
+      if (anchor > parent.end) anchor = parent.end;
+      if (anchor < parent.start) anchor = parent.start;
+      append("{\"ph\":\"s\",\"cat\":\"span-flow\",\"id\":" + std::to_string(span.id) +
+             ",\"pid\":0,\"tid\":" + std::to_string(tids[parent.process]) +
+             ",\"ts\":" + ts_of(anchor) + ",\"name\":\"causal\"}");
+      append("{\"ph\":\"f\",\"bp\":\"e\",\"cat\":\"span-flow\",\"id\":" +
+             std::to_string(span.id) + ",\"pid\":0,\"tid\":" + std::to_string(tid) +
+             ",\"ts\":" + ts_of(span.start) + ",\"name\":\"causal\"}");
+    }
+  }
+
+  out += "\n]}\n";
+  return out;
 }
 
 }  // namespace imax432

@@ -22,9 +22,19 @@
 
 namespace imax432 {
 
+class SpanTracer;
+
 // Exports the recorder's current contents. `symbols` (usually Kernel::symbols()) names
 // ports, domains, and processes on the timeline; pass nullptr for bare indices.
 std::string ExportChromeTrace(const TraceRecorder& trace, const SymbolTable* symbols = nullptr);
+
+// Exports the span tracer's request trees (call SpanTracer::FlushOpen first): one thread
+// track per process, an "X" complete slice per span carrying its id/parent/root and
+// per-bucket cycle composition in args, and "s"/"f" flow events drawing the causal edge
+// from each parent span to its children. One JSON event per line, so the span round-trip
+// test can re-derive the tree without a JSON library.
+std::string ExportSpanChromeTrace(const SpanTracer& spans,
+                                  const SymbolTable* symbols = nullptr);
 
 // Lower-level form for pre-captured snapshots.
 std::string ExportChromeTrace(const std::vector<TraceEvent>& events,

@@ -1,0 +1,224 @@
+#include "src/obs/span.h"
+
+namespace imax432 {
+
+void SpanTracer::Enable(uint32_t capacity) {
+  enabled_ = true;
+  capacity_ = capacity == 0 ? 1 : capacity;
+  spans_.reserve(capacity_ < 4096 ? capacity_ : 4096);
+}
+
+uint64_t SpanTracer::OpenSpan(uint32_t process, uint64_t parent, uint64_t root, Cycles ts) {
+  if (spans_.size() >= capacity_) {
+    ++dropped_;
+    stacks_[process].push_back(0);
+    return 0;
+  }
+  SpanRecord span;
+  span.id = next_span_++;
+  span.parent = parent;
+  span.root = root;
+  span.process = process;
+  span.start = ts;
+  span.end = ts;
+  spans_.push_back(span);
+  ++spans_created_;
+  stacks_[process].push_back(span.id);
+  return span.id;
+}
+
+uint64_t SpanTracer::EnsureActive(uint32_t process, Cycles ts) {
+  auto& stack = stacks_[process];
+  if (!stack.empty()) {
+    return stack.back();
+  }
+  // First activity outside any request context: inherit the spawn context once, else start
+  // a fresh root request.
+  auto pending = pending_parent_.find(process);
+  if (pending != pending_parent_.end()) {
+    Stamp stamp = pending->second;
+    pending_parent_.erase(pending);
+    return OpenSpan(process, stamp.parent, stamp.root, ts);
+  }
+  ++roots_created_;
+  return OpenSpan(process, 0, next_root_++, ts);
+}
+
+void SpanTracer::CloseTop(uint32_t process, Cycles ts) {
+  auto it = stacks_.find(process);
+  if (it == stacks_.end() || it->second.empty()) {
+    return;
+  }
+  SpanRecord* span = Find(it->second.back());
+  it->second.pop_back();
+  if (span != nullptr && !span->closed) {
+    span->closed = true;
+    if (ts > span->end) {
+      span->end = ts;
+    }
+  }
+}
+
+void SpanTracer::OnSpawn(uint32_t parent_process, uint32_t child_process) {
+  if (!enabled_) {
+    return;
+  }
+  auto it = stacks_.find(parent_process);
+  if (it == stacks_.end() || it->second.empty()) {
+    return;  // spawner has no active span: the child starts its own root lazily
+  }
+  SpanRecord* span = Find(it->second.back());
+  if (span != nullptr) {
+    pending_parent_[child_process] = Stamp{span->root, span->id};
+  }
+}
+
+void SpanTracer::OnSend(uint32_t process, uint64_t transfer_seq, Cycles ts) {
+  if (!enabled_) {
+    return;
+  }
+  uint64_t id = EnsureActive(process, ts);
+  SpanRecord* span = Find(id);
+  if (span != nullptr) {
+    inflight_[transfer_seq] = Stamp{span->root, span->id};
+  }
+}
+
+void SpanTracer::OnReceive(uint32_t process, uint64_t transfer_seq, Cycles ts) {
+  if (!enabled_) {
+    return;
+  }
+  CloseTop(process, ts);
+  auto stamp = inflight_.find(transfer_seq);
+  if (stamp != inflight_.end()) {
+    Stamp s = stamp->second;
+    inflight_.erase(stamp);
+    if (s.parent == 0) {
+      // External root request: this receive opens the root span of its tree.
+      OpenSpan(process, 0, s.root, ts);
+    } else {
+      OpenSpan(process, s.parent, s.root, ts);
+    }
+    return;
+  }
+  // Unstamped transfer (e.g. enqueued before tracing was armed): fresh root.
+  ++roots_created_;
+  OpenSpan(process, 0, next_root_++, ts);
+}
+
+void SpanTracer::OnHandoff(uint32_t sender, uint32_t receiver, Cycles ts) {
+  if (!enabled_) {
+    return;
+  }
+  uint64_t sender_id = EnsureActive(sender, ts);
+  SpanRecord* span = Find(sender_id);
+  CloseTop(receiver, ts);  // defensive: the blocked receiver's episode already closed
+  if (span != nullptr) {
+    OpenSpan(receiver, span->id, span->root, ts);
+  } else {
+    ++roots_created_;
+    OpenSpan(receiver, 0, next_root_++, ts);
+  }
+}
+
+void SpanTracer::OnExternalSend(uint64_t transfer_seq) {
+  if (!enabled_) {
+    return;
+  }
+  ++roots_created_;
+  inflight_[transfer_seq] = Stamp{next_root_++, 0};
+}
+
+void SpanTracer::OnExternalHandoff(uint32_t receiver, Cycles ts) {
+  if (!enabled_) {
+    return;
+  }
+  CloseTop(receiver, ts);
+  ++roots_created_;
+  OpenSpan(receiver, 0, next_root_++, ts);
+}
+
+void SpanTracer::OnBlockReceive(uint32_t process, Cycles ts) {
+  if (!enabled_) {
+    return;
+  }
+  CloseTop(process, ts);
+}
+
+void SpanTracer::OnDomainCall(uint32_t process, Cycles ts) {
+  if (!enabled_) {
+    return;
+  }
+  uint64_t parent_id = EnsureActive(process, ts);
+  SpanRecord* parent = Find(parent_id);
+  if (parent != nullptr) {
+    OpenSpan(process, parent->id, parent->root, ts);
+  }
+}
+
+void SpanTracer::OnDomainReturn(uint32_t process, Cycles ts) {
+  if (!enabled_) {
+    return;
+  }
+  auto it = stacks_.find(process);
+  // Keep the outermost span open: a depth-1 "return" would otherwise orphan the episode
+  // that a receive opened (call/return and receive/close can interleave at equal depth).
+  if (it == stacks_.end() || it->second.size() < 2) {
+    return;
+  }
+  CloseTop(process, ts);
+}
+
+void SpanTracer::OnFault(uint32_t process, Cycles ts) {
+  if (!enabled_) {
+    return;
+  }
+  auto it = stacks_.find(process);
+  if (it == stacks_.end()) {
+    return;
+  }
+  while (!it->second.empty()) {
+    CloseTop(process, ts);
+  }
+}
+
+void SpanTracer::OnTerminate(uint32_t process, Cycles ts) {
+  if (!enabled_) {
+    return;
+  }
+  OnFault(process, ts);
+  pending_parent_.erase(process);
+}
+
+void SpanTracer::ChargeCurrent(uint32_t process, CycleBucket bucket, Cycles cycles,
+                               Cycles ts) {
+  if (!enabled_ || cycles == 0) {
+    return;
+  }
+  uint64_t id = EnsureActive(process, ts);
+  SpanRecord* span = Find(id);
+  if (span == nullptr) {
+    return;
+  }
+  span->cycles[static_cast<size_t>(bucket)] += cycles;
+  if (ts > span->end) {
+    span->end = ts;
+  }
+}
+
+void SpanTracer::FlushOpen() {
+  if (!enabled_) {
+    return;
+  }
+  for (auto& [process, stack] : stacks_) {
+    while (!stack.empty()) {
+      SpanRecord* span = Find(stack.back());
+      stack.pop_back();
+      if (span != nullptr) {
+        span->closed = true;  // end stays at last activity
+      }
+    }
+  }
+}
+
+}  // namespace imax432

@@ -69,6 +69,8 @@ Result<AccessDescriptor> FaultService::Spawn(const AccessDescriptor& escalation_
   options.priority = 245;  // fault handling outranks ordinary work
   options.imax_level = kImaxLevelServices;
   IMAX_ASSIGN_OR_RETURN(AccessDescriptor daemon, kernel_->CreateProcess(a.Build(), options));
+  // Fault-handling daemon cycles bin under fault recovery, not interpreter work.
+  kernel_->machine().profiler().TagProcess(daemon.index(), CycleBucket::kFaultRecovery);
   IMAX_RETURN_IF_FAULT(kernel_->StartProcess(daemon));
   return fault_port;
 }

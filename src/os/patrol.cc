@@ -189,6 +189,8 @@ Result<AccessDescriptor> ObjectPatrol::SpawnDaemon(uint32_t units_per_step, uint
   options.priority = priority;
   options.imax_level = kImaxLevelServices;
   IMAX_ASSIGN_OR_RETURN(AccessDescriptor daemon, kernel_->CreateProcess(a.Build(), options));
+  // Patrol sweeps are recovery machinery: attribute their interpreter cycles accordingly.
+  kernel_->machine().profiler().TagProcess(daemon.index(), CycleBucket::kFaultRecovery);
   IMAX_RETURN_IF_FAULT(kernel_->StartProcess(daemon));
   return request_port;
 }

@@ -13,6 +13,13 @@ System::System(const SystemConfig& config)
     machine_.trace().Enable(config.trace_capacity);
     SetTraceLogSink(&System::TraceLogThunk, this);
   }
+  // Arm the observers before anything executes so the boot daemons are attributed too.
+  if (config.profile) {
+    machine_.profiler().Enable(config.profile_sample_period);
+  }
+  if (config.span_trace) {
+    machine_.spans().Enable(config.span_capacity);
+  }
   // §6.2: one memory specification, two implementations; the system is configured by
   // selecting one, and nothing downstream changes.
   switch (config.memory_manager) {

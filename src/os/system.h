@@ -86,6 +86,17 @@ struct SystemConfig {
   // claim still holds. Violations raise kInterferenceViolation trace events and count in
   // kernel().stats().interference_violations. Pure observer.
   bool interference_audit = false;
+
+  // Cycle-attribution profiler (src/obs/profiler.h): bin every virtual cycle of every GDP
+  // into a CycleBucket, plus a deterministic 1-in-N hot-site sample of interpreter dispatch.
+  // Pure observer: zero cycle charges, bit-identical virtual time (and replay fingerprint)
+  // on or off.
+  bool profile = false;
+  uint32_t profile_sample_period = 64;
+  // Causal span tracing (src/obs/span.h): Dapper-style request trees over port sends,
+  // direct handoffs, domain calls and process spawns. Pure observer, same guarantee.
+  bool span_trace = false;
+  uint32_t span_capacity = 1 << 20;
 };
 
 class System {

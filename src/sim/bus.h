@@ -19,6 +19,14 @@
 
 namespace imax432 {
 
+// Breakdown of one Acquire: how long the requester waited for a channel and how long the
+// granted transfer occupied it (after any fault-window doubling). The profiler's bus
+// attribution reads these; done == earliest + wait + busy always holds.
+struct BusGrant {
+  Cycles wait = 0;
+  Cycles busy = 0;
+};
+
 class Bus {
  public:
   explicit Bus(int channels = 1) : next_free_(static_cast<size_t>(channels), 0) {
@@ -28,6 +36,14 @@ class Bus {
   // Reserves `bus_cycles` of interconnect time starting no earlier than `earliest`.
   // Returns the completion time of the transfer. Zero-cycle requests complete immediately.
   Cycles Acquire(Cycles earliest, Cycles bus_cycles) {
+    BusGrant grant;
+    return Acquire(earliest, bus_cycles, &grant);
+  }
+
+  // As above, also reporting the wait/busy split of the grant.
+  Cycles Acquire(Cycles earliest, Cycles bus_cycles, BusGrant* grant) {
+    grant->wait = 0;
+    grant->busy = 0;
     if (bus_cycles == 0) {
       return earliest;
     }
@@ -56,6 +72,8 @@ class Bus {
     busy_cycles_ += bus_cycles;
     wait_cycles_ += start - earliest;
     ++transactions_;
+    grant->wait = start - earliest;
+    grant->busy = bus_cycles;
     return done;
   }
 

@@ -16,6 +16,8 @@
 #include "src/arch/object_table.h"
 #include "src/arch/physical_memory.h"
 #include "src/obs/histogram.h"
+#include "src/obs/profiler.h"
+#include "src/obs/span.h"
 #include "src/obs/trace.h"
 #include "src/sim/bus.h"
 #include "src/sim/event_queue.h"
@@ -54,6 +56,10 @@ class Machine {
   const TraceRecorder& trace() const { return trace_; }
   LatencyHistograms& latency() { return latency_; }
   const LatencyHistograms& latency() const { return latency_; }
+  CycleProfiler& profiler() { return profiler_; }
+  const CycleProfiler& profiler() const { return profiler_; }
+  SpanTracer& spans() { return spans_; }
+  const SpanTracer& spans() const { return spans_; }
 
   Cycles now() const { return events_.now(); }
 
@@ -66,6 +72,8 @@ class Machine {
   EventQueue events_;
   TraceRecorder trace_;
   LatencyHistograms latency_;
+  CycleProfiler profiler_;
+  SpanTracer spans_;
 };
 
 }  // namespace imax432

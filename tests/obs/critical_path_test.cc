@@ -1,0 +1,160 @@
+// Critical-path extraction over span trees: latency aggregation per root request, the
+// parent-link chain walk, dominant-bucket selection, and the end-to-end system contract
+// that the analysis names a plausible dominant bucket on a real pipeline.
+
+#include "src/obs/critical_path.h"
+
+#include <gtest/gtest.h>
+
+#include "src/os/system.h"
+
+namespace imax432 {
+namespace {
+
+TEST(CriticalPathTest, EmptyTracerYieldsEmptyReport) {
+  SpanTracer tracer;
+  tracer.Enable();
+  CriticalPathReport report = AnalyzeCriticalPath(tracer);
+  EXPECT_EQ(report.roots, 0u);
+  EXPECT_EQ(report.spans, 0u);
+  EXPECT_EQ(report.longest_depth, 0u);
+  EXPECT_FALSE(report.ToString().empty());
+}
+
+TEST(CriticalPathTest, SingleSpanRequest) {
+  SpanTracer tracer;
+  tracer.Enable();
+  tracer.ChargeCurrent(1, CycleBucket::kInterpreter, 100, 300);  // span start 200ish
+  tracer.FlushOpen();
+  CriticalPathReport report = AnalyzeCriticalPath(tracer);
+  EXPECT_EQ(report.roots, 1u);
+  EXPECT_EQ(report.spans, 1u);
+  EXPECT_EQ(report.longest_depth, 1u);
+  const SpanRecord& span = tracer.spans()[0];
+  EXPECT_EQ(report.longest_latency, span.end - span.start);
+  EXPECT_EQ(report.dominant, CycleBucket::kInterpreter);
+}
+
+TEST(CriticalPathTest, ChainWalkFollowsParentLinks) {
+  SpanTracer tracer;
+  tracer.Enable();
+  // proc 1 --(send)--> proc 2 --(send)--> proc 3: a depth-3 causal chain.
+  tracer.ChargeCurrent(1, CycleBucket::kInterpreter, 100, 200);
+  tracer.OnSend(1, /*seq=*/1, 300);
+  tracer.OnReceive(2, /*seq=*/1, 400);
+  tracer.ChargeCurrent(2, CycleBucket::kBusTransfer, 500, 900);
+  tracer.OnSend(2, /*seq=*/2, 1000);
+  tracer.OnReceive(3, /*seq=*/2, 1100);
+  tracer.ChargeCurrent(3, CycleBucket::kPortWait, 50, 1200);
+  tracer.FlushOpen();
+  CriticalPathReport report = AnalyzeCriticalPath(tracer);
+  EXPECT_EQ(report.roots, 1u);
+  EXPECT_EQ(report.spans, 3u);
+  EXPECT_EQ(report.longest_depth, 3u);
+  EXPECT_EQ(report.chain_cycles[static_cast<size_t>(CycleBucket::kInterpreter)], 100u);
+  EXPECT_EQ(report.chain_cycles[static_cast<size_t>(CycleBucket::kBusTransfer)], 500u);
+  EXPECT_EQ(report.chain_cycles[static_cast<size_t>(CycleBucket::kPortWait)], 50u);
+  EXPECT_EQ(report.dominant, CycleBucket::kBusTransfer);
+  // End-to-end: first span's start to last span's end.
+  EXPECT_EQ(report.longest_latency, 1200u - tracer.spans()[0].start);
+}
+
+TEST(CriticalPathTest, LongestRootWinsAndLatenciesFeedHistogram) {
+  SpanTracer tracer;
+  tracer.Enable();
+  // Request A: one short episode on proc 1.
+  tracer.ChargeCurrent(1, CycleBucket::kInterpreter, 10, 110);
+  tracer.OnBlockReceive(1, 110);
+  // Request B: a long episode on proc 2.
+  tracer.ChargeCurrent(2, CycleBucket::kInterpreter, 5000, 9000);
+  tracer.FlushOpen();
+  CriticalPathReport report = AnalyzeCriticalPath(tracer);
+  EXPECT_EQ(report.roots, 2u);
+  EXPECT_EQ(report.longest_root, tracer.spans()[1].root);
+  EXPECT_EQ(tracer.latency().count(), 2u);
+  EXPECT_EQ(report.max_latency, report.longest_latency);
+  EXPECT_LE(report.p50, report.p99);
+  EXPECT_LE(report.p99, report.p999);
+}
+
+TEST(CriticalPathTest, ToStringNamesTheDominantBucket) {
+  SpanTracer tracer;
+  tracer.Enable();
+  tracer.ChargeCurrent(1, CycleBucket::kBusWait, 400, 500);
+  tracer.FlushOpen();
+  CriticalPathReport report = AnalyzeCriticalPath(tracer);
+  std::string text = report.ToString();
+  EXPECT_NE(text.find("dominant bucket: bus_wait"), std::string::npos) << text;
+  EXPECT_NE(text.find("critical path: 1 roots"), std::string::npos) << text;
+}
+
+// --- System-level contract ---------------------------------------------------------------
+
+TEST(CriticalPathSystemTest, PipelineReportIsCoherent) {
+  SystemConfig config;
+  config.processors = 2;
+  config.machine.memory_bytes = 2 * 1024 * 1024;
+  config.span_trace = true;
+  System system(config);
+  auto port = system.kernel().ports().CreatePort(system.memory().global_heap(), 2,
+                                                 QueueDiscipline::kFifo);
+  ASSERT_TRUE(port.ok());
+  auto carrier = system.memory().CreateObject(system.memory().global_heap(),
+                                              SystemType::kGeneric, 8, 2,
+                                              rights::kRead | rights::kWrite);
+  ASSERT_TRUE(carrier.ok());
+  (void)system.machine().addressing().WriteAd(carrier.value(), 0, port.value());
+  (void)system.machine().addressing().WriteAd(carrier.value(), 1,
+                                              system.memory().global_heap());
+  Assembler producer("producer");
+  auto send_loop = producer.NewLabel();
+  producer.MoveAd(1, kArgAdReg)
+      .LoadAd(2, 1, 0)
+      .LoadAd(3, 1, 1)
+      .CreateObject(4, 3, 32)
+      .LoadImm(0, 0)
+      .LoadImm(1, 8)
+      .Bind(send_loop)
+      .Send(2, 4)
+      .AddImm(0, 0, 1)
+      .BranchIfLess(0, 1, send_loop)
+      .Halt();
+  Assembler consumer("consumer");
+  auto recv_loop = consumer.NewLabel();
+  consumer.MoveAd(1, kArgAdReg)
+      .LoadAd(2, 1, 0)
+      .LoadImm(0, 0)
+      .LoadImm(1, 8)
+      .Bind(recv_loop)
+      .Receive(4, 2)
+      .Compute(256)
+      .AddImm(0, 0, 1)
+      .BranchIfLess(0, 1, recv_loop)
+      .Halt();
+  ProcessOptions options;
+  options.initial_arg = carrier.value();
+  ASSERT_TRUE(system.Spawn(consumer.Build(), options).ok());
+  ASSERT_TRUE(system.Spawn(producer.Build(), options).ok());
+  system.Run();
+
+  SpanTracer& tracer = system.machine().spans();
+  tracer.FlushOpen();
+  CriticalPathReport report = AnalyzeCriticalPath(tracer);
+  EXPECT_GT(report.roots, 0u);
+  EXPECT_GT(report.spans, 0u);
+  EXPECT_EQ(report.dropped, 0u);
+  EXPECT_GT(report.longest_depth, 0u);
+  EXPECT_GT(report.longest_latency, 0u);
+  EXPECT_LT(static_cast<size_t>(report.dominant), kCycleBucketCount);
+  Cycles chain_total = 0;
+  for (Cycles c : report.chain_cycles) {
+    chain_total += c;
+  }
+  EXPECT_GT(chain_total, 0u);
+  // The chain is a subset of one request: it cannot outweigh the whole run.
+  EXPECT_LE(chain_total, system.now());
+  EXPECT_EQ(tracer.latency().count(), report.roots);
+}
+
+}  // namespace
+}  // namespace imax432

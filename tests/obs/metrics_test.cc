@@ -37,7 +37,7 @@ TEST(MetricsRegistryTest, SystemRegistryCollectsEveryGroup) {
     EXPECT_FALSE(counters.empty()) << group;
   }
   EXPECT_EQ(groups, (std::vector<std::string>{"kernel", "ports", "gc", "memory", "patrol",
-                                              "process_manager", "machine"}));
+                                              "process_manager", "machine", "profiler"}));
 }
 
 TEST(MetricsRegistryTest, CountersMatchSourceStats) {

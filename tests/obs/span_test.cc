@@ -1,0 +1,280 @@
+// SpanTracer unit tests (the hook API driven directly, standing in for the kernel) plus
+// system-level contracts: linked request trees, determinism, and the pure-observer
+// guarantee with tracing armed.
+
+#include "src/obs/span.h"
+
+#include <gtest/gtest.h>
+
+#include "src/os/system.h"
+
+namespace imax432 {
+namespace {
+
+constexpr size_t kInterp = static_cast<size_t>(CycleBucket::kInterpreter);
+
+TEST(SpanTracerTest, DisabledHooksAreNoOps) {
+  SpanTracer tracer;
+  tracer.OnSpawn(1, 2);
+  tracer.OnSend(1, 1, 10);
+  tracer.OnReceive(2, 1, 20);
+  tracer.ChargeCurrent(1, CycleBucket::kInterpreter, 6, 30);
+  tracer.FlushOpen();
+  EXPECT_TRUE(tracer.spans().empty());
+  EXPECT_EQ(tracer.spans_created(), 0u);
+}
+
+TEST(SpanTracerTest, LazyRootOpensOnFirstCharge) {
+  SpanTracer tracer;
+  tracer.Enable();
+  tracer.ChargeCurrent(7, CycleBucket::kInterpreter, 10, 100);
+  tracer.FlushOpen();
+  ASSERT_EQ(tracer.spans().size(), 1u);
+  const SpanRecord& span = tracer.spans()[0];
+  EXPECT_EQ(span.id, 1u);
+  EXPECT_EQ(span.parent, 0u);
+  EXPECT_EQ(span.root, 1u);
+  EXPECT_EQ(span.process, 7u);
+  EXPECT_EQ(span.cycles[kInterp], 10u);
+  EXPECT_TRUE(span.closed);
+  EXPECT_EQ(tracer.roots_created(), 1u);
+}
+
+TEST(SpanTracerTest, SendReceiveLinksChildToSender) {
+  SpanTracer tracer;
+  tracer.Enable();
+  tracer.ChargeCurrent(1, CycleBucket::kInterpreter, 184, 100);
+  tracer.OnSend(1, /*transfer_seq=*/42, 284);
+  tracer.OnReceive(2, /*transfer_seq=*/42, 500);
+  tracer.ChargeCurrent(2, CycleBucket::kInterpreter, 6, 506);
+  tracer.FlushOpen();
+  ASSERT_EQ(tracer.spans().size(), 2u);
+  const SpanRecord& sender = tracer.spans()[0];
+  const SpanRecord& receiver = tracer.spans()[1];
+  EXPECT_EQ(receiver.parent, sender.id);
+  EXPECT_EQ(receiver.root, sender.root);
+  EXPECT_EQ(receiver.process, 2u);
+  EXPECT_EQ(tracer.roots_created(), 1u);
+}
+
+TEST(SpanTracerTest, HandoffLinksWithoutQueue) {
+  SpanTracer tracer;
+  tracer.Enable();
+  tracer.ChargeCurrent(1, CycleBucket::kInterpreter, 6, 10);
+  tracer.OnHandoff(/*sender=*/1, /*receiver=*/2, 50);
+  tracer.ChargeCurrent(2, CycleBucket::kInterpreter, 6, 56);
+  tracer.FlushOpen();
+  ASSERT_EQ(tracer.spans().size(), 2u);
+  EXPECT_EQ(tracer.spans()[1].parent, tracer.spans()[0].id);
+  EXPECT_EQ(tracer.spans()[1].root, tracer.spans()[0].root);
+}
+
+TEST(SpanTracerTest, UnstampedReceiveOpensFreshRoot) {
+  SpanTracer tracer;
+  tracer.Enable();
+  tracer.OnReceive(3, /*transfer_seq=*/999, 100);  // no stamp for this seq
+  tracer.ChargeCurrent(3, CycleBucket::kInterpreter, 6, 106);
+  tracer.FlushOpen();
+  ASSERT_EQ(tracer.spans().size(), 1u);
+  EXPECT_EQ(tracer.spans()[0].parent, 0u);
+  EXPECT_EQ(tracer.roots_created(), 1u);
+}
+
+TEST(SpanTracerTest, ExternalSendStartsFreshRoot) {
+  SpanTracer tracer;
+  tracer.Enable();
+  tracer.OnExternalSend(/*transfer_seq=*/7);
+  tracer.OnReceive(2, /*transfer_seq=*/7, 100);
+  tracer.ChargeCurrent(2, CycleBucket::kInterpreter, 6, 106);
+  tracer.FlushOpen();
+  ASSERT_EQ(tracer.spans().size(), 1u);
+  EXPECT_EQ(tracer.spans()[0].parent, 0u);  // root span of its own fresh request
+  EXPECT_EQ(tracer.spans()[0].process, 2u);
+}
+
+TEST(SpanTracerTest, DomainCallNestsAndReturnCloses) {
+  SpanTracer tracer;
+  tracer.Enable();
+  tracer.ChargeCurrent(1, CycleBucket::kInterpreter, 6, 10);
+  tracer.OnDomainCall(1, 100);
+  tracer.ChargeCurrent(1, CycleBucket::kInterpreter, 64, 164);
+  tracer.OnDomainReturn(1, 200);
+  tracer.ChargeCurrent(1, CycleBucket::kInterpreter, 6, 206);
+  tracer.FlushOpen();
+  ASSERT_EQ(tracer.spans().size(), 2u);
+  const SpanRecord& outer = tracer.spans()[0];
+  const SpanRecord& nested = tracer.spans()[1];
+  EXPECT_EQ(nested.parent, outer.id);
+  EXPECT_EQ(nested.root, outer.root);
+  EXPECT_EQ(nested.cycles[kInterp], 64u);
+  // The post-return charge lands back in the outer span, not a new one.
+  EXPECT_EQ(outer.cycles[kInterp], 12u);
+}
+
+TEST(SpanTracerTest, SpawnInheritsParentContextOnce) {
+  SpanTracer tracer;
+  tracer.Enable();
+  tracer.ChargeCurrent(1, CycleBucket::kInterpreter, 6, 10);
+  tracer.OnSpawn(/*parent_process=*/1, /*child_process=*/9);
+  tracer.ChargeCurrent(9, CycleBucket::kInterpreter, 6, 100);
+  tracer.FlushOpen();
+  ASSERT_EQ(tracer.spans().size(), 2u);
+  EXPECT_EQ(tracer.spans()[1].parent, tracer.spans()[0].id);
+  EXPECT_EQ(tracer.spans()[1].root, tracer.spans()[0].root);
+  EXPECT_EQ(tracer.roots_created(), 1u);
+}
+
+TEST(SpanTracerTest, BlockReceiveEndsTheEpisode) {
+  SpanTracer tracer;
+  tracer.Enable();
+  tracer.ChargeCurrent(1, CycleBucket::kInterpreter, 6, 10);
+  tracer.OnBlockReceive(1, 50);
+  tracer.ChargeCurrent(1, CycleBucket::kInterpreter, 6, 100);
+  tracer.FlushOpen();
+  // The wait for the next request is not part of the first episode: two separate roots.
+  ASSERT_EQ(tracer.spans().size(), 2u);
+  EXPECT_TRUE(tracer.spans()[0].closed);
+  EXPECT_EQ(tracer.spans()[0].end, 50u);
+  EXPECT_NE(tracer.spans()[0].root, tracer.spans()[1].root);
+}
+
+TEST(SpanTracerTest, FaultClosesWholeStack) {
+  SpanTracer tracer;
+  tracer.Enable();
+  tracer.ChargeCurrent(1, CycleBucket::kInterpreter, 6, 10);
+  tracer.OnDomainCall(1, 100);
+  tracer.ChargeCurrent(1, CycleBucket::kInterpreter, 6, 106);
+  tracer.OnFault(1, 200);
+  tracer.FlushOpen();
+  ASSERT_EQ(tracer.spans().size(), 2u);
+  for (const SpanRecord& span : tracer.spans()) {
+    EXPECT_TRUE(span.closed);
+    EXPECT_EQ(span.end, 200u);
+  }
+}
+
+TEST(SpanTracerTest, CapacityOverflowCountsDropped) {
+  SpanTracer tracer;
+  tracer.Enable(/*capacity=*/2);
+  tracer.ChargeCurrent(1, CycleBucket::kInterpreter, 6, 10);
+  tracer.OnBlockReceive(1, 20);
+  tracer.ChargeCurrent(1, CycleBucket::kInterpreter, 6, 30);
+  tracer.OnBlockReceive(1, 40);
+  tracer.ChargeCurrent(1, CycleBucket::kInterpreter, 6, 50);  // third span: over capacity
+  tracer.FlushOpen();
+  EXPECT_EQ(tracer.spans().size(), 2u);
+  EXPECT_GT(tracer.dropped(), 0u);
+}
+
+// --- System-level contracts --------------------------------------------------------------
+
+SystemConfig SpanConfig(bool spans) {
+  SystemConfig config;
+  config.processors = 2;
+  config.machine.memory_bytes = 2 * 1024 * 1024;
+  config.span_trace = spans;
+  return config;
+}
+
+void SpawnPipeline(System& system, int messages) {
+  auto port = system.kernel().ports().CreatePort(system.memory().global_heap(), 2,
+                                                 QueueDiscipline::kFifo);
+  ASSERT_TRUE(port.ok());
+  auto carrier = system.memory().CreateObject(system.memory().global_heap(),
+                                              SystemType::kGeneric, 8, 2,
+                                              rights::kRead | rights::kWrite);
+  ASSERT_TRUE(carrier.ok());
+  (void)system.machine().addressing().WriteAd(carrier.value(), 0, port.value());
+  (void)system.machine().addressing().WriteAd(carrier.value(), 1,
+                                              system.memory().global_heap());
+  Assembler producer("producer");
+  auto send_loop = producer.NewLabel();
+  producer.MoveAd(1, kArgAdReg)
+      .LoadAd(2, 1, 0)
+      .LoadAd(3, 1, 1)
+      .CreateObject(4, 3, 32)
+      .LoadImm(0, 0)
+      .LoadImm(1, static_cast<uint64_t>(messages))
+      .Bind(send_loop)
+      .Send(2, 4)
+      .AddImm(0, 0, 1)
+      .BranchIfLess(0, 1, send_loop)
+      .Halt();
+  Assembler consumer("consumer");
+  auto recv_loop = consumer.NewLabel();
+  consumer.MoveAd(1, kArgAdReg)
+      .LoadAd(2, 1, 0)
+      .LoadImm(0, 0)
+      .LoadImm(1, static_cast<uint64_t>(messages))
+      .Bind(recv_loop)
+      .Receive(4, 2)
+      .AddImm(0, 0, 1)
+      .BranchIfLess(0, 1, recv_loop)
+      .Halt();
+  ProcessOptions options;
+  options.initial_arg = carrier.value();
+  ASSERT_TRUE(system.Spawn(consumer.Build(), options).ok());
+  ASSERT_TRUE(system.Spawn(producer.Build(), options).ok());
+}
+
+TEST(SpanSystemTest, PipelineProducesLinkedRequestTrees) {
+  System system(SpanConfig(true));
+  SpawnPipeline(system, 8);
+  system.Run();
+  SpanTracer& tracer = system.machine().spans();
+  tracer.FlushOpen();
+  ASSERT_GT(tracer.spans().size(), 0u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+  size_t linked = 0;
+  for (const SpanRecord& span : tracer.spans()) {
+    EXPECT_TRUE(span.closed);
+    EXPECT_NE(span.root, 0u);
+    EXPECT_LT(span.parent, span.id);  // parents open before children
+    EXPECT_GE(span.end, span.start);
+    if (span.parent != 0) {
+      ++linked;
+      const SpanRecord& parent = tracer.spans()[span.parent - 1];
+      EXPECT_EQ(parent.root, span.root) << "span " << span.id;
+    }
+  }
+  EXPECT_GT(linked, 0u);  // receives link consumer episodes under producer sends
+  // One root per causal episode, not per message: the producer's whole send loop is a
+  // single request, and consumer episodes that dequeue its messages join that tree.
+  EXPECT_GT(tracer.roots_created(), 0u);
+  EXPECT_LT(tracer.roots_created(), tracer.spans().size());
+}
+
+TEST(SpanSystemTest, IdenticalRunsYieldIdenticalTrees) {
+  std::vector<SpanRecord> trees[2];
+  for (int run = 0; run < 2; ++run) {
+    System system(SpanConfig(true));
+    SpawnPipeline(system, 8);
+    system.Run();
+    system.machine().spans().FlushOpen();
+    trees[run] = system.machine().spans().spans();
+  }
+  ASSERT_EQ(trees[0].size(), trees[1].size());
+  for (size_t i = 0; i < trees[0].size(); ++i) {
+    EXPECT_EQ(trees[0][i].id, trees[1][i].id);
+    EXPECT_EQ(trees[0][i].parent, trees[1][i].parent);
+    EXPECT_EQ(trees[0][i].root, trees[1][i].root);
+    EXPECT_EQ(trees[0][i].process, trees[1][i].process);
+    EXPECT_EQ(trees[0][i].start, trees[1][i].start);
+    EXPECT_EQ(trees[0][i].end, trees[1][i].end);
+    EXPECT_EQ(trees[0][i].cycles, trees[1][i].cycles);
+  }
+}
+
+TEST(SpanSystemTest, TracingDoesNotPerturbVirtualTime) {
+  Cycles now[2];
+  for (int traced = 0; traced < 2; ++traced) {
+    System system(SpanConfig(traced == 1));
+    SpawnPipeline(system, 8);
+    system.Run();
+    now[traced] = system.now();
+  }
+  EXPECT_EQ(now[0], now[1]);
+}
+
+}  // namespace
+}  // namespace imax432

@@ -17,6 +17,16 @@
 // the host wall-clock cost of instrumentation. The two runs must reach the same virtual
 // time; tracing is an observer, never a participant.
 //
+// --profile arms the cycle-attribution profiler: every virtual cycle of every GDP is binned
+// into an attribution bucket (interpreter, dispatch, bus, port wait, gc, fault recovery,
+// idle, halted) with a deterministic hot-site sample of interpreter dispatch. The run
+// reports the per-GDP table and fails unless each GDP's buckets sum exactly to its online
+// time (the gap-free invariant). --critical-path additionally arms causal span tracing and
+// prints the longest request's chain composition plus p50/p99/p999 end-to-end latency.
+// --span-export FILE writes the span trees as Chrome trace-event JSON with flow arrows.
+// All three are pure observers: virtual time (and the campaign replay fingerprint under
+// --inject) is bit-identical with them on or off.
+//
 // --inject N switches to fault-injection campaign mode: a seeded schedule of N hardware
 // faults (processor retirement/stalls, backing-store failures, bit flips, descriptor
 // corruption, bus fault windows) is armed against a swapping-memory worker fleet with the
@@ -34,6 +44,7 @@
 #include <memory>
 #include <string>
 
+#include "src/obs/critical_path.h"
 #include "src/obs/metrics.h"
 #include "src/obs/perfetto.h"
 #include "src/os/fault_service.h"
@@ -60,6 +71,11 @@ struct Options {
   Cycles inject_horizon = 2'000'000;
   std::string inject_report;
   bool inject_verify = false;
+  bool profile = false;
+  bool critical_path = false;  // implies profile + span tracing
+  std::string span_export;     // implies span tracing
+
+  bool spans_armed() const { return critical_path || !span_export.empty(); }
 };
 
 void Usage() {
@@ -69,7 +85,8 @@ void Usage() {
                "                  [--metrics FILE] [--overhead] [--race-sanitize]\n"
                "                  [--lifetime-demote] [--xlat-cache] [--inject N] [--seed S]\n"
                "                  [--inject-horizon CYCLES] [--inject-report FILE]\n"
-               "                  [--inject-verify]\n");
+               "                  [--inject-verify] [--profile] [--critical-path]\n"
+               "                  [--span-export FILE]\n");
 }
 
 // quickstart: the README workload — a producer/consumer pair over a bounded port, a domain
@@ -288,6 +305,8 @@ std::unique_ptr<System> RunWorkload(const Options& options, bool trace) {
     config.xlat_cache = true;
     config.interference_audit = true;
   }
+  config.profile = options.profile;
+  config.span_trace = options.spans_armed();
   std::unique_ptr<System> system;
   if (options.workload == "quickstart") {
     system = RunQuickstart(config);
@@ -320,6 +339,94 @@ bool WriteFile(const std::string& path, const std::string& contents) {
   std::fwrite(contents.data(), 1, contents.size(), file);
   std::fclose(file);
   return true;
+}
+
+// --- Profiler / span reporting (shared by workload and campaign modes) ---
+
+// Flushes the observers at quiescence, prints the per-GDP attribution table, hot sites,
+// critical-path report, and span export. Returns nonzero if the gap-free invariant fails:
+// every GDP's bucket sums must equal its online time exactly.
+int ReportObservers(System& system, const Options& options) {
+  int rc = 0;
+  Machine& machine = system.machine();
+  if (options.profile) {
+    CycleProfiler& profiler = machine.profiler();
+    profiler.FlushOpenIntervals(machine.now());
+    std::fprintf(stderr, "cycle attribution (sample period %u):\n", profiler.sample_period());
+    const auto& cpus = profiler.cpus();
+    CycleBucketArray totals = profiler.Totals();
+    Cycles grand_total = 0;
+    for (size_t cpu = 0; cpu < cpus.size(); ++cpu) {
+      const CycleProfiler::CpuSlot& slot = cpus[cpu];
+      Cycles total = profiler.CpuTotal(static_cast<uint16_t>(cpu));
+      Cycles online = machine.now() - slot.epoch_start;
+      grand_total += total;
+      std::fprintf(stderr, "  GDP %zu: %llu cycles attributed, %llu online%s\n", cpu,
+                   static_cast<unsigned long long>(total),
+                   static_cast<unsigned long long>(online),
+                   total == online ? "" : "  [MISMATCH]");
+      if (total != online) {
+        rc = 1;
+      }
+      for (size_t b = 0; b < kCycleBucketCount; ++b) {
+        if (slot.buckets[b] == 0) continue;
+        std::fprintf(stderr, "    %-14s %12llu (%5.1f%%)\n",
+                     CycleBucketName(static_cast<CycleBucket>(b)),
+                     static_cast<unsigned long long>(slot.buckets[b]),
+                     total == 0 ? 0.0
+                                : 100.0 * static_cast<double>(slot.buckets[b]) /
+                                      static_cast<double>(total));
+      }
+    }
+    std::fprintf(stderr, "  all GDPs: %llu cycles attributed across %zu buckets\n",
+                 static_cast<unsigned long long>(grand_total), totals.size());
+
+    std::vector<std::pair<uint64_t, CycleProfiler::HotSite>> sites(
+        profiler.hot_sites().begin(), profiler.hot_sites().end());
+    std::sort(sites.begin(), sites.end(), [](const auto& a, const auto& b) {
+      if (a.second.cycles != b.second.cycles) return a.second.cycles > b.second.cycles;
+      return a.first < b.first;
+    });
+    size_t top = sites.size() < 10 ? sites.size() : 10;
+    std::fprintf(stderr,
+                 "  hot sites (%llu samples, %llu dropped, top %zu of %zu):\n",
+                 static_cast<unsigned long long>(profiler.samples_taken()),
+                 static_cast<unsigned long long>(profiler.samples_dropped()), top,
+                 sites.size());
+    for (size_t i = 0; i < top; ++i) {
+      uint32_t segment = static_cast<uint32_t>(sites[i].first >> 32);
+      uint32_t pc = static_cast<uint32_t>(sites[i].first & 0xffffffffu);
+      std::string name = "segment " + std::to_string(segment);
+      const std::string* symbol = system.kernel().symbols().Find(segment);
+      if (symbol != nullptr) name = *symbol;
+      std::fprintf(stderr, "    %s pc %u: %llu samples, %llu cycles\n", name.c_str(), pc,
+                   static_cast<unsigned long long>(sites[i].second.samples),
+                   static_cast<unsigned long long>(sites[i].second.cycles));
+    }
+    if (rc != 0) {
+      std::fprintf(stderr, "FAIL: cycle attribution has unaccounted gaps\n");
+    }
+  }
+  if (options.spans_armed()) {
+    machine.spans().FlushOpen();
+  }
+  if (options.critical_path) {
+    CriticalPathReport report = AnalyzeCriticalPath(machine.spans());
+    std::fprintf(stderr, "%s", report.ToString().c_str());
+  }
+  if (!options.span_export.empty()) {
+    std::string json = ExportSpanChromeTrace(machine.spans(), &system.kernel().symbols());
+    if (!WriteFile(options.span_export, json)) {
+      rc = 1;
+    } else {
+      std::fprintf(stderr, "spans -> %s (%llu spans, %llu roots, %llu dropped)\n",
+                   options.span_export.c_str(),
+                   static_cast<unsigned long long>(machine.spans().spans_created()),
+                   static_cast<unsigned long long>(machine.spans().roots_created()),
+                   static_cast<unsigned long long>(machine.spans().dropped()));
+    }
+  }
+  return rc;
 }
 
 // --- Fault-injection campaign mode ---
@@ -379,6 +486,10 @@ CampaignResult RunCampaign(const Options& options) {
     config.xlat_cache = true;
     config.interference_audit = true;
   }
+  // Profiling under fire: attribution and span tracing must leave the replay fingerprint
+  // untouched (CI diffs the profiled campaign's fingerprint against the unprofiled one).
+  config.profile = options.profile;
+  config.span_trace = options.spans_armed();
 
   CampaignResult result;
   result.system = std::make_unique<System>(config);
@@ -642,6 +753,12 @@ int RunInjectCampaign(const Options& options) {
       !WriteFile(options.inject_report, CampaignReportJson(options, result))) {
     return 1;
   }
+  // Flush + report the observers before the metrics snapshot so the collected bucket
+  // totals include the tail intervals.
+  int observers = ReportObservers(*result.system, options);
+  if (observers != 0) {
+    return observers;
+  }
   // Campaigns usually only want the report; export the timeline only when --out was given
   // explicitly (the default trace.json write would be surprising here).
   if (options.out != "trace.json") {
@@ -776,6 +893,13 @@ int main(int argc, char** argv) {
       options.xlat_cache = true;
     } else if (arg == "--race-sanitize") {
       options.race_sanitize = true;
+    } else if (arg == "--profile") {
+      options.profile = true;
+    } else if (arg == "--critical-path") {
+      options.critical_path = true;
+      options.profile = true;  // the chain composition rides on the profiler's buckets
+    } else if (arg == "--span-export") {
+      options.span_export = value();
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;
@@ -807,6 +931,13 @@ int main(int argc, char** argv) {
                options.workload.c_str(), trace.size(),
                static_cast<unsigned long long>(trace.dropped()),
                cycles::ToMicroseconds(system->now()) / 1000.0, options.out.c_str());
+
+  // Flush + report the observers before the metrics snapshot so the collected bucket
+  // totals include the tail intervals.
+  int observers = ReportObservers(*system, options);
+  if (observers != 0) {
+    return observers;
+  }
 
   if (!options.metrics.empty()) {
     MetricsRegistry registry(system.get());
