@@ -1,0 +1,63 @@
+#include "src/analysis/guards/auditor.h"
+
+namespace imax432 {
+namespace analysis {
+
+const char* GuardViolationKindName(GuardViolationKind kind) {
+  switch (kind) {
+    case GuardViolationKind::kRights:
+      return "rights";
+    case GuardViolationKind::kDataBounds:
+      return "data-bounds";
+    case GuardViolationKind::kSlotBounds:
+      return "slot-bounds";
+  }
+  return "unknown";
+}
+
+GuardAuditor::Check GuardAuditor::Flag(const AccessDescriptor& ad, GuardViolationKind kind) {
+  ++stats_.violations;
+  Check check;
+  check.ok = false;
+  check.violation.object = ad.index();
+  check.violation.generation = ad.generation();
+  check.violation.kind = kind;
+  return check;
+}
+
+GuardAuditor::Check GuardAuditor::CheckElidedData(const ObjectTable& table,
+                                                  const AccessDescriptor& ad, uint32_t offset,
+                                                  uint32_t width, RightsMask required) {
+  ++stats_.hits_checked;
+  // Conditions the elided path still checks dynamically (null, stale generation,
+  // quarantine, residency) fault identically to the full path — not elision divergence.
+  if (ad.is_null() || ad.index() >= table.capacity()) return Check{};
+  const ObjectDescriptor& descriptor = table.At(ad.index());
+  if (!descriptor.allocated || descriptor.generation != ad.generation() ||
+      descriptor.quarantined || descriptor.swapped_out) {
+    return Check{};
+  }
+  if (!ad.HasRights(required)) return Flag(ad, GuardViolationKind::kRights);
+  if (static_cast<uint64_t>(offset) + width > descriptor.data_length) {
+    return Flag(ad, GuardViolationKind::kDataBounds);
+  }
+  return Check{};
+}
+
+GuardAuditor::Check GuardAuditor::CheckElidedSlot(const ObjectTable& table,
+                                                  const AccessDescriptor& container,
+                                                  uint32_t slot, RightsMask required) {
+  ++stats_.hits_checked;
+  if (container.is_null() || container.index() >= table.capacity()) return Check{};
+  const ObjectDescriptor& descriptor = table.At(container.index());
+  if (!descriptor.allocated || descriptor.generation != container.generation() ||
+      descriptor.quarantined) {
+    return Check{};
+  }
+  if (!container.HasRights(required)) return Flag(container, GuardViolationKind::kRights);
+  if (slot >= descriptor.access_count()) return Flag(container, GuardViolationKind::kSlotBounds);
+  return Check{};
+}
+
+}  // namespace analysis
+}  // namespace imax432

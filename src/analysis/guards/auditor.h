@@ -1,0 +1,69 @@
+// Pure-observer runtime auditor for check-elided execution (guard-dominance Phase 3).
+//
+// When `SystemConfig::guard_audit` is armed, the kernel calls CheckElidedData /
+// CheckElidedSlot immediately before every check-elided access and re-executes exactly the
+// checks the ElisionCertificate skipped — rights sufficiency and bounds. Checks the elided
+// fast path still performs dynamically (liveness/generation, quarantine, residency) are NOT
+// violations when they would fail: the elided path faults there identically to the full
+// path, so the auditor ignores them and only flags divergence the certificate could cause.
+// A violation means the static dominance proof was wrong; the kernel raises a
+// kGuardViolation trace event and counts it, but never alters execution — virtual time is
+// bit-identical with the auditor armed or not (the PR 5 replay contract).
+
+#ifndef IMAX432_SRC_ANALYSIS_GUARDS_AUDITOR_H_
+#define IMAX432_SRC_ANALYSIS_GUARDS_AUDITOR_H_
+
+#include <cstdint>
+
+#include "src/arch/access_descriptor.h"
+#include "src/arch/object_table.h"
+#include "src/arch/rights.h"
+#include "src/arch/types.h"
+
+namespace imax432 {
+namespace analysis {
+
+enum class GuardViolationKind : uint8_t {
+  kRights = 0,      // the AD lacks a right the certificate claimed proven
+  kDataBounds = 1,  // offset + width exceeds the live data_length
+  kSlotBounds = 2,  // slot >= the live access_count
+};
+const char* GuardViolationKindName(GuardViolationKind kind);
+
+struct GuardViolationRec {
+  ObjectIndex object = kInvalidObjectIndex;
+  uint32_t generation = 0;
+  GuardViolationKind kind = GuardViolationKind::kRights;
+};
+
+struct GuardAuditorStats {
+  uint64_t hits_checked = 0;  // elided executions cross-checked
+  uint64_t violations = 0;
+};
+
+class GuardAuditor {
+ public:
+  struct Check {
+    bool ok = true;
+    GuardViolationRec violation;
+  };
+
+  // Re-executes the skipped rights + data-bounds checks for an elided data access.
+  Check CheckElidedData(const ObjectTable& table, const AccessDescriptor& ad, uint32_t offset,
+                        uint32_t width, RightsMask required);
+  // Re-executes the skipped rights + slot-bounds checks for an elided access-part read.
+  Check CheckElidedSlot(const ObjectTable& table, const AccessDescriptor& container,
+                        uint32_t slot, RightsMask required);
+
+  const GuardAuditorStats& stats() const { return stats_; }
+
+ private:
+  Check Flag(const AccessDescriptor& ad, GuardViolationKind kind);
+
+  GuardAuditorStats stats_;
+};
+
+}  // namespace analysis
+}  // namespace imax432
+
+#endif  // IMAX432_SRC_ANALYSIS_GUARDS_AUDITOR_H_

@@ -194,6 +194,56 @@ Status AddressingUnit::WriteDataBlock(const AccessDescriptor& ad, uint32_t offse
   return Status::Ok();
 }
 
+Result<uint64_t> AddressingUnit::ReadDataElided(const AccessDescriptor& ad, uint32_t offset,
+                                                uint32_t width) const {
+  IMAX_ASSIGN_OR_RETURN(const ObjectDescriptor* object, CachedResolve(ad));
+  if (object->quarantined) {
+    return Fault::kObjectQuarantined;
+  }
+  if (object->swapped_out) {
+    last_swapped_object_ = ad.index();
+    return Fault::kSegmentSwapped;
+  }
+  const PhysAddr addr = static_cast<PhysAddr>(object->data_base + offset);
+  if (!memory_->InRange(addr, width)) {
+    return Fault::kBoundsViolation;
+  }
+  return LoadScalar(memory_->at(addr), width);
+}
+
+Status AddressingUnit::WriteDataElided(const AccessDescriptor& ad, uint32_t offset,
+                                       uint32_t width, uint64_t value) {
+  IMAX_ASSIGN_OR_RETURN(ObjectDescriptor * object, CachedResolve(ad));
+  if (object->quarantined) {
+    return Fault::kObjectQuarantined;
+  }
+  if (object->swapped_out) {
+    last_swapped_object_ = ad.index();
+    return Fault::kSegmentSwapped;
+  }
+  const PhysAddr addr = static_cast<PhysAddr>(object->data_base + offset);
+  if (!memory_->InRange(addr, width)) {
+    return Fault::kBoundsViolation;
+  }
+  StoreScalar(memory_->at(addr), width, value);
+  // Same epoch bump as the full path, on the descriptor already in hand.
+  ++object->data_epoch;
+  return Status::Ok();
+}
+
+Result<AccessDescriptor> AddressingUnit::ReadAdElided(const AccessDescriptor& container,
+                                                      uint32_t slot) const {
+  IMAX_ASSIGN_OR_RETURN(const ObjectDescriptor* object, CachedResolve(container));
+  if (object->quarantined) {
+    return Fault::kObjectQuarantined;
+  }
+  if (slot >= object->access_count()) {
+    // Defense in depth: a wrong certificate must not index past the access vector.
+    return Fault::kBoundsViolation;
+  }
+  return object->access[slot];
+}
+
 Result<AccessDescriptor> AddressingUnit::ReadAd(const AccessDescriptor& container,
                                                 uint32_t slot) const {
   IMAX_ASSIGN_OR_RETURN(const ObjectDescriptor* object, CachedResolve(container));

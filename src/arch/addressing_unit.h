@@ -58,6 +58,20 @@ class AddressingUnit {
   Status WriteAdPrivileged(const AccessDescriptor& container, uint32_t slot,
                            const AccessDescriptor& ad);
 
+  // --- Check-elided fast paths (guard-dominance Phase 3; see analysis/guards/guards.h) ---
+  // The caller holds an ElisionCertificate proving the rights and bounds checks were
+  // performed by a dominating instruction on every path to this site. Liveness/generation
+  // (via CachedResolve), quarantine, and residency remain dynamic, so the elided path
+  // faults identically to the full path on everything the certificate does not cover; what
+  // is skipped is exactly the HasRights test and the data/slot bounds compare. Widths are
+  // certified statically valid. A host-memory range check is kept as defense in depth
+  // against a wrong certificate (the guard auditor is the diagnostic surface for that).
+  Result<uint64_t> ReadDataElided(const AccessDescriptor& ad, uint32_t offset,
+                                  uint32_t width) const;
+  Status WriteDataElided(const AccessDescriptor& ad, uint32_t offset, uint32_t width,
+                         uint64_t value);
+  Result<AccessDescriptor> ReadAdElided(const AccessDescriptor& container, uint32_t slot) const;
+
   // --- Typed resolution helpers used by the high-level instructions ---
   // Resolves and checks the object's system type and that the AD carries `required` rights.
   Result<ObjectDescriptor*> ResolveTyped(const AccessDescriptor& ad, SystemType type,

@@ -1,0 +1,90 @@
+// Per-processor decode cache: the Phase 3 consumer of the guard-dominance analysis.
+//
+// Even with the AD-translation cache armed, every instruction step re-fetches the Program
+// through the translation tier and re-reads the encoded instruction. ROADMAP item 1 names
+// the fix: flatten the hot path with a decode cache keyed by instruction segment + epoch.
+// This class is that structure — a small direct-mapped array of pre-decoded segments, one
+// per processor, consulted by Kernel::ProcessorStep when SystemConfig::decode_cache is set.
+//
+// Every entry is epoch-keyed: a hit revalidates the descriptor's `allocated` bit,
+// generation, segment type, `data_epoch`, and the ProgramStore version before serving, so a
+// freed, reallocated, retyped, or in-place-mutated segment can never serve stale decode
+// (the same revalidation set as the xlat cache's instruction-fetch payload tier). What a
+// hit skips is the store's map lookup plus the per-instruction re-decode.
+//
+// Certification is carried per *instruction*, not per entry: each DecodedInst holds the
+// elision mask its ElisionCertificate proved (analysis/guards/guards.h), folded in at fill
+// time by Kernel::FetchDecoded. Certified instructions execute the check-elided
+// addressing-unit fast path; everything else keeps the full layered checks. Every kernel
+// path that could retract a certificate (program registration/removal, analysis
+// forgetting, spawn) clears these caches wholesale via
+// Kernel::InvalidateTranslationCaches.
+//
+// The cache holds host-side state only and charges no cycles — virtual time is
+// bit-identical with the cache on or off, preserving the PR 5 replay-fingerprint contract.
+//
+// Layering note: unlike xlat_cache.h this header depends on isa/program.h — a decoded
+// superblock is a vector of Instructions, so the dependency is structural (isa depends only
+// on arch/access_descriptor.h; there is no cycle).
+
+#ifndef IMAX432_SRC_ARCH_DECODE_CACHE_H_
+#define IMAX432_SRC_ARCH_DECODE_CACHE_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/arch/types.h"
+#include "src/isa/program.h"
+
+namespace imax432 {
+
+struct ObjectDescriptor;
+
+// One pre-decoded instruction plus its certified check-elision mask (guard_check bits;
+// 0 = full layered checks).
+struct DecodedInst {
+  Instruction inst;
+  uint8_t elide = 0;
+};
+
+struct DecodedSegment {
+  ObjectIndex segment = kInvalidObjectIndex;
+  uint32_t generation = 0;
+  // Descriptor slot pointer. Stable for the table's lifetime (slots are never reallocated);
+  // liveness/type/epoch are revalidated per hit.
+  ObjectDescriptor* descriptor = nullptr;
+  const Program* program = nullptr;   // decode source (ProgramStore-owned)
+  uint64_t store_version = 0;         // ProgramStore::version() at fill
+  uint32_t data_epoch = 0;            // descriptor->data_epoch at fill
+  std::vector<DecodedInst> code;      // one slot per program pc
+
+  bool valid() const { return program != nullptr; }
+};
+
+struct DecodeCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;  // probes that fell back to resolve + store lookup + re-decode
+};
+
+class DecodeCache {
+ public:
+  static constexpr uint32_t kEntries = 8;  // direct-mapped, power of two
+
+  DecodedSegment& Probe(ObjectIndex segment) { return entries_[segment & (kEntries - 1)]; }
+
+  void Clear() {
+    for (DecodedSegment& entry : entries_) entry = DecodedSegment{};
+  }
+
+  DecodeCacheStats& stats() { return stats_; }
+  const DecodeCacheStats& stats() const { return stats_; }
+
+ private:
+  std::array<DecodedSegment, kEntries> entries_;
+  DecodeCacheStats stats_;
+};
+
+}  // namespace imax432
+
+#endif  // IMAX432_SRC_ARCH_DECODE_CACHE_H_

@@ -57,6 +57,11 @@ Kernel::Kernel(Machine* machine, MemoryManager* memory)
   effect_graph_.MarkExternalReceiver(default_dispatch_port_.index());
   effect_graph_.set_symbols(&symbols_);
 
+  // Hot-patching a segment (ProgramStore::Replace) invalidates every summary computed for
+  // the old code; without this retraction, elision certificates keyed by (segment, pc)
+  // could be folded into a decode of the replacement program.
+  programs_.SetReplaceHook([this](ObjectIndex segment) { ForgetProgramAnalysis(segment); });
+
   RegisterService(os_service::kYield, [](ExecutionContext&) -> Result<NativeResult> {
     NativeResult r;
     r.action = NativeResult::Action::kYield;
@@ -700,8 +705,21 @@ void Kernel::ProcessorStep(uint16_t processor_id) {
 
   ContextView ctx(&machine_->addressing(), proc.context());
   const Program* program_ptr = nullptr;
+  const DecodedSegment* decoded = nullptr;
   ProgramRef program_ref;  // keeps the uncached fetch's program alive through this step
-  if (xlat_cache_enabled_) {
+  if (decode_cache_enabled_) {
+    auto fetched = FetchDecoded(rec, ctx.instruction_segment());
+    if (!fetched.ok()) {
+      RaiseFault(proc, fetched.fault());
+      machine_->profiler().ChargeCpu(processor_id, CycleBucket::kFaultRecovery,
+                                     cycles::kDispatch);
+      machine_->events().ScheduleAfter(cycles::kDispatch,
+                                       [this, processor_id] { ProcessorFetch(processor_id); });
+      return;
+    }
+    decoded = fetched.value();
+    program_ptr = decoded->program;
+  } else if (xlat_cache_enabled_) {
     auto cached = FetchProgramCached(rec, ctx.instruction_segment());
     if (!cached.ok()) {
       RaiseFault(proc, cached.fault());
@@ -743,7 +761,15 @@ void Kernel::ProcessorStep(uint16_t processor_id) {
       sampled_site = true;
       site_segment = ctx.instruction_segment().index();
     }
-    const Instruction& instruction = program.at(pc);
+    // Stable copy when decoding from the cache: a service call inside Execute can register
+    // a program and clear the decode caches, invalidating references into the entry.
+    Instruction decoded_inst{};
+    uint8_t elide = 0;
+    if (decoded != nullptr) {
+      decoded_inst = decoded->code[pc].inst;
+      elide = decoded->code[pc].elide;
+    }
+    const Instruction& instruction = decoded != nullptr ? decoded_inst : program.at(pc);
     // The interpreter's instruction dump: with tracing on, each step lands in the event
     // timeline (and the kTrace log line reaches the recorder's annotation channel through
     // the sink installed by System) instead of spamming stderr.
@@ -754,7 +780,7 @@ void Kernel::ProcessorStep(uint16_t processor_id) {
                      OpcodeName(instruction.op));
     }
     ctx.set_pc(pc + 1);
-    auto result = Execute(rec, proc, ctx, program, instruction);
+    auto result = Execute(rec, proc, ctx, program, instruction, elide);
     if (!result.ok()) {
       Fault fault = result.fault();
       if (fault == Fault::kSegmentSwapped) {
@@ -852,7 +878,7 @@ void Kernel::NoteAccess(uint16_t cpu, ProcessView& proc, ContextView& ctx, Objec
 
 Result<Kernel::StepEffect> Kernel::Execute(ProcessorRec& rec, ProcessView& proc,
                                            ContextView& ctx, const Program& program,
-                                           const Instruction& in) {
+                                           const Instruction& in, uint8_t elide) {
   AddressingUnit& au = machine_->addressing();
   StepEffect effect;
 
@@ -904,7 +930,21 @@ Result<Kernel::StepEffect> Kernel::Execute(ProcessorRec& rec, ProcessView& proc,
         if (!ValidReg(in.c)) return Fault::kRegisterOutOfRange;
         offset += static_cast<uint32_t>(ctx.reg(in.c));
       }
-      IMAX_ASSIGN_OR_RETURN(uint64_t value, au.ReadData(ctx.ad_reg(in.b), offset, width));
+      constexpr uint8_t kDataMask = analysis::guard_check::kRights |
+                                    analysis::guard_check::kDataBounds;
+      uint64_t value = 0;
+      if ((elide & kDataMask) == kDataMask) {
+        // Certified check-elided fast path: rights + bounds proven dominated; liveness,
+        // quarantine, and residency remain dynamic inside ReadDataElided.
+        if (guard_auditor_ != nullptr) {
+          AuditElidedData(rec, proc, ctx.ad_reg(in.b), offset, width, rights::kRead,
+                          ctx.pc() - 1);
+        }
+        IMAX_ASSIGN_OR_RETURN(value, au.ReadDataElided(ctx.ad_reg(in.b), offset, width));
+        ++stats_.guard_elisions;
+      } else {
+        IMAX_ASSIGN_OR_RETURN(value, au.ReadData(ctx.ad_reg(in.b), offset, width));
+      }
       NoteAccess(rec.id, proc, ctx, ctx.ad_reg(in.b).index(), analysis::ObjectPart::kData,
                  analysis::AccessKind::kRead);
       ctx.set_reg(in.a, value);
@@ -922,7 +962,19 @@ Result<Kernel::StepEffect> Kernel::Execute(ProcessorRec& rec, ProcessView& proc,
         if (!ValidReg(in.c)) return Fault::kRegisterOutOfRange;
         offset += static_cast<uint32_t>(ctx.reg(in.c));
       }
-      IMAX_RETURN_IF_FAULT(au.WriteData(ctx.ad_reg(in.a), offset, width, ctx.reg(in.b)));
+      constexpr uint8_t kDataMask = analysis::guard_check::kRights |
+                                    analysis::guard_check::kDataBounds;
+      if ((elide & kDataMask) == kDataMask) {
+        if (guard_auditor_ != nullptr) {
+          AuditElidedData(rec, proc, ctx.ad_reg(in.a), offset, width, rights::kWrite,
+                          ctx.pc() - 1);
+        }
+        IMAX_RETURN_IF_FAULT(au.WriteDataElided(ctx.ad_reg(in.a), offset, width,
+                                                ctx.reg(in.b)));
+        ++stats_.guard_elisions;
+      } else {
+        IMAX_RETURN_IF_FAULT(au.WriteData(ctx.ad_reg(in.a), offset, width, ctx.reg(in.b)));
+      }
       NoteAccess(rec.id, proc, ctx, ctx.ad_reg(in.a).index(), analysis::ObjectPart::kData,
                  analysis::AccessKind::kWrite);
       effect.compute = cycles::kDataAccessBase;
@@ -951,7 +1003,18 @@ Result<Kernel::StepEffect> Kernel::Execute(ProcessorRec& rec, ProcessView& proc,
         if (!ValidReg(in.c)) return Fault::kRegisterOutOfRange;
         slot += static_cast<uint32_t>(ctx.reg(in.c));
       }
-      IMAX_ASSIGN_OR_RETURN(AccessDescriptor value, au.ReadAd(ctx.ad_reg(in.b), slot));
+      constexpr uint8_t kSlotMask = analysis::guard_check::kRights |
+                                    analysis::guard_check::kSlotBounds;
+      AccessDescriptor value;
+      if ((elide & kSlotMask) == kSlotMask) {
+        if (guard_auditor_ != nullptr) {
+          AuditElidedSlot(rec, proc, ctx.ad_reg(in.b), slot, rights::kRead, ctx.pc() - 1);
+        }
+        IMAX_ASSIGN_OR_RETURN(value, au.ReadAdElided(ctx.ad_reg(in.b), slot));
+        ++stats_.guard_elisions;
+      } else {
+        IMAX_ASSIGN_OR_RETURN(value, au.ReadAd(ctx.ad_reg(in.b), slot));
+      }
       NoteAccess(rec.id, proc, ctx, ctx.ad_reg(in.b).index(), analysis::ObjectPart::kAccess,
                  analysis::AccessKind::kRead);
       ctx.set_ad_reg(in.a, value);
@@ -1598,6 +1661,11 @@ void Kernel::RecordEffectSummary(ObjectIndex segment, const Program& program,
       analysis::InterferenceAnalyzer::Analyze(program, options, effects);
   ++stats_.interference_summaries;
 
+  // The guard-dominance summary shares the same effect pass, so check-elision verdicts
+  // exist the moment the program can run (and AnalyzeGuards never re-walks the program).
+  guard_summaries_[segment] = analysis::GuardAnalyzer::Analyze(program, options, effects);
+  ++stats_.guard_summaries;
+
   effect_graph_.AddProgram(segment, std::move(effects), kind);
   ++stats_.effect_summaries;
 
@@ -1694,6 +1762,11 @@ analysis::InterferenceAnalysisReport Kernel::AnalyzeInterference() {
   return analysis::AnalyzeInterference(effect_graph_, interference_summaries_);
 }
 
+analysis::GuardAnalysisReport Kernel::AnalyzeGuards() {
+  EnsureSummaries();
+  return analysis::AnalyzeGuards(effect_graph_, guard_summaries_, interference_summaries_);
+}
+
 void Kernel::EnableXlatCache() {
   xlat_cache_enabled_ = true;
   certificates_stale_ = true;
@@ -1714,6 +1787,26 @@ void Kernel::EnableInterferenceAuditor() {
   }
 }
 
+void Kernel::EnableDecodeCache() {
+  decode_cache_enabled_ = true;
+  guard_certificates_stale_ = true;
+}
+
+void Kernel::EnableGuardAuditor() {
+  if (guard_auditor_ == nullptr) {
+    guard_auditor_ = std::make_unique<analysis::GuardAuditor>();
+  }
+}
+
+DecodeCacheStats Kernel::decode_stats() const {
+  DecodeCacheStats total;
+  for (const ProcessorRec& rec : processors_) {
+    total.hits += rec.decode.stats().hits;
+    total.misses += rec.decode.stats().misses;
+  }
+  return total;
+}
+
 XlatCacheStats Kernel::xlat_stats() const {
   XlatCacheStats total;
   for (const ProcessorRec& rec : processors_) {
@@ -1730,6 +1823,11 @@ XlatCacheStats Kernel::xlat_stats() const {
 
 void Kernel::InvalidateTranslationCaches() {
   certificates_stale_ = true;
+  guard_certificates_stale_ = true;
+  if (decode_cache_enabled_) {
+    for (ProcessorRec& rec : processors_) rec.decode.Clear();
+    ++stats_.decode_invalidations;
+  }
   if (!xlat_cache_enabled_) return;
   for (ProcessorRec& rec : processors_) rec.xlat.Clear();
   ++stats_.xlat_invalidations;
@@ -1824,6 +1922,104 @@ Result<const Program*> Kernel::FetchProgramCached(ProcessorRec& rec,
   fill.type = static_cast<uint8_t>(SystemType::kInstructionSegment);
   fill.certified = rec.xlat.IsCertified(ad.index());
   return program;
+}
+
+void Kernel::EnsureGuardCertificates() {
+  if (!guard_certificates_stale_) return;
+  // EnsureSummaries can re-mark us stale through RecordEffectSummary; the flag is cleared
+  // only at the very end, after the elision map reflects every summary just computed.
+  EnsureSummaries();
+  analysis::GuardAnalysisReport report =
+      analysis::AnalyzeGuards(effect_graph_, guard_summaries_, interference_summaries_);
+  certified_elisions_.clear();
+  for (const analysis::ElisionCertificate& cert : report.certificates) {
+    std::map<uint32_t, uint8_t>& per_pc = certified_elisions_[cert.segment];
+    for (const analysis::ElidedCheck& check : cert.checks) {
+      per_pc[check.pc] = check.mask;
+    }
+  }
+  // The elision basis just changed; entries decoded against the old map are untrustworthy.
+  for (ProcessorRec& rec : processors_) rec.decode.Clear();
+  guard_certificates_stale_ = false;
+}
+
+Result<const DecodedSegment*> Kernel::FetchDecoded(ProcessorRec& rec,
+                                                   const AccessDescriptor& ad) {
+  DecodedSegment& entry = rec.decode.Probe(ad.index());
+  if (entry.valid() && entry.segment == ad.index() && entry.generation == ad.generation()) {
+    // Epoch-keyed revalidation: exactly the set FetchProgramCached's epoch tier checks
+    // (liveness, generation, type, data_epoch, store version). Certification rides per
+    // instruction as the elide mask, so no entry ever skips this.
+    const ObjectDescriptor* descriptor = entry.descriptor;
+    if (descriptor->allocated && descriptor->generation == ad.generation() &&
+        descriptor->type == SystemType::kInstructionSegment &&
+        descriptor->data_epoch == entry.data_epoch &&
+        entry.store_version == programs_.version()) {
+      ++rec.decode.stats().hits;
+      return &entry;
+    }
+  }
+  ++rec.decode.stats().misses;
+  EnsureGuardCertificates();
+  IMAX_ASSIGN_OR_RETURN(ObjectDescriptor * descriptor, machine_->table().Resolve(ad));
+  if (descriptor->type != SystemType::kInstructionSegment) {
+    return Fault::kTypeMismatch;
+  }
+  const Program* program = programs_.Find(ad.index());
+  if (program == nullptr) {
+    return Fault::kNotFound;
+  }
+  // Re-probe: EnsureGuardCertificates may have cleared the cache above.
+  DecodedSegment& fill = rec.decode.Probe(ad.index());
+  fill = DecodedSegment{};
+  fill.segment = ad.index();
+  fill.generation = ad.generation();
+  fill.descriptor = descriptor;
+  fill.program = program;
+  fill.store_version = programs_.version();
+  fill.data_epoch = descriptor->data_epoch;
+  fill.code.resize(program->size());
+  const std::map<uint32_t, uint8_t>* elisions = nullptr;
+  auto certified = certified_elisions_.find(ad.index());
+  if (certified != certified_elisions_.end()) elisions = &certified->second;
+  for (uint32_t pc = 0; pc < program->size(); ++pc) {
+    fill.code[pc].inst = program->at(pc);
+    if (elisions != nullptr) {
+      auto mask = elisions->find(pc);
+      if (mask != elisions->end()) fill.code[pc].elide = mask->second;
+    }
+  }
+  return &fill;
+}
+
+void Kernel::AuditElidedData(ProcessorRec& rec, ProcessView& proc, const AccessDescriptor& ad,
+                             uint32_t offset, uint32_t width, RightsMask required,
+                             uint32_t pc) {
+  analysis::GuardAuditor::Check check =
+      guard_auditor_->CheckElidedData(machine_->table(), ad, offset, width, required);
+  if (check.ok) return;
+  ++stats_.guard_violations;
+  machine_->trace().Emit(TraceEventKind::kGuardViolation, machine_->now(), rec.id,
+                         proc.ad().index(), check.violation.object,
+                         static_cast<uint32_t>(check.violation.kind), pc);
+  IMAX_LOG_ERROR("guard audit: elided data access to object %u failed its %s re-check (pc %u)",
+                 check.violation.object,
+                 analysis::GuardViolationKindName(check.violation.kind), pc);
+}
+
+void Kernel::AuditElidedSlot(ProcessorRec& rec, ProcessView& proc,
+                             const AccessDescriptor& container, uint32_t slot,
+                             RightsMask required, uint32_t pc) {
+  analysis::GuardAuditor::Check check =
+      guard_auditor_->CheckElidedSlot(machine_->table(), container, slot, required);
+  if (check.ok) return;
+  ++stats_.guard_violations;
+  machine_->trace().Emit(TraceEventKind::kGuardViolation, machine_->now(), rec.id,
+                         proc.ad().index(), check.violation.object,
+                         static_cast<uint32_t>(check.violation.kind), pc);
+  IMAX_LOG_ERROR("guard audit: elided slot access to object %u failed its %s re-check (pc %u)",
+                 check.violation.object,
+                 analysis::GuardViolationKindName(check.violation.kind), pc);
 }
 
 void Kernel::CertifiedHitThunk(void* kernel, const XlatEntry& entry) {

@@ -8,6 +8,7 @@
 #ifndef IMAX432_SRC_ISA_PROGRAM_STORE_H_
 #define IMAX432_SRC_ISA_PROGRAM_STORE_H_
 
+#include <functional>
 #include <map>
 
 #include "src/isa/program.h"
@@ -48,6 +49,38 @@ class ProgramStore {
     return it->second;
   }
 
+  // Replaces the program behind a live instruction segment in place (hot-patching a loaded
+  // program without changing its architectural identity). Staleness contract: bumps BOTH
+  // invalidation keys the caches consult — the store version() (xlat program payloads and
+  // decode entries key on it) and the segment descriptor's data_epoch (the per-object
+  // content witness) — plus rewrites the instruction-count metadata. Missing either bump
+  // would let a cached translation or decoded superblock keep serving the old code.
+  Status Replace(const AccessDescriptor& ad, ProgramRef program) {
+    IMAX_ASSIGN_OR_RETURN(ObjectDescriptor * descriptor, machine_->table().Resolve(ad));
+    if (descriptor->type != SystemType::kInstructionSegment) {
+      return Fault::kTypeMismatch;
+    }
+    auto it = programs_.find(ad.index());
+    if (it == programs_.end()) {
+      return Fault::kNotFound;
+    }
+    IMAX_RETURN_IF_FAULT(
+        machine_->memory().Write(descriptor->data_base, 4, program->size()));
+    it->second = std::move(program);
+    ++version_;
+    ++descriptor->data_epoch;
+    // Static analysis summarized the OLD code: let the owner retract it (the kernel wires
+    // this to ForgetProgramAnalysis, so elision certificates computed against the replaced
+    // program can never be folded into a decode of the new one).
+    if (replace_hook_) replace_hook_(ad.index());
+    return Status::Ok();
+  }
+
+  // Called after every successful Replace with the segment's object index.
+  void SetReplaceHook(std::function<void(ObjectIndex)> hook) {
+    replace_hook_ = std::move(hook);
+  }
+
   // Drops the program content of a reclaimed instruction segment (called by the GC).
   void Forget(ObjectIndex index) {
     if (programs_.erase(index) != 0) ++version_;
@@ -79,6 +112,7 @@ class ProgramStore {
   MemoryManager* memory_;
   std::map<ObjectIndex, ProgramRef> programs_;
   uint64_t version_ = 0;
+  std::function<void(ObjectIndex)> replace_hook_;
 };
 
 }  // namespace imax432

@@ -285,6 +285,13 @@ void Exporter::HandleEvent(const TraceEvent& event) {
                   ",\"fill_epoch\":" + std::to_string(event.c) + "}");
       break;
     }
+    case TraceEventKind::kGuardViolation: {
+      Instant(tid, event.ts, "guard-violation",
+              "{\"object\":" + std::to_string(event.a) +
+                  ",\"kind\":" + std::to_string(event.b) +
+                  ",\"pc\":" + std::to_string(event.c) + "}");
+      break;
+    }
   }
 }
 

@@ -32,6 +32,7 @@ const char* TraceEventKindName(TraceEventKind kind) {
     case TraceEventKind::kPatrolSweep: return "patrol-sweep";
     case TraceEventKind::kLifetimeViolation: return "lifetime-violation";
     case TraceEventKind::kInterferenceViolation: return "interference-violation";
+    case TraceEventKind::kGuardViolation: return "guard-violation";
   }
   return "unknown";
 }

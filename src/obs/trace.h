@@ -63,6 +63,8 @@ enum class TraceEventKind : uint8_t {
   kInterferenceViolation,  // certified translation-cache entry failed its runtime
                            // cross-check; a = object index,
                            // b = InterferenceViolationKind, c = fill-time data_epoch
+  kGuardViolation,  // check-elided execution failed its re-executed full check set;
+                    // a = object index, b = GuardViolationKind, c = site pc
 };
 
 // GC phase payload for kGcPhase (mirrors gc/collector.h Phase without depending on it).

@@ -49,6 +49,14 @@ System::System(const SystemConfig& config)
   if (config.xlat_cache) {
     kernel_->EnableXlatCache();
   }
+  // Same auditor-before-cache discipline for the decode tier: Execute consults the guard
+  // auditor only when armed, so arming it before the cache keeps both orders equivalent.
+  if (config.guard_audit) {
+    kernel_->EnableGuardAuditor();
+  }
+  if (config.decode_cache) {
+    kernel_->EnableDecodeCache();
+  }
   gc_ = std::make_unique<GarbageCollector>(kernel_.get());
   patrol_ = std::make_unique<ObjectPatrol>(kernel_.get());
   types_ = std::make_unique<TypeManagerFacility>(kernel_.get());

@@ -87,6 +87,19 @@ struct SystemConfig {
   // kernel().stats().interference_violations. Pure observer.
   bool interference_audit = false;
 
+  // Per-processor decode cache (src/arch/decode_cache.h): pre-decoded instruction segments
+  // keyed by (segment, generation, data_epoch, ProgramStore version), with per-instruction
+  // check-elision masks certified by the guard-dominance analysis
+  // (src/analysis/guards/guards.h). Certified instructions skip the rights/bounds checks a
+  // dominating check already performed; everything else keeps the full layered checks.
+  // Host-side only: zero cycle charges, bit-identical virtual time with the cache on or off.
+  bool decode_cache = false;
+  // Dynamic cross-check for check-elided execution (src/analysis/guards/auditor.h): every
+  // elided access re-runs the skipped rights/bounds checks against the live descriptor.
+  // Violations raise kGuardViolation trace events and count in
+  // kernel().stats().guard_violations. Pure observer.
+  bool guard_audit = false;
+
   // Cycle-attribution profiler (src/obs/profiler.h): bin every virtual cycle of every GDP
   // into a CycleBucket, plus a deterministic 1-in-N hot-site sample of interpreter dispatch.
   // Pure observer: zero cycle charges, bit-identical virtual time (and replay fingerprint)

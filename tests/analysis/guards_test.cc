@@ -1,0 +1,376 @@
+// Guard-dominance analysis (src/analysis/guards/guards.h): Phase 1 block-local forward
+// dominance dataflow (fact establishment, kills, fresh objects, suppression accounting) and
+// Phase 2 certificate composition with the zero-false-positive screens.
+
+#include "src/analysis/guards/guards.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/analysis/effects.h"
+#include "src/arch/rights.h"
+#include "src/isa/assembler.h"
+
+namespace imax432 {
+namespace analysis {
+namespace {
+
+// Same fixture world as interference_test.cc: object 1 = carrier; slot 3 = shared object 30.
+constexpr ObjectIndex kCarrier = 1;
+constexpr ObjectIndex kShared = 30;
+
+AccessDescriptor Ad(ObjectIndex index) { return AccessDescriptor(index, 0, rights::kAll); }
+
+EffectOptions WorldOptions() {
+  EffectOptions options;
+  options.initial_arg = Ad(kCarrier);
+  options.slot_reader = [](ObjectIndex index, uint32_t slot) -> AccessDescriptor {
+    if (index == kCarrier && slot == 3) return Ad(kShared);
+    return AccessDescriptor();
+  };
+  return options;
+}
+
+GuardSummary Summarize(Assembler& a) {
+  return GuardAnalyzer::Analyze(*a.Build(), WorldOptions());
+}
+
+const GuardSite* SiteAt(const GuardSummary& summary, uint32_t pc) {
+  for (const GuardSite& site : summary.sites) {
+    if (site.pc == pc) return &site;
+  }
+  return nullptr;
+}
+
+// --- Phase 1: dominance dataflow -------------------------------------------------------
+
+TEST(GuardPhase1, FirstCheckUnprovenSecondIdenticalElidable) {
+  Assembler a("repeat-load");
+  // pc 0: load through the arg register — no prior fact, nothing elidable.
+  // pc 1: identical load — rights + bounds dominated by pc 0.
+  a.LoadData(1, kArgAdReg, 0, 8).LoadData(2, kArgAdReg, 0, 8).Halt();
+  GuardSummary summary = Summarize(a);
+  ASSERT_EQ(summary.sites.size(), 2u);
+
+  const GuardSite* first = SiteAt(summary, 0);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->checks, guard_check::kRights | guard_check::kDataBounds);
+  EXPECT_EQ(first->elidable, 0u);
+  EXPECT_EQ(first->suppression, GuardSuppression::kUnproven);
+
+  const GuardSite* second = SiteAt(summary, 1);
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(second->elidable, guard_check::kRights | guard_check::kDataBounds);
+  EXPECT_EQ(second->dominator_pc, 0u);
+  EXPECT_EQ(second->suppression, GuardSuppression::kNone);
+
+  EXPECT_EQ(summary.counters.checks_seen, 4u);
+  EXPECT_EQ(summary.counters.checks_elidable, 2u);
+  EXPECT_EQ(summary.counters.suppressed_unproven, 2u);
+}
+
+TEST(GuardPhase1, BoundsWatermarkCoversSmallerOffsets) {
+  Assembler a("watermark");
+  // pc 0 proves bytes [0, 16) readable; pc 1 reads [8, 16) — covered. pc 2 reads [16, 24):
+  // rights dominated but bounds beyond the watermark.
+  a.LoadData(1, kArgAdReg, 8, 8).LoadData(2, kArgAdReg, 0, 8).LoadData(3, kArgAdReg, 16, 8)
+      .Halt();
+  GuardSummary summary = Summarize(a);
+
+  const GuardSite* covered = SiteAt(summary, 1);
+  ASSERT_NE(covered, nullptr);
+  EXPECT_EQ(covered->elidable, guard_check::kRights | guard_check::kDataBounds);
+
+  const GuardSite* beyond = SiteAt(summary, 2);
+  ASSERT_NE(beyond, nullptr);
+  EXPECT_EQ(beyond->elidable, guard_check::kRights);
+  EXPECT_EQ(beyond->suppression, GuardSuppression::kUnproven);
+}
+
+TEST(GuardPhase1, CreateObjectEstablishesExactFacts) {
+  Assembler a("fresh");
+  // create_object grants R|W|D with 32 data bytes and 2 slots: the store at pc 1 and the
+  // slot read at pc 2 are fully elidable and fresh; the out-of-bounds store at pc 3 is not.
+  a.CreateObject(1, kArgAdReg, 32, 2)
+      .StoreData(1, 0, 24, 8)
+      .LoadAd(2, 1, 1)
+      .StoreData(1, 0, 32, 8)
+      .Halt();
+  GuardSummary summary = Summarize(a);
+
+  const GuardSite* store = SiteAt(summary, 1);
+  ASSERT_NE(store, nullptr);
+  EXPECT_EQ(store->elidable, guard_check::kRights | guard_check::kDataBounds);
+  EXPECT_TRUE(store->fresh);
+  EXPECT_EQ(store->dominator_pc, 0u);
+
+  const GuardSite* slot = SiteAt(summary, 2);
+  ASSERT_NE(slot, nullptr);
+  EXPECT_EQ(slot->elidable, guard_check::kRights | guard_check::kSlotBounds);
+  EXPECT_TRUE(slot->fresh);
+
+  const GuardSite* oob = SiteAt(summary, 3);
+  ASSERT_NE(oob, nullptr);
+  // Exact length 32 is known: offset 32 + width 8 exceeds it, so bounds stay dynamic.
+  EXPECT_EQ(oob->elidable, guard_check::kRights);
+}
+
+TEST(GuardPhase1, SyncInstructionKillsAllFacts) {
+  Assembler a("sync-kill");
+  // The receive at pc 2 is a sync point: the facts proven at pc 0/1 die with it.
+  a.CreateObject(1, kArgAdReg, 16, 0)
+      .StoreData(1, 0, 0, 8)
+      .Receive(3, kArgAdReg)
+      .StoreData(1, 0, 0, 8)
+      .Halt();
+  GuardSummary summary = Summarize(a);
+
+  const GuardSite* before = SiteAt(summary, 1);
+  ASSERT_NE(before, nullptr);
+  EXPECT_EQ(before->elidable, guard_check::kRights | guard_check::kDataBounds);
+
+  const GuardSite* after = SiteAt(summary, 3);
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->elidable, 0u);
+  EXPECT_EQ(after->suppression, GuardSuppression::kUnproven);
+}
+
+TEST(GuardPhase1, BlockBoundaryResetsFacts) {
+  Assembler a("block-reset");
+  Assembler::Label target = a.NewLabel();
+  // The branch ends the block: the load after the label re-proves from scratch even though
+  // the only path into it flows through pc 0.
+  a.LoadData(1, kArgAdReg, 0, 8).Branch(target).Bind(target).LoadData(2, kArgAdReg, 0, 8)
+      .Halt();
+  GuardSummary summary = Summarize(a);
+  const GuardSite* after = SiteAt(summary, 2);
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->elidable, 0u);
+}
+
+TEST(GuardPhase1, RegisterOverwriteKillsFacts) {
+  Assembler a("reg-kill");
+  // load_ad overwrites a1 at pc 1: the facts proven by pc 0 do not survive into pc 2.
+  a.MoveAd(1, kArgAdReg)
+      .LoadData(2, 1, 0, 8)
+      .LoadAd(1, kArgAdReg, 3)
+      .LoadData(3, 1, 0, 8)
+      .Halt();
+  GuardSummary summary = Summarize(a);
+  const GuardSite* after = SiteAt(summary, 3);
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->elidable, 0u);
+}
+
+TEST(GuardPhase1, MoveAdCopiesFactsAndRestrictRightsMasks) {
+  Assembler a("move-restrict");
+  a.CreateObject(1, kArgAdReg, 16, 0)
+      .MoveAd(2, 1)
+      .StoreData(2, 0, 0, 8)   // facts copied: fully elidable
+      .RestrictRights(2, rights::kRead)
+      .StoreData(2, 0, 0, 8)   // write right restricted away: rights no longer proven
+      .Halt();
+  GuardSummary summary = Summarize(a);
+
+  const GuardSite* copied = SiteAt(summary, 2);
+  ASSERT_NE(copied, nullptr);
+  EXPECT_EQ(copied->elidable, guard_check::kRights | guard_check::kDataBounds);
+
+  const GuardSite* restricted = SiteAt(summary, 4);
+  ASSERT_NE(restricted, nullptr);
+  EXPECT_EQ(restricted->elidable & guard_check::kRights, 0u);
+  // Bounds facts survive the rights restriction (length is a property of the object).
+  EXPECT_EQ(restricted->elidable & guard_check::kDataBounds, guard_check::kDataBounds);
+}
+
+TEST(GuardPhase1, IndexedOffsetsNeverElideBounds) {
+  Assembler a("indexed");
+  a.LoadImm(1, 0)
+      .LoadData(2, kArgAdReg, 0, 8)
+      .LoadDataIndexed(3, kArgAdReg, 1)
+      .Halt();
+  GuardSummary summary = Summarize(a);
+  const GuardSite* indexed = SiteAt(summary, 2);
+  ASSERT_NE(indexed, nullptr);
+  // Rights dominated by the plain load; the run-time offset keeps bounds dynamic.
+  EXPECT_EQ(indexed->elidable, guard_check::kRights);
+  EXPECT_EQ(indexed->suppression, GuardSuppression::kDynamic);
+  EXPECT_EQ(summary.counters.suppressed_dynamic, 1u);
+}
+
+TEST(GuardPhase1, StoreAdLevelNeverElides) {
+  Assembler a("level");
+  a.CreateObject(1, kArgAdReg, 0, 2)
+      .StoreAd(1, kArgAdReg, 0)
+      .StoreAd(1, kArgAdReg, 1)
+      .Halt();
+  GuardSummary summary = Summarize(a);
+  const GuardSite* second = SiteAt(summary, 2);
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(second->checks,
+            guard_check::kRights | guard_check::kSlotBounds | guard_check::kLevel);
+  EXPECT_EQ(second->elidable, guard_check::kRights | guard_check::kSlotBounds);
+  EXPECT_EQ(second->suppression, GuardSuppression::kLevel);
+  EXPECT_EQ(summary.counters.suppressed_level, 2u);
+}
+
+TEST(GuardPhase1, OpaqueProgramSuppressesEverything) {
+  Assembler a("opaque");
+  a.CreateObject(1, kArgAdReg, 16, 0)
+      .StoreData(1, 0, 0, 8)
+      .Native([](ExecutionContext&) -> Result<NativeResult> { return NativeResult{}; })
+      .Halt();
+  GuardSummary summary = Summarize(a);
+  EXPECT_TRUE(summary.opaque);
+  const GuardSite* store = SiteAt(summary, 1);
+  ASSERT_NE(store, nullptr);
+  EXPECT_EQ(store->elidable, 0u);
+  EXPECT_EQ(store->suppression, GuardSuppression::kOpaque);
+  EXPECT_EQ(summary.counters.checks_elidable, 0u);
+  EXPECT_EQ(summary.counters.suppressed_opaque, summary.counters.checks_seen);
+}
+
+TEST(GuardPhase1, InvalidWidthKeepsBoundsDynamic) {
+  Assembler a("bad-width");
+  a.LoadData(1, kArgAdReg, 0, 8).LoadData(2, kArgAdReg, 0, 3).Halt();
+  GuardSummary summary = Summarize(a);
+  const GuardSite* bad = SiteAt(summary, 1);
+  ASSERT_NE(bad, nullptr);
+  // Width 3 faults kInvalidArgument before the rights check in the full path; eliding
+  // anything would reorder faults.
+  EXPECT_EQ(bad->elidable & guard_check::kDataBounds, 0u);
+}
+
+// --- Phase 2: certificate composition --------------------------------------------------
+
+struct World {
+  SystemEffectGraph graph;
+  std::map<ObjectIndex, GuardSummary> guards;
+  std::map<ObjectIndex, InterferenceSummary> interference;
+  ObjectIndex next_segment = 100;
+
+  ObjectIndex Add(Assembler& a) {
+    ObjectIndex segment = next_segment++;
+    ProgramRef program = a.Build();
+    graph.AddProgram(segment, EffectAnalyzer::Analyze(*program, WorldOptions()),
+                     ProgramKind::kProcess);
+    guards[segment] = GuardAnalyzer::Analyze(*program, WorldOptions());
+    interference[segment] = InterferenceAnalyzer::Analyze(*program, WorldOptions());
+    return segment;
+  }
+
+  GuardAnalysisReport Analyze() { return AnalyzeGuards(graph, guards, interference); }
+};
+
+uint32_t CertifiedChecksFor(const GuardAnalysisReport& report, ObjectIndex segment) {
+  uint32_t count = 0;
+  for (const ElisionCertificate& cert : report.certificates) {
+    if (cert.segment == segment) count += static_cast<uint32_t>(cert.checks.size());
+  }
+  return count;
+}
+
+TEST(GuardPhase2, FreshSitesCertifyUnconditionally) {
+  World world;
+  Assembler a("alloc-loop");
+  a.CreateObject(1, kArgAdReg, 32, 0).StoreData(1, 0, 0, 8).LoadData(2, 1, 0, 8).Halt();
+  ObjectIndex segment = world.Add(a);
+
+  GuardAnalysisReport report = world.Analyze();
+  EXPECT_GT(report.checks_certified, 0u);
+  EXPECT_EQ(report.checks_certified, report.certified_fresh);
+  EXPECT_EQ(CertifiedChecksFor(report, segment), 2u);  // the store and the load
+}
+
+TEST(GuardPhase2, ResolvedSiteCertifiesWhenNoWriterExists) {
+  World world;
+  Assembler a("read-only");
+  // Two identical reads of the shared object: the second is elidable, and since no
+  // summarized program writes object 30, it certifies.
+  a.LoadAd(1, kArgAdReg, 3).LoadData(2, 1, 0, 8).LoadData(3, 1, 0, 8).Halt();
+  ObjectIndex segment = world.Add(a);
+
+  GuardAnalysisReport report = world.Analyze();
+  EXPECT_EQ(CertifiedChecksFor(report, segment), 1u);
+  EXPECT_EQ(report.certified_fresh, 0u);
+}
+
+TEST(GuardPhase2, ForeignWriterSuppressesResolvedSites) {
+  World world;
+  Assembler reader("reader");
+  reader.LoadAd(1, kArgAdReg, 3).LoadData(2, 1, 0, 8).LoadData(3, 1, 0, 8).Halt();
+  ObjectIndex reader_segment = world.Add(reader);
+
+  Assembler writer("writer");
+  writer.LoadAd(1, kArgAdReg, 3).StoreData(1, 0, 0, 8).Halt();
+  world.Add(writer);
+
+  GuardAnalysisReport report = world.Analyze();
+  EXPECT_EQ(CertifiedChecksFor(report, reader_segment), 0u);
+  EXPECT_GT(report.suppressed_interference, 0u);
+}
+
+TEST(GuardPhase2, SystemOpacitySuppressesNonFreshButNotFresh) {
+  World world;
+  Assembler mixed("mixed");
+  mixed.CreateObject(1, kArgAdReg, 16, 0)
+      .StoreData(1, 0, 0, 8)                            // fresh: survives opacity
+      .LoadAd(2, kArgAdReg, 3)
+      .LoadData(3, 2, 0, 8)
+      .LoadData(4, 2, 0, 8)                             // resolved: suppressed by opacity
+      .Halt();
+  ObjectIndex segment = world.Add(mixed);
+
+  Assembler opaque("opaque");
+  opaque.Native([](ExecutionContext&) -> Result<NativeResult> { return NativeResult{}; }).Halt();
+  world.Add(opaque);
+
+  GuardAnalysisReport report = world.Analyze();
+  EXPECT_EQ(CertifiedChecksFor(report, segment), 1u);
+  EXPECT_EQ(report.checks_certified, report.certified_fresh);
+  EXPECT_GT(report.suppressed_system_opaque, 0u);
+}
+
+TEST(GuardPhase2, CertificateCarriesBlockRangeAndDominator) {
+  World world;
+  Assembler a("range");
+  a.CreateObject(1, kArgAdReg, 32, 0).StoreData(1, 0, 0, 8).StoreData(1, 0, 8, 8).Halt();
+  ObjectIndex segment = world.Add(a);
+
+  GuardAnalysisReport report = world.Analyze();
+  ASSERT_EQ(report.certificates.size(), 1u);
+  const ElisionCertificate& cert = report.certificates[0];
+  EXPECT_EQ(cert.segment, segment);
+  EXPECT_LE(cert.begin, 1u);
+  EXPECT_GE(cert.end, 3u);
+  ASSERT_EQ(cert.checks.size(), 2u);
+  EXPECT_EQ(cert.checks[0].dominator_pc, 0u);
+  EXPECT_TRUE(cert.checks[0].fresh);
+  EXPECT_EQ(cert.checks[0].mask, guard_check::kRights | guard_check::kDataBounds);
+}
+
+TEST(GuardReport, FormatsCountersAndCertificates) {
+  World world;
+  Assembler a("fmt");
+  a.CreateObject(1, kArgAdReg, 16, 0).StoreData(1, 0, 0, 8).Halt();
+  world.Add(a);
+  GuardAnalysisReport report = world.Analyze();
+  std::string text = FormatGuardReport(report, world.guards);
+  EXPECT_NE(text.find("guard-dominance analysis"), std::string::npos);
+  EXPECT_NE(text.find("certificate"), std::string::npos);
+  EXPECT_NE(text.find("fresh"), std::string::npos);
+}
+
+TEST(GuardNames, MaskAndSuppressionNames) {
+  EXPECT_EQ(GuardCheckMaskName(0), "none");
+  EXPECT_EQ(GuardCheckMaskName(guard_check::kRights | guard_check::kDataBounds),
+            "rights|data-bounds");
+  EXPECT_EQ(GuardCheckMaskName(guard_check::kSlotBounds | guard_check::kLevel),
+            "slot-bounds|level");
+  EXPECT_STREQ(GuardSuppressionName(GuardSuppression::kDynamic), "dynamic");
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace imax432

@@ -1,0 +1,211 @@
+// The per-processor decode cache (src/arch/decode_cache.h) and its kernel integration:
+// the direct-mapped structure, pre-decoded fetch with epoch revalidation, check-elided
+// execution of guard-certified instructions, invalidation on analysis retraction, and the
+// pure-observer contract (bit-identical virtual time with the cache on or off).
+
+#include "src/arch/decode_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/analysis/guards/guards.h"
+#include "src/arch/rights.h"
+#include "src/exec/kernel.h"
+#include "src/isa/assembler.h"
+#include "src/os/system.h"
+#include "src/sim/machine.h"
+
+namespace imax432 {
+namespace {
+
+MachineConfig SmallConfig() {
+  MachineConfig config;
+  config.memory_bytes = 1024 * 1024;
+  config.object_table_capacity = 8192;
+  return config;
+}
+
+// --- The structure itself ---------------------------------------------------------------
+
+TEST(DecodeCacheTest, ProbeIsDirectMappedModuloEntries) {
+  DecodeCache cache;
+  EXPECT_EQ(&cache.Probe(5), &cache.Probe(5 + DecodeCache::kEntries));
+  EXPECT_NE(&cache.Probe(5), &cache.Probe(6));
+}
+
+TEST(DecodeCacheTest, ClearDropsEntriesButKeepsStats) {
+  DecodeCache cache;
+  cache.Probe(3).segment = 3;
+  cache.stats().hits = 7;
+  cache.Clear();
+  EXPECT_EQ(cache.Probe(3).segment, kInvalidObjectIndex);
+  EXPECT_FALSE(cache.Probe(3).valid());
+  EXPECT_EQ(cache.stats().hits, 7u);
+}
+
+// --- Kernel integration ------------------------------------------------------------------
+
+SystemConfig CacheConfig(bool cache, bool audit) {
+  SystemConfig config;
+  config.machine = SmallConfig();
+  config.processors = 1;
+  config.verify_on_load = true;  // summaries land at spawn, like the shipped configuration
+  config.start_gc_daemon = false;
+  config.decode_cache = cache;
+  config.guard_audit = audit;
+  return config;
+}
+
+// Allocation-shaped hot loop (the E2 profile): every iteration creates a fresh object,
+// stores into it, reads back, and destroys it. The store and the load are fresh sites, so
+// the guard analysis certifies them unconditionally — the decode cache executes them on
+// the check-elided fast path.
+Assembler AllocLoop(const std::string& name, uint32_t iters) {
+  Assembler a(name);
+  auto loop = a.NewLabel();
+  a.MoveAd(1, kArgAdReg)  // arg carries the SRO to allocate from
+      .LoadImm(0, 0)
+      .LoadImm(3, iters)
+      .LoadImm(5, 41)
+      .Bind(loop)
+      .CreateObject(4, 1, 32)
+      .StoreData(4, 5, 0, 8)
+      .LoadData(6, 4, 0, 8)
+      .DestroyObject(4)
+      .AddImm(0, 0, 1)
+      .BranchIfLess(0, 3, loop)
+      .Halt();
+  return a;
+}
+
+struct RunOutcome {
+  Cycles now = 0;
+  uint64_t instructions = 0;
+};
+
+RunOutcome RunAllocWorkload(System& system, uint32_t iters) {
+  Assembler a = AllocLoop("decode.alloc", iters);
+  ProcessOptions options;
+  options.initial_arg = system.memory().global_heap();
+  EXPECT_TRUE(system.Spawn(a.Build(), options).ok());
+  system.Run();
+  RunOutcome outcome;
+  outcome.now = system.machine().now();
+  outcome.instructions = system.kernel().stats().instructions_executed;
+  return outcome;
+}
+
+TEST(DecodeKernelTest, DisabledByDefaultAndStatsStayZero) {
+  System system(CacheConfig(false, false));
+  RunAllocWorkload(system, 50);
+  EXPECT_FALSE(system.kernel().decode_cache_enabled());
+  DecodeCacheStats stats = system.kernel().decode_stats();
+  EXPECT_EQ(stats.hits + stats.misses, 0u);
+  EXPECT_EQ(system.kernel().stats().guard_elisions, 0u);
+}
+
+TEST(DecodeKernelTest, HotLoopHitsAndExecutesCheckElided) {
+  System system(CacheConfig(true, false));
+  RunAllocWorkload(system, 200);
+  DecodeCacheStats stats = system.kernel().decode_stats();
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.misses, 0u);  // the compulsory fill
+  // The fresh store + load in every iteration ran on the elided fast path.
+  EXPECT_GE(system.kernel().stats().guard_elisions, 2u * 200u);
+}
+
+TEST(DecodeKernelTest, VirtualTimeAndInstructionsAreBitIdenticalOffAndOn) {
+  System off(CacheConfig(false, false));
+  System on(CacheConfig(true, true));
+  RunOutcome off_outcome = RunAllocWorkload(off, 300);
+  RunOutcome on_outcome = RunAllocWorkload(on, 300);
+  EXPECT_EQ(off_outcome.now, on_outcome.now);
+  EXPECT_EQ(off_outcome.instructions, on_outcome.instructions);
+}
+
+TEST(DecodeKernelTest, SystemConfigWiresCacheAndAuditor) {
+  System plain(CacheConfig(false, false));
+  EXPECT_FALSE(plain.kernel().decode_cache_enabled());
+  EXPECT_EQ(plain.kernel().guard_auditor(), nullptr);
+
+  System armed(CacheConfig(true, true));
+  EXPECT_TRUE(armed.kernel().decode_cache_enabled());
+  ASSERT_NE(armed.kernel().guard_auditor(), nullptr);
+}
+
+TEST(DecodeKernelTest, AuditorConfirmsEveryElisionOnACleanRun) {
+  System system(CacheConfig(true, true));
+  RunAllocWorkload(system, 200);
+  const analysis::GuardAuditorStats& stats = system.kernel().guard_auditor()->stats();
+  EXPECT_GT(stats.hits_checked, 0u);
+  EXPECT_EQ(stats.violations, 0u);
+  EXPECT_EQ(system.kernel().stats().guard_violations, 0u);
+}
+
+TEST(DecodeKernelTest, GuardSummariesRideAlongWithEffectSummaries) {
+  System system(CacheConfig(false, false));
+  RunAllocWorkload(system, 10);
+  EXPECT_EQ(system.kernel().stats().guard_summaries,
+            system.kernel().stats().effect_summaries);
+  ASSERT_EQ(system.kernel().guard_summaries().size(), 1u);
+  const analysis::GuardSummary& summary =
+      system.kernel().guard_summaries().begin()->second;
+  EXPECT_FALSE(summary.opaque);
+  EXPECT_GT(summary.counters.checks_elidable, 0u);
+}
+
+TEST(DecodeKernelTest, AnalyzeGuardsCertifiesTheFreshLoopSites) {
+  System system(CacheConfig(false, false));
+  RunAllocWorkload(system, 10);
+  analysis::GuardAnalysisReport report = system.kernel().AnalyzeGuards();
+  EXPECT_EQ(report.programs_analyzed, 1u);
+  EXPECT_GT(report.checks_certified, 0u);
+  EXPECT_EQ(report.checks_certified, report.certified_fresh);
+  ASSERT_FALSE(report.certificates.empty());
+}
+
+TEST(DecodeKernelTest, SpawnInvalidatesEveryDecodeCache) {
+  System system(CacheConfig(true, false));
+  RunAllocWorkload(system, 100);
+  uint64_t invalidations = system.kernel().stats().decode_invalidations;
+  EXPECT_GT(invalidations, 0u);  // the spawn's RecordEffectSummary already invalidated
+
+  // A second program entering the system retracts certificates again.
+  Assembler late = AllocLoop("decode.late", 10);
+  ProcessOptions options;
+  options.initial_arg = system.memory().global_heap();
+  ASSERT_TRUE(system.Spawn(late.Build(), options).ok());
+  EXPECT_GT(system.kernel().stats().decode_invalidations, invalidations);
+  system.Run();
+}
+
+TEST(DecodeKernelTest, ForgetProgramAnalysisDropsGuardSummariesAndClears) {
+  System system(CacheConfig(true, false));
+  RunAllocWorkload(system, 100);
+  ASSERT_FALSE(system.kernel().guard_summaries().empty());
+  ObjectIndex segment = system.kernel().guard_summaries().begin()->first;
+  uint64_t invalidations = system.kernel().stats().decode_invalidations;
+  system.kernel().ForgetProgramAnalysis(segment);
+  EXPECT_GT(system.kernel().stats().decode_invalidations, invalidations);
+  EXPECT_EQ(system.kernel().guard_summaries().count(segment), 0u);
+}
+
+TEST(DecodeKernelTest, DecodeCacheComposesWithTheXlatCache) {
+  SystemConfig config = CacheConfig(true, true);
+  config.xlat_cache = true;
+  config.interference_audit = true;
+  System system(config);
+  RunOutcome on = RunAllocWorkload(system, 150);
+
+  System off(CacheConfig(false, false));
+  RunOutcome baseline = RunAllocWorkload(off, 150);
+  EXPECT_EQ(on.now, baseline.now);
+  EXPECT_GT(system.kernel().decode_stats().hits, 0u);
+  EXPECT_GT(system.kernel().xlat_stats().hits, 0u);
+  EXPECT_EQ(system.kernel().stats().guard_violations, 0u);
+  EXPECT_EQ(system.kernel().stats().interference_violations, 0u);
+}
+
+}  // namespace
+}  // namespace imax432

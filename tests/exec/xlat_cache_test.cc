@@ -155,6 +155,105 @@ TEST_F(XlatAddressingTest, ReusedSlotNeverServesTheOldGeneration) {
   }
 }
 
+// --- Direct-mapped conflicts: aliasing indices share one slot ---------------------------
+
+class XlatConflictTest : public XlatAddressingTest {
+ protected:
+  // Allocates until an object lands on `first`'s slot (the table hands out consecutive
+  // indices, so at most kEntries allocations are needed).
+  AccessDescriptor MakeAliasingObject(const AccessDescriptor& first) {
+    for (uint32_t i = 0; i < 2 * XlatCache::kEntries; ++i) {
+      AccessDescriptor candidate = MakeObject();
+      if (candidate.index() != first.index() &&
+          (candidate.index() & (XlatCache::kEntries - 1)) ==
+              (first.index() & (XlatCache::kEntries - 1))) {
+        return candidate;
+      }
+    }
+    ADD_FAILURE() << "no aliasing index allocated";
+    return first;
+  }
+};
+
+TEST_F(XlatConflictTest, AliasingObjectsEvictEachOtherAndStayCorrect) {
+  AccessDescriptor a = MakeObject();
+  AccessDescriptor b = MakeAliasingObject(a);
+  ASSERT_TRUE(machine_.addressing().WriteData(a, 0, 8, 111).ok());
+  ASSERT_TRUE(machine_.addressing().WriteData(b, 0, 8, 222).ok());
+  // b's fill took the shared slot.
+  EXPECT_EQ(cache_.Probe(a.index()).index, b.index());
+
+  uint64_t misses = cache_.stats().misses;
+  auto read_a = machine_.addressing().ReadData(a, 0, 8);  // conflict miss: evicts b
+  ASSERT_TRUE(read_a.ok());
+  EXPECT_EQ(read_a.value(), 111u);
+  EXPECT_GT(cache_.stats().misses, misses);
+  EXPECT_EQ(cache_.Probe(b.index()).index, a.index());
+
+  auto read_b = machine_.addressing().ReadData(b, 0, 8);  // and back again
+  ASSERT_TRUE(read_b.ok());
+  EXPECT_EQ(read_b.value(), 222u);
+  EXPECT_EQ(cache_.Probe(a.index()).index, b.index());
+}
+
+TEST_F(XlatConflictTest, CertifiedEntryEvictedByAnAliasingEpochKeyedEntry) {
+  AccessDescriptor a = MakeObject();
+  AccessDescriptor b = MakeAliasingObject(a);
+  ASSERT_TRUE(machine_.addressing().WriteData(a, 0, 8, 111).ok());
+  ASSERT_TRUE(machine_.addressing().WriteData(b, 0, 8, 222).ok());
+
+  std::set<ObjectIndex> certified{a.index()};
+  cache_.SetCertifiedSet(&certified);
+  cache_.Clear();  // the kernel clears on every certified-set change; mirror that here
+
+  uint64_t certified_hits = cache_.stats().certified_hits;
+  ASSERT_TRUE(machine_.addressing().ReadData(a, 0, 8).ok());  // certified fill
+  ASSERT_TRUE(machine_.addressing().ReadData(a, 0, 8).ok());  // certified hit
+  EXPECT_TRUE(cache_.Probe(a.index()).certified);
+  EXPECT_GT(cache_.stats().certified_hits, certified_hits);
+
+  // The uncertified alias steals the slot: the certified entry is gone, not downgraded.
+  ASSERT_TRUE(machine_.addressing().ReadData(b, 0, 8).ok());
+  EXPECT_EQ(cache_.Probe(a.index()).index, b.index());
+  EXPECT_FALSE(cache_.Probe(a.index()).certified);
+
+  // The evicted object refills (compulsory miss) and re-certifies; values stay correct.
+  uint64_t misses = cache_.stats().misses;
+  auto read_a = machine_.addressing().ReadData(a, 0, 8);
+  ASSERT_TRUE(read_a.ok());
+  EXPECT_EQ(read_a.value(), 111u);
+  EXPECT_GT(cache_.stats().misses, misses);
+  EXPECT_TRUE(cache_.Probe(a.index()).certified);
+  cache_.SetCertifiedSet(nullptr);
+}
+
+TEST_F(XlatConflictTest, EpochKeyedEntryEvictedByAnAliasingCertifiedEntry) {
+  AccessDescriptor a = MakeObject();
+  AccessDescriptor b = MakeAliasingObject(a);
+  ASSERT_TRUE(machine_.addressing().WriteData(a, 0, 8, 111).ok());
+  ASSERT_TRUE(machine_.addressing().WriteData(b, 0, 8, 222).ok());
+
+  std::set<ObjectIndex> certified{b.index()};
+  cache_.SetCertifiedSet(&certified);
+  cache_.Clear();
+
+  ASSERT_TRUE(machine_.addressing().ReadData(a, 0, 8).ok());  // epoch-keyed fill
+  EXPECT_FALSE(cache_.Probe(a.index()).certified);
+
+  ASSERT_TRUE(machine_.addressing().ReadData(b, 0, 8).ok());  // certified fill evicts a
+  EXPECT_EQ(cache_.Probe(a.index()).index, b.index());
+  EXPECT_TRUE(cache_.Probe(b.index()).certified);
+
+  // Ping-pong stays correct in both directions under mixed tiers.
+  auto read_a = machine_.addressing().ReadData(a, 0, 8);
+  ASSERT_TRUE(read_a.ok());
+  EXPECT_EQ(read_a.value(), 111u);
+  auto read_b = machine_.addressing().ReadData(b, 0, 8);
+  ASSERT_TRUE(read_b.ok());
+  EXPECT_EQ(read_b.value(), 222u);
+  cache_.SetCertifiedSet(nullptr);
+}
+
 // --- Kernel integration ------------------------------------------------------------------
 
 // A self-contained workload: bumps a counter in the shared object `iters` times.

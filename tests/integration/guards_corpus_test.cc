@@ -1,0 +1,276 @@
+// Ground truth for the guard-dominance analysis: fresh-site elisions run clean under the
+// auditor, a dominated load over a writer-free shared object certifies non-fresh and serves
+// audited elided hits, a writer entering the system retracts that certificate, a forced
+// host-side mutation of a certified object's bounds is caught as a kGuardViolation, a
+// hot-patched segment retracts its analysis through the ProgramStore replace hook, and the
+// PR 5 replay contract: the trace fingerprint is bit-identical with the decode cache and
+// guard auditor armed.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/guards/auditor.h"
+#include "src/analysis/guards/guards.h"
+#include "src/arch/rights.h"
+#include "src/exec/kernel.h"
+#include "src/isa/assembler.h"
+#include "src/os/system.h"
+#include "src/sim/machine.h"
+
+namespace imax432 {
+namespace {
+
+MachineConfig SmallConfig() {
+  MachineConfig config;
+  config.memory_bytes = 1024 * 1024;
+  config.object_table_capacity = 8192;
+  return config;
+}
+
+SystemConfig CorpusConfig(bool cache, bool audit) {
+  SystemConfig config;
+  config.machine = SmallConfig();
+  config.processors = 1;
+  config.verify_on_load = true;
+  config.start_gc_daemon = false;  // the daemon's native steps would opaque the system
+  config.decode_cache = cache;
+  config.guard_audit = audit;
+  return config;
+}
+
+uint64_t FingerprintTrace(const std::vector<TraceEvent>& events) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a over every payload word
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (const TraceEvent& event : events) {
+    mix(event.ts);
+    mix(event.process);
+    mix(event.a);
+    mix(event.b);
+    mix(event.c);
+    mix(event.cpu);
+    mix(static_cast<uint64_t>(event.kind));
+  }
+  return h;
+}
+
+AccessDescriptor MakeShared(System& system, const std::string& name,
+                            uint64_t initial_value = 0) {
+  auto object = system.memory().CreateObject(system.memory().global_heap(),
+                                             SystemType::kGeneric, 64, 0,
+                                             rights::kRead | rights::kWrite);
+  EXPECT_TRUE(object.ok());
+  system.kernel().symbols().Name(object.value().index(), name);
+  EXPECT_TRUE(
+      system.machine().addressing().WriteData(object.value(), 0, 8, initial_value).ok());
+  return object.value();
+}
+
+void Spawn(System& system, Assembler& a, const AccessDescriptor& arg) {
+  ProcessOptions options;
+  options.initial_arg = arg;
+  auto process = system.Spawn(a.Build(), options);
+  ASSERT_TRUE(process.ok()) << FaultName(process.fault());
+}
+
+// Reads the shared object twice per iteration: the second load's rights + bounds are
+// dominated by the first, so it is the elidable (and, writer-free, certifiable) site.
+Assembler DominatedReadLoop(const std::string& name, uint32_t iters) {
+  Assembler a(name);
+  auto loop = a.NewLabel();
+  a.MoveAd(1, kArgAdReg)
+      .LoadImm(0, 0)
+      .LoadImm(4, iters)
+      .Bind(loop)
+      .LoadData(2, 1, 0, 8)
+      .LoadData(3, 1, 0, 8)
+      .AddImm(0, 0, 1)
+      .BranchIfLess(0, 4, loop)
+      .Halt();
+  return a;
+}
+
+Assembler WriteOnce(const std::string& name, uint64_t value) {
+  Assembler a(name);
+  a.MoveAd(1, kArgAdReg).LoadImm(2, value).StoreData(1, 2, 0, 8).Halt();
+  return a;
+}
+
+// Allocation-shaped loop: the store + load against the fresh object certify even when the
+// rest of the system is opaque.
+Assembler AllocLoop(const std::string& name, uint32_t iters) {
+  Assembler a(name);
+  auto loop = a.NewLabel();
+  a.MoveAd(1, kArgAdReg)
+      .LoadImm(0, 0)
+      .LoadImm(3, iters)
+      .LoadImm(5, 41)
+      .Bind(loop)
+      .CreateObject(4, 1, 32)
+      .StoreData(4, 5, 0, 8)
+      .LoadData(6, 4, 0, 8)
+      .DestroyObject(4)
+      .AddImm(0, 0, 1)
+      .BranchIfLess(0, 3, loop)
+      .Halt();
+  return a;
+}
+
+TEST(GuardsCorpusTest, FreshSiteElisionsRunCleanUnderTheAuditor) {
+  System system(CorpusConfig(true, true));
+  Assembler a = AllocLoop("guards.alloc", 200);
+  Spawn(system, a, system.memory().global_heap());
+  system.Run();
+  EXPECT_GE(system.kernel().stats().guard_elisions, 2u * 200u);
+  EXPECT_GT(system.kernel().guard_auditor()->stats().hits_checked, 0u);
+  EXPECT_EQ(system.kernel().guard_auditor()->stats().violations, 0u);
+  EXPECT_EQ(system.kernel().stats().guard_violations, 0u);
+}
+
+TEST(GuardsCorpusTest, WriterFreeSharedObjectCertifiesNonFreshAndServesElided) {
+  System system(CorpusConfig(true, true));
+  AccessDescriptor shared = MakeShared(system, "guards.table", 5);
+  Assembler reader = DominatedReadLoop("guards.reader", 200);
+  Spawn(system, reader, shared);
+
+  // Static claim first: the dominated load certifies without being fresh.
+  analysis::GuardAnalysisReport report = system.kernel().AnalyzeGuards();
+  EXPECT_GT(report.checks_certified, 0u);
+  EXPECT_EQ(report.certified_fresh, 0u);
+  EXPECT_EQ(report.suppressed_interference, 0u);
+
+  // Dynamic ground truth: elided executions happen and the auditor confirms every one.
+  system.Run();
+  EXPECT_GT(system.kernel().stats().guard_elisions, 0u);
+  EXPECT_GT(system.kernel().guard_auditor()->stats().hits_checked, 0u);
+  EXPECT_EQ(system.kernel().guard_auditor()->stats().violations, 0u);
+}
+
+TEST(GuardsCorpusTest, WriterEnteringTheSystemRetractsTheCertificate) {
+  System system(CorpusConfig(true, true));
+  AccessDescriptor shared = MakeShared(system, "guards.retract", 5);
+  Assembler reader = DominatedReadLoop("guards.reader", 50);
+  Spawn(system, reader, shared);
+
+  analysis::GuardAnalysisReport before = system.kernel().AnalyzeGuards();
+  ASSERT_GT(before.checks_certified, 0u);
+  uint64_t invalidations = system.kernel().stats().decode_invalidations;
+
+  // The writer's summary lands at spawn, clearing every decode cache before it executes a
+  // single instruction; the recomputed certificate set suppresses the reader's site.
+  Assembler writer = WriteOnce("guards.writer", 9);
+  Spawn(system, writer, shared);
+  EXPECT_GT(system.kernel().stats().decode_invalidations, invalidations);
+
+  analysis::GuardAnalysisReport after = system.kernel().AnalyzeGuards();
+  EXPECT_EQ(after.checks_certified, 0u);
+  EXPECT_GT(after.suppressed_interference, 0u);
+
+  system.Run();
+  EXPECT_EQ(system.kernel().stats().guard_violations, 0u);
+}
+
+TEST(GuardsCorpusTest, ForcedBoundsMutationOfACertifiedObjectTripsTheAuditor) {
+  System system(CorpusConfig(true, true));
+  AccessDescriptor shared = MakeShared(system, "guards.victim", 5);
+  system.machine().trace().Enable();
+
+  // pc 1 proves the access; the long compute leaves a window to corrupt the object behind
+  // the analysis's back before the certified, check-elided load at pc 3 executes.
+  Assembler a("guards.window");
+  a.MoveAd(1, kArgAdReg)
+      .LoadData(2, 1, 0, 8)
+      .Compute(100000)
+      .LoadData(3, 1, 0, 8)
+      .Halt();
+  Spawn(system, a, shared);
+
+  system.RunUntil(50000);  // inside the compute window
+  system.machine().table().At(shared.index()).data_length = 4;
+  system.Run();
+
+  EXPECT_GT(system.kernel().stats().guard_violations, 0u);
+  EXPECT_GT(system.kernel().guard_auditor()->stats().violations, 0u);
+  bool traced = false;
+  for (const TraceEvent& event : system.machine().trace().Snapshot()) {
+    if (event.kind == TraceEventKind::kGuardViolation) {
+      traced = true;
+      EXPECT_EQ(event.a, shared.index());
+      EXPECT_EQ(event.b,
+                static_cast<uint32_t>(analysis::GuardViolationKind::kDataBounds));
+      EXPECT_EQ(event.c, 3u);  // the elided site's pc
+    }
+  }
+  EXPECT_TRUE(traced);
+}
+
+TEST(GuardsCorpusTest, ReplaceRetractsAnalysisThroughTheStoreHook) {
+  System system(CorpusConfig(true, true));
+  Assembler a = AllocLoop("guards.patch", 400);
+  Spawn(system, a, system.memory().global_heap());
+  system.RunUntil(20000);  // mid-loop: decode entries live, elisions flowing
+
+  ASSERT_FALSE(system.kernel().guard_summaries().empty());
+  ObjectIndex segment = system.kernel().guard_summaries().begin()->first;
+  uint64_t invalidations = system.kernel().stats().decode_invalidations;
+
+  // Hot-patch the segment with identical code: content is equal, but the store must still
+  // bump both staleness keys and retract the old analysis through the replace hook.
+  AccessDescriptor segment_ad(segment, system.machine().table().At(segment).generation,
+                              rights::kRead);
+  Assembler patched = AllocLoop("guards.patch", 400);
+  uint64_t version = system.kernel().programs().version();
+  uint32_t epoch = system.machine().table().At(segment).data_epoch;
+  ASSERT_TRUE(system.kernel().programs().Replace(segment_ad, patched.Build()).ok());
+  EXPECT_GT(system.kernel().programs().version(), version);
+  EXPECT_GT(system.machine().table().At(segment).data_epoch, epoch);
+  EXPECT_GT(system.kernel().stats().decode_invalidations, invalidations);
+  EXPECT_EQ(system.kernel().guard_summaries().count(segment), 0u);
+
+  // The replacement re-summarizes lazily and the run completes clean.
+  system.Run();
+  EXPECT_EQ(system.kernel().stats().guard_violations, 0u);
+}
+
+TEST(GuardsCorpusTest, BootedSystemWithDaemonsRunsCleanUnderElision) {
+  SystemConfig config;
+  config.machine = SmallConfig();
+  config.processors = 2;
+  config.verify_on_load = true;
+  config.decode_cache = true;
+  config.guard_audit = true;
+  System system(config);  // GC daemon on: an opaque resident program in the mix
+
+  Assembler a = AllocLoop("guards.daemons", 100);
+  ProcessOptions options;
+  options.initial_arg = system.memory().global_heap();
+  ASSERT_TRUE(system.Spawn(a.Build(), options).ok());
+  system.RunUntil(200000);
+  // Fresh sites certify even with the opaque daemon resident; nothing trips the audit.
+  EXPECT_GT(system.kernel().stats().guard_elisions, 0u);
+  EXPECT_EQ(system.kernel().stats().guard_violations, 0u);
+}
+
+TEST(GuardsCorpusTest, ReplayFingerprintIsBitIdenticalWithCacheAndAuditor) {
+  auto run = [](bool cache, bool audit) {
+    System system(CorpusConfig(cache, audit));
+    system.machine().trace().Enable();
+    AccessDescriptor shared = MakeShared(system, "guards.shared", 7);
+    Assembler reader = DominatedReadLoop("guards.reader", 100);
+    Assembler alloc = AllocLoop("guards.alloc", 60);
+    Spawn(system, reader, shared);
+    Spawn(system, alloc, system.memory().global_heap());
+    system.Run();
+    return FingerprintTrace(system.machine().trace().Snapshot());
+  };
+  uint64_t off = run(false, false);
+  uint64_t on = run(true, true);
+  EXPECT_EQ(off, on);
+}
+
+}  // namespace
+}  // namespace imax432

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "src/arch/rights.h"
 #include "src/isa/assembler.h"
 #include "src/memory/basic_memory_manager.h"
@@ -112,6 +114,63 @@ TEST_F(ProgramStoreTest, VersionBumpsOnRegisterAndSuccessfulForgetOnly) {
 
   store_.Forget(ad.value().index());
   EXPECT_GT(store_.version(), v1);
+}
+
+// --- Replace: in-place hot-patching (the decode-cache staleness baseline) ----------------
+
+TEST_F(ProgramStoreTest, ReplaceSwapsContentAndBumpsBothStalenessKeys) {
+  auto ad = store_.Register(MakeProgram("patch.old"));
+  ASSERT_TRUE(ad.ok());
+  uint64_t version = store_.version();
+  uint32_t epoch = machine_.table().At(ad.value().index()).data_epoch;
+
+  ASSERT_TRUE(store_.Replace(ad.value(), MakeProgram("patch.new")).ok());
+
+  // A Fetch after the in-place mutation sees the new code...
+  auto fetched = store_.Fetch(ad.value());
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(fetched.value()->name(), "patch.new");
+  // ...and BOTH cache invalidation keys moved: the store version (xlat program payloads
+  // and decode entries key on it) and the descriptor's data_epoch (the per-object content
+  // witness). Missing either would let a cached translation serve the old code.
+  EXPECT_GT(store_.version(), version);
+  EXPECT_GT(machine_.table().At(ad.value().index()).data_epoch, epoch);
+}
+
+TEST_F(ProgramStoreTest, ReplaceRejectsANonSegmentObject) {
+  auto object = memory_.CreateObject(memory_.global_heap(), SystemType::kGeneric, 64, 0,
+                                     rights::kRead | rights::kWrite);
+  ASSERT_TRUE(object.ok());
+  EXPECT_EQ(store_.Replace(object.value(), MakeProgram("patch.reject")).fault(),
+            Fault::kTypeMismatch);
+}
+
+TEST_F(ProgramStoreTest, ReplaceFaultsOnAForgottenSegmentWithoutBumpingKeys) {
+  auto ad = store_.Register(MakeProgram("patch.forgotten"));
+  ASSERT_TRUE(ad.ok());
+  store_.Forget(ad.value().index());
+  uint64_t version = store_.version();
+  uint32_t epoch = machine_.table().At(ad.value().index()).data_epoch;
+  EXPECT_EQ(store_.Replace(ad.value(), MakeProgram("patch.late")).fault(),
+            Fault::kNotFound);
+  EXPECT_EQ(store_.version(), version);
+  EXPECT_EQ(machine_.table().At(ad.value().index()).data_epoch, epoch);
+}
+
+TEST_F(ProgramStoreTest, ReplaceFiresTheHookButRegisterAndForgetDoNot) {
+  std::vector<ObjectIndex> retracted;
+  store_.SetReplaceHook([&retracted](ObjectIndex index) { retracted.push_back(index); });
+
+  auto ad = store_.Register(MakeProgram("patch.hooked"));
+  ASSERT_TRUE(ad.ok());
+  EXPECT_TRUE(retracted.empty());
+
+  ASSERT_TRUE(store_.Replace(ad.value(), MakeProgram("patch.hooked2")).ok());
+  ASSERT_EQ(retracted.size(), 1u);
+  EXPECT_EQ(retracted[0], ad.value().index());
+
+  store_.Forget(ad.value().index());
+  EXPECT_EQ(retracted.size(), 1u);
 }
 
 TEST_F(ProgramStoreTest, FindReturnsTheRawProgramWithoutResolution) {

@@ -14,6 +14,7 @@
 
 #include "src/analysis/deadlock.h"
 #include "src/analysis/effects.h"
+#include "src/analysis/guards/guards.h"
 #include "src/analysis/interference/interference.h"
 #include "src/analysis/lifetime/lifetime.h"
 #include "src/analysis/races/races.h"
@@ -30,7 +31,7 @@ namespace {
 
 constexpr char kUsage[] =
     "usage: imax_lint [--dump] [--demo-bad] [--deadlock] [--races] [--lifetime]\n"
-    "                 [--interference] [--all] [--help]\n"
+    "                 [--interference] [--guards] [--all] [--json] [--help]\n"
     "\n"
     "Boots a representative iMAX-432 system with verify-on-load armed and sweeps every\n"
     "loaded program through the static capability verifier.\n"
@@ -55,8 +56,19 @@ constexpr char kUsage[] =
     "              pair, immutable-after-publication, mutation-after-certification) must\n"
     "              produce the ground-truth verdicts and certificates, and a live\n"
     "              xlat-cache+audit quickstart must serve certified hits violation-free\n"
+    "  --guards    additionally run the guard-dominance analysis: the booted system's\n"
+    "              suppression accounting must balance, a seeded corpus (dominated read,\n"
+    "              contended object, opaque program, fresh allocation) must produce the\n"
+    "              ground-truth certificates and retractions, and a live decode-cache+audit\n"
+    "              quickstart must execute check-elided with zero guard violations\n"
     "  --all       run every analysis pass above (equivalent to --demo-bad --deadlock\n"
-    "              --races --lifetime --interference); tools/lint.sh and CI use this\n"
+    "              --races --lifetime --interference --guards); tools/lint.sh and CI use\n"
+    "              this\n"
+    "  --json      append a machine-readable findings document as the LAST line of stdout:\n"
+    "              one JSON object {\"findings\":[...],\"exit\":N} where each finding carries\n"
+    "              pass (which analysis produced it), site (program/object/pc anchor),\n"
+    "              verdict, and reason (suppression cause or diagnostic text; empty when\n"
+    "              none). Human output above it is unchanged; CI extracts with `tail -1`\n"
     "  --help      print this text and exit 0\n"
     "\n"
     "exit status (flags combine; the worst outcome across all requested checks wins):\n"
@@ -65,7 +77,60 @@ constexpr char kUsage[] =
     "  1  infrastructure failure (boot/setup error, bad usage) — reported only when no\n"
     "     check that did run produced a finding\n"
     "  2  diagnostics found: a verifier error, a missed seeded defect, or a whole-system\n"
-    "     false positive/negative; takes precedence over 1. CI gates on this value\n";
+    "     false positive/negative; takes precedence over 1. CI gates on this value\n"
+    "     (--json mirrors the same value in the document's \"exit\" field)\n";
+
+// --- --json: machine-readable findings ---------------------------------------------------
+//
+// Every pass appends findings here when --json is armed; main() prints the whole document as
+// the last line of stdout so CI can extract it with `tail -1` without parsing the prose.
+struct JsonFinding {
+  std::string pass;     // which analysis produced it (verifier, demo-bad, guards, ...)
+  std::string site;     // program / object / pc anchor
+  std::string verdict;  // clean / rejected / elidable / suppressed / findings / ...
+  std::string reason;   // suppression cause or diagnostic text; empty when none
+};
+std::vector<JsonFinding>* g_json_findings = nullptr;
+
+void AddFinding(std::string pass, std::string site, std::string verdict,
+                std::string reason = "") {
+  if (g_json_findings == nullptr) return;
+  g_json_findings->push_back(
+      {std::move(pass), std::move(site), std::move(verdict), std::move(reason)});
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned char>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void EmitJson(const std::vector<JsonFinding>& findings, int exit_code) {
+  std::printf("{\"findings\":[");
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const JsonFinding& f = findings[i];
+    std::printf("%s{\"pass\":\"%s\",\"site\":\"%s\",\"verdict\":\"%s\",\"reason\":\"%s\"}",
+                i == 0 ? "" : ",", JsonEscape(f.pass).c_str(), JsonEscape(f.site).c_str(),
+                JsonEscape(f.verdict).c_str(), JsonEscape(f.reason).c_str());
+  }
+  std::printf("],\"exit\":%d}\n", exit_code);
+}
 
 struct BadProgram {
   const char* why;
@@ -883,6 +948,223 @@ int RunInterferenceChecks(System& system, bool dump) {
   return failures;
 }
 
+// Runs the guard-dominance analysis three ways: the booted system's Phase 1 suppression
+// accounting must balance exactly (every check bit is elidable or counted to one cause) and
+// Phase 2 must never certify more than Phase 1 proved; a seeded corpus (dominated read over
+// a writer-free object, a writer retracting that certificate, an opaque program suppressing
+// every non-fresh site, fresh allocations surviving both) must produce the ground-truth
+// verdicts; and a live decode-cache+guard-audit quickstart must execute check-elided with
+// zero violations. Returns the number of failed expectations; -1 on setup failure.
+int RunGuardChecks(System& system, bool dump) {
+  int failures = 0;
+
+  std::printf("\n==== whole-system guard-dominance analysis (booted system) ====\n");
+  analysis::GuardAnalysisReport live = system.kernel().AnalyzeGuards();
+  std::printf("imax_lint: %u programs, %u sites, %u checks: %u elidable, %u certified "
+              "(%u fresh)\n",
+              live.programs_analyzed, live.sites_seen, live.checks_seen,
+              live.checks_elidable, live.checks_certified, live.certified_fresh);
+  if (dump) {
+    std::fputs(analysis::FormatGuardReport(live, system.kernel().guard_summaries()).c_str(),
+               stdout);
+  }
+  const analysis::GuardCounters& c = live.phase1;
+  if (c.checks_seen != c.checks_elidable + c.suppressed_opaque + c.suppressed_dynamic +
+                           c.suppressed_unproven + c.suppressed_level) {
+    std::printf("^^^^ BROKEN ACCOUNTING — every check bit must be elidable or counted to "
+                "exactly one suppression cause\n");
+    ++failures;
+  }
+  if (live.checks_certified > live.checks_elidable) {
+    std::printf("^^^^ OVER-CERTIFICATION — Phase 2 certified more checks than Phase 1 "
+                "proved dominated\n");
+    ++failures;
+  }
+  for (const auto& [segment, summary] : system.kernel().guard_summaries()) {
+    (void)segment;
+    for (const analysis::GuardSite& site : summary.sites) {
+      AddFinding("guards", summary.program_name + ":" + std::to_string(site.pc),
+                 site.elidable != 0 ? "elidable" : "suppressed",
+                 site.suppression == analysis::GuardSuppression::kNone
+                     ? ""
+                     : analysis::GuardSuppressionName(site.suppression));
+    }
+  }
+
+  std::printf("\n==== seeded guard corpus (ground-truth certificates & retractions) ====\n");
+  SymbolTable& symbols = system.kernel().symbols();
+  auto table = system.memory().CreateObject(system.memory().global_heap(),
+                                            SystemType::kGeneric, 16, 0,
+                                            rights::kRead | rights::kWrite);
+  if (!table.ok()) {
+    std::fprintf(stderr, "imax_lint: guard corpus object creation failed\n");
+    return -1;
+  }
+  symbols.Name(table.value().index(), "guards.table");
+
+  // carrier slot 0 = the target (the shared table, or the global heap SRO for the fresh
+  // allocator). Programs are analyzed standalone against real objects, like every other
+  // seeded corpus, so AD chains resolve exactly as at load time.
+  analysis::SystemEffectGraph graph;
+  graph.set_symbols(&symbols);
+  std::map<ObjectIndex, analysis::GuardSummary> guards;
+  std::map<ObjectIndex, analysis::InterferenceSummary> interference;
+  ObjectIndex next_key = 1;
+  bool carriers_ok = true;
+  auto add_program = [&](const Program& program, const AccessDescriptor& target) {
+    ObjectIndex key = next_key++;
+    auto carrier = system.memory().CreateObject(system.memory().global_heap(),
+                                                SystemType::kGeneric, 16, 1,
+                                                rights::kRead | rights::kWrite);
+    if (!carrier.ok()) {
+      carriers_ok = false;
+      return key;
+    }
+    (void)system.machine().addressing().WriteAd(carrier.value(), 0, target);
+    analysis::EffectOptions options = analysis::EffectOptionsForTable(
+        system.machine().table(), carrier.value(), &symbols);
+    if (dump) std::fputs(Disassemble(program).c_str(), stdout);
+    graph.AddProgram(key, analysis::EffectAnalyzer::Analyze(program, options));
+    guards[key] = analysis::GuardAnalyzer::Analyze(program, options);
+    interference[key] = analysis::InterferenceAnalyzer::Analyze(program, options);
+    return key;
+  };
+
+  // Dominated reader: the second load's rights + bounds are proven by the first — the
+  // elidable, non-fresh site. Fresh allocator: store + load against a same-block
+  // create_object. Writer and opaque native program join in later stages.
+  Assembler reader("guards.reader");
+  reader.MoveAd(1, kArgAdReg).LoadAd(2, 1, 0).LoadData(0, 2, 0, 8).LoadData(3, 2, 0, 8)
+      .Halt();
+  Assembler fresh("guards.fresh");
+  fresh.MoveAd(1, kArgAdReg).LoadAd(2, 1, 0).LoadImm(5, 41).CreateObject(3, 2, 32)
+      .StoreData(3, 5, 0, 8).LoadData(4, 3, 0, 8).Halt();
+  ObjectIndex reader_key = add_program(*reader.Build(), table.value());
+  (void)add_program(*fresh.Build(), system.memory().global_heap());
+  if (!carriers_ok) {
+    std::fprintf(stderr, "imax_lint: guard corpus carrier creation failed\n");
+    return -1;
+  }
+
+  analysis::GuardAnalysisReport stage1 = analysis::AnalyzeGuards(graph, guards, interference);
+  if (dump) std::fputs(analysis::FormatGuardReport(stage1, guards).c_str(), stdout);
+  bool reader_certified = false;
+  for (const analysis::ElisionCertificate& cert : stage1.certificates) {
+    if (cert.segment != reader_key) continue;
+    for (const analysis::ElidedCheck& check : cert.checks) {
+      if (!check.fresh) reader_certified = true;
+    }
+  }
+  if (!reader_certified || stage1.certified_fresh == 0 ||
+      stage1.suppressed_interference != 0) {
+    std::printf("^^^^ MISSED CERTIFICATE — the dominated writer-free read and the fresh "
+                "sites must both certify\n");
+    ++failures;
+  }
+  AddFinding("guards", "corpus:dominated-read",
+             reader_certified ? "certified" : "missed-certificate");
+  AddFinding("guards", "corpus:fresh-alloc",
+             stage1.certified_fresh > 0 ? "certified" : "missed-certificate");
+
+  // A writer joining the graph must retract the reader's certificate (fresh sites survive:
+  // an unpublished object has no foreign writers by construction).
+  Assembler writer("guards.writer");
+  writer.MoveAd(1, kArgAdReg).LoadAd(2, 1, 0).StoreData(2, 0, 0, 8).Halt();
+  (void)add_program(*writer.Build(), table.value());
+  analysis::GuardAnalysisReport stage2 = analysis::AnalyzeGuards(graph, guards, interference);
+  if (stage2.checks_certified != stage2.certified_fresh ||
+      stage2.suppressed_interference == 0 || stage2.certified_fresh == 0) {
+    std::printf("^^^^ STALE CERTIFICATE — a writer on guards.table must suppress the "
+                "non-fresh site and spare the fresh ones\n");
+    ++failures;
+  }
+  AddFinding("guards", "corpus:writer-retraction",
+             stage2.checks_certified == stage2.certified_fresh &&
+                     stage2.suppressed_interference > 0
+                 ? "retracted"
+                 : "stale-certificate",
+             "foreign writer on guards.table");
+
+  // An opaque program makes the whole system unknowable for non-fresh sites; fresh sites
+  // still certify.
+  Assembler opaque("guards.opaque");
+  opaque.Native([](ExecutionContext&) -> Result<NativeResult> { return NativeResult{}; })
+      .Halt();
+  (void)add_program(*opaque.Build(), table.value());
+  analysis::GuardAnalysisReport stage3 = analysis::AnalyzeGuards(graph, guards, interference);
+  if (stage3.checks_certified != stage3.certified_fresh || stage3.certified_fresh == 0 ||
+      stage3.suppressed_system_opaque + stage3.suppressed_interference == 0) {
+    std::printf("^^^^ OPACITY LEAK — an opaque program must suppress every non-fresh "
+                "elision system-wide\n");
+    ++failures;
+  }
+  AddFinding("guards", "corpus:opaque-program",
+             stage3.checks_certified == stage3.certified_fresh ? "suppressed"
+                                                               : "opacity-leak");
+  std::printf("\nimax_lint: guard corpus: %u certified (%u fresh) -> writer: %u (%u) -> "
+              "opaque: %u (%u); %d failures\n",
+              stage1.checks_certified, stage1.certified_fresh, stage2.checks_certified,
+              stage2.certified_fresh, stage3.checks_certified, stage3.certified_fresh,
+              failures);
+
+  // --- Live quickstart: armed decode cache + guard auditor, end to end. -----------------
+  std::printf("\n==== decode-cache quickstart (decode_cache + guard_audit) ====\n");
+  SystemConfig config;
+  config.processors = 1;
+  config.verify_on_load = true;
+  config.start_gc_daemon = false;  // the daemon's native steps opaque the system
+  config.decode_cache = true;
+  config.guard_audit = true;
+  System demo(config);
+  Assembler hot("quickstart.alloc");
+  auto loop = hot.NewLabel();
+  hot.MoveAd(1, kArgAdReg)
+      .LoadImm(0, 0)
+      .LoadImm(3, 256)
+      .LoadImm(5, 41)
+      .Bind(loop)
+      .CreateObject(4, 1, 32)
+      .StoreData(4, 5, 0, 8)
+      .LoadData(6, 4, 0, 8)
+      .DestroyObject(4)
+      .AddImm(0, 0, 1)
+      .BranchIfLess(0, 3, loop)
+      .Halt();
+  ProcessOptions options;
+  options.initial_arg = demo.memory().global_heap();
+  auto process = demo.Spawn(hot.Build(), options);
+  if (!process.ok()) {
+    std::fprintf(stderr, "imax_lint: quickstart spawn failed\n");
+    return failures > 0 ? failures : -1;
+  }
+  demo.Run();
+  DecodeCacheStats dstats = demo.kernel().decode_stats();
+  const analysis::GuardAuditorStats& audit = demo.kernel().guard_auditor()->stats();
+  std::printf("imax_lint: %llu decode hits, %llu misses, %llu check-elided executions, "
+              "%llu audited, %llu violations\n",
+              static_cast<unsigned long long>(dstats.hits),
+              static_cast<unsigned long long>(dstats.misses),
+              static_cast<unsigned long long>(demo.kernel().stats().guard_elisions),
+              static_cast<unsigned long long>(audit.hits_checked),
+              static_cast<unsigned long long>(audit.violations));
+  if (dstats.hits == 0 || demo.kernel().stats().guard_elisions == 0 ||
+      audit.hits_checked == 0) {
+    std::printf("^^^^ COLD CACHE — the hot allocation loop must execute check-elided "
+                "decode hits under audit\n");
+    ++failures;
+  }
+  if (audit.violations != 0 || demo.kernel().stats().guard_violations != 0) {
+    std::printf("^^^^ AUDIT VIOLATION — a certified elision skipped a check that would "
+                "have failed\n");
+    failures += static_cast<int>(audit.violations);
+  }
+  AddFinding("guards", "quickstart.alloc",
+             audit.violations == 0 && demo.kernel().stats().guard_elisions > 0
+                 ? "clean"
+                 : "violation");
+  return failures;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -892,6 +1174,8 @@ int main(int argc, char** argv) {
   bool races = false;
   bool lifetime = false;
   bool interference = false;
+  bool guards = false;
+  bool json = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--dump") == 0) {
       dump = true;
@@ -905,8 +1189,12 @@ int main(int argc, char** argv) {
       lifetime = true;
     } else if (std::strcmp(argv[i], "--interference") == 0) {
       interference = true;
+    } else if (std::strcmp(argv[i], "--guards") == 0) {
+      guards = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
     } else if (std::strcmp(argv[i], "--all") == 0) {
-      demo_bad = deadlock = races = lifetime = interference = true;
+      demo_bad = deadlock = races = lifetime = interference = guards = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::fputs(kUsage, stdout);
       return 0;
@@ -915,6 +1203,8 @@ int main(int argc, char** argv) {
       return 1;  // bad usage is an infrastructure failure, not a lint finding
     }
   }
+  std::vector<JsonFinding> json_findings;
+  if (json) g_json_findings = &json_findings;
 
   // Boot the representative configuration with verify-on-load armed, so every program below
   // passes through the verifier twice: once inside the kernel, once in the sweep.
@@ -993,7 +1283,11 @@ int main(int argc, char** argv) {
   int programs = 0;
   system.kernel().programs().ForEach([&](ObjectIndex, const Program& program) {
     ++programs;
-    errors += LintProgram(program, analysis::VerifyOptions{}, dump);
+    int program_errors = LintProgram(program, analysis::VerifyOptions{}, dump);
+    errors += program_errors;
+    AddFinding("verifier", program.name(), program_errors == 0 ? "clean" : "rejected",
+               program_errors == 0 ? ""
+                                   : std::to_string(program_errors) + " verifier error(s)");
   });
   std::printf("\nimax_lint: %d programs, %d errors (kernel verified %llu, rejected %llu)\n",
               programs, errors,
@@ -1005,10 +1299,13 @@ int main(int argc, char** argv) {
     std::printf("\n==== seeded-bad corpus (every program below must be rejected) ====\n");
     for (const BadProgram& bad : BuildBadCorpus()) {
       std::printf("# %s\n", bad.why);
-      if (LintProgram(*bad.program, bad.options, dump) == 0) {
+      int bad_errors = LintProgram(*bad.program, bad.options, dump);
+      if (bad_errors == 0) {
         std::printf("^^^^ NOT REJECTED — verifier rule gap\n");
         ++missed;
       }
+      AddFinding("demo-bad", bad.program->name(),
+                 bad_errors > 0 ? "rejected-as-expected" : "missed-defect", bad.why);
     }
     std::printf("\nimax_lint: %d of %zu bad programs slipped through\n", missed,
                 BuildBadCorpus().size());
@@ -1018,47 +1315,47 @@ int main(int argc, char** argv) {
   // was requested, then let findings (exit 2) take precedence over infrastructure trouble
   // (exit 1).
   bool infrastructure_failed = false;
-  int deadlock_failures = 0;
+  // Clamps a pass result (< 0 = setup failure) and records the pass-level JSON finding.
+  auto run_pass = [&](const char* name, int result) {
+    if (result < 0) {
+      infrastructure_failed = true;
+      AddFinding(name, "whole-system", "setup-failed");
+      return 0;
+    }
+    AddFinding(name, "whole-system", result == 0 ? "clean" : "findings",
+               result == 0 ? "" : std::to_string(result) + " failed expectation(s)");
+    return result;
+  };
   if (deadlock || races) {
     // Give the quickstart pair's port a name first, so any diagnostic that did involve it
     // would read well.
     system.kernel().symbols().Name(port.value().index(), "example.queue");
   }
+  int deadlock_failures = 0;
   if (deadlock) {
-    deadlock_failures = RunDeadlockChecks(system, dump);
-    if (deadlock_failures < 0) {
-      infrastructure_failed = true;
-      deadlock_failures = 0;
-    }
+    deadlock_failures = run_pass("deadlock", RunDeadlockChecks(system, dump));
   }
   int race_failures = 0;
   if (races) {
-    race_failures = RunRaceChecks(system, dump);
-    if (race_failures < 0) {
-      infrastructure_failed = true;
-      race_failures = 0;
-    }
+    race_failures = run_pass("races", RunRaceChecks(system, dump));
   }
   int lifetime_failures = 0;
   if (lifetime) {
-    lifetime_failures = RunLifetimeChecks(system, dump);
-    if (lifetime_failures < 0) {
-      infrastructure_failed = true;
-      lifetime_failures = 0;
-    }
+    lifetime_failures = run_pass("lifetime", RunLifetimeChecks(system, dump));
   }
   int interference_failures = 0;
   if (interference) {
-    interference_failures = RunInterferenceChecks(system, dump);
-    if (interference_failures < 0) {
-      infrastructure_failed = true;
-      interference_failures = 0;
-    }
+    interference_failures = run_pass("interference", RunInterferenceChecks(system, dump));
+  }
+  int guard_failures = 0;
+  if (guards) {
+    guard_failures = run_pass("guards", RunGuardChecks(system, dump));
   }
 
   const int findings = errors + missed + deadlock_failures + race_failures +
-                       lifetime_failures + interference_failures;
+                       lifetime_failures + interference_failures + guard_failures;
   const int exit_code = findings > 0 ? 2 : (infrastructure_failed ? 1 : 0);
   std::printf("\nLINT EXIT: %d\n", exit_code);
+  if (json) EmitJson(json_findings, exit_code);
   return exit_code;
 }
