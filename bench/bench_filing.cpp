@@ -1,0 +1,173 @@
+// E19 — Crash-consistent filing: journal-append overhead, recovery cost vs journal length,
+// checkpoint compaction wins.
+//
+// The filing store is write-ahead journaled to a simulated stable device (fixed access
+// latency + per-byte streaming cost, like the swap device). This experiment prices the
+// durability mechanics in the same virtual-time terms as the rest of the suite:
+//   - append overhead: virtual cycles the stable-device syncs add per filed mutation,
+//     journaled vs plain (a plain store finishes at cycle 0 — filing itself is free)
+//   - recovery vs journal length: bytes read and transactions replayed by a cold boot as
+//     the un-checkpointed log grows, with the modeled media-transfer cost of the read
+//   - checkpoint compaction: durable log size and boot-replay work for the same mutation
+//     stream under never / coarse / fine automatic checkpoint intervals
+
+#include "bench/bench_util.h"
+
+#include "src/filing/object_store.h"
+#include "src/filing/stable_store.h"
+#include "src/memory/basic_memory_manager.h"
+
+namespace imax432 {
+namespace {
+
+using bench::ToUs;
+
+// A minimal filing host: machine + memory + kernel + types + store, no processes. The
+// journal's syncs are the only event-queue activity, so machine.now() after RunUntilIdle
+// is exactly the virtual time durability cost.
+struct FilingHost {
+  Machine machine;
+  BasicMemoryManager memory;
+  Kernel kernel;
+  TypeManagerFacility types;
+  ObjectStore store;
+
+  static MachineConfig MakeConfig() {
+    MachineConfig config;
+    config.memory_bytes = 2 * 1024 * 1024;
+    config.object_table_capacity = 8192;
+    return config;
+  }
+
+  FilingHost()
+      : machine(MakeConfig()),
+        memory(&machine),
+        kernel(&machine, &memory),
+        types(&kernel),
+        store(&kernel, &types) {}
+
+  // Files `count` fresh 128-byte images under rotating names (so Remove/refile churn the
+  // same namespace the campaign uses).
+  void FileImages(int count) {
+    for (int i = 0; i < count; ++i) {
+      auto object = memory.CreateObject(memory.global_heap(), SystemType::kGeneric, 128, 0,
+                                        rights::kRead | rights::kWrite | rights::kDelete);
+      IMAX_CHECK(object.ok());
+      IMAX_CHECK(machine.addressing()
+                     .WriteData(object.value(), 0, 8, static_cast<uint64_t>(i))
+                     .ok());
+      IMAX_CHECK(store.File("img-" + std::to_string(i % 32), object.value()).ok());
+      IMAX_CHECK(memory.DestroyObject(object.value()).ok());
+    }
+  }
+};
+
+// Journal-append overhead: the same mutation stream against a plain store and a journaled
+// one. The delta is pure durability cost — append bytes plus the async sync transfers.
+void BM_JournalAppendOverhead(benchmark::State& state) {
+  const int mutations = static_cast<int>(state.range(0));
+  Cycles journaled_time = 0;
+  uint64_t bytes_appended = 0;
+  uint64_t syncs = 0;
+  Cycles plain_time = 0;
+  for (auto _ : state) {
+    {
+      FilingHost plain;
+      plain.FileImages(mutations);
+      plain.machine.events().RunUntilIdle();
+      plain_time = plain.machine.now();
+    }
+    StableStore device;
+    FilingHost host;
+    Journal journal(&device, &host.machine);
+    host.store.AttachJournal(&journal, /*checkpoint_interval=*/0);
+    host.FileImages(mutations);
+    host.machine.events().RunUntilIdle();
+    journaled_time = host.machine.now();
+    bytes_appended = journal.stats().bytes_appended;
+    syncs = journal.stats().syncs;
+  }
+  state.counters["mutations"] = mutations;
+  state.counters["plain_us"] = ToUs(plain_time);
+  state.counters["journaled_us"] = ToUs(journaled_time);
+  state.counters["overhead_us_per_mutation"] =
+      mutations > 0 ? (ToUs(journaled_time) - ToUs(plain_time)) / mutations : 0;
+  state.counters["bytes_appended"] = static_cast<double>(bytes_appended);
+  state.counters["syncs"] = static_cast<double>(syncs);
+}
+BENCHMARK(BM_JournalAppendOverhead)->Arg(16)->Arg(64)->Arg(256)->Iterations(1);
+
+// Recovery cost vs journal length: a cold boot replays the whole un-checkpointed log. The
+// replay itself is host-side bookkeeping; its virtual cost is the modeled media read of the
+// log, which grows linearly with the un-compacted history.
+void BM_RecoveryVsJournalLength(benchmark::State& state) {
+  const int mutations = static_cast<int>(state.range(0));
+  uint64_t log_bytes = 0;
+  uint64_t replayed = 0;
+  uint64_t recovered_images = 0;
+  for (auto _ : state) {
+    StableStore device;
+    {
+      FilingHost writer;
+      Journal journal(&device, &writer.machine);
+      writer.store.AttachJournal(&journal, /*checkpoint_interval=*/0);  // never compact
+      writer.FileImages(mutations);
+      writer.machine.events().RunUntilIdle();
+    }
+    log_bytes = device.durable_size() + device.tail_size();
+
+    FilingHost reader;
+    Journal journal(&device, &reader.machine);
+    reader.store.AttachJournal(&journal, /*checkpoint_interval=*/0);
+    IMAX_CHECK(reader.store.Recover().ok());
+    replayed = journal.stats().replayed_transactions;
+    recovered_images = reader.store.stats().recovered_images;
+  }
+  state.counters["mutations"] = mutations;
+  state.counters["log_bytes"] = static_cast<double>(log_bytes);
+  state.counters["replayed_transactions"] = static_cast<double>(replayed);
+  state.counters["recovered_images"] = static_cast<double>(recovered_images);
+  state.counters["modeled_read_us"] =
+      ToUs(StableStore::TransferCost(static_cast<uint32_t>(log_bytes)));
+}
+BENCHMARK(BM_RecoveryVsJournalLength)->Arg(32)->Arg(128)->Arg(512)->Iterations(1);
+
+// Checkpoint compaction: the same 256-mutation stream under different automatic checkpoint
+// intervals. Fine-grained checkpoints keep the durable log near one snapshot long, so a
+// cold boot replays a handful of records instead of the whole history.
+void BM_CheckpointCompaction(benchmark::State& state) {
+  const uint32_t interval = static_cast<uint32_t>(state.range(0));  // 0 = never
+  constexpr int kMutations = 256;
+  uint64_t log_bytes = 0;
+  uint64_t checkpoints = 0;
+  uint64_t boot_replayed_records = 0;
+  for (auto _ : state) {
+    StableStore device;
+    {
+      FilingHost writer;
+      Journal journal(&device, &writer.machine);
+      writer.store.AttachJournal(&journal, interval);
+      writer.FileImages(kMutations);
+      writer.machine.events().RunUntilIdle();
+      checkpoints = journal.stats().checkpoints;
+    }
+    log_bytes = device.durable_size() + device.tail_size();
+
+    FilingHost reader;
+    Journal journal(&device, &reader.machine);
+    reader.store.AttachJournal(&journal, interval);
+    IMAX_CHECK(reader.store.Recover().ok());
+    boot_replayed_records = journal.stats().replayed_records;
+  }
+  state.counters["checkpoint_interval"] = interval;
+  state.counters["mutations"] = kMutations;
+  state.counters["log_bytes"] = static_cast<double>(log_bytes);
+  state.counters["checkpoints_written"] = static_cast<double>(checkpoints);
+  state.counters["boot_replayed_records"] = static_cast<double>(boot_replayed_records);
+}
+BENCHMARK(BM_CheckpointCompaction)->Arg(0)->Arg(64)->Arg(16)->Iterations(1);
+
+}  // namespace
+}  // namespace imax432
+
+IMAX_BENCH_MAIN()

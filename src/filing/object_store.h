@@ -1,4 +1,4 @@
-// ObjectStore: a minimal object filing system preserving hardware type identity.
+// ObjectStore: a crash-consistent object filing system preserving hardware type identity.
 //
 // Full object filing is the subject of the companion paper; what *this* paper claims of it
 // is one property, which this module reproduces: "No matter what path a system object
@@ -16,6 +16,13 @@
 // dangle across the store's lifetime). Filing an object with non-null access slots is
 // rejected, mirroring the real system's requirement that filed composites be transitively
 // passivated.
+//
+// With a Journal attached (src/filing/journal.h), the store is write-ahead logged: every
+// mutation (File / FileComposite / Remove) first commits a checksummed record to the
+// stable device, then applies in memory, and periodically checkpoints the whole store so
+// the log compacts. Recover() rebuilds the store from the journal after a crash — the §7.2
+// type-identity guarantee then holds *across restarts*, because recovered typed images
+// still resurrect only through their matching TDO.
 
 #ifndef IMAX432_SRC_FILING_OBJECT_STORE_H_
 #define IMAX432_SRC_FILING_OBJECT_STORE_H_
@@ -27,6 +34,8 @@
 #include <vector>
 
 #include "src/exec/kernel.h"
+#include "src/filing/journal.h"
+#include "src/obs/trace.h"
 #include "src/os/type_manager.h"
 
 namespace imax432 {
@@ -34,7 +43,14 @@ namespace imax432 {
 struct FilingStats {
   uint64_t filed = 0;
   uint64_t retrieved = 0;
+  uint64_t removed = 0;
   uint64_t type_checks_failed = 0;
+  uint64_t journaled_mutations = 0;   // mutations that reached the stable log
+  uint64_t journal_rejections = 0;    // mutations refused because the log append failed
+  uint64_t recoveries = 0;            // Recover() calls completed
+  uint64_t recovered_images = 0;      // plain images restored by journal replay
+  uint64_t recovered_composites = 0;  // composites restored by journal replay
+  uint64_t retrieve_cleanups = 0;     // partial graphs destroyed after a failed retrieval
 };
 
 class ObjectStore {
@@ -44,6 +60,27 @@ class ObjectStore {
   using TdoResolver = std::function<AccessDescriptor(uint32_t type_id)>;
 
   ObjectStore(Kernel* kernel, TypeManagerFacility* types) : kernel_(kernel), types_(types) {}
+
+  // Write-ahead journaling. Once attached, every mutation must reach the journal before it
+  // applies; a mutation whose append fails (device error after retries) is rejected whole.
+  // `checkpoint_interval` = journaled mutations between automatic compactions (0 disables
+  // automatic checkpoints; Checkpoint() can still be called manually).
+  void AttachJournal(Journal* journal, uint32_t checkpoint_interval = 64) {
+    journal_ = journal;
+    checkpoint_interval_ = checkpoint_interval;
+    mutations_since_checkpoint_ = 0;
+  }
+  Journal* journal() const { return journal_; }
+
+  // Rebuilds the store from the attached journal (crash recovery): committed transactions
+  // re-applied in order, torn tails truncated, corrupt records and unsealed transactions
+  // rolled back — then compacts the log to one checkpoint so recovered state is durable
+  // again. Best-effort: an unreadable device yields an empty store and kDeviceError, but
+  // recovery itself never panics.
+  Status Recover();
+
+  // Compacts the journal to a single checkpoint record snapshotting the live store.
+  Status Checkpoint();
 
   // Files the object under `name`. Requires read rights. The object's user type id (or 0
   // for plain objects) is recorded with the image.
@@ -67,6 +104,8 @@ class ObjectStore {
   // Re-creates a filed graph in `sro`: one fresh object per image node, edges rebuilt with
   // checked stores. Typed nodes are resurrected through the TDO supplied by `resolver`
   // (type identity restored and enforced); pass nullptr if the graph is untyped.
+  // Failure atomicity: if any node fails to materialize or link, every object already
+  // created for the graph is destroyed — no partial graph is left behind.
   Result<AccessDescriptor> RetrieveComposite(const std::string& name,
                                              const AccessDescriptor& sro,
                                              const TdoResolver& resolver = nullptr);
@@ -74,12 +113,22 @@ class ObjectStore {
   // Number of nodes in a filed composite (kNotFound if the name is a plain image).
   Result<uint32_t> CompositeSize(const std::string& name) const;
 
-  // Store maintenance.
-  bool Contains(const std::string& name) const { return images_.count(name) != 0; }
+  // Store maintenance. A name names either a plain image or a composite, never both, so
+  // these treat the two maps as one namespace.
+  bool Contains(const std::string& name) const {
+    return images_.count(name) != 0 || composites_.count(name) != 0;
+  }
   Status Remove(const std::string& name);
+  // Type id of a filed name: the image's type for plain images, the root node's type for
+  // composites (0 = untyped either way).
   Result<uint32_t> FiledTypeId(const std::string& name) const;
-  size_t size() const { return images_.size(); }
+  size_t size() const { return images_.size() + composites_.size(); }
   const FilingStats& stats() const { return stats_; }
+
+  // Deterministic digest (FNV-1a/64 over the canonical snapshot encoding) of the live
+  // store contents. The crash-restart driver's recovery oracle: after a reboot the digest
+  // must match the digest some valid mutation prefix of the previous incarnation produced.
+  uint64_t StateDigest() const;
 
  private:
   struct Image {
@@ -99,8 +148,21 @@ class ObjectStore {
 
   Result<Image> Capture(const AccessDescriptor& object) const;
 
+  // Write-ahead step: no-op without a journal; with one, the mutation record must commit
+  // before the caller may touch the in-memory maps.
+  Status JournalMutation(JournalRecordType type, const std::vector<uint8_t>& payload);
+  void MaybeCheckpoint();
+  Status ApplyJournalRecord(JournalRecordType type, const std::vector<uint8_t>& payload);
+  std::vector<uint8_t> EncodeSnapshot() const;
+  void EmitTrace(FilingOpKind op, uint32_t b, const std::string& name) const;
+  // Destroys every object in `created` (failed retrieval rollback).
+  void DestroyAll(const std::vector<AccessDescriptor>& created);
+
   Kernel* kernel_;
   TypeManagerFacility* types_;
+  Journal* journal_ = nullptr;
+  uint32_t checkpoint_interval_ = 0;
+  uint32_t mutations_since_checkpoint_ = 0;
   std::map<std::string, Image> images_;
   std::map<std::string, Composite> composites_;
   FilingStats stats_;

@@ -81,7 +81,14 @@ CounterMap CountersFor(const ProcessManagerStats& stats) {
 CounterMap CountersFor(const FilingStats& stats) {
   return {{"filed", stats.filed},
           {"retrieved", stats.retrieved},
-          {"type_checks_failed", stats.type_checks_failed}};
+          {"removed", stats.removed},
+          {"type_checks_failed", stats.type_checks_failed},
+          {"journaled_mutations", stats.journaled_mutations},
+          {"journal_rejections", stats.journal_rejections},
+          {"recoveries", stats.recoveries},
+          {"recovered_images", stats.recovered_images},
+          {"recovered_composites", stats.recovered_composites},
+          {"retrieve_cleanups", stats.retrieve_cleanups}};
 }
 
 CounterMap CountersFor(const DeviceStats& stats) {
@@ -118,6 +125,15 @@ MetricsRegistry::MetricsRegistry(System* system) {
   Add("memory", [system] { return CountersFor(system->memory().stats()); });
   Add("patrol", [system] { return CountersFor(system->patrol().stats()); });
   Add("process_manager", [system] { return CountersFor(system->process_manager().stats()); });
+  Add("filing", [system] {
+    CounterMap counters = CountersFor(system->filing().stats());
+    if (system->journal() != nullptr) {
+      for (auto& [name, value] : CountersFor(system->journal()->stats())) {
+        counters.emplace_back("journal_" + name, value);
+      }
+    }
+    return counters;
+  });
   Add("machine", [machine] {
     CounterMap counters;
     counters.emplace_back("bus_busy_cycles", machine->bus().busy_cycles());

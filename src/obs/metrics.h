@@ -27,6 +27,7 @@ struct MemoryStats;
 struct SchedulerStats;
 struct ProcessManagerStats;
 struct FilingStats;
+struct JournalStats;
 struct DeviceStats;
 struct FaultServiceStats;
 struct PatrolStats;
@@ -45,6 +46,7 @@ CounterMap CountersFor(const MemoryStats& stats);
 CounterMap CountersFor(const SchedulerStats& stats);
 CounterMap CountersFor(const ProcessManagerStats& stats);
 CounterMap CountersFor(const FilingStats& stats);
+CounterMap CountersFor(const JournalStats& stats);
 CounterMap CountersFor(const DeviceStats& stats);
 CounterMap CountersFor(const FaultServiceStats& stats);
 CounterMap CountersFor(const PatrolStats& stats);

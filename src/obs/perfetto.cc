@@ -292,6 +292,15 @@ void Exporter::HandleEvent(const TraceEvent& event) {
                   ",\"pc\":" + std::to_string(event.c) + "}");
       break;
     }
+    case TraceEventKind::kFilingOp: {
+      Instant(tid, event.ts,
+              std::string("filing-") +
+                  FilingOpKindName(static_cast<FilingOpKind>(event.a)),
+              "{\"op\":" + std::to_string(event.a) +
+                  ",\"size\":" + std::to_string(event.b) +
+                  ",\"name_hash\":" + std::to_string(event.c) + "}");
+      break;
+    }
   }
 }
 

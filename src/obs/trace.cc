@@ -33,6 +33,21 @@ const char* TraceEventKindName(TraceEventKind kind) {
     case TraceEventKind::kLifetimeViolation: return "lifetime-violation";
     case TraceEventKind::kInterferenceViolation: return "interference-violation";
     case TraceEventKind::kGuardViolation: return "guard-violation";
+    case TraceEventKind::kFilingOp: return "filing-op";
+  }
+  return "unknown";
+}
+
+const char* FilingOpKindName(FilingOpKind kind) {
+  switch (kind) {
+    case FilingOpKind::kFile: return "file";
+    case FilingOpKind::kFileComposite: return "file-composite";
+    case FilingOpKind::kRetrieve: return "retrieve";
+    case FilingOpKind::kRetrieveComposite: return "retrieve-composite";
+    case FilingOpKind::kRemove: return "remove";
+    case FilingOpKind::kJournalRetry: return "journal-retry";
+    case FilingOpKind::kJournalCheckpoint: return "journal-checkpoint";
+    case FilingOpKind::kJournalReplay: return "journal-replay";
   }
   return "unknown";
 }

@@ -65,6 +65,22 @@ enum class TraceEventKind : uint8_t {
                            // b = InterferenceViolationKind, c = fill-time data_epoch
   kGuardViolation,  // check-elided execution failed its re-executed full check set;
                     // a = object index, b = GuardViolationKind, c = site pc
+  kFilingOp,        // filing-layer operation; a = FilingOpKind, b = payload bytes or
+                    // record count, c = FNV-1a hash of the filed name (0 if none)
+};
+
+// Payload word `a` of kFilingOp events (see src/filing/object_store.h).
+enum class FilingOpKind : uint8_t {
+  kFile = 0,           // plain image filed; b = image bytes
+  kFileComposite,      // composite filed; b = node count
+  kRetrieve,           // plain image retrieved; b = image bytes
+  kRetrieveComposite,  // composite retrieved; b = node count
+  kRemove,             // name removed; b = 0
+  kJournalRetry,       // journal append retried after a device error; b = attempt,
+                       // c = backoff cycles charged
+  kJournalCheckpoint,  // journal checkpointed/compacted; b = bytes after compaction
+  kJournalReplay,      // recovery replay finished; b = transactions applied,
+                       // c = records rolled back or dropped
 };
 
 // GC phase payload for kGcPhase (mirrors gc/collector.h Phase without depending on it).
@@ -72,6 +88,7 @@ enum class GcTracePhase : uint8_t { kIdle = 0, kWhiten, kMark, kSweep };
 
 const char* TraceEventKindName(TraceEventKind kind);
 const char* GcTracePhaseName(GcTracePhase phase);
+const char* FilingOpKindName(FilingOpKind kind);
 
 // Sentinels for events with no processor / process association.
 inline constexpr uint16_t kTraceNoProcessor = 0xffff;

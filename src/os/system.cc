@@ -60,6 +60,20 @@ System::System(const SystemConfig& config)
   gc_ = std::make_unique<GarbageCollector>(kernel_.get());
   patrol_ = std::make_unique<ObjectPatrol>(kernel_.get());
   types_ = std::make_unique<TypeManagerFacility>(kernel_.get());
+  filing_ = std::make_unique<ObjectStore>(kernel_.get(), types_.get());
+  if (config.stable_store != nullptr) {
+    // Journal before anything else runs: boot-time recovery replays the previous
+    // incarnation's log into the fresh store. Recovery is best-effort by design — a torn
+    // or corrupt journal rolls back, an unreadable device yields an empty store, and in
+    // no case does a damaged log panic the boot.
+    journal_ = std::make_unique<Journal>(config.stable_store, &machine_);
+    filing_->AttachJournal(journal_.get(), config.filing_checkpoint_interval);
+    filing_recovery_status_ = filing_->Recover();
+    if (!filing_recovery_status_.ok()) {
+      IMAX_LOG_WARNING("filing: journal recovery failed (%s); starting with an empty store",
+                       FaultName(filing_recovery_status_.fault()));
+    }
+  }
   process_manager_ = std::make_unique<BasicProcessManager>(kernel_.get());
   ports_api_ = std::make_unique<UntypedPorts>(kernel_.get());
 

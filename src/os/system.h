@@ -15,6 +15,8 @@
 #include <memory>
 
 #include "src/exec/kernel.h"
+#include "src/filing/object_store.h"
+#include "src/filing/stable_store.h"
 #include "src/gc/collector.h"
 #include "src/memory/basic_memory_manager.h"
 #include "src/memory/swapping_memory_manager.h"
@@ -110,6 +112,16 @@ struct SystemConfig {
   // direct handoffs, domain calls and process spawns. Pure observer, same guarantee.
   bool span_trace = false;
   uint32_t span_capacity = 1 << 20;
+
+  // Stable device backing the filing system's write-ahead journal (src/filing/journal.h).
+  // Non-owned: the device outlives the System — that is the whole point. A crash-restart
+  // driver hands the same StableStore to successive Systems; each boot replays the journal
+  // into filing() before anything else runs (recovery status at filing_recovery_status()).
+  // Null leaves filing() purely in-memory, the pre-journal behaviour.
+  StableStore* stable_store = nullptr;
+  // Journaled mutations between automatic checkpoint compactions (0 = never compact
+  // automatically).
+  uint32_t filing_checkpoint_interval = 64;
 };
 
 class System {
@@ -129,6 +141,12 @@ class System {
   TypeManagerFacility& types() { return *types_; }
   BasicProcessManager& process_manager() { return *process_manager_; }
   UntypedPorts& ports() { return *ports_api_; }
+  ObjectStore& filing() { return *filing_; }
+  // Null unless a stable_store was configured.
+  Journal* journal() { return journal_.get(); }
+  // Outcome of the boot-time journal replay (Ok when no stable_store is configured; an
+  // unreadable device yields kDeviceError and an empty store, never a boot panic).
+  Status filing_recovery_status() const { return filing_recovery_status_; }
 
   // --- Conveniences ---
 
@@ -163,6 +181,9 @@ class System {
   std::unique_ptr<GarbageCollector> gc_;
   std::unique_ptr<ObjectPatrol> patrol_;
   std::unique_ptr<TypeManagerFacility> types_;
+  std::unique_ptr<Journal> journal_;
+  std::unique_ptr<ObjectStore> filing_;
+  Status filing_recovery_status_;
   std::unique_ptr<BasicProcessManager> process_manager_;
   std::unique_ptr<UntypedPorts> ports_api_;
   AccessDescriptor gc_request_port_;

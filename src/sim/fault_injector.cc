@@ -20,6 +20,7 @@ const char* InjectionKindName(InjectionKind kind) {
     case InjectionKind::kChecksumCorrupt: return "checksum-corrupt";
     case InjectionKind::kBusDrop: return "bus-drop";
     case InjectionKind::kBusDuplicate: return "bus-duplicate";
+    case InjectionKind::kPowerCut: return "power-cut";
     case InjectionKind::kKindCount: break;
   }
   return "unknown";
@@ -32,8 +33,11 @@ std::vector<InjectionEvent> FaultInjector::GenerateSchedule(uint64_t seed, uint3
   std::vector<InjectionEvent> schedule(count);
   for (InjectionEvent& event : schedule) {
     event.at = rng.NextBelow(horizon);
+    // Draw from the original eight kinds only: kPowerCut sits just before kKindCount but
+    // never appears in an in-run schedule (see the header), and excluding it here keeps
+    // every pre-existing {seed, schedule} bit-identical.
     event.kind = static_cast<InjectionKind>(
-        rng.NextBelow(static_cast<uint64_t>(InjectionKind::kKindCount)));
+        rng.NextBelow(static_cast<uint64_t>(InjectionKind::kPowerCut)));
     event.target = static_cast<uint32_t>(rng.Next());
     switch (event.kind) {
       case InjectionKind::kProcessorRetire:
@@ -60,11 +64,34 @@ std::vector<InjectionEvent> FaultInjector::GenerateSchedule(uint64_t seed, uint3
       case InjectionKind::kBusDuplicate:
         event.arg = static_cast<uint32_t>(rng.NextInRange(5'000, 50'000));
         break;
+      case InjectionKind::kPowerCut:
       case InjectionKind::kKindCount:
         break;
     }
   }
   // Stable: events drawn earlier fire first on timestamp ties, part of the replay contract.
+  std::stable_sort(schedule.begin(), schedule.end(),
+                   [](const InjectionEvent& a, const InjectionEvent& b) { return a.at < b.at; });
+  return schedule;
+}
+
+std::vector<InjectionEvent> FaultInjector::GenerateCrashSchedule(uint64_t seed, uint32_t count,
+                                                                 uint32_t power_cuts,
+                                                                 Cycles horizon) {
+  IMAX_CHECK(power_cuts <= count);
+  std::vector<InjectionEvent> schedule = GenerateSchedule(seed, count - power_cuts, horizon);
+  // An independent stream (seed XOR "PWRC") draws the cuts, so the in-run events above are
+  // byte-for-byte the events a cut-free GenerateSchedule(seed, count - power_cuts, horizon)
+  // would produce.
+  Xorshift rng(seed ^ 0x50575243u);
+  for (uint32_t i = 0; i < power_cuts; ++i) {
+    InjectionEvent event;
+    event.at = rng.NextBelow(horizon);
+    event.kind = InjectionKind::kPowerCut;
+    event.target = static_cast<uint32_t>(rng.Next());
+    event.arg = static_cast<uint32_t>(rng.Next());  // torn-tail selector
+    schedule.push_back(event);
+  }
   std::stable_sort(schedule.begin(), schedule.end(),
                    [](const InjectionEvent& a, const InjectionEvent& b) { return a.at < b.at; });
   return schedule;
@@ -190,6 +217,14 @@ bool FaultInjector::Apply(const InjectionEvent& event) {
       applied = true;
       break;
     }
+    case InjectionKind::kPowerCut:
+      // The driver that owns both the System and the stable device applies the cut: it
+      // tears the journal tail at event.arg and destroys the System. The injector only
+      // brokers the event so stats and the kInjection trace record stay uniform.
+      if (power_cut_hook_) {
+        applied = power_cut_hook_(event.arg);
+      }
+      break;
     case InjectionKind::kKindCount:
       break;
   }

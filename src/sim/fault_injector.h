@@ -15,6 +15,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "src/arch/types.h"
@@ -33,6 +34,11 @@ enum class InjectionKind : uint8_t {
   kChecksumCorrupt,      // corrupt a descriptor's identity checksum (patrol catches it)
   kBusDrop,              // transfers in a `arg`-cycle window are lost and retransmitted
   kBusDuplicate,         // transfers in a `arg`-cycle window are sent twice
+  kPowerCut,             // whole-System power loss: the live System is torn down
+                         // mid-operation (unsynced journal tail torn at `arg`), then a
+                         // fresh boot recovers from stable storage. Never drawn by
+                         // GenerateSchedule — a cut ends the epoch, so in-run schedules
+                         // cannot contain one; use GenerateCrashSchedule.
   kKindCount,
 };
 
@@ -63,8 +69,18 @@ class FaultInjector {
 
   // Draws `count` events uniformly over [0, horizon) from a seeded stream and returns them
   // sorted by fire time. Pure function of (seed, count, horizon) — the replay contract.
+  // kPowerCut is never drawn: existing seeded schedules stay bit-identical, and a cut ends
+  // the run it fires in, which the crash-restart driver models as an epoch boundary.
   static std::vector<InjectionEvent> GenerateSchedule(uint64_t seed, uint32_t count,
                                                       Cycles horizon);
+
+  // GenerateSchedule plus `power_cuts` kPowerCut events drawn from an independent stream
+  // derived from the same seed (so adding cuts does not perturb the in-run event draw).
+  // Pure function of its arguments; power_cuts must be <= count. The crash-restart driver
+  // partitions the result at the cut events into per-boot epochs.
+  static std::vector<InjectionEvent> GenerateCrashSchedule(uint64_t seed, uint32_t count,
+                                                           uint32_t power_cuts,
+                                                           Cycles horizon);
 
   // Schedules Apply() for every event on the machine's event queue. Events already in the
   // past fire at now(). Call once; campaigns append by calling Arm with a fresh schedule.
@@ -73,6 +89,12 @@ class FaultInjector {
   // Fires one event immediately (tests drive this directly). Returns true if the fault was
   // applied, false if no eligible target existed.
   bool Apply(const InjectionEvent& event);
+
+  // Receives kPowerCut events (the injector itself cannot tear down the System that owns
+  // it — the crash-restart driver does, after tearing the stable device's tail at `arg`).
+  // Returns whether the cut was applied. Without a hook, kPowerCut events are skipped.
+  using PowerCutHook = std::function<bool(uint32_t arg)>;
+  void SetPowerCutHook(PowerCutHook hook) { power_cut_hook_ = std::move(hook); }
 
   const InjectorStats& stats() const { return stats_; }
 
@@ -84,6 +106,7 @@ class FaultInjector {
 
   Kernel* kernel_;
   SwappingMemoryManager* swap_;
+  PowerCutHook power_cut_hook_;
   InjectorStats stats_;
 };
 

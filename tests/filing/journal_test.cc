@@ -1,0 +1,244 @@
+#include "src/filing/journal.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/filing/stable_store.h"
+#include "src/sim/machine.h"
+
+namespace imax432 {
+namespace {
+
+std::vector<uint8_t> Bytes(const std::string& text) {
+  return std::vector<uint8_t>(text.begin(), text.end());
+}
+
+// Replays `journal` and returns the applied (type, payload) sequence.
+std::vector<std::pair<JournalRecordType, std::vector<uint8_t>>> ReplayAll(Journal& journal) {
+  std::vector<std::pair<JournalRecordType, std::vector<uint8_t>>> applied;
+  EXPECT_TRUE(journal
+                  .Replay([&](JournalRecordType type, const std::vector<uint8_t>& payload) {
+                    applied.emplace_back(type, payload);
+                    return Status::Ok();
+                  })
+                  .ok());
+  return applied;
+}
+
+TEST(JournalTest, CommitsReplayInOrder) {
+  StableStore device;
+  Journal writer(&device, nullptr);  // no machine: syncs complete synchronously
+  ASSERT_TRUE(writer.Commit(JournalRecordType::kFileImage, Bytes("alpha")).ok());
+  ASSERT_TRUE(writer.Commit(JournalRecordType::kRemove, Bytes("beta")).ok());
+  ASSERT_TRUE(writer.Commit(JournalRecordType::kFileComposite, Bytes("gamma")).ok());
+  EXPECT_EQ(writer.appended_mutations(), 3u);
+  EXPECT_EQ(writer.durable_mutations(), 3u);
+
+  Journal reader(&device, nullptr);
+  auto applied = ReplayAll(reader);
+  ASSERT_EQ(applied.size(), 3u);
+  EXPECT_EQ(applied[0].first, JournalRecordType::kFileImage);
+  EXPECT_EQ(applied[0].second, Bytes("alpha"));
+  EXPECT_EQ(applied[1].first, JournalRecordType::kRemove);
+  EXPECT_EQ(applied[2].first, JournalRecordType::kFileComposite);
+  EXPECT_EQ(reader.stats().replayed_transactions, 3u);
+  EXPECT_EQ(reader.stats().rolled_back_transactions, 0u);
+  // Replay resumes sequencing after the highest seq it saw.
+  EXPECT_EQ(reader.next_seq(), writer.next_seq());
+}
+
+TEST(JournalTest, TornTailRollsBackUnsealedTransaction) {
+  StableStore device;
+  Journal writer(&device, nullptr);
+  ASSERT_TRUE(writer.Commit(JournalRecordType::kFileImage, Bytes("kept")).ok());
+  ASSERT_TRUE(writer.Commit(JournalRecordType::kFileImage, Bytes("torn-away")).ok());
+  // Tear the log mid-way through the second transaction's record: keep the first
+  // transaction whole plus a partial header of the second.
+  auto first = Journal::EncodeRecord(1, JournalRecordType::kFileImage, Bytes("kept"));
+  auto seal = Journal::EncodeRecord(1, JournalRecordType::kCommit, {});
+  size_t keep = first.size() + seal.size() + Journal::kRecordHeaderBytes / 2;
+  device.TruncateDurable(keep);
+
+  Journal reader(&device, nullptr);
+  auto applied = ReplayAll(reader);
+  ASSERT_EQ(applied.size(), 1u);
+  EXPECT_EQ(applied[0].second, Bytes("kept"));
+  EXPECT_EQ(reader.stats().torn_tail_truncations, 1u);
+}
+
+TEST(JournalTest, TornPayloadTruncates) {
+  StableStore device;
+  Journal writer(&device, nullptr);
+  ASSERT_TRUE(writer.Commit(JournalRecordType::kFileImage, Bytes("payload-goes-missing")).ok());
+  // Keep the full header but only part of the payload.
+  device.TruncateDurable(Journal::kRecordHeaderBytes + 4);
+
+  Journal reader(&device, nullptr);
+  EXPECT_TRUE(ReplayAll(reader).empty());
+  EXPECT_EQ(reader.stats().torn_tail_truncations, 1u);
+  EXPECT_EQ(reader.stats().rolled_back_transactions, 0u);
+}
+
+TEST(JournalTest, CorruptRecordDropsRestOfLog) {
+  StableStore device;
+  Journal writer(&device, nullptr);
+  ASSERT_TRUE(writer.Commit(JournalRecordType::kFileImage, Bytes("good")).ok());
+  ASSERT_TRUE(writer.Commit(JournalRecordType::kFileImage, Bytes("flipped")).ok());
+  ASSERT_TRUE(writer.Commit(JournalRecordType::kFileImage, Bytes("after")).ok());
+  // Flip a payload bit inside the second transaction's mutation record; its CRC no longer
+  // matches, so it and everything after it must be dropped.
+  auto first = Journal::EncodeRecord(1, JournalRecordType::kFileImage, Bytes("good"));
+  auto seal = Journal::EncodeRecord(1, JournalRecordType::kCommit, {});
+  size_t offset = first.size() + seal.size() + Journal::kRecordHeaderBytes + 2;
+  device.CorruptDurable(offset, 0x40);
+
+  Journal reader(&device, nullptr);
+  auto applied = ReplayAll(reader);
+  ASSERT_EQ(applied.size(), 1u);
+  EXPECT_EQ(applied[0].second, Bytes("good"));
+  EXPECT_EQ(reader.stats().corrupt_records_dropped, 1u);
+}
+
+TEST(JournalTest, OrphanCommitIsCountedNotApplied) {
+  StableStore device;
+  // A commit record with no preceding mutation record (its mutation was torn away or the
+  // log was tampered with): counted, never applied.
+  device.LoadImage(Journal::EncodeRecord(7, JournalRecordType::kCommit, {}));
+  Journal reader(&device, nullptr);
+  EXPECT_TRUE(ReplayAll(reader).empty());
+  EXPECT_EQ(reader.stats().orphan_commits, 1u);
+  EXPECT_EQ(reader.next_seq(), 8u);
+}
+
+TEST(JournalTest, MismatchedSealSeqIsOrphanAndMutationRollsBack) {
+  StableStore device;
+  std::vector<uint8_t> log = Journal::EncodeRecord(3, JournalRecordType::kFileImage,
+                                                   Bytes("unsealed"));
+  std::vector<uint8_t> seal = Journal::EncodeRecord(9, JournalRecordType::kCommit, {});
+  log.insert(log.end(), seal.begin(), seal.end());
+  device.LoadImage(log);
+
+  Journal reader(&device, nullptr);
+  EXPECT_TRUE(ReplayAll(reader).empty());
+  EXPECT_EQ(reader.stats().orphan_commits, 1u);
+  EXPECT_EQ(reader.stats().rolled_back_transactions, 1u);
+}
+
+TEST(JournalTest, TransientAppendFailuresRetryWithBackoff) {
+  StableStore device;
+  Journal journal(&device, nullptr);
+  device.InjectTransientFailures(2);  // both burned by retries of the same commit
+  ASSERT_TRUE(journal.Commit(JournalRecordType::kFileImage, Bytes("eventually")).ok());
+  EXPECT_EQ(journal.stats().retries, 2u);
+  EXPECT_EQ(journal.stats().backoff_cycles,
+            (StableStore::kAccessLatencyCycles << 0) + (StableStore::kAccessLatencyCycles << 1));
+  EXPECT_EQ(journal.stats().device_errors, 0u);
+
+  Journal reader(&device, nullptr);
+  EXPECT_EQ(ReplayAll(reader).size(), 1u);
+}
+
+TEST(JournalTest, ExhaustedRetriesRejectAndLeaveLogClean) {
+  StableStore device;
+  Journal journal(&device, nullptr);
+  ASSERT_TRUE(journal.Commit(JournalRecordType::kFileImage, Bytes("durable")).ok());
+  device.InjectTransientFailures(Journal::kMaxAppendAttempts);
+  EXPECT_EQ(journal.Commit(JournalRecordType::kFileImage, Bytes("refused")).fault(),
+            Fault::kDeviceError);
+  EXPECT_EQ(journal.stats().device_errors, 1u);
+  EXPECT_EQ(journal.appended_mutations(), 1u);
+
+  // The failed append left no partial bytes behind: replay sees exactly one transaction.
+  Journal reader(&device, nullptr);
+  auto applied = ReplayAll(reader);
+  ASSERT_EQ(applied.size(), 1u);
+  EXPECT_EQ(applied[0].second, Bytes("durable"));
+  EXPECT_EQ(reader.stats().torn_tail_truncations, 0u);
+  EXPECT_EQ(reader.stats().corrupt_records_dropped, 0u);
+}
+
+TEST(JournalTest, CheckpointCompactsTheLog) {
+  StableStore device;
+  Journal journal(&device, nullptr);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(journal.Commit(JournalRecordType::kFileImage, Bytes("mutation")).ok());
+  }
+  size_t before = device.durable_size();
+  ASSERT_TRUE(journal.WriteCheckpoint(Bytes("snapshot")).ok());
+  EXPECT_LT(device.durable_size(), before);
+  EXPECT_EQ(journal.stats().checkpoints, 1u);
+
+  Journal reader(&device, nullptr);
+  auto applied = ReplayAll(reader);
+  ASSERT_EQ(applied.size(), 1u);
+  EXPECT_EQ(applied[0].first, JournalRecordType::kCheckpoint);
+  EXPECT_EQ(applied[0].second, Bytes("snapshot"));
+}
+
+TEST(JournalTest, MutationsAfterCheckpointReplayOnTop) {
+  StableStore device;
+  Journal journal(&device, nullptr);
+  ASSERT_TRUE(journal.Commit(JournalRecordType::kFileImage, Bytes("pre")).ok());
+  ASSERT_TRUE(journal.WriteCheckpoint(Bytes("base")).ok());
+  ASSERT_TRUE(journal.Commit(JournalRecordType::kRemove, Bytes("post")).ok());
+
+  Journal reader(&device, nullptr);
+  auto applied = ReplayAll(reader);
+  ASSERT_EQ(applied.size(), 2u);
+  EXPECT_EQ(applied[0].first, JournalRecordType::kCheckpoint);
+  EXPECT_EQ(applied[1].first, JournalRecordType::kRemove);
+}
+
+TEST(JournalTest, AsyncSyncLeavesTailVolatileUntilTransferCompletes) {
+  MachineConfig config;
+  config.memory_bytes = 64 * 1024;
+  Machine machine(config);
+  StableStore device;
+  Journal journal(&device, &machine);
+
+  ASSERT_TRUE(journal.Commit(JournalRecordType::kFileImage, Bytes("in-flight")).ok());
+  EXPECT_EQ(journal.appended_mutations(), 1u);
+  EXPECT_EQ(journal.durable_mutations(), 0u);  // sync still queued
+  EXPECT_GT(device.tail_size(), 0u);
+
+  machine.events().RunUntilIdle();
+  EXPECT_EQ(journal.durable_mutations(), 1u);
+  EXPECT_EQ(device.tail_size(), 0u);
+  EXPECT_EQ(journal.stats().syncs, 1u);
+}
+
+TEST(JournalTest, PowerCutTearsUnsyncedTail) {
+  MachineConfig config;
+  config.memory_bytes = 64 * 1024;
+  Machine machine(config);
+  StableStore device;
+  Journal journal(&device, &machine);
+
+  ASSERT_TRUE(journal.Commit(JournalRecordType::kFileImage, Bytes("durable-first")).ok());
+  machine.events().RunUntilIdle();  // first transaction reaches the durable region
+  ASSERT_TRUE(journal.Commit(JournalRecordType::kFileImage, Bytes("unsynced")).ok());
+  ASSERT_GT(device.tail_size(), 0u);
+  device.PowerCut(17);  // keep a seeded prefix of the volatile tail
+  EXPECT_EQ(device.power_cuts(), 1u);
+
+  // Whatever the tear kept, recovery applies at most the two transactions, at least the
+  // durable one, and never a partial record.
+  Journal reader(&device, nullptr);
+  auto applied = ReplayAll(reader);
+  ASSERT_GE(applied.size(), 1u);
+  ASSERT_LE(applied.size(), 2u);
+  EXPECT_EQ(applied[0].second, Bytes("durable-first"));
+}
+
+TEST(JournalTest, EmptyDeviceReplaysNothing) {
+  StableStore device;
+  Journal journal(&device, nullptr);
+  EXPECT_TRUE(ReplayAll(journal).empty());
+  EXPECT_EQ(journal.next_seq(), 1u);
+  EXPECT_EQ(journal.stats().replayed_records, 0u);
+}
+
+}  // namespace
+}  // namespace imax432

@@ -225,5 +225,169 @@ TEST_F(ObjectStoreTest, RemoveAndMissingNames) {
   EXPECT_FALSE(store_.Contains("temp"));
 }
 
+// --- Namespace consistency: composites are first-class citizens of the store ---
+
+TEST_F(ObjectStoreTest, CompositeNamesAreVisibleToContainsSizeRemove) {
+  auto root = memory_.CreateObject(memory_.global_heap(), SystemType::kGeneric, 8, 0,
+                                   rights::kRead);
+  ASSERT_TRUE(root.ok());
+  ASSERT_TRUE(store_.FileComposite("graph", root.value()).ok());
+
+  // Regression: Contains/size/Remove used to consult only the plain-image map, so a filed
+  // composite was invisible to maintenance — unremovable and uncounted.
+  EXPECT_TRUE(store_.Contains("graph"));
+  EXPECT_EQ(store_.size(), 1u);
+  ASSERT_TRUE(store_.Remove("graph").ok());
+  EXPECT_FALSE(store_.Contains("graph"));
+  EXPECT_EQ(store_.size(), 0u);
+  EXPECT_EQ(store_.Remove("graph").fault(), Fault::kNotFound);
+}
+
+TEST_F(ObjectStoreTest, FiledTypeIdReportsCompositeRootType) {
+  auto tdo = types_.CreateTypeDefinition(0x51);
+  ASSERT_TRUE(tdo.ok());
+  auto typed_root = types_.CreateTypedObject(tdo.value(), memory_.global_heap(), 16, 1,
+                                             rights::kRead | rights::kWrite);
+  auto plain_leaf = memory_.CreateObject(memory_.global_heap(), SystemType::kGeneric, 8, 0,
+                                         rights::kRead);
+  ASSERT_TRUE(typed_root.ok() && plain_leaf.ok());
+  ASSERT_TRUE(machine_.addressing().WriteAd(typed_root.value(), 0, plain_leaf.value()).ok());
+  ASSERT_TRUE(store_.FileComposite("typed-tree", typed_root.value()).ok());
+
+  auto untyped_root = memory_.CreateObject(memory_.global_heap(), SystemType::kGeneric, 8, 0,
+                                           rights::kRead);
+  ASSERT_TRUE(untyped_root.ok());
+  ASSERT_TRUE(store_.FileComposite("plain-tree", untyped_root.value()).ok());
+
+  EXPECT_EQ(store_.FiledTypeId("typed-tree").value(), 0x51u);
+  EXPECT_EQ(store_.FiledTypeId("plain-tree").value(), 0u);
+  EXPECT_EQ(store_.FiledTypeId("absent").fault(), Fault::kNotFound);
+}
+
+TEST_F(ObjectStoreTest, RefilingUnderSameNameReplacesAcrossKinds) {
+  auto image = memory_.CreateObject(memory_.global_heap(), SystemType::kGeneric, 8, 0,
+                                    rights::kRead);
+  auto root = memory_.CreateObject(memory_.global_heap(), SystemType::kGeneric, 8, 0,
+                                   rights::kRead);
+  ASSERT_TRUE(image.ok() && root.ok());
+  // Plain image, then a composite under the same name: one namespace, one entry.
+  ASSERT_TRUE(store_.File("n", image.value()).ok());
+  ASSERT_TRUE(store_.FileComposite("n", root.value()).ok());
+  EXPECT_EQ(store_.size(), 1u);
+  EXPECT_TRUE(store_.CompositeSize("n").ok());
+  // And back again: the composite entry must go away.
+  ASSERT_TRUE(store_.File("n", image.value()).ok());
+  EXPECT_EQ(store_.size(), 1u);
+  EXPECT_EQ(store_.CompositeSize("n").fault(), Fault::kNotFound);
+}
+
+// --- Composite edge cases: atomicity of failed retrievals ---
+
+TEST_F(ObjectStoreTest, SelfEdgeCompositeRoundTrips) {
+  auto root = memory_.CreateObject(memory_.global_heap(), SystemType::kGeneric, 16, 1,
+                                   rights::kRead | rights::kWrite);
+  ASSERT_TRUE(root.ok());
+  ASSERT_TRUE(machine_.addressing().WriteData(root.value(), 0, 8, 9).ok());
+  ASSERT_TRUE(machine_.addressing().WriteAd(root.value(), 0, root.value()).ok());
+
+  ASSERT_TRUE(store_.FileComposite("selfie", root.value()).ok());
+  EXPECT_EQ(store_.CompositeSize("selfie").value(), 1u);
+
+  auto restored = store_.RetrieveComposite("selfie", memory_.global_heap());
+  ASSERT_TRUE(restored.ok());
+  auto self = machine_.addressing().ReadAd(restored.value(), 0);
+  ASSERT_TRUE(self.ok());
+  EXPECT_TRUE(self.value().SameObject(restored.value()));
+  EXPECT_EQ(machine_.addressing().ReadData(self.value(), 0, 8).value(), 9u);
+}
+
+TEST_F(ObjectStoreTest, EmptyDataPartsFileAndRetrieve) {
+  auto root = memory_.CreateObject(memory_.global_heap(), SystemType::kGeneric, 0, 1,
+                                   rights::kRead | rights::kWrite);
+  auto leaf = memory_.CreateObject(memory_.global_heap(), SystemType::kGeneric, 0, 0,
+                                   rights::kRead);
+  ASSERT_TRUE(root.ok() && leaf.ok());
+  ASSERT_TRUE(machine_.addressing().WriteAd(root.value(), 0, leaf.value()).ok());
+  ASSERT_TRUE(store_.FileComposite("hollow", root.value()).ok());
+
+  auto restored = store_.RetrieveComposite("hollow", memory_.global_heap());
+  ASSERT_TRUE(restored.ok());
+  auto new_leaf = machine_.addressing().ReadAd(restored.value(), 0);
+  EXPECT_TRUE(new_leaf.ok());
+}
+
+TEST_F(ObjectStoreTest, ResolverReturningNullMidGraphLeavesNoPartialGraph) {
+  // Two typed nodes: the resolver accepts the root's type but rejects the leaf's, so the
+  // graph fails to materialize halfway through. Failure atomicity demands every object
+  // created so far is destroyed — the table's live count must return to its pre-call value.
+  auto tdo_root = types_.CreateTypeDefinition(0xA1);
+  auto tdo_leaf = types_.CreateTypeDefinition(0xA2);
+  ASSERT_TRUE(tdo_root.ok() && tdo_leaf.ok());
+  auto root = types_.CreateTypedObject(tdo_root.value(), memory_.global_heap(), 16, 1,
+                                       rights::kRead | rights::kWrite);
+  auto leaf = types_.CreateTypedObject(tdo_leaf.value(), memory_.global_heap(), 16, 0,
+                                       rights::kRead | rights::kWrite);
+  ASSERT_TRUE(root.ok() && leaf.ok());
+  ASSERT_TRUE(machine_.addressing().WriteAd(root.value(), 0, leaf.value()).ok());
+  ASSERT_TRUE(store_.FileComposite("half-typed", root.value()).ok());
+
+  uint32_t live_before = machine_.table().live_count();
+  auto result = store_.RetrieveComposite(
+      "half-typed", memory_.global_heap(),
+      [&](uint32_t type_id) {
+        return type_id == 0xA1 ? tdo_root.value() : AccessDescriptor();
+      });
+  EXPECT_EQ(result.fault(), Fault::kTypeMismatch);
+  EXPECT_EQ(machine_.table().live_count(), live_before);
+  EXPECT_GE(store_.stats().retrieve_cleanups, 1u);
+  // The filed composite itself is untouched: a full resolver still succeeds.
+  auto ok = store_.RetrieveComposite(
+      "half-typed", memory_.global_heap(),
+      [&](uint32_t type_id) {
+        return type_id == 0xA1 ? tdo_root.value()
+                               : (type_id == 0xA2 ? tdo_leaf.value() : AccessDescriptor());
+      });
+  EXPECT_TRUE(ok.ok());
+}
+
+TEST_F(ObjectStoreTest, SroTooSmallLeavesNoPartialGraph) {
+  // A three-node chain filed from the global heap, retrieved into a local SRO big enough
+  // for at most one node: allocation fails mid-graph and everything rolls back.
+  auto make_node = [&] {
+    auto object = memory_.CreateObject(memory_.global_heap(), SystemType::kGeneric,
+                                       4 * 1024, 1, rights::kRead | rights::kWrite);
+    EXPECT_TRUE(object.ok());
+    return object.value();
+  };
+  AccessDescriptor a = make_node();
+  AccessDescriptor b = make_node();
+  AccessDescriptor c = make_node();
+  ASSERT_TRUE(machine_.addressing().WriteAd(a, 0, b).ok());
+  ASSERT_TRUE(machine_.addressing().WriteAd(b, 0, c).ok());
+  ASSERT_TRUE(store_.FileComposite("big", a).ok());
+
+  auto tiny = memory_.CreateLocalSro(memory_.global_heap(), 6 * 1024, 1);
+  ASSERT_TRUE(tiny.ok());
+  uint32_t live_before = machine_.table().live_count();
+  auto result = store_.RetrieveComposite("big", tiny.value());
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(machine_.table().live_count(), live_before);
+  // A big enough arena still works.
+  auto ok = store_.RetrieveComposite("big", memory_.global_heap());
+  EXPECT_TRUE(ok.ok());
+}
+
+TEST_F(ObjectStoreTest, SingleRetrieveRollsBackWhenSroTooSmall) {
+  auto object = memory_.CreateObject(memory_.global_heap(), SystemType::kGeneric, 8 * 1024,
+                                     0, rights::kRead | rights::kWrite);
+  ASSERT_TRUE(object.ok());
+  ASSERT_TRUE(store_.File("fat", object.value()).ok());
+  auto tiny = memory_.CreateLocalSro(memory_.global_heap(), 1024, 1);
+  ASSERT_TRUE(tiny.ok());
+  uint32_t live_before = machine_.table().live_count();
+  EXPECT_FALSE(store_.Retrieve("fat", tiny.value()).ok());
+  EXPECT_EQ(machine_.table().live_count(), live_before);
+}
+
 }  // namespace
 }  // namespace imax432

@@ -37,7 +37,8 @@ TEST(MetricsRegistryTest, SystemRegistryCollectsEveryGroup) {
     EXPECT_FALSE(counters.empty()) << group;
   }
   EXPECT_EQ(groups, (std::vector<std::string>{"kernel", "ports", "gc", "memory", "patrol",
-                                              "process_manager", "machine", "profiler"}));
+                                              "process_manager", "filing", "machine",
+                                              "profiler"}));
 }
 
 TEST(MetricsRegistryTest, CountersMatchSourceStats) {

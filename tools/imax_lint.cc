@@ -19,6 +19,8 @@
 #include "src/analysis/lifetime/lifetime.h"
 #include "src/analysis/races/races.h"
 #include "src/analysis/verifier.h"
+#include "src/filing/journal.h"
+#include "src/filing/stable_store.h"
 #include "src/io/devices.h"
 #include "src/isa/disassembler.h"
 #include "src/os/fault_service.h"
@@ -31,7 +33,7 @@ namespace {
 
 constexpr char kUsage[] =
     "usage: imax_lint [--dump] [--demo-bad] [--deadlock] [--races] [--lifetime]\n"
-    "                 [--interference] [--guards] [--all] [--json] [--help]\n"
+    "                 [--interference] [--guards] [--filing] [--all] [--json] [--help]\n"
     "\n"
     "Boots a representative iMAX-432 system with verify-on-load armed and sweeps every\n"
     "loaded program through the static capability verifier.\n"
@@ -61,9 +63,14 @@ constexpr char kUsage[] =
     "              contended object, opaque program, fresh allocation) must produce the\n"
     "              ground-truth certificates and retractions, and a live decode-cache+audit\n"
     "              quickstart must execute check-elided with zero guard violations\n"
+    "  --filing    additionally run the filing journal-integrity pass: a healthy journal\n"
+    "              must replay whole, and a seeded corrupt-journal corpus (torn tail,\n"
+    "              checksum-mismatched record, orphaned commit record) must be detected,\n"
+    "              rolled back to the surviving prefix, and recovered from by a booting\n"
+    "              kernel without panicking\n"
     "  --all       run every analysis pass above (equivalent to --demo-bad --deadlock\n"
-    "              --races --lifetime --interference --guards); tools/lint.sh and CI use\n"
-    "              this\n"
+    "              --races --lifetime --interference --guards --filing); tools/lint.sh and\n"
+    "              CI use this\n"
     "  --json      append a machine-readable findings document as the LAST line of stdout:\n"
     "              one JSON object {\"findings\":[...],\"exit\":N} where each finding carries\n"
     "              pass (which analysis produced it), site (program/object/pc anchor),\n"
@@ -1167,6 +1174,150 @@ int RunGuardChecks(System& system, bool dump) {
 
 }  // namespace
 
+// --- --filing: journal-integrity pass ----------------------------------------------------
+//
+// Builds a known-good write-ahead journal, then seeds three corrupt variants of it — torn
+// tail, checksum-mismatched record, orphaned commit — and checks that replay detects each
+// defect in the right counter, rolls the log back to the surviving prefix (never applying a
+// damaged or unsealed transaction), and that a kernel booting from the corrupt device
+// recovers without panicking. Returns the number of failed expectations; -1 on setup
+// failure.
+int RunFilingChecks(bool dump) {
+  int failures = 0;
+
+  // The known-good log: three sealed transactions. Every corrupt variant below is stamped
+  // from this image, so the "surviving prefix" is exactly the first transaction.
+  auto build_healthy = [](StableStore* device) {
+    Journal journal(device, nullptr);
+    bool ok = true;
+    ok = ok && journal.Commit(JournalRecordType::kFileImage, {1, 2, 3}).ok();
+    ok = ok && journal.Commit(JournalRecordType::kRemove, {4, 5}).ok();
+    ok = ok && journal.Commit(JournalRecordType::kFileComposite, {6, 7, 8, 9}).ok();
+    return ok;
+  };
+  auto replay_count = [](StableStore* device, JournalStats* stats) {
+    Journal journal(device, nullptr);
+    uint64_t applied = 0;
+    Status status = journal.Replay([&applied](JournalRecordType, const std::vector<uint8_t>&) {
+      ++applied;
+      return Status::Ok();
+    });
+    *stats = journal.stats();
+    return status.ok() ? static_cast<int64_t>(applied) : -1;
+  };
+
+  std::printf("\n==== filing journal integrity (seeded corrupt-journal corpus) ====\n");
+  StableStore healthy;
+  if (!build_healthy(&healthy)) {
+    std::fprintf(stderr, "imax_lint: filing corpus journal construction failed\n");
+    return -1;
+  }
+  const std::vector<uint8_t> image = healthy.durable_bytes();
+  if (dump) {
+    std::printf("healthy log: %zu bytes, 3 sealed transactions\n", image.size());
+  }
+
+  JournalStats stats;
+  int64_t applied = replay_count(&healthy, &stats);
+  bool healthy_ok = applied == 3 && stats.torn_tail_truncations == 0 &&
+                    stats.corrupt_records_dropped == 0 && stats.orphan_commits == 0 &&
+                    stats.rolled_back_transactions == 0;
+  std::printf("healthy log: %lld of 3 transactions replayed, %llu anomalies\n",
+              static_cast<long long>(applied),
+              static_cast<unsigned long long>(stats.torn_tail_truncations +
+                                              stats.corrupt_records_dropped +
+                                              stats.orphan_commits +
+                                              stats.rolled_back_transactions));
+  if (!healthy_ok) {
+    std::printf("^^^^ BROKEN REPLAY — a clean journal must replay whole, with zero "
+                "anomaly counts\n");
+    ++failures;
+  }
+  AddFinding("filing", "corpus:healthy-log", healthy_ok ? "clean" : "missed-defect");
+
+  // Torn tail: the log ends inside the last transaction's mutation record.
+  StableStore torn;
+  torn.LoadImage(image);
+  torn.TruncateDurable(image.size() - 30);
+  applied = replay_count(&torn, &stats);
+  bool torn_ok = applied == 2 && stats.torn_tail_truncations == 1 &&
+                 stats.corrupt_records_dropped == 0;
+  if (!torn_ok) {
+    std::printf("^^^^ MISSED TORN TAIL — truncation mid-record must be counted and the "
+                "prefix kept (%lld applied)\n",
+                static_cast<long long>(applied));
+    ++failures;
+  }
+  AddFinding("filing", "corpus:torn-tail", torn_ok ? "rolled-back" : "missed-defect",
+             "log truncated mid-record");
+
+  // Checksum mismatch: a payload bit under the second transaction's CRC flips.
+  StableStore rotted;
+  rotted.LoadImage(image);
+  auto first = Journal::EncodeRecord(1, JournalRecordType::kFileImage, {1, 2, 3});
+  auto seal = Journal::EncodeRecord(1, JournalRecordType::kCommit, {});
+  rotted.CorruptDurable(first.size() + seal.size() + Journal::kRecordHeaderBytes, 0x08);
+  applied = replay_count(&rotted, &stats);
+  bool rot_ok = applied == 1 && stats.corrupt_records_dropped == 1;
+  if (!rot_ok) {
+    std::printf("^^^^ MISSED CHECKSUM MISMATCH — a bit-rotted record must be dropped with "
+                "everything after it (%lld applied)\n",
+                static_cast<long long>(applied));
+    ++failures;
+  }
+  AddFinding("filing", "corpus:checksum-mismatch", rot_ok ? "rolled-back" : "missed-defect",
+             "payload bit flipped under the record CRC");
+
+  // Orphaned commit: a forged seal with no mutation record to seal.
+  StableStore forged;
+  {
+    std::vector<uint8_t> forged_image = image;
+    auto orphan = Journal::EncodeRecord(99, JournalRecordType::kCommit, {});
+    forged_image.insert(forged_image.end(), orphan.begin(), orphan.end());
+    forged.LoadImage(std::move(forged_image));
+  }
+  applied = replay_count(&forged, &stats);
+  bool orphan_ok = applied == 3 && stats.orphan_commits == 1;
+  if (!orphan_ok) {
+    std::printf("^^^^ MISSED ORPHAN COMMIT — a seal without its mutation must be counted "
+                "and skipped (%lld applied)\n",
+                static_cast<long long>(applied));
+    ++failures;
+  }
+  AddFinding("filing", "corpus:orphan-commit", orphan_ok ? "detected" : "missed-defect",
+             "forged commit record with no mutation");
+
+  // End to end: a kernel booting from the torn device must recover the surviving prefix
+  // without panicking (recovery is best-effort, never fatal).
+  StableStore crashed;
+  crashed.LoadImage(image);
+  crashed.TruncateDurable(image.size() - 30);
+  SystemConfig config;
+  config.processors = 1;
+  config.machine.memory_bytes = 96 * 1024;
+  config.stable_store = &crashed;
+  System recovered(config);
+  bool boot_ok = recovered.filing_recovery_status().ok() &&
+                 recovered.kernel().stats().panics == 0 &&
+                 recovered.journal() != nullptr &&
+                 recovered.journal()->stats().torn_tail_truncations == 1;
+  std::printf("torn-device boot: recovery %s, %llu panic(s), %llu transactions replayed\n",
+              recovered.filing_recovery_status().ok() ? "ok" : "failed",
+              static_cast<unsigned long long>(recovered.kernel().stats().panics),
+              static_cast<unsigned long long>(
+                  recovered.journal()->stats().replayed_transactions));
+  if (!boot_ok) {
+    std::printf("^^^^ RECOVERY REGRESSION — booting from a torn journal must succeed "
+                "quietly with the prefix restored\n");
+    ++failures;
+  }
+  AddFinding("filing", "boot:torn-device", boot_ok ? "recovered" : "missed-defect",
+             "kernel boot over the torn corpus");
+
+  std::printf("imax_lint: filing pass: %d failed expectation(s)\n", failures);
+  return failures;
+}
+
 int main(int argc, char** argv) {
   bool dump = false;
   bool demo_bad = false;
@@ -1175,6 +1326,7 @@ int main(int argc, char** argv) {
   bool lifetime = false;
   bool interference = false;
   bool guards = false;
+  bool filing = false;
   bool json = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--dump") == 0) {
@@ -1191,10 +1343,12 @@ int main(int argc, char** argv) {
       interference = true;
     } else if (std::strcmp(argv[i], "--guards") == 0) {
       guards = true;
+    } else if (std::strcmp(argv[i], "--filing") == 0) {
+      filing = true;
     } else if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
     } else if (std::strcmp(argv[i], "--all") == 0) {
-      demo_bad = deadlock = races = lifetime = interference = guards = true;
+      demo_bad = deadlock = races = lifetime = interference = guards = filing = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::fputs(kUsage, stdout);
       return 0;
@@ -1351,9 +1505,14 @@ int main(int argc, char** argv) {
   if (guards) {
     guard_failures = run_pass("guards", RunGuardChecks(system, dump));
   }
+  int filing_failures = 0;
+  if (filing) {
+    filing_failures = run_pass("filing", RunFilingChecks(dump));
+  }
 
   const int findings = errors + missed + deadlock_failures + race_failures +
-                       lifetime_failures + interference_failures + guard_failures;
+                       lifetime_failures + interference_failures + guard_failures +
+                       filing_failures;
   const int exit_code = findings > 0 ? 2 : (infrastructure_failed ? 1 : 0);
   std::printf("\nLINT EXIT: %d\n", exit_code);
   if (json) EmitJson(json_findings, exit_code);

@@ -42,6 +42,14 @@
 // --inject-report writes a JSON recovery report. --inject-verify runs the campaign twice
 // and fails unless both runs are bit-identical (same virtual end time, same trace
 // fingerprint): the replay contract.
+//
+// --power-cut-campaign N switches to crash-restart campaign mode: a seeded schedule of N
+// events of which --power-cuts K (default 25) are whole-System power cuts. Each cut tears
+// the journal's unsynced tail mid-write and destroys the live System; a fresh boot then
+// replays the journal and the driver verifies prefix-consistent recovery, zero patrol
+// violations, and §7.2 type identity across the restart. --inject-report writes the JSON
+// recovery report; --inject-verify double-runs the whole campaign and demands bit-identical
+// fingerprints. Exit is nonzero if any epoch fails to recover.
 
 #include <algorithm>
 #include <chrono>
@@ -51,6 +59,7 @@
 #include <memory>
 #include <string>
 
+#include "src/filing/crash_campaign.h"
 #include "src/obs/critical_path.h"
 #include "src/obs/metrics.h"
 #include "src/obs/perfetto.h"
@@ -79,6 +88,8 @@ struct Options {
   Cycles inject_horizon = 2'000'000;
   std::string inject_report;
   bool inject_verify = false;
+  uint32_t power_cut_events = 0;  // > 0 selects crash-restart campaign mode
+  uint32_t power_cuts = 25;       // kPowerCut events among --power-cut-campaign's total
   bool profile = false;
   bool critical_path = false;  // implies profile + span tracing
   std::string span_export;     // implies span tracing
@@ -94,7 +105,8 @@ void Usage() {
                "                  [--lifetime-demote] [--xlat-cache] [--decode-cache]\n"
                "                  [--inject N] [--seed S]\n"
                "                  [--inject-horizon CYCLES] [--inject-report FILE]\n"
-               "                  [--inject-verify] [--profile] [--critical-path]\n"
+               "                  [--inject-verify] [--power-cut-campaign N]\n"
+               "                  [--power-cuts K] [--profile] [--critical-path]\n"
                "                  [--span-export FILE]\n");
 }
 
@@ -853,6 +865,148 @@ int RunInjectCampaign(const Options& options) {
   return 0;
 }
 
+// --- Crash-restart (power-cut) campaign mode ---
+
+std::string CrashReportJson(const CrashCampaignReport& report) {
+  std::string out = "{\"config\":{";
+  bool first = true;
+  AppendJsonField(&out, "seed", report.config.seed, &first);
+  AppendJsonField(&out, "events", report.config.events, &first);
+  AppendJsonField(&out, "power_cuts", report.config.power_cuts, &first);
+  AppendJsonField(&out, "horizon", report.config.horizon, &first);
+  AppendJsonField(&out, "processors", static_cast<uint64_t>(report.config.processors),
+                  &first);
+  AppendJsonField(&out, "checkpoint_interval", report.config.checkpoint_interval, &first);
+
+  out += "},\"campaign\":{";
+  first = true;
+  AppendJsonField(&out, "epochs", report.epochs, &first);
+  AppendJsonField(&out, "power_cuts_fired", report.power_cuts_fired, &first);
+  AppendJsonField(&out, "injections_fired", report.injections_fired, &first);
+  AppendJsonField(&out, "injections_skipped", report.injections_skipped, &first);
+  AppendJsonField(&out, "mutations_applied", report.mutations_applied, &first);
+  AppendJsonField(&out, "mutations_durable", report.mutations_durable, &first);
+  AppendJsonField(&out, "virtual_cycles", report.virtual_cycles, &first);
+  AppendJsonField(&out, "healthy", report.healthy() ? 1 : 0, &first);
+
+  out += "},\"failures\":{";
+  first = true;
+  AppendJsonField(&out, "recovery_mismatches", report.recovery_mismatches, &first);
+  AppendJsonField(&out, "typed_identity_failures", report.typed_identity_failures, &first);
+  AppendJsonField(&out, "post_recovery_violations", report.post_recovery_violations,
+                  &first);
+  AppendJsonField(&out, "panics", report.panics, &first);
+
+  out += "},\"journal\":{";
+  first = true;
+  for (const auto& [name, value] : CountersFor(report.journal)) {
+    AppendJsonField(&out, name.c_str(), value, &first);
+  }
+
+  out += "},\"epochs\":[";
+  first = true;
+  for (const CrashEpochReport& epoch : report.epoch_reports) {
+    if (!first) out += ',';
+    first = false;
+    out += '{';
+    bool field = true;
+    AppendJsonField(&out, "start", epoch.start, &field);
+    AppendJsonField(&out, "virtual_cycles", epoch.end, &field);
+    AppendJsonField(&out, "power_cut", epoch.power_cut ? 1 : 0, &field);
+    AppendJsonField(&out, "recovery_matched", epoch.recovery_matched ? 1 : 0, &field);
+    AppendJsonField(&out, "recovery_prefix", epoch.recovery_prefix, &field);
+    AppendJsonField(&out, "durable_floor", epoch.durable_floor, &field);
+    AppendJsonField(&out, "mutations_applied", epoch.mutations_applied, &field);
+    AppendJsonField(&out, "patrol_violations", epoch.patrol_violations, &field);
+    AppendJsonField(&out, "typed_identity_checked", epoch.typed_identity_checked ? 1 : 0,
+                    &field);
+    AppendJsonField(&out, "typed_identity_ok", epoch.typed_identity_ok ? 1 : 0, &field);
+    AppendJsonField(&out, "panics", epoch.panics, &field);
+    char fp[20];
+    std::snprintf(fp, sizeof(fp), "%016llx",
+                  static_cast<unsigned long long>(epoch.trace_fingerprint));
+    out += ",\"trace_fingerprint\":\"";
+    out += fp;
+    std::snprintf(fp, sizeof(fp), "%016llx",
+                  static_cast<unsigned long long>(epoch.store_digest));
+    out += "\",\"store_digest\":\"";
+    out += fp;
+    std::snprintf(fp, sizeof(fp), "%016llx",
+                  static_cast<unsigned long long>(epoch.recovered_digest));
+    out += "\",\"recovered_digest\":\"";
+    out += fp;
+    out += "\"}";
+  }
+  out += "],\"campaign_fingerprint\":\"";
+  char fp[20];
+  std::snprintf(fp, sizeof(fp), "%016llx",
+                static_cast<unsigned long long>(report.campaign_fingerprint));
+  out += fp;
+  out += "\"}";
+  return out;
+}
+
+int RunPowerCutCampaign(const Options& options) {
+  CrashCampaignConfig config;
+  config.seed = options.seed;
+  config.events = options.power_cut_events;
+  config.power_cuts = std::min(options.power_cuts, options.power_cut_events);
+  config.horizon = options.inject_horizon;
+  config.processors = options.processors;
+
+  CrashCampaignReport report = RunCrashCampaign(config);
+
+  if (options.inject_verify) {
+    CrashCampaignReport replay = RunCrashCampaign(config);
+    if (replay.campaign_fingerprint != report.campaign_fingerprint ||
+        replay.virtual_cycles != report.virtual_cycles) {
+      std::fprintf(stderr,
+                   "FAIL: crash campaign replay diverged (cycles %llu vs %llu, "
+                   "fingerprint %016llx vs %016llx)\n",
+                   static_cast<unsigned long long>(report.virtual_cycles),
+                   static_cast<unsigned long long>(replay.virtual_cycles),
+                   static_cast<unsigned long long>(report.campaign_fingerprint),
+                   static_cast<unsigned long long>(replay.campaign_fingerprint));
+      return 1;
+    }
+    std::fprintf(stderr, "replay verified: %llu virtual cycles, fingerprint %016llx\n",
+                 static_cast<unsigned long long>(report.virtual_cycles),
+                 static_cast<unsigned long long>(report.campaign_fingerprint));
+  }
+
+  std::fprintf(stderr,
+               "crash campaign seed %llu: %u epoch(s), %llu power cut(s), "
+               "%llu mutations (%llu durable at cuts), %llu replayed / %llu rolled back / "
+               "%llu torn tail(s), %llu journal retries\n",
+               static_cast<unsigned long long>(config.seed), report.epochs,
+               static_cast<unsigned long long>(report.power_cuts_fired),
+               static_cast<unsigned long long>(report.mutations_applied),
+               static_cast<unsigned long long>(report.mutations_durable),
+               static_cast<unsigned long long>(report.journal.replayed_transactions),
+               static_cast<unsigned long long>(report.journal.rolled_back_transactions),
+               static_cast<unsigned long long>(report.journal.torn_tail_truncations),
+               static_cast<unsigned long long>(report.journal.retries));
+
+  if (!options.inject_report.empty() &&
+      !WriteFile(options.inject_report, CrashReportJson(report))) {
+    return 1;
+  }
+
+  // The acceptance bar: every epoch recovers to a valid mutation prefix with zero patrol
+  // violations, type identity enforced across every restart, and no kernel panics.
+  if (!report.healthy()) {
+    std::fprintf(stderr,
+                 "FAIL: %llu recovery mismatch(es), %llu identity failure(s), "
+                 "%llu patrol violation(s), %llu panic(s)\n",
+                 static_cast<unsigned long long>(report.recovery_mismatches),
+                 static_cast<unsigned long long>(report.typed_identity_failures),
+                 static_cast<unsigned long long>(report.post_recovery_violations),
+                 static_cast<unsigned long long>(report.panics));
+    return 1;
+  }
+  return 0;
+}
+
 int RunOverhead(const Options& options) {
   using Clock = std::chrono::steady_clock;
   // Warm-up run so first-touch costs (page faults, allocator growth) hit neither side.
@@ -933,6 +1087,10 @@ int main(int argc, char** argv) {
       options.inject_report = value();
     } else if (arg == "--inject-verify") {
       options.inject_verify = true;
+    } else if (arg == "--power-cut-campaign") {
+      options.power_cut_events = static_cast<uint32_t>(std::strtoul(value(), nullptr, 10));
+    } else if (arg == "--power-cuts") {
+      options.power_cuts = static_cast<uint32_t>(std::strtoul(value(), nullptr, 10));
     } else if (arg == "--lifetime-demote") {
       options.lifetime_demote = true;
     } else if (arg == "--xlat-cache") {
@@ -958,6 +1116,9 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (options.power_cut_events > 0) {
+    return RunPowerCutCampaign(options);
+  }
   if (options.inject_count > 0) {
     return RunInjectCampaign(options);
   }
